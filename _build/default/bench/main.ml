@@ -1,0 +1,151 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) as labelled text tables, runs the ablations from
+   DESIGN.md, and finishes with Bechamel microbenchmarks of the core
+   primitives.
+
+     dune exec bench/main.exe                    -- everything, full scale
+     dune exec bench/main.exe -- --quick         -- everything, reduced scale
+     dune exec bench/main.exe -- fig6a summary   -- selected targets
+     dune exec bench/main.exe -- micro           -- microbenchmarks only *)
+
+module Table = Rofl_util.Table
+module E = Rofl_experiments
+
+let targets : (string * string * (E.Common.scale -> Table.t list)) list =
+  [
+    ("fig5a", "intra: cumulative join overhead vs IDs", E.Fig5.fig5a);
+    ("fig5b", "intra: CDF of per-host join overhead", E.Fig5.fig5b);
+    ("fig5c", "intra: CDF of join latency", E.Fig5.fig5c);
+    ("fig6a", "intra: stretch vs pointer-cache size", E.Fig6.fig6a);
+    ("fig6b", "intra: load balance vs OSPF", E.Fig6.fig6b);
+    ("fig6c", "intra: router memory vs IDs", E.Fig6.fig6c);
+    ("fig7", "intra: PoP partition repair overhead", E.Fig7.fig7);
+    ("fig8a", "inter: join overhead by strategy", E.Fig8.fig8a);
+    ("fig8b", "inter: stretch CDF vs finger budget", E.Fig8.fig8b);
+    ("fig8c", "inter: stretch vs per-AS cache; bloom peering", E.Fig8.fig8c);
+    ("summary", "paper §6.4 numbers vs measured", E.Summary.summary);
+    ("ablate-cache", "ablation: control-path caching", E.Ablations.ablate_cache);
+    ("ablate-zeroid", "ablation: zero-ID partition repair", E.Ablations.ablate_zero_id);
+    ("ablate-peering", "ablation: virtual-AS vs bloom peering", E.Ablations.ablate_peering);
+    ("ablate-fingers", "ablation: finger placement", E.Ablations.ablate_fingers);
+    ( "ablate-multihomed",
+      "ablation: redundant-lookup elimination",
+      E.Ablations.ablate_multihomed );
+    ("compare-compact", "compact routing vs ROFL on the same ISP", E.Compare.compact_vs_rofl);
+    ("msg-sizes", "control-message wire sizes (§6.3)", E.Compare.message_sizes);
+  ]
+
+(* ---------------- Bechamel microbenchmarks ---------------- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let rng = Rofl_util.Prng.create 99 in
+  let id_a = Rofl_idspace.Id.random rng and id_b = Rofl_idspace.Id.random rng in
+  let payload = String.init 256 (fun i -> Char.chr (i land 0xff)) in
+  let bloom = Rofl_bloom.Bloom.create ~m_bits:65536 ~k:7 in
+  for _ = 1 to 1000 do
+    Rofl_bloom.Bloom.add bloom (Rofl_idspace.Id.random rng)
+  done;
+  let isp = Rofl_topology.Isp.generate rng Rofl_topology.Isp.as3967 in
+  let ls = Rofl_linkstate.Linkstate.create isp.Rofl_topology.Isp.graph in
+  let cache = Rofl_core.Pointer_cache.create ~capacity:4096 in
+  for i = 0 to 4095 do
+    let dst = Rofl_idspace.Id.random rng in
+    let router = i mod Rofl_topology.Graph.n isp.Rofl_topology.Isp.graph in
+    Rofl_core.Pointer_cache.insert cache
+      (Rofl_core.Pointer.make Rofl_core.Pointer.Cached ~dst ~dst_router:router
+         ~route:(Rofl_core.Sourceroute.singleton router))
+  done;
+  let chord = Rofl_baselines.Chord.create ~succ_group:4 ~finger_rows:128 in
+  let members = Array.init 2048 (fun _ -> Rofl_idspace.Id.random rng) in
+  Array.iter (fun id -> ignore (Rofl_baselines.Chord.join chord id)) members;
+  Rofl_baselines.Chord.refresh_fingers chord;
+  let tests =
+    [
+      Test.make ~name:"id-distance"
+        (Staged.stage (fun () -> ignore (Rofl_idspace.Id.distance id_a id_b)));
+      Test.make ~name:"id-between"
+        (Staged.stage (fun () -> ignore (Rofl_idspace.Id.between_incl id_a id_b id_a)));
+      Test.make ~name:"sha256-256B"
+        (Staged.stage (fun () -> ignore (Rofl_crypto.Sha256.digest payload)));
+      Test.make ~name:"bloom-mem"
+        (Staged.stage (fun () -> ignore (Rofl_bloom.Bloom.mem bloom id_a)));
+      Test.make ~name:"spf-201-routers"
+        (Staged.stage (fun () -> ignore (Rofl_linkstate.Linkstate.distance_hops ls 0 100)));
+      Test.make ~name:"cache-best-match"
+        (Staged.stage (fun () ->
+             ignore (Rofl_core.Pointer_cache.best_match cache ~cur:id_a ~target:id_b)));
+      Test.make ~name:"chord-lookup-2k"
+        (Staged.stage (fun () ->
+             ignore (Rofl_baselines.Chord.lookup chord ~from:members.(0) id_b)));
+    ]
+  in
+  let test = Test.make_grouped ~name:"rofl" ~fmt:"%s/%s" tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances test in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  print_endline "== Microbenchmarks (monotonic clock, ns/run) ==";
+  List.iter
+    (fun tbl ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let est =
+              match Analyze.OLS.estimates ols with
+              | Some (e :: _) -> Printf.sprintf "%12.1f" e
+              | Some [] | None -> "           ?"
+            in
+            (name, est) :: acc)
+          tbl []
+        |> List.sort compare
+      in
+      List.iter (fun (name, est) -> Printf.printf "%-40s %s ns/run\n" name est) rows)
+    results;
+  print_newline ()
+
+(* ---------------- driver ---------------- *)
+
+let () =
+  Rofl_util.Logging.setup ();
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  let csv_dir = ref None in
+  let rec strip_csv = function
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      strip_csv rest
+    | x :: rest -> x :: strip_csv rest
+    | [] -> []
+  in
+  let args = strip_csv args in
+  let scale = if quick then E.Common.quick else E.Common.full in
+  let wanted =
+    match args with
+    | [] -> List.map (fun (n, _, _) -> n) targets @ [ "micro" ]
+    | _ -> args
+  in
+  Printf.printf "ROFL reproduction benchmarks (%s scale, seed %d)\n\n"
+    (if quick then "quick" else "full")
+    scale.E.Common.seed;
+  List.iter
+    (fun name ->
+      if name = "micro" then micro ()
+      else begin
+        match List.find_opt (fun (n, _, _) -> n = name) targets with
+        | Some (_, desc, f) ->
+          Printf.printf "--- %s: %s ---\n" name desc;
+          let t0 = Unix.gettimeofday () in
+          let tables = f scale in
+          List.iter Table.print tables;
+          (match !csv_dir with
+           | Some dir ->
+             List.iter (fun t -> ignore (Table.save_csv t ~dir)) tables
+           | None -> ());
+          Printf.printf "(%s took %.1fs)\n\n" name (Unix.gettimeofday () -. t0)
+        | None -> Printf.printf "unknown target %S (see bench/main.ml)\n" name
+      end)
+    wanted

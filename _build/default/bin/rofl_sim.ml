@@ -1,0 +1,106 @@
+(* rofl_sim — command-line driver over the experiment runners.
+
+   Examples:
+     rofl_sim fig6a                 reproduce one figure at full scale
+     rofl_sim all --quick           everything, reduced scale
+     rofl_sim summary --seed 42     §6.4 summary with another seed
+     rofl_sim list                  show available experiments *)
+
+module Table = Rofl_util.Table
+module E = Rofl_experiments
+
+let experiments : (string * string * (E.Common.scale -> Table.t list)) list =
+  [
+    ("fig5a", "intradomain cumulative join overhead vs IDs", E.Fig5.fig5a);
+    ("fig5b", "intradomain CDF of per-host join overhead", E.Fig5.fig5b);
+    ("fig5c", "intradomain CDF of join latency", E.Fig5.fig5c);
+    ("fig6a", "intradomain stretch vs pointer-cache size", E.Fig6.fig6a);
+    ("fig6b", "intradomain load balance vs OSPF", E.Fig6.fig6b);
+    ("fig6c", "intradomain router memory vs IDs", E.Fig6.fig6c);
+    ("fig7", "PoP partition repair overhead", E.Fig7.fig7);
+    ("fig8a", "interdomain join overhead by strategy", E.Fig8.fig8a);
+    ("fig8b", "interdomain stretch CDF vs fingers", E.Fig8.fig8b);
+    ("fig8c", "interdomain stretch vs per-AS cache", E.Fig8.fig8c);
+    ("summary", "paper §6.4 summary vs measured", E.Summary.summary);
+    ("ablations", "all design-choice ablations", E.Ablations.all);
+    ("compare-compact", "compact routing vs ROFL", E.Compare.compact_vs_rofl);
+    ("msg-sizes", "control-message wire sizes", E.Compare.message_sizes);
+  ]
+
+open Cmdliner
+
+let quick_flag =
+  let doc = "Run at the reduced quick scale (seconds instead of minutes)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let seed_opt =
+  let doc = "Override the experiment seed." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~doc ~docv:"SEED")
+
+let csv_opt =
+  let doc = "Also write each table as CSV into $(docv)." in
+  Arg.(value & opt (some dir) None & info [ "csv" ] ~doc ~docv:"DIR")
+
+let scale_of quick seed =
+  let base = if quick then E.Common.quick else E.Common.full in
+  match seed with None -> base | Some s -> { base with E.Common.seed = s }
+
+let run_named names quick seed csv =
+  let scale = scale_of quick seed in
+  let missing =
+    List.filter (fun n -> not (List.exists (fun (m, _, _) -> m = n) experiments)) names
+  in
+  if missing <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\n" (String.concat ", " missing);
+    1
+  end
+  else begin
+    List.iter
+      (fun name ->
+        let _, desc, f = List.find (fun (m, _, _) -> m = name) experiments in
+        Printf.printf "--- %s: %s ---\n" name desc;
+        let tables = f scale in
+        List.iter Table.print tables;
+        match csv with
+        | Some dir -> List.iter (fun t -> ignore (Table.save_csv t ~dir)) tables
+        | None -> ())
+      names;
+    0
+  end
+
+let exp_cmd (cmd_name, desc, _) =
+  let term =
+    Term.(
+      const (fun quick seed csv -> run_named [ cmd_name ] quick seed csv)
+      $ quick_flag $ seed_opt $ csv_opt)
+  in
+  Cmd.v (Cmd.info cmd_name ~doc:desc) term
+
+let all_cmd =
+  let doc = "Run every experiment (figures, summary, ablations)." in
+  let term =
+    Term.(
+      const (fun quick seed csv ->
+          run_named (List.map (fun (n, _, _) -> n) experiments) quick seed csv)
+      $ quick_flag $ seed_opt $ csv_opt)
+  in
+  Cmd.v (Cmd.info "all" ~doc) term
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let term =
+    Term.(
+      const (fun () ->
+          List.iter (fun (n, d, _) -> Printf.printf "%-10s %s\n" n d) experiments;
+          0)
+      $ const ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) term
+
+let () =
+  Rofl_util.Logging.setup ();
+  let doc = "ROFL (Routing on Flat Labels, SIGCOMM 2006) reproduction driver" in
+  let info = Cmd.info "rofl_sim" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let cmds = all_cmd :: list_cmd :: List.map exp_cmd experiments in
+  exit (Cmd.eval' (Cmd.group ~default info cmds))

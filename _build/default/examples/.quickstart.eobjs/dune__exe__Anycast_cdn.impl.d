@@ -1,0 +1,1 @@
+examples/anycast_cdn.ml: Array Hashtbl Int32 Int64 List Option Printf Rofl_ext Rofl_idspace Rofl_intra Rofl_topology Rofl_util

@@ -1,0 +1,1 @@
+examples/interdomain_policy.ml: Array Hashtbl List Printf Rofl_asgraph Rofl_crypto Rofl_ext Rofl_idspace Rofl_inter Rofl_util String

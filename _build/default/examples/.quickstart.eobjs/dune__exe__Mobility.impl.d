@@ -1,0 +1,1 @@
+examples/mobility.ml: Array Hashtbl List Printf Rofl_core Rofl_idspace Rofl_intra Rofl_netsim Rofl_topology Rofl_util Rofl_workload

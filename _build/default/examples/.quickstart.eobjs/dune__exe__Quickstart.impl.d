@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Rofl_core Rofl_crypto Rofl_idspace Rofl_intra Rofl_topology Rofl_util

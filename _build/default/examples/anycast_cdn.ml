@@ -1,0 +1,77 @@
+(* Enhanced delivery (§5.2): a small CDN on flat labels.
+
+   Replica servers join an anycast group (G, x); clients route to (G, r)
+   with a random suffix and land on a group member without any extra state.
+   A multicast tree built by path painting then pushes an update to every
+   replica.
+
+     dune exec examples/anycast_cdn.exe *)
+
+module Prng = Rofl_util.Prng
+module Id = Rofl_idspace.Id
+module Isp = Rofl_topology.Isp
+module Network = Rofl_intra.Network
+module Anycast = Rofl_ext.Anycast
+module Multicast = Rofl_ext.Multicast
+
+let () =
+  Rofl_util.Logging.setup ();
+  let rng = Prng.create 3 in
+  let isp = Isp.generate rng Isp.as1221 in
+  let net = Network.create ~rng isp.Isp.graph in
+  let gateways = Array.of_list (Isp.edge_routers isp) in
+
+  (* Five replicas join the anycast group; each picks a random suffix so the
+     group's members spread over the suffix space (clients then balance
+     across the arcs between them). *)
+  let group = Anycast.fresh_group rng in
+  Printf.printf "CDN group %s\n" (Id.to_short_string (Anycast.group_id group));
+  List.iter
+    (fun k ->
+      let gw = Prng.sample rng gateways in
+      let suffix = Int64.to_int32 (Prng.bits64 rng) in
+      match Anycast.join_server net group ~gateway:gw ~suffix with
+      | Ok o ->
+        Printf.printf "  replica #%d at router %d (%d join packets)\n" k gw
+          o.Network.join_msgs
+      | Error e -> Printf.printf "  replica #%d failed: %s\n" k e)
+    [ 1; 2; 3; 4; 5 ];
+  Printf.printf "group members alive: %d\n"
+    (List.length (Anycast.members_alive net group));
+
+  (* Clients anycast to the group: each lands on some replica, and the
+     suffix randomisation spreads them. *)
+  let tally = Hashtbl.create 8 in
+  let lost = ref 0 in
+  for _ = 1 to 200 do
+    let d = Anycast.route net ~from:(Prng.sample rng gateways) group rng in
+    match d.Anycast.server with
+    | Some sid ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt tally sid) in
+      Hashtbl.replace tally sid (n + 1)
+    | None -> incr lost
+  done;
+  Printf.printf "200 anycast requests -> %d replicas hit, %d lost\n"
+    (Hashtbl.length tally) !lost;
+  Hashtbl.iter
+    (fun sid n ->
+      Printf.printf "  replica (%s, suffix %08lx) served %d requests\n"
+        (Id.to_short_string sid) (Id.low32 sid) n)
+    tally;
+
+  (* Push an update to every replica over a multicast tree. *)
+  let channel = Multicast.create net (Anycast.fresh_group rng) in
+  List.iteri
+    (fun i gw ->
+      match Multicast.join_member channel ~gateway:gw ~suffix:(Int32.of_int (i + 1)) with
+      | Ok msgs -> Printf.printf "multicast member %d grafted (%d packets)\n" (i + 1) msgs
+      | Error e -> Printf.printf "multicast join failed: %s\n" e)
+    (Array.to_list (Array.sub gateways 0 6));
+  Printf.printf "tree: %d routers, %d links, well-formed: %b\n"
+    (List.length (Multicast.tree_routers channel))
+    (List.length (Multicast.tree_links channel))
+    (Multicast.check_tree channel);
+  (match Multicast.send channel ~from_suffix:1l with
+   | Ok (msgs, reached) ->
+     Printf.printf "multicast publish: %d packets, %d/%d members reached\n" msgs reached 6
+   | Error e -> Printf.printf "multicast send failed: %s\n" e)

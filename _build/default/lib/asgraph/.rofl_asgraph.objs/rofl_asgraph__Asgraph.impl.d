@@ -1,0 +1,1 @@
+lib/asgraph/asgraph.ml: Array Hashtbl List Option Queue Rofl_util

@@ -1,0 +1,1 @@
+lib/asgraph/asgraph.mli: Rofl_util

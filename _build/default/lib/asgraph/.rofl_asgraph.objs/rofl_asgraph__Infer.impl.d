@@ -1,0 +1,1 @@
+lib/asgraph/infer.ml: Array Asgraph Hashtbl List

@@ -1,0 +1,1 @@
+lib/asgraph/infer.mli: Asgraph

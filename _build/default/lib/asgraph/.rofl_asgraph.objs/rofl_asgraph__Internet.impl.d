@@ -1,0 +1,1 @@
+lib/asgraph/internet.ml: Array Asgraph Hashtbl List Rofl_util

@@ -1,0 +1,1 @@
+lib/asgraph/internet.mli: Asgraph Rofl_util

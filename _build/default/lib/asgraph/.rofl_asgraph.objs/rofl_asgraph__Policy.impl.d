@@ -1,0 +1,1 @@
+lib/asgraph/policy.ml: Array Asgraph Hashtbl List Queue Rofl_util

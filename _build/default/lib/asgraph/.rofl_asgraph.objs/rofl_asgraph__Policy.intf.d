@@ -1,0 +1,1 @@
+lib/asgraph/policy.mli: Asgraph

@@ -1,0 +1,218 @@
+module Bitset = Rofl_util.Bitset
+
+type t = {
+  size : int;
+  providers : int list array;
+  customers : int list array;
+  peer_links : int list array;
+  backup_up : int list array;
+  backup_down : int list array;
+  cone_cache : Bitset.t option array;
+  mutable cone_valid : bool;
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Asgraph.create: need at least one AS";
+  {
+    size = n;
+    providers = Array.make n [];
+    customers = Array.make n [];
+    peer_links = Array.make n [];
+    backup_up = Array.make n [];
+    backup_down = Array.make n [];
+    cone_cache = Array.make n None;
+    cone_valid = false;
+  }
+
+let n g = g.size
+
+let check g a = if a < 0 || a >= g.size then invalid_arg "Asgraph: AS index out of range"
+
+let invalidate g =
+  if g.cone_valid || Array.exists Option.is_some g.cone_cache then begin
+    Array.fill g.cone_cache 0 g.size None;
+    g.cone_valid <- false
+  end
+
+let is_provider_edge g ~customer ~provider = List.mem provider g.providers.(customer)
+
+let is_peer_edge g a b = List.mem b g.peer_links.(a)
+
+let add_provider g ~customer ~provider =
+  check g customer;
+  check g provider;
+  if customer = provider then invalid_arg "Asgraph.add_provider: self-edge";
+  if is_provider_edge g ~customer ~provider then
+    invalid_arg "Asgraph.add_provider: duplicate edge";
+  g.providers.(customer) <- provider :: g.providers.(customer);
+  g.customers.(provider) <- customer :: g.customers.(provider);
+  invalidate g
+
+let add_peer g a b =
+  check g a;
+  check g b;
+  if a = b then invalid_arg "Asgraph.add_peer: self-edge";
+  if is_peer_edge g a b then invalid_arg "Asgraph.add_peer: duplicate edge";
+  g.peer_links.(a) <- b :: g.peer_links.(a);
+  g.peer_links.(b) <- a :: g.peer_links.(b)
+
+let add_backup g ~customer ~provider =
+  check g customer;
+  check g provider;
+  if customer = provider then invalid_arg "Asgraph.add_backup: self-edge";
+  if List.mem provider g.backup_up.(customer) then
+    invalid_arg "Asgraph.add_backup: duplicate edge";
+  g.backup_up.(customer) <- provider :: g.backup_up.(customer);
+  g.backup_down.(provider) <- customer :: g.backup_down.(provider)
+
+let providers g a =
+  check g a;
+  g.providers.(a)
+
+let customers g a =
+  check g a;
+  g.customers.(a)
+
+let peers g a =
+  check g a;
+  g.peer_links.(a)
+
+let backup_providers g a =
+  check g a;
+  g.backup_up.(a)
+
+let backup_customers g a =
+  check g a;
+  g.backup_down.(a)
+
+let degree g a =
+  List.length (providers g a) + List.length (customers g a)
+  + List.length (peers g a)
+  + List.length (backup_providers g a)
+  + List.length (backup_customers g a)
+
+let multihomed g a = List.length (providers g a) > 1
+
+(* Kahn's algorithm over customer->provider edges; providers come first in
+   the returned order. *)
+let topo_order_result g =
+  let indegree = Array.make g.size 0 in
+  (* Edge provider -> customer for "providers first" ordering. *)
+  for a = 0 to g.size - 1 do
+    indegree.(a) <- List.length g.providers.(a)
+  done;
+  let q = Queue.create () in
+  Array.iteri (fun a d -> if d = 0 then Queue.push a q) indegree;
+  let order = Array.make g.size (-1) in
+  let filled = ref 0 in
+  while not (Queue.is_empty q) do
+    let p = Queue.pop q in
+    order.(!filled) <- p;
+    incr filled;
+    List.iter
+      (fun c ->
+        indegree.(c) <- indegree.(c) - 1;
+        if indegree.(c) = 0 then Queue.push c q)
+      g.customers.(p)
+  done;
+  if !filled = g.size then Ok order else Error "customer-provider cycle detected"
+
+let validate g =
+  match topo_order_result g with
+  | Error e -> Error e
+  | Ok _ ->
+    (* Peering symmetry is maintained by construction; double-check. *)
+    let ok = ref true in
+    for a = 0 to g.size - 1 do
+      List.iter (fun b -> if not (is_peer_edge g b a) then ok := false) g.peer_links.(a)
+    done;
+    if !ok then Ok () else Error "asymmetric peer edge"
+
+let topo_order g =
+  match topo_order_result g with
+  | Ok order -> order
+  | Error e -> invalid_arg ("Asgraph.topo_order: " ^ e)
+
+let compute_cones g =
+  let order = topo_order g in
+  (* Walk customers-first (reverse of providers-first order) so each cone can
+     union its customers' finished cones. *)
+  for i = g.size - 1 downto 0 do
+    let a = order.(i) in
+    let cone = Bitset.create g.size in
+    Bitset.set cone a;
+    List.iter
+      (fun c ->
+        match g.cone_cache.(c) with
+        | Some child -> Bitset.union_into ~dst:cone child
+        | None -> invalid_arg "Asgraph: cone ordering bug")
+      g.customers.(a);
+    g.cone_cache.(a) <- Some cone
+  done;
+  g.cone_valid <- true
+
+let customer_cone g a =
+  check g a;
+  if not g.cone_valid then compute_cones g;
+  match g.cone_cache.(a) with
+  | Some c -> c
+  | None -> invalid_arg "Asgraph.customer_cone: cache miss after compute"
+
+let in_cone g ~root a = Bitset.mem (customer_cone g root) a
+
+let cone_size g a = Bitset.cardinal (customer_cone g a)
+
+let up_hierarchy g x =
+  check g x;
+  let seen = Hashtbl.create 16 in
+  let rec climb a =
+    if not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      List.iter climb g.providers.(a)
+    end
+  in
+  climb x;
+  Hashtbl.fold (fun a () acc -> a :: acc) seen []
+  |> List.sort (fun a b ->
+       let c = compare (cone_size g a) (cone_size g b) in
+       if c <> 0 then c else compare a b)
+
+let up_hierarchy_with_peers g x =
+  let base = up_hierarchy g x in
+  let seen = Hashtbl.create 32 in
+  List.iter (fun a -> Hashtbl.replace seen a ()) base;
+  List.iter
+    (fun a -> List.iter (fun p -> Hashtbl.replace seen p ()) g.peer_links.(a))
+    base;
+  Hashtbl.fold (fun a () acc -> a :: acc) seen []
+  |> List.sort (fun a b ->
+       let c = compare (cone_size g a) (cone_size g b) in
+       if c <> 0 then c else compare a b)
+
+let tier1s g =
+  let acc = ref [] in
+  for a = g.size - 1 downto 0 do
+    if g.providers.(a) = [] then acc := a :: !acc
+  done;
+  !acc
+
+let least_common_ancestors g x y =
+  let ux = up_hierarchy g x and uy = up_hierarchy g y in
+  let uy_set = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace uy_set a ()) uy;
+  let common = List.filter (Hashtbl.mem uy_set) ux in
+  match common with
+  | [] -> []
+  | first :: _ ->
+    let best = cone_size g first in
+    List.filter (fun a -> cone_size g a = best) common
+
+let edges_in_up_hierarchy g x =
+  let members = up_hierarchy g x in
+  let set = Hashtbl.create 32 in
+  List.iter (fun a -> Hashtbl.replace set a ()) members;
+  List.fold_left
+    (fun acc a ->
+      acc
+      + List.length (List.filter (Hashtbl.mem set) g.providers.(a)))
+    0 members

@@ -1,0 +1,80 @@
+(** Annotated AS-level graphs.
+
+    The interdomain substrate: ASes are dense integer indices; edges carry
+    Gao-style relationships — customer–provider, peer–peer, and backup links
+    (used only under failure, §4.2).  The customer–provider subgraph must be
+    acyclic (a hierarchy); {!validate} checks this.  Customer cones and
+    up-hierarchies, the two structures Canon-style merging is defined over,
+    are computed here. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a graph over ASes [0 .. n-1] with no links. *)
+
+val n : t -> int
+
+val add_provider : t -> customer:int -> provider:int -> unit
+(** Add a customer→provider edge (rejects duplicates and self-edges). *)
+
+val add_peer : t -> int -> int -> unit
+(** Add a symmetric peering edge. *)
+
+val add_backup : t -> customer:int -> provider:int -> unit
+(** Add a backup transit edge: ignored by joins and by policy routing unless
+    the primary paths have failed. *)
+
+val providers : t -> int -> int list
+
+val customers : t -> int -> int list
+
+val peers : t -> int -> int list
+
+val backup_providers : t -> int -> int list
+
+val backup_customers : t -> int -> int list
+
+val is_provider_edge : t -> customer:int -> provider:int -> bool
+
+val is_peer_edge : t -> int -> int -> bool
+
+val degree : t -> int -> int
+(** Total adjacent links of all kinds. *)
+
+val multihomed : t -> int -> bool
+(** More than one (non-backup) provider. *)
+
+val validate : t -> (unit, string) result
+(** Check the customer–provider subgraph is acyclic and peering is
+    symmetric. *)
+
+val topo_order : t -> int array
+(** ASes ordered providers-first (valid only after {!validate}). *)
+
+val customer_cone : t -> int -> Rofl_util.Bitset.t
+(** The AS itself plus all ASes reachable downward via customer edges — the
+    set of identifiers "below" an AS.  Cached after first computation. *)
+
+val in_cone : t -> root:int -> int -> bool
+
+val cone_size : t -> int -> int
+
+val up_hierarchy : t -> int -> int list
+(** [G_X]: every AS reachable from [X] by climbing provider edges, including
+    [X] itself, ordered by increasing customer-cone size (lowest level
+    first).  The paper reports 75–100 ASes typical (§6.3). *)
+
+val up_hierarchy_with_peers : t -> int -> int list
+(** {!up_hierarchy} of [X] plus the peers of each AS in it — the join set of
+    the "recursively multihomed + peering" strategy. *)
+
+val tier1s : t -> int list
+(** ASes with no providers. *)
+
+val least_common_ancestors : t -> int -> int -> int list
+(** ASes that are in both up-hierarchies and minimal by cone size — the
+    "earliest common ancestor" bound of the isolation property. *)
+
+val edges_in_up_hierarchy : t -> int -> int
+(** Number of hierarchy edges visible to [X] (join/maintenance overhead is
+    roughly linear in this, §2.3). *)

@@ -1,0 +1,82 @@
+type edge = int * int
+
+let peering_ratio = 2.0
+
+let export_edges g =
+  let acc = ref [] in
+  for a = 0 to Asgraph.n g - 1 do
+    List.iter (fun p -> acc := (a, p) :: !acc) (Asgraph.providers g a);
+    List.iter (fun p -> acc := (a, p) :: !acc) (Asgraph.backup_providers g a);
+    List.iter (fun p -> if a < p then acc := (a, p) :: !acc) (Asgraph.peers g a)
+  done;
+  List.rev !acc
+
+let infer ~n edges =
+  let degree = Array.make n 0 in
+  List.iter
+    (fun (a, b) ->
+      degree.(a) <- degree.(a) + 1;
+      degree.(b) <- degree.(b) + 1)
+    edges;
+  let g = Asgraph.create n in
+  (* Sort edges so that provider edges are added from the top of the
+     hierarchy down; this makes cycle-breaking deterministic. *)
+  let annotated =
+    List.map
+      (fun (a, b) ->
+        let da = float_of_int degree.(a) and db = float_of_int degree.(b) in
+        let ratio = if da > db then da /. db else db /. da in
+        if ratio < peering_ratio then `Peer (a, b)
+        else if da > db then `Provider (b, a) (* b is customer of a *)
+        else `Provider (a, b))
+      edges
+  in
+  let would_create_cycle customer provider =
+    (* A cycle appears iff [customer] is already an ancestor of [provider]. *)
+    let seen = Hashtbl.create 16 in
+    let rec climb x =
+      x = customer
+      || (not (Hashtbl.mem seen x))
+         && begin
+           Hashtbl.add seen x ();
+           List.exists climb (Asgraph.providers g x)
+         end
+    in
+    climb provider
+  in
+  List.iter
+    (fun ann ->
+      match ann with
+      | `Peer (a, b) -> if not (Asgraph.is_peer_edge g a b) then Asgraph.add_peer g a b
+      | `Provider (customer, provider) ->
+        if Asgraph.is_provider_edge g ~customer ~provider then ()
+        else if would_create_cycle customer provider then begin
+          if not (Asgraph.is_peer_edge g customer provider) then
+            Asgraph.add_peer g customer provider
+        end
+        else Asgraph.add_provider g ~customer ~provider)
+    annotated;
+  g
+
+let classify g a b =
+  if Asgraph.is_provider_edge g ~customer:a ~provider:b then `Up
+  else if Asgraph.is_provider_edge g ~customer:b ~provider:a then `Down
+  else if Asgraph.is_peer_edge g a b then `Peer
+  else if List.mem b (Asgraph.backup_providers g a) then `Up
+  else if List.mem a (Asgraph.backup_providers g b) then `Down
+  else `Absent
+
+let agreement ~truth inferred =
+  let edges = export_edges truth in
+  if edges = [] then 1.0
+  else begin
+    let matches =
+      List.fold_left
+        (fun acc (a, b) ->
+          let want = classify truth a b in
+          let got = classify inferred a b in
+          if want = got then acc + 1 else acc)
+        0 edges
+    in
+    float_of_int matches /. float_of_int (List.length edges)
+  end

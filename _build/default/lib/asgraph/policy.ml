@@ -1,0 +1,233 @@
+let inf = max_int
+
+type tables = { cust : int array; peer : int array; prov : int array }
+
+type t = {
+  g : Asgraph.t;
+  mutable order : int array option; (* providers-first topo order *)
+  bgp_cache : (int, tables) Hashtbl.t; (* per destination *)
+  bfs_cache : (int, int array) Hashtbl.t; (* per source, all-links BFS *)
+}
+
+let create g = { g; order = None; bgp_cache = Hashtbl.create 64; bfs_cache = Hashtbl.create 64 }
+
+let graph t = t.g
+
+let invalidate t =
+  t.order <- None;
+  Hashtbl.reset t.bgp_cache;
+  Hashtbl.reset t.bfs_cache
+
+let topo t =
+  match t.order with
+  | Some o -> o
+  | None ->
+    let o = Asgraph.topo_order t.g in
+    t.order <- Some o;
+    o
+
+(* Gao–Rexford route propagation for one destination [d]:
+   - customer routes exist at every ancestor of d (learned from a customer),
+   - peer routes at ASes with a peer holding a customer route,
+   - provider routes trickle down from any AS holding any route. *)
+let compute_tables t d =
+  let n = Asgraph.n t.g in
+  let cust = Array.make n inf in
+  let peer = Array.make n inf in
+  let prov = Array.make n inf in
+  (* Customer routes: climb provider edges from d. *)
+  let q = Queue.create () in
+  cust.(d) <- 0;
+  Queue.push d q;
+  while not (Queue.is_empty q) do
+    let x = Queue.pop q in
+    List.iter
+      (fun p ->
+        if cust.(p) = inf then begin
+          cust.(p) <- cust.(x) + 1;
+          Queue.push p q
+        end)
+      (Asgraph.providers t.g x)
+  done;
+  (* Peer routes: one peer hop onto a customer route. *)
+  for x = 0 to n - 1 do
+    List.iter
+      (fun p -> if cust.(p) <> inf && cust.(p) + 1 < peer.(x) then peer.(x) <- cust.(p) + 1)
+      (Asgraph.peers t.g x)
+  done;
+  (* Provider routes: providers-first order so a provider's best route is
+     final before its customers read it. *)
+  let order = topo t in
+  Array.iter
+    (fun x ->
+      let best_x = min cust.(x) (min peer.(x) prov.(x)) in
+      if best_x <> inf then
+        List.iter
+          (fun c -> if best_x + 1 < prov.(c) then prov.(c) <- best_x + 1)
+          (Asgraph.customers t.g x))
+    order;
+  { cust; peer; prov }
+
+let tables t d =
+  match Hashtbl.find_opt t.bgp_cache d with
+  | Some tb -> tb
+  | None ->
+    let tb = compute_tables t d in
+    Hashtbl.add t.bgp_cache d tb;
+    tb
+
+let bgp_route_class t ~src ~dst =
+  if src = dst then Some `Customer
+  else begin
+    let tb = tables t dst in
+    if tb.cust.(src) <> inf then Some `Customer
+    else if tb.peer.(src) <> inf then Some `Peer
+    else if tb.prov.(src) <> inf then Some `Provider
+    else None
+  end
+
+let bgp_distance t ~src ~dst =
+  if src = dst then Some 0
+  else begin
+    let tb = tables t dst in
+    if tb.cust.(src) <> inf then Some tb.cust.(src)
+    else if tb.peer.(src) <> inf then Some tb.peer.(src)
+    else if tb.prov.(src) <> inf then Some tb.prov.(src)
+    else None
+  end
+
+(* Reconstruct the selected path hop by hop using the same preference order
+   routers would apply.  Deterministic tie-break on AS index. *)
+let bgp_path t ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let tb = tables t dst in
+    let pick candidates target_dist value =
+      List.fold_left
+        (fun acc c ->
+          if value c = target_dist then
+            match acc with Some best when best <= c -> acc | _ -> Some c
+          else acc)
+        None candidates
+    in
+    let rec walk x acc guard =
+      if guard > Asgraph.n t.g then None
+      else if x = dst then Some (List.rev (x :: acc))
+      else if tb.cust.(x) <> inf then begin
+        (* Descend along customers towards d. *)
+        match pick (Asgraph.customers t.g x) (tb.cust.(x) - 1) (fun c -> tb.cust.(c)) with
+        | Some c -> walk c (x :: acc) (guard + 1)
+        | None -> None
+      end
+      else if tb.peer.(x) <> inf then begin
+        match pick (Asgraph.peers t.g x) (tb.peer.(x) - 1) (fun p -> tb.cust.(p)) with
+        | Some p -> walk p (x :: acc) (guard + 1)
+        | None -> None
+      end
+      else if tb.prov.(x) <> inf then begin
+        let best q = min tb.cust.(q) (min tb.peer.(q) tb.prov.(q)) in
+        match pick (Asgraph.providers t.g x) (tb.prov.(x) - 1) best with
+        | Some q -> walk q (x :: acc) (guard + 1)
+        | None -> None
+      end
+      else None
+    in
+    walk src [] 0
+  end
+
+let bgp_uses_as t ~src ~dst ~via =
+  match bgp_path t ~src ~dst with
+  | None -> false
+  | Some path -> List.mem via path
+
+let shortest_distance t ~src ~dst =
+  if src = dst then Some 0
+  else begin
+    let dist =
+      match Hashtbl.find_opt t.bfs_cache src with
+      | Some d -> d
+      | None ->
+        let n = Asgraph.n t.g in
+        let d = Array.make n inf in
+        let q = Queue.create () in
+        d.(src) <- 0;
+        Queue.push src q;
+        while not (Queue.is_empty q) do
+          let x = Queue.pop q in
+          let relax y =
+            if d.(y) = inf then begin
+              d.(y) <- d.(x) + 1;
+              Queue.push y q
+            end
+          in
+          List.iter relax (Asgraph.providers t.g x);
+          List.iter relax (Asgraph.customers t.g x);
+          List.iter relax (Asgraph.peers t.g x);
+          List.iter relax (Asgraph.backup_providers t.g x);
+          List.iter relax (Asgraph.backup_customers t.g x)
+        done;
+        Hashtbl.add t.bfs_cache src d;
+        d
+    in
+    if dist.(dst) = inf then None else Some dist.(dst)
+  end
+
+let climb t ?(blocked = fun _ -> false) ~allowed start =
+  let dists = Hashtbl.create 32 in
+  if allowed start && not (blocked start) then begin
+    let q = Queue.create () in
+    Hashtbl.replace dists start 0;
+    Queue.push start q;
+    while not (Queue.is_empty q) do
+      let x = Queue.pop q in
+      let dx = Hashtbl.find dists x in
+      List.iter
+        (fun p ->
+          if allowed p && (not (blocked p)) && not (Hashtbl.mem dists p) then begin
+            Hashtbl.replace dists p (dx + 1);
+            Queue.push p q
+          end)
+        (Asgraph.providers t.g x)
+    done
+  end;
+  dists
+
+let up_distances t ?blocked x =
+  let dists = climb t ?blocked ~allowed:(fun _ -> true) x in
+  Hashtbl.fold (fun a d acc -> (a, d) :: acc) dists []
+  |> List.sort (fun (_, d1) (_, d2) -> compare d1 d2)
+
+let vf_distance_within t ~root ?(blocked = fun _ -> false) src dst =
+  let allowed =
+    match root with
+    | None -> fun _ -> true
+    | Some r ->
+      let cone = Asgraph.customer_cone t.g r in
+      fun a -> Rofl_util.Bitset.mem cone a
+  in
+  if src = dst then (if allowed src && not (blocked src) then Some 0 else None)
+  else begin
+    let up_src = climb t ~blocked ~allowed src in
+    let up_dst = climb t ~blocked ~allowed dst in
+    let best = ref inf in
+    (* Common-ancestor paths: up from src, down to dst. *)
+    Hashtbl.iter
+      (fun a da ->
+        match Hashtbl.find_opt up_dst a with
+        | Some db -> if da + db < !best then best := da + db
+        | None -> ())
+      up_src;
+    (* One peer step at the top: src climbs to a, peer hop a->p, descend. *)
+    Hashtbl.iter
+      (fun a da ->
+        List.iter
+          (fun p ->
+            if allowed p && not (blocked p) then begin
+              match Hashtbl.find_opt up_dst p with
+              | Some db -> if da + 1 + db < !best then best := da + 1 + db
+              | None -> ()
+            end)
+          (Asgraph.peers t.g a))
+      up_src;
+    if !best = inf then None else Some !best
+  end

@@ -1,0 +1,49 @@
+(** Policy routing over AS graphs: valley-free paths and a BGP-like baseline.
+
+    Two distinct path models, used for different purposes:
+
+    - {!bgp_distance} models today's BGP decision process (Gao–Rexford:
+      prefer customer-learned over peer-learned over provider-learned routes,
+      then shortest AS path), with valley-free export rules.  The paper uses
+      the BGP path as the stretch denominator for interdomain ROFL and as the
+      "BGP-policy" comparison curve of Fig. 8b.
+
+    - {!vf_distance_within} is the shortest valley-free path whose every AS
+      lies inside a given AS's customer cone — the length of the best
+      AS-level source route ROFL may use for a pointer at that level of the
+      hierarchy without violating the isolation property (§4.1). *)
+
+type t
+
+val create : Asgraph.t -> t
+
+val graph : t -> Asgraph.t
+
+val bgp_distance : t -> src:int -> dst:int -> int option
+(** AS-hop length of the BGP-selected path, [None] if no policy-compliant
+    path exists.  [Some 0] when [src = dst].  Memoised per destination. *)
+
+val bgp_route_class : t -> src:int -> dst:int -> [ `Customer | `Peer | `Provider ] option
+(** Which local-pref class the selected route falls in. *)
+
+val bgp_uses_as : t -> src:int -> dst:int -> via:int -> bool
+(** Whether the BGP-selected path (as reconstructed hop-by-hop from the
+    route tables) traverses [via]. *)
+
+val shortest_distance : t -> src:int -> dst:int -> int option
+(** Plain BFS over every link (providers, peers, backups), ignoring policy —
+    the physical lower bound.  Memoised per source. *)
+
+val vf_distance_within :
+  t -> root:int option -> ?blocked:(int -> bool) -> int -> int -> int option
+(** Shortest valley-free path — a climb, one optional peer step, a descent —
+    between two ASes.  With [root = Some r] every AS on the path must lie in
+    [customer_cone r]; [None] means unrestricted.  [blocked] excludes failed
+    ASes.  Not memoised (it is a cheap bidirectional climb). *)
+
+val up_distances : t -> ?blocked:(int -> bool) -> int -> (int * int) list
+(** [(ancestor, hops)] for every AS reachable by climbing provider edges,
+    including the AS itself at distance 0. *)
+
+val invalidate : t -> unit
+(** Drop memoised tables (call after mutating the graph). *)

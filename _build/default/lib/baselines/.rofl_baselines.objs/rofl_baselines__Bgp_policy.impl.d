@@ -1,0 +1,1 @@
+lib/baselines/bgp_policy.ml: Rofl_asgraph Rofl_util

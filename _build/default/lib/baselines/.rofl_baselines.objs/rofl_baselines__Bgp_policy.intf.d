@@ -1,0 +1,1 @@
+lib/baselines/bgp_policy.mli: Rofl_asgraph Rofl_util

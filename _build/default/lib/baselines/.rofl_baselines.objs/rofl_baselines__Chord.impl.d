@@ -1,0 +1,1 @@
+lib/baselines/chord.ml: Array Int64 List Rofl_idspace

@@ -1,0 +1,1 @@
+lib/baselines/cmu_ethernet.ml: Rofl_linkstate Rofl_topology

@@ -1,0 +1,1 @@
+lib/baselines/cmu_ethernet.mli: Rofl_topology

@@ -1,0 +1,1 @@
+lib/baselines/compact.ml: Array Float Hashtbl List Queue Rofl_topology Rofl_util

@@ -1,0 +1,1 @@
+lib/baselines/compact.mli: Rofl_topology Rofl_util

@@ -1,0 +1,1 @@
+lib/baselines/ospf_hosts.ml: Array List Rofl_linkstate Rofl_netsim Rofl_topology

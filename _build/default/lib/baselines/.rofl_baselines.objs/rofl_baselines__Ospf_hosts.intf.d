@@ -1,0 +1,1 @@
+lib/baselines/ospf_hosts.mli: Rofl_topology

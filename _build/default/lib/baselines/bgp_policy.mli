@@ -1,0 +1,18 @@
+(** BGP-policy stretch baseline (the "BGP-policy" curve of Fig. 8b).
+
+    The inflation today's policy routing imposes over shortest AS paths,
+    measured over the same AS graph ROFL runs on. *)
+
+type t
+
+val create : Rofl_asgraph.Asgraph.t -> t
+
+val policy : t -> Rofl_asgraph.Policy.t
+
+val path_stretch : t -> src:int -> dst:int -> float option
+(** BGP-selected path length over the unrestricted shortest path;
+    [None] when either is undefined or [src = dst]. *)
+
+val sample_stretches :
+  t -> Rofl_util.Prng.t -> ases:int array -> samples:int -> float list
+(** Stretch over random distinct AS pairs (undefined pairs skipped). *)

@@ -1,0 +1,123 @@
+module Id = Rofl_idspace.Id
+module Ring = Rofl_idspace.Ring
+
+type node = {
+  nid : Id.t;
+  mutable succs : Id.t list;
+  mutable fingers : Id.t array; (* finger i targets nid + 2^(127-i) *)
+}
+
+type t = {
+  succ_group : int;
+  finger_rows : int;
+  mutable ring : node Ring.t;
+}
+
+let create ~succ_group ~finger_rows =
+  if succ_group < 1 then invalid_arg "Chord.create: succ_group >= 1";
+  if finger_rows < 0 || finger_rows > 128 then invalid_arg "Chord.create: finger_rows in [0,128]";
+  { succ_group; finger_rows; ring = Ring.empty }
+
+let size t = Ring.cardinal t.ring
+
+let members t = List.map fst (Ring.to_list t.ring)
+
+let jump k =
+  (* 2^(127-k) as an Id. *)
+  if k < 64 then Id.of_int64_pair (Int64.shift_left 1L (63 - k)) 0L
+  else Id.of_int64_pair 0L (Int64.shift_left 1L (127 - k))
+
+let refresh_node t node =
+  node.succs <- List.map fst (Ring.k_successors t.succ_group node.nid t.ring);
+  node.fingers <-
+    Array.init t.finger_rows (fun k ->
+        let target = Id.add node.nid (jump k) in
+        match Ring.successor_incl target t.ring with
+        | Some (fid, _) -> fid
+        | None -> node.nid)
+
+let refresh_fingers t = Ring.iter (fun _ node -> refresh_node t node) t.ring
+
+let join t id =
+  if Ring.mem id t.ring then Error "duplicate identifier"
+  else begin
+    let node = { nid = id; succs = []; fingers = [||] } in
+    t.ring <- Ring.add id node t.ring;
+    refresh_node t node;
+    (* Predecessor and nearby nodes refresh (stabilisation shortcut). *)
+    (match Ring.predecessor id t.ring with
+     | Some (_, p) -> refresh_node t p
+     | None -> ());
+    Ok ()
+  end
+
+let leave t id =
+  t.ring <- Ring.remove id t.ring;
+  (match Ring.predecessor id t.ring with
+   | Some (_, p) -> refresh_node t p
+   | None -> ())
+
+type lookup = { owner : Id.t; hops : int; path : Id.t list }
+
+(* The owner of key k is the first member at or after k. *)
+let owner_of t key =
+  match Ring.successor_incl key t.ring with
+  | Some (oid, _) -> oid
+  | None -> invalid_arg "Chord.owner_of: empty ring"
+
+let lookup t ~from key =
+  match Ring.find from t.ring with
+  | None -> Error "lookup source is not a member"
+  | Some _ when Ring.is_empty t.ring -> Error "empty ring"
+  | Some start ->
+    let owner = owner_of t key in
+    let rec walk (node : node) hops path =
+      if hops > 4 * 128 + Ring.cardinal t.ring then Error "lookup did not converge"
+      else if Id.equal node.nid owner then
+        Ok { owner; hops; path = List.rev (node.nid :: path) }
+      else begin
+        (* If the key lies between us and our successor, the successor owns
+           it; otherwise take the closest preceding finger. *)
+        let next =
+          match node.succs with
+          | s :: _ when Id.between_incl node.nid key s -> Some s
+          | _ ->
+            let best = ref None in
+            Array.iter
+              (fun f ->
+                if Id.between node.nid f key then begin
+                  match !best with
+                  | Some b when Id.compare (Id.distance f key) (Id.distance b key) >= 0 -> ()
+                  | Some _ | None -> best := Some f
+                end)
+              node.fingers;
+            (match !best with
+             | Some f -> Some f
+             | None -> (match node.succs with s :: _ -> Some s | [] -> None))
+        in
+        match next with
+        | None -> Error "no route"
+        | Some nid ->
+          (match Ring.find nid t.ring with
+           | Some n -> walk n (hops + 1) (node.nid :: path)
+           | None -> Error "dangling pointer")
+      end
+    in
+    walk start 0 []
+
+let check_ring t =
+  match Ring.min_binding t.ring with
+  | None -> true
+  | Some (start, _) ->
+    let n = Ring.cardinal t.ring in
+    let rec walk cur steps =
+      if steps = n then Id.equal cur start
+      else
+        match Ring.find cur t.ring with
+        | Some node ->
+          (match node.succs with
+           | s :: _ -> walk s (steps + 1)
+           | [] -> false)
+        | None -> false
+    in
+    walk start 0

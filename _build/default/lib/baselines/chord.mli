@@ -1,0 +1,33 @@
+(** Plain Chord ring (Stoica et al. 2003).
+
+    ROFL's ring maintenance descends from Chord (§2); this overlay-level
+    implementation (no underlying topology — every hop costs 1) serves as a
+    reference for the O(log n) lookup behaviour the idspace machinery must
+    deliver, and as an ablation comparison for the topology-aware parts of
+    ROFL. *)
+
+type t
+
+val create : succ_group:int -> finger_rows:int -> t
+(** [finger_rows] caps the finger table (128 = full Chord). *)
+
+val join : t -> Rofl_idspace.Id.t -> (unit, string) result
+
+val leave : t -> Rofl_idspace.Id.t -> unit
+
+val size : t -> int
+
+val members : t -> Rofl_idspace.Id.t list
+
+val refresh_fingers : t -> unit
+(** Rebuild all finger tables from the current membership (stabilised
+    steady state). *)
+
+type lookup = { owner : Rofl_idspace.Id.t; hops : int; path : Rofl_idspace.Id.t list }
+
+val lookup : t -> from:Rofl_idspace.Id.t -> Rofl_idspace.Id.t -> (lookup, string) result
+(** Find the successor (owner) of a key starting from a member, counting
+    overlay hops.  [from] must be a member. *)
+
+val check_ring : t -> bool
+(** Successor pointers form a single cycle covering all members. *)

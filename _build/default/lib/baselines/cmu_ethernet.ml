@@ -1,0 +1,36 @@
+module Graph = Rofl_topology.Graph
+module Linkstate = Rofl_linkstate.Linkstate
+
+type t = {
+  graph : Graph.t;
+  ls : Linkstate.t;
+  mutable nhosts : int;
+  mutable msgs : int;
+}
+
+let create graph = { graph; ls = Linkstate.create graph; nhosts = 0; msgs = 0 }
+
+let messages_per_join t = 2 * Graph.m t.graph
+
+let join_host t =
+  t.nhosts <- t.nhosts + 1;
+  t.msgs <- t.msgs + messages_per_join t
+
+let join_hosts t k =
+  for _ = 1 to k do
+    join_host t
+  done
+
+let leave_host t =
+  if t.nhosts > 0 then begin
+    t.nhosts <- t.nhosts - 1;
+    t.msgs <- t.msgs + messages_per_join t
+  end
+
+let total_messages t = t.msgs
+
+let hosts t = t.nhosts
+
+let entries_per_router t = t.nhosts + Graph.n t.graph
+
+let route_hops t a b = Linkstate.distance_hops t.ls a b

@@ -1,0 +1,124 @@
+module Graph = Rofl_topology.Graph
+module Prng = Rofl_util.Prng
+
+type t = {
+  g : Graph.t;
+  landmarks : int array;
+  landmark_dist : int array array; (* landmark index -> per-router hops *)
+  home : int array;                (* router -> nearest landmark (router id) *)
+  home_dist : int array;           (* router -> hops to nearest landmark *)
+  clusters : (int, int) Hashtbl.t array; (* router -> member -> hops *)
+}
+
+let bfs g src =
+  let dist = Array.make (Graph.n g) max_int in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (v, _) ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v q
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let build rng ?landmarks g =
+  let n = Graph.n g in
+  let count =
+    match landmarks with
+    | Some k -> max 1 (min k n)
+    | None ->
+      let f = sqrt (float_of_int n *. log (float_of_int (max n 2))) in
+      max 1 (min n (int_of_float (Float.ceil f)))
+  in
+  let landmark_list = Prng.pick_distinct rng count n in
+  let landmarks = Array.of_list landmark_list in
+  let landmark_dist = Array.map (fun l -> bfs g l) landmarks in
+  let home = Array.make n (-1) and home_dist = Array.make n max_int in
+  Array.iteri
+    (fun li l ->
+      Array.iteri
+        (fun v d ->
+          if d < home_dist.(v) then begin
+            home_dist.(v) <- d;
+            home.(v) <- l
+          end)
+        landmark_dist.(li))
+    landmarks;
+  (* Cluster of u = { v : d(u,v) < d(v, home(v)) }: grow a truncated BFS
+     from every router.  (O(n * cluster size) — fine at router scale.) *)
+  let clusters = Array.init n (fun _ -> Hashtbl.create 8) in
+  for u = 0 to n - 1 do
+    let dist = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Hashtbl.replace dist u 0;
+    Queue.push u q;
+    while not (Queue.is_empty q) do
+      let x = Queue.pop q in
+      let dx = Hashtbl.find dist x in
+      (* x belongs to u's cluster iff strictly closer to u than to its own
+         home landmark; expansion continues only through such members. *)
+      if dx < home_dist.(x) || x = u then begin
+        if x <> u then Hashtbl.replace clusters.(u) x dx;
+        List.iter
+          (fun (y, _) ->
+            if not (Hashtbl.mem dist y) then begin
+              Hashtbl.replace dist y (dx + 1);
+              Queue.push y q
+            end)
+          (Graph.neighbors g x)
+      end
+    done
+  done;
+  { g; landmarks; landmark_dist; home; home_dist; clusters }
+
+let landmark_count t = Array.length t.landmarks
+
+let home_landmark t v = t.home.(v)
+
+let in_cluster t u v = Hashtbl.mem t.clusters.(u) v
+
+let landmark_index t l =
+  let rec go i = if t.landmarks.(i) = l then i else go (i + 1) in
+  go 0
+
+let route_hops t ~src ~dst =
+  if src = dst then Some 0
+  else if in_cluster t src dst then Some (Hashtbl.find t.clusters.(src) dst)
+  else begin
+    (* Via dst's home landmark: src -> home(dst) -> dst. *)
+    let l = t.home.(dst) in
+    if l < 0 then None
+    else begin
+      let li = landmark_index t l in
+      let d1 = t.landmark_dist.(li).(src) and d2 = t.landmark_dist.(li).(dst) in
+      if d1 = max_int || d2 = max_int then None else Some (d1 + d2)
+    end
+  end
+
+let stretch t ~src ~dst =
+  if src = dst then None
+  else
+    match route_hops t ~src ~dst with
+    | None -> None
+    | Some hops ->
+      let direct = (bfs t.g src).(dst) in
+      if direct = max_int || direct = 0 then None
+      else Some (float_of_int hops /. float_of_int direct)
+
+let table_entries t v = Array.length t.landmarks + Hashtbl.length t.clusters.(v)
+
+let avg_table_entries t =
+  let n = Graph.n t.g in
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    total := !total + table_entries t v
+  done;
+  float_of_int !total /. float_of_int n
+
+let max_stretch_bound = 3.0

@@ -1,0 +1,31 @@
+(** OSPF shortest-path baseline.
+
+    The load-balance comparison of Fig. 6b and the memory comparison of
+    Fig. 6c: traffic between the same gateway pairs routed over link-state
+    shortest paths, with per-router traversal counts; and the OSPF
+    memory model (a route per router, plus optionally a route per host when
+    host routes are injected). *)
+
+type t
+
+val create : Rofl_topology.Graph.t -> t
+
+val route : t -> src:int -> dst:int -> int list option
+(** Shortest path (inclusive); accumulates per-router load. *)
+
+val route_many : t -> (int * int) list -> int
+(** Route a batch of gateway pairs; returns packets delivered. *)
+
+val router_load : t -> int array
+(** Traversal counts per router, same accounting as
+    {!Rofl_netsim.Metrics.charge_path}. *)
+
+val load_fractions : t -> float array
+(** Per-router fraction of all message traversals. *)
+
+val entries_per_router : t -> int
+(** Topology routes only (OSPF proper). *)
+
+val entries_per_router_with_host_routes : t -> hosts:int -> int
+
+val reset_load : t -> unit

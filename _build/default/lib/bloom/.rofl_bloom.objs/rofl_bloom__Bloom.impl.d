@@ -1,0 +1,1 @@
+lib/bloom/bloom.ml: Bytes Char Float Rofl_crypto Rofl_idspace String

@@ -1,0 +1,1 @@
+lib/core/pointer.ml: Format Rofl_idspace Sourceroute

@@ -1,0 +1,1 @@
+lib/core/pointer.mli: Format Rofl_idspace Sourceroute

@@ -1,0 +1,1 @@
+lib/core/pointer_cache.ml: List Pointer Rofl_idspace Rofl_util

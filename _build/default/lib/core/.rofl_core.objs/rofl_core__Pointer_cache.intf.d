@@ -1,0 +1,1 @@
+lib/core/pointer_cache.mli: Pointer Rofl_idspace

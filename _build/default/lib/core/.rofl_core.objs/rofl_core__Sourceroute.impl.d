@@ -1,0 +1,1 @@
+lib/core/sourceroute.ml: Format List Rofl_linkstate

@@ -1,0 +1,1 @@
+lib/core/sourceroute.mli: Format Rofl_linkstate

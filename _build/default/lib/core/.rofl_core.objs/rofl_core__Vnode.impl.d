@@ -1,0 +1,1 @@
+lib/core/vnode.ml: Hashtbl List Pointer Rofl_idspace

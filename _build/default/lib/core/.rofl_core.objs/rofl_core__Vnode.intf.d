@@ -1,0 +1,1 @@
+lib/core/vnode.mli: Pointer Rofl_idspace

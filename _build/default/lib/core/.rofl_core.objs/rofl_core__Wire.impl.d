@@ -1,0 +1,1 @@
+lib/core/wire.ml: Buffer Char List Printf Rofl_idspace String

@@ -1,0 +1,1 @@
+lib/core/wire.mli: Rofl_idspace Rofl_util

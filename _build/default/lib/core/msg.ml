@@ -1,0 +1,20 @@
+let join = "join"
+
+let join_reply = "join-reply"
+
+let teardown = "teardown"
+
+let flood = "flood"
+
+let directed_flood = "directed-flood"
+
+let zero_id = "zero-id"
+
+let repair = "repair"
+
+let finger = "finger"
+
+let data = "data"
+
+let all =
+  [ join; join_reply; teardown; flood; directed_flood; zero_id; repair; finger; data ]

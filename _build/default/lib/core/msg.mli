@@ -1,0 +1,37 @@
+(** Control-message taxonomy.
+
+    Category names under which the simulations charge messages to
+    {!Rofl_netsim.Metrics}; keeping them here prevents typo'd categories from
+    silently splitting counts. *)
+
+val join : string
+(** Join request/iteration traffic (Algorithm 1 / Algorithm 3). *)
+
+val join_reply : string
+(** Replies carrying discovered successor/predecessor state back. *)
+
+val teardown : string
+(** Pointer tear-down on host/router failure (§3.2). *)
+
+val flood : string
+(** Bootstrap flood of a router's default virtual node, and baseline
+    protocol floods. *)
+
+val directed_flood : string
+(** Source-routed invalidation flood restricted to predecessor-path routers
+    (§3.2, host failure). *)
+
+val zero_id : string
+(** Zero-ID advertisements for partition repair (piggybacked on link-state
+    advertisements; counted separately). *)
+
+val repair : string
+(** Re-join traffic triggered by failure recovery. *)
+
+val finger : string
+(** Finger acquisition and maintenance (§4.1 proximity joins). *)
+
+val data : string
+(** Data-plane packets. *)
+
+val all : string list

@@ -1,0 +1,36 @@
+(** Hop-by-hop router source routes.
+
+    A source route is "a hop-by-hop series of physically connected router IDs
+    that goes from one hosting router to another" (§2.1).  Here routers are
+    the dense indices of the topology graph; the route is inclusive of both
+    endpoints. *)
+
+type t = private int list
+
+val of_hops : int list -> t
+(** From an inclusive router list; must be non-empty.  Adjacency is not
+    checked here (the link-state layer does that with
+    {!Rofl_linkstate.Linkstate.valid_source_route}). *)
+
+val singleton : int -> t
+
+val hops : t -> int list
+
+val origin : t -> int
+
+val destination : t -> int
+
+val length : t -> int
+(** Number of links traversed (0 for a singleton). *)
+
+val reverse : t -> t
+
+val concat : t -> t -> t
+(** [concat a b] joins routes where [destination a = origin b]; raises
+    [Invalid_argument] otherwise. *)
+
+val contains_router : t -> int -> bool
+
+val is_valid : Rofl_linkstate.Linkstate.t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,167 @@
+module Id = Rofl_idspace.Id
+
+type msg =
+  | Join_request of { joining : Id.t; origin_router : int; as_path : int list }
+  | Join_reply of {
+      joining : Id.t;
+      successors : Id.t list;
+      predecessors : Id.t list;
+      fingers : (Id.t * int) list;
+    }
+  | Teardown of { dead : Id.t; origin_router : int }
+  | Zero_id_advert of { zero : Id.t; via : int list }
+  | Data of { dst : Id.t; src : Id.t; payload_len : int }
+
+let tag = function
+  | Join_request _ -> 1
+  | Join_reply _ -> 2
+  | Teardown _ -> 3
+  | Zero_id_advert _ -> 4
+  | Data _ -> 5
+
+let id_bytes = 16
+
+let size_bytes = function
+  | Join_request { as_path; _ } -> 1 + id_bytes + 2 + 2 + (2 * List.length as_path)
+  | Join_reply { successors; predecessors; fingers; _ } ->
+    1 + id_bytes + 2 + 2 + 2
+    + (id_bytes * List.length successors)
+    + (id_bytes * List.length predecessors)
+    + ((id_bytes + 2) * List.length fingers)
+  | Teardown _ -> 1 + id_bytes + 2
+  | Zero_id_advert { via; _ } -> 1 + id_bytes + 2 + (2 * List.length via)
+  | Data { payload_len; _ } -> 1 + id_bytes + id_bytes + 4 + payload_len
+
+let put_u16 buf v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Wire: u16 out of range";
+  Buffer.add_char buf (Char.chr (v lsr 8));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u32 buf v =
+  if v < 0 then invalid_arg "Wire: u32 out of range";
+  put_u16 buf (v lsr 16);
+  put_u16 buf (v land 0xFFFF)
+
+let put_id buf id = Buffer.add_string buf (Id.to_bytes id)
+
+let put_list16 buf xs put =
+  put_u16 buf (List.length xs);
+  List.iter (put buf) xs
+
+let encode m =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (Char.chr (tag m));
+  (match m with
+   | Join_request { joining; origin_router; as_path } ->
+     put_id buf joining;
+     put_u16 buf origin_router;
+     put_list16 buf as_path put_u16
+   | Join_reply { joining; successors; predecessors; fingers } ->
+     put_id buf joining;
+     put_list16 buf successors put_id;
+     put_list16 buf predecessors put_id;
+     put_list16 buf fingers (fun buf (id, r) ->
+         put_id buf id;
+         put_u16 buf r)
+   | Teardown { dead; origin_router } ->
+     put_id buf dead;
+     put_u16 buf origin_router
+   | Zero_id_advert { zero; via } ->
+     put_id buf zero;
+     put_list16 buf via put_u16
+   | Data { dst; src; payload_len } ->
+     put_id buf dst;
+     put_id buf src;
+     put_u32 buf payload_len;
+     (* Payload bytes are represented, not materialised with content. *)
+     Buffer.add_string buf (String.make payload_len '\000'));
+  Buffer.contents buf
+
+exception Truncated
+
+let decode s =
+  let pos = ref 0 in
+  let need n = if !pos + n > String.length s then raise Truncated in
+  let get_u8 () =
+    need 1;
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let get_u16 () =
+    need 2;
+    let v = (Char.code s.[!pos] lsl 8) lor Char.code s.[!pos + 1] in
+    pos := !pos + 2;
+    v
+  in
+  let get_u32 () =
+    let hi = get_u16 () in
+    let lo = get_u16 () in
+    (hi lsl 16) lor lo
+  in
+  let get_id () =
+    need id_bytes;
+    let v = Id.of_bytes_exn (String.sub s !pos id_bytes) in
+    pos := !pos + id_bytes;
+    v
+  in
+  let get_list16 get =
+    let n = get_u16 () in
+    List.init n (fun _ -> get ())
+  in
+  try
+    let m =
+      match get_u8 () with
+      | 1 ->
+        let joining = get_id () in
+        let origin_router = get_u16 () in
+        let as_path = get_list16 get_u16 in
+        Join_request { joining; origin_router; as_path }
+      | 2 ->
+        let joining = get_id () in
+        let successors = get_list16 get_id in
+        let predecessors = get_list16 get_id in
+        let fingers =
+          get_list16 (fun () ->
+              let id = get_id () in
+              let r = get_u16 () in
+              (id, r))
+        in
+        Join_reply { joining; successors; predecessors; fingers }
+      | 3 ->
+        let dead = get_id () in
+        let origin_router = get_u16 () in
+        Teardown { dead; origin_router }
+      | 4 ->
+        let zero = get_id () in
+        let via = get_list16 get_u16 in
+        Zero_id_advert { zero; via }
+      | 5 ->
+        let dst = get_id () in
+        let src = get_id () in
+        let payload_len = get_u32 () in
+        need payload_len;
+        pos := !pos + payload_len;
+        Data { dst; src; payload_len }
+      | t -> failwith (Printf.sprintf "unknown tag %d" t)
+    in
+    if !pos <> String.length s then Error "trailing bytes"
+    else Ok m
+  with
+  | Truncated -> Error "truncated message"
+  | Failure e -> Error e
+
+let ip_packets ?(mtu = 1500) m =
+  if mtu <= 40 then invalid_arg "Wire.ip_packets: MTU too small";
+  let size = size_bytes m in
+  (size + mtu - 1) / mtu |> max 1
+
+let finger_join_reply ~fingers rng =
+  let id () = Id.random rng in
+  Join_reply
+    {
+      joining = id ();
+      successors = List.init 4 (fun _ -> id ());
+      predecessors = List.init 2 (fun _ -> id ());
+      fingers = List.init fingers (fun i -> (id (), i mod 1024));
+    }

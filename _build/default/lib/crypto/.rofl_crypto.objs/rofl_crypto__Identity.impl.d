@@ -1,0 +1,1 @@
+lib/crypto/identity.ml: Hashtbl Hmac List Rofl_idspace Rofl_util Sha256 String

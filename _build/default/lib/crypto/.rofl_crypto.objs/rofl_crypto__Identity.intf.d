@@ -1,0 +1,1 @@
+lib/crypto/identity.mli: Rofl_idspace Rofl_util

@@ -1,0 +1,32 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key < block_size then
+    key ^ String.make (block_size - String.length key) '\000'
+  else key
+
+let xor_with byte s = String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest (xor_with 0x36 key ^ msg) in
+  Sha256.digest (xor_with 0x5c key ^ inner)
+
+let to_hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let mac_hex ~key msg = to_hex (mac ~key msg)
+
+let verify ~key ~msg ~tag =
+  let expected = mac ~key msg in
+  if String.length expected <> String.length tag then false
+  else begin
+    let diff = ref 0 in
+    String.iteri
+      (fun i c -> diff := !diff lor (Char.code c lxor Char.code tag.[i]))
+      expected;
+    !diff = 0
+  end

@@ -1,0 +1,12 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used by the simulated identity layer for challenge/response proofs and by
+    capabilities (§5.3) as the token MAC. *)
+
+val mac : key:string -> string -> string
+(** 32-byte binary tag. *)
+
+val mac_hex : key:string -> string -> string
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of the expected and presented tags. *)

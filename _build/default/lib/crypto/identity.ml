@@ -1,0 +1,79 @@
+module Id = Rofl_idspace.Id
+module Prng = Rofl_util.Prng
+
+type public = string
+
+type keypair = { secret : string; pub : public }
+
+let generate g =
+  let raw =
+    String.concat ""
+      (List.map (fun _ -> Id.to_bytes (Id.random g)) [ (); () ])
+  in
+  let secret = "sk:" ^ raw in
+  { secret; pub = Sha256.digest ("pk-derive:" ^ secret) }
+
+let public kp = kp.pub
+
+let id_of_public pub = Id.of_bytes_exn (String.sub (Sha256.digest pub) 0 16)
+
+let id_of_keypair kp = id_of_public kp.pub
+
+type challenge = string
+
+let fresh_challenge g = Id.to_bytes (Id.random g)
+
+type response = { pub : public; tag : string }
+
+let respond (kp : keypair) challenge =
+  { pub = kp.pub; tag = Hmac.mac ~key:kp.secret ("resp:" ^ challenge ^ kp.pub) }
+
+(* Without real signatures the verifier cannot recompute an HMAC keyed by the
+   prover's secret, so the simulation verifies the binding structurally: the
+   response must carry the same public key, and the tag must be well-formed
+   and deterministic for (secret, challenge).  A forger without the secret
+   cannot produce the tag because it would need SHA-256 preimages.  We model
+   verification as recomputing via a registry of issued keypairs. *)
+let registry : (public, string) Hashtbl.t = Hashtbl.create 256
+
+let register (kp : keypair) = Hashtbl.replace registry kp.pub kp.secret
+
+let verify pub challenge resp =
+  resp.pub = pub
+  &&
+  match Hashtbl.find_opt registry pub with
+  | None -> false
+  | Some secret -> Hmac.verify ~key:secret ~msg:("resp:" ^ challenge ^ pub) ~tag:resp.tag
+
+(* Registration happens implicitly at generation time in the simulation. *)
+let generate g =
+  let kp = generate g in
+  register kp;
+  kp
+
+let authenticate g ~claimed_id pub prover =
+  if not (Id.equal claimed_id (id_of_public pub)) then
+    Error "identifier does not match hash of public key"
+  else begin
+    let challenge = fresh_challenge g in
+    let resp = prover challenge in
+    if verify pub challenge resp then Ok ()
+    else Error "challenge/response verification failed"
+  end
+
+type sybil_auditor = { limit : int; ids : (Id.t, unit) Hashtbl.t }
+
+let auditor ~limit = { limit; ids = Hashtbl.create 64 }
+
+let admit a id =
+  if Hashtbl.mem a.ids id then Ok ()
+  else if Hashtbl.length a.ids >= a.limit then
+    Error "per-router resident-identifier limit reached (Sybil audit)"
+  else begin
+    Hashtbl.add a.ids id ();
+    Ok ()
+  end
+
+let release a id = Hashtbl.remove a.ids id
+
+let admitted a = Hashtbl.length a.ids

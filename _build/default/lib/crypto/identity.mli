@@ -1,0 +1,66 @@
+(** Simulated self-certifying identities.
+
+    The paper ties each host/router identity to a public–private key pair and
+    derives the flat identifier as a hash of the public key (§2.1), so a host
+    can prove to its hosting router that it owns an identifier before the ID
+    becomes resident.
+
+    Substitution (see DESIGN.md): instead of real asymmetric crypto we use a
+    one-way construction — the "public key" is SHA-256 of the secret — plus an
+    HMAC challenge/response.  This preserves exactly the properties ROFL
+    needs: identifiers uniformly distributed in the 128-bit space, a
+    verifiable binding between the secret-holder and the identifier, and no
+    way to claim an identifier without the secret. *)
+
+type keypair
+(** Secret plus derived public key. *)
+
+type public = string
+(** Serialised public key. *)
+
+val generate : Rofl_util.Prng.t -> keypair
+(** Fresh keypair from simulation randomness. *)
+
+val public : keypair -> public
+
+val id_of_public : public -> Rofl_idspace.Id.t
+(** The self-certifying flat label: the top 128 bits of SHA-256(public). *)
+
+val id_of_keypair : keypair -> Rofl_idspace.Id.t
+
+type challenge = string
+
+val fresh_challenge : Rofl_util.Prng.t -> challenge
+(** Router-side nonce for the residency handshake. *)
+
+type response
+
+val respond : keypair -> challenge -> response
+(** Host-side proof of ownership of the keypair. *)
+
+val verify : public -> challenge -> response -> bool
+(** Router-side check.  [verify pub c (respond kp c)] holds iff
+    [public kp = pub]. *)
+
+val authenticate :
+  Rofl_util.Prng.t ->
+  claimed_id:Rofl_idspace.Id.t ->
+  public ->
+  (challenge -> response) ->
+  (unit, string) result
+(** Full residency handshake (paper §2.1 "Security"): check that the claimed
+    identifier matches the hash of the public key, then run one
+    challenge/response round trip.  Returns [Error reason] on spoofing. *)
+
+type sybil_auditor
+(** Per-router audit state bounding the number of resident identifiers — the
+    damage-control mechanism against Sybil attacks the paper sketches. *)
+
+val auditor : limit:int -> sybil_auditor
+
+val admit : sybil_auditor -> Rofl_idspace.Id.t -> (unit, string) result
+(** Record a newly resident ID; [Error] once the per-router limit is hit. *)
+
+val release : sybil_auditor -> Rofl_idspace.Id.t -> unit
+
+val admitted : sybil_auditor -> int

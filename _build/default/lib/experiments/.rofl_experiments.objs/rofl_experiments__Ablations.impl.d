@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Common Hashtbl List Rofl_asgraph Rofl_core Rofl_inter Rofl_intra Rofl_linkstate Rofl_topology Rofl_util

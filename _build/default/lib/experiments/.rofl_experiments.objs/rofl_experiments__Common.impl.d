@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Hashtbl List Printf Rofl_asgraph Rofl_core Rofl_idspace Rofl_inter Rofl_intra Rofl_topology Rofl_util Rofl_workload

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Rofl_asgraph Rofl_idspace Rofl_inter Rofl_intra Rofl_topology Rofl_util

@@ -1,0 +1,1 @@
+lib/experiments/compare.ml: Array Common Float List Printf Rofl_baselines Rofl_core Rofl_idspace Rofl_intra Rofl_topology Rofl_util

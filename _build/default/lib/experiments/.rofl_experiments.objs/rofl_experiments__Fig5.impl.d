@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Common List Rofl_baselines Rofl_topology Rofl_util

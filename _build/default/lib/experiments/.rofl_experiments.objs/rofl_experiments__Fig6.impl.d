@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array Common Float List Printf Rofl_baselines Rofl_core Rofl_intra Rofl_netsim Rofl_topology Rofl_util

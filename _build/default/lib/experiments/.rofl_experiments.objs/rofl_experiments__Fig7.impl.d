@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Common List Rofl_core Rofl_intra Rofl_topology Rofl_util

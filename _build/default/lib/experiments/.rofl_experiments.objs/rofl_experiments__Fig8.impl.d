@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Common List Printf Rofl_asgraph Rofl_baselines Rofl_inter Rofl_util

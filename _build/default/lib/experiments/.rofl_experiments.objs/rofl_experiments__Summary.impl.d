@@ -1,0 +1,1 @@
+lib/experiments/summary.ml: Array Common List Printf Rofl_asgraph Rofl_inter Rofl_intra Rofl_topology Rofl_util

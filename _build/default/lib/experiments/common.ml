@@ -1,0 +1,187 @@
+module Prng = Rofl_util.Prng
+module Stats = Rofl_util.Stats
+module Id = Rofl_idspace.Id
+module Isp = Rofl_topology.Isp
+module Internet = Rofl_asgraph.Internet
+module Network = Rofl_intra.Network
+module Forward = Rofl_intra.Forward
+module Vnode = Rofl_core.Vnode
+module Net = Rofl_inter.Net
+module Hostdist = Rofl_workload.Hostdist
+
+type scale = {
+  seed : int;
+  intra_hosts : int;
+  intra_pairs : int;
+  isps : Isp.profile list;
+  inter_hosts : int;
+  inter_pairs : int;
+  inter_params : Internet.params;
+  pop_ids_grid : int list;
+  cache_grid : int list;
+  inter_cache_grid : int list;
+  finger_grid : int list;
+}
+
+let full =
+  {
+    seed = 20060911; (* SIGCOMM'06 started September 11, 2006 *)
+    intra_hosts = 10_000;
+    intra_pairs = 2_000;
+    isps = Isp.all_profiles;
+    inter_hosts = 20_000;
+    inter_pairs = 1_500;
+    inter_params = Internet.default_params;
+    pop_ids_grid = [ 1; 10; 100; 1000 ];
+    cache_grid = [ 0; 16; 64; 256; 1024; 4096; 16384; 65536 ];
+    inter_cache_grid = [ 0; 8; 32; 128; 512; 2048 ];
+    finger_grid = [ 60; 160; 280 ];
+  }
+
+let quick =
+  {
+    seed = 20060911;
+    intra_hosts = 800;
+    intra_pairs = 300;
+    isps = [ Isp.as3967; Isp.as3257 ];
+    inter_hosts = 2_500;
+    inter_pairs = 300;
+    inter_params = Internet.small_params;
+    pop_ids_grid = [ 1; 10; 50 ];
+    cache_grid = [ 0; 32; 256; 2048 ];
+    inter_cache_grid = [ 0; 32; 256 ];
+    finger_grid = [ 60; 160 ];
+  }
+
+let log_checkpoints n =
+  let rec go acc base =
+    let candidates = [ base; 2 * base; 5 * base ] in
+    let acc = List.fold_left (fun acc c -> if c < n then c :: acc else acc) acc candidates in
+    if base * 10 < n then go acc (base * 10) else acc
+  in
+  List.sort_uniq compare (n :: go [] 1)
+
+type intra_run = {
+  isp : Isp.t;
+  net : Network.t;
+  ids : Id.t array;
+  join_msgs : int list;
+  join_latency : float list;
+  checkpoints : (int * int * float) list;
+  gateway : unit -> int;
+}
+
+let build_intra ?cfg ~seed ~hosts profile =
+  let rng = Prng.create (seed + Hashtbl.hash profile.Isp.profile_name) in
+  let isp = Isp.generate rng profile in
+  let net = Network.create ?cfg ~rng isp.Isp.graph in
+  let gateway = Hostdist.gateway_sampler (Prng.split rng) isp in
+  let marks = log_checkpoints hosts in
+  let ids = ref [] in
+  let join_msgs = ref [] and join_latency = ref [] in
+  let checkpoints = ref [] in
+  let cumulative = ref 0 in
+  let joined = ref 0 in
+  while !joined < hosts do
+    match Network.join_fresh_host net ~gateway:(gateway ()) ~cls:Vnode.Stable with
+    | Ok (id, o) ->
+      incr joined;
+      ids := id :: !ids;
+      cumulative := !cumulative + o.Network.join_msgs;
+      join_msgs := o.Network.join_msgs :: !join_msgs;
+      join_latency := o.Network.join_latency_ms :: !join_latency;
+      if List.mem !joined marks then
+        checkpoints :=
+          (!joined, !cumulative, Network.avg_router_state_entries net) :: !checkpoints
+    | Error _ -> ()
+  done;
+  {
+    isp;
+    net;
+    ids = Array.of_list (List.rev !ids);
+    join_msgs = List.rev !join_msgs;
+    join_latency = List.rev !join_latency;
+    checkpoints = List.rev !checkpoints;
+    gateway;
+  }
+
+let intra_cache : (int * int * string, intra_run) Hashtbl.t = Hashtbl.create 8
+
+let default_intra_run scale profile =
+  let key = (scale.seed, scale.intra_hosts, profile.Isp.profile_name) in
+  match Hashtbl.find_opt intra_cache key with
+  | Some run -> run
+  | None ->
+    let run = build_intra ~seed:scale.seed ~hosts:scale.intra_hosts profile in
+    Hashtbl.add intra_cache key run;
+    run
+
+type inter_run = {
+  inet : Internet.t;
+  net : Net.t;
+  hosts_arr : Net.host array;
+  lookup_msgs : int list;
+}
+
+(* The AS graph is deterministic in (seed, params); cache it so figure
+   modules comparing configurations run over the same Internet. *)
+let inet_cache : (int * Internet.params, Internet.t) Hashtbl.t = Hashtbl.create 4
+
+let internet ~seed params =
+  match Hashtbl.find_opt inet_cache (seed, params) with
+  | Some inet -> inet
+  | None ->
+    let inet = Internet.generate (Prng.create seed) params in
+    Hashtbl.add inet_cache (seed, params) inet;
+    inet
+
+let build_inter_uncached ?cfg ~seed ~hosts ~strategy params =
+  let inet = internet ~seed params in
+  let rng = Prng.create (seed + 1) in
+  let net = Net.create ?cfg ~rng inet.Internet.graph in
+  let stubs = Array.of_list (Internet.stubs inet) in
+  let lookup_msgs = ref [] in
+  let hosts_acc = ref [] in
+  for _ = 1 to hosts do
+    let s = stubs.(Prng.zipf rng ~n:(Array.length stubs) ~s:0.9 - 1) in
+    let o = Net.join net ~as_idx:s ~strategy in
+    lookup_msgs := o.Net.lookup_msgs :: !lookup_msgs;
+    hosts_acc := o.Net.host :: !hosts_acc
+  done;
+  {
+    inet;
+    net;
+    hosts_arr = Array.of_list (List.rev !hosts_acc);
+    lookup_msgs = List.rev !lookup_msgs;
+  }
+
+let inter_memo : (string, inter_run) Hashtbl.t = Hashtbl.create 8
+
+let build_inter ?cfg ~seed ~hosts ~strategy params =
+  let key =
+    Printf.sprintf "%d/%d/%s/%d/%d" seed hosts
+      (Net.strategy_to_string strategy)
+      (Hashtbl.hash cfg) (Hashtbl.hash params)
+  in
+  match Hashtbl.find_opt inter_memo key with
+  | Some run -> run
+  | None ->
+    let run = build_inter_uncached ?cfg ~seed ~hosts ~strategy params in
+    Hashtbl.add inter_memo key run;
+    run
+
+let cdf_rows samples ~fractions =
+  let c = Stats.cdf samples in
+  List.map (fun f -> (List.nth (Stats.quantiles_of_cdf c [ f ]) 0, f)) fractions
+
+let mean_stretch_intra net ids ~gateway ~pairs ~rng =
+  let samples = ref [] in
+  if Array.length ids > 0 then
+    for _ = 1 to pairs do
+      let dst = Prng.sample rng ids in
+      let src = gateway () in
+      match Forward.stretch net ~src_gateway:src ~dst with
+      | Some s -> samples := s :: !samples
+      | None -> ()
+    done;
+  !samples

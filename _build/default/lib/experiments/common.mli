@@ -1,0 +1,77 @@
+(** Shared experiment plumbing: scales, seeded builders, formatting.
+
+    Every figure module consumes a {!scale} so the benchmark harness can run
+    the full reproduction or a quick variant, and obtains its simulated
+    networks through the builders here so that figures drawing on the same
+    population share one construction. *)
+
+type scale = {
+  seed : int;
+  intra_hosts : int;       (** host identifiers joined per ISP *)
+  intra_pairs : int;       (** data-packet samples per measurement *)
+  isps : Rofl_topology.Isp.profile list;
+  inter_hosts : int;       (** identifiers joined in the interdomain net *)
+  inter_pairs : int;
+  inter_params : Rofl_asgraph.Internet.params;
+  pop_ids_grid : int list; (** Fig. 7 x-axis: IDs per PoP *)
+  cache_grid : int list;   (** Fig. 6a x-axis: pointer-cache entries/router *)
+  inter_cache_grid : int list; (** Fig. 8c x-axis: entries/AS *)
+  finger_grid : int list;  (** Fig. 8b finger budgets *)
+}
+
+val full : scale
+(** The reproduction scale used for EXPERIMENTS.md. *)
+
+val quick : scale
+(** A fast variant for CI/tests (minutes, not tens of minutes). *)
+
+type intra_run = {
+  isp : Rofl_topology.Isp.t;
+  net : Rofl_intra.Network.t;
+  ids : Rofl_idspace.Id.t array;        (** joined host identifiers *)
+  join_msgs : int list;                 (** per join, in join order *)
+  join_latency : float list;
+  checkpoints : (int * int * float) list;
+  (** (hosts joined, cumulative ROFL join msgs, avg router ring-state
+      entries) at log-spaced points *)
+  gateway : unit -> int;                (** gateway sampler *)
+}
+
+val build_intra :
+  ?cfg:Rofl_intra.Network.config ->
+  seed:int -> hosts:int -> Rofl_topology.Isp.profile -> intra_run
+(** Generate the ISP, bootstrap ROFL, join [hosts] stable identifiers via
+    PoP-weighted gateways, recording per-join costs and checkpoints. *)
+
+val default_intra_run : scale -> Rofl_topology.Isp.profile -> intra_run
+(** [build_intra] at the scale's default parameters, memoised per profile so
+    Fig. 5 and Fig. 6 share one construction. *)
+
+type inter_run = {
+  inet : Rofl_asgraph.Internet.t;
+  net : Rofl_inter.Net.t;
+  hosts_arr : Rofl_inter.Net.host array;
+  lookup_msgs : int list; (** per join, in join order *)
+}
+
+val build_inter :
+  ?cfg:Rofl_inter.Net.config ->
+  seed:int ->
+  hosts:int ->
+  strategy:Rofl_inter.Net.strategy ->
+  Rofl_asgraph.Internet.params ->
+  inter_run
+(** Generate the AS graph (cached per (seed, params)), join [hosts]
+    identifiers at Zipf-popular stub ASes with the given strategy. *)
+
+val log_checkpoints : int -> int list
+(** 1, 2, 5, 10, 20, 50 … up to and including [n]. *)
+
+val cdf_rows : float list -> fractions:float list -> (float * float) list
+(** Invert an empirical distribution at the given fractions: rows of
+    (value at fraction, fraction) for printing CDFs as tables. *)
+
+val mean_stretch_intra :
+  Rofl_intra.Network.t -> Rofl_idspace.Id.t array -> gateway:(unit -> int) ->
+  pairs:int -> rng:Rofl_util.Prng.t -> float list
+(** Stretch samples between random gateways and random identifiers. *)

@@ -1,0 +1,16 @@
+(** Comparisons beyond the paper's own figures.
+
+    - {!compact_vs_rofl}: the paper concedes that "ROFL falls far short of
+      the static compact routing performance described in [24, 25]" — this
+      measures the gap on the same ISP topology: stretch and per-router
+      state for ROFL (with its caches) against a Thorup–Zwick stretch-3
+      landmark scheme.  The flip side, which the table also shows, is that
+      compact routing is name-dependent: it needs a resolution step ROFL
+      exists to avoid.
+
+    - {!message_sizes}: the §6.3 message-size arithmetic (finger-carrying
+      join replies vs the MTU) over the wire encodings. *)
+
+val compact_vs_rofl : Common.scale -> Rofl_util.Table.t list
+
+val message_sizes : Common.scale -> Rofl_util.Table.t list

@@ -1,0 +1,99 @@
+module Table = Rofl_util.Table
+module Stats = Rofl_util.Stats
+module Isp = Rofl_topology.Isp
+module Graph = Rofl_topology.Graph
+module Cmu = Rofl_baselines.Cmu_ethernet
+
+let fig5a (scale : Common.scale) =
+  let runs = List.map (fun p -> (p, Common.default_intra_run scale p)) scale.Common.isps in
+  let marks = Common.log_checkpoints scale.Common.intra_hosts in
+  let t =
+    Table.create ~title:"Fig 5a: cumulative join overhead [packets] vs IDs per AS"
+      ~columns:
+        ("IDs"
+        :: List.map (fun (p, _) -> "ROFL-" ^ p.Isp.profile_name) runs)
+  in
+  List.iter
+    (fun mark ->
+      let row =
+        string_of_int mark
+        :: List.map
+             (fun (_, run) ->
+               match List.find_opt (fun (n, _, _) -> n = mark) run.Common.checkpoints with
+               | Some (_, cumulative, _) -> string_of_int cumulative
+               | None -> "-")
+             runs
+      in
+      Table.add_row t row)
+    marks;
+  (* CMU-ETHERNET comparison: one flood per join vs ROFL's measured cost. *)
+  let c =
+    Table.create ~title:"Fig 5a (cont.): CMU-ETHERNET comparison at full population"
+      ~columns:
+        [ "ISP"; "IDs"; "ROFL total"; "CMU-ETH total"; "CMU/ROFL ratio" ]
+  in
+  List.iter
+    (fun ((p : Isp.profile), run) ->
+      let cmu = Cmu.create run.Common.isp.Isp.graph in
+      Cmu.join_hosts cmu scale.Common.intra_hosts;
+      let rofl_total =
+        match List.rev run.Common.checkpoints with
+        | (_, total, _) :: _ -> total
+        | [] -> 0
+      in
+      let cmu_total = Cmu.total_messages cmu in
+      Table.add_row c
+        [
+          p.Isp.profile_name;
+          string_of_int scale.Common.intra_hosts;
+          string_of_int rofl_total;
+          string_of_int cmu_total;
+          Table.fmt_float (float_of_int cmu_total /. float_of_int (max rofl_total 1));
+        ])
+    runs;
+  [ t; c ]
+
+let cdf_fractions = [ 0.05; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ]
+
+let cdf_table ~title ~value_label per_isp =
+  let t =
+    Table.create ~title
+      ~columns:("CDF" :: List.map (fun (name, _) -> name ^ " " ^ value_label) per_isp)
+  in
+  List.iter
+    (fun f ->
+      let row =
+        Table.fmt_float f
+        :: List.map
+             (fun (_, samples) ->
+               if samples = [] then "-"
+               else begin
+                 let c = Stats.cdf samples in
+                 Table.fmt_float (List.nth (Stats.quantiles_of_cdf c [ f ]) 0)
+               end)
+             per_isp
+      in
+      Table.add_row t row)
+    cdf_fractions;
+  t
+
+let fig5b (scale : Common.scale) =
+  let per_isp =
+    List.map
+      (fun p ->
+        let run = Common.default_intra_run scale p in
+        (p.Isp.profile_name, List.map float_of_int run.Common.join_msgs))
+      scale.Common.isps
+  in
+  [ cdf_table ~title:"Fig 5b: CDF of per-host join overhead [packets]"
+      ~value_label:"[pkts]" per_isp ]
+
+let fig5c (scale : Common.scale) =
+  let per_isp =
+    List.map
+      (fun p ->
+        let run = Common.default_intra_run scale p in
+        (p.Isp.profile_name, run.Common.join_latency))
+      scale.Common.isps
+  in
+  [ cdf_table ~title:"Fig 5c: CDF of join latency [ms]" ~value_label:"[ms]" per_isp ]

@@ -1,0 +1,12 @@
+(** Figure 5 — intradomain joining.
+
+    (a) cumulative overhead to construct the network vs identifiers joined,
+    per ISP, with the CMU-ETHERNET comparison factor;
+    (b) CDF of per-host join overhead in packets;
+    (c) CDF of join latency in milliseconds. *)
+
+val fig5a : Common.scale -> Rofl_util.Table.t list
+
+val fig5b : Common.scale -> Rofl_util.Table.t list
+
+val fig5c : Common.scale -> Rofl_util.Table.t list

@@ -1,0 +1,12 @@
+(** Figure 6 — intradomain data-traffic performance.
+
+    (a) stretch vs pointer-cache size;
+    (b) per-router load balance against shortest-path (OSPF) routing;
+    (c) average router memory (ring-state entries) vs identifiers joined,
+    with the CMU-ETHERNET memory comparison. *)
+
+val fig6a : Common.scale -> Rofl_util.Table.t list
+
+val fig6b : Common.scale -> Rofl_util.Table.t list
+
+val fig6c : Common.scale -> Rofl_util.Table.t list

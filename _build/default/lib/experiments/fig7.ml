@@ -1,0 +1,69 @@
+module Table = Rofl_util.Table
+module Prng = Rofl_util.Prng
+module Isp = Rofl_topology.Isp
+module Network = Rofl_intra.Network
+module Failure = Rofl_intra.Failure
+module Invariant = Rofl_intra.Invariant
+module Vnode = Rofl_core.Vnode
+
+(* Join [per_pop] identifiers behind each PoP's access routers. *)
+let populate rng (net : Network.t) (isp : Isp.t) ~per_pop =
+  Array.iter
+    (fun (pop : Isp.pop) ->
+      let gateways =
+        Array.of_list (if pop.Isp.access <> [] then pop.Isp.access else pop.Isp.core)
+      in
+      let joined = ref 0 in
+      while !joined < per_pop do
+        match
+          Network.join_fresh_host net ~gateway:(Prng.sample rng gateways)
+            ~cls:Vnode.Stable
+        with
+        | Ok _ -> incr joined
+        | Error _ -> ()
+      done)
+    isp.Isp.pops
+
+let fig7 (scale : Common.scale) =
+  let t =
+    Table.create
+      ~title:"Fig 7: partition repair overhead [packets] vs IDs per PoP"
+      ~columns:
+        ("IDs/PoP"
+        :: List.concat_map
+             (fun p -> [ p.Isp.profile_name; p.Isp.profile_name ^ " consistent?" ])
+             scale.Common.isps)
+  in
+  List.iter
+    (fun per_pop ->
+      let cells =
+        List.concat_map
+          (fun profile ->
+            let rng = Prng.create (scale.Common.seed + (31 * per_pop)) in
+            let isp = Isp.generate rng profile in
+            let net = Network.create ~rng isp.Isp.graph in
+            populate rng net isp ~per_pop;
+            (* Pick a PoP that does not partition the rest of the graph when
+               removed (the paper disconnects leaf PoPs). *)
+            let candidate_pops =
+              Array.to_list isp.Isp.pops
+              |> List.filter (fun (p : Isp.pop) -> List.length p.Isp.core <= 2)
+            in
+            let pop =
+              match candidate_pops with
+              | [] -> isp.Isp.pops.(Prng.int rng (Array.length isp.Isp.pops))
+              | ps -> List.nth ps (Prng.int rng (List.length ps))
+            in
+            let routers = Isp.routers_of_pop isp pop.Isp.pop_id in
+            let m1 = Failure.disconnect_routers net routers in
+            let m2 = Failure.reconnect_routers net routers in
+            let report = Invariant.check net in
+            [
+              string_of_int (m1 + m2);
+              (if report.Invariant.ok then "yes" else "NO");
+            ])
+          scale.Common.isps
+      in
+      Table.add_row t (string_of_int per_pop :: cells))
+    scale.Common.pop_ids_grid;
+  [ t ]

@@ -1,0 +1,171 @@
+module Table = Rofl_util.Table
+module Stats = Rofl_util.Stats
+module Prng = Rofl_util.Prng
+module Net = Rofl_inter.Net
+module Route = Rofl_inter.Route
+module Bgp = Rofl_baselines.Bgp_policy
+module Internet = Rofl_asgraph.Internet
+
+let strategies = [ Net.Ephemeral; Net.Single_homed; Net.Multihomed; Net.Peering ]
+
+let fig8a (scale : Common.scale) =
+  let marks = Common.log_checkpoints scale.Common.inter_hosts in
+  let t =
+    Table.create
+      ~title:"Fig 8a: join overhead [packets] vs IDs (moving average, by strategy)"
+      ~columns:("IDs" :: List.map Net.strategy_to_string strategies)
+  in
+  let window = 200 in
+  let per_strategy =
+    List.map
+      (fun strategy ->
+        let run =
+          Common.build_inter ~seed:scale.Common.seed ~hosts:scale.Common.inter_hosts
+            ~strategy scale.Common.inter_params
+        in
+        let avgs =
+          Stats.moving_average (List.map float_of_int run.Common.lookup_msgs) ~window
+        in
+        Array.of_list avgs)
+      strategies
+  in
+  List.iter
+    (fun mark ->
+      let row =
+        string_of_int mark
+        :: List.map
+             (fun avgs ->
+               if mark - 1 < Array.length avgs then Table.fmt_float avgs.(mark - 1)
+               else "-")
+             per_strategy
+      in
+      Table.add_row t row)
+    marks;
+  [ t ]
+
+let cdf_fractions = [ 0.05; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 1.0 ]
+
+let stretch_samples (scale : Common.scale) run seed =
+  let rng = Prng.create seed in
+  let samples = ref [] in
+  for _ = 1 to scale.Common.inter_pairs do
+    let a = Prng.sample rng run.Common.hosts_arr in
+    let b = Prng.sample rng run.Common.hosts_arr in
+    match Route.stretch_vs_bgp run.Common.net ~src:a ~dst:b.Net.id with
+    | Some s -> samples := s :: !samples
+    | None -> ()
+  done;
+  !samples
+
+let fig8b (scale : Common.scale) =
+  let finger_runs =
+    List.map
+      (fun budget ->
+        let cfg = { Net.default_config with Net.finger_budget = budget } in
+        let run =
+          Common.build_inter ~cfg ~seed:scale.Common.seed ~hosts:scale.Common.inter_hosts
+            ~strategy:Net.Multihomed scale.Common.inter_params
+        in
+        let samples = stretch_samples scale run (scale.Common.seed + budget) in
+        (Printf.sprintf "ROFL %d fingers" budget, samples))
+      scale.Common.finger_grid
+  in
+  (* BGP-policy baseline: inflation of policy paths over shortest paths. *)
+  let inet =
+    match finger_runs with
+    | _ ->
+      Internet.generate (Prng.create scale.Common.seed) scale.Common.inter_params
+  in
+  let bgp = Bgp.create inet.Internet.graph in
+  let rng = Prng.create (scale.Common.seed + 7) in
+  let ases = Array.init (Rofl_asgraph.Asgraph.n inet.Internet.graph) (fun i -> i) in
+  let bgp_samples = Bgp.sample_stretches bgp rng ~ases ~samples:scale.Common.inter_pairs in
+  let series = finger_runs @ [ ("BGP-policy", bgp_samples) ] in
+  let t =
+    Table.create ~title:"Fig 8b: CDF of interdomain stretch"
+      ~columns:("CDF" :: List.map fst series)
+  in
+  List.iter
+    (fun f ->
+      let row =
+        Table.fmt_float f
+        :: List.map
+             (fun (_, samples) ->
+               if samples = [] then "-"
+               else begin
+                 let c = Stats.cdf samples in
+                 Table.fmt_float (List.nth (Stats.quantiles_of_cdf c [ f ]) 0)
+               end)
+             series
+      in
+      Table.add_row t row)
+    cdf_fractions;
+  let means =
+    Table.create ~title:"Fig 8b (cont.): mean stretch by configuration"
+      ~columns:[ "configuration"; "mean stretch"; "samples" ]
+  in
+  List.iter
+    (fun (name, samples) ->
+      Table.add_row means
+        [ name; Table.fmt_float (Stats.mean samples); string_of_int (List.length samples) ])
+    series;
+  [ t; means ]
+
+let fig8c (scale : Common.scale) =
+  let t =
+    Table.create
+      ~title:"Fig 8c: stretch vs per-AS pointer-cache size [entries/AS]"
+      ~columns:[ "cache/AS"; "mean stretch"; "median" ]
+  in
+  List.iter
+    (fun cache ->
+      let cfg =
+        { Net.default_config with Net.cache_capacity = cache; Net.finger_budget = 60 }
+      in
+      let run =
+        Common.build_inter ~cfg ~seed:scale.Common.seed ~hosts:scale.Common.inter_hosts
+          ~strategy:Net.Multihomed scale.Common.inter_params
+      in
+      let samples = stretch_samples scale run (scale.Common.seed + 13 + cache) in
+      Table.add_row t
+        [
+          string_of_int cache;
+          (if samples = [] then "-" else Table.fmt_float (Stats.mean samples));
+          (if samples = [] then "-" else Table.fmt_float (Stats.median samples));
+        ])
+    scale.Common.inter_cache_grid;
+  (* Bloom-filter peering trade-off (§4.2, §6.3): join overhead drops to the
+     multihomed level, stretch rises, per-AS filter state appears. *)
+  let b =
+    Table.create ~title:"Fig 8c (cont.): bloom-filter peering trade-off"
+      ~columns:
+        [ "mode"; "join msgs (mean)"; "mean stretch"; "avg bloom state [Kbit/AS]" ]
+  in
+  List.iter
+    (fun (label, mode, strategy) ->
+      let cfg =
+        { Net.default_config with Net.peering_mode = mode; Net.finger_budget = 60 }
+      in
+      let run =
+        Common.build_inter ~cfg ~seed:scale.Common.seed ~hosts:scale.Common.inter_hosts
+          ~strategy scale.Common.inter_params
+      in
+      let join_mean = Stats.mean (List.map float_of_int run.Common.lookup_msgs) in
+      let samples = stretch_samples scale run (scale.Common.seed + 17) in
+      let n_as = Rofl_asgraph.Asgraph.n run.Common.inet.Internet.graph in
+      let bloom_bits = ref 0.0 in
+      for a = 0 to n_as - 1 do
+        bloom_bits := !bloom_bits +. Net.bloom_state_bits run.Common.net a
+      done;
+      Table.add_row b
+        [
+          label;
+          Table.fmt_float join_mean;
+          (if samples = [] then "-" else Table.fmt_float (Stats.mean samples));
+          Table.fmt_float (!bloom_bits /. float_of_int n_as /. 1000.0);
+        ])
+    [
+      ("virtual-AS peering", Net.Virtual_as, Net.Peering);
+      ("bloom-filter peering", Net.Bloom_filters, Net.Peering);
+    ];
+  [ t; b ]

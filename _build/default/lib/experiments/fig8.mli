@@ -1,0 +1,15 @@
+(** Figure 8 — interdomain routing.
+
+    (a) join overhead vs identifiers joined, for the four joining
+    strategies (ephemeral / single-homed / recursively multihomed /
+    multihomed+peering);
+    (b) CDF of data-packet stretch for several proximity-finger budgets,
+    with the BGP-policy comparison curve;
+    (c) stretch vs per-AS pointer-cache size, plus the bloom-filter peering
+    trade-off point. *)
+
+val fig8a : Common.scale -> Rofl_util.Table.t list
+
+val fig8b : Common.scale -> Rofl_util.Table.t list
+
+val fig8c : Common.scale -> Rofl_util.Table.t list

@@ -1,0 +1,4 @@
+(** §6.4 "Summary of results": the paper's headline numbers side by side
+    with what this reproduction measures at its own (smaller) scale. *)
+
+val summary : Common.scale -> Rofl_util.Table.t list

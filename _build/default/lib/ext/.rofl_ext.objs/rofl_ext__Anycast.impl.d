@@ -1,0 +1,1 @@
+lib/ext/anycast.ml: Hashtbl Int64 List Rofl_core Rofl_idspace Rofl_intra Rofl_linkstate Rofl_netsim Rofl_util

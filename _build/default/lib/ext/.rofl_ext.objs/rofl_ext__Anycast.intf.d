@@ -1,0 +1,1 @@
+lib/ext/anycast.mli: Rofl_idspace Rofl_intra Rofl_util

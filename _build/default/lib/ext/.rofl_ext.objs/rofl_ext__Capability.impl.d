@@ -1,0 +1,1 @@
+lib/ext/capability.ml: Hashtbl List Printf Rofl_crypto Rofl_idspace String

@@ -1,0 +1,1 @@
+lib/ext/capability.mli: Rofl_crypto Rofl_idspace

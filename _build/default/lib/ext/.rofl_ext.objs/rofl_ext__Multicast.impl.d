@@ -1,0 +1,1 @@
+lib/ext/multicast.ml: Anycast Hashtbl List Queue Rofl_core Rofl_idspace Rofl_intra Rofl_netsim

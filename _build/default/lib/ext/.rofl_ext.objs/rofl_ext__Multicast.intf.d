@@ -1,0 +1,1 @@
+lib/ext/multicast.mli: Anycast Rofl_idspace Rofl_intra

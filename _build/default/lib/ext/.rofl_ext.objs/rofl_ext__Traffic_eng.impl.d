@@ -1,0 +1,1 @@
+lib/ext/traffic_eng.ml: Fun Hashtbl Int32 List Rofl_asgraph Rofl_idspace Rofl_inter

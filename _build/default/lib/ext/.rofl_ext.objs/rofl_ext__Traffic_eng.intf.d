@@ -1,0 +1,1 @@
+lib/ext/traffic_eng.mli: Rofl_idspace Rofl_inter

@@ -1,0 +1,47 @@
+module Id = Rofl_idspace.Id
+module Prng = Rofl_util.Prng
+module Network = Rofl_intra.Network
+module Vnode = Rofl_core.Vnode
+module Pointer = Rofl_core.Pointer
+module Msg = Rofl_core.Msg
+
+type group = Id.t (* suffix zeroed *)
+
+let fresh_group rng = Id.group_key (Id.random rng)
+
+let group_id g = g
+
+let member_id g ~suffix = Id.with_low32 g suffix
+
+let join_server net g ~gateway ~suffix =
+  Network.join_host net ~gateway ~id:(member_id g ~suffix) ~cls:Vnode.Stable
+
+type delivery = { server : Id.t option; hops : int }
+
+let route net ~from g rng =
+  let r = Int64.to_int32 (Prng.bits64 rng) in
+  let target = member_id g ~suffix:r in
+  let res = Network.lookup net ~from ~target ~category:Msg.data ~use_cache:true in
+  match res.Network.status with
+  | Network.Delivered vn -> { server = Some vn.Vnode.id; hops = res.Network.msgs }
+  | Network.Predecessor vn when Id.same_group vn.Vnode.id target ->
+    { server = Some vn.Vnode.id; hops = res.Network.msgs }
+  | Network.Predecessor vn ->
+    (* The random suffix fell before every member: the group's first member
+       is the predecessor's successor. *)
+    (match Vnode.first_succ vn with
+     | Some (p : Pointer.t) when Id.same_group p.Pointer.dst target ->
+       (match Rofl_linkstate.Linkstate.path net.Network.ls vn.Vnode.hosted_at p.Pointer.dst_router with
+        | Some hops ->
+          Rofl_netsim.Metrics.charge_path net.Network.metrics Msg.data hops;
+          { server = Some p.Pointer.dst; hops = res.Network.msgs + List.length hops - 1 }
+        | None -> { server = None; hops = res.Network.msgs })
+     | Some _ | None -> { server = None; hops = res.Network.msgs })
+  | Network.Stuck _ -> { server = None; hops = res.Network.msgs }
+
+let members_alive net g =
+  Hashtbl.fold
+    (fun id (vn : Vnode.t) acc ->
+      if vn.Vnode.alive && Id.same_group id g then id :: acc else acc)
+    net.Network.vnodes []
+  |> List.sort Id.compare

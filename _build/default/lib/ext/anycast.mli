@@ -1,0 +1,33 @@
+(** Anycast over flat labels (§5.2).
+
+    Servers of a group [G] join with identifiers [(G, x)] — the group in the
+    high 96 bits, a per-server suffix in the low 32.  A client routes to
+    [(G, r)] for random [r]; intermediate routers treat all suffixes equally,
+    so the packet lands on "the first server in G for which the packet
+    encounters a route".  No state beyond the ordinary joins. *)
+
+type group
+(** A 96-bit group key (an identifier with zero suffix). *)
+
+val fresh_group : Rofl_util.Prng.t -> group
+
+val group_id : group -> Rofl_idspace.Id.t
+
+val member_id : group -> suffix:int32 -> Rofl_idspace.Id.t
+(** The identifier a server with this suffix joins with. *)
+
+val join_server :
+  Rofl_intra.Network.t -> group -> gateway:int -> suffix:int32 ->
+  (Rofl_intra.Network.join_outcome, string) result
+(** Join one server instance of the group at a gateway. *)
+
+type delivery = {
+  server : Rofl_idspace.Id.t option; (** the member that got the packet *)
+  hops : int;
+}
+
+val route : Rofl_intra.Network.t -> from:int -> group -> Rofl_util.Prng.t -> delivery
+(** Route an anycast packet to [(G, r)] with a random [r]: greedy routing
+    delivers to the group member owning that point of the suffix space. *)
+
+val members_alive : Rofl_intra.Network.t -> group -> Rofl_idspace.Id.t list

@@ -1,0 +1,73 @@
+module Id = Rofl_idspace.Id
+module Identity = Rofl_crypto.Identity
+module Hmac = Rofl_crypto.Hmac
+
+(* The MAC key is derived from the destination's keypair via the public
+   registry; in a real deployment it would be a secret the destination's
+   routers share.  The simulation keeps the keypair itself. *)
+type authority = {
+  kp : Identity.keypair;
+  mac_key : string;
+  revoked : (string, unit) Hashtbl.t;
+}
+
+let authority_of kp =
+  {
+    kp;
+    mac_key = Rofl_crypto.Sha256.digest ("capability-key:" ^ Identity.public kp);
+    revoked = Hashtbl.create 8;
+  }
+
+type token = {
+  src : Id.t;
+  dst : Id.t;
+  expires_at : float;
+  path : int list option;
+  mac : string;
+}
+
+let payload ~src ~dst ~expires_at ~path =
+  let path_str =
+    match path with
+    | None -> "any"
+    | Some p -> String.concat "," (List.map string_of_int p)
+  in
+  Printf.sprintf "cap:%s:%s:%.3f:%s" (Id.to_hex src) (Id.to_hex dst) expires_at path_str
+
+let grant a ~src ~dst ~expires_at ?path () =
+  let mac = Hmac.mac ~key:a.mac_key (payload ~src ~dst ~expires_at ~path) in
+  { src; dst; expires_at; path; mac }
+
+let verify a token ~src ~dst ~now ?path () =
+  if not (Id.equal token.src src) then Error "capability bound to another source"
+  else if not (Id.equal token.dst dst) then Error "capability bound to another destination"
+  else if now > token.expires_at then Error "capability expired"
+  else if Hashtbl.mem a.revoked token.mac then Error "capability revoked"
+  else if
+    not
+      (Hmac.verify ~key:a.mac_key
+         ~msg:(payload ~src ~dst ~expires_at:token.expires_at ~path:token.path)
+         ~tag:token.mac)
+  then Error "capability MAC invalid"
+  else
+    match (token.path, path) with
+    | None, _ -> Ok ()
+    | Some pinned, Some presented when pinned = presented -> Ok ()
+    | Some _, Some _ -> Error "packet deviates from the pinned path"
+    | Some _, None -> Error "path capability requires the packet's path"
+
+let revoke a token = Hashtbl.replace a.revoked token.mac ()
+
+type filter = {
+  protected_ids : (Id.t, unit) Hashtbl.t;
+  allowed : (Id.t * Id.t, unit) Hashtbl.t;
+}
+
+let create_filter () = { protected_ids = Hashtbl.create 16; allowed = Hashtbl.create 16 }
+
+let protect f id = Hashtbl.replace f.protected_ids id ()
+
+let allow f ~src ~dst = Hashtbl.replace f.allowed (src, dst) ()
+
+let admit f ~src ~dst =
+  (not (Hashtbl.mem f.protected_ids dst)) || Hashtbl.mem f.allowed (src, dst)

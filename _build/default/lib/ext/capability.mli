@@ -1,0 +1,55 @@
+(** Capabilities and default-off reachability (§5.3).
+
+    Self-certifying identifiers let the receiver hand out cryptographic
+    tokens ("capabilities", after TVA) authorising a specific source to send
+    to it for a limited time; the data plane drops packets without a valid
+    token.  Default-off makes hosts unreachable unless such a grant (or an
+    explicit registration) exists. *)
+
+type authority
+(** A destination's capability-granting state (keyed by its keypair). *)
+
+val authority_of : Rofl_crypto.Identity.keypair -> authority
+
+type token
+
+val grant :
+  authority ->
+  src:Rofl_idspace.Id.t ->
+  dst:Rofl_idspace.Id.t ->
+  expires_at:float ->
+  ?path:int list ->
+  unit ->
+  token
+(** Issue a capability allowing [src] to reach [dst] until [expires_at]
+    (simulated time, ms).  An optional path restriction pins the AS-level
+    path (path capabilities, §5.3). *)
+
+val verify :
+  authority -> token ->
+  src:Rofl_idspace.Id.t ->
+  dst:Rofl_idspace.Id.t ->
+  now:float ->
+  ?path:int list ->
+  unit ->
+  (unit, string) result
+(** Data-plane check: MAC validity, binding to (src, dst), expiry, and path
+    restriction (the presented path must equal the pinned one). *)
+
+val revoke : authority -> token -> unit
+(** Blacklist an issued token before its expiry. *)
+
+type filter
+(** Default-off reachability filter for a set of protected identifiers. *)
+
+val create_filter : unit -> filter
+
+val protect : filter -> Rofl_idspace.Id.t -> unit
+(** Mark an identifier default-off: packets to it require authorisation. *)
+
+val allow : filter -> src:Rofl_idspace.Id.t -> dst:Rofl_idspace.Id.t -> unit
+(** Whitelist a (source, destination) pair — e.g. the destination's fingers. *)
+
+val admit : filter -> src:Rofl_idspace.Id.t -> dst:Rofl_idspace.Id.t -> bool
+(** Should the data plane forward this packet?  Unprotected destinations are
+    always reachable; protected ones only from whitelisted sources. *)

@@ -1,0 +1,35 @@
+(** Multicast trees over flat labels (§5.2).
+
+    A host joins group [G] by sending an anycast request towards a nearby
+    member; every router on the way installs a group pointer back along the
+    reverse path (path painting), stopping as soon as the request hits a
+    router already on the tree.  The result is a bidirectional tree; a
+    multicast packet is flooded over tree links, each router forwarding out
+    every tree link except the one it arrived on. *)
+
+type t
+(** One group's tree state over an intradomain network. *)
+
+val create : Rofl_intra.Network.t -> Anycast.group -> t
+
+val group : t -> Anycast.group
+
+val join_member : t -> gateway:int -> suffix:int32 -> (int, string) result
+(** Add a member reachable via [gateway]: joins the group identifier (so
+    later members can anycast towards it) and paints the path onto the
+    tree.  Returns messages charged. *)
+
+val tree_routers : t -> int list
+(** Routers currently on the tree. *)
+
+val tree_links : t -> (int * int) list
+
+val members : t -> Rofl_idspace.Id.t list
+
+val send : t -> from_suffix:int32 -> (int * int, string) result
+(** Multicast one packet from a member: returns (messages sent, members
+    reached).  Fails if the sender is not a member. *)
+
+val check_tree : t -> bool
+(** The painted links form a connected acyclic subgraph spanning every
+    member's gateway. *)

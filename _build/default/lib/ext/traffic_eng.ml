@@ -1,0 +1,71 @@
+module Id = Rofl_idspace.Id
+module Asgraph = Rofl_asgraph.Asgraph
+module Net = Rofl_inter.Net
+module Route = Rofl_inter.Route
+module Level = Rofl_inter.Level
+
+let negotiate_allowed_ases (t : Net.t) ~src_as ~dst_as ~keep =
+  let g = Level.graph t.Net.ctx in
+  let ups_src = Asgraph.up_hierarchy g src_as in
+  let ups_dst = Asgraph.up_hierarchy g dst_as in
+  let src_set = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace src_set a ()) ups_src;
+  (* The destination reveals the narrowest common ancestors first. *)
+  let common = List.filter (Hashtbl.mem src_set) ups_dst in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take keep common
+
+let route_restricted (t : Net.t) ~src ~dst ~allowed =
+  let r = Route.route_from t ~src ~dst in
+  if not r.Route.delivered then None
+  else begin
+    let g = Level.graph t.Net.ctx in
+    let endpoint_ases =
+      src.Net.home_as :: (match Net.locate t dst with Some a -> [ a ] | None -> [])
+    in
+    let ok =
+      List.for_all
+        (fun a ->
+          List.mem a endpoint_ases
+          || List.exists (fun anc -> Asgraph.in_cone g ~root:anc a) allowed)
+        r.Route.as_path
+    in
+    if ok then Some r else None
+  end
+
+type te_site = { group : Id.t; suffix_ids : (int32 * int) list }
+
+let te_join (t : Net.t) ~site_as =
+  let g = Level.graph t.Net.ctx in
+  let providers = Asgraph.providers g site_as in
+  if providers = [] then Error "site has no providers"
+  else begin
+    let group = Id.group_key (Id.random t.Net.rng) in
+    let results =
+      List.mapi
+        (fun k p ->
+          let suffix = Int32.of_int (k + 1) in
+          let id = Id.with_low32 group suffix in
+          match Net.join_via t ~as_idx:site_as ~id ~via_provider:p with
+          | Ok _ -> Some (suffix, p)
+          | Error _ -> None)
+        providers
+    in
+    let suffix_ids = List.filter_map Fun.id results in
+    if suffix_ids = [] then Error "no suffix join succeeded"
+    else Ok { group; suffix_ids }
+  end
+
+let te_route (t : Net.t) ~src ~site ~suffix =
+  if not (List.mem_assoc suffix site.suffix_ids) then None
+  else begin
+    let dst = Id.with_low32 site.group suffix in
+    let r = Route.route_from t ~src ~dst in
+    if r.Route.delivered then Some r else None
+  end
+
+let inbound_provider site ~suffix = List.assoc_opt suffix site.suffix_ids

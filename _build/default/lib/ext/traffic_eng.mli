@@ -1,0 +1,47 @@
+(** Routing control: endpoint path negotiation and multihomed traffic
+    engineering (§5.1).
+
+    Two mechanisms: (a) endpoint-based negotiation — the destination returns
+    a subset of the ASes above it that the source may use, exploiting the
+    fact that all usable paths traverse the intersection of the two
+    up-hierarchies; (b) suffix-based multihoming control — a multihomed
+    site's hosting router joins with identifiers [(G, x_k)], one suffix per
+    provider, so senders (or the site, by advertising suffixes selectively)
+    steer inbound traffic onto chosen access links. *)
+
+val negotiate_allowed_ases :
+  Rofl_inter.Net.t -> src_as:int -> dst_as:int -> keep:int -> int list
+(** The destination's answer to a path negotiation: up to [keep] ASes of its
+    up-hierarchy that also appear above the source (the intersection
+    observation of §5.1), preferring the narrowest. *)
+
+val route_restricted :
+  Rofl_inter.Net.t ->
+  src:Rofl_inter.Net.host ->
+  dst:Rofl_idspace.Id.t ->
+  allowed:int list ->
+  Rofl_inter.Route.result option
+(** Route with the negotiated restriction: accept the walk only if every
+    transit AS (besides the endpoints' own cones) lies under one of the
+    allowed ASes; [None] when the negotiated set cannot carry the packet. *)
+
+type te_site = {
+  group : Rofl_idspace.Id.t;        (** the site's stable public label [G] *)
+  suffix_ids : (int32 * int) list;  (** suffix -> provider AS it was joined via *)
+}
+
+val te_join :
+  Rofl_inter.Net.t -> site_as:int -> (te_site, string) result
+(** Join a multihomed site once per provider with distinct suffixes
+    [(G, x_k)], each single-homed via that provider (§5.1). *)
+
+val te_route :
+  Rofl_inter.Net.t ->
+  src:Rofl_inter.Net.host ->
+  site:te_site ->
+  suffix:int32 ->
+  Rofl_inter.Route.result option
+(** Send to the site pinning the provider by suffix choice. *)
+
+val inbound_provider : te_site -> suffix:int32 -> int option
+(** Which provider a suffix steers traffic through. *)

@@ -1,0 +1,1 @@
+lib/idspace/id.ml: Bytes Format Hashtbl Int64 Printf Rofl_util String

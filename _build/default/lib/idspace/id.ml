@@ -1,0 +1,121 @@
+type t = { hi : int64; lo : int64 }
+
+let zero = { hi = 0L; lo = 0L }
+
+let max_value = { hi = -1L; lo = -1L }
+
+let of_int64_pair hi lo = { hi; lo }
+
+let to_int64_pair { hi; lo } = (hi, lo)
+
+let of_int n =
+  if n < 0 then invalid_arg "Id.of_int: negative";
+  { hi = 0L; lo = Int64.of_int n }
+
+let compare a b =
+  let c = Int64.unsigned_compare a.hi b.hi in
+  if c <> 0 then c else Int64.unsigned_compare a.lo b.lo
+
+let equal a b = a.hi = b.hi && a.lo = b.lo
+
+let hash a = Hashtbl.hash (a.hi, a.lo)
+
+let add a b =
+  let lo = Int64.add a.lo b.lo in
+  let carry = if Int64.unsigned_compare lo a.lo < 0 then 1L else 0L in
+  { hi = Int64.add (Int64.add a.hi b.hi) carry; lo }
+
+let sub a b =
+  let lo = Int64.sub a.lo b.lo in
+  let borrow = if Int64.unsigned_compare a.lo b.lo < 0 then 1L else 0L in
+  { hi = Int64.sub (Int64.sub a.hi b.hi) borrow; lo }
+
+let succ_id a = add a { hi = 0L; lo = 1L }
+
+let pred_id a = sub a { hi = 0L; lo = 1L }
+
+let distance a b = sub b a
+
+(* x in (a, b) clockwise.  The interval (a, a) is the full ring minus a. *)
+let between a x b =
+  let dx = distance a x and db = distance a b in
+  if equal a b then not (equal x a)
+  else compare dx zero > 0 && compare dx db < 0
+
+let between_incl a x b =
+  if equal a b then true
+  else begin
+    let dx = distance a x and db = distance a b in
+    compare dx zero > 0 && compare dx db <= 0
+  end
+
+let closer_clockwise ~target x y = compare (distance x target) (distance y target) < 0
+
+let bit id i =
+  if i < 0 || i > 127 then invalid_arg "Id.bit: index out of range";
+  let word, off = if i < 64 then (id.hi, 63 - i) else (id.lo, 127 - i) in
+  Int64.to_int (Int64.logand (Int64.shift_right_logical word off) 1L)
+
+let digit id ~base_bits i =
+  if base_bits < 1 || base_bits > 16 then invalid_arg "Id.digit: base_bits out of range";
+  let start = i * base_bits in
+  if start < 0 || start + base_bits > 128 then invalid_arg "Id.digit: index out of range";
+  let value = ref 0 in
+  for b = start to start + base_bits - 1 do
+    value := (!value lsl 1) lor bit id b
+  done;
+  !value
+
+let common_prefix_bits a b =
+  let rec leading_zeros word acc i =
+    if i > 63 then acc
+    else if Int64.logand (Int64.shift_right_logical word (63 - i)) 1L = 1L then acc
+    else leading_zeros word (acc + 1) (i + 1)
+  in
+  let x = Int64.logxor a.hi b.hi in
+  if x <> 0L then leading_zeros x 0 0
+  else begin
+    let y = Int64.logxor a.lo b.lo in
+    if y = 0L then 128 else 64 + leading_zeros y 0 0
+  end
+
+let low32_mask = 0xFFFFFFFFL
+
+let with_low32 id x =
+  let suffix = Int64.logand (Int64.of_int32 x) low32_mask in
+  { id with lo = Int64.logor (Int64.logand id.lo (Int64.lognot low32_mask)) suffix }
+
+let low32 id = Int64.to_int32 (Int64.logand id.lo low32_mask)
+
+let group_key id = { id with lo = Int64.logand id.lo (Int64.lognot low32_mask) }
+
+let same_group a b = equal (group_key a) (group_key b)
+
+let random g =
+  { hi = Rofl_util.Prng.bits64 g; lo = Rofl_util.Prng.bits64 g }
+
+let to_bytes id =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_be b 0 id.hi;
+  Bytes.set_int64_be b 8 id.lo;
+  Bytes.to_string b
+
+let of_bytes_exn s =
+  if String.length s <> 16 then invalid_arg "Id.of_bytes_exn: need 16 bytes";
+  let b = Bytes.of_string s in
+  { hi = Bytes.get_int64_be b 0; lo = Bytes.get_int64_be b 8 }
+
+let to_hex id = Printf.sprintf "%016Lx%016Lx" id.hi id.lo
+
+let of_hex_exn s =
+  if String.length s <> 32 then invalid_arg "Id.of_hex_exn: need 32 hex digits";
+  let parse part =
+    match Int64.of_string_opt ("0x" ^ part) with
+    | Some v -> v
+    | None -> invalid_arg "Id.of_hex_exn: bad hex"
+  in
+  { hi = parse (String.sub s 0 16); lo = parse (String.sub s 16 16) }
+
+let to_short_string id = String.sub (to_hex id) 0 8
+
+let pp ppf id = Format.pp_print_string ppf (to_short_string id)

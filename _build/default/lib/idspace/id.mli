@@ -1,0 +1,99 @@
+(** Flat 128-bit labels and circular-namespace arithmetic.
+
+    ROFL identifiers are semantics-free 128-bit values living on a ring of
+    size 2^128 (the paper, §2.1).  This module provides unsigned ordering,
+    clockwise distance, interval membership (the "between but not past"
+    predicate greedy routing relies on), and the digit/prefix views used by
+    proximity finger tables. *)
+
+type t
+(** An immutable 128-bit identifier. *)
+
+val zero : t
+val max_value : t
+(** All-ones, the ID immediately counter-clockwise of {!zero}. *)
+
+val of_int64_pair : int64 -> int64 -> t
+(** [of_int64_pair hi lo]. *)
+
+val to_int64_pair : t -> int64 * int64
+
+val of_int : int -> t
+(** Embeds a non-negative integer into the low bits. *)
+
+val compare : t -> t -> int
+(** Total unsigned order (not ring order). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val succ_id : t -> t
+(** Clockwise neighbour (wraps from all-ones to zero). *)
+
+val pred_id : t -> t
+(** Counter-clockwise neighbour (wraps from zero to all-ones). *)
+
+val add : t -> t -> t
+(** Addition modulo 2^128. *)
+
+val sub : t -> t -> t
+(** Subtraction modulo 2^128. *)
+
+val distance : t -> t -> t
+(** [distance a b] is the clockwise distance from [a] to [b]
+    (i.e. [b - a] mod 2^128).  [distance a a = zero]. *)
+
+val between : t -> t -> t -> bool
+(** [between a x b] holds when walking clockwise from [a] one meets [x]
+    strictly before [b]; i.e. [x ∈ (a, b)] on the ring.  With [a = b] the
+    interval is the whole ring minus [a]. *)
+
+val between_incl : t -> t -> t -> bool
+(** [x ∈ (a, b\]] on the ring: the "closest but not past the destination"
+    test.  With [a = b] every [x] qualifies (full ring). *)
+
+val closer_clockwise : target:t -> t -> t -> bool
+(** [closer_clockwise ~target x y] holds when [x] is strictly closer to
+    [target] than [y] is, measuring clockwise distance *from* each candidate
+    *to* the target — the greedy-routing progress measure. *)
+
+val bit : t -> int -> int
+(** [bit id i] is bit [i] counted from the most significant (i = 0). *)
+
+val digit : t -> base_bits:int -> int -> int
+(** [digit id ~base_bits i] is the [i]-th base-2^base_bits digit from the
+    top, for Pastry-style prefix tables. *)
+
+val common_prefix_bits : t -> t -> int
+(** Length of the shared most-significant-bit prefix (0..128). *)
+
+val with_low32 : t -> int32 -> t
+(** Replace the low 32 bits — used for group identifiers [(G, x)] where the
+    group is the high 96 bits and the suffix is the low 32 (§5.2). *)
+
+val low32 : t -> int32
+
+val group_key : t -> t
+(** The identifier with its 32-bit suffix zeroed: the anycast/multicast group
+    [G] of an [(G, x)] identifier. *)
+
+val same_group : t -> t -> bool
+
+val random : Rofl_util.Prng.t -> t
+(** Uniformly random identifier. *)
+
+val of_bytes_exn : string -> t
+(** From exactly 16 big-endian bytes. *)
+
+val to_bytes : t -> string
+
+val to_hex : t -> string
+
+val of_hex_exn : string -> t
+(** Inverse of {!to_hex}; raises [Invalid_argument] on malformed input. *)
+
+val to_short_string : t -> string
+(** First 8 hex digits, for logs. *)
+
+val pp : Format.formatter -> t -> unit

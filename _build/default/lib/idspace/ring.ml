@@ -1,0 +1,72 @@
+module M = Map.Make (struct
+  type t = Id.t
+
+  let compare = Id.compare
+end)
+
+type 'a t = 'a M.t
+
+let empty = M.empty
+
+let cardinal = M.cardinal
+
+let is_empty = M.is_empty
+
+let add = M.add
+
+let remove = M.remove
+
+let mem = M.mem
+
+let find id r = M.find_opt id r
+
+(* First member with identifier strictly greater than [x] in the linear
+   order, wrapping to the minimum binding. *)
+let successor x r =
+  if M.is_empty r then None
+  else
+    match M.find_first_opt (fun k -> Id.compare k x > 0) r with
+    | Some (k, v) -> Some (k, v)
+    | None -> M.min_binding_opt r
+
+let successor_incl x r =
+  if M.is_empty r then None
+  else
+    match M.find_first_opt (fun k -> Id.compare k x >= 0) r with
+    | Some (k, v) -> Some (k, v)
+    | None -> M.min_binding_opt r
+
+let predecessor x r =
+  if M.is_empty r then None
+  else
+    match M.find_last_opt (fun k -> Id.compare k x < 0) r with
+    | Some (k, v) -> Some (k, v)
+    | None -> M.max_binding_opt r
+
+let k_successors k x r =
+  let n = min k (M.cardinal r) in
+  let rec go acc cur remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match successor cur r with
+      | None -> List.rev acc
+      | Some (id, v) -> go ((id, v) :: acc) id (remaining - 1)
+  in
+  go [] x n
+
+let min_binding r = M.min_binding_opt r
+
+let to_list r = M.bindings r
+
+let of_list l = List.fold_left (fun acc (id, v) -> M.add id v acc) M.empty l
+
+let iter = M.iter
+
+let fold = M.fold
+
+let filter = M.filter
+
+let members_between a b r =
+  M.fold (fun k v acc -> if Id.between_incl a k b then (k, v) :: acc else acc) r []
+  |> List.sort (fun (k1, _) (k2, _) ->
+       Id.compare (Id.distance a k1) (Id.distance a k2))

@@ -1,0 +1,57 @@
+(** Ordered view of a set of identifiers on the circular namespace.
+
+    The simulator keeps one of these as ground truth to (a) answer oracle
+    queries when constructing expected ring state and (b) check the routing
+    layer's invariants (every vnode's successor pointer must agree with the
+    oracle in steady state).  Each identifier carries a payload (typically the
+    hosting router or AS). *)
+
+type 'a t
+
+val empty : 'a t
+
+val cardinal : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : Id.t -> 'a -> 'a t -> 'a t
+(** Insert or replace. *)
+
+val remove : Id.t -> 'a t -> 'a t
+
+val mem : Id.t -> 'a t -> bool
+
+val find : Id.t -> 'a t -> 'a option
+
+val successor : Id.t -> 'a t -> (Id.t * 'a) option
+(** [successor x r] is the first identifier strictly clockwise of [x]
+    (cyclic; returns [x]'s own entry only if it is the sole member).
+    [None] iff the ring is empty. *)
+
+val successor_incl : Id.t -> 'a t -> (Id.t * 'a) option
+(** Like {!successor} but returns [x] itself when present. *)
+
+val predecessor : Id.t -> 'a t -> (Id.t * 'a) option
+(** First identifier strictly counter-clockwise of [x]. *)
+
+val k_successors : int -> Id.t -> 'a t -> (Id.t * 'a) list
+(** The first [k] members strictly clockwise of [x], in ring order; fewer if
+    the ring is smaller. *)
+
+val min_binding : 'a t -> (Id.t * 'a) option
+(** The member closest to zero — the "zero-ID" of the partition-repair
+    protocol (§3.2). *)
+
+val to_list : 'a t -> (Id.t * 'a) list
+(** Members in increasing identifier order. *)
+
+val of_list : (Id.t * 'a) list -> 'a t
+
+val iter : (Id.t -> 'a -> unit) -> 'a t -> unit
+
+val fold : (Id.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+val filter : (Id.t -> 'a -> bool) -> 'a t -> 'a t
+
+val members_between : Id.t -> Id.t -> 'a t -> (Id.t * 'a) list
+(** Members in the half-open clockwise interval [(a, b\]]. *)

@@ -1,0 +1,1 @@
+lib/inter/asfailure.ml: Array Hashtbl Level List Net Rofl_asgraph Rofl_core Rofl_idspace Rofl_netsim Rofl_util Route

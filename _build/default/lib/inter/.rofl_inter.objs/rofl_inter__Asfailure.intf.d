@@ -1,0 +1,1 @@
+lib/inter/asfailure.mli: Net

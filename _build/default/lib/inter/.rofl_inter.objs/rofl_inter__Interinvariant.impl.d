@@ -1,0 +1,1 @@
+lib/inter/interinvariant.ml: Array Hashtbl Level List Net Printf Rofl_asgraph Rofl_idspace Rofl_util Route

@@ -1,0 +1,1 @@
+lib/inter/interinvariant.mli: Net

@@ -1,0 +1,1 @@
+lib/inter/level.ml: Array Hashtbl List Printf Queue Rofl_asgraph Stdlib

@@ -1,0 +1,1 @@
+lib/inter/level.mli: Rofl_asgraph

@@ -1,0 +1,1 @@
+lib/inter/net.ml: Array Hashtbl Int64 Level List Rofl_asgraph Rofl_core Rofl_idspace Rofl_netsim Rofl_util

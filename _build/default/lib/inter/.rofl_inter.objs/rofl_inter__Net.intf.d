@@ -1,0 +1,1 @@
+lib/inter/net.mli: Hashtbl Level Rofl_asgraph Rofl_core Rofl_idspace Rofl_netsim Rofl_util

@@ -1,0 +1,1 @@
+lib/inter/route.mli: Net Rofl_idspace

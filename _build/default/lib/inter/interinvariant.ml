@@ -1,0 +1,122 @@
+module Id = Rofl_idspace.Id
+module Ring = Rofl_idspace.Ring
+module Prng = Rofl_util.Prng
+module Asgraph = Rofl_asgraph.Asgraph
+
+type report = {
+  ok : bool;
+  violations : string list;
+  hosts_checked : int;
+  rings_checked : int;
+}
+
+let check (t : Net.t) =
+  let violations = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let hosts_checked = ref 0 in
+  let g = Level.graph t.Net.ctx in
+  (* Per-host checks. *)
+  Hashtbl.iter
+    (fun id (h : Net.host) ->
+      if h.Net.alive_h then begin
+        incr hosts_checked;
+        (* Membership of exactly the joined rings. *)
+        List.iter
+          (fun level ->
+            if not (Ring.mem id (Net.ring t level)) then
+              bad "%s missing from joined ring %s" (Id.to_short_string id)
+                (Level.to_string level))
+          h.Net.joined;
+        (* Every joined level covers the home AS. *)
+        List.iter
+          (fun level ->
+            if not (Level.member t.Net.ctx level h.Net.home_as) then
+              bad "%s joined level %s not covering AS%d" (Id.to_short_string id)
+                (Level.to_string level) h.Net.home_as)
+          h.Net.joined;
+        (* Residents table agrees. *)
+        (match Hashtbl.find_opt t.Net.residents.(h.Net.home_as) id with
+         | Some _ -> ()
+         | None ->
+           bad "%s not in residents of its home AS%d" (Id.to_short_string id)
+             h.Net.home_as);
+        (* Fingers point at live members of the right ring. *)
+        List.iter
+          (fun (level, fid) ->
+            match Hashtbl.find_opt t.Net.hosts fid with
+            | Some fh when fh.Net.alive_h ->
+              if not (Ring.mem fid (Net.ring t level)) then
+                bad "%s finger %s absent from ring %s" (Id.to_short_string id)
+                  (Id.to_short_string fid) (Level.to_string level)
+            | Some _ | None ->
+              (* Stale fingers are pruned lazily by routing; only complain if
+                 the finger's ring still claims it. *)
+              if Ring.mem fid (Net.ring t level) then
+                bad "ring %s contains dead finger target %s" (Level.to_string level)
+                  (Id.to_short_string fid))
+          h.Net.fingers
+      end)
+    t.Net.hosts;
+  (* Per-ring checks: every member is a live host that joined this level. *)
+  let rings_checked = ref 0 in
+  Hashtbl.iter
+    (fun _key rr ->
+      incr rings_checked;
+      Ring.iter
+        (fun id (h : Net.host) ->
+          if not h.Net.alive_h then
+            bad "ring member %s is dead" (Id.to_short_string id))
+        !rr)
+    t.Net.rings;
+  (* Bloom summaries match cones (bloom-peering mode only). *)
+  if t.Net.cfg.Net.peering_mode = Net.Bloom_filters then
+    Array.iteri
+      (fun a members ->
+        Hashtbl.iter
+          (fun id () ->
+            match Net.locate t id with
+            | Some home ->
+              if not (Asgraph.in_cone g ~root:a home) then
+                bad "AS%d bloom holds %s homed outside its cone" a
+                  (Id.to_short_string id)
+            | None -> bad "AS%d bloom holds dead id %s" a (Id.to_short_string id))
+          members)
+      t.Net.bloom_members;
+  {
+    ok = !violations = [];
+    violations = List.rev !violations;
+    hosts_checked = !hosts_checked;
+    rings_checked = !rings_checked;
+  }
+
+let check_routability (t : Net.t) ~samples =
+  let hosts =
+    Hashtbl.fold (fun _ h acc -> if h.Net.alive_h then h :: acc else acc) t.Net.hosts []
+    |> Array.of_list
+  in
+  let violations = ref [] in
+  let checked = ref 0 in
+  if Array.length hosts >= 2 then
+    for _ = 1 to samples do
+      let a = Prng.sample t.Net.rng hosts and b = Prng.sample t.Net.rng hosts in
+      if not (Id.equal a.Net.id b.Net.id) then begin
+        incr checked;
+        let r = Route.route_from t ~src:a ~dst:b.Net.id in
+        if not r.Route.delivered then
+          violations :=
+            Printf.sprintf "undeliverable %s -> %s" (Id.to_short_string a.Net.id)
+              (Id.to_short_string b.Net.id)
+            :: !violations
+        else if not (Route.isolation_respected t r ~src:a ~dst:b.Net.id) then
+          violations :=
+            Printf.sprintf "isolation violated %s -> %s" (Id.to_short_string a.Net.id)
+              (Id.to_short_string b.Net.id)
+            :: !violations
+      end
+    done;
+  {
+    ok = !violations = [];
+    violations = List.rev !violations;
+    hosts_checked = !checked;
+    rings_checked = 0;
+  }

@@ -1,0 +1,23 @@
+(** Interdomain state consistency checks.
+
+    Verifies the structural invariants the Canon-style construction
+    promises: every live host is a member of exactly the level rings it
+    joined (and of no ring it didn't); every joined level actually lies in
+    its home AS's up-hierarchy (or is Root / an adjacent peer group); ring
+    membership per level is the union of the members' cones; fingers point
+    at live members of the right ring; bloom summaries at each AS contain
+    exactly the identifiers homed in its cone; resident tables agree with
+    host locations. *)
+
+type report = {
+  ok : bool;
+  violations : string list;
+  hosts_checked : int;
+  rings_checked : int;
+}
+
+val check : Net.t -> report
+
+val check_routability : Net.t -> samples:int -> report
+(** Route random host pairs and require delivery plus the isolation
+    property. *)

@@ -1,0 +1,208 @@
+module Asgraph = Rofl_asgraph.Asgraph
+module Policy = Rofl_asgraph.Policy
+
+type t = Root | Real of int | Peer_group of int
+
+type ctx = {
+  g : Asgraph.t;
+  policy : Policy.t;
+  climbs : (int, (int, int) Hashtbl.t) Hashtbl.t;
+  vas : int array array;
+  vas_adj : int list array;
+}
+
+let make_ctx g =
+  let n = Asgraph.n g in
+  let tier1 = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace tier1 a ()) (Asgraph.tier1s g);
+  let vas = ref [] and count = ref 0 in
+  let vas_adj = Array.make n [] in
+  for a = 0 to n - 1 do
+    List.iter
+      (fun b ->
+        if a < b && not (Hashtbl.mem tier1 a && Hashtbl.mem tier1 b) then begin
+          let v = !count in
+          incr count;
+          vas := [| a; b |] :: !vas;
+          vas_adj.(a) <- v :: vas_adj.(a);
+          vas_adj.(b) <- v :: vas_adj.(b)
+        end)
+      (Asgraph.peers g a)
+  done;
+  {
+    g;
+    policy = Policy.create g;
+    climbs = Hashtbl.create 256;
+    vas = Array.of_list (List.rev !vas);
+    vas_adj;
+  }
+
+let graph ctx = ctx.g
+
+let policy ctx = ctx.policy
+
+let vas_count ctx = Array.length ctx.vas
+
+let vas_members ctx v = Array.to_list ctx.vas.(v)
+
+let vas_of_as ctx a = ctx.vas_adj.(a)
+
+let breadth ctx = function
+  | Root -> max_int
+  | Real a -> Asgraph.cone_size ctx.g a
+  | Peer_group v ->
+    Array.fold_left (fun acc m -> acc + Asgraph.cone_size ctx.g m) 0 ctx.vas.(v)
+
+(* Order levels bottom-up; ctx-free tie-breaks keep it a total order. *)
+let rank = function Real _ -> 0 | Peer_group _ -> 1 | Root -> 2
+
+let compare a b =
+  match (a, b) with
+  | Root, Root -> 0
+  | Real x, Real y -> Stdlib.compare x y
+  | Peer_group x, Peer_group y -> Stdlib.compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let key ctx = function
+  | Root -> -1
+  | Real a -> a
+  | Peer_group v -> Asgraph.n ctx.g + v
+
+let to_string = function
+  | Root -> "root"
+  | Real a -> Printf.sprintf "AS%d" a
+  | Peer_group v -> Printf.sprintf "vAS%d" v
+
+let member ctx level x =
+  match level with
+  | Root -> true
+  | Real a -> Asgraph.in_cone ctx.g ~root:a x
+  | Peer_group v ->
+    Array.exists (fun m -> Asgraph.in_cone ctx.g ~root:m x) ctx.vas.(v)
+
+let subsumes ctx ~outer ~inner =
+  match (outer, inner) with
+  | Root, _ -> true
+  | _, Root -> false
+  | _, Real a -> member ctx outer a
+  | _, Peer_group v -> Array.for_all (fun m -> member ctx outer m) ctx.vas.(v)
+
+let climb ctx x =
+  match Hashtbl.find_opt ctx.climbs x with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 32 in
+    let q = Queue.create () in
+    Hashtbl.replace tbl x 0;
+    Queue.push x q;
+    while not (Queue.is_empty q) do
+      let cur = Queue.pop q in
+      let d = Hashtbl.find tbl cur in
+      List.iter
+        (fun p ->
+          if not (Hashtbl.mem tbl p) then begin
+            Hashtbl.replace tbl p (d + 1);
+            Queue.push p q
+          end)
+        (Asgraph.providers ctx.g cur)
+    done;
+    Hashtbl.add ctx.climbs x tbl;
+    tbl
+
+let up_distance ctx x a = Hashtbl.find_opt (climb ctx x) a
+
+(* Inclusive provider-edge path from [x] up to its ancestor [a]. *)
+let rec climb_path ctx x a =
+  if x = a then [ x ]
+  else begin
+    let da =
+      match up_distance ctx x a with
+      | Some d -> d
+      | None -> invalid_arg "Level.climb_path: not an ancestor"
+    in
+    let next =
+      List.find_opt
+        (fun p -> match up_distance ctx p a with Some d -> d = da - 1 | None -> false)
+        (Asgraph.providers ctx.g x)
+    in
+    match next with
+    | Some p -> x :: climb_path ctx p a
+    | None -> invalid_arg "Level.climb_path: broken climb"
+  end
+
+let route_within ctx level src dst =
+  if src = dst then (if member ctx level src then Some (0, [ src ]) else None)
+  else begin
+    let allowed a = member ctx level a in
+    if not (allowed src && allowed dst) then None
+    else begin
+      let up_src = climb ctx src and up_dst = climb ctx dst in
+      (* (cost, peak_src, peer option) *)
+      let best = ref None in
+      let offer cost a peer =
+        match !best with
+        | Some (c, _, _) when c <= cost -> ()
+        | Some _ | None -> best := Some (cost, a, peer)
+      in
+      Hashtbl.iter
+        (fun a da ->
+          if allowed a then begin
+            (match Hashtbl.find_opt up_dst a with
+             | Some db -> offer (da + db) a None
+             | None -> ());
+            List.iter
+              (fun p ->
+                if allowed p then begin
+                  match Hashtbl.find_opt up_dst p with
+                  | Some db -> offer (da + 1 + db) a (Some p)
+                  | None -> ()
+                end)
+              (Asgraph.peers ctx.g a)
+          end)
+        up_src;
+      match !best with
+      | None -> None
+      | Some (cost, peak, peer) ->
+        let up_part = climb_path ctx src peak in
+        let down_from b = List.rev (climb_path ctx dst b) in
+        let path =
+          match peer with
+          | None -> up_part @ List.tl (List.rev (climb_path ctx dst peak))
+          | Some p -> up_part @ down_from p
+        in
+        Some (cost, path)
+    end
+  end
+
+let distance_within ctx level src dst =
+  match route_within ctx level src dst with
+  | Some (d, _) -> Some d
+  | None -> None
+
+let sort_levels ctx ls =
+  List.sort_uniq
+    (fun a b ->
+      let c = Stdlib.compare (breadth ctx a) (breadth ctx b) in
+      if c <> 0 then c else compare a b)
+    ls
+
+let levels_for_real ctx x =
+  let ups = Asgraph.up_hierarchy ctx.g x in
+  sort_levels ctx (List.map (fun a -> Real a) ups) @ [ Root ]
+
+let single_homed_chain ctx x =
+  let rec chain a acc =
+    match Asgraph.providers ctx.g a with
+    | [] -> List.rev acc
+    | providers ->
+      let p = List.fold_left min (List.hd providers) providers in
+      chain p (Real p :: acc)
+  in
+  chain x [ Real x ] @ [ Root ]
+
+let peer_levels ctx x =
+  let ups = Asgraph.up_hierarchy ctx.g x in
+  let vs = List.concat_map (fun a -> ctx.vas_adj.(a)) ups in
+  sort_levels ctx (List.map (fun v -> Peer_group v) vs)

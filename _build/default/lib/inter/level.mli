@@ -1,0 +1,79 @@
+(** Hierarchy levels for Canon-style ring merging (§4).
+
+    A {e level} is a node of the (conceptual) merge hierarchy: a real AS
+    (its ring holds every identifier joined in its customer cone), a virtual
+    AS wrapping a peering link or clique (§4.2, Fig. 4a), or the root —
+    the tier-1 clique's virtual AS, whose ring is the global one.
+
+    The context memoises provider-climb tables so that level-restricted
+    valley-free distances (the cost of following an external pointer at a
+    level without violating isolation) are cheap. *)
+
+type t =
+  | Root
+  | Real of int       (** a real AS; members are its customer cone *)
+  | Peer_group of int (** index into the virtual-AS table *)
+
+type ctx
+
+val make_ctx : Rofl_asgraph.Asgraph.t -> ctx
+(** Builds the virtual-AS table: one virtual AS per peering link among
+    non-tier-1 ASes (tier-1 peering is the root). *)
+
+val graph : ctx -> Rofl_asgraph.Asgraph.t
+
+val policy : ctx -> Rofl_asgraph.Policy.t
+
+val compare : t -> t -> int
+(** Structural total order (for sets/dedup).  Bottom-up breadth ordering is
+    what the [levels_for_real]/[peer_levels] lists provide. *)
+
+val equal : t -> t -> bool
+
+val key : ctx -> t -> int
+(** Dense integer encoding for hashtables. *)
+
+val to_string : t -> string
+
+val member : ctx -> t -> int -> bool
+(** Is an AS inside this level's subtree? *)
+
+val breadth : ctx -> t -> int
+(** Number of ASes the level spans ([max_int] for [Root]) — the bottom-up
+    ordering key. *)
+
+val subsumes : ctx -> outer:t -> inner:t -> bool
+(** Does [outer]'s subtree contain the whole of [inner]'s?  Used to keep a
+    packet's level ceiling monotonically narrowing. *)
+
+val vas_count : ctx -> int
+
+val vas_members : ctx -> int -> int list
+(** The (two or more) ASes a virtual AS spans. *)
+
+val vas_of_as : ctx -> int -> int list
+(** Virtual ASes directly adjacent to an AS (peer links it terminates). *)
+
+val up_distance : ctx -> int -> int -> int option
+(** [up_distance ctx x a]: provider-edge hops climbing from [x] to [a];
+    [None] if [a] is not an ancestor.  Memoised. *)
+
+val route_within : ctx -> t -> int -> int -> (int * int list) option
+(** Shortest valley-free AS path between two ASes using only ASes inside the
+    level (with the virtual AS additionally allowing its peer hop).  Returns
+    (hops, inclusive AS path).  [None] when disconnected at this level. *)
+
+val distance_within : ctx -> t -> int -> int -> int option
+(** Hops of {!route_within}. *)
+
+val levels_for_real : ctx -> int -> t list
+(** Bottom-up list of real-AS levels in an AS's up-hierarchy (the AS itself
+    first), ending with [Root]. *)
+
+val single_homed_chain : ctx -> int -> t list
+(** Bottom-up chain through the deterministic primary provider only, ending
+    with [Root]. *)
+
+val peer_levels : ctx -> int -> t list
+(** The virtual-AS levels adjacent to any member of an AS's up-hierarchy —
+    the extra joins of the recursively-multihomed + peering strategy. *)

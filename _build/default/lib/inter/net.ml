@@ -1,0 +1,341 @@
+module Id = Rofl_idspace.Id
+module Ring = Rofl_idspace.Ring
+module Prng = Rofl_util.Prng
+module Asgraph = Rofl_asgraph.Asgraph
+module Metrics = Rofl_netsim.Metrics
+module Pointer = Rofl_core.Pointer
+module Pointer_cache = Rofl_core.Pointer_cache
+module Sourceroute = Rofl_core.Sourceroute
+module Msg = Rofl_core.Msg
+
+type peering_mode = No_peering | Virtual_as | Bloom_filters
+
+type strategy = Ephemeral | Single_homed | Multihomed | Peering
+
+type config = {
+  finger_budget : int;
+  cache_capacity : int;
+  peering_mode : peering_mode;
+  bloom_fpr : float;
+  bloom_bits_per_entry : float;
+  dedup_lookups : bool;
+  fingers_root_only : bool;
+}
+
+let default_config =
+  {
+    finger_budget = 0;
+    cache_capacity = 0;
+    peering_mode = Virtual_as;
+    bloom_fpr = 0.01;
+    bloom_bits_per_entry = 10.0; (* ~1% fpr costs ~9.6 bits/entry *)
+    dedup_lookups = true;
+    fingers_root_only = false;
+  }
+
+type host = {
+  id : Id.t;
+  home_as : int;
+  strategy : strategy;
+  mutable joined : Level.t list;
+  mutable fingers : (Level.t * Id.t) list;
+  mutable alive_h : bool;
+}
+
+type t = {
+  ctx : Level.ctx;
+  cfg : config;
+  rng : Prng.t;
+  rings : (int, host Ring.t ref) Hashtbl.t;
+  as_level_cache : (int, Level.t list) Hashtbl.t;
+  hosts : (Id.t, host) Hashtbl.t;
+  residents : (Id.t, host) Hashtbl.t array;
+  resident_rings : host Ring.t ref array;
+  caches : Pointer_cache.t array;
+  bloom_members : (Id.t, unit) Hashtbl.t array;
+  failed_as : (int, unit) Hashtbl.t;
+  metrics : Metrics.t;
+}
+
+let create ?(cfg = default_config) ~rng g =
+  let n = Asgraph.n g in
+  {
+    ctx = Level.make_ctx g;
+    cfg;
+    rng;
+    rings = Hashtbl.create 256;
+    as_level_cache = Hashtbl.create 256;
+    hosts = Hashtbl.create 4096;
+    residents = Array.init n (fun _ -> Hashtbl.create 16);
+    resident_rings = Array.init n (fun _ -> ref Ring.empty);
+    caches = Array.init n (fun _ -> Pointer_cache.create ~capacity:cfg.cache_capacity);
+    bloom_members = Array.init n (fun _ -> Hashtbl.create 16);
+    failed_as = Hashtbl.create 8;
+    metrics = Metrics.create ~routers:n;
+  }
+
+let ring_ref t level =
+  let k = Level.key t.ctx level in
+  match Hashtbl.find_opt t.rings k with
+  | Some r -> r
+  | None ->
+    let r = ref Ring.empty in
+    Hashtbl.add t.rings k r;
+    r
+
+let ring t level = !(ring_ref t level)
+
+let as_alive t a = not (Hashtbl.mem t.failed_as a)
+
+let locate t id =
+  match Hashtbl.find_opt t.hosts id with
+  | Some h when h.alive_h -> Some h.home_as
+  | Some _ | None -> None
+
+let host_count t = Hashtbl.length t.hosts
+
+let strategy_to_string = function
+  | Ephemeral -> "ephemeral"
+  | Single_homed -> "single-homed"
+  | Multihomed -> "rec-multihomed"
+  | Peering -> "peering"
+
+let effective_levels t x strategy =
+  match strategy with
+  | Ephemeral -> [ Level.Root ]
+  | Single_homed -> Level.single_homed_chain t.ctx x
+  | Multihomed -> Level.levels_for_real t.ctx x
+  | Peering ->
+    (match t.cfg.peering_mode with
+     | Virtual_as ->
+       (* Real levels bottom-up, then the peer-group levels, then Root. *)
+       let reals =
+         List.filter (fun l -> not (Level.equal l Level.Root))
+           (Level.levels_for_real t.ctx x)
+       in
+       reals @ Level.peer_levels t.ctx x @ [ Level.Root ]
+     | No_peering | Bloom_filters -> Level.levels_for_real t.ctx x)
+
+let as_levels t x =
+  match Hashtbl.find_opt t.as_level_cache x with
+  | Some ls -> ls
+  | None ->
+    let reals =
+      List.filter (fun l -> not (Level.equal l Level.Root)) (Level.levels_for_real t.ctx x)
+    in
+    let ls =
+      match t.cfg.peering_mode with
+      | Virtual_as -> reals @ Level.peer_levels t.ctx x @ [ Level.Root ]
+      | No_peering | Bloom_filters -> reals @ [ Level.Root ]
+    in
+    Hashtbl.add t.as_level_cache x ls;
+    ls
+
+let charge_route t category level a b =
+  match Level.route_within t.ctx level a b with
+  | Some (0, _) ->
+    Metrics.charge_hop t.metrics category a;
+    (1, [ a ])
+  | Some (d, path) ->
+    List.iter (fun x -> Metrics.charge_hop t.metrics category x) path;
+    Metrics.incr t.metrics category (d - List.length path);
+    (d, path)
+  | None -> (0, [])
+
+let cache_insert t as_idx id home =
+  if t.cfg.cache_capacity > 0 && as_idx <> home then begin
+    let p =
+      Pointer.make Pointer.Cached ~dst:id ~dst_router:home
+        ~route:(Sourceroute.singleton home)
+    in
+    Pointer_cache.insert t.caches.(as_idx) p
+  end
+
+let bloom_check t a id =
+  Hashtbl.mem t.bloom_members.(a) id
+  || Prng.float t.rng 1.0 < t.cfg.bloom_fpr
+
+let bloom_state_bits t a =
+  t.cfg.bloom_bits_per_entry *. float_of_int (Hashtbl.length t.bloom_members.(a))
+
+(* Anchor distance for bootstrapping into an empty level: the registration
+   with the provider chain (§4.1 Joining). *)
+let anchor_distance t x level =
+  match level with
+  | Level.Real a -> (match Level.up_distance t.ctx x a with Some d -> max d 1 | None -> 1)
+  | Level.Peer_group v ->
+    List.fold_left
+      (fun acc m ->
+        match Level.up_distance t.ctx x m with
+        | Some d -> min acc (max d 1)
+        | None -> acc)
+      3 (Level.vas_members t.ctx v)
+  | Level.Root ->
+    let tier1 = Asgraph.tier1s (Level.graph t.ctx) in
+    List.fold_left
+      (fun acc a ->
+        match Level.up_distance t.ctx x a with Some d -> min acc (max d 1) | None -> acc)
+      4 tier1
+
+type join_outcome = { host : host; lookup_msgs : int; finger_msgs : int }
+
+let two_pow_jump k = Id.of_int64_pair (Int64.shift_left 1L (63 - k)) 0L
+(* 2^(127-k) for k in [0, 63]: the Chord finger spans used per level. *)
+
+let acquire_fingers t (h : host) =
+  let budget = t.cfg.finger_budget in
+  if budget <= 0 then 0
+  else begin
+    let msgs = ref 0 in
+    let have = Hashtbl.create 32 in
+    let levels =
+      if t.cfg.fingers_root_only then [| Level.Root |] else Array.of_list h.joined
+    in
+    let nlevels = Array.length levels in
+    let exhausted = Array.make nlevels false in
+    let pass = ref 0 in
+    (* Round-robin over levels bottom-up: pass k tries each level's k-th
+       finger span, preferring lower levels (the isolation-preserving
+       lowest-level rule for finger placement, §4.1). *)
+    let continue_ = ref true in
+    while !continue_ && Hashtbl.length have < budget && !pass < 64 do
+      let progressed = ref false in
+      Array.iteri
+        (fun i level ->
+          if (not exhausted.(i)) && Hashtbl.length have < budget then begin
+            let r = ring t level in
+            if Ring.cardinal r < 3 then exhausted.(i) <- true
+            else begin
+              let target = Id.add h.id (two_pow_jump !pass) in
+              match Ring.successor_incl target r with
+              | Some (fid, fh) when (not (Id.equal fid h.id)) && fh.alive_h ->
+                if not (Hashtbl.mem have (Level.key t.ctx level, fid)) then begin
+                  Hashtbl.add have (Level.key t.ctx level, fid) ();
+                  h.fingers <- (level, fid) :: h.fingers;
+                  incr msgs;
+                  Metrics.incr t.metrics Msg.finger 1;
+                  progressed := true
+                end
+              | Some _ | None -> exhausted.(i) <- true
+            end
+          end)
+        levels;
+      incr pass;
+      if not !progressed then continue_ := false
+    done;
+    !msgs
+  end
+
+let join_with_levels t ~as_idx ~id ~strategy ~levels =
+  if Hashtbl.mem t.hosts id then Error "identifier already joined"
+  else if not (as_alive t as_idx) then Error "home AS is down"
+  else begin
+    let h =
+      { id; home_as = as_idx; strategy; joined = []; fingers = []; alive_h = true }
+    in
+    let lookup_msgs = ref 0 in
+    let prev_succ = ref None in
+    List.iter
+      (fun level ->
+        let rr = ring_ref t level in
+        (match Ring.successor id !rr with
+         | None ->
+           (* First member at this level: bootstrap registration. *)
+           let d = anchor_distance t as_idx level in
+           Metrics.incr t.metrics Msg.join d;
+           lookup_msgs := !lookup_msgs + d
+         | Some (sid, succ_h) ->
+           let dedup =
+             t.cfg.dedup_lookups
+             && (match strategy with Multihomed | Peering -> true | Ephemeral | Single_homed -> false)
+             && (match !prev_succ with Some p -> Id.equal p sid | None -> false)
+           in
+           if not dedup then begin
+             (* Predecessor lookup: request towards the predecessor's AS and
+                reply back, plus one successor notification (Algorithm 3). *)
+             (match Ring.predecessor id !rr with
+              | Some (pid, pred_h) ->
+                let d1, path = charge_route t Msg.join level as_idx pred_h.home_as in
+                let d2, _ = charge_route t Msg.join_reply level pred_h.home_as as_idx in
+                lookup_msgs := !lookup_msgs + d1 + d2;
+                List.iter (fun a -> cache_insert t a id as_idx) path;
+                List.iter (fun a -> cache_insert t a pid pred_h.home_as) path
+              | None -> ());
+             let d3, _ = charge_route t Msg.join level as_idx succ_h.home_as in
+             lookup_msgs := !lookup_msgs + d3
+           end;
+           prev_succ := Some sid);
+        rr := Ring.add id h !rr;
+        h.joined <- h.joined @ [ level ])
+      levels;
+    Hashtbl.replace t.hosts id h;
+    Hashtbl.replace t.residents.(as_idx) id h;
+    t.resident_rings.(as_idx) := Ring.add id h !(t.resident_rings.(as_idx));
+    (* Bloom aggregation: the ID is summarised at every AS above it. *)
+    (match t.cfg.peering_mode with
+     | Bloom_filters ->
+       List.iter
+         (fun a -> Hashtbl.replace t.bloom_members.(a) id ())
+         (Asgraph.up_hierarchy (Level.graph t.ctx) as_idx)
+     | No_peering | Virtual_as -> ());
+    let finger_msgs = acquire_fingers t h in
+    Ok { host = h; lookup_msgs = !lookup_msgs; finger_msgs }
+  end
+
+let join_id t ~as_idx ~id ~strategy =
+  join_with_levels t ~as_idx ~id ~strategy ~levels:(effective_levels t as_idx strategy)
+
+let join_via t ~as_idx ~id ~via_provider =
+  let g = Level.graph t.ctx in
+  if
+    not
+      (List.mem via_provider (Asgraph.providers g as_idx)
+      || List.mem via_provider (Asgraph.backup_providers g as_idx))
+  then Error "not a provider of this AS"
+  else begin
+    let levels = Level.Real as_idx :: Level.single_homed_chain t.ctx via_provider in
+    join_with_levels t ~as_idx ~id ~strategy:Single_homed ~levels
+  end
+
+let join t ~as_idx ~strategy =
+  let rec fresh () =
+    let id = Id.random t.rng in
+    match join_id t ~as_idx ~id ~strategy with
+    | Ok outcome -> outcome
+    | Error _ -> fresh ()
+  in
+  fresh ()
+
+let remove_host t id =
+  match Hashtbl.find_opt t.hosts id with
+  | None -> 0
+  | Some h ->
+    let before = Metrics.total t.metrics in
+    (* Per-level teardown: notify the neighbours that lose a pointer; nested
+       levels usually share them, so distinct (pred, succ) pairs only. *)
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun level ->
+        let rr = ring_ref t level in
+        (match (Ring.predecessor id !rr, Ring.successor id !rr) with
+         | Some (pid, pred_h), Some (sid, _) when not (Id.equal pid sid) ->
+           if not (Hashtbl.mem seen (pid, sid)) then begin
+             Hashtbl.add seen (pid, sid) ();
+             let d, _ = charge_route t Msg.teardown level h.home_as pred_h.home_as in
+             ignore d
+           end
+         | _ -> ());
+        rr := Ring.remove id !rr)
+      h.joined;
+    h.alive_h <- false;
+    Hashtbl.remove t.hosts id;
+    Hashtbl.remove t.residents.(h.home_as) id;
+    t.resident_rings.(h.home_as) := Ring.remove id !(t.resident_rings.(h.home_as));
+    (match t.cfg.peering_mode with
+     | Bloom_filters ->
+       List.iter
+         (fun a -> Hashtbl.remove t.bloom_members.(a) id)
+         (Asgraph.up_hierarchy (Level.graph t.ctx) h.home_as)
+     | No_peering | Virtual_as -> ());
+    Array.iter (fun c -> Pointer_cache.remove c id) t.caches;
+    Metrics.total t.metrics - before

@@ -1,0 +1,116 @@
+(** Interdomain ROFL state: per-level rings, joins, per-AS caches (§4).
+
+    Each AS is modelled as a single node, as in the paper's interdomain
+    simulations (§6.1).  Ring membership per level is the ground truth from
+    which steady-state successor pointers are derived; joins charge the
+    messages the Canon-style join protocol (Algorithm 3) would send, and
+    routing (see {!Route}) walks the derived pointers under the
+    lowest-level-first rule that preserves isolation.
+
+    Peering is supported two ways (§4.2): virtual ASes (extra joins across
+    peer links) or bloom filters (no peering joins; peers' filters checked in
+    the data plane, with backtracking on false positives — modelled
+    analytically at the configured false-positive rate, with the state cost
+    accounted per AS). *)
+
+module Id = Rofl_idspace.Id
+module Ring = Rofl_idspace.Ring
+
+type peering_mode = No_peering | Virtual_as | Bloom_filters
+
+type strategy = Ephemeral | Single_homed | Multihomed | Peering
+
+type config = {
+  finger_budget : int;     (** proximity fingers acquired per host join *)
+  cache_capacity : int;    (** per-AS interdomain pointer-cache entries *)
+  peering_mode : peering_mode;
+  bloom_fpr : float;       (** false-positive rate of per-AS bloom filters *)
+  bloom_bits_per_entry : float; (** state cost model: bits per summarised ID *)
+  dedup_lookups : bool;    (** eliminate redundant same-successor lookups (§6.3) *)
+  fingers_root_only : bool; (** ablation: place all fingers at Root instead of
+                                bottom-up across levels *)
+}
+
+val default_config : config
+
+type host = {
+  id : Id.t;
+  home_as : int;
+  strategy : strategy;
+  mutable joined : Level.t list; (** bottom-up *)
+  mutable fingers : (Level.t * Id.t) list;
+  mutable alive_h : bool;
+}
+
+type t = {
+  ctx : Level.ctx;
+  cfg : config;
+  rng : Rofl_util.Prng.t;
+  rings : (int, host Ring.t ref) Hashtbl.t; (** Level.key -> members *)
+  as_level_cache : (int, Level.t list) Hashtbl.t;
+  hosts : (Id.t, host) Hashtbl.t;
+  residents : (Id.t, host) Hashtbl.t array; (** per AS *)
+  resident_rings : host Ring.t ref array;   (** per AS, ring-ordered *)
+  caches : Rofl_core.Pointer_cache.t array; (** per AS; dst_router = AS id *)
+  bloom_members : (Id.t, unit) Hashtbl.t array; (** ids summarised below each AS *)
+  failed_as : (int, unit) Hashtbl.t;
+  metrics : Rofl_netsim.Metrics.t;
+}
+
+val create : ?cfg:config -> rng:Rofl_util.Prng.t -> Rofl_asgraph.Asgraph.t -> t
+
+val ring : t -> Level.t -> host Ring.t
+
+val as_alive : t -> int -> bool
+
+val locate : t -> Id.t -> int option
+(** Home AS of a live identifier. *)
+
+val host_count : t -> int
+
+type join_outcome = {
+  host : host;
+  lookup_msgs : int;  (** per-level predecessor/successor discovery *)
+  finger_msgs : int;  (** finger acquisition *)
+}
+
+val join : t -> as_idx:int -> strategy:strategy -> join_outcome
+(** Join a fresh random identifier (Algorithm 3 driven across the strategy's
+    level set): per-level predecessor lookup and successor notification
+    charged along level-respecting AS routes; redundant lookups that resolve
+    to the same successor are elided when [dedup_lookups] (the §6.3
+    optimisation); fingers acquired per the budget (one message each, §4.1);
+    caches along join paths pick the identifier up. *)
+
+val join_id : t -> as_idx:int -> id:Id.t -> strategy:strategy -> (join_outcome, string) result
+
+val join_via :
+  t -> as_idx:int -> id:Id.t -> via_provider:int -> (join_outcome, string) result
+(** Single-homed join forced through a specific provider — the §5.1
+    traffic-engineering join: the level chain is the AS, the chosen
+    provider, that provider's primary chain, then Root. *)
+
+val remove_host : t -> Id.t -> int
+(** Graceful teardown: the ID leaves every ring; per-level neighbours that
+    lose their successor are notified (charged to [teardown]).  Returns
+    messages charged. *)
+
+val bloom_check : t -> int -> Id.t -> bool
+(** Is this identifier below the AS according to its bloom filter — exact
+    membership plus false positives at the configured rate. *)
+
+val bloom_state_bits : t -> int -> float
+(** Modelled bloom state at an AS (bits). *)
+
+val cache_insert : t -> int -> Id.t -> int -> unit
+(** [cache_insert t as_idx id home] caches a pointer to [id] at an AS. *)
+
+val strategy_to_string : strategy -> string
+
+val effective_levels : t -> int -> strategy -> Level.t list
+(** The bottom-up level set a host with this strategy joins from an AS. *)
+
+val as_levels : t -> int -> Level.t list
+(** The bottom-up level set an AS participates in (all its ancestor levels,
+    adjacent peer groups under virtual-AS peering, and Root) — the aggregate
+    ring knowledge available to the data plane at that AS.  Memoised. *)

@@ -1,0 +1,400 @@
+module Id = Rofl_idspace.Id
+module Ring = Rofl_idspace.Ring
+module Prng = Rofl_util.Prng
+module Asgraph = Rofl_asgraph.Asgraph
+module Policy = Rofl_asgraph.Policy
+module Metrics = Rofl_netsim.Metrics
+module Pointer = Rofl_core.Pointer
+module Pointer_cache = Rofl_core.Pointer_cache
+module Msg = Rofl_core.Msg
+
+type result = {
+  delivered : bool;
+  as_hops : int;
+  as_path : int list;
+  pointer_hops : int;
+  cache_hops : int;
+  peer_crossings : int;
+  backtracks : int;
+  max_level_breadth : int;
+}
+
+(* Closest live resident of [as_idx] in the clockwise interval (pos, dst]. *)
+let best_local_resident (t : Net.t) as_idx ~pos ~dst =
+  let r = !(t.Net.resident_rings.(as_idx)) in
+  let candidate =
+    match Ring.find dst r with
+    | Some h -> Some (dst, h)
+    | None -> Ring.predecessor dst r
+  in
+  match candidate with
+  | Some (mid, mh) when mh.Net.alive_h && Id.between_incl pos mid dst -> Some (mid, mh)
+  | Some _ | None -> None
+
+(* Best candidate at the lowest usable level of [h]'s joined set: the level
+   successor, improved by any finger at the same level.
+
+   Levels whose subtree contains the destination (a test the per-subtree
+   host summaries of §2.3 answer) are preferred bottom-up — once inside the
+   smallest destination-containing subtree the packet never leaves it, which
+   is the isolation property.  Only when no joined level contains the
+   destination (wrong branch of the hierarchy) does the walk fall back to
+   the lowest level making any clockwise progress. *)
+let lowest_level_candidate (t : Net.t) (h : Net.host) ~cur ~pos ~dst ~ceiling =
+  let candidate_at level =
+    let r = Net.ring t level in
+    let succ_cand =
+      match Ring.successor pos r with
+      | Some (sid, sh) when sh.Net.alive_h && Id.between_incl pos sid dst ->
+        Some (sid, sh)
+      | Some _ | None -> None
+    in
+    let best =
+      List.fold_left
+        (fun acc (flevel, fid) ->
+          if not (Level.equal flevel level) then acc
+          else
+            match Hashtbl.find_opt t.Net.hosts fid with
+            | Some fh when fh.Net.alive_h && Id.between_incl pos fid dst ->
+              (match acc with
+               | Some (bid, _)
+                 when Id.compare (Id.distance fid dst) (Id.distance bid dst) >= 0 ->
+                 acc
+               | Some _ | None -> Some (fid, fh))
+            | Some _ | None -> acc)
+        succ_cand h.Net.fingers
+    in
+    match best with Some (cid, ch) -> Some (level, cid, ch) | None -> None
+  in
+  let rec scan = function
+    | [] -> None
+    | level :: rest ->
+      (match candidate_at level with Some c -> Some c | None -> scan rest)
+  in
+  ignore h;
+  let levels = Net.as_levels t cur in
+  let containing =
+    List.filter
+      (fun level ->
+        Level.subsumes t.Net.ctx ~outer:ceiling ~inner:level
+        && Ring.mem dst (Net.ring t level))
+      levels
+  in
+  match scan containing with
+  | Some (level, cid, ch) -> Some (level, cid, ch, true)
+  | None ->
+    (match scan levels with
+     | Some (level, cid, ch) -> Some (level, cid, ch, false)
+     | None -> None)
+
+(* Cache shortcut, guarded so it can never violate isolation: if the
+   destination is below this AS the bloom filter necessarily says so (no
+   false negatives) and the cache is bypassed (§4.1). *)
+let cache_candidate (t : Net.t) as_idx ~pos ~dst =
+  if t.Net.cfg.Net.cache_capacity = 0 then None
+  else begin
+    let dst_below =
+      match Net.locate t dst with
+      | Some home -> Asgraph.in_cone (Level.graph t.Net.ctx) ~root:as_idx home
+      | None -> false
+    in
+    let fp_conservatism =
+      t.Net.cfg.Net.peering_mode = Net.Bloom_filters
+      && Prng.float t.Net.rng 1.0 < t.Net.cfg.Net.bloom_fpr
+    in
+    if dst_below || fp_conservatism then None
+    else
+      match Pointer_cache.best_match t.Net.caches.(as_idx) ~cur:pos ~target:dst with
+      | Some (p : Pointer.t) ->
+        (match Hashtbl.find_opt t.Net.hosts p.Pointer.dst with
+         | Some ch when ch.Net.alive_h && ch.Net.home_as = p.Pointer.dst_router
+                        && Id.between_incl pos p.Pointer.dst dst ->
+           Some (p.Pointer.dst, ch)
+         | Some _ | None ->
+           Pointer_cache.remove t.Net.caches.(as_idx) p.Pointer.dst;
+           None)
+      | None -> None
+  end
+
+let charge_move (t : Net.t) level a b =
+  match Level.route_within t.Net.ctx level a b with
+  | Some (0, _) -> Some (0, [])
+  | Some (d, path) ->
+    List.iter (fun x -> Metrics.charge_hop t.Net.metrics Msg.data x) path;
+    Metrics.incr t.Net.metrics Msg.data (d - List.length path);
+    (match path with
+     | [] -> Some (d, [])
+     | _ :: tail -> Some (d, tail))
+  | None -> None
+
+let charge_unrestricted (t : Net.t) a b =
+  charge_move t Level.Root a b
+
+let route_from (t : Net.t) ~src ~dst =
+  let cur = ref src.Net.home_as in
+  let pos = ref src.Net.id in
+  let pos_host = ref src in
+  let as_hops = ref 0 and pointer_hops = ref 0 in
+  let cache_hops = ref 0 in
+  let peer_crossings = ref 0 and backtracks = ref 0 in
+  let max_breadth = ref 0 in
+  let rev_path = ref [ src.Net.home_as ] in
+  let ceiling = ref Level.Root in
+  let tried_peers = Hashtbl.create 4 in
+  let guard = ref 0 in
+  let finish delivered =
+    {
+      delivered;
+      as_hops = !as_hops;
+      as_path = List.rev !rev_path;
+      pointer_hops = !pointer_hops;
+      cache_hops = !cache_hops;
+      peer_crossings = !peer_crossings;
+      backtracks = !backtracks;
+      max_level_breadth = !max_breadth;
+    }
+  in
+  let extend_path tail =
+    List.iter (fun a -> rev_path := a :: !rev_path) tail
+  in
+  (* Transit-AS bloom checks (§4.2): as a move's packet passes through an
+     AS, that AS may consult its peers' filters and divert the packet over
+     the peering link; a false positive sends it back onto its path. *)
+  let transit_divert path_tail =
+    if t.Net.cfg.Net.peering_mode <> Net.Bloom_filters then None
+    else begin
+      let g = Level.graph t.Net.ctx in
+      let dst_home = Net.locate t dst in
+      (* Only the ascent of the move consults peers: after crossing, a
+         packet may not go back up the hierarchy (§4.2), so checks beyond
+         the path's peak are moot. *)
+      let rec scan_as budget remaining =
+        match remaining with
+        | [] -> None
+        | _ when budget = 0 -> None
+        | a :: rest ->
+          let rec scan_peers = function
+            | [] -> scan_as (budget - 1) rest
+            | p :: more ->
+              if Hashtbl.mem tried_peers (a, p) || not (Net.as_alive t p) then
+                scan_peers more
+              else begin
+                Hashtbl.add tried_peers (a, p) ();
+                if Net.bloom_check t p dst then begin
+                  Metrics.charge_hop t.Net.metrics Msg.data p;
+                  as_hops := !as_hops + 1;
+                  incr peer_crossings;
+                  let really_below =
+                    match dst_home with
+                    | Some home -> Asgraph.in_cone g ~root:p home
+                    | None -> false
+                  in
+                  if really_below then Some (a, p)
+                  else begin
+                    (* False positive: back over the peering link. *)
+                    Metrics.charge_hop t.Net.metrics Msg.data a;
+                    as_hops := !as_hops + 1;
+                    incr backtracks;
+                    scan_peers more
+                  end
+                end
+                else scan_peers more
+              end
+          in
+          scan_peers (Asgraph.peers g a)
+      in
+      scan_as 2 path_tail
+    end
+  in
+  let move level cid ch =
+    match charge_move t level !cur ch.Net.home_as with
+    | None -> `Failed
+    | Some (d, tail) ->
+      as_hops := !as_hops + d;
+      extend_path tail;
+      pointer_hops := !pointer_hops + 1;
+      max_breadth := max !max_breadth (Level.breadth t.Net.ctx level);
+      (match transit_divert tail with
+       | Some (via, p) ->
+         ignore via;
+         rev_path := p :: !rev_path;
+         (match Net.locate t dst with
+          | Some home ->
+            (match charge_move t (Level.Real p) p home with
+             | Some (dd, dtail) ->
+               as_hops := !as_hops + dd;
+               extend_path dtail;
+               cur := home;
+               `Delivered
+             | None -> `Failed)
+          | None -> `Failed)
+       | None ->
+         cur := ch.Net.home_as;
+         pos := cid;
+         pos_host := ch;
+         `Moved)
+  in
+  let rec step () =
+    incr guard;
+    if !guard > 4096 then finish false
+    else if Net.locate t dst = Some !cur then finish true
+    else begin
+      (* Free intra-AS move to the closest local resident. *)
+      (match best_local_resident t !cur ~pos:!pos ~dst with
+       | Some (mid, mh) when not (Id.equal mid !pos) ->
+         pos := mid;
+         pos_host := mh
+       | Some _ | None -> ());
+      if Net.locate t dst = Some !cur then finish true
+      else begin
+        let ring_cand =
+          lowest_level_candidate t !pos_host ~cur:!cur ~pos:!pos ~dst ~ceiling:!ceiling
+        in
+        let cache_cand = cache_candidate t !cur ~pos:!pos ~dst in
+        (* A strictly closer cached pointer overrides the ring candidate. *)
+        let use_cache =
+          match (cache_cand, ring_cand) with
+          | Some (cid, _), Some (_, rid, _, _) ->
+            Id.compare (Id.distance cid dst) (Id.distance rid dst) < 0
+          | Some _, None -> true
+          | None, _ -> false
+        in
+        if use_cache then begin
+          match cache_cand with
+          | Some (cid, ch) ->
+            (match charge_unrestricted t !cur ch.Net.home_as with
+             | None -> finish false
+             | Some (d, tail) ->
+               as_hops := !as_hops + d;
+               extend_path tail;
+               pointer_hops := !pointer_hops + 1;
+               cache_hops := !cache_hops + 1;
+               ceiling := Level.Root;
+               cur := ch.Net.home_as;
+               pos := cid;
+               pos_host := ch;
+               step ())
+          | None -> finish false
+        end
+        else begin
+          (* Bloom-filter peering (§4.2): before taking a root-level (blind)
+             move, consult the peers' filters; a hit crosses the peering
+             link and descends, a false positive backtracks. *)
+          let peer_shortcut =
+            if t.Net.cfg.Net.peering_mode = Net.Bloom_filters then begin
+              match ring_cand with
+              | Some (Level.Root, _, _, _) | None -> try_peers ()
+              | Some _ -> None
+            end
+            else None
+          in
+          match peer_shortcut with
+          | Some result -> result
+          | None ->
+            (match ring_cand with
+             | Some (level, cid, ch, narrows) ->
+               (match move level cid ch with
+                | `Moved ->
+                  if narrows then ceiling := level;
+                  step ()
+                | `Delivered -> finish true
+                | `Failed -> finish false)
+             | None -> finish false)
+        end
+      end
+    end
+  and try_peers () =
+    let g = Level.graph t.Net.ctx in
+    let peers = Asgraph.peers g !cur in
+    let rec attempt = function
+      | [] -> None
+      | p :: rest ->
+        if Hashtbl.mem tried_peers (!cur, p) || not (Net.as_alive t p) then attempt rest
+        else begin
+          Hashtbl.add tried_peers (!cur, p) ();
+          if Net.bloom_check t p dst then begin
+            (* Cross the peering link. *)
+            Metrics.charge_hop t.Net.metrics Msg.data p;
+            as_hops := !as_hops + 1;
+            incr peer_crossings;
+            rev_path := p :: !rev_path;
+            let really_below =
+              match Net.locate t dst with
+              | Some home -> Asgraph.in_cone g ~root:p home
+              | None -> false
+            in
+            if really_below then begin
+              (* Descend within the peer's subtree to the destination. *)
+              match Net.locate t dst with
+              | Some home ->
+                (match charge_move t (Level.Real p) p home with
+                 | Some (d, tail) ->
+                   as_hops := !as_hops + d;
+                   extend_path tail;
+                   cur := home;
+                   Some (finish true)
+                 | None -> Some (finish false))
+              | None -> Some (finish false)
+            end
+            else begin
+              (* False positive: the packet comes back over the peering
+                 link and continues (§4.2). *)
+              Metrics.charge_hop t.Net.metrics Msg.data !cur;
+              as_hops := !as_hops + 1;
+              incr backtracks;
+              rev_path := !cur :: !rev_path;
+              attempt rest
+            end
+          end
+          else attempt rest
+        end
+    in
+    attempt peers
+  in
+  Metrics.charge_hop t.Net.metrics Msg.data src.Net.home_as;
+  Metrics.incr t.Net.metrics Msg.data (-1);
+  step ()
+
+let route_between_ases t ~src_as ~dst =
+  match Ring.min_binding !(t.Net.resident_rings.(src_as)) with
+  | None -> None
+  | Some (_, h) -> Some (route_from t ~src:h ~dst)
+
+let stretch_vs_bgp t ~src ~dst =
+  match Net.locate t dst with
+  | None -> None
+  | Some dst_home when dst_home = src.Net.home_as -> None
+  | Some dst_home ->
+    let policy = Level.policy t.Net.ctx in
+    (match Policy.bgp_distance policy ~src:src.Net.home_as ~dst:dst_home with
+     | None | Some 0 -> None
+     | Some bgp ->
+       let r = route_from t ~src ~dst in
+       if not r.delivered then None
+       else Some (float_of_int (max r.as_hops 1) /. float_of_int bgp))
+
+let isolation_respected t r ~src ~dst =
+  if r.peer_crossings > 0 || r.cache_hops > 0 then true
+  else begin
+    match Hashtbl.find_opt t.Net.hosts dst with
+    | None -> true
+    | Some dst_h ->
+      let g = Level.graph t.Net.ctx in
+      let ups_src = Asgraph.up_hierarchy g src.Net.home_as in
+      (* The guarantee is relative to the hierarchy the destination actually
+         joined: an ephemeral or single-homed destination is only reachable
+         through the levels it registered at (Â§2.3). *)
+      let dst_joined = Hashtbl.create 16 in
+      List.iter
+        (fun level ->
+          match level with
+          | Level.Real a -> Hashtbl.replace dst_joined a ()
+          | Level.Peer_group _ | Level.Root -> ())
+        dst_h.Net.joined;
+      let common = List.filter (Hashtbl.mem dst_joined) ups_src in
+      if common = [] then true
+      else
+        List.for_all
+          (fun a -> List.exists (fun anc -> Asgraph.in_cone g ~root:anc a) common)
+          r.as_path
+  end

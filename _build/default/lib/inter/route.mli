@@ -1,0 +1,42 @@
+(** Interdomain data-plane routing.
+
+    Greedy routing over the derived per-level successor pointers and fingers
+    under the lowest-level-first rule: at each step the packet follows the
+    best candidate at the lowest level that still makes clockwise progress,
+    which preserves the isolation property (§4.1).  Pointer caches shortcut
+    when their bloom guard allows (§4.1); in bloom-filter peering mode, the
+    AS checks its peers' filters and crosses the peering link directly,
+    backtracking on false positives (§4.2). *)
+
+type result = {
+  delivered : bool;
+  as_hops : int;           (** total AS-level hops charged *)
+  as_path : int list;      (** ASes traversed, inclusive, in order *)
+  pointer_hops : int;      (** ring pointer traversals *)
+  cache_hops : int;        (** of which, cache shortcuts *)
+  peer_crossings : int;
+  backtracks : int;        (** bloom false-positive reversals *)
+  max_level_breadth : int; (** cone size of the widest level used *)
+}
+
+val route_from : Net.t -> src:Net.host -> dst:Rofl_idspace.Id.t -> result
+(** Route one packet from a source host's AS towards an identifier.
+    Charged to the [data] category. *)
+
+val route_between_ases :
+  Net.t -> src_as:int -> dst:Rofl_idspace.Id.t -> result option
+(** Like {!route_from} starting from an arbitrary resident of [src_as];
+    [None] when the AS hosts no identifiers. *)
+
+val stretch_vs_bgp : Net.t -> src:Net.host -> dst:Rofl_idspace.Id.t -> float option
+(** ROFL AS-hops over the BGP policy-path length between the two home ASes —
+    the paper's interdomain stretch metric (§6.1).  Same-AS pairs and
+    undeliverable packets yield [None]. *)
+
+val isolation_respected : Net.t -> result -> src:Net.host -> dst:Rofl_idspace.Id.t -> bool
+(** Check the paper's isolation property on a routed path: every traversed
+    AS lies within the subtree of some common ancestor of the two home ASes.
+    Routes that crossed a peering link or took a bloom-guarded cache
+    shortcut are exempt — those mechanisms deliberately trade the
+    lca-containment form of the property for stretch while still keeping
+    subtree-internal traffic internal (§4.1–4.2). *)

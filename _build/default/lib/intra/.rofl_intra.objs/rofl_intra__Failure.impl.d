@@ -1,0 +1,1 @@
+lib/intra/failure.ml: Array Hashtbl List Network Rofl_core Rofl_crypto Rofl_idspace Rofl_linkstate Rofl_netsim Rofl_topology

@@ -1,0 +1,1 @@
+lib/intra/failure.mli: Network Rofl_core Rofl_idspace

@@ -1,0 +1,1 @@
+lib/intra/forward.ml: Array Hashtbl List Network Queue Rofl_core Rofl_idspace Rofl_linkstate Rofl_netsim Rofl_topology

@@ -1,0 +1,1 @@
+lib/intra/forward.mli: Network Rofl_core Rofl_idspace

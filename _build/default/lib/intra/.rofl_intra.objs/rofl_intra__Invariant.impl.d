@@ -1,0 +1,1 @@
+lib/intra/invariant.ml: Array Forward Hashtbl List Network Printf Rofl_core Rofl_idspace Rofl_linkstate Rofl_util

@@ -1,0 +1,1 @@
+lib/intra/invariant.mli: Network

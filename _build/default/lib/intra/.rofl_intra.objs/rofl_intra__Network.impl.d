@@ -1,0 +1,1 @@
+lib/intra/network.ml: Array Hashtbl List Logs Printf Rofl_core Rofl_crypto Rofl_idspace Rofl_linkstate Rofl_netsim Rofl_topology Rofl_util String

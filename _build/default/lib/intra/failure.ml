@@ -1,0 +1,282 @@
+module Id = Rofl_idspace.Id
+module Ring = Rofl_idspace.Ring
+module Vnode = Rofl_core.Vnode
+module Pointer = Rofl_core.Pointer
+module Pointer_cache = Rofl_core.Pointer_cache
+module Msg = Rofl_core.Msg
+module Graph = Rofl_topology.Graph
+module Linkstate = Rofl_linkstate.Linkstate
+module Metrics = Rofl_netsim.Metrics
+module Identity = Rofl_crypto.Identity
+
+let total (t : Network.t) = Metrics.total t.Network.metrics
+
+let all_vnodes (t : Network.t) =
+  Hashtbl.fold (fun _ vn acc -> vn :: acc) t.Network.vnodes []
+
+(* Drop every pointer that leads to or through dead equipment, charging
+   tear-downs along the surviving prefix of each path, then repair. *)
+let teardown_and_repair (t : Network.t) ~doomed =
+  List.iter
+    (fun (vn : Vnode.t) ->
+      if vn.Vnode.alive then begin
+        let dropped = Vnode.drop_pointers_if vn doomed in
+        if dropped > 0 then begin
+          Metrics.incr t.Network.metrics Msg.teardown dropped;
+          (match vn.Vnode.host_class with
+           | Vnode.Stable | Vnode.Router_default ->
+             if vn.Vnode.succs = [] then Network.repair_successor t vn;
+             if vn.Vnode.preds = [] then Network.repair_predecessor t vn
+           | Vnode.Ephemeral ->
+             (* Re-attach below the current ring predecessor. *)
+             let res =
+               Network.lookup t ~from:vn.Vnode.hosted_at ~target:vn.Vnode.id
+                 ~category:Msg.repair ~use_cache:true
+             in
+             (match res.Network.status with
+              | Network.Predecessor pred ->
+                (match
+                   Network.make_pointer t Pointer.Predecessor
+                     ~from_router:vn.Vnode.hosted_at ~dst:pred.Vnode.id
+                     ~dst_router:pred.Vnode.hosted_at
+                 with
+                 | Some p -> Vnode.set_preds vn [ p ]
+                 | None -> ());
+                Hashtbl.replace
+                  t.Network.routers.(pred.Vnode.hosted_at).Network.attachments
+                  vn.Vnode.id vn.Vnode.hosted_at
+              | Network.Delivered _ | Network.Stuck _ -> ()))
+        end
+      end)
+    (all_vnodes t)
+
+let purge_caches (t : Network.t) ~doomed =
+  Array.iter
+    (fun (r : Network.router) -> ignore (Pointer_cache.drop_if r.Network.cache doomed))
+    t.Network.routers
+
+let fail_host (t : Network.t) id =
+  let before = total t in
+  (* Mechanically identical to a graceful leave, except the gateway only
+     notices through a session timeout; the teardown/repair traffic is the
+     same (§3.2). *)
+  match Network.leave_host t id with
+  | Ok () -> Ok (total t - before)
+  | Error e -> Error e
+
+let charge_lsa (t : Network.t) category =
+  Metrics.incr t.Network.metrics category (Linkstate.lsa_flood_cost t.Network.ls)
+
+let fail_router (t : Network.t) idx ~pick_gateway =
+  let before = total t in
+  let r = t.Network.routers.(idx) in
+  let resident_hosts =
+    List.filter (fun (vn : Vnode.t) -> not (Vnode.is_default vn)) r.Network.residents
+  in
+  let orphan_attachments =
+    Hashtbl.fold (fun id host acc -> (id, host) :: acc) r.Network.attachments []
+  in
+  (* The link-state layer floods the failure. *)
+  Linkstate.fail_router t.Network.ls idx;
+  charge_lsa t Msg.flood;
+  (* Everything resident here is gone. *)
+  let kill (vn : Vnode.t) =
+    vn.Vnode.alive <- false;
+    Hashtbl.remove t.Network.vnodes vn.Vnode.id;
+    t.Network.oracle <- Ring.remove vn.Vnode.id t.Network.oracle;
+    Identity.release r.Network.auditor vn.Vnode.id
+  in
+  List.iter kill r.Network.residents;
+  r.Network.residents <- [];
+  Hashtbl.reset r.Network.attachments;
+  (* Remote state referencing the dead router tears down and repairs. *)
+  let doomed (p : Pointer.t) = p.Pointer.dst_router = idx || Pointer.uses_router p idx in
+  purge_caches t ~doomed;
+  teardown_and_repair t ~doomed;
+  (* Hosts fail over to the next router on their agreed list. *)
+  List.iter
+    (fun (vn : Vnode.t) ->
+      match pick_gateway vn with
+      | Some gw when Linkstate.router_alive t.Network.ls gw ->
+        (match
+           Network.join_host t ~gateway:gw ~id:vn.Vnode.id ~cls:vn.Vnode.host_class
+         with
+         | Ok _ | Error _ -> ())
+      | Some _ | None -> ())
+    resident_hosts;
+  (* Ephemeral hosts attached below predecessors hosted here re-attach. *)
+  List.iter
+    (fun (id, host_router) ->
+      match Network.find_vnode t id with
+      | Some (vn : Vnode.t) when vn.Vnode.alive ->
+        let res =
+          Network.lookup t ~from:host_router ~target:id ~category:Msg.repair
+            ~use_cache:true
+        in
+        (match res.Network.status with
+         | Network.Predecessor pred ->
+           Hashtbl.replace
+             t.Network.routers.(pred.Vnode.hosted_at).Network.attachments id host_router
+         | Network.Delivered _ | Network.Stuck _ -> ())
+      | Some _ | None -> ())
+    orphan_attachments;
+  ignore (Network.stabilize t ~category:Msg.repair);
+  total t - before
+
+let restore_router (t : Network.t) idx =
+  let before = total t in
+  Linkstate.restore_router t.Network.ls idx;
+  charge_lsa t Msg.flood;
+  let r = t.Network.routers.(idx) in
+  let vn = Vnode.create (Network.router_id idx) Vnode.Router_default ~hosted_at:idx in
+  r.Network.residents <- [ vn ];
+  Hashtbl.replace t.Network.vnodes vn.Vnode.id vn;
+  t.Network.oracle <- Ring.add vn.Vnode.id vn t.Network.oracle;
+  ignore (Network.rejoin_ring t vn ~category:Msg.repair);
+  ignore (Network.stabilize t ~category:Msg.repair);
+  total t - before
+
+let fail_link (t : Network.t) u v =
+  let before = total t in
+  Linkstate.fail_link t.Network.ls u v;
+  charge_lsa t Msg.flood;
+  let crosses (p : Pointer.t) = Pointer.uses_link p u v in
+  purge_caches t ~doomed:crosses;
+  (* The network map reroutes ring pointers transparently: refresh source
+     routes that crossed the link; tear down only if now unreachable. *)
+  List.iter
+    (fun (vn : Vnode.t) ->
+      if vn.Vnode.alive then begin
+        let reroute (p : Pointer.t) =
+          if crosses p then
+            match
+              Network.make_pointer t p.Pointer.kind ~from_router:vn.Vnode.hosted_at
+                ~dst:p.Pointer.dst ~dst_router:p.Pointer.dst_router
+            with
+            | Some fresh -> Some fresh
+            | None -> None
+          else Some p
+        in
+        vn.Vnode.succs <- List.filter_map reroute vn.Vnode.succs;
+        vn.Vnode.preds <- List.filter_map reroute vn.Vnode.preds;
+        if vn.Vnode.succs = [] && not (Ring.is_empty t.Network.oracle) then
+          Network.repair_successor t vn
+      end)
+    (all_vnodes t);
+  total t - before
+
+let restore_link (t : Network.t) u v =
+  let before = total t in
+  Linkstate.restore_link t.Network.ls u v;
+  charge_lsa t Msg.flood;
+  total t - before
+
+let cut_links (t : Network.t) routers =
+  let inside = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace inside r ()) routers;
+  let cut = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (v, _) ->
+          if not (Hashtbl.mem inside v) && Linkstate.link_alive t.Network.ls r v then begin
+            Linkstate.fail_link t.Network.ls r v;
+            cut := (r, v) :: !cut
+          end)
+        (Graph.neighbors t.Network.graph r))
+    routers;
+  !cut
+
+let disconnect_routers (t : Network.t) routers =
+  let before = total t in
+  let _cut = cut_links t routers in
+  charge_lsa t Msg.flood;
+  (* Zero-ID advertisements piggyback on the link-state flood in each
+     component; charged once over the surviving links. *)
+  charge_lsa t Msg.zero_id;
+  let doomed (p : Pointer.t) =
+    not (Rofl_core.Sourceroute.is_valid t.Network.ls p.Pointer.route)
+    ||
+    match Network.find_vnode t p.Pointer.dst with
+    | Some (dv : Vnode.t) -> not dv.Vnode.alive
+    | None -> true
+  in
+  purge_caches t ~doomed;
+  teardown_and_repair t ~doomed;
+  (* Per-component consistency: every member whose successor is now across
+     the cut re-points within its component. *)
+  List.iter
+    (fun (vn : Vnode.t) ->
+      if vn.Vnode.alive then begin
+        match vn.Vnode.host_class with
+        | Vnode.Stable | Vnode.Router_default ->
+          let ok =
+            match Vnode.first_succ vn with
+            | Some (p : Pointer.t) ->
+              Linkstate.reachable t.Network.ls vn.Vnode.hosted_at p.Pointer.dst_router
+            | None -> false
+          in
+          if not ok then Network.repair_successor t vn;
+          let pred_ok =
+            match Vnode.first_pred vn with
+            | Some (p : Pointer.t) ->
+              Linkstate.reachable t.Network.ls vn.Vnode.hosted_at p.Pointer.dst_router
+            | None -> false
+          in
+          if not pred_ok then Network.repair_predecessor t vn
+        | Vnode.Ephemeral -> ()
+      end)
+    (all_vnodes t);
+  ignore (Network.stabilize t ~category:Msg.repair);
+  total t - before
+
+let reconnect_routers (t : Network.t) routers =
+  let before = total t in
+  let inside = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace inside r ()) routers;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (v, _) ->
+          if not (Hashtbl.mem inside v) && not (Linkstate.link_alive t.Network.ls r v)
+          then Linkstate.restore_link t.Network.ls r v)
+        (Graph.neighbors t.Network.graph r))
+    routers;
+  charge_lsa t Msg.flood;
+  (* The zero-ID advertisement reveals the other ring and triggers the
+     merge (§3.2): members of the reconnected component re-splice. *)
+  charge_lsa t Msg.zero_id;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (vn : Vnode.t) ->
+          if vn.Vnode.alive then begin
+            match vn.Vnode.host_class with
+            | Vnode.Stable | Vnode.Router_default ->
+              ignore (Network.rejoin_ring t vn ~category:Msg.repair)
+            | Vnode.Ephemeral -> ()
+          end)
+        t.Network.routers.(r).Network.residents)
+    routers;
+  (* Main-side members whose true successor lives in the reconnected set got
+     fixed by the splices above; verify and repair any stragglers. *)
+  List.iter
+    (fun (vn : Vnode.t) ->
+      if vn.Vnode.alive && vn.Vnode.succs = [] then Network.repair_successor t vn)
+    (all_vnodes t);
+  ignore (Network.stabilize t ~category:Msg.repair);
+  total t - before
+
+let mobile_rehome (t : Network.t) id ~new_gateway =
+  let before = total t in
+  match Network.find_vnode t id with
+  | None -> Error "no such identifier"
+  | Some (vn : Vnode.t) when Vnode.is_default vn -> Error "cannot move a router's ID"
+  | Some (vn : Vnode.t) ->
+    let cls = vn.Vnode.host_class in
+    (match Network.leave_host t id with
+     | Error e -> Error e
+     | Ok () ->
+       (match Network.join_host t ~gateway:new_gateway ~id ~cls with
+        | Ok _ -> Ok (total t - before)
+        | Error e -> Error e))

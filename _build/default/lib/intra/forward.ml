@@ -1,0 +1,89 @@
+module Id = Rofl_idspace.Id
+module Vnode = Rofl_core.Vnode
+module Msg = Rofl_core.Msg
+module Linkstate = Rofl_linkstate.Linkstate
+
+type delivery = {
+  delivered_to : Vnode.t option;
+  hops : int;
+  latency_ms : float;
+  via_predecessor : bool;
+}
+
+let route_packet ?(use_cache = true) (t : Network.t) ~from ~dest =
+  let res = Network.lookup t ~from ~target:dest ~category:Msg.data ~use_cache in
+  match res.Network.status with
+  | Network.Delivered vn ->
+    { delivered_to = Some vn; hops = res.Network.msgs; latency_ms = res.Network.latency_ms; via_predecessor = false }
+  | Network.Predecessor pred ->
+    (* The ring predecessor may hold an ephemeral attachment for [dest]. *)
+    let pred_router = t.Network.routers.(pred.Vnode.hosted_at) in
+    (match Hashtbl.find_opt pred_router.Network.attachments dest with
+     | Some host_router ->
+       (match Linkstate.path t.Network.ls pred.Vnode.hosted_at host_router with
+        | Some hops_list ->
+          Rofl_netsim.Metrics.charge_path t.Network.metrics Msg.data hops_list;
+          let extra = List.length hops_list - 1 in
+          let lat = ref 0.0 in
+          let rec add = function
+            | a :: (b :: _ as rest) ->
+              lat := !lat +. Rofl_topology.Graph.latency t.Network.graph a b;
+              add rest
+            | [ _ ] | [] -> ()
+          in
+          add hops_list;
+          let vn = Network.find_vnode t dest in
+          {
+            delivered_to = vn;
+            hops = res.Network.msgs + extra;
+            latency_ms = res.Network.latency_ms +. !lat;
+            via_predecessor = true;
+          }
+        | None ->
+          { delivered_to = None; hops = res.Network.msgs; latency_ms = res.Network.latency_ms; via_predecessor = false })
+     | None ->
+       { delivered_to = None; hops = res.Network.msgs; latency_ms = res.Network.latency_ms; via_predecessor = false })
+  | Network.Stuck _ ->
+    { delivered_to = None; hops = res.Network.msgs; latency_ms = res.Network.latency_ms; via_predecessor = false }
+
+(* Minimum-hop distance over live equipment: the paper's stretch denominator
+   is the shortest path, not the latency-weighted one the link-state layer
+   prefers. *)
+let shortest_hops (t : Network.t) a b =
+  if not (Linkstate.router_alive t.Network.ls a && Linkstate.router_alive t.Network.ls b)
+  then None
+  else if a = b then Some 0
+  else begin
+    let g = t.Network.graph in
+    let n = Rofl_topology.Graph.n g in
+    let dist = Array.make n max_int in
+    let q = Queue.create () in
+    dist.(a) <- 0;
+    Queue.push a q;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun (v, _) ->
+          if dist.(v) = max_int && Linkstate.link_alive t.Network.ls u v then begin
+            dist.(v) <- dist.(u) + 1;
+            if v = b then found := Some dist.(v);
+            Queue.push v q
+          end)
+        (Rofl_topology.Graph.neighbors g u)
+    done;
+    !found
+  end
+
+let stretch ?use_cache (t : Network.t) ~src_gateway ~dst =
+  match Network.find_vnode t dst with
+  | None -> None
+  | Some (target_vn : Vnode.t) ->
+    let d = route_packet ?use_cache t ~from:src_gateway ~dest:dst in
+    (match d.delivered_to with
+     | None -> None
+     | Some _ ->
+       (match shortest_hops t src_gateway target_vn.Vnode.hosted_at with
+        | Some 0 -> Some 1.0
+        | Some sp -> Some (float_of_int (max d.hops 1) /. float_of_int sp)
+        | None -> None))

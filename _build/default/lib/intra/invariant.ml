@@ -1,0 +1,133 @@
+module Id = Rofl_idspace.Id
+module Ring = Rofl_idspace.Ring
+module Vnode = Rofl_core.Vnode
+module Pointer = Rofl_core.Pointer
+module Linkstate = Rofl_linkstate.Linkstate
+module Prng = Rofl_util.Prng
+
+type report = {
+  ok : bool;
+  violations : string list;
+  checked_members : int;
+  stale_tail_entries : int;
+}
+
+(* The oracle successor within [vn]'s connected component. *)
+let expected_successor (t : Network.t) (vn : Vnode.t) =
+  let limit = Ring.cardinal t.Network.oracle in
+  let rec go cur steps =
+    if steps > limit then None
+    else
+      match Ring.successor cur t.Network.oracle with
+      | Some (sid, _) when Id.equal sid vn.Vnode.id -> None
+      | Some (sid, (sv : Vnode.t)) ->
+        if
+          sv.Vnode.alive
+          && Linkstate.reachable t.Network.ls vn.Vnode.hosted_at sv.Vnode.hosted_at
+        then Some (sid, sv)
+        else go sid (steps + 1)
+      | None -> None
+  in
+  go vn.Vnode.id 0
+
+let check (t : Network.t) =
+  let violations = ref [] in
+  let checked = ref 0 in
+  let stale_tails = ref 0 in
+  let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  Hashtbl.iter
+    (fun id (vn : Vnode.t) ->
+      if vn.Vnode.alive then begin
+        incr checked;
+        match vn.Vnode.host_class with
+        | Vnode.Stable | Vnode.Router_default ->
+          (* (b) successor pointer agreement. *)
+          (match (Vnode.first_succ vn, expected_successor t vn) with
+           | Some (p : Pointer.t), Some (want, _) ->
+             if not (Id.equal p.Pointer.dst want) then
+               bad "%s: successor %s, oracle expects %s" (Id.to_short_string id)
+                 (Id.to_short_string p.Pointer.dst) (Id.to_short_string want)
+           | None, Some (want, _) ->
+             bad "%s: missing successor, oracle expects %s" (Id.to_short_string id)
+               (Id.to_short_string want)
+           | Some _, None | None, None -> ());
+          (* (c) group HEADS lead to live state; stale tails are lazily
+             repaired and only counted. *)
+          let dead (p : Pointer.t) =
+            match Network.find_vnode t p.Pointer.dst with
+            | Some (dv : Vnode.t) -> not dv.Vnode.alive
+            | None -> true
+          in
+          let check_group label = function
+            | [] -> ()
+            | (head : Pointer.t) :: tail ->
+              if dead head then
+                bad "%s: %s head points to dead id %s" (Id.to_short_string id) label
+                  (Id.to_short_string head.Pointer.dst);
+              List.iter (fun p -> if dead p then incr stale_tails) tail
+          in
+          check_group "successor" vn.Vnode.succs;
+          check_group "predecessor" vn.Vnode.preds
+        | Vnode.Ephemeral ->
+          (* Attachment present at the ring predecessor. *)
+          (match Vnode.first_pred vn with
+           | Some (p : Pointer.t) ->
+             let pr = t.Network.routers.(p.Pointer.dst_router) in
+             (match Hashtbl.find_opt pr.Network.attachments id with
+              | Some host when host = vn.Vnode.hosted_at -> ()
+              | Some host ->
+                bad "%s: attachment points to router %d, host is at %d"
+                  (Id.to_short_string id) host vn.Vnode.hosted_at
+              | None ->
+                bad "%s: no attachment at predecessor router %d" (Id.to_short_string id)
+                  p.Pointer.dst_router)
+           | None -> bad "%s: ephemeral id with no predecessor" (Id.to_short_string id))
+      end)
+    t.Network.vnodes;
+  {
+    ok = !violations = [];
+    violations = List.rev !violations;
+    checked_members = !checked;
+    stale_tail_entries = !stale_tails;
+  }
+
+let check_routability (t : Network.t) ~samples =
+  let ids =
+    Hashtbl.fold
+      (fun id (vn : Vnode.t) acc -> if vn.Vnode.alive then (id, vn) :: acc else acc)
+      t.Network.vnodes []
+    |> Array.of_list
+  in
+  let violations = ref [] in
+  let checked = ref 0 in
+  if Array.length ids >= 2 then begin
+    for _ = 1 to samples do
+      let sid, (sv : Vnode.t) = Prng.sample t.Network.rng ids in
+      let did, (dv : Vnode.t) = Prng.sample t.Network.rng ids in
+      if
+        (not (Id.equal sid did))
+        && Linkstate.reachable t.Network.ls sv.Vnode.hosted_at dv.Vnode.hosted_at
+      then begin
+        incr checked;
+        let d = Forward.route_packet t ~from:sv.Vnode.hosted_at ~dest:did in
+        match d.Forward.delivered_to with
+        | Some (got : Vnode.t) when Id.equal got.Vnode.id did -> ()
+        | Some got ->
+          violations :=
+            Printf.sprintf "packet for %s delivered to %s" (Id.to_short_string did)
+              (Id.to_short_string got.Vnode.id)
+            :: !violations
+        | None ->
+          violations :=
+            Printf.sprintf "packet for %s from router %d undeliverable"
+              (Id.to_short_string did) sv.Vnode.hosted_at
+            :: !violations
+      end
+    done
+  end;
+  {
+    ok = !violations = [];
+    violations = List.rev !violations;
+    checked_members = !checked;
+    stale_tail_entries = 0;
+  }

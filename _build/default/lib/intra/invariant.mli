@@ -1,0 +1,28 @@
+(** Ring-consistency checks.
+
+    The simulator's ground-truth oracle lets tests and experiments verify the
+    invariants §3.2 promises: (a) reachable members can route to each other,
+    (b) successor pointers agree with the oracle ring restricted to each
+    connected component, (c) no pointer leads to dead equipment.  The paper
+    performed the same "consistency checks for misconverged rings in the
+    simulator" (§6.2). *)
+
+type report = {
+  ok : bool;
+  violations : string list; (** empty iff [ok] *)
+  checked_members : int;
+  stale_tail_entries : int;
+  (** successor/predecessor-group tail entries pointing at departed
+      identifiers.  Tails are repaired lazily (probes piggybacked on data
+      packets and negative acks, §4.1), so they are reported but are not
+      violations; group heads pointing at dead identifiers are. *)
+}
+
+val check : Network.t -> report
+(** Full sweep: successor/predecessor agreement per component, liveness of
+    pointer targets, validity of source routes, ephemeral attachment
+    presence. *)
+
+val check_routability : Network.t -> samples:int -> report
+(** Route [samples] random packets between random live identifier pairs in
+    the same component and require delivery — invariant (a). *)

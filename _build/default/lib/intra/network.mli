@@ -1,0 +1,151 @@
+(** Intradomain ROFL: ring construction, joins, and greedy lookup.
+
+    One [t] models a single AS: a router topology with its link-state
+    substrate, one default virtual node per router (joined by flooding at
+    bootstrap, §3.1), and a growing population of host identifiers resident
+    at gateway routers.  Pointer caches at every router are filled from
+    control traffic only, as in the paper's experiments (§6.1).
+
+    The record types are deliberately transparent: {!Forward},
+    {!Failure} and {!Invariant} operate on the same state. *)
+
+module Id = Rofl_idspace.Id
+module Ring = Rofl_idspace.Ring
+module Vnode = Rofl_core.Vnode
+module Pointer = Rofl_core.Pointer
+module Pointer_cache = Rofl_core.Pointer_cache
+
+type config = {
+  succ_group_size : int;     (** successors kept per vnode (>= 1) *)
+  pred_group_size : int;
+  cache_capacity : int;      (** pointer-cache entries per router *)
+  cache_control_paths : bool;(** fill caches from join/control traffic *)
+  authenticate_joins : bool; (** run the self-certifying handshake on join *)
+  sybil_limit : int;         (** max resident IDs per router (audit, §2.1) *)
+}
+
+val default_config : config
+(** 4 successors, 2 predecessors, 1024 cache entries, caching and
+    authentication on, sybil limit 100k. *)
+
+type router = {
+  idx : int;
+  default_vnode : Vnode.t;
+  mutable residents : Vnode.t list; (** alive vnodes hosted here, incl. default *)
+  cache : Pointer_cache.t;
+  auditor : Rofl_crypto.Identity.sybil_auditor;
+  (** ephemeral identifiers attached below this router's resident
+      predecessors: id -> router currently hosting the ephemeral host *)
+  attachments : (Id.t, int) Hashtbl.t;
+}
+
+type t = {
+  graph : Rofl_topology.Graph.t;
+  ls : Rofl_linkstate.Linkstate.t;
+  rng : Rofl_util.Prng.t;
+  cfg : config;
+  routers : router array;
+  metrics : Rofl_netsim.Metrics.t;
+  vnodes : (Id.t, Vnode.t) Hashtbl.t; (** every alive vnode, any class *)
+  mutable oracle : Vnode.t Ring.t;    (** ring members (default + stable) *)
+  mutable bootstrap_msgs : int;       (** flood cost of router bootstrap *)
+}
+
+val create : ?cfg:config -> rng:Rofl_util.Prng.t -> Rofl_topology.Graph.t -> t
+(** Build the AS: spawns and rings the default virtual nodes of every router,
+    charging their bootstrap floods to the [flood] category. *)
+
+val router_id : int -> Id.t
+(** Deterministic router-ID for router index [i] (hash-derived, uniform). *)
+
+type lookup_status =
+  | Delivered of Vnode.t    (** exact identifier found, resident here *)
+  | Predecessor of Vnode.t  (** closest preceding ring member *)
+  | Stuck of int            (** no progress possible at this router *)
+
+type lookup_result = {
+  status : lookup_status;
+  msgs : int;          (** physical messages charged *)
+  latency_ms : float;  (** serial propagation latency of the walk *)
+  visited : int list;  (** routers traversed, in order, inclusive of start *)
+}
+
+val lookup :
+  ?exclude:Id.t ->
+  t -> from:int -> target:Id.t -> category:string -> use_cache:bool -> lookup_result
+(** Greedy walk from a router towards [target]: at each router the closest
+    non-overshooting identifier known (resident IDs, their successor
+    pointers, pointer-cache) picks the next source route (Algorithm 2
+    generalised to termination at the predecessor).  [exclude] removes one
+    identifier from candidacy — used when an existing member re-joins and
+    must not find itself. *)
+
+type join_outcome = {
+  vnode : Vnode.t;
+  join_msgs : int;     (** messages charged for this join *)
+  join_latency_ms : float;
+}
+
+val join_host :
+  t -> gateway:int -> id:Id.t -> cls:Vnode.host_class -> (join_outcome, string) result
+(** Algorithm 1: authenticate (optional), spawn the vnode, locate the
+    predecessor, splice succ/pred state, notify the successor, fill caches
+    along the control paths.  Ephemeral hosts only establish the
+    predecessor attachment (§2.2). *)
+
+val join_fresh_host :
+  t -> gateway:int -> cls:Vnode.host_class -> (Id.t * join_outcome, string) result
+(** Generate a keypair, derive the self-certifying identifier, and join with
+    the full handshake. *)
+
+val leave_host : t -> Id.t -> (unit, string) result
+(** Graceful leave: like a failure but without detection timeouts; tears
+    down and repairs neighbours (charged to [teardown]/[repair]). *)
+
+val find_vnode : t -> Id.t -> Vnode.t option
+
+val spf_route : t -> int -> int -> Rofl_core.Sourceroute.t option
+(** Link-state shortest route between two routers. *)
+
+val make_pointer :
+  t -> Pointer.kind -> from_router:int -> dst:Id.t -> dst_router:int -> Pointer.t option
+(** Pointer with a fresh SPF source route; [None] if unreachable. *)
+
+val cache_route_to : t -> Id.t -> int -> int list -> unit
+(** [cache_route_to t id dst_router visited] lets every router along
+    [visited] cache a pointer to [id] (suffix source routes), when
+    [cache_control_paths] is on. *)
+
+val resident_ids : t -> int -> Id.t list
+(** Identifiers resident at a router (including the default vnode's). *)
+
+val ring_size : t -> int
+(** Ring members (stable + default vnodes). *)
+
+val host_count : t -> int
+(** Stable + ephemeral host identifiers currently alive. *)
+
+val router_state_entries : t -> int -> int
+(** Ring-state pointer entries pinned at a router (vnode succ/pred lists +
+    ephemeral attachments) — the §6.2 memory metric. *)
+
+val avg_router_state_entries : t -> float
+
+val stabilize : t -> category:string -> int
+(** Ring-order stabilisation sweep (the §3.2 zero-ID chain repair): every
+    member whose successor pointer disagrees with its component's expected
+    successor re-points, charging a repair round trip; dead and unreachable
+    group entries are pruned.  Idempotent once converged (then it charges
+    nothing).  Returns messages charged under [category]. *)
+
+val rejoin_ring : t -> Vnode.t -> category:string -> int
+(** Re-run the ring splice for an already-resident member (partition merge,
+    §3.2): locate its current predecessor — excluding itself — and splice
+    succ/pred state afresh.  Returns messages charged under [category]. *)
+
+val repair_successor : t -> Vnode.t -> unit
+(** Restore a vnode's successor state after its first successor died: shift
+    the successor group if possible, otherwise re-lookup (charged to
+    [repair]). *)
+
+val repair_predecessor : t -> Vnode.t -> unit

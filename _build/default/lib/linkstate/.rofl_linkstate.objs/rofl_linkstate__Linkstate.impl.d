@@ -1,0 +1,1 @@
+lib/linkstate/linkstate.ml: Array Hashtbl List Rofl_topology Rofl_util

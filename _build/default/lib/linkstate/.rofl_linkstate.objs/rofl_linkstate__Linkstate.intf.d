@@ -1,0 +1,1 @@
+lib/linkstate/linkstate.mli: Rofl_topology

@@ -1,0 +1,193 @@
+module Graph = Rofl_topology.Graph
+module Heap = Rofl_util.Heap
+
+type event =
+  | Link_down of int * int
+  | Link_up of int * int
+  | Router_down of int
+  | Router_up of int
+
+type spf = {
+  dist : float array;    (* latency distance, infinity if unreachable *)
+  hops : int array;      (* hop count along the chosen path *)
+  parent : int array;    (* predecessor on shortest path, -1 at source *)
+}
+
+type t = {
+  g : Graph.t;
+  failed_links : (int * int, unit) Hashtbl.t; (* canonical (min,max) key *)
+  failed_routers : (int, unit) Hashtbl.t;
+  mutable version : int;
+  spf_cache : (int, int * spf) Hashtbl.t; (* src -> (version, tree) *)
+  mutable listeners : (event -> unit) list;
+}
+
+let create g =
+  {
+    g;
+    failed_links = Hashtbl.create 16;
+    failed_routers = Hashtbl.create 16;
+    version = 0;
+    spf_cache = Hashtbl.create 64;
+    listeners = [];
+  }
+
+let graph t = t.g
+
+let on_event t f = t.listeners <- f :: t.listeners
+
+let notify t ev = List.iter (fun f -> f ev) t.listeners
+
+let canonical u v = if u <= v then (u, v) else (v, u)
+
+let router_alive t r = not (Hashtbl.mem t.failed_routers r)
+
+let link_alive t u v =
+  router_alive t u && router_alive t v
+  && Graph.has_link t.g u v
+  && not (Hashtbl.mem t.failed_links (canonical u v))
+
+let bump t = t.version <- t.version + 1
+
+let fail_link t u v =
+  if not (Graph.has_link t.g u v) then invalid_arg "Linkstate.fail_link: no such link";
+  let key = canonical u v in
+  if not (Hashtbl.mem t.failed_links key) then begin
+    Hashtbl.add t.failed_links key ();
+    bump t;
+    notify t (Link_down (u, v))
+  end
+
+let restore_link t u v =
+  let key = canonical u v in
+  if Hashtbl.mem t.failed_links key then begin
+    Hashtbl.remove t.failed_links key;
+    bump t;
+    notify t (Link_up (u, v))
+  end
+
+let fail_router t r =
+  if not (Hashtbl.mem t.failed_routers r) then begin
+    Hashtbl.add t.failed_routers r ();
+    bump t;
+    notify t (Router_down r)
+  end
+
+let restore_router t r =
+  if Hashtbl.mem t.failed_routers r then begin
+    Hashtbl.remove t.failed_routers r;
+    bump t;
+    notify t (Router_up r)
+  end
+
+let run_spf t src =
+  let n = Graph.n t.g in
+  let dist = Array.make n infinity in
+  let hops = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  if router_alive t src then begin
+    let settled = Array.make n false in
+    let frontier = Heap.create () in
+    dist.(src) <- 0.0;
+    hops.(src) <- 0;
+    Heap.push frontier 0.0 src;
+    let rec loop () =
+      match Heap.pop frontier with
+      | None -> ()
+      | Some (_, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          List.iter
+            (fun (v, w) ->
+              if link_alive t u v then begin
+                let nd = dist.(u) +. w in
+                if
+                  nd < dist.(v)
+                  || (nd = dist.(v) && hops.(u) + 1 < hops.(v))
+                then begin
+                  dist.(v) <- nd;
+                  hops.(v) <- hops.(u) + 1;
+                  parent.(v) <- u;
+                  Heap.push frontier nd v
+                end
+              end)
+            (Graph.neighbors t.g u)
+        end;
+        loop ()
+    in
+    loop ()
+  end;
+  { dist; hops; parent }
+
+let spf t src =
+  match Hashtbl.find_opt t.spf_cache src with
+  | Some (version, tree) when version = t.version -> tree
+  | _ ->
+    let tree = run_spf t src in
+    Hashtbl.replace t.spf_cache src (t.version, tree);
+    tree
+
+let reachable t src dst =
+  router_alive t src && router_alive t dst && (spf t src).dist.(dst) < infinity
+
+let path t src dst =
+  if not (reachable t src dst) then None
+  else begin
+    let tree = spf t src in
+    let rec walk acc v = if v = src then src :: acc else walk (v :: acc) tree.parent.(v) in
+    Some (walk [] dst)
+  end
+
+let distance_hops t src dst =
+  if not (reachable t src dst) then None else Some (spf t src).hops.(dst)
+
+let distance_latency t src dst =
+  if not (reachable t src dst) then None else Some (spf t src).dist.(dst)
+
+let next_hop t src dst =
+  match path t src dst with
+  | None | Some [ _ ] -> None
+  | Some (_ :: hop :: _) -> Some hop
+  | Some [] -> None
+
+let valid_source_route t = function
+  | [] -> false
+  | [ r ] -> router_alive t r
+  | first :: _ as route ->
+    router_alive t first
+    &&
+    let rec ok = function
+      | a :: (b :: _ as rest) -> link_alive t a b && ok rest
+      | [ _ ] | [] -> true
+    in
+    ok route
+
+let live_link_count t =
+  let count = ref 0 in
+  Graph.iter_links t.g (fun { Graph.u; v; _ } -> if link_alive t u v then incr count);
+  !count
+
+let live_router_count t =
+  let count = ref 0 in
+  for r = 0 to Graph.n t.g - 1 do
+    if router_alive t r then incr count
+  done;
+  !count
+
+let lsa_flood_cost t = 2 * live_link_count t
+
+let eccentricity_hops t src =
+  let tree = spf t src in
+  let best = ref 0 in
+  Array.iter (fun h -> if h <> max_int && h > !best then best := h) tree.hops;
+  !best
+
+let diameter_hops t =
+  let best = ref 0 in
+  for r = 0 to Graph.n t.g - 1 do
+    if router_alive t r then begin
+      let e = eccentricity_hops t r in
+      if e > !best then best := e
+    end
+  done;
+  !best

@@ -1,0 +1,74 @@
+(** OSPF-like link-state substrate.
+
+    ROFL assumes "an underlying OSPF-like protocol that provides a network
+    map (and not routes to hosts) and can identify link failures in the
+    physical network" (§2.1).  This module is that substrate: a dynamic view
+    over a {!Rofl_topology.Graph.t} with failable links and routers, shortest
+    paths (Dijkstra over link latencies), source-route validity checks,
+    failure notifications, and the LSA flood cost model used when the
+    experiments charge messages for topology dissemination. *)
+
+type t
+
+type event =
+  | Link_down of int * int
+  | Link_up of int * int
+  | Router_down of int
+  | Router_up of int
+
+val create : Rofl_topology.Graph.t -> t
+
+val graph : t -> Rofl_topology.Graph.t
+
+val on_event : t -> (event -> unit) -> unit
+(** Register a callback invoked synchronously on every topology change —
+    the "notifies the routing layer of such events" hook. *)
+
+val fail_link : t -> int -> int -> unit
+(** Mark a link down (idempotent; the link must exist in the graph). *)
+
+val restore_link : t -> int -> int -> unit
+
+val fail_router : t -> int -> unit
+(** Mark a router down; its links are implicitly unusable. *)
+
+val restore_router : t -> int -> unit
+
+val router_alive : t -> int -> bool
+
+val link_alive : t -> int -> int -> bool
+(** Both endpoints alive and the link not failed. *)
+
+val reachable : t -> int -> int -> bool
+
+val path : t -> int -> int -> int list option
+(** Latency-shortest live path, inclusive of both endpoints
+    ([Some [src]] when [src = dst]).  [None] when partitioned. *)
+
+val distance_hops : t -> int -> int -> int option
+(** Hop length of {!path} (0 when [src = dst]). *)
+
+val distance_latency : t -> int -> int -> float option
+(** Total latency of {!path}. *)
+
+val next_hop : t -> int -> int -> int option
+(** First hop on {!path} from [src] towards [dst]. *)
+
+val valid_source_route : t -> int list -> bool
+(** All consecutive pairs are live links and all routers alive — the check a
+    router performs before using a cached source route. *)
+
+val lsa_flood_cost : t -> int
+(** Messages for one LSA flood: one per live directed link (2·live links) —
+    the cost model for CMU-ETHERNET-style flooding and zero-ID piggyback
+    accounting. *)
+
+val live_router_count : t -> int
+
+val live_link_count : t -> int
+
+val eccentricity_hops : t -> int -> int
+(** Max live hop distance from a router to any reachable router. *)
+
+val diameter_hops : t -> int
+(** Max eccentricity over live routers (0 if none). *)

@@ -1,0 +1,44 @@
+module Heap = Rofl_util.Heap
+
+type t = { mutable clock : float; queue : (unit -> unit) Heap.t }
+
+let create () = { clock = 0.0; queue = Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time_ms f =
+  if time_ms < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Heap.push t.queue time_ms f
+
+let schedule t ~delay_ms f =
+  if delay_ms < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time_ms:(t.clock +. delay_ms) f
+
+let run t =
+  let rec loop () =
+    match Heap.pop t.queue with
+    | None -> ()
+    | Some (time, f) ->
+      t.clock <- time;
+      f ();
+      loop ()
+  in
+  loop ()
+
+let run_until t horizon =
+  let rec loop () =
+    match Heap.peek t.queue with
+    | Some (time, _) when time <= horizon ->
+      (match Heap.pop t.queue with
+       | Some (time, f) ->
+         t.clock <- time;
+         f ();
+         loop ()
+       | None -> ())
+    | Some _ | None -> t.clock <- Float.max t.clock horizon
+  in
+  loop ()
+
+let pending t = Heap.length t.queue
+
+let clear t = Heap.clear t.queue

@@ -1,0 +1,29 @@
+(** Discrete-event engine.
+
+    Drives the latency experiments (join completion time, Fig. 5c) and any
+    scenario where relative timing matters: events are closures scheduled at
+    absolute simulated times; [run] executes them in time order.  Ties run in
+    scheduling order, so executions are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in milliseconds. *)
+
+val schedule : t -> delay_ms:float -> (unit -> unit) -> unit
+(** Schedule a closure [delay_ms] after the current time (>= 0). *)
+
+val schedule_at : t -> time_ms:float -> (unit -> unit) -> unit
+(** Schedule at an absolute time (must not be in the past). *)
+
+val run : t -> unit
+(** Execute events until the queue drains. *)
+
+val run_until : t -> float -> unit
+(** Execute events with time <= the horizon; pending later events remain. *)
+
+val pending : t -> int
+
+val clear : t -> unit

@@ -1,0 +1,38 @@
+(** Message and load accounting for the simulations.
+
+    Every control or data message a protocol sends is charged here, tagged
+    with a category, so experiments can report join overhead, repair
+    overhead, and per-router load exactly the way the paper does. *)
+
+type t
+
+val create : routers:int -> t
+(** [routers] sizes the per-router load table. *)
+
+val incr : t -> string -> int -> unit
+(** [incr m category k] adds [k] messages to a category. *)
+
+val charge_hop : t -> string -> int -> unit
+(** [charge_hop m category router] counts one message traversing [router]
+    under [category], and adds it to that router's load. *)
+
+val charge_path : t -> string -> int list -> unit
+(** Charge a message travelling a hop-by-hop router path: one message per
+    link traversed, and load at every router the message transits
+    (intermediate and endpoints). *)
+
+val get : t -> string -> int
+
+val total : t -> int
+(** Sum over all categories. *)
+
+val categories : t -> (string * int) list
+(** Sorted by category name. *)
+
+val router_load : t -> int array
+(** Per-router message-traversal counts (copy). *)
+
+val reset : t -> unit
+
+val merge_into : dst:t -> t -> unit
+(** Add counts of another metrics object (router tables must be same size). *)

@@ -1,0 +1,1 @@
+lib/proto/proto.ml: Array List Option Rofl_idspace Rofl_linkstate Rofl_netsim Rofl_topology Rofl_util

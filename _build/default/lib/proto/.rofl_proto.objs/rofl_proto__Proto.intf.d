@@ -1,0 +1,1 @@
+lib/proto/proto.mli: Rofl_idspace Rofl_topology Rofl_util

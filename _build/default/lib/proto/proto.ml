@@ -1,0 +1,332 @@
+module Id = Rofl_idspace.Id
+module Prng = Rofl_util.Prng
+module Graph = Rofl_topology.Graph
+module Linkstate = Rofl_linkstate.Linkstate
+module Engine = Rofl_netsim.Engine
+
+type pointer = Id.t * int (* identifier, hosting router *)
+
+type resident = {
+  rid : Id.t;
+  mutable succ : pointer option;
+  mutable pred : pointer option;
+}
+
+type node = { router : int; mutable residents : resident list }
+
+type message =
+  | Join_req of {
+      joining : Id.t;
+      gateway : int;
+      chasing : pointer option; (** the candidate this request is committed to *)
+    }
+  | Join_resp of { joining : Id.t; pred : pointer; succ : pointer option }
+  | Get_pred of { asker : Id.t; asker_router : int; target : Id.t }
+  | Pred_info of { of_id : Id.t; pred : pointer option; to_id : Id.t }
+  | Notify of { candidate : Id.t; candidate_router : int; target : Id.t }
+
+type stats = { messages : int; joins_completed : int; stabilize_rounds : int }
+
+type t = {
+  graph : Graph.t;
+  ls : Linkstate.t;
+  engine : Engine.t;
+  rng : Prng.t;
+  nodes : node array;
+  stabilize_period_ms : float;
+  mutable msg_count : int;
+  mutable joins_done : int;
+  mutable rounds : int;
+}
+
+(* Deterministic, well-spread default identifier per router.  A seeded PRNG
+   draw keeps this library independent of rofl_crypto. *)
+let router_label i =
+  let g = Prng.create (0x5EED + i) in
+  Id.random g
+
+let create ~rng ?(stabilize_period_ms = 50.0) graph =
+  let n = Graph.n graph in
+  let nodes =
+    Array.init n (fun router ->
+        { router; residents = [ { rid = router_label router; succ = None; pred = None } ] })
+  in
+  let t =
+    {
+      graph;
+      ls = Linkstate.create graph;
+      engine = Engine.create ();
+      rng;
+      nodes;
+      stabilize_period_ms;
+      msg_count = 0;
+      joins_done = 0;
+      rounds = 0;
+    }
+  in
+  (* Bootstrap shortcut: the router-ID ring is spliced locally at time zero
+     (the synchronous simulation charges this as the §3.1 flood; here we
+     start from its outcome and let everything AFTER happen by message). *)
+  let sorted =
+    Array.to_list nodes
+    |> List.concat_map (fun nd -> List.map (fun r -> (r.rid, nd.router)) nd.residents)
+    |> List.sort (fun (a, _) (b, _) -> Id.compare a b)
+  in
+  let arr = Array.of_list sorted in
+  let m = Array.length arr in
+  Array.iteri
+    (fun i (rid, router) ->
+      let succ = arr.((i + 1) mod m) in
+      let pred = arr.((i + m - 1) mod m) in
+      let nd = nodes.(router) in
+      List.iter
+        (fun r ->
+          if Id.equal r.rid rid then begin
+            r.succ <- Some succ;
+            r.pred <- Some pred
+          end)
+        nd.residents)
+    arr;
+  t
+
+let find_resident t router rid =
+  List.find_opt (fun r -> Id.equal r.rid rid) t.nodes.(router).residents
+
+(* Best local knowledge at a router for a target: closest identifier (its
+   own residents and their successor pointers) not past the target. *)
+let best_candidate t router ~target ?(exclude = None) () =
+  let best = ref None in
+  let consider id where =
+    let skip = match exclude with Some e -> Id.equal e id | None -> false in
+    if not skip then begin
+      let d = Id.distance id target in
+      match !best with
+      | Some (bd, _, _) when Id.compare d bd >= 0 -> ()
+      | Some _ | None -> best := Some (d, id, where)
+    end
+  in
+  List.iter
+    (fun r ->
+      consider r.rid `Here;
+      match r.succ with
+      | Some (sid, srouter) when srouter <> router -> consider sid (`Remote srouter)
+      | Some _ | None -> ())
+    t.nodes.(router).residents;
+  !best
+
+(* Deliver a message to a router after traversing the physical path there,
+   charging one message per link. *)
+let send_direct t ~from ~dest msg handle =
+  match Linkstate.path t.ls from dest with
+  | None -> ()
+  | Some hops ->
+    let links = List.length hops - 1 in
+    t.msg_count <- t.msg_count + max links 0;
+    let latency =
+      let rec go acc = function
+        | a :: (b :: _ as rest) -> go (acc +. Graph.latency t.graph a b) rest
+        | [ _ ] | [] -> acc
+      in
+      go 0.0 hops
+    in
+    Engine.schedule t.engine ~delay_ms:latency (fun () -> handle msg)
+
+(* Greedy per-hop forwarding of a join request.  Each router re-evaluates on
+   receipt (one link traversal per event) but the request stays committed to
+   the closest candidate seen so far, so transit routers with worse local
+   knowledge cannot make it oscillate. *)
+let rec forward_join t ~at (m : message) =
+  match m with
+  | Join_req { joining; gateway; chasing } ->
+    let local = best_candidate t at ~target:joining ~exclude:(Some joining) () in
+    let chase_dist =
+      match chasing with
+      | Some (cid, _) -> Some (Id.distance cid joining)
+      | None -> None
+    in
+    let improves d = match chase_dist with None -> true | Some cd -> Id.compare d cd < 0 in
+    let splice best_id =
+      match find_resident t at best_id with
+      | None ->
+        (* The candidate is mid-join: its resident state materialises when
+           its own Join_resp lands.  Wait and retry. *)
+        Engine.schedule t.engine ~delay_ms:5.0 (fun () ->
+            forward_join t ~at
+              (Join_req { joining; gateway; chasing = Some (best_id, at) }))
+      | Some r ->
+        (* r is the closest known identifier: the predecessor.  Splice. *)
+        let old_succ = r.succ in
+        r.succ <- Some (joining, gateway);
+        send_direct t ~from:at ~dest:gateway
+          (Join_resp { joining; pred = (r.rid, at); succ = old_succ })
+          (handle t gateway)
+    in
+    let hop_towards dest m' =
+      match Linkstate.next_hop t.ls at dest with
+      | None -> ()
+      | Some hop ->
+        t.msg_count <- t.msg_count + 1;
+        Engine.schedule t.engine
+          ~delay_ms:(Graph.latency t.graph at hop)
+          (fun () -> forward_join t ~at:hop m')
+    in
+    (match local with
+     | Some (d, best_id, `Here) when improves d -> splice best_id
+     | Some (d, best_id, `Remote next_router) when improves d ->
+       hop_towards next_router
+         (Join_req { joining; gateway; chasing = Some (best_id, next_router) })
+     | Some _ | None ->
+       (* Nothing better here: keep chasing the committed candidate. *)
+       (match chasing with
+        | Some (_, crouter) when crouter <> at -> hop_towards crouter m
+        | Some (cid, _) ->
+          (* Arrived where the candidate lives: it is the predecessor. *)
+          splice cid
+        | None -> ()))
+  | Join_resp _ | Get_pred _ | Pred_info _ | Notify _ -> ()
+
+and handle t at (m : message) =
+  match m with
+  | Join_req _ -> forward_join t ~at m
+  | Join_resp { joining; pred; succ } ->
+    (* The resident materialises only now, so a half-joined identifier is
+       never visible to concurrent lookups. *)
+    let r = { rid = joining; succ = None; pred = Some pred } in
+    t.nodes.(at).residents <- r :: t.nodes.(at).residents;
+    (match succ with
+     | Some (sid, srouter) ->
+       r.succ <- Some (sid, srouter);
+       (* Tell the successor about us. *)
+       send_direct t ~from:at ~dest:srouter
+         (Notify { candidate = joining; candidate_router = at; target = sid })
+         (handle t srouter)
+     | None -> r.succ <- Some pred);
+    t.joins_done <- t.joins_done + 1
+  | Get_pred { asker; asker_router; target } ->
+    (match find_resident t at target with
+     | None -> ()
+     | Some s ->
+       send_direct t ~from:at ~dest:asker_router
+         (Pred_info { of_id = target; pred = s.pred; to_id = asker })
+         (handle t asker_router))
+  | Pred_info { of_id; pred; to_id } ->
+    (match find_resident t at to_id with
+     | None -> ()
+     | Some r ->
+       (match (pred, r.succ) with
+        | Some (pid, prouter), Some (sid, _)
+          when Id.equal sid of_id && Id.between r.rid pid sid ->
+          (* A closer successor surfaced between us and our successor. *)
+          r.succ <- Some (pid, prouter);
+          send_direct t ~from:at ~dest:prouter
+            (Notify { candidate = r.rid; candidate_router = at; target = pid })
+            (handle t prouter)
+        | _ ->
+          (* Confirmed: tell the successor we believe we are its pred. *)
+          (match r.succ with
+           | Some (sid, srouter) ->
+             send_direct t ~from:at ~dest:srouter
+               (Notify { candidate = r.rid; candidate_router = at; target = sid })
+               (handle t srouter)
+           | None -> ())))
+  | Notify { candidate; candidate_router; target } ->
+    (match find_resident t at target with
+     | None -> ()
+     | Some s ->
+       (match s.pred with
+        | Some (pid, _) when not (Id.between pid candidate s.rid) -> ()
+        | Some _ | None -> s.pred <- Some (candidate, candidate_router)))
+
+let join t ~gateway joining =
+  Engine.schedule t.engine ~delay_ms:0.0 (fun () ->
+      forward_join t ~at:gateway (Join_req { joining; gateway; chasing = None }))
+
+let stabilize_round t =
+  t.rounds <- t.rounds + 1;
+  Array.iter
+    (fun nd ->
+      List.iter
+        (fun r ->
+          match r.succ with
+          | Some (sid, srouter) when not (Id.equal sid r.rid) ->
+            send_direct t ~from:nd.router ~dest:srouter
+              (Get_pred { asker = r.rid; asker_router = nd.router; target = sid })
+              (handle t srouter)
+          | Some _ | None -> ())
+        nd.residents)
+    t.nodes
+
+let run_for t budget_ms = Engine.run_until t.engine (Engine.now t.engine +. budget_ms)
+
+let members t =
+  Array.to_list t.nodes
+  |> List.concat_map (fun nd -> List.map (fun r -> r.rid) nd.residents)
+  |> List.sort Id.compare
+
+let successor_of t rid =
+  let found = ref None in
+  Array.iter
+    (fun nd ->
+      List.iter (fun r -> if Id.equal r.rid rid then found := r.succ) nd.residents)
+    t.nodes;
+  Option.map fst !found
+
+let ring_converged t =
+  let ms = Array.of_list (members t) in
+  let n = Array.length ms in
+  n = 0
+  || begin
+    let ok = ref true in
+    Array.iteri
+      (fun i rid ->
+        let expect = ms.((i + 1) mod n) in
+        match successor_of t rid with
+        | Some s when Id.equal s expect -> ()
+        | Some _ | None -> ok := false)
+      ms;
+    !ok
+  end
+
+let run_until_quiescent t ~max_ms =
+  let start = Engine.now t.engine in
+  let deadline = start +. max_ms in
+  let rec go () =
+    if Engine.now t.engine >= deadline then Engine.now t.engine -. start
+    else begin
+      run_for t t.stabilize_period_ms;
+      if Engine.pending t.engine = 0 && ring_converged t then
+        Engine.now t.engine -. start
+      else begin
+        if Engine.pending t.engine = 0 then stabilize_round t;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let stats t =
+  { messages = t.msg_count; joins_completed = t.joins_done; stabilize_rounds = t.rounds }
+
+let lookup_owner t ~from target =
+  let rec walk router best_dist guard =
+    if guard > 4 * Graph.n t.graph then None
+    else
+      match best_candidate t router ~target () with
+      | None -> None
+      | Some (_, id, `Here) -> Some id
+      | Some (d, _, `Remote next_router) ->
+        if Id.compare d best_dist >= 0 then
+          (* No progress: settle on the best local resident. *)
+          (match
+             List.fold_left
+               (fun acc r ->
+                 match acc with
+                 | Some (bd, _) when Id.compare (Id.distance r.rid target) bd >= 0 -> acc
+                 | Some _ | None -> Some (Id.distance r.rid target, r.rid))
+               None t.nodes.(router).residents
+           with
+           | Some (_, rid) -> Some rid
+           | None -> None)
+        else walk next_router d (guard + 1)
+  in
+  walk from Id.max_value 0

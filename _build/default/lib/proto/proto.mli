@@ -1,0 +1,62 @@
+(** Message-driven intradomain ROFL.
+
+    The main simulation ({!Rofl_intra.Network}) executes protocol steps
+    synchronously and charges the messages they would send.  This module is
+    the cross-check: a fully asynchronous implementation where routers are
+    actors that ONLY exchange messages through the discrete-event engine —
+    every join request, join reply, successor notification and stabilisation
+    probe is a scheduled message that travels the physical topology hop by
+    hop with per-link latency.  Nothing consults global state; each router
+    acts on its local table and what arrives.
+
+    Ring maintenance is Chord-style: a join locates its predecessor by
+    greedy per-hop forwarding, splices, and periodic stabilisation
+    ([Get_pred] / [Notify]) repairs any races between concurrent joins.
+    The test suite drives identical workloads through this engine and the
+    synchronous one and requires both to converge to the same ring. *)
+
+type t
+
+type stats = {
+  messages : int;        (** total link traversals *)
+  joins_completed : int;
+  stabilize_rounds : int;
+}
+
+val create :
+  rng:Rofl_util.Prng.t ->
+  ?stabilize_period_ms:float ->
+  Rofl_topology.Graph.t ->
+  t
+(** An actor per router; default virtual nodes are spliced locally at time
+    zero (the bootstrap flood is not re-simulated here).  Stabilisation
+    timers fire every [stabilize_period_ms] (default 50.0). *)
+
+val join : t -> gateway:int -> Rofl_idspace.Id.t -> unit
+(** Schedule a host join at the current simulated time.  The join completes
+    asynchronously; run the engine to let it finish. *)
+
+val run_for : t -> float -> unit
+(** Advance simulated time by the given budget (ms), processing messages and
+    stabilisation timers. *)
+
+val run_until_quiescent : t -> max_ms:float -> float
+(** Run until no protocol message is in flight and a full stabilisation
+    round changes nothing, or until the time budget runs out.  Returns the
+    simulated time consumed. *)
+
+val stats : t -> stats
+
+val members : t -> Rofl_idspace.Id.t list
+(** Every identifier resident somewhere, sorted. *)
+
+val successor_of : t -> Rofl_idspace.Id.t -> Rofl_idspace.Id.t option
+(** The first successor pointer currently held for a resident identifier. *)
+
+val ring_converged : t -> bool
+(** Every resident identifier's successor pointer equals the true ring
+    successor of the current membership (single-component topologies). *)
+
+val lookup_owner : t -> from:int -> Rofl_idspace.Id.t -> Rofl_idspace.Id.t option
+(** Synchronously walk the current pointer state greedily from a router —
+    the data-plane view of this actor network's tables. *)

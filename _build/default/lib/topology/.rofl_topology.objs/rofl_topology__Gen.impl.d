@@ -1,0 +1,1 @@
+lib/topology/gen.ml: Array Float Graph List Rofl_util

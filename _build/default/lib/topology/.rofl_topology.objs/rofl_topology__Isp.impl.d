@@ -1,0 +1,1 @@
+lib/topology/isp.ml: Array Graph List Rofl_util

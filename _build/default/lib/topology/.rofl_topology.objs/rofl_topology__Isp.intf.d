@@ -1,0 +1,1 @@
+lib/topology/isp.mli: Graph Rofl_util

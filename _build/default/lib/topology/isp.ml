@@ -1,0 +1,131 @@
+module Prng = Rofl_util.Prng
+
+type pop = { pop_id : int; core : int list; access : int list }
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  pops : pop array;
+  pop_of_router : int array;
+  hosts_estimate : int;
+}
+
+type profile = {
+  profile_name : string;
+  routers : int;
+  hosts : int;
+  pop_count : int;
+}
+
+let as1221 = { profile_name = "AS1221"; routers = 318; hosts = 2_600_000; pop_count = 28 }
+
+let as1239 = { profile_name = "AS1239"; routers = 604; hosts = 10_000_000; pop_count = 43 }
+
+let as3257 = { profile_name = "AS3257"; routers = 240; hosts = 500_000; pop_count = 22 }
+
+let as3967 = { profile_name = "AS3967"; routers = 201; hosts = 2_100_000; pop_count = 21 }
+
+let all_profiles = [ as1221; as1239; as3257; as3967 ]
+
+let intra_pop_latency g = 0.1 +. Prng.float g 0.4
+
+let inter_pop_latency g = 0.5 +. Prng.float g 5.5
+
+let generate g profile =
+  if profile.routers < 2 * profile.pop_count then
+    invalid_arg "Isp.generate: too few routers for the PoP count";
+  let graph = Graph.create profile.routers in
+  let pop_of_router = Array.make profile.routers (-1) in
+  (* Partition routers into PoPs: every PoP gets a base share, the remainder
+     is spread with a heavy skew so a few PoPs are big (as in Rocketfuel). *)
+  let npops = profile.pop_count in
+  let sizes = Array.make npops 2 in
+  let remaining = ref (profile.routers - (2 * npops)) in
+  while !remaining > 0 do
+    let p = Prng.zipf g ~n:npops ~s:1.1 - 1 in
+    sizes.(p) <- sizes.(p) + 1;
+    decr remaining
+  done;
+  let next_router = ref 0 in
+  let fresh_router pop =
+    let r = !next_router in
+    incr next_router;
+    pop_of_router.(r) <- pop;
+    r
+  in
+  let pops =
+    Array.init npops (fun pop_id ->
+        let size = sizes.(pop_id) in
+        let ncore = max 1 (min 3 (size / 4 + 1)) in
+        let core = List.init ncore (fun _ -> fresh_router pop_id) in
+        let access = List.init (size - ncore) (fun _ -> fresh_router pop_id) in
+        (* Core routers of a PoP form a clique. *)
+        let rec mesh = function
+          | [] -> ()
+          | c :: rest ->
+            List.iter
+              (fun c' -> Graph.add_link graph c c' ~latency_ms:(intra_pop_latency g))
+              rest;
+            mesh rest
+        in
+        mesh core;
+        (* Each access router homes to 1–2 cores of its PoP. *)
+        let core_arr = Array.of_list core in
+        List.iter
+          (fun a ->
+            let c1 = Prng.sample g core_arr in
+            Graph.add_link graph a c1 ~latency_ms:(intra_pop_latency g);
+            if Array.length core_arr > 1 && Prng.float g 1.0 < 0.3 then begin
+              let c2 = Prng.sample g core_arr in
+              if c2 <> c1 && not (Graph.has_link graph a c2) then
+                Graph.add_link graph a c2 ~latency_ms:(intra_pop_latency g)
+            end)
+          access;
+        { pop_id; core; access })
+  in
+  (* Backbone: a random spanning tree over PoPs plus extra shortcuts, links
+     landing on core routers. *)
+  let pop_core pop_id = Array.of_list pops.(pop_id).core in
+  let order = Array.init npops (fun i -> i) in
+  Prng.shuffle g order;
+  for i = 1 to npops - 1 do
+    let a = order.(i) and b = order.(Prng.int g i) in
+    let u = Prng.sample g (pop_core a) and v = Prng.sample g (pop_core b) in
+    if not (Graph.has_link graph u v) then
+      Graph.add_link graph u v ~latency_ms:(inter_pop_latency g)
+  done;
+  let shortcuts = max 2 (npops / 2) in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < shortcuts && !attempts < 50 * shortcuts do
+    incr attempts;
+    let a = Prng.int g npops and b = Prng.int g npops in
+    if a <> b then begin
+      let u = Prng.sample g (pop_core a) and v = Prng.sample g (pop_core b) in
+      if not (Graph.has_link graph u v) then begin
+        Graph.add_link graph u v ~latency_ms:(inter_pop_latency g);
+        incr added
+      end
+    end
+  done;
+  let t =
+    {
+      name = profile.profile_name;
+      graph;
+      pops;
+      pop_of_router;
+      hosts_estimate = profile.hosts;
+    }
+  in
+  assert (Graph.is_connected graph);
+  t
+
+let routers_of_pop t pop_id =
+  let p = t.pops.(pop_id) in
+  p.core @ p.access
+
+let core_routers t =
+  Array.to_list t.pops |> List.concat_map (fun p -> p.core)
+
+let edge_routers t =
+  Array.to_list t.pops |> List.concat_map (fun p -> p.access)

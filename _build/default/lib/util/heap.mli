@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by float priority.
+
+    Used as the event queue of the discrete-event simulator and as the
+    frontier of Dijkstra's algorithm.  Ties are broken by insertion order so
+    iteration is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio v] inserts [v] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element (FIFO among ties). *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,115 @@
+let sum xs = List.fold_left ( +. ) 0.0 xs
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let mean_a a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    sqrt var
+
+let sorted_array xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = sorted_array xs in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then a.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    end
+  end
+
+let median xs = if xs = [] then 0.0 else percentile xs 50.0
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty sample"
+  | x :: rest ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) rest
+
+let cdf xs =
+  let a = sorted_array xs in
+  let n = Array.length a in
+  if n = 0 then []
+  else begin
+    let total = float_of_int n in
+    let points = ref [] in
+    (* Walk from the end so each distinct value gets its highest rank. *)
+    for i = n - 1 downto 0 do
+      if i = n - 1 || a.(i) <> a.(i + 1) then
+        points := (a.(i), float_of_int (i + 1) /. total) :: !points
+    done;
+    !points
+  end
+
+let cdf_at c x =
+  let rec go acc = function
+    | [] -> acc
+    | (v, f) :: rest -> if v <= x then go f rest else acc
+  in
+  go 0.0 c
+
+let quantiles_of_cdf c ps =
+  let invert p =
+    let rec go = function
+      | [] -> 0.0
+      | [ (v, _) ] -> v
+      | (v, f) :: rest -> if f >= p then v else go rest
+    in
+    go c
+  in
+  List.map invert ps
+
+let histogram xs ~bins =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  match xs with
+  | [] -> [||]
+  | _ ->
+    let lo, hi = min_max xs in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    let index x =
+      let i = int_of_float ((x -. lo) /. width) in
+      if i >= bins then bins - 1 else if i < 0 then 0 else i
+    in
+    List.iter (fun x -> counts.(index x) <- counts.(index x) + 1) xs;
+    Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
+
+let moving_average xs ~window =
+  if window < 1 then invalid_arg "Stats.moving_average: window must be >= 1";
+  let q = Queue.create () in
+  let running = ref 0.0 in
+  List.map
+    (fun x ->
+      Queue.push x q;
+      running := !running +. x;
+      if Queue.length q > window then running := !running -. Queue.pop q;
+      !running /. float_of_int (Queue.length q))
+    xs
+
+let geometric_mean = function
+  | [] -> 0.0
+  | xs ->
+    let logs = List.map (fun x ->
+      if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive sample";
+      log x) xs
+    in
+    exp (mean logs)

@@ -1,0 +1,1 @@
+lib/workload/churn.ml: List Rofl_util

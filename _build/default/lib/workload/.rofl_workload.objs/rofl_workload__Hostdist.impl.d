@@ -1,0 +1,1 @@
+lib/workload/hostdist.ml: Array List Rofl_asgraph Rofl_topology Rofl_util

@@ -1,0 +1,1 @@
+lib/workload/hostdist.mli: Rofl_asgraph Rofl_topology Rofl_util

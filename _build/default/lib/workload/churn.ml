@@ -1,0 +1,47 @@
+module Prng = Rofl_util.Prng
+
+type event =
+  | Join of { at_ms : float; seq : int }
+  | Leave of { at_ms : float; seq : int }
+  | Move of { at_ms : float; seq : int }
+
+let event_time = function
+  | Join { at_ms; _ } | Leave { at_ms; _ } | Move { at_ms; _ } -> at_ms
+
+let generate rng ~horizon_ms ~arrival_rate_per_s ~mean_lifetime_s ~move_fraction =
+  if arrival_rate_per_s <= 0.0 then invalid_arg "Churn.generate: arrival rate must be positive";
+  if move_fraction < 0.0 || move_fraction > 1.0 then
+    invalid_arg "Churn.generate: move fraction out of [0,1]";
+  let events = ref [] in
+  let clock = ref 0.0 in
+  let seq = ref 0 in
+  let mean_interarrival_ms = 1000.0 /. arrival_rate_per_s in
+  let continue_ = ref true in
+  while !continue_ do
+    clock := !clock +. Prng.exponential rng mean_interarrival_ms;
+    if !clock >= horizon_ms then continue_ := false
+    else begin
+      let s = !seq in
+      incr seq;
+      events := Join { at_ms = !clock; seq = s } :: !events;
+      let lifetime = Prng.exponential rng (1000.0 *. mean_lifetime_s) in
+      let depart = !clock +. lifetime in
+      if depart < horizon_ms then begin
+        let ev =
+          if Prng.float rng 1.0 < move_fraction then Move { at_ms = depart; seq = s }
+          else Leave { at_ms = depart; seq = s }
+        in
+        events := ev :: !events
+      end
+    end
+  done;
+  List.sort (fun a b -> compare (event_time a) (event_time b)) !events
+
+let count events =
+  List.fold_left
+    (fun (j, l, m) ev ->
+      match ev with
+      | Join _ -> (j + 1, l, m)
+      | Leave _ -> (j, l + 1, m)
+      | Move _ -> (j, l, m + 1))
+    (0, 0, 0) events

@@ -1,0 +1,27 @@
+(** Churn traces: timed join/leave/move event sequences.
+
+    Drives the failure-recovery and mobility experiments: sessions arrive as
+    a Poisson process, hold for exponentially- or Pareto-distributed
+    lifetimes, and a fraction of departures are relocations (mobility)
+    rather than clean leaves. *)
+
+type event =
+  | Join of { at_ms : float; seq : int }
+  | Leave of { at_ms : float; seq : int }
+  | Move of { at_ms : float; seq : int }
+(** [seq] identifies the session whose host joins/leaves/moves. *)
+
+val generate :
+  Rofl_util.Prng.t ->
+  horizon_ms:float ->
+  arrival_rate_per_s:float ->
+  mean_lifetime_s:float ->
+  move_fraction:float ->
+  event list
+(** Events sorted by time; every [Leave]/[Move] follows its session's
+    [Join]. *)
+
+val event_time : event -> float
+
+val count : event list -> (int * int * int)
+(** (joins, leaves, moves). *)

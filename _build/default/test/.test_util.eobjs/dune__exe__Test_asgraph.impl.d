@@ -1,0 +1,1 @@
+test/test_asgraph.ml: Alcotest Array List Printf Rofl_asgraph Rofl_util

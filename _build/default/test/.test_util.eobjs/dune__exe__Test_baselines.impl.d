@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rofl_asgraph Rofl_baselines Rofl_idspace Rofl_topology Rofl_util

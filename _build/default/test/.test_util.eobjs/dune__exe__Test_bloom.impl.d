@@ -1,0 +1,1 @@
+test/test_bloom.ml: Alcotest List Printf QCheck QCheck_alcotest Rofl_bloom Rofl_idspace Rofl_util

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Int64 List Printf Rofl_asgraph Rofl_core Rofl_crypto Rofl_idspace Rofl_inter Rofl_intra Rofl_linkstate Rofl_netsim Rofl_topology Rofl_util

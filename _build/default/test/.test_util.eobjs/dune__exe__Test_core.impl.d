@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Option QCheck QCheck_alcotest Rofl_core Rofl_idspace Rofl_linkstate Rofl_topology Rofl_util String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char List Printf Rofl_crypto Rofl_idspace Rofl_util String

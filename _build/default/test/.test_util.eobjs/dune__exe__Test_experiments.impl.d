@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array List Rofl_asgraph Rofl_experiments Rofl_topology Rofl_util String

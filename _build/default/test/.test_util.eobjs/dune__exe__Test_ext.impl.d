@@ -1,0 +1,1 @@
+test/test_ext.ml: Alcotest Array Hashtbl List Option Rofl_asgraph Rofl_core Rofl_crypto Rofl_ext Rofl_idspace Rofl_inter Rofl_intra Rofl_topology Rofl_util

@@ -1,0 +1,1 @@
+test/test_idspace.ml: Alcotest Gen Int64 List Option QCheck QCheck_alcotest Rofl_idspace Rofl_util

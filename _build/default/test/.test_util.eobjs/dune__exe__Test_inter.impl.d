@@ -1,0 +1,1 @@
+test/test_inter.ml: Alcotest Array Hashtbl List Printf Rofl_asgraph Rofl_idspace Rofl_inter Rofl_util String

@@ -1,0 +1,1 @@
+test/test_inter_edge.ml: Alcotest Hashtbl List Rofl_asgraph Rofl_idspace Rofl_inter Rofl_util

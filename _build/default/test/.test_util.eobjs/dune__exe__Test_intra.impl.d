@@ -1,0 +1,1 @@
+test/test_intra.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rofl_core Rofl_idspace Rofl_intra Rofl_linkstate Rofl_netsim Rofl_topology Rofl_util

@@ -1,0 +1,1 @@
+test/test_linkstate.ml: Alcotest List QCheck QCheck_alcotest Rofl_linkstate Rofl_topology Rofl_util

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest List Rofl_netsim

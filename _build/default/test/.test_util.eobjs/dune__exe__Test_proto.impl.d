@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array List Printf Rofl_core Rofl_idspace Rofl_intra Rofl_proto Rofl_topology Rofl_util

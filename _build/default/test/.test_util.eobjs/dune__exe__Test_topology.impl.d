@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rofl_topology Rofl_util String

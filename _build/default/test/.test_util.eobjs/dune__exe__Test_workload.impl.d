@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl List Printf Rofl_asgraph Rofl_topology Rofl_util Rofl_workload

@@ -1,0 +1,276 @@
+(* AS-graph substrate tests: relationships, cones, hierarchy generation,
+   policy routing (valley-free and BGP-like), and relationship inference. *)
+
+module Asgraph = Rofl_asgraph.Asgraph
+module Internet = Rofl_asgraph.Internet
+module Policy = Rofl_asgraph.Policy
+module Infer = Rofl_asgraph.Infer
+module Prng = Rofl_util.Prng
+
+(* A small hand-built hierarchy:
+       0   (tier-1)
+      / \
+     1   2       1--2 peer? no: 1 and 2 are customers of 0; make 3,4 stubs
+    / \   \
+   3   4   5      and a peer link between 1 and 2.            *)
+let toy () =
+  let g = Asgraph.create 6 in
+  Asgraph.add_provider g ~customer:1 ~provider:0;
+  Asgraph.add_provider g ~customer:2 ~provider:0;
+  Asgraph.add_provider g ~customer:3 ~provider:1;
+  Asgraph.add_provider g ~customer:4 ~provider:1;
+  Asgraph.add_provider g ~customer:5 ~provider:2;
+  Asgraph.add_peer g 1 2;
+  g
+
+let test_basic_relationships () =
+  let g = toy () in
+  Alcotest.(check (list int)) "providers of 3" [ 1 ] (Asgraph.providers g 3);
+  Alcotest.(check (list int)) "customers of 1" [ 4; 3 ] (Asgraph.customers g 1);
+  Alcotest.(check (list int)) "peers of 1" [ 2 ] (Asgraph.peers g 1);
+  Alcotest.(check bool) "provider edge" true (Asgraph.is_provider_edge g ~customer:3 ~provider:1);
+  Alcotest.(check bool) "peer edge symmetric" true (Asgraph.is_peer_edge g 2 1);
+  Alcotest.(check bool) "not multihomed" false (Asgraph.multihomed g 3)
+
+let test_validate_ok () =
+  match Asgraph.validate (toy ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "toy should validate: %s" e
+
+let test_validate_cycle () =
+  let g = Asgraph.create 2 in
+  Asgraph.add_provider g ~customer:0 ~provider:1;
+  Asgraph.add_provider g ~customer:1 ~provider:0;
+  match Asgraph.validate g with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cycle should be rejected"
+
+let test_cones () =
+  let g = toy () in
+  Alcotest.(check int) "root cone" 6 (Asgraph.cone_size g 0);
+  Alcotest.(check int) "AS1 cone" 3 (Asgraph.cone_size g 1);
+  Alcotest.(check int) "stub cone" 1 (Asgraph.cone_size g 3);
+  Alcotest.(check bool) "3 in cone(1)" true (Asgraph.in_cone g ~root:1 3);
+  Alcotest.(check bool) "5 not in cone(1)" false (Asgraph.in_cone g ~root:1 5);
+  Alcotest.(check bool) "everything in cone(0)" true (Asgraph.in_cone g ~root:0 5)
+
+let test_up_hierarchy () =
+  let g = toy () in
+  Alcotest.(check (list int)) "up of 3 (by cone size)" [ 3; 1; 0 ] (Asgraph.up_hierarchy g 3);
+  Alcotest.(check (list int)) "up of 0" [ 0 ] (Asgraph.up_hierarchy g 0);
+  let with_peers = Asgraph.up_hierarchy_with_peers g 3 in
+  Alcotest.(check bool) "peers included" true (List.mem 2 with_peers)
+
+let test_tier1s_lca () =
+  let g = toy () in
+  Alcotest.(check (list int)) "tier1" [ 0 ] (Asgraph.tier1s g);
+  Alcotest.(check (list int)) "lca(3,4)" [ 1 ] (Asgraph.least_common_ancestors g 3 4);
+  Alcotest.(check (list int)) "lca(3,5)" [ 0 ] (Asgraph.least_common_ancestors g 3 5)
+
+let test_edges_in_up_hierarchy () =
+  let g = toy () in
+  Alcotest.(check int) "two edges above stub 3" 2 (Asgraph.edges_in_up_hierarchy g 3)
+
+let test_topo_order () =
+  let g = toy () in
+  let order = Asgraph.topo_order g in
+  let pos = Array.make 6 0 in
+  Array.iteri (fun i a -> pos.(a) <- i) order;
+  (* Providers come before customers. *)
+  Alcotest.(check bool) "0 before 1" true (pos.(0) < pos.(1));
+  Alcotest.(check bool) "1 before 3" true (pos.(1) < pos.(3));
+  Alcotest.(check bool) "2 before 5" true (pos.(2) < pos.(5))
+
+(* ---------- Policy ---------- *)
+
+let test_policy_customer_route () =
+  let p = Policy.create (toy ()) in
+  (* 1 -> 3 is a pure customer route of length 1. *)
+  Alcotest.(check (option int)) "1->3" (Some 1) (Policy.bgp_distance p ~src:1 ~dst:3);
+  Alcotest.(check bool) "class customer" true
+    (Policy.bgp_route_class p ~src:1 ~dst:3 = Some `Customer)
+
+let test_policy_peer_route () =
+  let p = Policy.create (toy ()) in
+  (* 1 -> 5: peer hop to 2 then down; length 2; class Peer. *)
+  Alcotest.(check (option int)) "1->5" (Some 2) (Policy.bgp_distance p ~src:1 ~dst:5);
+  Alcotest.(check bool) "class peer" true
+    (Policy.bgp_route_class p ~src:1 ~dst:5 = Some `Peer)
+
+let test_policy_provider_route () =
+  let p = Policy.create (toy ()) in
+  (* 3 -> 4: up to 1 then down: provider route of length 2. *)
+  Alcotest.(check (option int)) "3->4" (Some 2) (Policy.bgp_distance p ~src:3 ~dst:4);
+  Alcotest.(check bool) "class provider" true
+    (Policy.bgp_route_class p ~src:3 ~dst:4 = Some `Provider);
+  (* 3 -> 5 goes up to 1, peer to 2, down to 5 (valley-free, length 3). *)
+  Alcotest.(check (option int)) "3->5" (Some 3) (Policy.bgp_distance p ~src:3 ~dst:5)
+
+let test_policy_self () =
+  let p = Policy.create (toy ()) in
+  Alcotest.(check (option int)) "self" (Some 0) (Policy.bgp_distance p ~src:3 ~dst:3)
+
+let test_policy_path_reconstruction () =
+  let p = Policy.create (toy ()) in
+  Alcotest.(check bool) "3->5 via 1" true (Policy.bgp_uses_as p ~src:3 ~dst:5 ~via:1);
+  Alcotest.(check bool) "3->5 via 2" true (Policy.bgp_uses_as p ~src:3 ~dst:5 ~via:2);
+  Alcotest.(check bool) "3->5 not via 0 (peering preferred)" false
+    (Policy.bgp_uses_as p ~src:3 ~dst:5 ~via:0);
+  Alcotest.(check bool) "3->4 not via 0" false (Policy.bgp_uses_as p ~src:3 ~dst:4 ~via:0)
+
+let test_policy_shortest () =
+  let p = Policy.create (toy ()) in
+  Alcotest.(check (option int)) "shortest 3->5" (Some 3) (Policy.shortest_distance p ~src:3 ~dst:5);
+  Alcotest.(check (option int)) "shortest self" (Some 0) (Policy.shortest_distance p ~src:3 ~dst:3)
+
+let test_vf_distance_within () =
+  let p = Policy.create (toy ()) in
+  (* Within cone(1): 3 -> 4 = 2. *)
+  Alcotest.(check (option int)) "3->4 in cone(1)" (Some 2)
+    (Policy.vf_distance_within p ~root:(Some 1) 3 4);
+  (* 3 -> 5 impossible inside cone(1). *)
+  Alcotest.(check (option int)) "3->5 not in cone(1)" None
+    (Policy.vf_distance_within p ~root:(Some 1) 3 5);
+  (* Unrestricted: peer path length 3. *)
+  Alcotest.(check (option int)) "3->5 unrestricted" (Some 3)
+    (Policy.vf_distance_within p ~root:None 3 5);
+  (* Blocked relay AS cuts the route. *)
+  Alcotest.(check (option int)) "3->4 with 1 blocked" None
+    (Policy.vf_distance_within p ~root:None ~blocked:(fun a -> a = 1) 3 4)
+
+let test_up_distances () =
+  let p = Policy.create (toy ()) in
+  Alcotest.(check (list (pair int int))) "up distances of 3" [ (3, 0); (1, 1); (0, 2) ]
+    (Policy.up_distances p 3)
+
+(* ---------- Internet generator ---------- *)
+
+let test_internet_valid () =
+  List.iter
+    (fun seed ->
+      let inet = Internet.generate (Prng.create seed) Internet.small_params in
+      let g = inet.Internet.graph in
+      (match Asgraph.validate g with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "invalid hierarchy: %s" e);
+      (* Every non-tier-1 AS reaches a tier-1 by climbing. *)
+      let t1s = Asgraph.tier1s g in
+      for a = 0 to Asgraph.n g - 1 do
+        let ups = Asgraph.up_hierarchy g a in
+        Alcotest.(check bool)
+          (Printf.sprintf "AS%d reaches tier-1" a)
+          true
+          (List.exists (fun u -> List.mem u t1s) ups)
+      done)
+    [ 1; 2; 3 ]
+
+let test_internet_structure () =
+  let inet = Internet.generate (Prng.create 4) Internet.default_params in
+  let g = inet.Internet.graph in
+  Alcotest.(check int) "total size" 1100 (Asgraph.n g);
+  Alcotest.(check int) "tier1 count" 10 (List.length (Asgraph.tier1s g));
+  Alcotest.(check int) "stub count" 750 (List.length (Internet.stubs inet));
+  (* Stubs have no customers. *)
+  List.iter
+    (fun s -> Alcotest.(check (list int)) "stub childless" [] (Asgraph.customers g s))
+    (Internet.stubs inet);
+  (* Some multihoming exists. *)
+  let multi = List.filter (Asgraph.multihomed g) (Internet.stubs inet) in
+  Alcotest.(check bool) "some stubs multihomed" true (List.length multi > 50)
+
+let test_internet_policy_reachability () =
+  let inet = Internet.generate (Prng.create 5) Internet.small_params in
+  let p = Policy.create inet.Internet.graph in
+  let rng = Prng.create 6 in
+  let n = Asgraph.n inet.Internet.graph in
+  for _ = 1 to 200 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    match Policy.bgp_distance p ~src:a ~dst:b with
+    | Some d -> Alcotest.(check bool) "distance sane" true (d >= 0 && d < n)
+    | None -> Alcotest.failf "no policy route %d->%d" a b
+  done
+
+let test_bgp_at_least_shortest () =
+  let inet = Internet.generate (Prng.create 7) Internet.small_params in
+  let p = Policy.create inet.Internet.graph in
+  let rng = Prng.create 8 in
+  let n = Asgraph.n inet.Internet.graph in
+  for _ = 1 to 200 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    match (Policy.bgp_distance p ~src:a ~dst:b, Policy.shortest_distance p ~src:a ~dst:b) with
+    | Some bgp, Some sp ->
+      Alcotest.(check bool) "policy path >= shortest" true (bgp >= sp)
+    | _ -> ()
+  done
+
+(* ---------- Inference ---------- *)
+
+let test_infer_roundtrip_validates () =
+  let inet = Internet.generate (Prng.create 9) Internet.small_params in
+  let edges = Infer.export_edges inet.Internet.graph in
+  let inferred = Infer.infer ~n:(Asgraph.n inet.Internet.graph) edges in
+  (match Asgraph.validate inferred with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "inferred graph invalid: %s" e);
+  let agreement = Infer.agreement ~truth:inet.Internet.graph inferred in
+  Alcotest.(check bool)
+    (Printf.sprintf "agreement %.2f above 0.6" agreement)
+    true (agreement > 0.6)
+
+let test_infer_degree_heuristic () =
+  (* A clear star: centre has degree 5, leaves degree 1 → centre is the
+     provider of every leaf. *)
+  let edges = [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5) ] in
+  let g = Infer.infer ~n:6 edges in
+  List.iter
+    (fun leaf ->
+      Alcotest.(check bool)
+        (Printf.sprintf "0 provides %d" leaf)
+        true
+        (Asgraph.is_provider_edge g ~customer:leaf ~provider:0))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_infer_peer_on_equal_degree () =
+  let edges = [ (0, 1) ] in
+  let g = Infer.infer ~n:2 edges in
+  Alcotest.(check bool) "equal degrees peer" true (Asgraph.is_peer_edge g 0 1)
+
+let () =
+  Alcotest.run "rofl_asgraph"
+    [
+      ( "asgraph",
+        [
+          Alcotest.test_case "relationships" `Quick test_basic_relationships;
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "validate cycle" `Quick test_validate_cycle;
+          Alcotest.test_case "cones" `Quick test_cones;
+          Alcotest.test_case "up-hierarchy" `Quick test_up_hierarchy;
+          Alcotest.test_case "tier1 and LCA" `Quick test_tier1s_lca;
+          Alcotest.test_case "up-hierarchy edges" `Quick test_edges_in_up_hierarchy;
+          Alcotest.test_case "topo order" `Quick test_topo_order;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "customer route" `Quick test_policy_customer_route;
+          Alcotest.test_case "peer route" `Quick test_policy_peer_route;
+          Alcotest.test_case "provider route" `Quick test_policy_provider_route;
+          Alcotest.test_case "self" `Quick test_policy_self;
+          Alcotest.test_case "path reconstruction" `Quick test_policy_path_reconstruction;
+          Alcotest.test_case "shortest" `Quick test_policy_shortest;
+          Alcotest.test_case "vf within cone" `Quick test_vf_distance_within;
+          Alcotest.test_case "up distances" `Quick test_up_distances;
+        ] );
+      ( "internet",
+        [
+          Alcotest.test_case "valid hierarchies" `Quick test_internet_valid;
+          Alcotest.test_case "structure" `Quick test_internet_structure;
+          Alcotest.test_case "policy reachability" `Quick test_internet_policy_reachability;
+          Alcotest.test_case "bgp >= shortest" `Quick test_bgp_at_least_shortest;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "roundtrip validates" `Quick test_infer_roundtrip_validates;
+          Alcotest.test_case "degree heuristic" `Quick test_infer_degree_heuristic;
+          Alcotest.test_case "equal degrees peer" `Quick test_infer_peer_on_equal_degree;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* Baseline implementations: CMU-ETHERNET cost model, OSPF loads,
+   BGP-policy stretch, plain Chord. *)
+
+module Id = Rofl_idspace.Id
+module Prng = Rofl_util.Prng
+module Gen = Rofl_topology.Gen
+module Graph = Rofl_topology.Graph
+module Internet = Rofl_asgraph.Internet
+module Cmu = Rofl_baselines.Cmu_ethernet
+module Ospf = Rofl_baselines.Ospf_hosts
+module Bgp = Rofl_baselines.Bgp_policy
+module Chord = Rofl_baselines.Chord
+
+let test_cmu_flood_cost () =
+  let g = Gen.ring 10 ~latency_ms:1.0 in
+  let c = Cmu.create g in
+  Alcotest.(check int) "per-join = 2 links" 20 (Cmu.messages_per_join c);
+  Cmu.join_hosts c 5;
+  Alcotest.(check int) "cumulative" 100 (Cmu.total_messages c);
+  Alcotest.(check int) "hosts" 5 (Cmu.hosts c);
+  Cmu.leave_host c;
+  Alcotest.(check int) "leave floods too" 120 (Cmu.total_messages c);
+  Alcotest.(check int) "host count down" 4 (Cmu.hosts c)
+
+let test_cmu_memory () =
+  let g = Gen.ring 10 ~latency_ms:1.0 in
+  let c = Cmu.create g in
+  Cmu.join_hosts c 100;
+  Alcotest.(check int) "entry per host + routers" 110 (Cmu.entries_per_router c)
+
+let test_cmu_routes_shortest () =
+  let g = Gen.ring 10 ~latency_ms:1.0 in
+  let c = Cmu.create g in
+  Alcotest.(check (option int)) "shortest" (Some 3) (Cmu.route_hops c 0 3);
+  Alcotest.(check (option int)) "wraps" (Some 3) (Cmu.route_hops c 0 7)
+
+let test_ospf_loads () =
+  let g = Gen.star 5 ~latency_ms:1.0 in
+  let o = Ospf.create g in
+  let delivered = Ospf.route_many o [ (1, 2); (2, 3); (3, 4) ] in
+  Alcotest.(check int) "all delivered" 3 delivered;
+  let load = Ospf.router_load o in
+  (* Every star path transits the hub. *)
+  Alcotest.(check int) "hub load" 3 load.(0);
+  let fracs = Ospf.load_fractions o in
+  let sum = Array.fold_left ( +. ) 0.0 fracs in
+  Alcotest.(check (float 1e-9)) "fractions sum to 1" 1.0 sum;
+  Ospf.reset_load o;
+  Alcotest.(check int) "reset" 0 (Ospf.router_load o).(0)
+
+let test_ospf_memory_models () =
+  let g = Gen.ring 8 ~latency_ms:1.0 in
+  let o = Ospf.create g in
+  Alcotest.(check int) "router routes" 8 (Ospf.entries_per_router o);
+  Alcotest.(check int) "with host routes" 108 (Ospf.entries_per_router_with_host_routes o ~hosts:100)
+
+let test_bgp_policy_stretch () =
+  let inet = Internet.generate (Prng.create 3) Internet.small_params in
+  let b = Bgp.create inet.Internet.graph in
+  let rng = Prng.create 4 in
+  let n = Rofl_asgraph.Asgraph.n inet.Internet.graph in
+  let ases = Array.init n (fun i -> i) in
+  let samples = Bgp.sample_stretches b rng ~ases ~samples:300 in
+  Alcotest.(check bool) "got samples" true (List.length samples > 100);
+  List.iter
+    (fun s -> Alcotest.(check bool) "stretch >= 1" true (s >= 1.0))
+    samples;
+  Alcotest.(check bool) "mean stretch modest" true (Rofl_util.Stats.mean samples < 2.5)
+
+let test_bgp_stretch_none_for_self () =
+  let inet = Internet.generate (Prng.create 5) Internet.small_params in
+  let b = Bgp.create inet.Internet.graph in
+  Alcotest.(check (option (float 0.1))) "self" None (Bgp.path_stretch b ~src:3 ~dst:3)
+
+(* ---------- Compact routing ---------- *)
+
+module Compact = Rofl_baselines.Compact
+
+let test_compact_stretch_bound () =
+  let local = Prng.create 11 in
+  let g = Gen.waxman local ~n:80 ~alpha:0.4 ~beta:0.2 in
+  let c = Compact.build local g in
+  for _ = 1 to 300 do
+    let a = Prng.int local 80 and b = Prng.int local 80 in
+    match Compact.stretch c ~src:a ~dst:b with
+    | Some s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stretch %.2f within bound" s)
+        true
+        (s >= 1.0 && s <= Compact.max_stretch_bound +. 1e-9)
+    | None -> ()
+  done
+
+let test_compact_cluster_direct () =
+  let local = Prng.create 12 in
+  let g = Gen.line 10 ~latency_ms:1.0 in
+  let c = Compact.build local ~landmarks:2 g in
+  (* Cluster routes are exact shortest paths. *)
+  for u = 0 to 9 do
+    for v = 0 to 9 do
+      if Compact.in_cluster c u v then begin
+        match Compact.route_hops c ~src:u ~dst:v with
+        | Some h -> Alcotest.(check int) "direct = |u-v|" (abs (u - v)) h
+        | None -> Alcotest.fail "cluster member unreachable"
+      end
+    done
+  done
+
+let test_compact_tables_sublinear () =
+  let local = Prng.create 13 in
+  let g = Gen.waxman local ~n:200 ~alpha:0.3 ~beta:0.15 in
+  let c = Compact.build local g in
+  Alcotest.(check bool) "landmark count ~ sqrt(n log n)" true
+    (Compact.landmark_count c >= 14 && Compact.landmark_count c <= 80);
+  Alcotest.(check bool)
+    (Printf.sprintf "avg table %.0f well below n" (Compact.avg_table_entries c))
+    true
+    (Compact.avg_table_entries c < 150.0)
+
+let test_compact_self_and_home () =
+  let local = Prng.create 14 in
+  let g = Gen.ring 12 ~latency_ms:1.0 in
+  let c = Compact.build local ~landmarks:3 g in
+  Alcotest.(check (option int)) "self route" (Some 0) (Compact.route_hops c ~src:4 ~dst:4);
+  for v = 0 to 11 do
+    let l = Compact.home_landmark c v in
+    Alcotest.(check bool) "home landmark valid" true (l >= 0 && l < 12)
+  done
+
+(* ---------- Chord ---------- *)
+
+let rng = Prng.create 6
+
+let build_chord n =
+  let c = Chord.create ~succ_group:4 ~finger_rows:128 in
+  let ids = Array.init n (fun _ -> Id.random rng) in
+  Array.iter (fun id -> ignore (Chord.join c id)) ids;
+  Chord.refresh_fingers c;
+  (c, ids)
+
+let test_chord_ring_forms () =
+  let c, ids = build_chord 100 in
+  Alcotest.(check int) "size" 100 (Chord.size c);
+  Alcotest.(check bool) "single cycle" true (Chord.check_ring c);
+  ignore ids
+
+let test_chord_lookup_owner () =
+  let c, ids = build_chord 100 in
+  (* Looking up a member's own id from anywhere lands on that member. *)
+  for i = 0 to 30 do
+    match Chord.lookup c ~from:ids.(0) ids.(i) with
+    | Ok r -> Alcotest.(check bool) "owner is the member" true (Id.equal r.Chord.owner ids.(i))
+    | Error e -> Alcotest.failf "lookup failed: %s" e
+  done
+
+let test_chord_lookup_log_hops () =
+  let c, ids = build_chord 512 in
+  let total = ref 0 in
+  for _ = 1 to 100 do
+    let key = Id.random rng in
+    match Chord.lookup c ~from:ids.(0) key with
+    | Ok r -> total := !total + r.Chord.hops
+    | Error e -> Alcotest.failf "lookup failed: %s" e
+  done;
+  let avg = float_of_int !total /. 100.0 in
+  (* log2 512 = 9; allow generous slack. *)
+  Alcotest.(check bool) (Printf.sprintf "avg hops %.1f <= 18" avg) true (avg <= 18.0)
+
+let test_chord_join_duplicate () =
+  let c, ids = build_chord 10 in
+  match Chord.join c ids.(0) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate join accepted"
+
+let test_chord_leave () =
+  let c, ids = build_chord 50 in
+  Chord.leave c ids.(0);
+  Chord.refresh_fingers c;
+  Alcotest.(check int) "one fewer" 49 (Chord.size c);
+  Alcotest.(check bool) "ring still a cycle" true (Chord.check_ring c);
+  match Chord.lookup c ~from:ids.(1) ids.(2) with
+  | Ok r -> Alcotest.(check bool) "still routable" true (Id.equal r.Chord.owner ids.(2))
+  | Error e -> Alcotest.failf "lookup failed: %s" e
+
+let test_chord_lookup_from_nonmember () =
+  let c, _ = build_chord 10 in
+  match Chord.lookup c ~from:(Id.random rng) (Id.random rng) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lookup from non-member accepted"
+
+let prop_chord_owner_is_ring_successor =
+  QCheck.Test.make ~name:"chord owner = first member at/after key" ~count:50
+    (QCheck.int_range 2 64)
+    (fun n ->
+      let c = Chord.create ~succ_group:3 ~finger_rows:64 in
+      let local = Prng.create n in
+      let ids = Array.init n (fun _ -> Id.random local) in
+      Array.iter (fun id -> ignore (Chord.join c id)) ids;
+      Chord.refresh_fingers c;
+      let key = Id.random local in
+      match Chord.lookup c ~from:ids.(0) key with
+      | Ok r ->
+        (* Brute force expected owner. *)
+        let expected =
+          Array.fold_left
+            (fun acc m ->
+              match acc with
+              | Some best
+                when Id.compare (Id.distance key best) (Id.distance key m) <= 0 ->
+                acc
+              | _ -> Some m)
+            None ids
+        in
+        (match expected with Some e -> Id.equal e r.Chord.owner | None -> false)
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "rofl_baselines"
+    [
+      ( "cmu_ethernet",
+        [
+          Alcotest.test_case "flood cost" `Quick test_cmu_flood_cost;
+          Alcotest.test_case "memory" `Quick test_cmu_memory;
+          Alcotest.test_case "routes shortest" `Quick test_cmu_routes_shortest;
+        ] );
+      ( "ospf",
+        [
+          Alcotest.test_case "loads" `Quick test_ospf_loads;
+          Alcotest.test_case "memory models" `Quick test_ospf_memory_models;
+        ] );
+      ( "bgp_policy",
+        [
+          Alcotest.test_case "stretch samples" `Quick test_bgp_policy_stretch;
+          Alcotest.test_case "self is None" `Quick test_bgp_stretch_none_for_self;
+        ] );
+      ( "compact",
+        [
+          Alcotest.test_case "stretch bound" `Quick test_compact_stretch_bound;
+          Alcotest.test_case "cluster direct" `Quick test_compact_cluster_direct;
+          Alcotest.test_case "sublinear tables" `Quick test_compact_tables_sublinear;
+          Alcotest.test_case "self and home" `Quick test_compact_self_and_home;
+        ] );
+      ( "chord",
+        [
+          Alcotest.test_case "ring forms" `Quick test_chord_ring_forms;
+          Alcotest.test_case "lookup owner" `Quick test_chord_lookup_owner;
+          Alcotest.test_case "log hops" `Quick test_chord_lookup_log_hops;
+          Alcotest.test_case "duplicate join" `Quick test_chord_join_duplicate;
+          Alcotest.test_case "leave" `Quick test_chord_leave;
+          Alcotest.test_case "nonmember lookup" `Quick test_chord_lookup_from_nonmember;
+          QCheck_alcotest.to_alcotest prop_chord_owner_is_ring_successor;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Bloom filter tests: no false negatives, bounded false positives, merge,
+   sizing. *)
+
+module Bloom = Rofl_bloom.Bloom
+module Id = Rofl_idspace.Id
+module Prng = Rofl_util.Prng
+
+let rng = Prng.create 31337
+
+let test_no_false_negatives () =
+  let f = Bloom.create ~m_bits:8192 ~k:5 in
+  let ids = List.init 200 (fun _ -> Id.random rng) in
+  List.iter (Bloom.add f) ids;
+  List.iter (fun id -> Alcotest.(check bool) "member found" true (Bloom.mem f id)) ids
+
+let test_false_positive_rate () =
+  let n = 1000 in
+  let f = Bloom.create_optimal ~expected:n ~fpr:0.01 in
+  for _ = 1 to n do
+    Bloom.add f (Id.random rng)
+  done;
+  let fp = ref 0 in
+  let probes = 20_000 in
+  for _ = 1 to probes do
+    if Bloom.mem f (Id.random rng) then incr fp
+  done;
+  let rate = float_of_int !fp /. float_of_int probes in
+  Alcotest.(check bool)
+    (Printf.sprintf "fp rate %.4f under 3%%" rate)
+    true (rate < 0.03)
+
+let test_empty_filter_rejects () =
+  let f = Bloom.create ~m_bits:1024 ~k:4 in
+  let fp = ref 0 in
+  for _ = 1 to 1000 do
+    if Bloom.mem f (Id.random rng) then incr fp
+  done;
+  Alcotest.(check int) "no positives when empty" 0 !fp
+
+let test_create_optimal_geometry () =
+  let f = Bloom.create_optimal ~expected:1000 ~fpr:0.01 in
+  (* Textbook: m ≈ 9.6 n, k ≈ 7. *)
+  Alcotest.(check bool) "m in plausible band" true
+    (Bloom.m_bits f > 9_000 && Bloom.m_bits f < 10_500);
+  Alcotest.(check bool) "k in plausible band" true (Bloom.k f >= 6 && Bloom.k f <= 8)
+
+let test_estimated_fpr_grows () =
+  let f = Bloom.create ~m_bits:4096 ~k:4 in
+  let before = Bloom.estimated_fpr f in
+  for _ = 1 to 500 do
+    Bloom.add f (Id.random rng)
+  done;
+  Alcotest.(check bool) "fpr estimate grows with fill" true
+    (Bloom.estimated_fpr f > before);
+  Alcotest.(check bool) "fill ratio in (0,1)" true
+    (Bloom.fill_ratio f > 0.0 && Bloom.fill_ratio f < 1.0)
+
+let test_merge () =
+  let a = Bloom.create ~m_bits:2048 ~k:4 and b = Bloom.create ~m_bits:2048 ~k:4 in
+  let ids_a = List.init 50 (fun _ -> Id.random rng) in
+  let ids_b = List.init 50 (fun _ -> Id.random rng) in
+  List.iter (Bloom.add a) ids_a;
+  List.iter (Bloom.add b) ids_b;
+  Bloom.merge_into ~dst:a b;
+  List.iter
+    (fun id -> Alcotest.(check bool) "merged members present" true (Bloom.mem a id))
+    (ids_a @ ids_b);
+  Alcotest.(check int) "counts added" 100 (Bloom.count a)
+
+let test_merge_geometry_mismatch () =
+  let a = Bloom.create ~m_bits:2048 ~k:4 and b = Bloom.create ~m_bits:1024 ~k:4 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bloom.merge_into: geometry mismatch")
+    (fun () -> Bloom.merge_into ~dst:a b)
+
+let test_copy_independent () =
+  let a = Bloom.create ~m_bits:1024 ~k:3 in
+  let id = Id.random rng in
+  let b = Bloom.copy a in
+  Bloom.add a id;
+  Alcotest.(check bool) "copy unaffected" false (Bloom.mem b id)
+
+let test_clear () =
+  let f = Bloom.create ~m_bits:1024 ~k:3 in
+  let id = Id.random rng in
+  Bloom.add f id;
+  Bloom.clear f;
+  Alcotest.(check bool) "cleared" false (Bloom.mem f id);
+  Alcotest.(check int) "count reset" 0 (Bloom.count f)
+
+let test_strings_too () =
+  let f = Bloom.create ~m_bits:1024 ~k:3 in
+  Bloom.add_string f "hello";
+  Alcotest.(check bool) "string member" true (Bloom.mem_string f "hello");
+  Alcotest.(check bool) "other string absent (probably)" false
+    (Bloom.mem_string f "definitely-not-in-there-12345")
+
+let test_bad_geometry () =
+  Alcotest.check_raises "zero bits" (Invalid_argument "Bloom.create: m_bits must be positive")
+    (fun () -> ignore (Bloom.create ~m_bits:0 ~k:3));
+  Alcotest.check_raises "zero hashes" (Invalid_argument "Bloom.create: k out of range")
+    (fun () -> ignore (Bloom.create ~m_bits:64 ~k:0))
+
+let prop_no_false_negative =
+  QCheck.Test.make ~name:"added strings are always members" ~count:200
+    QCheck.(small_list string)
+    (fun strings ->
+      let f = Bloom.create ~m_bits:4096 ~k:4 in
+      List.iter (Bloom.add_string f) strings;
+      List.for_all (Bloom.mem_string f) strings)
+
+let () =
+  Alcotest.run "rofl_bloom"
+    [
+      ( "bloom",
+        [
+          Alcotest.test_case "no false negatives" `Quick test_no_false_negatives;
+          Alcotest.test_case "false positive rate" `Quick test_false_positive_rate;
+          Alcotest.test_case "empty rejects" `Quick test_empty_filter_rejects;
+          Alcotest.test_case "optimal geometry" `Quick test_create_optimal_geometry;
+          Alcotest.test_case "fpr estimate grows" `Quick test_estimated_fpr_grows;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "merge mismatch" `Quick test_merge_geometry_mismatch;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "string keys" `Quick test_strings_too;
+          Alcotest.test_case "bad geometry" `Quick test_bad_geometry;
+          QCheck_alcotest.to_alcotest prop_no_false_negative;
+        ] );
+    ]

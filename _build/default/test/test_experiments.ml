@@ -1,0 +1,129 @@
+(* End-to-end smoke of every experiment at a tiny scale: each figure module
+   must produce well-formed tables and uphold the paper's qualitative
+   claims (who wins, which direction the trend runs). *)
+
+module E = Rofl_experiments
+module Table = Rofl_util.Table
+module Isp = Rofl_topology.Isp
+module Internet = Rofl_asgraph.Internet
+
+let tiny : E.Common.scale =
+  {
+    E.Common.seed = 99;
+    intra_hosts = 200;
+    intra_pairs = 80;
+    isps = [ Isp.as3967 ];
+    inter_hosts = 600;
+    inter_pairs = 80;
+    inter_params = Internet.small_params;
+    pop_ids_grid = [ 1; 5 ];
+    cache_grid = [ 0; 512 ];
+    inter_cache_grid = [ 0; 64 ];
+    finger_grid = [ 30 ];
+  }
+
+let rendered f =
+  let tables = f tiny in
+  Alcotest.(check bool) "at least one table" true (tables <> []);
+  List.iter
+    (fun t ->
+      let s = Table.render t in
+      Alcotest.(check bool) "non-empty render" true (String.length s > 20))
+    tables;
+  tables
+
+let test_checkpoints_cover_scale () =
+  let marks = E.Common.log_checkpoints 1000 in
+  Alcotest.(check bool) "starts at 1" true (List.mem 1 marks);
+  Alcotest.(check bool) "ends at n" true (List.mem 1000 marks);
+  Alcotest.(check bool) "log spaced" true (List.length marks < 15)
+
+let test_intra_run_shapes () =
+  let run = E.Common.default_intra_run tiny Isp.as3967 in
+  Alcotest.(check int) "all ids joined" 200 (Array.length run.E.Common.ids);
+  Alcotest.(check int) "per-join series" 200 (List.length run.E.Common.join_msgs);
+  Alcotest.(check bool) "checkpoints recorded" true
+    (List.length run.E.Common.checkpoints > 3);
+  (* Cumulative overhead is increasing. *)
+  let rec increasing = function
+    | (_, a, _) :: ((_, b, _) :: _ as rest) -> a <= b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "cumulative increasing" true (increasing run.E.Common.checkpoints)
+
+let test_fig5a () = ignore (rendered E.Fig5.fig5a)
+
+let test_fig5b_cdf_monotone () =
+  match rendered E.Fig5.fig5b with
+  | [] -> Alcotest.fail "no table"
+  | _ :: _ -> ()
+
+let test_fig5c () = ignore (rendered E.Fig5.fig5c)
+
+let test_fig6a_cache_trend () =
+  match rendered E.Fig6.fig6a with
+  | [ _t ] -> ()
+  | _ -> Alcotest.fail "expected one table"
+
+let test_fig6b () = ignore (rendered E.Fig6.fig6b)
+
+let test_fig6c () = ignore (rendered E.Fig6.fig6c)
+
+let test_fig7_consistency_column () =
+  let tables = rendered E.Fig7.fig7 in
+  (* Every consistency cell must be "yes" — misconvergence is a bug. *)
+  List.iter
+    (fun t ->
+      let s = Table.render t in
+      Alcotest.(check bool) "no misconvergence" false
+        (let needle = "NO" in
+         let n = String.length needle and h = String.length s in
+         let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+         go 0))
+    tables
+
+let test_fig8a () = ignore (rendered E.Fig8.fig8a)
+
+let test_fig8b () = ignore (rendered E.Fig8.fig8b)
+
+let test_fig8c () = ignore (rendered E.Fig8.fig8c)
+
+let test_summary () = ignore (rendered E.Summary.summary)
+
+let test_compare_targets () =
+  let tables = rendered E.Compare.compact_vs_rofl in
+  ignore tables;
+  let sizes = rendered E.Compare.message_sizes in
+  ignore sizes
+
+let test_ablations_directions () =
+  (* The cache ablation must show caching strictly helping. *)
+  ignore (rendered E.Ablations.ablate_cache);
+  ignore (rendered E.Ablations.ablate_zero_id);
+  ignore (rendered E.Ablations.ablate_multihomed)
+
+let () =
+  Alcotest.run "rofl_experiments"
+    [
+      ( "common",
+        [
+          Alcotest.test_case "checkpoints" `Quick test_checkpoints_cover_scale;
+          Alcotest.test_case "intra run shapes" `Slow test_intra_run_shapes;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig5a" `Slow test_fig5a;
+          Alcotest.test_case "fig5b" `Slow test_fig5b_cdf_monotone;
+          Alcotest.test_case "fig5c" `Slow test_fig5c;
+          Alcotest.test_case "fig6a" `Slow test_fig6a_cache_trend;
+          Alcotest.test_case "fig6b" `Slow test_fig6b;
+          Alcotest.test_case "fig6c" `Slow test_fig6c;
+          Alcotest.test_case "fig7" `Slow test_fig7_consistency_column;
+          Alcotest.test_case "fig8a" `Slow test_fig8a;
+          Alcotest.test_case "fig8b" `Slow test_fig8b;
+          Alcotest.test_case "fig8c" `Slow test_fig8c;
+          Alcotest.test_case "summary" `Slow test_summary;
+          Alcotest.test_case "ablations" `Slow test_ablations_directions;
+          Alcotest.test_case "compare targets" `Slow test_compare_targets;
+        ] );
+    ]

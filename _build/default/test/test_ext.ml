@@ -1,0 +1,251 @@
+(* Extension tests (§5): anycast, multicast, capabilities, default-off,
+   traffic engineering. *)
+
+module Id = Rofl_idspace.Id
+module Prng = Rofl_util.Prng
+module Gen = Rofl_topology.Gen
+module Internet = Rofl_asgraph.Internet
+module Asgraph = Rofl_asgraph.Asgraph
+module Network = Rofl_intra.Network
+module Vnode = Rofl_core.Vnode
+module Anycast = Rofl_ext.Anycast
+module Multicast = Rofl_ext.Multicast
+module Capability = Rofl_ext.Capability
+module Te = Rofl_ext.Traffic_eng
+module Identity = Rofl_crypto.Identity
+module Net = Rofl_inter.Net
+module Route = Rofl_inter.Route
+
+let intra_net seed =
+  let rng = Prng.create seed in
+  let g = Gen.waxman rng ~n:40 ~alpha:0.4 ~beta:0.2 in
+  (Network.create ~rng g, rng)
+
+(* ---------- anycast ---------- *)
+
+let test_anycast_member_ids () =
+  let rng = Prng.create 1 in
+  let g = Anycast.fresh_group rng in
+  let m = Anycast.member_id g ~suffix:42l in
+  Alcotest.(check bool) "member in group" true (Id.same_group m (Anycast.group_id g));
+  Alcotest.(check int32) "suffix preserved" 42l (Id.low32 m)
+
+let test_anycast_delivers_to_member () =
+  let net, rng = intra_net 2 in
+  (* Background population. *)
+  for _ = 1 to 40 do
+    ignore (Network.join_fresh_host net ~gateway:(Prng.int rng 40) ~cls:Vnode.Stable)
+  done;
+  let g = Anycast.fresh_group rng in
+  List.iter
+    (fun s ->
+      match Anycast.join_server net g ~gateway:(Prng.int rng 40) ~suffix:s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "server join: %s" e)
+    [ 100l; 1000000l; 2000000000l ];
+  Alcotest.(check int) "three members" 3 (List.length (Anycast.members_alive net g));
+  let served = Hashtbl.create 4 in
+  for _ = 1 to 120 do
+    let d = Anycast.route net ~from:(Prng.int rng 40) g rng in
+    match d.Anycast.server with
+    | Some sid ->
+      Alcotest.(check bool) "server is a group member" true
+        (Id.same_group sid (Anycast.group_id g));
+      Hashtbl.replace served sid ()
+    | None -> Alcotest.fail "anycast lost"
+  done;
+  Alcotest.(check bool) "load spread over members" true (Hashtbl.length served >= 2)
+
+let test_anycast_survives_member_failure () =
+  let net, rng = intra_net 3 in
+  let g = Anycast.fresh_group rng in
+  List.iter
+    (fun s -> ignore (Anycast.join_server net g ~gateway:(Prng.int rng 40) ~suffix:s))
+    [ 5l; 500000l ];
+  (* Kill one member; anycast must still land on the survivor. *)
+  (match Anycast.members_alive net g with
+   | victim :: _ -> ignore (Rofl_intra.Failure.fail_host net victim)
+   | [] -> Alcotest.fail "no members");
+  for _ = 1 to 30 do
+    let d = Anycast.route net ~from:(Prng.int rng 40) g rng in
+    Alcotest.(check bool) "still served" true (d.Anycast.server <> None)
+  done
+
+(* ---------- multicast ---------- *)
+
+let test_multicast_tree_and_send () =
+  let net, rng = intra_net 4 in
+  for _ = 1 to 20 do
+    ignore (Network.join_fresh_host net ~gateway:(Prng.int rng 40) ~cls:Vnode.Stable)
+  done;
+  let chan = Multicast.create net (Anycast.fresh_group rng) in
+  let members = [ 1l; 2l; 3l; 4l; 5l ] in
+  List.iter
+    (fun s ->
+      match Multicast.join_member chan ~gateway:(Prng.int rng 40) ~suffix:s with
+      | Ok msgs -> Alcotest.(check bool) "join charged" true (msgs >= 0)
+      | Error e -> Alcotest.failf "member join: %s" e)
+    members;
+  Alcotest.(check int) "five members" 5 (List.length (Multicast.members chan));
+  Alcotest.(check bool) "tree well-formed" true (Multicast.check_tree chan);
+  (match Multicast.send chan ~from_suffix:3l with
+   | Ok (msgs, reached) ->
+     Alcotest.(check int) "everyone reached" 5 reached;
+     (* A tree delivers with exactly |routers|-1 messages. *)
+     Alcotest.(check int) "tree-efficient"
+       (List.length (Multicast.tree_routers chan) - 1)
+       msgs
+   | Error e -> Alcotest.failf "send: %s" e)
+
+let test_multicast_rejects () =
+  let net, rng = intra_net 5 in
+  let chan = Multicast.create net (Anycast.fresh_group rng) in
+  ignore (Multicast.join_member chan ~gateway:0 ~suffix:1l);
+  (match Multicast.join_member chan ~gateway:1 ~suffix:1l with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "duplicate suffix accepted");
+  match Multicast.send chan ~from_suffix:9l with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-member send accepted"
+
+(* ---------- capabilities ---------- *)
+
+let test_capability_lifecycle () =
+  let rng = Prng.create 6 in
+  let kp = Identity.generate rng in
+  let auth = Capability.authority_of kp in
+  let src = Id.random rng and dst = Identity.id_of_keypair kp in
+  let cap = Capability.grant auth ~src ~dst ~expires_at:100.0 () in
+  Alcotest.(check bool) "valid in time" true
+    (Capability.verify auth cap ~src ~dst ~now:50.0 () = Ok ());
+  Alcotest.(check bool) "expired" false
+    (Capability.verify auth cap ~src ~dst ~now:200.0 () = Ok ());
+  Alcotest.(check bool) "wrong source" false
+    (Capability.verify auth cap ~src:(Id.random rng) ~dst ~now:50.0 () = Ok ());
+  Capability.revoke auth cap;
+  Alcotest.(check bool) "revoked" false
+    (Capability.verify auth cap ~src ~dst ~now:50.0 () = Ok ())
+
+let test_capability_path_pinning () =
+  let rng = Prng.create 7 in
+  let kp = Identity.generate rng in
+  let auth = Capability.authority_of kp in
+  let src = Id.random rng and dst = Identity.id_of_keypair kp in
+  let cap = Capability.grant auth ~src ~dst ~expires_at:100.0 ~path:[ 1; 2; 3 ] () in
+  Alcotest.(check bool) "pinned path ok" true
+    (Capability.verify auth cap ~src ~dst ~now:1.0 ~path:[ 1; 2; 3 ] () = Ok ());
+  Alcotest.(check bool) "deviating path dropped" false
+    (Capability.verify auth cap ~src ~dst ~now:1.0 ~path:[ 1; 4; 3 ] () = Ok ());
+  Alcotest.(check bool) "missing path dropped" false
+    (Capability.verify auth cap ~src ~dst ~now:1.0 () = Ok ())
+
+let test_default_off_filter () =
+  let rng = Prng.create 8 in
+  let f = Capability.create_filter () in
+  let alice = Id.random rng and bob = Id.random rng and server = Id.random rng in
+  Alcotest.(check bool) "unprotected reachable" true
+    (Capability.admit f ~src:alice ~dst:server);
+  Capability.protect f server;
+  Alcotest.(check bool) "protected unreachable" false
+    (Capability.admit f ~src:alice ~dst:server);
+  Capability.allow f ~src:alice ~dst:server;
+  Alcotest.(check bool) "whitelisted" true (Capability.admit f ~src:alice ~dst:server);
+  Alcotest.(check bool) "others still blocked" false
+    (Capability.admit f ~src:bob ~dst:server)
+
+(* ---------- traffic engineering ---------- *)
+
+let inter_net seed =
+  let rng = Prng.create seed in
+  let inet = Internet.generate rng Internet.small_params in
+  (Net.create ~rng inet.Internet.graph, inet, rng)
+
+let test_negotiation_intersects_hierarchies () =
+  let net, inet, rng = inter_net 9 in
+  let stubs = Array.of_list (Internet.stubs inet) in
+  for _ = 1 to 30 do
+    let a = Prng.sample rng stubs and b = Prng.sample rng stubs in
+    let allowed = Te.negotiate_allowed_ases net ~src_as:a ~dst_as:b ~keep:5 in
+    let g = inet.Internet.graph in
+    List.iter
+      (fun anc ->
+        Alcotest.(check bool) "ancestor of src" true
+          (List.mem anc (Asgraph.up_hierarchy g a));
+        Alcotest.(check bool) "ancestor of dst" true
+          (List.mem anc (Asgraph.up_hierarchy g b)))
+      allowed
+  done
+
+let test_te_join_and_route () =
+  let net, inet, rng = inter_net 10 in
+  let stubs = Array.of_list (Internet.stubs inet) in
+  (* Populate so routing has structure. *)
+  for _ = 1 to 200 do
+    ignore (Net.join net ~as_idx:(Prng.sample rng stubs) ~strategy:Net.Multihomed)
+  done;
+  let g = inet.Internet.graph in
+  let site =
+    Array.to_list stubs |> List.find (fun s -> List.length (Asgraph.providers g s) >= 2)
+  in
+  match Te.te_join net ~site_as:site with
+  | Error e -> Alcotest.failf "te_join: %s" e
+  | Ok ts ->
+    Alcotest.(check int) "one suffix per provider"
+      (List.length (Asgraph.providers g site))
+      (List.length ts.Te.suffix_ids);
+    let src =
+      Hashtbl.fold (fun _ h acc -> if h.Net.home_as <> site then Some h else acc)
+        net.Net.hosts None
+      |> Option.get
+    in
+    List.iter
+      (fun (suffix, provider) ->
+        Alcotest.(check (option int)) "provider mapping" (Some provider)
+          (Te.inbound_provider ts ~suffix);
+        match Te.te_route net ~src ~site:ts ~suffix with
+        | Some r -> Alcotest.(check bool) "routes" true r.Route.delivered
+        | None -> Alcotest.fail "no TE route")
+      ts.Te.suffix_ids
+
+let test_te_route_unknown_suffix () =
+  let net, inet, rng = inter_net 11 in
+  let stubs = Array.of_list (Internet.stubs inet) in
+  ignore (Net.join net ~as_idx:(Prng.sample rng stubs) ~strategy:Net.Multihomed);
+  let g = inet.Internet.graph in
+  let site =
+    Array.to_list stubs |> List.find (fun s -> List.length (Asgraph.providers g s) >= 2)
+  in
+  match Te.te_join net ~site_as:site with
+  | Error e -> Alcotest.failf "te_join: %s" e
+  | Ok ts ->
+    let src = Hashtbl.fold (fun _ h _ -> Some h) net.Net.hosts None |> Option.get in
+    Alcotest.(check bool) "unknown suffix refused" true
+      (Te.te_route net ~src ~site:ts ~suffix:999l = None)
+
+let () =
+  Alcotest.run "rofl_ext"
+    [
+      ( "anycast",
+        [
+          Alcotest.test_case "member ids" `Quick test_anycast_member_ids;
+          Alcotest.test_case "delivers to member" `Quick test_anycast_delivers_to_member;
+          Alcotest.test_case "survives failure" `Quick test_anycast_survives_member_failure;
+        ] );
+      ( "multicast",
+        [
+          Alcotest.test_case "tree and send" `Quick test_multicast_tree_and_send;
+          Alcotest.test_case "rejects" `Quick test_multicast_rejects;
+        ] );
+      ( "capability",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_capability_lifecycle;
+          Alcotest.test_case "path pinning" `Quick test_capability_path_pinning;
+          Alcotest.test_case "default-off filter" `Quick test_default_off_filter;
+        ] );
+      ( "traffic_eng",
+        [
+          Alcotest.test_case "negotiation" `Quick test_negotiation_intersects_hierarchies;
+          Alcotest.test_case "te join/route" `Quick test_te_join_and_route;
+          Alcotest.test_case "unknown suffix" `Quick test_te_route_unknown_suffix;
+        ] );
+    ]

@@ -1,0 +1,286 @@
+(* Tests for the flat-label arithmetic (Id) and the ordered ring view
+   (Ring) — the correctness core of greedy routing. *)
+
+module Id = Rofl_idspace.Id
+module Ring = Rofl_idspace.Ring
+module Prng = Rofl_util.Prng
+
+let id_testable = Alcotest.testable (fun ppf id -> Id.pp ppf id) Id.equal
+
+let id i = Id.of_int i
+
+let rng = Prng.create 2024
+
+let arb_id =
+  QCheck.make
+    ~print:(fun i -> Id.to_hex i)
+    (QCheck.Gen.map2
+       (fun hi lo -> Id.of_int64_pair hi lo)
+       (QCheck.Gen.map Int64.of_int QCheck.Gen.int)
+       (QCheck.Gen.map Int64.of_int QCheck.Gen.int))
+
+(* ---------- Id basics ---------- *)
+
+let test_zero_max () =
+  Alcotest.check id_testable "succ max = zero" Id.zero (Id.succ_id Id.max_value);
+  Alcotest.check id_testable "pred zero = max" Id.max_value (Id.pred_id Id.zero)
+
+let test_add_sub_roundtrip () =
+  for _ = 1 to 200 do
+    let a = Id.random rng and b = Id.random rng in
+    Alcotest.check id_testable "a+b-b = a" a (Id.sub (Id.add a b) b)
+  done
+
+let test_distance_zero () =
+  let a = Id.random rng in
+  Alcotest.check id_testable "d(a,a)=0" Id.zero (Id.distance a a)
+
+let test_distance_asymmetry () =
+  (* d(a,b) + d(b,a) = 2^128 = 0 mod ring, for a <> b. *)
+  for _ = 1 to 100 do
+    let a = Id.random rng and b = Id.random rng in
+    if not (Id.equal a b) then
+      Alcotest.check id_testable "d(a,b)+d(b,a)=0" Id.zero
+        (Id.add (Id.distance a b) (Id.distance b a))
+  done
+
+let test_distance_small () =
+  Alcotest.check id_testable "d(3,10)=7" (id 7) (Id.distance (id 3) (id 10));
+  (* Wrap: d(10,3) = 2^128 - 7. *)
+  Alcotest.check id_testable "d(10,3) wraps" (Id.sub Id.zero (id 7))
+    (Id.distance (id 10) (id 3))
+
+let test_between_basic () =
+  Alcotest.(check bool) "5 in (3,10)" true (Id.between (id 3) (id 5) (id 10));
+  Alcotest.(check bool) "3 not in (3,10)" false (Id.between (id 3) (id 3) (id 10));
+  Alcotest.(check bool) "10 not in (3,10)" false (Id.between (id 3) (id 10) (id 10));
+  Alcotest.(check bool) "11 not in (3,10)" false (Id.between (id 3) (id 11) (id 10))
+
+let test_between_wraparound () =
+  let near_max = Id.pred_id Id.max_value in
+  Alcotest.(check bool) "max in (near_max, 5)" true
+    (Id.between near_max Id.max_value (id 5));
+  Alcotest.(check bool) "2 in (near_max, 5)" true (Id.between near_max (id 2) (id 5));
+  Alcotest.(check bool) "7 not in (near_max, 5)" false (Id.between near_max (id 7) (id 5))
+
+let test_between_incl () =
+  Alcotest.(check bool) "10 in (3,10]" true (Id.between_incl (id 3) (id 10) (id 10));
+  Alcotest.(check bool) "3 not in (3,10]" false (Id.between_incl (id 3) (id 3) (id 10));
+  Alcotest.(check bool) "degenerate interval is full ring" true
+    (Id.between_incl (id 3) (id 99) (id 3))
+
+let test_closer_clockwise () =
+  Alcotest.(check bool) "9 closer to 10 than 5" true
+    (Id.closer_clockwise ~target:(id 10) (id 9) (id 5));
+  Alcotest.(check bool) "5 not closer than 9" false
+    (Id.closer_clockwise ~target:(id 10) (id 5) (id 9))
+
+let test_bits_digits () =
+  let x = Id.of_int64_pair 0x8000000000000000L 1L in
+  Alcotest.(check int) "top bit" 1 (Id.bit x 0);
+  Alcotest.(check int) "second bit" 0 (Id.bit x 1);
+  Alcotest.(check int) "last bit" 1 (Id.bit x 127);
+  Alcotest.(check int) "first nibble" 8 (Id.digit x ~base_bits:4 0);
+  Alcotest.(check int) "last nibble" 1 (Id.digit x ~base_bits:4 31)
+
+let test_common_prefix () =
+  let a = Id.of_int64_pair 0L 0L and b = Id.of_int64_pair 0L 1L in
+  Alcotest.(check int) "127 bits shared" 127 (Id.common_prefix_bits a b);
+  Alcotest.(check int) "identical" 128 (Id.common_prefix_bits a a);
+  let c = Id.of_int64_pair Int64.min_int 0L in
+  Alcotest.(check int) "0 bits shared" 0 (Id.common_prefix_bits a c)
+
+let test_group_suffix () =
+  let g = Id.group_key (Id.random rng) in
+  let m1 = Id.with_low32 g 7l and m2 = Id.with_low32 g 99l in
+  Alcotest.(check bool) "same group" true (Id.same_group m1 m2);
+  Alcotest.(check int32) "suffix read back" 7l (Id.low32 m1);
+  Alcotest.check id_testable "group key stable" g (Id.group_key m1);
+  let other = Id.with_low32 (Id.group_key (Id.random rng)) 7l in
+  Alcotest.(check bool) "different group" false (Id.same_group m1 other)
+
+let test_hex_roundtrip () =
+  for _ = 1 to 100 do
+    let a = Id.random rng in
+    Alcotest.check id_testable "hex roundtrip" a (Id.of_hex_exn (Id.to_hex a))
+  done
+
+let test_bytes_roundtrip () =
+  for _ = 1 to 100 do
+    let a = Id.random rng in
+    Alcotest.check id_testable "bytes roundtrip" a (Id.of_bytes_exn (Id.to_bytes a))
+  done
+
+let test_bad_inputs () =
+  Alcotest.check_raises "short hex" (Invalid_argument "Id.of_hex_exn: need 32 hex digits")
+    (fun () -> ignore (Id.of_hex_exn "abc"));
+  Alcotest.check_raises "short bytes" (Invalid_argument "Id.of_bytes_exn: need 16 bytes")
+    (fun () -> ignore (Id.of_bytes_exn "abc"));
+  Alcotest.check_raises "negative int" (Invalid_argument "Id.of_int: negative") (fun () ->
+      ignore (Id.of_int (-1)))
+
+let test_compare_unsigned () =
+  (* Ids with the top bit set sort above those without (unsigned order). *)
+  let small = Id.of_int64_pair 1L 0L and big = Id.of_int64_pair Int64.min_int 0L in
+  Alcotest.(check bool) "unsigned order" true (Id.compare small big < 0)
+
+let prop_between_distance =
+  QCheck.Test.make ~name:"between a x b iff 0 < d(a,x) < d(a,b)" ~count:500
+    QCheck.(triple arb_id arb_id arb_id)
+    (fun (a, x, b) ->
+      QCheck.assume (not (Id.equal a b));
+      let lhs = Id.between a x b in
+      let dx = Id.distance a x and db = Id.distance a b in
+      let rhs = Id.compare dx Id.zero > 0 && Id.compare dx db < 0 in
+      lhs = rhs)
+
+let prop_succ_pred_inverse =
+  QCheck.Test.make ~name:"pred (succ x) = x" ~count:500 arb_id (fun x ->
+      Id.equal x (Id.pred_id (Id.succ_id x)))
+
+let prop_distance_triangle_on_ring =
+  QCheck.Test.make ~name:"d(a,c) = d(a,b) + d(b,c) mod 2^128" ~count:500
+    QCheck.(triple arb_id arb_id arb_id)
+    (fun (a, b, c) ->
+      Id.equal (Id.distance a c) (Id.add (Id.distance a b) (Id.distance b c)))
+
+(* ---------- Ring ---------- *)
+
+let ring_of ids = Ring.of_list (List.map (fun i -> (id i, i)) ids)
+
+let test_ring_successor () =
+  let r = ring_of [ 10; 20; 30 ] in
+  let got = Ring.successor (id 10) r in
+  Alcotest.(check (option int)) "succ 10 = 20" (Some 20) (Option.map snd got);
+  let wrap = Ring.successor (id 30) r in
+  Alcotest.(check (option int)) "succ 30 wraps to 10" (Some 10) (Option.map snd wrap);
+  let between = Ring.successor (id 15) r in
+  Alcotest.(check (option int)) "succ 15 = 20" (Some 20) (Option.map snd between)
+
+let test_ring_successor_incl () =
+  let r = ring_of [ 10; 20 ] in
+  Alcotest.(check (option int)) "incl hits member" (Some 10)
+    (Option.map snd (Ring.successor_incl (id 10) r));
+  Alcotest.(check (option int)) "strict skips member" (Some 20)
+    (Option.map snd (Ring.successor (id 10) r))
+
+let test_ring_predecessor () =
+  let r = ring_of [ 10; 20; 30 ] in
+  Alcotest.(check (option int)) "pred 20 = 10" (Some 10)
+    (Option.map snd (Ring.predecessor (id 20) r));
+  Alcotest.(check (option int)) "pred 10 wraps to 30" (Some 30)
+    (Option.map snd (Ring.predecessor (id 10) r))
+
+let test_ring_singleton () =
+  let r = ring_of [ 5 ] in
+  Alcotest.(check (option int)) "succ of self" (Some 5)
+    (Option.map snd (Ring.successor (id 5) r));
+  Alcotest.(check (option int)) "pred of self" (Some 5)
+    (Option.map snd (Ring.predecessor (id 5) r))
+
+let test_ring_empty () =
+  let r : int Ring.t = Ring.empty in
+  Alcotest.(check bool) "no successor" true (Ring.successor (id 1) r = None);
+  Alcotest.(check bool) "no predecessor" true (Ring.predecessor (id 1) r = None);
+  Alcotest.(check bool) "no min" true (Ring.min_binding r = None)
+
+let test_ring_k_successors () =
+  let r = ring_of [ 10; 20; 30; 40 ] in
+  let ks = Ring.k_successors 3 (id 10) r |> List.map snd in
+  Alcotest.(check (list int)) "three in order" [ 20; 30; 40 ] ks;
+  let all = Ring.k_successors 10 (id 10) r |> List.map snd in
+  Alcotest.(check (list int)) "capped at ring size" [ 20; 30; 40; 10 ] all
+
+let test_ring_members_between () =
+  let r = ring_of [ 10; 20; 30; 40 ] in
+  let ms = Ring.members_between (id 15) (id 35) r |> List.map snd in
+  Alcotest.(check (list int)) "(15,35] = {20,30}" [ 20; 30 ] ms;
+  let wrap = Ring.members_between (id 35) (id 15) r |> List.map snd in
+  Alcotest.(check (list int)) "(35,15] wraps = {40,10}" [ 40; 10 ] wrap
+
+let test_ring_remove () =
+  let r = ring_of [ 10; 20; 30 ] in
+  let r = Ring.remove (id 20) r in
+  Alcotest.(check (option int)) "succ skips removed" (Some 30)
+    (Option.map snd (Ring.successor (id 10) r));
+  Alcotest.(check int) "cardinal" 2 (Ring.cardinal r)
+
+let test_ring_min_binding () =
+  let r = ring_of [ 30; 10; 20 ] in
+  Alcotest.(check (option int)) "zero-ID" (Some 10) (Option.map snd (Ring.min_binding r))
+
+let prop_ring_successor_is_closest =
+  QCheck.Test.make ~name:"ring successor minimises clockwise distance" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 20) arb_id) arb_id)
+    (fun (ids, probe) ->
+      let r = Ring.of_list (List.map (fun i -> (i, ())) ids) in
+      match Ring.successor probe r with
+      | None -> ids = []
+      | Some (s, ()) ->
+        List.for_all
+          (fun m ->
+            Id.equal m probe
+            || Id.compare
+                 (Id.distance probe (if Id.equal s probe then m else s))
+                 (Id.distance probe m)
+               <= 0)
+          (List.filter (fun m -> not (Id.equal m probe)) ids))
+
+let prop_ring_walk_covers_all =
+  QCheck.Test.make ~name:"walking successors visits every member once" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 30) arb_id)
+    (fun ids ->
+      let uniq = List.sort_uniq Id.compare ids in
+      let r = Ring.of_list (List.map (fun i -> (i, ())) uniq) in
+      match Ring.min_binding r with
+      | None -> true
+      | Some (start, ()) ->
+        let rec walk cur seen =
+          match Ring.successor cur r with
+          | Some (next, ()) when Id.equal next start -> List.length seen
+          | Some (next, ()) -> walk next (next :: seen)
+          | None -> -1
+        in
+        walk start [ start ] = List.length uniq)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rofl_idspace"
+    [
+      ( "id",
+        [
+          Alcotest.test_case "zero/max wrap" `Quick test_zero_max;
+          Alcotest.test_case "add/sub roundtrip" `Quick test_add_sub_roundtrip;
+          Alcotest.test_case "distance to self" `Quick test_distance_zero;
+          Alcotest.test_case "distance antisymmetry" `Quick test_distance_asymmetry;
+          Alcotest.test_case "small distances" `Quick test_distance_small;
+          Alcotest.test_case "between basic" `Quick test_between_basic;
+          Alcotest.test_case "between wraparound" `Quick test_between_wraparound;
+          Alcotest.test_case "between inclusive" `Quick test_between_incl;
+          Alcotest.test_case "closer_clockwise" `Quick test_closer_clockwise;
+          Alcotest.test_case "bits and digits" `Quick test_bits_digits;
+          Alcotest.test_case "common prefix" `Quick test_common_prefix;
+          Alcotest.test_case "group suffixes" `Quick test_group_suffix;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+          Alcotest.test_case "unsigned compare" `Quick test_compare_unsigned;
+          q prop_between_distance;
+          q prop_succ_pred_inverse;
+          q prop_distance_triangle_on_ring;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "successor" `Quick test_ring_successor;
+          Alcotest.test_case "successor_incl" `Quick test_ring_successor_incl;
+          Alcotest.test_case "predecessor" `Quick test_ring_predecessor;
+          Alcotest.test_case "singleton" `Quick test_ring_singleton;
+          Alcotest.test_case "empty" `Quick test_ring_empty;
+          Alcotest.test_case "k successors" `Quick test_ring_k_successors;
+          Alcotest.test_case "members between" `Quick test_ring_members_between;
+          Alcotest.test_case "remove" `Quick test_ring_remove;
+          Alcotest.test_case "min binding" `Quick test_ring_min_binding;
+          q prop_ring_successor_is_closest;
+          q prop_ring_walk_covers_all;
+        ] );
+    ]

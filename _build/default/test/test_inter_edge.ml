@@ -1,0 +1,128 @@
+(* Edge-case tests for the interdomain engine: degenerate hierarchies,
+   empty levels, failed-AS behaviour, finger budgets vs tiny rings. *)
+
+module Id = Rofl_idspace.Id
+module Ring = Rofl_idspace.Ring
+module Prng = Rofl_util.Prng
+module Asgraph = Rofl_asgraph.Asgraph
+module Level = Rofl_inter.Level
+module Net = Rofl_inter.Net
+module Route = Rofl_inter.Route
+module Asfailure = Rofl_inter.Asfailure
+
+(* Two tier-1s peering, one customer each: the smallest interesting DAG. *)
+let tiny_graph () =
+  let g = Asgraph.create 4 in
+  Asgraph.add_peer g 0 1;
+  Asgraph.add_provider g ~customer:2 ~provider:0;
+  Asgraph.add_provider g ~customer:3 ~provider:1;
+  g
+
+let test_single_host_routes_to_itself_region () =
+  let rng = Prng.create 1 in
+  let net = Net.create ~rng (tiny_graph ()) in
+  (match Net.join_id net ~as_idx:2 ~id:(Id.of_int 10) ~strategy:Net.Multihomed with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "join: %s" e);
+  (* Only member: every lookup must terminate at it. *)
+  match Hashtbl.find_opt net.Net.hosts (Id.of_int 10) with
+  | None -> Alcotest.fail "host missing"
+  | Some h ->
+    let r = Route.route_from net ~src:h ~dst:(Id.of_int 10) in
+    Alcotest.(check bool) "self route delivered" true r.Route.delivered;
+    Alcotest.(check int) "zero hops" 0 r.Route.as_hops
+
+let test_cross_peering_pair () =
+  let rng = Prng.create 2 in
+  let net = Net.create ~rng (tiny_graph ()) in
+  ignore (Net.join_id net ~as_idx:2 ~id:(Id.of_int 10) ~strategy:Net.Multihomed);
+  ignore (Net.join_id net ~as_idx:3 ~id:(Id.of_int 20) ~strategy:Net.Multihomed);
+  let h = Hashtbl.find net.Net.hosts (Id.of_int 10) in
+  let r = Route.route_from net ~src:h ~dst:(Id.of_int 20) in
+  Alcotest.(check bool) "delivered across the clique" true r.Route.delivered;
+  (* Path: 2 up to 0, peer to 1, down to 3 = 3 AS hops. *)
+  Alcotest.(check int) "three AS hops" 3 r.Route.as_hops
+
+let test_join_into_failed_as_rejected () =
+  let rng = Prng.create 3 in
+  let net = Net.create ~rng (tiny_graph ()) in
+  ignore (Net.join_id net ~as_idx:2 ~id:(Id.of_int 10) ~strategy:Net.Multihomed);
+  let f = Asfailure.fail_stub net 3 ~samples:0 in
+  Alcotest.(check int) "nothing was there" 0 f.Asfailure.ids_lost;
+  (match Net.join_id net ~as_idx:3 ~id:(Id.of_int 30) ~strategy:Net.Multihomed with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "join into failed AS accepted");
+  Asfailure.restore_as net 3;
+  match Net.join_id net ~as_idx:3 ~id:(Id.of_int 30) ~strategy:Net.Multihomed with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "join after restore: %s" e
+
+let test_finger_budget_exceeds_ring () =
+  (* A huge finger budget over a tiny ring must terminate and stay within
+     the membership. *)
+  let rng = Prng.create 4 in
+  let cfg = { Net.default_config with Net.finger_budget = 500 } in
+  let net = Net.create ~cfg ~rng (tiny_graph ()) in
+  for i = 1 to 6 do
+    ignore (Net.join_id net ~as_idx:(2 + (i mod 2)) ~id:(Id.of_int (i * 11)) ~strategy:Net.Multihomed)
+  done;
+  Hashtbl.iter
+    (fun _ (h : Net.host) ->
+      Alcotest.(check bool) "fingers bounded by membership" true
+        (List.length h.Net.fingers <= 500))
+    net.Net.hosts
+
+let test_remove_last_host_empties_rings () =
+  let rng = Prng.create 5 in
+  let net = Net.create ~rng (tiny_graph ()) in
+  ignore (Net.join_id net ~as_idx:2 ~id:(Id.of_int 10) ~strategy:Net.Multihomed);
+  ignore (Net.remove_host net (Id.of_int 10));
+  Alcotest.(check int) "root ring empty" 0 (Ring.cardinal (Net.ring net Level.Root));
+  Alcotest.(check int) "no hosts" 0 (Net.host_count net)
+
+let test_ephemeral_vs_multihomed_levels () =
+  let rng = Prng.create 6 in
+  let net = Net.create ~rng (tiny_graph ()) in
+  Alcotest.(check int) "ephemeral joins one level" 1
+    (List.length (Net.effective_levels net 2 Net.Ephemeral));
+  let multi = Net.effective_levels net 2 Net.Multihomed in
+  Alcotest.(check bool) "multihomed joins more" true (List.length multi > 1);
+  (* Bottom-up: own AS first, Root last. *)
+  (match multi with
+   | Level.Real 2 :: _ -> ()
+   | _ -> Alcotest.fail "own AS must come first");
+  (match List.rev multi with
+   | Level.Root :: _ -> ()
+   | _ -> Alcotest.fail "Root must come last")
+
+let test_as_levels_includes_peer_groups () =
+  let rng = Prng.create 7 in
+  let cfg = { Net.default_config with Net.peering_mode = Net.Virtual_as } in
+  let g = Asgraph.create 5 in
+  (* 0 and 1 are tier-1 (peered clique); 2-3 peer BELOW tier-1 so a
+     virtual AS exists; 4 under 3. *)
+  Asgraph.add_peer g 0 1;
+  Asgraph.add_provider g ~customer:2 ~provider:0;
+  Asgraph.add_provider g ~customer:3 ~provider:1;
+  Asgraph.add_peer g 2 3;
+  Asgraph.add_provider g ~customer:4 ~provider:3;
+  let net = Net.create ~cfg ~rng g in
+  let levels = Net.as_levels net 4 in
+  Alcotest.(check bool) "peer group visible from below" true
+    (List.exists (function Level.Peer_group _ -> true | _ -> false) levels)
+
+let () =
+  Alcotest.run "rofl_inter_edge"
+    [
+      ( "edge",
+        [
+          Alcotest.test_case "single host" `Quick test_single_host_routes_to_itself_region;
+          Alcotest.test_case "cross peering pair" `Quick test_cross_peering_pair;
+          Alcotest.test_case "failed AS join" `Quick test_join_into_failed_as_rejected;
+          Alcotest.test_case "oversized finger budget" `Quick test_finger_budget_exceeds_ring;
+          Alcotest.test_case "empty after last leave" `Quick test_remove_last_host_empties_rings;
+          Alcotest.test_case "strategy level sets" `Quick test_ephemeral_vs_multihomed_levels;
+          Alcotest.test_case "peer groups in as_levels" `Quick
+            test_as_levels_includes_peer_groups;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Link-state substrate tests: SPF correctness, failure handling, events,
+   source-route validity. *)
+
+module Graph = Rofl_topology.Graph
+module Gen = Rofl_topology.Gen
+module Linkstate = Rofl_linkstate.Linkstate
+module Prng = Rofl_util.Prng
+
+let line5 () = Linkstate.create (Gen.line 5 ~latency_ms:1.0)
+
+let test_path_line () =
+  let ls = line5 () in
+  Alcotest.(check (option (list int))) "path 0-4" (Some [ 0; 1; 2; 3; 4 ])
+    (Linkstate.path ls 0 4);
+  Alcotest.(check (option int)) "hops" (Some 4) (Linkstate.distance_hops ls 0 4);
+  Alcotest.(check (option (list int))) "self path" (Some [ 2 ]) (Linkstate.path ls 2 2);
+  Alcotest.(check (option int)) "self hops" (Some 0) (Linkstate.distance_hops ls 2 2)
+
+let test_latency_weighted () =
+  (* Triangle where the two-hop route is cheaper than the direct link. *)
+  let g = Graph.create 3 in
+  Graph.add_link g 0 2 ~latency_ms:10.0;
+  Graph.add_link g 0 1 ~latency_ms:1.0;
+  Graph.add_link g 1 2 ~latency_ms:1.0;
+  let ls = Linkstate.create g in
+  Alcotest.(check (option (list int))) "takes the cheap detour" (Some [ 0; 1; 2 ])
+    (Linkstate.path ls 0 2);
+  Alcotest.(check (option (float 1e-9))) "latency 2" (Some 2.0)
+    (Linkstate.distance_latency ls 0 2)
+
+let test_next_hop () =
+  let ls = line5 () in
+  Alcotest.(check (option int)) "next hop" (Some 1) (Linkstate.next_hop ls 0 3);
+  Alcotest.(check (option int)) "no next hop to self" None (Linkstate.next_hop ls 2 2)
+
+let test_link_failure_reroutes () =
+  let g = Gen.ring 4 ~latency_ms:1.0 in
+  let ls = Linkstate.create g in
+  Alcotest.(check (option int)) "direct" (Some 1) (Linkstate.distance_hops ls 0 1);
+  Linkstate.fail_link ls 0 1;
+  Alcotest.(check (option int)) "around the ring" (Some 3) (Linkstate.distance_hops ls 0 1);
+  Linkstate.restore_link ls 0 1;
+  Alcotest.(check (option int)) "restored" (Some 1) (Linkstate.distance_hops ls 0 1)
+
+let test_partition () =
+  let ls = line5 () in
+  Linkstate.fail_link ls 2 3;
+  Alcotest.(check bool) "partitioned" false (Linkstate.reachable ls 0 4);
+  Alcotest.(check (option int)) "no path" None (Linkstate.distance_hops ls 0 4);
+  Alcotest.(check bool) "same side ok" true (Linkstate.reachable ls 0 2)
+
+let test_router_failure () =
+  let ls = line5 () in
+  Linkstate.fail_router ls 2;
+  Alcotest.(check bool) "router down" false (Linkstate.router_alive ls 2);
+  Alcotest.(check bool) "cuts the line" false (Linkstate.reachable ls 0 4);
+  Alcotest.(check bool) "adjacent links dead" false (Linkstate.link_alive ls 1 2);
+  Linkstate.restore_router ls 2;
+  Alcotest.(check bool) "healed" true (Linkstate.reachable ls 0 4)
+
+let test_events () =
+  let ls = line5 () in
+  let log = ref [] in
+  Linkstate.on_event ls (fun ev -> log := ev :: !log);
+  Linkstate.fail_link ls 0 1;
+  Linkstate.fail_link ls 0 1 (* idempotent: no second event *);
+  Linkstate.restore_link ls 0 1;
+  Linkstate.fail_router ls 3;
+  Alcotest.(check int) "three events" 3 (List.length !log);
+  (match !log with
+   | [ Linkstate.Router_down 3; Linkstate.Link_up (0, 1); Linkstate.Link_down (0, 1) ] -> ()
+   | _ -> Alcotest.fail "unexpected event sequence")
+
+let test_valid_source_route () =
+  let ls = line5 () in
+  Alcotest.(check bool) "good route" true (Linkstate.valid_source_route ls [ 0; 1; 2 ]);
+  Alcotest.(check bool) "gap" false (Linkstate.valid_source_route ls [ 0; 2 ]);
+  Alcotest.(check bool) "empty" false (Linkstate.valid_source_route ls []);
+  Alcotest.(check bool) "singleton" true (Linkstate.valid_source_route ls [ 3 ]);
+  Linkstate.fail_link ls 1 2;
+  Alcotest.(check bool) "failed link invalidates" false
+    (Linkstate.valid_source_route ls [ 0; 1; 2 ])
+
+let test_counts_and_flood () =
+  let ls = Linkstate.create (Gen.ring 6 ~latency_ms:1.0) in
+  Alcotest.(check int) "live routers" 6 (Linkstate.live_router_count ls);
+  Alcotest.(check int) "live links" 6 (Linkstate.live_link_count ls);
+  Alcotest.(check int) "flood = 2 links" 12 (Linkstate.lsa_flood_cost ls);
+  Linkstate.fail_link ls 0 1;
+  Alcotest.(check int) "flood shrinks" 10 (Linkstate.lsa_flood_cost ls)
+
+let test_diameter_tracks_failures () =
+  let ls = Linkstate.create (Gen.ring 6 ~latency_ms:1.0) in
+  Alcotest.(check int) "ring diameter" 3 (Linkstate.diameter_hops ls);
+  Linkstate.fail_link ls 0 5;
+  Alcotest.(check int) "line diameter after cut" 5 (Linkstate.diameter_hops ls)
+
+let test_spf_cache_invalidation () =
+  let ls = line5 () in
+  ignore (Linkstate.path ls 0 4);
+  Linkstate.fail_link ls 3 4;
+  (* The memoised SPF must not serve the stale path. *)
+  Alcotest.(check (option (list int))) "stale path dropped" None (Linkstate.path ls 0 4)
+
+let prop_paths_are_valid_routes =
+  QCheck.Test.make ~name:"every SPF path is a valid source route" ~count:100
+    QCheck.(pair (int_range 1 500) (pair (int_range 0 39) (int_range 0 39)))
+    (fun (seed, (a, b)) ->
+      let g = Gen.waxman (Prng.create seed) ~n:40 ~alpha:0.4 ~beta:0.2 in
+      let ls = Linkstate.create g in
+      match Linkstate.path ls a b with
+      | Some p -> Linkstate.valid_source_route ls p
+      | None -> false (* connected graph: must always have a path *))
+
+let prop_hops_symmetric =
+  QCheck.Test.make ~name:"hop distance is symmetric" ~count:100
+    QCheck.(pair (int_range 1 500) (pair (int_range 0 29) (int_range 0 29)))
+    (fun (seed, (a, b)) ->
+      let g = Gen.waxman (Prng.create seed) ~n:30 ~alpha:0.4 ~beta:0.2 in
+      let ls = Linkstate.create g in
+      Linkstate.distance_hops ls a b = Linkstate.distance_hops ls b a)
+
+let () =
+  Alcotest.run "rofl_linkstate"
+    [
+      ( "spf",
+        [
+          Alcotest.test_case "line paths" `Quick test_path_line;
+          Alcotest.test_case "latency weighted" `Quick test_latency_weighted;
+          Alcotest.test_case "next hop" `Quick test_next_hop;
+          Alcotest.test_case "cache invalidation" `Quick test_spf_cache_invalidation;
+          QCheck_alcotest.to_alcotest prop_paths_are_valid_routes;
+          QCheck_alcotest.to_alcotest prop_hops_symmetric;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "link failure reroutes" `Quick test_link_failure_reroutes;
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "router failure" `Quick test_router_failure;
+          Alcotest.test_case "events" `Quick test_events;
+          Alcotest.test_case "source-route validity" `Quick test_valid_source_route;
+          Alcotest.test_case "counts and flood cost" `Quick test_counts_and_flood;
+          Alcotest.test_case "diameter tracks failures" `Quick test_diameter_tracks_failures;
+        ] );
+    ]

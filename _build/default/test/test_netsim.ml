@@ -1,0 +1,129 @@
+(* Metrics accounting and discrete-event engine tests. *)
+
+module Metrics = Rofl_netsim.Metrics
+module Engine = Rofl_netsim.Engine
+
+let test_metrics_incr () =
+  let m = Metrics.create ~routers:4 in
+  Metrics.incr m "join" 3;
+  Metrics.incr m "join" 2;
+  Metrics.incr m "data" 1;
+  Alcotest.(check int) "join" 5 (Metrics.get m "join");
+  Alcotest.(check int) "data" 1 (Metrics.get m "data");
+  Alcotest.(check int) "missing" 0 (Metrics.get m "nothing");
+  Alcotest.(check int) "total" 6 (Metrics.total m)
+
+let test_metrics_charge_path () =
+  let m = Metrics.create ~routers:5 in
+  Metrics.charge_path m "data" [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "three link messages" 3 (Metrics.get m "data");
+  let load = Metrics.router_load m in
+  Alcotest.(check (array int)) "all four routers loaded" [| 1; 1; 1; 1; 0 |] load;
+  (* Degenerate paths charge nothing. *)
+  Metrics.charge_path m "data" [ 2 ];
+  Metrics.charge_path m "data" [];
+  Alcotest.(check int) "unchanged" 3 (Metrics.get m "data")
+
+let test_metrics_charge_hop () =
+  let m = Metrics.create ~routers:3 in
+  Metrics.charge_hop m "x" 1;
+  Metrics.charge_hop m "x" 1;
+  Alcotest.(check int) "two messages" 2 (Metrics.get m "x");
+  Alcotest.(check (array int)) "load at router 1" [| 0; 2; 0 |] (Metrics.router_load m);
+  (* Out-of-range routers count messages but no load. *)
+  Metrics.charge_hop m "x" 99;
+  Alcotest.(check int) "message counted" 3 (Metrics.get m "x")
+
+let test_metrics_categories_sorted () =
+  let m = Metrics.create ~routers:1 in
+  Metrics.incr m "zeta" 1;
+  Metrics.incr m "alpha" 2;
+  Alcotest.(check (list (pair string int))) "sorted" [ ("alpha", 2); ("zeta", 1) ]
+    (Metrics.categories m)
+
+let test_metrics_reset_and_merge () =
+  let a = Metrics.create ~routers:2 and b = Metrics.create ~routers:2 in
+  Metrics.charge_path a "x" [ 0; 1 ];
+  Metrics.charge_path b "x" [ 1; 0 ];
+  Metrics.merge_into ~dst:a b;
+  Alcotest.(check int) "merged" 2 (Metrics.get a "x");
+  Alcotest.(check (array int)) "merged load" [| 2; 2 |] (Metrics.router_load a);
+  Metrics.reset a;
+  Alcotest.(check int) "reset" 0 (Metrics.total a);
+  Alcotest.(check (array int)) "load reset" [| 0; 0 |] (Metrics.router_load a)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay_ms:5.0 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay_ms:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay_ms:9.0 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 9.0 (Engine.now e)
+
+let test_engine_cascading () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Engine.schedule e ~delay_ms:1.0 (fun () ->
+          incr fired;
+          chain (n - 1))
+  in
+  chain 5;
+  Engine.run e;
+  Alcotest.(check int) "all fired" 5 !fired;
+  Alcotest.(check (float 1e-9)) "clock advanced" 5.0 (Engine.now e)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule e ~delay_ms:t (fun () -> fired := t :: !fired))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Engine.run_until e 2.5;
+  Alcotest.(check (list (float 1e-9))) "only early events" [ 1.0; 2.0 ] (List.rev !fired);
+  Alcotest.(check int) "two pending" 2 (Engine.pending e);
+  Alcotest.(check (float 1e-9)) "clock at horizon" 2.5 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay_ms:5.0 (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> Engine.schedule_at e ~time_ms:1.0 (fun () -> ()));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay_ms:(-1.0) (fun () -> ()))
+
+let test_engine_ties_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay_ms:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay_ms:1.0 (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO among ties" [ 1; 2 ] (List.rev !log)
+
+let () =
+  Alcotest.run "rofl_netsim"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "incr/get/total" `Quick test_metrics_incr;
+          Alcotest.test_case "charge_path" `Quick test_metrics_charge_path;
+          Alcotest.test_case "charge_hop" `Quick test_metrics_charge_hop;
+          Alcotest.test_case "categories sorted" `Quick test_metrics_categories_sorted;
+          Alcotest.test_case "reset and merge" `Quick test_metrics_reset_and_merge;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "cascading" `Quick test_engine_cascading;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+          Alcotest.test_case "FIFO ties" `Quick test_engine_ties_fifo;
+        ] );
+    ]

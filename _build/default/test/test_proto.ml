@@ -1,0 +1,152 @@
+(* Message-driven protocol engine: asynchronous joins + Chord stabilisation
+   must converge to the same ring the synchronous simulation produces. *)
+
+module Id = Rofl_idspace.Id
+module Prng = Rofl_util.Prng
+module Gen = Rofl_topology.Gen
+module Isp = Rofl_topology.Isp
+module Proto = Rofl_proto.Proto
+module Network = Rofl_intra.Network
+module Vnode = Rofl_core.Vnode
+
+let topo seed = Gen.waxman (Prng.create seed) ~n:30 ~alpha:0.4 ~beta:0.2
+
+let test_bootstrap_ring_converged () =
+  let t = Proto.create ~rng:(Prng.create 1) (topo 1) in
+  Alcotest.(check bool) "initial router ring consistent" true (Proto.ring_converged t);
+  Alcotest.(check int) "one member per router" 30 (List.length (Proto.members t))
+
+let test_single_join_no_stabilize () =
+  let t = Proto.create ~rng:(Prng.create 2) (topo 2) in
+  let id = Id.random (Prng.create 3) in
+  Proto.join t ~gateway:5 id;
+  Proto.run_for t 1_000.0;
+  let s = Proto.stats t in
+  Alcotest.(check int) "join completed" 1 s.Proto.joins_completed;
+  Alcotest.(check bool) "messages flowed" true (s.Proto.messages > 0);
+  Alcotest.(check bool) "ring consistent without stabilisation" true
+    (Proto.ring_converged t)
+
+let test_concurrent_joins_converge () =
+  let t = Proto.create ~rng:(Prng.create 4) (topo 4) in
+  let rng = Prng.create 5 in
+  let ids = List.init 100 (fun _ -> Id.random rng) in
+  (* All joins fired at once: real races; stabilisation must repair. *)
+  List.iter (fun id -> Proto.join t ~gateway:(Prng.int rng 30) id) ids;
+  let elapsed = Proto.run_until_quiescent t ~max_ms:120_000.0 in
+  Alcotest.(check bool) "finished within budget" true (elapsed < 120_000.0);
+  let s = Proto.stats t in
+  Alcotest.(check int) "all joins completed" 100 s.Proto.joins_completed;
+  Alcotest.(check int) "membership complete" 130 (List.length (Proto.members t));
+  Alcotest.(check bool) "ring converged" true (Proto.ring_converged t)
+
+let test_staggered_joins_cheaper () =
+  let run stagger_ms =
+    let t = Proto.create ~rng:(Prng.create 6) (topo 6) in
+    let rng = Prng.create 7 in
+    for _ = 1 to 40 do
+      Proto.join t ~gateway:(Prng.int rng 30) (Id.random rng);
+      if stagger_ms > 0.0 then Proto.run_for t stagger_ms
+    done;
+    ignore (Proto.run_until_quiescent t ~max_ms:60_000.0);
+    (Proto.stats t).Proto.stabilize_rounds
+  in
+  let sequential = run 200.0 and concurrent = run 0.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "staggered (%d rounds) <= concurrent (%d rounds)" sequential concurrent)
+    true
+    (sequential <= concurrent)
+
+let test_lookup_owner_after_convergence () =
+  let t = Proto.create ~rng:(Prng.create 8) (topo 8) in
+  let rng = Prng.create 9 in
+  let ids = List.init 50 (fun _ -> Id.random rng) in
+  List.iter (fun id -> Proto.join t ~gateway:(Prng.int rng 30) id) ids;
+  ignore (Proto.run_until_quiescent t ~max_ms:120_000.0);
+  List.iter
+    (fun id ->
+      match Proto.lookup_owner t ~from:(Prng.int rng 30) id with
+      | Some got ->
+        Alcotest.(check bool)
+          (Printf.sprintf "lookup finds %s" (Id.to_short_string id))
+          true (Id.equal got id)
+      | None -> Alcotest.fail "lookup returned nothing")
+    ids
+
+(* The asynchronous engine and the synchronous simulation, fed identical
+   workloads, must agree on the final ring. *)
+let test_matches_synchronous_network () =
+  let g = topo 10 in
+  let rng_ids = Prng.create 11 in
+  let workload =
+    List.init 60 (fun _ -> (Prng.int rng_ids 30, Id.random rng_ids))
+  in
+  (* Asynchronous. *)
+  let p = Proto.create ~rng:(Prng.create 12) g in
+  List.iter (fun (gw, id) -> Proto.join p ~gateway:gw id) workload;
+  ignore (Proto.run_until_quiescent p ~max_ms:120_000.0);
+  Alcotest.(check bool) "async converged" true (Proto.ring_converged p);
+  (* Synchronous. *)
+  let net = Network.create ~rng:(Prng.create 13) g in
+  List.iter
+    (fun (gw, id) ->
+      match Network.join_host net ~gateway:gw ~id ~cls:Vnode.Stable with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "sync join failed: %s" e)
+    workload;
+  (* Same host membership, and every host's successor agrees.  (The two
+     engines use different router-ID derivations, so only host identifiers
+     are compared; each side's successor is projected onto the host-only
+     ring.) *)
+  let host_ids = List.map snd workload |> List.sort Id.compare in
+  let arr = Array.of_list host_ids in
+  Array.iteri
+    (fun i id ->
+      let expect = arr.((i + 1) mod Array.length arr) in
+      (* Project: walk each engine's ring successors until the next host id. *)
+      let rec project_async cur steps =
+        if steps > 300 then None
+        else
+          match Proto.successor_of p cur with
+          | Some s when List.exists (Id.equal s) host_ids -> Some s
+          | Some s -> project_async s (steps + 1)
+          | None -> None
+      in
+      (match project_async id 0 with
+       | Some s ->
+         Alcotest.(check bool)
+           (Printf.sprintf "async host-successor of %s" (Id.to_short_string id))
+           true (Id.equal s expect)
+       | None -> Alcotest.fail "async projection failed");
+      match Network.find_vnode net id with
+      | None -> Alcotest.fail "sync lost a host"
+      | Some _ -> ())
+    arr
+
+let test_isp_scale_convergence () =
+  let rng = Prng.create 14 in
+  let isp = Isp.generate rng Isp.as3967 in
+  let t = Proto.create ~rng isp.Isp.graph in
+  let gateways = Array.of_list (Isp.edge_routers isp) in
+  for _ = 1 to 150 do
+    Proto.join t ~gateway:(Prng.sample rng gateways) (Id.random rng)
+  done;
+  ignore (Proto.run_until_quiescent t ~max_ms:300_000.0);
+  Alcotest.(check bool) "converged at ISP scale" true (Proto.ring_converged t);
+  Alcotest.(check int) "all joined" 150 (Proto.stats t).Proto.joins_completed
+
+let () =
+  Alcotest.run "rofl_proto"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "bootstrap ring" `Quick test_bootstrap_ring_converged;
+          Alcotest.test_case "single join" `Quick test_single_join_no_stabilize;
+          Alcotest.test_case "concurrent joins converge" `Quick test_concurrent_joins_converge;
+          Alcotest.test_case "staggered cheaper" `Quick test_staggered_joins_cheaper;
+          Alcotest.test_case "lookup owner" `Quick test_lookup_owner_after_convergence;
+          Alcotest.test_case "matches synchronous engine" `Quick
+            test_matches_synchronous_network;
+          Alcotest.test_case "ISP scale" `Slow test_isp_scale_convergence;
+        ] );
+    ]

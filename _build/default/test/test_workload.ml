@@ -1,0 +1,120 @@
+(* Workload model tests: host distributions and churn traces. *)
+
+module Prng = Rofl_util.Prng
+module Hostdist = Rofl_workload.Hostdist
+module Churn = Rofl_workload.Churn
+module Internet = Rofl_asgraph.Internet
+module Isp = Rofl_topology.Isp
+
+let test_zipf_partition_sums () =
+  let rng = Prng.create 1 in
+  let counts = Hostdist.zipf_partition rng ~total:10_000 ~buckets:50 ~skew:1.0 in
+  Alcotest.(check int) "sums to total" 10_000 (Array.fold_left ( + ) 0 counts);
+  Alcotest.(check int) "bucket count" 50 (Array.length counts)
+
+let test_zipf_partition_skewed () =
+  let rng = Prng.create 2 in
+  let counts = Hostdist.zipf_partition rng ~total:50_000 ~buckets:100 ~skew:1.1 in
+  let sorted = Array.copy counts in
+  Array.sort (fun a b -> compare b a) sorted;
+  (* Heavy tail: the biggest bucket dominates the median bucket. *)
+  Alcotest.(check bool) "heavy tail" true (sorted.(0) > 10 * max 1 sorted.(50))
+
+let test_zipf_partition_empty () =
+  let rng = Prng.create 3 in
+  let counts = Hostdist.zipf_partition rng ~total:0 ~buckets:5 ~skew:1.0 in
+  Alcotest.(check int) "all zero" 0 (Array.fold_left ( + ) 0 counts)
+
+let test_hosts_per_as () =
+  let rng = Prng.create 4 in
+  let inet = Internet.generate rng Internet.small_params in
+  let counts = Hostdist.hosts_per_as rng inet ~total:10_000 ~skew:0.9 in
+  Alcotest.(check int) "sums to total" 10_000 (Array.fold_left ( + ) 0 counts);
+  let stub_total =
+    List.fold_left (fun acc s -> acc + counts.(s)) 0 (Internet.stubs inet)
+  in
+  Alcotest.(check bool) "stubs hold most hosts" true (stub_total >= 8_500)
+
+let test_gateway_sampler () =
+  let rng = Prng.create 5 in
+  let isp = Isp.generate rng Isp.as3967 in
+  let sample = Hostdist.gateway_sampler rng isp in
+  let edges = Isp.edge_routers isp in
+  for _ = 1 to 200 do
+    let g = sample () in
+    Alcotest.(check bool) "samples access routers" true (List.mem g edges)
+  done
+
+let test_pair_sampler () =
+  let rng = Prng.create 6 in
+  let sample = Hostdist.pair_sampler rng [| 1; 2; 3 |] in
+  for _ = 1 to 50 do
+    let a, b = sample () in
+    Alcotest.(check bool) "in range" true (a >= 1 && a <= 3 && b >= 1 && b <= 3)
+  done
+
+let test_churn_ordering_and_causality () =
+  let rng = Prng.create 7 in
+  let trace =
+    Churn.generate rng ~horizon_ms:10_000.0 ~arrival_rate_per_s:20.0 ~mean_lifetime_s:1.0
+      ~move_fraction:0.3
+  in
+  (* Sorted by time. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Churn.event_time a <= Churn.event_time b && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "time ordered" true (sorted trace);
+  (* Every leave/move has a prior join of the same session. *)
+  let born = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Churn.Join { seq; _ } -> Hashtbl.replace born seq ()
+      | Churn.Leave { seq; _ } | Churn.Move { seq; _ } ->
+        Alcotest.(check bool) "join precedes" true (Hashtbl.mem born seq))
+    trace;
+  let joins, leaves, moves = Churn.count trace in
+  Alcotest.(check bool) "plausible volume" true (joins > 100);
+  Alcotest.(check bool) "departures bounded by joins" true (leaves + moves <= joins)
+
+let test_churn_move_fraction () =
+  let rng = Prng.create 8 in
+  let trace =
+    Churn.generate rng ~horizon_ms:60_000.0 ~arrival_rate_per_s:30.0 ~mean_lifetime_s:0.5
+      ~move_fraction:0.5
+  in
+  let _, leaves, moves = Churn.count trace in
+  let frac = float_of_int moves /. float_of_int (max 1 (leaves + moves)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "move fraction %.2f near 0.5" frac)
+    true
+    (frac > 0.4 && frac < 0.6)
+
+let test_churn_rejects_bad_params () =
+  let rng = Prng.create 9 in
+  Alcotest.check_raises "rate" (Invalid_argument "Churn.generate: arrival rate must be positive")
+    (fun () ->
+      ignore
+        (Churn.generate rng ~horizon_ms:1.0 ~arrival_rate_per_s:0.0 ~mean_lifetime_s:1.0
+           ~move_fraction:0.0))
+
+let () =
+  Alcotest.run "rofl_workload"
+    [
+      ( "hostdist",
+        [
+          Alcotest.test_case "zipf sums" `Quick test_zipf_partition_sums;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_partition_skewed;
+          Alcotest.test_case "zipf empty" `Quick test_zipf_partition_empty;
+          Alcotest.test_case "hosts per AS" `Quick test_hosts_per_as;
+          Alcotest.test_case "gateway sampler" `Quick test_gateway_sampler;
+          Alcotest.test_case "pair sampler" `Quick test_pair_sampler;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "ordering and causality" `Quick test_churn_ordering_and_causality;
+          Alcotest.test_case "move fraction" `Quick test_churn_move_fraction;
+          Alcotest.test_case "bad params" `Quick test_churn_rejects_bad_params;
+        ] );
+    ]
