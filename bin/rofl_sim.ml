@@ -4,10 +4,21 @@
      rofl_sim fig6a                 reproduce one figure at full scale
      rofl_sim all --quick           everything, reduced scale
      rofl_sim summary --seed 42     §6.4 summary with another seed
-     rofl_sim list                  show available experiments *)
+     rofl_sim list                  show available experiments
+     rofl_sim --trace               per-hop anatomy of one walk per layer *)
 
 module Table = Rofl_util.Table
 module E = Rofl_experiments
+module Prng = Rofl_util.Prng
+module Id = Rofl_idspace.Id
+module Trace = Rofl_routing.Trace
+module Gen = Rofl_topology.Gen
+module Network = Rofl_intra.Network
+module Vnode = Rofl_core.Vnode
+module Msg = Rofl_core.Msg
+module Internet = Rofl_asgraph.Internet
+module Net = Rofl_inter.Net
+module Route = Rofl_inter.Route
 
 let experiments : (string * string * (E.Common.scale -> Table.t list)) list =
   [
@@ -68,6 +79,70 @@ let run_named names quick seed csv =
     0
   end
 
+(* Small demo networks (one per layer): route one packet each and print the
+   uniform per-hop trace both walks now emit. *)
+let run_trace seed =
+  let seed = match seed with Some s -> s | None -> 7 in
+  let rng = Prng.create seed in
+  let g = Gen.waxman rng ~n:30 ~alpha:0.4 ~beta:0.2 in
+  let net = Network.create ~rng g in
+  let ids = ref [] in
+  let joined = ref 0 in
+  while !joined < 40 do
+    match Network.join_fresh_host net ~gateway:(Prng.int rng 30) ~cls:Vnode.Stable with
+    | Ok (id, _) ->
+      incr joined;
+      ids := id :: !ids
+    | Error _ -> ()
+  done;
+  let target = List.nth !ids (List.length !ids / 2) in
+  let r = Network.lookup net ~from:0 ~target ~category:Msg.data ~use_cache:true in
+  Printf.printf "intradomain lookup from router 0 towards %s (%s, %d msgs):\n"
+    (Id.to_short_string target)
+    (match r.Network.status with
+     | Network.Delivered _ -> "delivered"
+     | Network.Predecessor _ -> "at predecessor"
+     | Network.Stuck _ -> "stuck")
+    r.Network.msgs;
+  List.iter print_endline (Trace.to_lines r.Network.trace);
+  let rng = Prng.create (seed + 1) in
+  let inet = Internet.generate rng Internet.small_params in
+  let cfg =
+    {
+      Net.default_config with
+      Net.finger_budget = 30;
+      Net.cache_capacity = 64;
+      Net.peering_mode = Net.Bloom_filters;
+    }
+  in
+  let inter = Net.create ~cfg ~rng inet.Internet.graph in
+  let stubs = Array.of_list (Internet.stubs inet) in
+  let hosts = ref [] in
+  for i = 1 to 200 do
+    let s = stubs.(Prng.int rng (Array.length stubs)) in
+    let strategy =
+      match i mod 3 with
+      | 0 -> Net.Single_homed
+      | 1 -> Net.Multihomed
+      | _ -> Net.Peering
+    in
+    let o = Net.join inter ~as_idx:s ~strategy in
+    hosts := o.Net.host :: !hosts
+  done;
+  let hosts = Array.of_list !hosts in
+  let src = hosts.(0) and dst = hosts.(Array.length hosts / 2) in
+  let r = Route.route_from inter ~src ~dst:dst.Net.id in
+  Printf.printf "\ninterdomain route from AS%d towards %s (%s, %d AS hops):\n"
+    src.Net.home_as (Id.to_short_string dst.Net.id)
+    (if r.Route.delivered then "delivered" else "undelivered")
+    r.Route.as_hops;
+  List.iter print_endline (Trace.to_lines r.Route.trace);
+  0
+
+let trace_flag =
+  let doc = "Route one packet per layer on small demo networks and print the per-hop trace." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
 let exp_cmd (cmd_name, desc, _) =
   let term =
     Term.(
@@ -101,6 +176,12 @@ let () =
   Rofl_util.Logging.setup ();
   let doc = "ROFL (Routing on Flat Labels, SIGCOMM 2006) reproduction driver" in
   let info = Cmd.info "rofl_sim" ~version:"1.0.0" ~doc in
-  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let default =
+    Term.(
+      ret
+        (const (fun tr seed ->
+             if tr then `Ok (run_trace seed) else `Help (`Pager, None))
+        $ trace_flag $ seed_opt))
+  in
   let cmds = all_cmd :: list_cmd :: List.map exp_cmd experiments in
   exit (Cmd.eval' (Cmd.group ~default info cmds))

@@ -7,6 +7,7 @@ module Network = Rofl_intra.Network
 module Forward = Rofl_intra.Forward
 module Vnode = Rofl_core.Vnode
 module Net = Rofl_inter.Net
+module Trace = Rofl_routing.Trace
 module Hostdist = Rofl_workload.Hostdist
 
 type scale = {
@@ -157,11 +158,30 @@ let build_inter_uncached ?cfg ~seed ~hosts ~strategy params =
 
 let inter_memo : (string, inter_run) Hashtbl.t = Hashtbl.create 8
 
+(* Structural memo keys: [Hashtbl.hash] over the config records can collide
+   (it is not injective), silently handing a figure module a run built with
+   someone else's configuration.  Spell every field out instead. *)
+let inter_cfg_key = function
+  | None -> "default"
+  | Some (c : Net.config) ->
+    Printf.sprintf "%d/%d/%s/%h/%h/%b/%b" c.Net.finger_budget c.Net.cache_capacity
+      (match c.Net.peering_mode with
+       | Net.No_peering -> "none"
+       | Net.Virtual_as -> "vas"
+       | Net.Bloom_filters -> "bloom")
+      c.Net.bloom_fpr c.Net.bloom_bits_per_entry c.Net.dedup_lookups
+      c.Net.fingers_root_only
+
+let inter_params_key (p : Internet.params) =
+  Printf.sprintf "%d/%d/%d/%d/%h/%h/%h" p.Internet.n_tier1 p.Internet.n_tier2
+    p.Internet.n_tier3 p.Internet.n_stub p.Internet.multihome_fraction
+    p.Internet.peer_fraction p.Internet.backup_fraction
+
 let build_inter ?cfg ~seed ~hosts ~strategy params =
   let key =
-    Printf.sprintf "%d/%d/%s/%d/%d" seed hosts
+    Printf.sprintf "%d/%d/%s/%s/%s" seed hosts
       (Net.strategy_to_string strategy)
-      (Hashtbl.hash cfg) (Hashtbl.hash params)
+      (inter_cfg_key cfg) (inter_params_key params)
   in
   match Hashtbl.find_opt inter_memo key with
   | Some run -> run
@@ -169,6 +189,13 @@ let build_inter ?cfg ~seed ~hosts ~strategy params =
     let run = build_inter_uncached ?cfg ~seed ~hosts ~strategy params in
     Hashtbl.add inter_memo key run;
     run
+
+(* Aggregate per-hop event totals over many walks — the per-hop breakdown
+   rows of the summary figure. *)
+let hop_mix traces =
+  List.fold_left
+    (fun acc tr -> List.map2 (fun (k, a) (_, n) -> (k, a + n)) acc (Trace.counts tr))
+    (Trace.counts []) traces
 
 let cdf_rows samples ~fractions =
   let c = Stats.cdf samples in

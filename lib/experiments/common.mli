@@ -67,6 +67,10 @@ val build_inter :
 val log_checkpoints : int -> int list
 (** 1, 2, 5, 10, 20, 50 … up to and including [n]. *)
 
+val hop_mix : Rofl_routing.Trace.t list -> (string * int) list
+(** Aggregate per-hop event totals over many walk traces, keyed by
+    {!Rofl_routing.Trace.kind_to_string}; every kind is present. *)
+
 val cdf_rows : float list -> fractions:float list -> (float * float) list
 (** Invert an empirical distribution at the given fractions: rows of
     (value at fraction, fraction) for printing CDFs as tables. *)

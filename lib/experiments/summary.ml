@@ -3,6 +3,7 @@ module Stats = Rofl_util.Stats
 module Prng = Rofl_util.Prng
 module Isp = Rofl_topology.Isp
 module Network = Rofl_intra.Network
+module Msg = Rofl_core.Msg
 module Net = Rofl_inter.Net
 module Route = Rofl_inter.Route
 module Asfailure = Rofl_inter.Asfailure
@@ -112,6 +113,37 @@ let summary (scale : Common.scale) =
       ~strategy:Net.Multihomed scale.Common.inter_params
   in
   ignore peering_run;
+  (* Per-hop anatomy of the walks (trace instrumentation; no paper value):
+     how much of the forwarding work is ring state vs cache shortcuts vs
+     peering-filter crossings and reversals. *)
+  let fmt_mix mix =
+    String.concat " " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) mix)
+  in
+  (match intra_runs with
+   | run :: _ when Array.length run.Common.ids > 0 ->
+     let rng = Prng.create (scale.Common.seed + 7) in
+     let traces = ref [] in
+     for _ = 1 to min 200 scale.Common.intra_pairs do
+       let dst = Prng.sample rng run.Common.ids in
+       let r =
+         Network.lookup run.Common.net ~from:(run.Common.gateway ()) ~target:dst
+           ~category:Msg.data ~use_cache:true
+       in
+       traces := r.Network.trace :: !traces
+     done;
+     Table.add_row t
+       [ "intra per-hop mix"; "-"; fmt_mix (Common.hop_mix !traces); "per-hop trace" ]
+   | _ -> ());
+  (let rng = Prng.create (scale.Common.seed + 8) in
+   let traces = ref [] in
+   for _ = 1 to min 200 scale.Common.inter_pairs do
+     let a = Prng.sample rng failure_run.Common.hosts_arr in
+     let b = Prng.sample rng failure_run.Common.hosts_arr in
+     let r = Route.route_from failure_run.Common.net ~src:a ~dst:b.Net.id in
+     traces := r.Route.trace :: !traces
+   done;
+   Table.add_row t
+     [ "inter per-hop mix"; "-"; fmt_mix (Common.hop_mix !traces); "per-hop trace" ]);
   let stubs = Array.of_list (Internet.stubs failure_run.Common.inet) in
   let rng = Prng.create (scale.Common.seed + 6) in
   let victim = Prng.sample rng stubs in

@@ -116,7 +116,7 @@ let send t ~from_suffix =
           if not (Hashtbl.mem seen nb) then begin
             Hashtbl.replace seen nb ();
             incr msgs;
-            Metrics.charge_hop t.net.Network.metrics Msg.data nb;
+            Rofl_routing.Charge.hop t.net.Network.metrics Msg.data nb;
             Queue.push nb q
           end)
         (match Hashtbl.find_opt t.adj r with Some ns -> ns | None -> [])

@@ -3,6 +3,7 @@ module Ring = Rofl_idspace.Ring
 module Prng = Rofl_util.Prng
 module Asgraph = Rofl_asgraph.Asgraph
 module Metrics = Rofl_netsim.Metrics
+module Charge = Rofl_routing.Charge
 module Pointer = Rofl_core.Pointer
 module Pointer_cache = Rofl_core.Pointer_cache
 module Sourceroute = Rofl_core.Sourceroute
@@ -134,11 +135,10 @@ let as_levels t x =
 let charge_route t category level a b =
   match Level.route_within t.ctx level a b with
   | Some (0, _) ->
-    Metrics.charge_hop t.metrics category a;
+    Charge.hop t.metrics category a;
     (1, [ a ])
   | Some (d, path) ->
-    List.iter (fun x -> Metrics.charge_hop t.metrics category x) path;
-    Metrics.incr t.metrics category (d - List.length path);
+    Charge.span t.metrics category ~hops:d path;
     (d, path)
   | None -> (0, [])
 
@@ -213,7 +213,7 @@ let acquire_fingers t (h : host) =
                   Hashtbl.add have (Level.key t.ctx level, fid) ();
                   h.fingers <- (level, fid) :: h.fingers;
                   incr msgs;
-                  Metrics.incr t.metrics Msg.finger 1;
+                  Charge.bulk t.metrics Msg.finger 1;
                   progressed := true
                 end
               | Some _ | None -> exhausted.(i) <- true
@@ -242,7 +242,7 @@ let join_with_levels t ~as_idx ~id ~strategy ~levels =
          | None ->
            (* First member at this level: bootstrap registration. *)
            let d = anchor_distance t as_idx level in
-           Metrics.incr t.metrics Msg.join d;
+           Charge.bulk t.metrics Msg.join d;
            lookup_msgs := !lookup_msgs + d
          | Some (sid, succ_h) ->
            let dedup =

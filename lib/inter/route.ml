@@ -3,7 +3,9 @@ module Ring = Rofl_idspace.Ring
 module Prng = Rofl_util.Prng
 module Asgraph = Rofl_asgraph.Asgraph
 module Policy = Rofl_asgraph.Policy
-module Metrics = Rofl_netsim.Metrics
+module Walk = Rofl_routing.Walk
+module Charge = Rofl_routing.Charge
+module Trace = Rofl_routing.Trace
 module Pointer = Rofl_core.Pointer
 module Pointer_cache = Rofl_core.Pointer_cache
 module Msg = Rofl_core.Msg
@@ -17,6 +19,7 @@ type result = {
   peer_crossings : int;
   backtracks : int;
   max_level_breadth : int;
+  trace : Trace.t;
 }
 
 (* Closest live resident of [as_idx] in the clockwise interval (pos, dst]. *)
@@ -49,29 +52,26 @@ let lowest_level_candidate (t : Net.t) (h : Net.host) ~cur ~pos ~dst ~ceiling =
         Some (sid, sh)
       | Some _ | None -> None
     in
-    let best =
-      List.fold_left
-        (fun acc (flevel, fid) ->
-          if not (Level.equal flevel level) then acc
+    let finger_cands =
+      List.filter_map
+        (fun (flevel, fid) ->
+          if not (Level.equal flevel level) then None
           else
             match Hashtbl.find_opt t.Net.hosts fid with
-            | Some fh when fh.Net.alive_h && Id.between_incl pos fid dst ->
-              (match acc with
-               | Some (bid, _)
-                 when Id.compare (Id.distance fid dst) (Id.distance bid dst) >= 0 ->
-                 acc
-               | Some _ | None -> Some (fid, fh))
-            | Some _ | None -> acc)
-        succ_cand h.Net.fingers
+            | Some fh when fh.Net.alive_h && Id.between_incl pos fid dst -> Some (fid, fh)
+            | Some _ | None -> None)
+        h.Net.fingers
     in
-    match best with Some (cid, ch) -> Some (level, cid, ch) | None -> None
+    let cands = (match succ_cand with Some c -> [ c ] | None -> []) @ finger_cands in
+    match Walk.best ~dist:(fun (cid, _) -> Id.distance cid dst) cands with
+    | Some (_, (cid, ch)) -> Some (level, cid, ch)
+    | None -> None
   in
   let rec scan = function
     | [] -> None
     | level :: rest ->
       (match candidate_at level with Some c -> Some c | None -> scan rest)
   in
-  ignore h;
   let levels = Net.as_levels t cur in
   let containing =
     List.filter
@@ -120,8 +120,7 @@ let charge_move (t : Net.t) level a b =
   match Level.route_within t.Net.ctx level a b with
   | Some (0, _) -> Some (0, [])
   | Some (d, path) ->
-    List.iter (fun x -> Metrics.charge_hop t.Net.metrics Msg.data x) path;
-    Metrics.incr t.Net.metrics Msg.data (d - List.length path);
+    Charge.span t.Net.metrics Msg.data ~hops:d path;
     (match path with
      | [] -> Some (d, [])
      | _ :: tail -> Some (d, tail))
@@ -130,41 +129,165 @@ let charge_move (t : Net.t) level a b =
 let charge_unrestricted (t : Net.t) a b =
   charge_move t Level.Root a b
 
-let route_from (t : Net.t) ~src ~dst =
-  let cur = ref src.Net.home_as in
-  let pos = ref src.Net.id in
-  let pos_host = ref src in
-  let as_hops = ref 0 and pointer_hops = ref 0 in
-  let cache_hops = ref 0 in
-  let peer_crossings = ref 0 and backtracks = ref 0 in
-  let max_breadth = ref 0 in
-  let rev_path = ref [ src.Net.home_as ] in
-  let ceiling = ref Level.Root in
-  let tried_peers = Hashtbl.create 4 in
-  let guard = ref 0 in
-  let finish delivered =
+(* The greedy loop — candidate ranking, per-move commit, step guard — lives
+   in {!Rofl_routing.Walk}; this substrate supplies the AS-granularity
+   state.  One Walk step is one pointer traversal: a level-restricted ring
+   move (possibly diverted mid-path over a bloom peering link, §4.2) or an
+   unrestricted cache shortcut.  Position lives in the state record (the
+   packet's AS, ring position, and position host move together). *)
+module Route_substrate = struct
+  type st = {
+    net : Net.t;
+    dst : Id.t;
+    mutable cur : int;
+    mutable pos : Id.t;
+    mutable pos_host : Net.host;
+    mutable as_hops : int;
+    mutable pointer_hops : int;
+    mutable cache_hops : int;
+    mutable peer_crossings : int;
+    mutable backtracks : int;
+    mutable max_breadth : int;
+    mutable rev_path : int list;
+    mutable ceiling : Level.t;
+    tried_peers : (int * int, unit) Hashtbl.t;
+    tracer : Trace.builder;
+  }
+
+  type pos = unit
+
+  type cand =
+    | Ring_move of Level.t * Id.t * Net.host * bool  (** level, id, host, narrows *)
+    | Cache_move of Id.t * Net.host
+
+  type route = cand
+  type verdict = result
+
+  (* The seed guard admitted 4096 working iterations; [run] counts from 0. *)
+  let max_steps _ = 4095
+  let restart_limit _ = 0
+  let horizon = `Per_move
+  let stale_commit _ _ = false
+  let exhausted _ = true
+
+  let finish st delivered =
     {
       delivered;
-      as_hops = !as_hops;
-      as_path = List.rev !rev_path;
-      pointer_hops = !pointer_hops;
-      cache_hops = !cache_hops;
-      peer_crossings = !peer_crossings;
-      backtracks = !backtracks;
-      max_level_breadth = !max_breadth;
+      as_hops = st.as_hops;
+      as_path = List.rev st.rev_path;
+      pointer_hops = st.pointer_hops;
+      cache_hops = st.cache_hops;
+      peer_crossings = st.peer_crossings;
+      backtracks = st.backtracks;
+      max_level_breadth = st.max_breadth;
+      trace = Trace.events st.tracer;
     }
-  in
-  let extend_path tail =
-    List.iter (fun a -> rev_path := a :: !rev_path) tail
-  in
+
+  let extend_path st tail = List.iter (fun a -> st.rev_path <- a :: st.rev_path) tail
+
+  let arrived st () =
+    if Net.locate st.net st.dst = Some st.cur then Some (finish st true) else None
+
+  (* Free intra-AS move to the closest local resident. *)
+  let prepare st () =
+    (match best_local_resident st.net st.cur ~pos:st.pos ~dst:st.dst with
+     | Some (mid, mh) when not (Id.equal mid st.pos) ->
+       st.pos <- mid;
+       st.pos_host <- mh
+     | Some _ | None -> ());
+    ()
+
+  (* Ring candidate first, cache shortcut last: under {!Walk.best}'s
+     keep-first ranking a cached pointer overrides the ring candidate only
+     when strictly closer. *)
+  let candidates st () =
+    let ring =
+      match
+        lowest_level_candidate st.net st.pos_host ~cur:st.cur ~pos:st.pos ~dst:st.dst
+          ~ceiling:st.ceiling
+      with
+      | Some (level, cid, ch, narrows) -> [ Ring_move (level, cid, ch, narrows) ]
+      | None -> []
+    in
+    let cache =
+      match cache_candidate st.net st.cur ~pos:st.pos ~dst:st.dst with
+      | Some (cid, ch) -> [ Cache_move (cid, ch) ]
+      | None -> []
+    in
+    ring @ cache
+
+  let distance st = function
+    | Ring_move (_, cid, _, _) -> Id.distance cid st.dst
+    | Cache_move (cid, _) -> Id.distance cid st.dst
+
+  let deliver_here _ () _ = None
+  let commit _ () c = Some c
+
+  (* Bloom-filter peering (§4.2): consult the peers' filters; a hit crosses
+     the peering link and descends, a false positive backtracks. *)
+  let try_peers st =
+    let t = st.net in
+    let g = Level.graph t.Net.ctx in
+    let peers = Asgraph.peers g st.cur in
+    let rec attempt = function
+      | [] -> None
+      | p :: rest ->
+        if Hashtbl.mem st.tried_peers (st.cur, p) || not (Net.as_alive t p) then
+          attempt rest
+        else begin
+          Hashtbl.add st.tried_peers (st.cur, p) ();
+          if Net.bloom_check t p st.dst then begin
+            (* Cross the peering link. *)
+            Charge.hop t.Net.metrics Msg.data p;
+            st.as_hops <- st.as_hops + 1;
+            st.peer_crossings <- st.peer_crossings + 1;
+            st.rev_path <- p :: st.rev_path;
+            Trace.record st.tracer ~kind:Trace.Flood ~router:p ~level:"peer"
+              ~dist:(Id.distance st.pos st.dst);
+            let really_below =
+              match Net.locate t st.dst with
+              | Some home -> Asgraph.in_cone g ~root:p home
+              | None -> false
+            in
+            if really_below then begin
+              (* Descend within the peer's subtree to the destination. *)
+              match Net.locate t st.dst with
+              | Some home ->
+                (match charge_move t (Level.Real p) p home with
+                 | Some (d, tail) ->
+                   st.as_hops <- st.as_hops + d;
+                   extend_path st tail;
+                   st.cur <- home;
+                   Some (finish st true)
+                 | None -> Some (finish st false))
+              | None -> Some (finish st false)
+            end
+            else begin
+              (* False positive: the packet comes back over the peering
+                 link and continues (§4.2). *)
+              Charge.hop t.Net.metrics Msg.data st.cur;
+              st.as_hops <- st.as_hops + 1;
+              st.backtracks <- st.backtracks + 1;
+              st.rev_path <- st.cur :: st.rev_path;
+              Trace.record st.tracer ~kind:Trace.Backtrack ~router:st.cur ~level:"peer"
+                ~dist:(Id.distance st.pos st.dst);
+              attempt rest
+            end
+          end
+          else attempt rest
+        end
+    in
+    attempt peers
+
   (* Transit-AS bloom checks (§4.2): as a move's packet passes through an
      AS, that AS may consult its peers' filters and divert the packet over
      the peering link; a false positive sends it back onto its path. *)
-  let transit_divert path_tail =
+  let transit_divert st path_tail =
+    let t = st.net in
     if t.Net.cfg.Net.peering_mode <> Net.Bloom_filters then None
     else begin
       let g = Level.graph t.Net.ctx in
-      let dst_home = Net.locate t dst in
+      let dst_home = Net.locate t st.dst in
       (* Only the ascent of the move consults peers: after crossing, a
          packet may not go back up the hierarchy (§4.2), so checks beyond
          the path's peak are moot. *)
@@ -176,14 +299,16 @@ let route_from (t : Net.t) ~src ~dst =
           let rec scan_peers = function
             | [] -> scan_as (budget - 1) rest
             | p :: more ->
-              if Hashtbl.mem tried_peers (a, p) || not (Net.as_alive t p) then
+              if Hashtbl.mem st.tried_peers (a, p) || not (Net.as_alive t p) then
                 scan_peers more
               else begin
-                Hashtbl.add tried_peers (a, p) ();
-                if Net.bloom_check t p dst then begin
-                  Metrics.charge_hop t.Net.metrics Msg.data p;
-                  as_hops := !as_hops + 1;
-                  incr peer_crossings;
+                Hashtbl.add st.tried_peers (a, p) ();
+                if Net.bloom_check t p st.dst then begin
+                  Charge.hop t.Net.metrics Msg.data p;
+                  st.as_hops <- st.as_hops + 1;
+                  st.peer_crossings <- st.peer_crossings + 1;
+                  Trace.record st.tracer ~kind:Trace.Flood ~router:p ~level:"peer"
+                    ~dist:(Id.distance st.pos st.dst);
                   let really_below =
                     match dst_home with
                     | Some home -> Asgraph.in_cone g ~root:p home
@@ -192,9 +317,11 @@ let route_from (t : Net.t) ~src ~dst =
                   if really_below then Some (a, p)
                   else begin
                     (* False positive: back over the peering link. *)
-                    Metrics.charge_hop t.Net.metrics Msg.data a;
-                    as_hops := !as_hops + 1;
-                    incr backtracks;
+                    Charge.hop t.Net.metrics Msg.data a;
+                    st.as_hops <- st.as_hops + 1;
+                    st.backtracks <- st.backtracks + 1;
+                    Trace.record st.tracer ~kind:Trace.Backtrack ~router:a ~level:"peer"
+                      ~dist:(Id.distance st.pos st.dst);
                     scan_peers more
                   end
                 end
@@ -205,155 +332,99 @@ let route_from (t : Net.t) ~src ~dst =
       in
       scan_as 2 path_tail
     end
-  in
-  let move level cid ch =
-    match charge_move t level !cur ch.Net.home_as with
-    | None -> `Failed
-    | Some (d, tail) ->
-      as_hops := !as_hops + d;
-      extend_path tail;
-      pointer_hops := !pointer_hops + 1;
-      max_breadth := max !max_breadth (Level.breadth t.Net.ctx level);
-      (match transit_divert tail with
-       | Some (via, p) ->
-         ignore via;
-         rev_path := p :: !rev_path;
-         (match Net.locate t dst with
-          | Some home ->
-            (match charge_move t (Level.Real p) p home with
-             | Some (dd, dtail) ->
-               as_hops := !as_hops + dd;
-               extend_path dtail;
-               cur := home;
-               `Delivered
-             | None -> `Failed)
-          | None -> `Failed)
+
+  let follow st () c =
+    match c with
+    | Cache_move (cid, ch) ->
+      (match charge_unrestricted st.net st.cur ch.Net.home_as with
+       | None -> Walk.Blocked
+       | Some (d, tail) ->
+         st.as_hops <- st.as_hops + d;
+         extend_path st tail;
+         st.pointer_hops <- st.pointer_hops + 1;
+         st.cache_hops <- st.cache_hops + 1;
+         st.ceiling <- Level.Root;
+         st.cur <- ch.Net.home_as;
+         st.pos <- cid;
+         st.pos_host <- ch;
+         Trace.record st.tracer ~kind:Trace.Cache ~router:ch.Net.home_as
+           ~level:(Level.to_string Level.Root) ~dist:(Id.distance cid st.dst);
+         Walk.Stepped ((), c))
+    | Ring_move (level, cid, ch, narrows) ->
+      (* Before taking a root-level (blind) move in bloom-filter mode,
+         consult the peers' filters. *)
+      let peer_shortcut =
+        if st.net.Net.cfg.Net.peering_mode = Net.Bloom_filters then
+          match level with
+          | Level.Root -> try_peers st
+          | Level.Real _ | Level.Peer_group _ -> None
+        else None
+      in
+      (match peer_shortcut with
+       | Some r -> Walk.Finished r
        | None ->
-         cur := ch.Net.home_as;
-         pos := cid;
-         pos_host := ch;
-         `Moved)
+         (match charge_move st.net level st.cur ch.Net.home_as with
+          | None -> Walk.Blocked
+          | Some (d, tail) ->
+            st.as_hops <- st.as_hops + d;
+            extend_path st tail;
+            st.pointer_hops <- st.pointer_hops + 1;
+            st.max_breadth <- max st.max_breadth (Level.breadth st.net.Net.ctx level);
+            (match transit_divert st tail with
+             | Some (_via, p) ->
+               st.rev_path <- p :: st.rev_path;
+               (match Net.locate st.net st.dst with
+                | Some home ->
+                  (match charge_move st.net (Level.Real p) p home with
+                   | Some (dd, dtail) ->
+                     st.as_hops <- st.as_hops + dd;
+                     extend_path st dtail;
+                     st.cur <- home;
+                     Walk.Finished (finish st true)
+                   | None -> Walk.Finished (finish st false))
+                | None -> Walk.Finished (finish st false))
+             | None ->
+               st.cur <- ch.Net.home_as;
+               st.pos <- cid;
+               st.pos_host <- ch;
+               if narrows then st.ceiling <- level;
+               Trace.record st.tracer ~kind:Trace.Ring ~router:ch.Net.home_as
+                 ~level:(Level.to_string level) ~dist:(Id.distance cid st.dst);
+               Walk.Stepped ((), c))))
+
+  let no_candidate st () =
+    if st.net.Net.cfg.Net.peering_mode = Net.Bloom_filters then
+      match try_peers st with Some r -> r | None -> finish st false
+    else finish st false
+
+  let settle st () = finish st false (* unreachable under [`Per_move] *)
+  let stuck st () = finish st false
+end
+
+module Route_walk = Walk.Make (Route_substrate)
+
+let route_from (t : Net.t) ~src ~dst =
+  let st =
+    {
+      Route_substrate.net = t;
+      dst;
+      cur = src.Net.home_as;
+      pos = src.Net.id;
+      pos_host = src;
+      as_hops = 0;
+      pointer_hops = 0;
+      cache_hops = 0;
+      peer_crossings = 0;
+      backtracks = 0;
+      max_breadth = 0;
+      rev_path = [ src.Net.home_as ];
+      ceiling = Level.Root;
+      tried_peers = Hashtbl.create 4;
+      tracer = Trace.builder ();
+    }
   in
-  let rec step () =
-    incr guard;
-    if !guard > 4096 then finish false
-    else if Net.locate t dst = Some !cur then finish true
-    else begin
-      (* Free intra-AS move to the closest local resident. *)
-      (match best_local_resident t !cur ~pos:!pos ~dst with
-       | Some (mid, mh) when not (Id.equal mid !pos) ->
-         pos := mid;
-         pos_host := mh
-       | Some _ | None -> ());
-      if Net.locate t dst = Some !cur then finish true
-      else begin
-        let ring_cand =
-          lowest_level_candidate t !pos_host ~cur:!cur ~pos:!pos ~dst ~ceiling:!ceiling
-        in
-        let cache_cand = cache_candidate t !cur ~pos:!pos ~dst in
-        (* A strictly closer cached pointer overrides the ring candidate. *)
-        let use_cache =
-          match (cache_cand, ring_cand) with
-          | Some (cid, _), Some (_, rid, _, _) ->
-            Id.compare (Id.distance cid dst) (Id.distance rid dst) < 0
-          | Some _, None -> true
-          | None, _ -> false
-        in
-        if use_cache then begin
-          match cache_cand with
-          | Some (cid, ch) ->
-            (match charge_unrestricted t !cur ch.Net.home_as with
-             | None -> finish false
-             | Some (d, tail) ->
-               as_hops := !as_hops + d;
-               extend_path tail;
-               pointer_hops := !pointer_hops + 1;
-               cache_hops := !cache_hops + 1;
-               ceiling := Level.Root;
-               cur := ch.Net.home_as;
-               pos := cid;
-               pos_host := ch;
-               step ())
-          | None -> finish false
-        end
-        else begin
-          (* Bloom-filter peering (§4.2): before taking a root-level (blind)
-             move, consult the peers' filters; a hit crosses the peering
-             link and descends, a false positive backtracks. *)
-          let peer_shortcut =
-            if t.Net.cfg.Net.peering_mode = Net.Bloom_filters then begin
-              match ring_cand with
-              | Some (Level.Root, _, _, _) | None -> try_peers ()
-              | Some _ -> None
-            end
-            else None
-          in
-          match peer_shortcut with
-          | Some result -> result
-          | None ->
-            (match ring_cand with
-             | Some (level, cid, ch, narrows) ->
-               (match move level cid ch with
-                | `Moved ->
-                  if narrows then ceiling := level;
-                  step ()
-                | `Delivered -> finish true
-                | `Failed -> finish false)
-             | None -> finish false)
-        end
-      end
-    end
-  and try_peers () =
-    let g = Level.graph t.Net.ctx in
-    let peers = Asgraph.peers g !cur in
-    let rec attempt = function
-      | [] -> None
-      | p :: rest ->
-        if Hashtbl.mem tried_peers (!cur, p) || not (Net.as_alive t p) then attempt rest
-        else begin
-          Hashtbl.add tried_peers (!cur, p) ();
-          if Net.bloom_check t p dst then begin
-            (* Cross the peering link. *)
-            Metrics.charge_hop t.Net.metrics Msg.data p;
-            as_hops := !as_hops + 1;
-            incr peer_crossings;
-            rev_path := p :: !rev_path;
-            let really_below =
-              match Net.locate t dst with
-              | Some home -> Asgraph.in_cone g ~root:p home
-              | None -> false
-            in
-            if really_below then begin
-              (* Descend within the peer's subtree to the destination. *)
-              match Net.locate t dst with
-              | Some home ->
-                (match charge_move t (Level.Real p) p home with
-                 | Some (d, tail) ->
-                   as_hops := !as_hops + d;
-                   extend_path tail;
-                   cur := home;
-                   Some (finish true)
-                 | None -> Some (finish false))
-              | None -> Some (finish false)
-            end
-            else begin
-              (* False positive: the packet comes back over the peering
-                 link and continues (§4.2). *)
-              Metrics.charge_hop t.Net.metrics Msg.data !cur;
-              as_hops := !as_hops + 1;
-              incr backtracks;
-              rev_path := !cur :: !rev_path;
-              attempt rest
-            end
-          end
-          else attempt rest
-        end
-    in
-    attempt peers
-  in
-  Metrics.charge_hop t.Net.metrics Msg.data src.Net.home_as;
-  Metrics.incr t.Net.metrics Msg.data (-1);
-  step ()
+  Charge.inject t.Net.metrics Msg.data src.Net.home_as;
+  Route_walk.run st ~start:()
 
 let route_between_ases t ~src_as ~dst =
   match Ring.min_binding !(t.Net.resident_rings.(src_as)) with

@@ -17,6 +17,7 @@ type result = {
   peer_crossings : int;
   backtracks : int;        (** bloom false-positive reversals *)
   max_level_breadth : int; (** cone size of the widest level used *)
+  trace : Rofl_routing.Trace.t; (** per-hop events, in walk order *)
 }
 
 val route_from : Net.t -> src:Net.host -> dst:Rofl_idspace.Id.t -> result

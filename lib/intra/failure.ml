@@ -7,6 +7,7 @@ module Msg = Rofl_core.Msg
 module Graph = Rofl_topology.Graph
 module Linkstate = Rofl_linkstate.Linkstate
 module Metrics = Rofl_netsim.Metrics
+module Charge = Rofl_routing.Charge
 module Identity = Rofl_crypto.Identity
 
 let total (t : Network.t) = Metrics.total t.Network.metrics
@@ -22,7 +23,7 @@ let teardown_and_repair (t : Network.t) ~doomed =
       if vn.Vnode.alive then begin
         let dropped = Vnode.drop_pointers_if vn doomed in
         if dropped > 0 then begin
-          Metrics.incr t.Network.metrics Msg.teardown dropped;
+          Charge.bulk t.Network.metrics Msg.teardown dropped;
           (match vn.Vnode.host_class with
            | Vnode.Stable | Vnode.Router_default ->
              if vn.Vnode.succs = [] then Network.repair_successor t vn;
@@ -65,7 +66,7 @@ let fail_host (t : Network.t) id =
   | Error e -> Error e
 
 let charge_lsa (t : Network.t) category =
-  Metrics.incr t.Network.metrics category (Linkstate.lsa_flood_cost t.Network.ls)
+  Charge.bulk t.Network.metrics category (Linkstate.lsa_flood_cost t.Network.ls)
 
 let fail_router (t : Network.t) idx ~pick_gateway =
   let before = total t in

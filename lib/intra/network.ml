@@ -8,6 +8,9 @@ module Msg = Rofl_core.Msg
 module Graph = Rofl_topology.Graph
 module Linkstate = Rofl_linkstate.Linkstate
 module Metrics = Rofl_netsim.Metrics
+module Walk = Rofl_routing.Walk
+module Charge = Rofl_routing.Charge
+module Trace = Rofl_routing.Trace
 module Prng = Rofl_util.Prng
 module Identity = Rofl_crypto.Identity
 module Sha256 = Rofl_crypto.Sha256
@@ -85,7 +88,7 @@ let make_pointer t kind ~from_router ~dst ~dst_router =
 let charge_spf t category src dst =
   match Linkstate.path t.ls src dst with
   | Some hops ->
-    Metrics.charge_path t.metrics category hops;
+    Charge.path t.metrics category hops;
     (List.length hops - 1, path_latency t hops)
   | None -> (0, 0.0)
 
@@ -128,7 +131,7 @@ let create ?(cfg = default_config) ~rng graph =
       Hashtbl.replace t.vnodes r.default_vnode.Vnode.id r.default_vnode;
       t.oracle <- Ring.add r.default_vnode.Vnode.id r.default_vnode t.oracle;
       let cost = Linkstate.lsa_flood_cost ls in
-      Metrics.incr t.metrics Msg.flood cost;
+      Charge.bulk t.metrics Msg.flood cost;
       t.bootstrap_msgs <- t.bootstrap_msgs + cost)
     routers;
   Array.iter
@@ -175,6 +178,7 @@ type lookup_result = {
   msgs : int;
   latency_ms : float;
   visited : int list;
+  trace : Trace.t;
 }
 
 type candidate = Local of Vnode.t | Remote of Pointer.t
@@ -183,161 +187,207 @@ let candidate_id = function
   | Local vn -> vn.Vnode.id
   | Remote (p : Pointer.t) -> p.Pointer.dst
 
-(* Closest-to-target without overshoot: minimise clockwise distance from the
-   candidate to the target; the target itself is distance 0. *)
-let best_candidate t r ~target ~use_cache ~exclude =
-  let best = ref None in
-  let excluded id = match exclude with Some e -> Id.equal e id | None -> false in
-  let consider c =
-    if not (excluded (candidate_id c)) then begin
-      let d = Id.distance (candidate_id c) target in
-      match !best with
-      | Some (bd, _) when Id.compare d bd >= 0 -> ()
-      | Some _ | None -> best := Some (d, c)
-    end
-  in
-  List.iter
-    (fun (vn : Vnode.t) ->
-      if vn.Vnode.alive then begin
-        (* Ephemeral identifiers never serve as ring hops (§2.2); they are
-           only candidates when they are the packet's own destination. *)
-        let routable =
-          match vn.Vnode.host_class with
-          | Vnode.Stable | Vnode.Router_default -> true
-          | Vnode.Ephemeral -> Id.equal vn.Vnode.id target
-        in
-        if routable then consider (Local vn);
-        List.iter
-          (fun (p : Pointer.t) ->
-            (* Same-router pointers are covered by Local candidates (or are
-               stale); a remote candidate must actually lead elsewhere. *)
-            if p.Pointer.dst_router <> r.idx && Sourceroute.is_valid t.ls p.Pointer.route
-            then consider (Remote p))
-          vn.Vnode.succs
-      end)
-    r.residents;
-  if use_cache then begin
-    match Pointer_cache.best_match r.cache ~cur:target ~target with
-    | Some p ->
-      if p.Pointer.dst_router <> r.idx && Sourceroute.is_valid t.ls p.Pointer.route then
-        consider (Remote p)
-    | None -> ()
-  end;
-  !best
-
 (* The walk moves ONE physical hop at a time: Algorithm 2's route() runs at
    every router a message transits, so transit routers can shortcut through
-   their own residents and pointer caches.  [committed] is the source-route
-   tail we are currently following towards the best identifier seen so far;
-   a strictly closer candidate at any transit router replaces it. *)
-let lookup ?exclude t ~from ~target ~category ~use_cache =
-  let msgs = ref 0 and latency = ref 0.0 in
-  let visited = ref [ from ] in
-  Metrics.charge_hop t.metrics category from;
-  (* The origin hop above counts message injection; compensate so [msgs]
-     reports link traversals only. *)
-  Metrics.incr t.metrics category (-1);
-  let max_steps = (4 * Graph.n t.graph) + (2 * Ring.cardinal t.oracle) + 16 in
-  let finish status =
-    { status; msgs = !msgs; latency_ms = !latency; visited = List.rev !visited }
-  in
-  let move cur next =
-    Metrics.charge_hop t.metrics category next;
-    msgs := !msgs + 1;
-    latency := !latency +. Graph.latency t.graph cur next;
-    visited := next :: !visited
-  in
-  let resident_alive cur id =
+   their own residents and pointer caches.  The greedy loop itself —
+   closest-without-overshoot ranking, strictly-closer replacement of the
+   committed source route, stale-pointer NACK/restart, step guard — lives in
+   {!Rofl_routing.Walk}; this substrate supplies the router-granularity
+   state: candidate enumeration, source-route commits, per-link charging. *)
+module Lookup_substrate = struct
+  type st = {
+    net : t;
+    target : Id.t;
+    category : string;
+    use_cache : bool;
+    exclude : Id.t option;
+    step_limit : int;
+    mutable msgs : int;
+    mutable latency : float;
+    mutable rev_visited : int list;
+    (* Router that handed out the committed pointer and the identifier it
+       chases: the NACK addressee when the pointer turns out stale. *)
+    mutable commit_src : (int * Id.t) option;
+    mutable commit_kind : Trace.kind;
+    mutable commit_dist : Id.t;
+    tracer : Trace.builder;
+  }
+
+  type pos = int
+  type cand = candidate
+  type route = int list
+  type verdict = lookup_result
+
+  let max_steps st = st.step_limit
+  let restart_limit _ = 4
+  let horizon = `Persistent
+  let arrived _ _ = None
+  let prepare _ cur = cur
+
+  let finish st status =
+    {
+      status;
+      msgs = st.msgs;
+      latency_ms = st.latency;
+      visited = List.rev st.rev_visited;
+      trace = Trace.events st.tracer;
+    }
+
+  let resident_alive st cur id =
     List.exists
       (fun (vn : Vnode.t) -> vn.Vnode.alive && Id.equal vn.Vnode.id id)
-      t.routers.(cur).residents
-  in
+      st.net.routers.(cur).residents
+
   (* Negative acknowledgement: the router that handed out a pointer to an
      identifier no longer resident at its target prunes it (the lazy probe
      repair of group tails, §4.1). *)
-  let nack cur owner chased =
+  let nack st cur owner chased =
+    let t = st.net in
     let _ = charge_spf t Msg.teardown cur owner in
     List.iter
       (fun (vn : Vnode.t) ->
-        ignore (Vnode.drop_pointers_if vn (fun (p : Pointer.t) -> Id.equal p.Pointer.dst chased)))
+        ignore
+          (Vnode.drop_pointers_if vn (fun (p : Pointer.t) -> Id.equal p.Pointer.dst chased)))
       t.routers.(owner).residents;
     Pointer_cache.remove t.routers.(owner).cache chased;
     Pointer_cache.remove t.routers.(cur).cache chased
+
+  let stale_commit st cur =
+    match st.commit_src with
+    | Some (owner, chased) when not (resident_alive st cur chased) ->
+      (* Arrived where the chased identifier should live, but it is gone:
+         stale pointer. *)
+      nack st cur owner chased;
+      Trace.record st.tracer ~kind:Trace.Backtrack ~router:cur ~level:"intra"
+        ~dist:(Id.distance chased st.target);
+      st.commit_src <- None;
+      true
+    | Some _ | None -> false
+
+  let distance st c = Id.distance (candidate_id c) st.target
+
+  (* Enumeration order encodes tie precedence for {!Walk.best}: residents
+     (and their successor pointers) first, the cache shortcut last. *)
+  let candidates st cur =
+    let t = st.net in
+    let r = t.routers.(cur) in
+    let excluded id = match st.exclude with Some e -> Id.equal e id | None -> false in
+    let acc = ref [] in
+    let consider c = if not (excluded (candidate_id c)) then acc := c :: !acc in
+    List.iter
+      (fun (vn : Vnode.t) ->
+        if vn.Vnode.alive then begin
+          (* Ephemeral identifiers never serve as ring hops (§2.2); they are
+             only candidates when they are the packet's own destination. *)
+          let routable =
+            match vn.Vnode.host_class with
+            | Vnode.Stable | Vnode.Router_default -> true
+            | Vnode.Ephemeral -> Id.equal vn.Vnode.id st.target
+          in
+          if routable then consider (Local vn);
+          List.iter
+            (fun (p : Pointer.t) ->
+              (* Same-router pointers are covered by Local candidates (or are
+                 stale); a remote candidate must actually lead elsewhere. *)
+              if p.Pointer.dst_router <> r.idx && Sourceroute.is_valid t.ls p.Pointer.route
+              then consider (Remote p))
+            vn.Vnode.succs
+        end)
+      r.residents;
+    if st.use_cache then begin
+      match Pointer_cache.best_match r.cache ~cur:st.target ~target:st.target with
+      | Some p ->
+        if p.Pointer.dst_router <> r.idx && Sourceroute.is_valid t.ls p.Pointer.route then
+          consider (Remote p)
+      | None -> ()
+    end;
+    List.rev !acc
+
+  let deliver_here st _cur = function
+    | Local vn when Id.equal vn.Vnode.id st.target -> Some (finish st (Delivered vn))
+    | Local vn ->
+      (* The closest known identifier is resident right here and its
+         successors all overshoot: this vnode is the predecessor. *)
+      Some (finish st (Predecessor vn))
+    | Remote _ -> None
+
+  let commit st cur = function
+    | Local _ -> None (* unreachable: deliver_here terminates on locals *)
+    | Remote (p : Pointer.t) ->
+      st.commit_src <- Some (cur, p.Pointer.dst);
+      st.commit_kind <-
+        (match p.Pointer.kind with
+         | Pointer.Cached -> Trace.Cache
+         | Pointer.Successor | Pointer.Predecessor | Pointer.Finger -> Trace.Ring);
+      st.commit_dist <- Id.distance p.Pointer.dst st.target;
+      (match Sourceroute.hops p.Pointer.route with
+       | hd :: rest when hd = cur -> Some rest
+       | _ ->
+         (* Route does not start here (cached suffix mismatch): fall back to
+            the network map. *)
+         (match Linkstate.path st.net.ls cur p.Pointer.dst_router with
+          | Some (_ :: rest) -> Some rest
+          | Some [] | None -> None))
+
+  let exhausted = function [] -> true | _ :: _ -> false
+
+  let follow st cur = function
+    | next :: rest when Graph.has_link st.net.graph cur next ->
+      Charge.hop st.net.metrics st.category next;
+      st.msgs <- st.msgs + 1;
+      st.latency <- st.latency +. Graph.latency st.net.graph cur next;
+      st.rev_visited <- next :: st.rev_visited;
+      Trace.record st.tracer ~kind:st.commit_kind ~router:next ~level:"intra"
+        ~dist:st.commit_dist;
+      Walk.Stepped (next, rest)
+    | _ :: _ | [] -> Walk.Blocked
+
+  let no_candidate st cur = finish st (Stuck cur)
+  let stuck st cur = finish st (Stuck cur)
+
+  (* Recovery exhausted: settle for the best local member. *)
+  let settle st cur =
+    let eligible =
+      List.filter
+        (fun (vn : Vnode.t) ->
+          vn.Vnode.alive
+          && (match vn.Vnode.host_class with
+             | Vnode.Ephemeral -> Id.equal vn.Vnode.id st.target
+             | Vnode.Stable | Vnode.Router_default -> true)
+          &&
+          match st.exclude with Some e -> not (Id.equal e vn.Vnode.id) | None -> true)
+        st.net.routers.(cur).residents
+    in
+    match
+      Walk.best ~dist:(fun (vn : Vnode.t) -> Id.distance vn.Vnode.id st.target) eligible
+    with
+    | Some (_, vn) when Id.equal vn.Vnode.id st.target -> finish st (Delivered vn)
+    | Some (_, vn) -> finish st (Predecessor vn)
+    | None -> finish st (Stuck cur)
+end
+
+module Lookup_walk = Walk.Make (Lookup_substrate)
+
+let lookup ?exclude t ~from ~target ~category ~use_cache =
+  let st =
+    {
+      Lookup_substrate.net = t;
+      target;
+      category;
+      use_cache;
+      exclude;
+      step_limit = (4 * Graph.n t.graph) + (2 * Ring.cardinal t.oracle) + 16;
+      msgs = 0;
+      latency = 0.0;
+      rev_visited = [ from ];
+      commit_src = None;
+      commit_kind = Trace.Ring;
+      commit_dist = Id.max_value;
+      tracer = Trace.builder ();
+    }
   in
-  let rec step cur best_dist committed commit_src restarts guard =
-    if guard > max_steps then finish (Stuck cur)
-    else begin
-      match (commit_src, committed) with
-      | Some (owner, chased), [] when (not (resident_alive cur chased)) && restarts < 4 ->
-        (* Arrived where the chased identifier should live, but it is gone:
-           stale pointer.  Prune at the owner and restart from here. *)
-        nack cur owner chased;
-        step cur Id.max_value [] None (restarts + 1) (guard + 1)
-      | _ ->
-        let r = t.routers.(cur) in
-        (match best_candidate t r ~target ~use_cache ~exclude with
-         | None -> finish (Stuck cur)
-         | Some (d, c) ->
-           let continue_along path dist src =
-             match path with
-             | next :: rest when Graph.has_link t.graph cur next ->
-               move cur next;
-               step next dist rest src restarts (guard + 1)
-             | _ :: _ | [] -> finish (Stuck cur)
-           in
-           (match c with
-            | Local vn when Id.equal vn.Vnode.id target -> finish (Delivered vn)
-            | Local vn ->
-              (* The closest known identifier is resident right here and its
-                 successors all overshoot: this vnode is the predecessor. *)
-              finish (Predecessor vn)
-            | Remote p ->
-              if Id.compare d best_dist < 0 then begin
-                (* Strictly better target: commit to its source route. *)
-                let src = Some (cur, p.Pointer.dst) in
-                match Sourceroute.hops p.Pointer.route with
-                | hd :: rest when hd = cur -> continue_along rest d src
-                | _ ->
-                  (* Route does not start here (cached suffix mismatch): fall
-                     back to the network map. *)
-                  (match Linkstate.path t.ls cur p.Pointer.dst_router with
-                   | Some (_ :: rest) -> continue_along rest d src
-                   | Some [] | None -> finish (Stuck cur))
-              end
-              else begin
-                (* Nothing closer here; keep following the committed path. *)
-                match committed with
-                | _ :: _ -> continue_along committed best_dist commit_src
-                | [] ->
-                  (* Recovery exhausted: settle for the best local member. *)
-                  let local_best =
-                    List.fold_left
-                      (fun acc (vn : Vnode.t) ->
-                        if not vn.Vnode.alive then acc
-                        else begin
-                          match vn.Vnode.host_class with
-                          | Vnode.Ephemeral when not (Id.equal vn.Vnode.id target) -> acc
-                          | Vnode.Stable | Vnode.Router_default | Vnode.Ephemeral ->
-                            (match exclude with
-                             | Some e when Id.equal e vn.Vnode.id -> acc
-                             | Some _ | None ->
-                               (match acc with
-                                | Some (bd, _)
-                                  when Id.compare (Id.distance vn.Vnode.id target) bd >= 0 ->
-                                  acc
-                                | Some _ | None ->
-                                  Some (Id.distance vn.Vnode.id target, vn)))
-                        end)
-                      None r.residents
-                  in
-                  (match local_best with
-                   | Some (_, vn) when Id.equal vn.Vnode.id target -> finish (Delivered vn)
-                   | Some (_, vn) -> finish (Predecessor vn)
-                   | None -> finish (Stuck cur))
-              end))
-    end
-  in
-  step from Id.max_value [] None 0 0
+  Charge.inject t.metrics category from;
+  Lookup_walk.run st ~start:from
 
 let find_vnode t id = Hashtbl.find_opt t.vnodes id
 

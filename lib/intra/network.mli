@@ -68,6 +68,7 @@ type lookup_result = {
   msgs : int;          (** physical messages charged *)
   latency_ms : float;  (** serial propagation latency of the walk *)
   visited : int list;  (** routers traversed, in order, inclusive of start *)
+  trace : Rofl_routing.Trace.t; (** per-hop events, in walk order *)
 }
 
 val lookup :

@@ -13,7 +13,13 @@ val now : t -> float
 (** Current simulated time in milliseconds. *)
 
 val schedule : t -> delay_ms:float -> (unit -> unit) -> unit
-(** Schedule a closure [delay_ms] after the current time (>= 0). *)
+(** Schedule a closure [delay_ms] after the current time (>= 0).
+
+    Same-timestamp events pop in FIFO scheduling order — including events
+    scheduled from inside a running callback at the current time, which run
+    after every already-queued event with that timestamp.  Simulations may
+    rely on this: a message fan-out scheduled in one pass is processed in
+    emission order. *)
 
 val schedule_at : t -> time_ms:float -> (unit -> unit) -> unit
 (** Schedule at an absolute time (must not be in the past). *)

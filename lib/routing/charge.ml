@@ -1,0 +1,17 @@
+module Metrics = Rofl_netsim.Metrics
+
+let inject m category origin =
+  Metrics.charge_hop m category origin;
+  (* The origin hop counts message injection; compensate so categories
+     report link traversals only. *)
+  Metrics.incr m category (-1)
+
+let hop m category router = Metrics.charge_hop m category router
+
+let path m category routers = Metrics.charge_path m category routers
+
+let span m category ~hops routers =
+  List.iter (fun x -> Metrics.charge_hop m category x) routers;
+  Metrics.incr m category (hops - List.length routers)
+
+let bulk m category n = Metrics.incr m category n

@@ -1,0 +1,32 @@
+(** The single entry point for walk message accounting.
+
+    Convention: a walk charges its origin router once at injection and then
+    one hop per link traversal, but reported message counts cover link
+    traversals only — {!inject} charges the origin's load and immediately
+    compensates the category count, so the layers never hand-roll the
+    [charge_hop]/[incr (-1)] pair.  Modelled moves whose hop count exceeds
+    the routers actually visited (interdomain level-restricted routes)
+    charge through {!span}. *)
+
+module Metrics = Rofl_netsim.Metrics
+
+val inject : Metrics.t -> string -> int -> unit
+(** [inject m category origin] accounts the walk's injection: load at the
+    origin router, zero net messages. *)
+
+val hop : Metrics.t -> string -> int -> unit
+(** One message traversing one router: category count and router load. *)
+
+val path : Metrics.t -> string -> int list -> unit
+(** A message travelling a hop-by-hop router path: one message per link,
+    load at every router on the path. *)
+
+val span : Metrics.t -> string -> hops:int -> int list -> unit
+(** [span m category ~hops routers] charges a move modelled as [hops]
+    messages of which only [routers] are individually visible: each listed
+    router gets load and one message, and the category count is topped up
+    to [hops]. *)
+
+val bulk : Metrics.t -> string -> int -> unit
+(** Modelled aggregate cost (floods, bootstrap registrations): category
+    count only, no per-router load. *)

@@ -1,0 +1,98 @@
+module Id = Rofl_idspace.Id
+
+type ('pos, 'route, 'verdict) moved =
+  | Stepped of 'pos * 'route
+  | Finished of 'verdict
+  | Blocked
+
+(* Keep-first on ties: a later candidate replaces the incumbent only when
+   strictly closer, so enumeration order encodes precedence. *)
+let best ~dist cands =
+  List.fold_left
+    (fun acc c ->
+      let d = dist c in
+      match acc with
+      | Some (bd, _) when Id.compare d bd >= 0 -> acc
+      | Some _ | None -> Some (d, c))
+    None cands
+
+module type SUBSTRATE = sig
+  type st
+  type pos
+  type cand
+  type route
+  type verdict
+
+  val max_steps : st -> int
+  val restart_limit : st -> int
+  val horizon : [ `Persistent | `Per_move ]
+  val arrived : st -> pos -> verdict option
+  val prepare : st -> pos -> pos
+  val stale_commit : st -> pos -> bool
+  val candidates : st -> pos -> cand list
+  val distance : st -> cand -> Id.t
+  val deliver_here : st -> pos -> cand -> verdict option
+  val commit : st -> pos -> cand -> route option
+  val exhausted : route -> bool
+  val follow : st -> pos -> route -> (pos, route, verdict) moved
+  val no_candidate : st -> pos -> verdict
+  val settle : st -> pos -> verdict
+  val stuck : st -> pos -> verdict
+end
+
+module Make (S : SUBSTRATE) = struct
+  let run st ~start =
+    let max_steps = S.max_steps st in
+    let restart_limit = S.restart_limit st in
+    (* [best_dist] is the clockwise distance of the identifier the walk has
+       committed to; under [`Persistent] only a strictly closer candidate
+       replaces the committed route. *)
+    let rec loop pos best_dist committed restarts guard =
+      if guard > max_steps then S.stuck st pos
+      else
+        match S.arrived st pos with
+        | Some v -> v
+        | None ->
+          let exhausted_now =
+            match committed with None -> true | Some r -> S.exhausted r
+          in
+          if exhausted_now && restarts < restart_limit && S.stale_commit st pos then
+            (* Stale pointer pruned (NACK): restart from here with a cleared
+               horizon. *)
+            loop pos Id.max_value None (restarts + 1) (guard + 1)
+          else begin
+            let pos = S.prepare st pos in
+            match S.arrived st pos with
+            | Some v -> v
+            | None ->
+              (match best ~dist:(S.distance st) (S.candidates st pos) with
+               | None -> S.no_candidate st pos
+               | Some (d, c) ->
+                 (match S.deliver_here st pos c with
+                  | Some v -> v
+                  | None ->
+                    let commit_now =
+                      match S.horizon with
+                      | `Per_move -> true
+                      | `Persistent -> Id.compare d best_dist < 0
+                    in
+                    if commit_now then (
+                      match S.commit st pos c with
+                      | None -> S.stuck st pos
+                      | Some route -> advance pos d route restarts guard)
+                    else (
+                      (* Nothing closer here; keep following the committed
+                         route if any of it remains. *)
+                      match committed with
+                      | Some route when not (S.exhausted route) ->
+                        advance pos best_dist route restarts guard
+                      | Some _ | None -> S.settle st pos)))
+          end
+    and advance pos dist route restarts guard =
+      match S.follow st pos route with
+      | Blocked -> S.stuck st pos
+      | Finished v -> v
+      | Stepped (pos', route') -> loop pos' dist (Some route') restarts (guard + 1)
+    in
+    loop start Id.max_value None 0 0
+end

@@ -107,6 +107,25 @@ let test_engine_ties_fifo () =
   Engine.run e;
   Alcotest.(check (list int)) "FIFO among ties" [ 1; 2 ] (List.rev !log)
 
+(* Regression: ties must stay FIFO at scale, and events scheduled from a
+   running callback at the *same* timestamp must run after every
+   already-queued event with that timestamp (heap rebalancing must not
+   reorder equal keys). *)
+let test_engine_ties_fifo_stress () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule e ~delay_ms:1.0 (fun () ->
+        log := i :: !log;
+        if i mod 2 = 0 then
+          (* Re-entrant schedule at the current time: lands behind the whole
+             first batch, still in emission order among themselves. *)
+          Engine.schedule e ~delay_ms:0.0 (fun () -> log := (100 + i) :: !log))
+  done;
+  Engine.run e;
+  let expected = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 100; 102; 104; 106; 108 ] in
+  Alcotest.(check (list int)) "FIFO under re-entrant ties" expected (List.rev !log)
+
 let () =
   Alcotest.run "rofl_netsim"
     [
@@ -125,5 +144,6 @@ let () =
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
           Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
           Alcotest.test_case "FIFO ties" `Quick test_engine_ties_fifo;
+          Alcotest.test_case "FIFO ties stress" `Quick test_engine_ties_fifo_stress;
         ] );
     ]

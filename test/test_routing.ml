@@ -1,0 +1,435 @@
+(* Equivalence guard for the shared greedy ring-walk core (lib/routing).
+
+   The golden lines below are the behavioural fingerprint of the seed
+   implementations of [Rofl_intra.Network.lookup] and
+   [Rofl_inter.Route.route_from], recorded before those walks were ported
+   onto [Rofl_routing.Walk].  The scenarios exercise every branch the
+   functor owns: greedy ranking with keep-first ties, cache shortcuts that
+   must be strictly closer, stale-pointer NACK/restart (the poisoned-cache
+   lookup), bloom-filter peer crossings and false-positive backtracking
+   (the [fpr] variant), and departed-destination failures.  If a refactor
+   of the walk core changes any delivery status, hop count, latency, or
+   metrics total here, this test fails. *)
+
+module Id = Rofl_idspace.Id
+module Prng = Rofl_util.Prng
+module Gen = Rofl_topology.Gen
+module Sha256 = Rofl_crypto.Sha256
+module Internet = Rofl_asgraph.Internet
+module Network = Rofl_intra.Network
+module Failure = Rofl_intra.Failure
+module Vnode = Rofl_core.Vnode
+module Msg = Rofl_core.Msg
+module Metrics = Rofl_netsim.Metrics
+module Net = Rofl_inter.Net
+module Route = Rofl_inter.Route
+module Walk = Rofl_routing.Walk
+module Trace = Rofl_routing.Trace
+
+let spread_id k =
+  Id.of_bytes_exn (String.sub (Sha256.digest (Printf.sprintf "t:%d" k)) 0 16)
+
+let status_str = function
+  | Network.Delivered vn -> "D:" ^ Id.to_short_string vn.Vnode.id
+  | Network.Predecessor vn -> "P:" ^ Id.to_short_string vn.Vnode.id
+  | Network.Stuck r -> "S:" ^ string_of_int r
+
+(* --- scenarios (identical to the seed-era golden generator) ------------- *)
+
+type intra_outcome = {
+  intra_lines : string list;
+  intra_results : Network.lookup_result list;
+}
+
+let intra_fingerprint () =
+  let lines = ref [] and results = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  let keep (r : Network.lookup_result) = results := r :: !results in
+  let rng = Prng.create 7 in
+  let g = Gen.waxman rng ~n:30 ~alpha:0.4 ~beta:0.2 in
+  let net = Network.create ~rng g in
+  let ids = ref [] in
+  let joined = ref 0 and join_msgs = ref 0 in
+  while !joined < 40 do
+    match Network.join_fresh_host net ~gateway:(Prng.int rng 30) ~cls:Vnode.Stable with
+    | Ok (id, o) ->
+      incr joined;
+      join_msgs := !join_msgs + o.Network.join_msgs;
+      ids := id :: !ids
+    | Error _ -> ()
+  done;
+  (* A few ephemeral residents so predecessor attachments exist. *)
+  let eph = ref 0 in
+  while !eph < 3 do
+    match Network.join_fresh_host net ~gateway:(Prng.int rng 30) ~cls:Vnode.Ephemeral with
+    | Ok _ -> incr eph
+    | Error _ -> ()
+  done;
+  add "intra-joins msgs=%d ring=%d hosts=%d" !join_msgs (Network.ring_size net)
+    (Network.host_count net);
+  let ids = Array.of_list (List.rev !ids) in
+  (* Failures leave stale state behind so lookups hit repair paths. *)
+  ignore (Failure.fail_router net 5 ~pick_gateway:(fun _ -> Some 12));
+  ignore (Failure.fail_router net 17 ~pick_gateway:(fun _ -> Some 3));
+  ignore (Failure.disconnect_routers net [ 20; 21; 22 ]);
+  ignore (Failure.reconnect_routers net [ 20; 21; 22 ]);
+  (* Poison caches with a pointer to a router the victim does not live at, so
+     the stale-pointer NACK/restart path runs deterministically. *)
+  let victim = ids.(7) in
+  let victim_router =
+    match Network.find_vnode net victim with
+    | Some v -> v.Vnode.hosted_at
+    | None -> 0
+  in
+  let wrong = if victim_router = 9 then 10 else 9 in
+  (match Network.spf_route net 25 wrong with
+   | Some r -> Network.cache_route_to net victim wrong (Rofl_core.Sourceroute.hops r)
+   | None -> ());
+  let rn = Network.lookup net ~from:25 ~target:victim ~category:Msg.data ~use_cache:true in
+  keep rn;
+  add "intra-nack status=%s msgs=%d visited=%d" (status_str rn.Network.status)
+    rn.Network.msgs
+    (List.length rn.Network.visited);
+  for k = 0 to 29 do
+    let from =
+      let f = (11 * k) + 2 mod 30 in
+      let f = f mod 30 in
+      if f = 5 || f = 17 then 0 else f
+    in
+    let target =
+      if k mod 3 = 2 then spread_id k else ids.(k * 5 mod Array.length ids)
+    in
+    let use_cache = k mod 4 <> 1 in
+    let r = Network.lookup net ~from ~target ~category:Msg.data ~use_cache in
+    keep r;
+    add "intra#%d status=%s msgs=%d lat=%.12g visited=%d" k (status_str r.Network.status)
+      r.Network.msgs r.Network.latency_ms
+      (List.length r.Network.visited)
+  done;
+  List.iter
+    (fun (c, n) -> add "intra-cat %s=%d" c n)
+    (Metrics.categories net.Network.metrics);
+  { intra_lines = List.rev !lines; intra_results = List.rev !results }
+
+type inter_outcome = {
+  inter_lines : string list;
+  inter_results : Route.result list;
+}
+
+let inter_fingerprint ~name cfg =
+  let lines = ref [] and results = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  let rng = Prng.create 11 in
+  let inet = Internet.generate rng Internet.small_params in
+  let net = Net.create ~cfg ~rng inet.Internet.graph in
+  let stubs = Array.of_list (Internet.stubs inet) in
+  let hosts = ref [] in
+  for i = 1 to 120 do
+    let s = stubs.(Prng.int rng (Array.length stubs)) in
+    let strategy =
+      match i mod 4 with
+      | 0 -> Net.Ephemeral
+      | 1 -> Net.Single_homed
+      | 2 -> Net.Multihomed
+      | _ -> Net.Peering
+    in
+    let o = Net.join net ~as_idx:s ~strategy in
+    hosts := o.Net.host :: !hosts
+  done;
+  let hosts = Array.of_list (List.rev !hosts) in
+  add "inter[%s]-joins hosts=%d" name (Net.host_count net);
+  let route k src dst =
+    let r = Route.route_from net ~src ~dst in
+    results := r :: !results;
+    add "inter[%s]#%d del=%b as=%d ptr=%d cache=%d peer=%d back=%d breadth=%d path=%d"
+      name k r.Route.delivered r.Route.as_hops r.Route.pointer_hops r.Route.cache_hops
+      r.Route.peer_crossings r.Route.backtracks
+      (if r.Route.max_level_breadth = max_int then -1 else r.Route.max_level_breadth)
+      (List.length r.Route.as_path)
+  in
+  for k = 0 to 24 do
+    let src = hosts.(7 * k mod 120) in
+    let dst = hosts.(((13 * k) + 5) mod 120) in
+    route k src dst.Net.id
+  done;
+  (* Routing towards a departed identifier exercises the failure paths. *)
+  let dead = hosts.(3) in
+  ignore (Net.remove_host net dead.Net.id);
+  route 25 hosts.(10) dead.Net.id;
+  route 26 hosts.(11) (spread_id 1001);
+  List.iter
+    (fun (c, n) -> add "inter[%s]-cat %s=%d" name c n)
+    (Metrics.categories net.Net.metrics);
+  { inter_lines = List.rev !lines; inter_results = List.rev !results }
+
+(* Each scenario runs once; the golden check and the trace-invariant checks
+   share the outcome. *)
+let intra = lazy (intra_fingerprint ())
+let inter_default = lazy (inter_fingerprint ~name:"default" Net.default_config)
+
+let inter_bloom =
+  lazy
+    (inter_fingerprint ~name:"bloom"
+       {
+         Net.default_config with
+         Net.cache_capacity = 64;
+         Net.peering_mode = Net.Bloom_filters;
+         Net.finger_budget = 30;
+       })
+
+let inter_fpr =
+  lazy
+    (inter_fingerprint ~name:"fpr"
+       { Net.default_config with Net.peering_mode = Net.Bloom_filters; Net.bloom_fpr = 0.35 })
+
+(* --- golden values (recorded from the pre-refactor implementations) ----- *)
+
+let golden_intra =
+  [
+    "intra-joins msgs=890 ring=70 hosts=43";
+    "intra-nack status=D:9fffe474 msgs=2 visited=3";
+    "intra#0 status=D:fd1cb4ec msgs=2 lat=10.3646308755 visited=3";
+    "intra#1 status=D:a0f3c3de msgs=22 lat=77.706723184 visited=23";
+    "intra#2 status=P:31783385 msgs=3 lat=8.97302554905 visited=4";
+    "intra#3 status=P:083ac933 msgs=4 lat=30.6953233187 visited=5";
+    "intra#4 status=D:3324938f msgs=1 lat=0.949936900687 visited=2";
+    "intra#5 status=P:e1551d0f msgs=8 lat=29.6276345119 visited=9";
+    "intra#6 status=P:29c39b72 msgs=4 lat=20.6348073402 visited=5";
+    "intra#7 status=D:4341a3de msgs=4 lat=16.877407951 visited=5";
+    "intra#8 status=P:bd78c0a7 msgs=5 lat=31.6452602194 visited=6";
+    "intra#9 status=P:9c0611d7 msgs=5 lat=16.7302029969 visited=6";
+    "intra#10 status=P:f911f9a8 msgs=6 lat=17.3985986289 visited=7";
+    "intra#11 status=P:80b9cbe4 msgs=7 lat=25.6054212087 visited=8";
+    "intra#12 status=P:31783385 msgs=3 lat=9.68298567852 visited=4";
+    "intra#13 status=D:b1bbb7b6 msgs=4 lat=13.4899175833 visited=5";
+    "intra#14 status=P:897c01e8 msgs=11 lat=40.4899276176 visited=12";
+    "intra#15 status=P:3980bbce msgs=3 lat=26.2296249987 visited=4";
+    "intra#16 status=D:fd1cb4ec msgs=1 lat=0.949936900687 visited=2";
+    "intra#17 status=P:4341a3de msgs=10 lat=35.362509385 visited=11";
+    "intra#18 status=P:f911f9a8 msgs=7 lat=21.8954779427 visited=8";
+    "intra#19 status=P:083ac933 msgs=3 lat=20.2965490835 visited=4";
+    "intra#20 status=P:3980bbce msgs=1 lat=5.8943394189 visited=2";
+    "intra#21 status=D:b1bbb7b6 msgs=22 lat=76.9954444467 visited=23";
+    "intra#22 status=P:29c39b72 msgs=2 lat=5.60807404261 visited=3";
+    "intra#23 status=P:ecc1d4c8 msgs=4 lat=12.7799410247 visited=5";
+    "intra#24 status=P:fae495f0 msgs=2 lat=6.82206795837 visited=3";
+    "intra#25 status=D:a0f3c3de msgs=6 lat=21.6923207717 visited=7";
+    "intra#26 status=P:63ae8803 msgs=9 lat=34.0995892434 visited=10";
+    "intra#27 status=D:09d1ea2b msgs=1 lat=3.93397840803 visited=2";
+    "intra#28 status=P:31783385 msgs=7 lat=29.8035284188 visited=8";
+    "intra#29 status=P:12abbb82 msgs=7 lat=24.0360125892 visited=8";
+    "intra-cat data=176";
+    "intra-cat flood=2658";
+    "intra-cat join=517";
+    "intra-cat join-reply=413";
+    "intra-cat repair=426";
+    "intra-cat teardown=266";
+    "intra-cat zero-id=120";
+  ]
+
+let golden_inter_default =
+  [
+    "inter[default]-joins hosts=120";
+    "inter[default]#0 del=true as=12 ptr=3 cache=0 peer=0 back=0 breadth=61 path=13";
+    "inter[default]#1 del=true as=28 ptr=6 cache=0 peer=0 back=0 breadth=71 path=29";
+    "inter[default]#2 del=true as=82 ptr=18 cache=0 peer=0 back=0 breadth=-1 path=83";
+    "inter[default]#3 del=true as=27 ptr=5 cache=0 peer=0 back=0 breadth=-1 path=28";
+    "inter[default]#4 del=true as=8 ptr=2 cache=0 peer=0 back=0 breadth=-1 path=9";
+    "inter[default]#5 del=true as=7 ptr=2 cache=0 peer=0 back=0 breadth=19 path=8";
+    "inter[default]#6 del=true as=64 ptr=12 cache=0 peer=0 back=0 breadth=-1 path=65";
+    "inter[default]#7 del=true as=14 ptr=4 cache=0 peer=0 back=0 breadth=61 path=15";
+    "inter[default]#8 del=true as=6 ptr=3 cache=0 peer=0 back=0 breadth=9 path=7";
+    "inter[default]#9 del=true as=11 ptr=4 cache=0 peer=0 back=0 breadth=31 path=12";
+    "inter[default]#10 del=true as=4 ptr=1 cache=0 peer=0 back=0 breadth=-1 path=5";
+    "inter[default]#11 del=true as=9 ptr=3 cache=0 peer=0 back=0 breadth=30 path=10";
+    "inter[default]#12 del=true as=25 ptr=6 cache=0 peer=0 back=0 breadth=-1 path=26";
+    "inter[default]#13 del=true as=7 ptr=1 cache=0 peer=0 back=0 breadth=-1 path=8";
+    "inter[default]#14 del=true as=66 ptr=15 cache=0 peer=0 back=0 breadth=-1 path=67";
+    "inter[default]#15 del=true as=17 ptr=5 cache=0 peer=0 back=0 breadth=71 path=18";
+    "inter[default]#16 del=true as=20 ptr=3 cache=0 peer=0 back=0 breadth=-1 path=21";
+    "inter[default]#17 del=true as=4 ptr=1 cache=0 peer=0 back=0 breadth=16 path=5";
+    "inter[default]#18 del=true as=31 ptr=6 cache=0 peer=0 back=0 breadth=-1 path=32";
+    "inter[default]#19 del=true as=30 ptr=9 cache=0 peer=0 back=0 breadth=61 path=31";
+    "inter[default]#20 del=true as=5 ptr=2 cache=0 peer=0 back=0 breadth=5 path=6";
+    "inter[default]#21 del=true as=26 ptr=6 cache=0 peer=0 back=0 breadth=47 path=27";
+    "inter[default]#22 del=true as=15 ptr=4 cache=0 peer=0 back=0 breadth=-1 path=16";
+    "inter[default]#23 del=true as=15 ptr=4 cache=0 peer=0 back=0 breadth=61 path=16";
+    "inter[default]#24 del=true as=21 ptr=7 cache=0 peer=0 back=0 breadth=30 path=22";
+    "inter[default]#25 del=false as=11 ptr=3 cache=0 peer=0 back=0 breadth=-1 path=12";
+    "inter[default]#26 del=false as=31 ptr=10 cache=0 peer=0 back=0 breadth=-1 path=32";
+    "inter[default]-cat data=596";
+    "inter[default]-cat join=2705";
+    "inter[default]-cat join-reply=1253";
+    "inter[default]-cat teardown=6";
+  ]
+
+let golden_inter_bloom =
+  [
+    "inter[bloom]-joins hosts=120";
+    "inter[bloom]#0 del=true as=10 ptr=2 cache=0 peer=1 back=0 breadth=61 path=11";
+    "inter[bloom]#1 del=true as=9 ptr=2 cache=1 peer=0 back=0 breadth=71 path=10";
+    "inter[bloom]#2 del=true as=11 ptr=3 cache=1 peer=0 back=0 breadth=-1 path=12";
+    "inter[bloom]#3 del=true as=11 ptr=2 cache=0 peer=0 back=0 breadth=-1 path=12";
+    "inter[bloom]#4 del=true as=9 ptr=1 cache=0 peer=1 back=0 breadth=-1 path=10";
+    "inter[bloom]#5 del=true as=7 ptr=2 cache=0 peer=0 back=0 breadth=19 path=8";
+    "inter[bloom]#6 del=true as=7 ptr=3 cache=1 peer=0 back=0 breadth=-1 path=8";
+    "inter[bloom]#7 del=true as=9 ptr=2 cache=1 peer=0 back=0 breadth=61 path=10";
+    "inter[bloom]#8 del=true as=10 ptr=2 cache=1 peer=1 back=0 breadth=61 path=11";
+    "inter[bloom]#9 del=true as=5 ptr=1 cache=1 peer=0 back=0 breadth=0 path=6";
+    "inter[bloom]#10 del=true as=15 ptr=3 cache=0 peer=0 back=0 breadth=-1 path=16";
+    "inter[bloom]#11 del=true as=3 ptr=1 cache=0 peer=0 back=0 breadth=30 path=4";
+    "inter[bloom]#12 del=true as=9 ptr=1 cache=0 peer=1 back=0 breadth=-1 path=10";
+    "inter[bloom]#13 del=true as=9 ptr=2 cache=0 peer=0 back=0 breadth=-1 path=10";
+    "inter[bloom]#14 del=true as=11 ptr=3 cache=2 peer=0 back=0 breadth=-1 path=12";
+    "inter[bloom]#15 del=true as=8 ptr=2 cache=2 peer=0 back=0 breadth=0 path=9";
+    "inter[bloom]#16 del=true as=11 ptr=2 cache=1 peer=1 back=0 breadth=-1 path=12";
+    "inter[bloom]#17 del=true as=4 ptr=1 cache=0 peer=0 back=0 breadth=16 path=5";
+    "inter[bloom]#18 del=true as=15 ptr=3 cache=1 peer=1 back=0 breadth=-1 path=16";
+    "inter[bloom]#19 del=true as=10 ptr=2 cache=0 peer=1 back=0 breadth=61 path=11";
+    "inter[bloom]#20 del=true as=5 ptr=2 cache=0 peer=0 back=0 breadth=5 path=6";
+    "inter[bloom]#21 del=true as=14 ptr=3 cache=1 peer=0 back=0 breadth=47 path=15";
+    "inter[bloom]#22 del=true as=14 ptr=3 cache=0 peer=1 back=0 breadth=-1 path=15";
+    "inter[bloom]#23 del=true as=5 ptr=1 cache=1 peer=0 back=0 breadth=0 path=6";
+    "inter[bloom]#24 del=true as=12 ptr=2 cache=1 peer=1 back=0 breadth=47 path=13";
+    "inter[bloom]#25 del=false as=7 ptr=2 cache=1 peer=0 back=0 breadth=12 path=8";
+    "inter[bloom]#26 del=false as=17 ptr=4 cache=3 peer=0 back=0 breadth=-1 path=18";
+    "inter[bloom]-cat data=257";
+    "inter[bloom]-cat finger=1582";
+    "inter[bloom]-cat join=2562";
+    "inter[bloom]-cat join-reply=1186";
+    "inter[bloom]-cat teardown=6";
+  ]
+
+let golden_inter_fpr =
+  [
+    "inter[fpr]-joins hosts=120";
+    "inter[fpr]#0 del=true as=10 ptr=2 cache=0 peer=1 back=0 breadth=61 path=11";
+    "inter[fpr]#1 del=true as=28 ptr=6 cache=0 peer=0 back=0 breadth=71 path=29";
+    "inter[fpr]#2 del=true as=11 ptr=1 cache=0 peer=2 back=1 breadth=-1 path=10";
+    "inter[fpr]#3 del=true as=27 ptr=5 cache=0 peer=0 back=0 breadth=-1 path=28";
+    "inter[fpr]#4 del=true as=8 ptr=1 cache=0 peer=1 back=0 breadth=-1 path=9";
+    "inter[fpr]#5 del=true as=9 ptr=2 cache=0 peer=1 back=1 breadth=19 path=8";
+    "inter[fpr]#6 del=true as=8 ptr=1 cache=0 peer=1 back=0 breadth=-1 path=9";
+    "inter[fpr]#7 del=true as=16 ptr=4 cache=0 peer=1 back=1 breadth=61 path=15";
+    "inter[fpr]#8 del=true as=6 ptr=3 cache=0 peer=0 back=0 breadth=9 path=7";
+    "inter[fpr]#9 del=true as=11 ptr=1 cache=0 peer=2 back=1 breadth=31 path=10";
+    "inter[fpr]#10 del=true as=7 ptr=1 cache=0 peer=1 back=0 breadth=-1 path=8";
+    "inter[fpr]#11 del=true as=11 ptr=3 cache=0 peer=1 back=1 breadth=30 path=10";
+    "inter[fpr]#12 del=true as=10 ptr=1 cache=0 peer=1 back=0 breadth=-1 path=11";
+    "inter[fpr]#13 del=true as=7 ptr=1 cache=0 peer=0 back=0 breadth=-1 path=8";
+    "inter[fpr]#14 del=true as=54 ptr=12 cache=0 peer=1 back=0 breadth=-1 path=55";
+    "inter[fpr]#15 del=true as=9 ptr=2 cache=0 peer=1 back=0 breadth=71 path=10";
+    "inter[fpr]#16 del=true as=16 ptr=2 cache=0 peer=1 back=0 breadth=-1 path=17";
+    "inter[fpr]#17 del=true as=4 ptr=1 cache=0 peer=0 back=0 breadth=16 path=5";
+    "inter[fpr]#18 del=true as=35 ptr=6 cache=0 peer=1 back=0 breadth=-1 path=36";
+    "inter[fpr]#19 del=true as=14 ptr=2 cache=0 peer=2 back=1 breadth=61 path=13";
+    "inter[fpr]#20 del=true as=5 ptr=2 cache=0 peer=0 back=0 breadth=5 path=6";
+    "inter[fpr]#21 del=true as=15 ptr=2 cache=0 peer=2 back=1 breadth=47 path=14";
+    "inter[fpr]#22 del=true as=20 ptr=4 cache=0 peer=2 back=1 breadth=-1 path=19";
+    "inter[fpr]#23 del=true as=13 ptr=2 cache=0 peer=1 back=0 breadth=61 path=14";
+    "inter[fpr]#24 del=true as=23 ptr=7 cache=0 peer=1 back=1 breadth=30 path=22";
+    "inter[fpr]#25 del=false as=11 ptr=3 cache=0 peer=0 back=0 breadth=-1 path=12";
+    "inter[fpr]#26 del=false as=37 ptr=10 cache=0 peer=3 back=3 breadth=-1 path=32";
+    "inter[fpr]-cat data=425";
+    "inter[fpr]-cat join=2562";
+    "inter[fpr]-cat join-reply=1186";
+    "inter[fpr]-cat teardown=6";
+  ]
+
+(* --- tests -------------------------------------------------------------- *)
+
+let check_lines name expected actual =
+  Alcotest.(check (list string)) name expected actual
+
+let test_golden_intra () =
+  check_lines "intra fingerprint" golden_intra (Lazy.force intra).intra_lines
+
+let test_golden_inter_default () =
+  check_lines "inter default fingerprint" golden_inter_default
+    (Lazy.force inter_default).inter_lines
+
+let test_golden_inter_bloom () =
+  check_lines "inter bloom fingerprint" golden_inter_bloom
+    (Lazy.force inter_bloom).inter_lines
+
+let test_golden_inter_fpr () =
+  check_lines "inter fpr fingerprint" golden_inter_fpr (Lazy.force inter_fpr).inter_lines
+
+(* Walk.best: minimum clockwise distance wins; ties keep the earliest
+   element, which is how enumeration order encodes ring-before-cache
+   precedence. *)
+let test_walk_best () =
+  let dist (d, _) = Id.of_int d in
+  Alcotest.(check bool) "empty" true (Walk.best ~dist [] = None);
+  let pick cands =
+    match Walk.best ~dist cands with
+    | Some (_, (_, tag)) -> tag
+    | None -> Alcotest.fail "expected a candidate"
+  in
+  Alcotest.(check string) "minimum wins" "b" (pick [ (9, "a"); (2, "b"); (5, "c") ]);
+  Alcotest.(check string) "tie keeps first" "ring" (pick [ (4, "ring"); (4, "cache") ]);
+  Alcotest.(check string)
+    "strictly closer replaces" "cache"
+    (pick [ (4, "ring"); (3, "cache") ]);
+  Alcotest.(check string) "zero is the target itself" "t" (pick [ (1, "x"); (0, "t") ])
+
+(* The trace is not a separate account of the walk: its event totals must
+   agree with the counters each layer already maintained. *)
+let test_trace_invariants_intra () =
+  let o = Lazy.force intra in
+  Alcotest.(check bool) "ran lookups" true (o.intra_results <> []);
+  List.iter
+    (fun (r : Network.lookup_result) ->
+      let tr = r.Network.trace in
+      Alcotest.(check int)
+        "intra: one Ring/Cache event per message" r.Network.msgs
+        (Trace.count tr Trace.Ring + Trace.count tr Trace.Cache);
+      Alcotest.(check int) "intra: no peer crossings" 0 (Trace.count tr Trace.Flood))
+    o.intra_results
+
+let test_trace_invariants_inter () =
+  let check_outcome (o : inter_outcome) =
+    Alcotest.(check bool) "ran routes" true (o.inter_results <> []);
+    List.iter
+      (fun (r : Route.result) ->
+        let tr = r.Route.trace in
+        Alcotest.(check int) "inter: one Cache event per cache hop" r.Route.cache_hops
+          (Trace.count tr Trace.Cache);
+        Alcotest.(check int) "inter: one Flood event per peer crossing"
+          r.Route.peer_crossings (Trace.count tr Trace.Flood);
+        Alcotest.(check int) "inter: one Backtrack event per reversal"
+          r.Route.backtracks (Trace.count tr Trace.Backtrack);
+        (* Transit-diverted moves count as pointer hops but terminate before
+           the Ring event is recorded, so Ring events only bound from below. *)
+        Alcotest.(check bool) "inter: Ring events within pointer hops" true
+          (Trace.count tr Trace.Ring <= r.Route.pointer_hops - r.Route.cache_hops))
+      o.inter_results
+  in
+  check_outcome (Lazy.force inter_default);
+  check_outcome (Lazy.force inter_bloom);
+  check_outcome (Lazy.force inter_fpr)
+
+let test_trace_counts_shape () =
+  Alcotest.(check (list (pair string int)))
+    "all kinds always listed"
+    [ ("ring", 0); ("cache", 0); ("flood", 0); ("backtrack", 0) ]
+    (Trace.counts [])
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "intra fingerprint" `Slow test_golden_intra;
+          Alcotest.test_case "inter default fingerprint" `Slow test_golden_inter_default;
+          Alcotest.test_case "inter bloom fingerprint" `Slow test_golden_inter_bloom;
+          Alcotest.test_case "inter fpr fingerprint" `Slow test_golden_inter_fpr;
+        ] );
+      ( "walk",
+        [
+          Alcotest.test_case "best ranking" `Quick test_walk_best;
+          Alcotest.test_case "trace counts shape" `Quick test_trace_counts_shape;
+          Alcotest.test_case "intra trace invariants" `Slow test_trace_invariants_intra;
+          Alcotest.test_case "inter trace invariants" `Slow test_trace_invariants_inter;
+        ] );
+    ]
