@@ -6,7 +6,12 @@
      dune exec bench/main.exe                    -- everything, full scale
      dune exec bench/main.exe -- --quick         -- everything, reduced scale
      dune exec bench/main.exe -- fig6a summary   -- selected targets
-     dune exec bench/main.exe -- micro           -- microbenchmarks only *)
+     dune exec bench/main.exe -- micro           -- microbenchmarks only
+     dune exec bench/main.exe -- --jobs 4 fig7   -- fan work over 4 domains
+
+   Each run also writes BENCH.json (per-target wall time plus the run's
+   headline parameters) next to the working directory, for CI artifacts
+   and regression tracking. *)
 
 module Table = Rofl_util.Table
 module E = Rofl_experiments
@@ -108,6 +113,36 @@ let micro () =
 
 (* ---------------- driver ---------------- *)
 
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json ~path ~quick ~jobs ~seed timings =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"scale\": \"%s\",\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  Printf.fprintf oc "  \"total_seconds\": %.3f,\n"
+    (List.fold_left (fun acc (_, s) -> acc +. s) 0.0 timings);
+  Printf.fprintf oc "  \"targets\": {\n";
+  List.iteri
+    (fun i (name, secs) ->
+      Printf.fprintf oc "    \"%s\": %.3f%s\n" (json_escape name) secs
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc
+
 let () =
   Rofl_util.Logging.setup ();
   let args = Array.to_list Sys.argv |> List.tl in
@@ -122,30 +157,51 @@ let () =
     | [] -> []
   in
   let args = strip_csv args in
+  let rec strip_jobs = function
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j -> E.Common.set_jobs j
+       | None ->
+         Printf.eprintf "bad --jobs value %S (expected an integer)\n" n;
+         exit 2);
+      strip_jobs rest
+    | x :: rest -> x :: strip_jobs rest
+    | [] -> []
+  in
+  let args = strip_jobs args in
   let scale = if quick then E.Common.quick else E.Common.full in
   let wanted =
     match args with
     | [] -> List.map (fun (n, _, _) -> n) targets @ [ "micro" ]
     | _ -> args
   in
-  Printf.printf "ROFL reproduction benchmarks (%s scale, seed %d)\n\n"
+  Printf.printf "ROFL reproduction benchmarks (%s scale, seed %d, %d jobs)\n\n"
     (if quick then "quick" else "full")
-    scale.E.Common.seed;
+    scale.E.Common.seed (E.Common.jobs ());
+  let timings = ref [] in
   List.iter
     (fun name ->
-      if name = "micro" then micro ()
+      if name = "micro" then begin
+        let t0 = Unix.gettimeofday () in
+        micro ();
+        timings := ("micro", Unix.gettimeofday () -. t0) :: !timings
+      end
       else begin
         match List.find_opt (fun (n, _, _) -> n = name) targets with
         | Some (_, desc, f) ->
           Printf.printf "--- %s: %s ---\n" name desc;
           let t0 = Unix.gettimeofday () in
           let tables = f scale in
+          let secs = Unix.gettimeofday () -. t0 in
           List.iter Table.print tables;
           (match !csv_dir with
            | Some dir ->
              List.iter (fun t -> ignore (Table.save_csv t ~dir)) tables
            | None -> ());
-          Printf.printf "(%s took %.1fs)\n\n" name (Unix.gettimeofday () -. t0)
+          timings := (name, secs) :: !timings;
+          Printf.printf "(%s took %.1fs)\n\n" name secs
         | None -> Printf.printf "unknown target %S (see bench/main.ml)\n" name
       end)
-    wanted
+    wanted;
+  write_bench_json ~path:"BENCH.json" ~quick ~jobs:(E.Common.jobs ())
+    ~seed:scale.E.Common.seed (List.rev !timings)

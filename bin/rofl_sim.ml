@@ -52,11 +52,20 @@ let csv_opt =
   let doc = "Also write each table as CSV into $(docv)." in
   Arg.(value & opt (some dir) None & info [ "csv" ] ~doc ~docv:"DIR")
 
+let jobs_opt =
+  let doc =
+    "Fan independent work items over $(docv) domains (default: the number of \
+     recommended domains).  Results are byte-identical at any value; --jobs 1 \
+     runs strictly sequentially."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~doc ~docv:"N")
+
 let scale_of quick seed =
   let base = if quick then E.Common.quick else E.Common.full in
   match seed with None -> base | Some s -> { base with E.Common.seed = s }
 
-let run_named names quick seed csv =
+let run_named names quick seed csv jobs =
+  (match jobs with Some j -> E.Common.set_jobs j | None -> ());
   let scale = scale_of quick seed in
   let missing =
     List.filter (fun n -> not (List.exists (fun (m, _, _) -> m = n) experiments)) names
@@ -146,8 +155,8 @@ let trace_flag =
 let exp_cmd (cmd_name, desc, _) =
   let term =
     Term.(
-      const (fun quick seed csv -> run_named [ cmd_name ] quick seed csv)
-      $ quick_flag $ seed_opt $ csv_opt)
+      const (fun quick seed csv jobs -> run_named [ cmd_name ] quick seed csv jobs)
+      $ quick_flag $ seed_opt $ csv_opt $ jobs_opt)
   in
   Cmd.v (Cmd.info cmd_name ~doc:desc) term
 
@@ -155,9 +164,9 @@ let all_cmd =
   let doc = "Run every experiment (figures, summary, ablations)." in
   let term =
     Term.(
-      const (fun quick seed csv ->
-          run_named (List.map (fun (n, _, _) -> n) experiments) quick seed csv)
-      $ quick_flag $ seed_opt $ csv_opt)
+      const (fun quick seed csv jobs ->
+          run_named (List.map (fun (n, _, _) -> n) experiments) quick seed csv jobs)
+      $ quick_flag $ seed_opt $ csv_opt $ jobs_opt)
   in
   Cmd.v (Cmd.info "all" ~doc) term
 

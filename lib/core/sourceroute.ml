@@ -31,7 +31,10 @@ let concat a b =
 
 let contains_router t r = List.mem r t
 
-let is_valid ls t = Rofl_linkstate.Linkstate.valid_source_route ls t
+let is_valid ls t =
+  match t with
+  | [] -> false
+  | _ -> Rofl_linkstate.Linkstate.valid_source_route ls t
 
 let pp ppf t =
   Format.fprintf ppf "[%a]"

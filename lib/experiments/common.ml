@@ -1,4 +1,5 @@
 module Prng = Rofl_util.Prng
+module Pool = Rofl_util.Pool
 module Stats = Rofl_util.Stats
 module Id = Rofl_idspace.Id
 module Isp = Rofl_topology.Isp
@@ -54,6 +55,91 @@ let quick =
     finger_grid = [ 60; 160 ];
   }
 
+(* -- parallel engine ----------------------------------------------------
+
+   Figure modules fan their independent (ISP × grid-point) work items over a
+   shared domain pool.  Every item derives its own [Prng] from a fixed seed
+   (never sharing a generator across items) and [parallel_map] preserves
+   input order, so tables are byte-identical to a sequential run at any
+   [--jobs] setting. *)
+
+let jobs_setting = ref (Domain.recommended_domain_count ())
+
+let pool_ref : Pool.t option ref = ref None
+
+let pool_mutex = Mutex.create ()
+
+let jobs () = !jobs_setting
+
+let set_jobs n =
+  let n = max 1 n in
+  Mutex.lock pool_mutex;
+  if n <> !jobs_setting then begin
+    (match !pool_ref with Some p -> Pool.shutdown p | None -> ());
+    pool_ref := None;
+    jobs_setting := n
+  end;
+  Mutex.unlock pool_mutex
+
+let pool () =
+  Mutex.lock pool_mutex;
+  let p =
+    match !pool_ref with
+    | Some p -> p
+    | None ->
+      let p = Pool.create ~jobs:!jobs_setting in
+      pool_ref := Some p;
+      p
+  in
+  Mutex.unlock pool_mutex;
+  p
+
+let parallel_map f xs = Pool.map (pool ()) f xs
+
+(* Memo tables are shared across figure modules and now across domains: a
+   missing entry is built outside the lock (concurrent requests for *other*
+   keys proceed), with a [Building] marker so a second request for the same
+   key waits for the first build instead of duplicating it. *)
+type 'v memo_slot = Ready of 'v | Building
+
+type ('k, 'v) memo = {
+  tbl : ('k, 'v memo_slot) Hashtbl.t;
+  m : Mutex.t;
+  ready : Condition.t;
+}
+
+let make_memo n = { tbl = Hashtbl.create n; m = Mutex.create (); ready = Condition.create () }
+
+let memo_get memo key build =
+  Mutex.lock memo.m;
+  let rec get () =
+    match Hashtbl.find_opt memo.tbl key with
+    | Some (Ready v) ->
+      Mutex.unlock memo.m;
+      v
+    | Some Building ->
+      Condition.wait memo.ready memo.m;
+      get ()
+    | None ->
+      Hashtbl.replace memo.tbl key Building;
+      Mutex.unlock memo.m;
+      let v =
+        try build ()
+        with e ->
+          Mutex.lock memo.m;
+          Hashtbl.remove memo.tbl key;
+          Condition.broadcast memo.ready;
+          Mutex.unlock memo.m;
+          raise e
+      in
+      Mutex.lock memo.m;
+      Hashtbl.replace memo.tbl key (Ready v);
+      Condition.broadcast memo.ready;
+      Mutex.unlock memo.m;
+      v
+  in
+  get ()
+
 let log_checkpoints n =
   let rec go acc base =
     let candidates = [ base; 2 * base; 5 * base ] in
@@ -77,7 +163,10 @@ let build_intra ?cfg ~seed ~hosts profile =
   let isp = Isp.generate rng profile in
   let net = Network.create ?cfg ~rng isp.Isp.graph in
   let gateway = Hostdist.gateway_sampler (Prng.split rng) isp in
-  let marks = log_checkpoints hosts in
+  (* Checkpoint membership is asked after every one of [hosts] joins; the
+     list scan was O(|marks|) per join, so probe a set instead. *)
+  let marks = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace marks m ()) (log_checkpoints hosts);
   let ids = ref [] in
   let join_msgs = ref [] and join_latency = ref [] in
   let checkpoints = ref [] in
@@ -91,7 +180,7 @@ let build_intra ?cfg ~seed ~hosts profile =
       cumulative := !cumulative + o.Network.join_msgs;
       join_msgs := o.Network.join_msgs :: !join_msgs;
       join_latency := o.Network.join_latency_ms :: !join_latency;
-      if List.mem !joined marks then
+      if Hashtbl.mem marks !joined then
         checkpoints :=
           (!joined, !cumulative, Network.avg_router_state_entries net) :: !checkpoints
     | Error _ -> ()
@@ -106,16 +195,12 @@ let build_intra ?cfg ~seed ~hosts profile =
     gateway;
   }
 
-let intra_cache : (int * int * string, intra_run) Hashtbl.t = Hashtbl.create 8
+let intra_cache : (int * int * string, intra_run) memo = make_memo 8
 
 let default_intra_run scale profile =
   let key = (scale.seed, scale.intra_hosts, profile.Isp.profile_name) in
-  match Hashtbl.find_opt intra_cache key with
-  | Some run -> run
-  | None ->
-    let run = build_intra ~seed:scale.seed ~hosts:scale.intra_hosts profile in
-    Hashtbl.add intra_cache key run;
-    run
+  memo_get intra_cache key (fun () ->
+      build_intra ~seed:scale.seed ~hosts:scale.intra_hosts profile)
 
 type inter_run = {
   inet : Internet.t;
@@ -125,16 +210,13 @@ type inter_run = {
 }
 
 (* The AS graph is deterministic in (seed, params); cache it so figure
-   modules comparing configurations run over the same Internet. *)
-let inet_cache : (int * Internet.params, Internet.t) Hashtbl.t = Hashtbl.create 4
+   modules comparing configurations run over the same Internet.  Concurrent
+   tasks requesting the same graph block on the one build in flight. *)
+let inet_cache : (int * Internet.params, Internet.t) memo = make_memo 4
 
 let internet ~seed params =
-  match Hashtbl.find_opt inet_cache (seed, params) with
-  | Some inet -> inet
-  | None ->
-    let inet = Internet.generate (Prng.create seed) params in
-    Hashtbl.add inet_cache (seed, params) inet;
-    inet
+  memo_get inet_cache (seed, params) (fun () ->
+      Internet.generate (Prng.create seed) params)
 
 let build_inter_uncached ?cfg ~seed ~hosts ~strategy params =
   let inet = internet ~seed params in
@@ -156,7 +238,7 @@ let build_inter_uncached ?cfg ~seed ~hosts ~strategy params =
     lookup_msgs = List.rev !lookup_msgs;
   }
 
-let inter_memo : (string, inter_run) Hashtbl.t = Hashtbl.create 8
+let inter_memo : (string, inter_run) memo = make_memo 8
 
 (* Structural memo keys: [Hashtbl.hash] over the config records can collide
    (it is not injective), silently handing a figure module a run built with
@@ -183,12 +265,8 @@ let build_inter ?cfg ~seed ~hosts ~strategy params =
       (Net.strategy_to_string strategy)
       (inter_cfg_key cfg) (inter_params_key params)
   in
-  match Hashtbl.find_opt inter_memo key with
-  | Some run -> run
-  | None ->
-    let run = build_inter_uncached ?cfg ~seed ~hosts ~strategy params in
-    Hashtbl.add inter_memo key run;
-    run
+  memo_get inter_memo key (fun () ->
+      build_inter_uncached ?cfg ~seed ~hosts ~strategy params)
 
 (* Aggregate per-hop event totals over many walks — the per-hop breakdown
    rows of the summary figure. *)
@@ -199,7 +277,7 @@ let hop_mix traces =
 
 let cdf_rows samples ~fractions =
   let c = Stats.cdf samples in
-  List.map (fun f -> (List.nth (Stats.quantiles_of_cdf c [ f ]) 0, f)) fractions
+  List.map2 (fun q f -> (q, f)) (Stats.quantiles_of_cdf c fractions) fractions
 
 let mean_stretch_intra net ids ~gateway ~pairs ~rng =
   let samples = ref [] in

@@ -25,6 +25,19 @@ val full : scale
 val quick : scale
 (** A fast variant for CI/tests (minutes, not tens of minutes). *)
 
+val set_jobs : int -> unit
+(** Cap the number of domains the experiment engine fans work items over
+    (clamped to at least 1; defaults to [Domain.recommended_domain_count]).
+    [set_jobs 1] forces strictly sequential execution. *)
+
+val jobs : unit -> int
+
+val parallel_map : ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map over the shared domain pool.  Work items must be
+    self-contained: each derives its own {!Rofl_util.Prng.t} from a fixed
+    seed, so the result — and every table assembled from it — is
+    byte-identical to a sequential run at any jobs setting. *)
+
 type intra_run = {
   isp : Rofl_topology.Isp.t;
   net : Rofl_intra.Network.t;

@@ -4,8 +4,15 @@ module Isp = Rofl_topology.Isp
 module Graph = Rofl_topology.Graph
 module Cmu = Rofl_baselines.Cmu_ethernet
 
+(* The per-profile populations are independent: build them across the
+   domain pool (order-preserving, so the table layout is unchanged). *)
+let default_runs (scale : Common.scale) =
+  Common.parallel_map
+    (fun p -> (p, Common.default_intra_run scale p))
+    scale.Common.isps
+
 let fig5a (scale : Common.scale) =
-  let runs = List.map (fun p -> (p, Common.default_intra_run scale p)) scale.Common.isps in
+  let runs = default_runs scale in
   let marks = Common.log_checkpoints scale.Common.intra_hosts in
   let t =
     Table.create ~title:"Fig 5a: cumulative join overhead [packets] vs IDs per AS"
@@ -60,30 +67,27 @@ let cdf_table ~title ~value_label per_isp =
     Table.create ~title
       ~columns:("CDF" :: List.map (fun (name, _) -> name ^ " " ^ value_label) per_isp)
   in
-  List.iter
-    (fun f ->
-      let row =
-        Table.fmt_float f
-        :: List.map
-             (fun (_, samples) ->
-               if samples = [] then "-"
-               else begin
-                 let c = Stats.cdf samples in
-                 Table.fmt_float (List.nth (Stats.quantiles_of_cdf c [ f ]) 0)
-               end)
-             per_isp
-      in
-      Table.add_row t row)
+  (* One CDF build + one inversion pass per ISP, not one per (ISP, fraction). *)
+  let columns =
+    List.map
+      (fun (_, samples) ->
+        if samples = [] then List.map (fun _ -> "-") cdf_fractions
+        else
+          Stats.quantiles_of_cdf (Stats.cdf samples) cdf_fractions
+          |> List.map Table.fmt_float)
+      per_isp
+  in
+  List.iteri
+    (fun i f ->
+      Table.add_row t (Table.fmt_float f :: List.map (fun col -> List.nth col i) columns))
     cdf_fractions;
   t
 
 let fig5b (scale : Common.scale) =
   let per_isp =
     List.map
-      (fun p ->
-        let run = Common.default_intra_run scale p in
-        (p.Isp.profile_name, List.map float_of_int run.Common.join_msgs))
-      scale.Common.isps
+      (fun (p, run) -> (p.Isp.profile_name, List.map float_of_int run.Common.join_msgs))
+      (default_runs scale)
   in
   [ cdf_table ~title:"Fig 5b: CDF of per-host join overhead [packets]"
       ~value_label:"[pkts]" per_isp ]
@@ -91,9 +95,7 @@ let fig5b (scale : Common.scale) =
 let fig5c (scale : Common.scale) =
   let per_isp =
     List.map
-      (fun p ->
-        let run = Common.default_intra_run scale p in
-        (p.Isp.profile_name, run.Common.join_latency))
-      scale.Common.isps
+      (fun (p, run) -> (p.Isp.profile_name, run.Common.join_latency))
+      (default_runs scale)
   in
   [ cdf_table ~title:"Fig 5c: CDF of join latency [ms]" ~value_label:"[ms]" per_isp ]

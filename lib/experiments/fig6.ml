@@ -17,27 +17,35 @@ let fig6a (scale : Common.scale) =
         :: List.map (fun p -> "ROFL-" ^ p.Isp.profile_name) scale.Common.isps)
   in
   (* The cache is filled from control traffic during joins, so each cache
-     size is a fresh network construction (§6.1). *)
+     size is a fresh network construction (§6.1).  Every (cache, ISP) point
+     is independent — its own network, its own seeds — so the whole grid
+     fans out over the domain pool and rows are assembled back in order. *)
   let hosts = max 100 (scale.Common.intra_hosts / 2) in
-  List.iter
-    (fun cache ->
-      let row =
-        string_of_int cache
-        :: List.map
-             (fun profile ->
-               let cfg = { Network.default_config with Network.cache_capacity = cache } in
-               let run : Common.intra_run =
-                 Common.build_intra ~cfg ~seed:(scale.Common.seed + cache) ~hosts profile
-               in
-               let rng = Prng.create (scale.Common.seed + cache + 99) in
-               let samples =
-                 Common.mean_stretch_intra run.Common.net run.Common.ids
-                   ~gateway:run.Common.gateway ~pairs:scale.Common.intra_pairs ~rng
-               in
-               if samples = [] then "-" else Table.fmt_float (Stats.mean samples))
-             scale.Common.isps
-      in
-      Table.add_row t row)
+  let points =
+    List.concat_map
+      (fun cache -> List.map (fun profile -> (cache, profile)) scale.Common.isps)
+      scale.Common.cache_grid
+  in
+  let cells =
+    Common.parallel_map
+      (fun (cache, profile) ->
+        let cfg = { Network.default_config with Network.cache_capacity = cache } in
+        let run : Common.intra_run =
+          Common.build_intra ~cfg ~seed:(scale.Common.seed + cache) ~hosts profile
+        in
+        let rng = Prng.create (scale.Common.seed + cache + 99) in
+        let samples =
+          Common.mean_stretch_intra run.Common.net run.Common.ids
+            ~gateway:run.Common.gateway ~pairs:scale.Common.intra_pairs ~rng
+        in
+        if samples = [] then "-" else Table.fmt_float (Stats.mean samples))
+      points
+  in
+  let width = List.length scale.Common.isps in
+  List.iteri
+    (fun i cache ->
+      let row = List.filteri (fun j _ -> j / width = i) cells in
+      Table.add_row t (string_of_int cache :: row))
     scale.Common.cache_grid;
   [ t ]
 
@@ -46,7 +54,9 @@ let load_ranks n =
 
 let fig6b (scale : Common.scale) =
   let tables =
-    List.map
+    (* Each profile measures over its own memoised population; the tasks
+       share no mutable state, so they run across the pool. *)
+    Common.parallel_map
       (fun profile ->
         let (run : Common.intra_run) = Common.default_intra_run scale profile in
         let net = run.Common.net in
@@ -92,7 +102,9 @@ let fig6b (scale : Common.scale) =
   tables
 
 let fig6c (scale : Common.scale) =
-  let runs = List.map (fun p -> (p, Common.default_intra_run scale p)) scale.Common.isps in
+  let runs =
+    Common.parallel_map (fun p -> (p, Common.default_intra_run scale p)) scale.Common.isps
+  in
   let marks = Common.log_checkpoints scale.Common.intra_hosts in
   let t =
     Table.create

@@ -34,36 +34,48 @@ let fig7 (scale : Common.scale) =
              (fun p -> [ p.Isp.profile_name; p.Isp.profile_name ^ " consistent?" ])
              scale.Common.isps)
   in
-  List.iter
-    (fun per_pop ->
-      let cells =
-        List.concat_map
-          (fun profile ->
-            let rng = Prng.create (scale.Common.seed + (31 * per_pop)) in
-            let isp = Isp.generate rng profile in
-            let net = Network.create ~rng isp.Isp.graph in
-            populate rng net isp ~per_pop;
-            (* Pick a PoP that does not partition the rest of the graph when
-               removed (the paper disconnects leaf PoPs). *)
-            let candidate_pops =
-              Array.to_list isp.Isp.pops
-              |> List.filter (fun (p : Isp.pop) -> List.length p.Isp.core <= 2)
-            in
-            let pop =
-              match candidate_pops with
-              | [] -> isp.Isp.pops.(Prng.int rng (Array.length isp.Isp.pops))
-              | ps -> List.nth ps (Prng.int rng (List.length ps))
-            in
-            let routers = Isp.routers_of_pop isp pop.Isp.pop_id in
-            let m1 = Failure.disconnect_routers net routers in
-            let m2 = Failure.reconnect_routers net routers in
-            let report = Invariant.check net in
-            [
-              string_of_int (m1 + m2);
-              (if report.Invariant.ok then "yes" else "NO");
-            ])
-          scale.Common.isps
+  (* Every (IDs-per-PoP, ISP) point builds, partitions and repairs its own
+     network from its own seed: the whole grid fans out over the domain
+     pool, and each task returns its two cells for in-order row assembly. *)
+  let points =
+    List.concat_map
+      (fun per_pop -> List.map (fun profile -> (per_pop, profile)) scale.Common.isps)
+      scale.Common.pop_ids_grid
+  in
+  let cells =
+    Common.parallel_map
+      (fun (per_pop, profile) ->
+        let rng = Prng.create (scale.Common.seed + (31 * per_pop)) in
+        let isp = Isp.generate rng profile in
+        let net = Network.create ~rng isp.Isp.graph in
+        populate rng net isp ~per_pop;
+        (* Pick a PoP that does not partition the rest of the graph when
+           removed (the paper disconnects leaf PoPs). *)
+        let candidate_pops =
+          Array.to_list isp.Isp.pops
+          |> List.filter (fun (p : Isp.pop) -> List.length p.Isp.core <= 2)
+        in
+        let pop =
+          match candidate_pops with
+          | [] -> isp.Isp.pops.(Prng.int rng (Array.length isp.Isp.pops))
+          | ps -> List.nth ps (Prng.int rng (List.length ps))
+        in
+        let routers = Isp.routers_of_pop isp pop.Isp.pop_id in
+        let m1 = Failure.disconnect_routers net routers in
+        let m2 = Failure.reconnect_routers net routers in
+        let report = Invariant.check net in
+        [
+          string_of_int (m1 + m2);
+          (if report.Invariant.ok then "yes" else "NO");
+        ])
+      points
+  in
+  let width = List.length scale.Common.isps in
+  List.iteri
+    (fun i per_pop ->
+      let row =
+        List.concat (List.filteri (fun j _ -> j / width = i) cells)
       in
-      Table.add_row t (string_of_int per_pop :: cells))
+      Table.add_row t (string_of_int per_pop :: row))
     scale.Common.pop_ids_grid;
   [ t ]

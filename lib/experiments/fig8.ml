@@ -17,7 +17,9 @@ let fig8a (scale : Common.scale) =
   in
   let window = 200 in
   let per_strategy =
-    List.map
+    (* The four strategies populate independent networks over the one
+       memoised AS graph; fan them out. *)
+    Common.parallel_map
       (fun strategy ->
         let run =
           Common.build_inter ~seed:scale.Common.seed ~hosts:scale.Common.inter_hosts
@@ -59,7 +61,7 @@ let stretch_samples (scale : Common.scale) run seed =
 
 let fig8b (scale : Common.scale) =
   let finger_runs =
-    List.map
+    Common.parallel_map
       (fun budget ->
         let cfg = { Net.default_config with Net.finger_budget = budget } in
         let run =
@@ -85,20 +87,18 @@ let fig8b (scale : Common.scale) =
     Table.create ~title:"Fig 8b: CDF of interdomain stretch"
       ~columns:("CDF" :: List.map fst series)
   in
-  List.iter
-    (fun f ->
-      let row =
-        Table.fmt_float f
-        :: List.map
-             (fun (_, samples) ->
-               if samples = [] then "-"
-               else begin
-                 let c = Stats.cdf samples in
-                 Table.fmt_float (List.nth (Stats.quantiles_of_cdf c [ f ]) 0)
-               end)
-             series
-      in
-      Table.add_row t row)
+  let columns =
+    List.map
+      (fun (_, samples) ->
+        if samples = [] then List.map (fun _ -> "-") cdf_fractions
+        else
+          Stats.quantiles_of_cdf (Stats.cdf samples) cdf_fractions
+          |> List.map Table.fmt_float)
+      series
+  in
+  List.iteri
+    (fun i f ->
+      Table.add_row t (Table.fmt_float f :: List.map (fun col -> List.nth col i) columns))
     cdf_fractions;
   let means =
     Table.create ~title:"Fig 8b (cont.): mean stretch by configuration"
@@ -117,23 +117,25 @@ let fig8c (scale : Common.scale) =
       ~title:"Fig 8c: stretch vs per-AS pointer-cache size [entries/AS]"
       ~columns:[ "cache/AS"; "mean stretch"; "median" ]
   in
-  List.iter
-    (fun cache ->
-      let cfg =
-        { Net.default_config with Net.cache_capacity = cache; Net.finger_budget = 60 }
-      in
-      let run =
-        Common.build_inter ~cfg ~seed:scale.Common.seed ~hosts:scale.Common.inter_hosts
-          ~strategy:Net.Multihomed scale.Common.inter_params
-      in
-      let samples = stretch_samples scale run (scale.Common.seed + 13 + cache) in
-      Table.add_row t
+  let rows =
+    Common.parallel_map
+      (fun cache ->
+        let cfg =
+          { Net.default_config with Net.cache_capacity = cache; Net.finger_budget = 60 }
+        in
+        let run =
+          Common.build_inter ~cfg ~seed:scale.Common.seed ~hosts:scale.Common.inter_hosts
+            ~strategy:Net.Multihomed scale.Common.inter_params
+        in
+        let samples = stretch_samples scale run (scale.Common.seed + 13 + cache) in
         [
           string_of_int cache;
           (if samples = [] then "-" else Table.fmt_float (Stats.mean samples));
           (if samples = [] then "-" else Table.fmt_float (Stats.median samples));
         ])
-    scale.Common.inter_cache_grid;
+      scale.Common.inter_cache_grid
+  in
+  List.iter (Table.add_row t) rows;
   (* Bloom-filter peering trade-off (§4.2, §6.3): join overhead drops to the
      multihomed level, stretch rises, per-AS filter state appears. *)
   let b =

@@ -18,7 +18,7 @@ let summary (scale : Common.scale) =
   in
   (* --- intradomain --- *)
   let intra_runs =
-    List.map (fun p -> Common.default_intra_run scale p) scale.Common.isps
+    Common.parallel_map (fun p -> Common.default_intra_run scale p) scale.Common.isps
   in
   let all_join_msgs =
     List.concat_map (fun r -> List.map float_of_int r.Common.join_msgs) intra_runs
@@ -68,10 +68,15 @@ let summary (scale : Common.scale) =
     in
     (run, Stats.mean (List.map float_of_int run.Common.lookup_msgs))
   in
-  let _, eph = join_mean Net.Ephemeral in
-  let _, single = join_mean Net.Single_homed in
-  let _, multi = join_mean Net.Multihomed in
-  let peering_run, peering = join_mean Net.Peering in
+  let strategy_means =
+    Common.parallel_map join_mean
+      [ Net.Ephemeral; Net.Single_homed; Net.Multihomed; Net.Peering ]
+  in
+  let eph, single, multi, peering_run, peering =
+    match strategy_means with
+    | [ (_, e); (_, s); (_, m); (pr, p) ] -> (e, s, m, pr, p)
+    | _ -> assert false
+  in
   Table.add_row t
     [ "inter ephemeral join (pkts)"; "~14"; Table.fmt_float eph; "Fig 8a" ];
   Table.add_row t

@@ -4,47 +4,53 @@ module M = Map.Make (struct
   let compare = Id.compare
 end)
 
-type 'a t = 'a M.t
+(* The member count rides alongside the map: [cardinal] sits on hot paths
+   (per-lookup step limits, per-step loop guards), where Map.cardinal's
+   O(n) tree walk turns whole experiments quadratic in the population. *)
+type 'a t = { m : 'a M.t; size : int }
 
-let empty = M.empty
+let empty = { m = M.empty; size = 0 }
 
-let cardinal = M.cardinal
+let cardinal r = r.size
 
-let is_empty = M.is_empty
+let is_empty r = r.size = 0
 
-let add = M.add
+let add id v r =
+  if M.mem id r.m then { r with m = M.add id v r.m }
+  else { m = M.add id v r.m; size = r.size + 1 }
 
-let remove = M.remove
+let remove id r =
+  if M.mem id r.m then { m = M.remove id r.m; size = r.size - 1 } else r
 
-let mem = M.mem
+let mem id r = M.mem id r.m
 
-let find id r = M.find_opt id r
+let find id r = M.find_opt id r.m
 
 (* First member with identifier strictly greater than [x] in the linear
    order, wrapping to the minimum binding. *)
 let successor x r =
-  if M.is_empty r then None
+  if is_empty r then None
   else
-    match M.find_first_opt (fun k -> Id.compare k x > 0) r with
+    match M.find_first_opt (fun k -> Id.compare k x > 0) r.m with
     | Some (k, v) -> Some (k, v)
-    | None -> M.min_binding_opt r
+    | None -> M.min_binding_opt r.m
 
 let successor_incl x r =
-  if M.is_empty r then None
+  if is_empty r then None
   else
-    match M.find_first_opt (fun k -> Id.compare k x >= 0) r with
+    match M.find_first_opt (fun k -> Id.compare k x >= 0) r.m with
     | Some (k, v) -> Some (k, v)
-    | None -> M.min_binding_opt r
+    | None -> M.min_binding_opt r.m
 
 let predecessor x r =
-  if M.is_empty r then None
+  if is_empty r then None
   else
-    match M.find_last_opt (fun k -> Id.compare k x < 0) r with
+    match M.find_last_opt (fun k -> Id.compare k x < 0) r.m with
     | Some (k, v) -> Some (k, v)
-    | None -> M.max_binding_opt r
+    | None -> M.max_binding_opt r.m
 
 let k_successors k x r =
-  let n = min k (M.cardinal r) in
+  let n = min k r.size in
   let rec go acc cur remaining =
     if remaining = 0 then List.rev acc
     else
@@ -54,19 +60,21 @@ let k_successors k x r =
   in
   go [] x n
 
-let min_binding r = M.min_binding_opt r
+let min_binding r = M.min_binding_opt r.m
 
-let to_list r = M.bindings r
+let to_list r = M.bindings r.m
 
-let of_list l = List.fold_left (fun acc (id, v) -> M.add id v acc) M.empty l
+let of_list l = List.fold_left (fun acc (id, v) -> add id v acc) empty l
 
-let iter = M.iter
+let iter f r = M.iter f r.m
 
-let fold = M.fold
+let fold f r acc = M.fold f r.m acc
 
-let filter = M.filter
+let filter f r =
+  let m = M.filter f r.m in
+  { m; size = M.cardinal m }
 
 let members_between a b r =
-  M.fold (fun k v acc -> if Id.between_incl a k b then (k, v) :: acc else acc) r []
+  M.fold (fun k v acc -> if Id.between_incl a k b then (k, v) :: acc else acc) r.m []
   |> List.sort (fun (k1, _) (k2, _) ->
        Id.compare (Id.distance a k1) (Id.distance a k2))

@@ -271,6 +271,12 @@ module Lookup_substrate = struct
   let candidates st cur =
     let t = st.net in
     let r = t.routers.(cur) in
+    (* Pointer routes are recorded from links actually traversed (or SPF
+       paths), so consecutive pairs are always graph links: with no failure
+       outstanding they are valid by construction and the per-hop scan can
+       be skipped. *)
+    let healthy = Linkstate.healthy t.ls in
+    let route_valid route = healthy || Sourceroute.is_valid t.ls route in
     let excluded id = match st.exclude with Some e -> Id.equal e id | None -> false in
     let acc = ref [] in
     let consider c = if not (excluded (candidate_id c)) then acc := c :: !acc in
@@ -289,7 +295,7 @@ module Lookup_substrate = struct
             (fun (p : Pointer.t) ->
               (* Same-router pointers are covered by Local candidates (or are
                  stale); a remote candidate must actually lead elsewhere. *)
-              if p.Pointer.dst_router <> r.idx && Sourceroute.is_valid t.ls p.Pointer.route
+              if p.Pointer.dst_router <> r.idx && route_valid p.Pointer.route
               then consider (Remote p))
             vn.Vnode.succs
         end)
@@ -297,7 +303,7 @@ module Lookup_substrate = struct
     if st.use_cache then begin
       match Pointer_cache.best_match r.cache ~cur:st.target ~target:st.target with
       | Some p ->
-        if p.Pointer.dst_router <> r.idx && Sourceroute.is_valid t.ls p.Pointer.route then
+        if p.Pointer.dst_router <> r.idx && route_valid p.Pointer.route then
           consider (Remote p)
       | None -> ()
     end;

@@ -7,28 +7,68 @@ type event =
   | Router_down of int
   | Router_up of int
 
+(* Resumable Dijkstra state for one source.  The tree is grown on demand:
+   single-pair queries ([path_to], [distance_to], [reachable]) settle only as
+   far as their destination; whole-tree consumers ([eccentricity_hops]) run
+   the frontier dry.  A node is "labeled" once [dist] is finite: its entry in
+   [parent] then records the path the label came from, whether or not the
+   node is settled yet. *)
 type spf = {
-  dist : float array;    (* latency distance, infinity if unreachable *)
-  hops : int array;      (* hop count along the chosen path *)
-  parent : int array;    (* predecessor on shortest path, -1 at source *)
+  src : int;
+  dist : float array;   (* latency distance, infinity if unlabeled *)
+  hops : int array;     (* hop count along the chosen path *)
+  parent : int array;   (* predecessor on shortest path, -1 at source *)
+  settled : bool array;
+  frontier : int Heap.t;
+  mutable complete : bool; (* frontier drained: every [dist] is final *)
+}
+
+type scratch = {
+  s_dist : float array;
+  s_hops : int array;
+  s_parent : int array;
+  s_settled : bool array;
 }
 
 type t = {
   g : Graph.t;
+  n : int;
+  adj : Bytes.t option;
+  (* [n * n] liveness matrix: byte (u*n + v) is 1 iff the link exists, is
+     not failed, and both endpoints are alive.  [link_alive] sits inside
+     every SPF relaxation and every per-hop source-route validation, where
+     the hashtable probes (tuple hashing included) dominate profiles; one
+     bounds-checked byte read replaces them.  [None] only for graphs too
+     large for an n^2 table, which falls back to the probe chain. *)
   failed_links : (int * int, unit) Hashtbl.t; (* canonical (min,max) key *)
   failed_routers : (int, unit) Hashtbl.t;
-  mutable version : int;
-  spf_cache : (int, int * spf) Hashtbl.t; (* src -> (version, tree) *)
+  spf_cache : (int, spf) Hashtbl.t; (* src -> partial or complete tree *)
+  mutable free_scratch : scratch list; (* recycled arrays of dropped trees *)
   mutable listeners : (event -> unit) list;
 }
 
+let matrix_limit = 4096
+
 let create g =
+  let n = Graph.n g in
+  let adj =
+    if n <= matrix_limit then begin
+      let a = Bytes.make (n * n) '\000' in
+      Graph.iter_links g (fun { Graph.u; v; _ } ->
+          Bytes.set a ((u * n) + v) '\001';
+          Bytes.set a ((v * n) + u) '\001');
+      Some a
+    end
+    else None
+  in
   {
     g;
+    n;
+    adj;
     failed_links = Hashtbl.create 16;
     failed_routers = Hashtbl.create 16;
-    version = 0;
     spf_cache = Hashtbl.create 64;
+    free_scratch = [];
     listeners = [];
   }
 
@@ -42,19 +82,207 @@ let canonical u v = if u <= v then (u, v) else (v, u)
 
 let router_alive t r = not (Hashtbl.mem t.failed_routers r)
 
-let link_alive t u v =
-  router_alive t u && router_alive t v
-  && Graph.has_link t.g u v
-  && not (Hashtbl.mem t.failed_links (canonical u v))
+let healthy t =
+  Hashtbl.length t.failed_links = 0 && Hashtbl.length t.failed_routers = 0
 
-let bump t = t.version <- t.version + 1
+let link_alive t u v =
+  match t.adj with
+  | Some a -> Bytes.get a ((u * t.n) + v) <> '\000'
+  | None ->
+    router_alive t u && router_alive t v
+    && Graph.has_link t.g u v
+    && not (Hashtbl.mem t.failed_links (canonical u v))
+
+let set_adj t u v alive =
+  match t.adj with
+  | Some a ->
+    let byte = if alive then '\001' else '\000' in
+    Bytes.set a ((u * t.n) + v) byte;
+    Bytes.set a ((v * t.n) + u) byte
+  | None -> ()
+
+(* -- SPF construction and resumption ------------------------------------ *)
+
+let max_recycled = 32
+
+let take_scratch t n =
+  match t.free_scratch with
+  | s :: rest when Array.length s.s_dist = n ->
+    t.free_scratch <- rest;
+    Array.fill s.s_dist 0 n infinity;
+    Array.fill s.s_hops 0 n max_int;
+    Array.fill s.s_parent 0 n (-1);
+    Array.fill s.s_settled 0 n false;
+    s
+  | _ ->
+    {
+      s_dist = Array.make n infinity;
+      s_hops = Array.make n max_int;
+      s_parent = Array.make n (-1);
+      s_settled = Array.make n false;
+    }
+
+let recycle t (st : spf) =
+  if List.length t.free_scratch < max_recycled then
+    t.free_scratch <-
+      {
+        s_dist = st.dist;
+        s_hops = st.hops;
+        s_parent = st.parent;
+        s_settled = st.settled;
+      }
+      :: t.free_scratch
+
+let new_spf t src =
+  let n = Graph.n t.g in
+  let s = take_scratch t n in
+  let st =
+    {
+      src;
+      dist = s.s_dist;
+      hops = s.s_hops;
+      parent = s.s_parent;
+      settled = s.s_settled;
+      frontier = Heap.create ();
+      complete = false;
+    }
+  in
+  if router_alive t src then begin
+    st.dist.(src) <- 0.0;
+    st.hops.(src) <- 0;
+    Heap.push st.frontier 0.0 src
+  end
+  else st.complete <- true;
+  st
+
+(* Settle frontier nodes until [until] (if any) is settled or the frontier
+   drains.  Relaxations consult the *current* failed sets; the invalidation
+   rules below guarantee any tree kept across an event resumes to the same
+   labels a from-scratch run on the new topology would produce. *)
+let advance t (st : spf) ~until =
+  let stop_at u = match until with Some d -> u = d | None -> false in
+  let rec loop () =
+    match Heap.pop st.frontier with
+    | None -> st.complete <- true
+    | Some (_, u) ->
+      if st.settled.(u) then loop ()
+      else begin
+        st.settled.(u) <- true;
+        List.iter
+          (fun (v, w) ->
+            if link_alive t u v then begin
+              let nd = st.dist.(u) +. w in
+              if
+                nd < st.dist.(v)
+                || (nd = st.dist.(v) && st.hops.(u) + 1 < st.hops.(v))
+              then begin
+                st.dist.(v) <- nd;
+                st.hops.(v) <- st.hops.(u) + 1;
+                st.parent.(v) <- u;
+                Heap.push st.frontier nd v
+              end
+            end)
+          (Graph.neighbors t.g u);
+        if not (stop_at u) then loop ()
+      end
+  in
+  let already_done =
+    st.complete || (match until with Some d -> st.settled.(d) | None -> false)
+  in
+  if not already_done then loop ()
+
+let state t src =
+  match Hashtbl.find_opt t.spf_cache src with
+  | Some st -> st
+  | None ->
+    let st = new_spf t src in
+    Hashtbl.replace t.spf_cache src st;
+    st
+
+let spf t src =
+  let st = state t src in
+  advance t st ~until:None;
+  st
+
+let settle_to t src dst =
+  let st = state t src in
+  advance t st ~until:(Some dst);
+  st
+
+(* -- targeted invalidation ----------------------------------------------
+
+   The old engine bumped a global version on every event, discarding all
+   cached trees.  Instead, each event drops exactly the trees it can have
+   changed:
+
+   - fail_link (u,v):   a tree changes only if the edge carried a label
+                        (parent.(v) = u or parent.(u) = v).  Removing a
+                        non-tree edge removes no used path and can only
+                        lengthen alternatives, so every label stays optimal.
+   - restore_link (u,v): a tree changes only if the new edge improves some
+                        label.  For settled endpoints the labels are final,
+                        so the triangle test against the edge weight is
+                        exact; an incomplete tree whose endpoints are not
+                        both settled is dropped conservatively (its labels
+                        are still upper bounds and could shrink past the
+                        test).
+   - fail_router r:     a tree changes only if r carries a label
+                        (dist.(r) < inf); unlabeled routers appear on no
+                        recorded path, and resumption skips dead routers.
+   - restore_router r:  a tree changes only if r becomes reachable, i.e.
+                        some live neighbour carries a final label.  Settled
+                        sources only; incomplete trees drop conservatively.
+
+   Soundness beats precision here: a dropped tree costs one recomputation,
+   a kept stale tree corrupts every downstream figure. *)
+
+let drop_trees t pred =
+  Hashtbl.filter_map_inplace
+    (fun _src st ->
+      if pred st then begin
+        recycle t st;
+        None
+      end
+      else Some st)
+    t.spf_cache
+
+let tree_uses_link (st : spf) u v = st.parent.(v) = u || st.parent.(u) = v
+
+let link_could_improve (st : spf) u v w =
+  let du = st.dist.(u) and dv = st.dist.(v) in
+  du +. w < dv || dv +. w < du
+  || (du +. w = dv && st.hops.(u) + 1 < st.hops.(v))
+  || (dv +. w = du && st.hops.(v) + 1 < st.hops.(u))
+
+let invalidate_link_down t u v = drop_trees t (fun st -> tree_uses_link st u v)
+
+let invalidate_link_up t u v =
+  if link_alive t u v then begin
+    let w = Graph.latency t.g u v in
+    drop_trees t (fun st ->
+        if st.complete || (st.settled.(u) && st.settled.(v)) then
+          link_could_improve st u v w
+        else true)
+  end
+
+let invalidate_router_down t r =
+  drop_trees t (fun st -> st.src = r || st.dist.(r) < infinity)
+
+let invalidate_router_up t r =
+  drop_trees t (fun st ->
+      st.src = r
+      || (not st.complete)
+      || List.exists
+           (fun (u, _) -> link_alive t u r && st.dist.(u) < infinity)
+           (Graph.neighbors t.g r))
 
 let fail_link t u v =
   if not (Graph.has_link t.g u v) then invalid_arg "Linkstate.fail_link: no such link";
   let key = canonical u v in
   if not (Hashtbl.mem t.failed_links key) then begin
     Hashtbl.add t.failed_links key ();
-    bump t;
+    set_adj t u v false;
+    invalidate_link_down t u v;
     notify t (Link_down (u, v))
   end
 
@@ -62,90 +290,70 @@ let restore_link t u v =
   let key = canonical u v in
   if Hashtbl.mem t.failed_links key then begin
     Hashtbl.remove t.failed_links key;
-    bump t;
+    set_adj t u v (router_alive t u && router_alive t v);
+    invalidate_link_up t u v;
     notify t (Link_up (u, v))
   end
 
 let fail_router t r =
   if not (Hashtbl.mem t.failed_routers r) then begin
     Hashtbl.add t.failed_routers r ();
-    bump t;
+    List.iter (fun (v, _) -> set_adj t r v false) (Graph.neighbors t.g r);
+    invalidate_router_down t r;
     notify t (Router_down r)
   end
 
 let restore_router t r =
   if Hashtbl.mem t.failed_routers r then begin
     Hashtbl.remove t.failed_routers r;
-    bump t;
+    List.iter
+      (fun (v, _) ->
+        set_adj t r v
+          (router_alive t v && not (Hashtbl.mem t.failed_links (canonical r v))))
+      (Graph.neighbors t.g r);
+    invalidate_router_up t r;
     notify t (Router_up r)
   end
 
-let run_spf t src =
-  let n = Graph.n t.g in
-  let dist = Array.make n infinity in
-  let hops = Array.make n max_int in
-  let parent = Array.make n (-1) in
-  if router_alive t src then begin
-    let settled = Array.make n false in
-    let frontier = Heap.create () in
-    dist.(src) <- 0.0;
-    hops.(src) <- 0;
-    Heap.push frontier 0.0 src;
-    let rec loop () =
-      match Heap.pop frontier with
-      | None -> ()
-      | Some (_, u) ->
-        if not settled.(u) then begin
-          settled.(u) <- true;
-          List.iter
-            (fun (v, w) ->
-              if link_alive t u v then begin
-                let nd = dist.(u) +. w in
-                if
-                  nd < dist.(v)
-                  || (nd = dist.(v) && hops.(u) + 1 < hops.(v))
-                then begin
-                  dist.(v) <- nd;
-                  hops.(v) <- hops.(u) + 1;
-                  parent.(v) <- u;
-                  Heap.push frontier nd v
-                end
-              end)
-            (Graph.neighbors t.g u)
-        end;
-        loop ()
-    in
-    loop ()
-  end;
-  { dist; hops; parent }
+(* -- queries ------------------------------------------------------------ *)
 
-let spf t src =
-  match Hashtbl.find_opt t.spf_cache src with
-  | Some (version, tree) when version = t.version -> tree
-  | _ ->
-    let tree = run_spf t src in
-    Hashtbl.replace t.spf_cache src (t.version, tree);
-    tree
-
-let reachable t src dst =
-  router_alive t src && router_alive t dst && (spf t src).dist.(dst) < infinity
-
-let path t src dst =
-  if not (reachable t src dst) then None
+let distance_to t src dst =
+  if not (router_alive t src && router_alive t dst) then None
   else begin
-    let tree = spf t src in
-    let rec walk acc v = if v = src then src :: acc else walk (v :: acc) tree.parent.(v) in
-    Some (walk [] dst)
+    let st = settle_to t src dst in
+    if st.dist.(dst) < infinity then Some st.dist.(dst) else None
   end
 
-let distance_hops t src dst =
-  if not (reachable t src dst) then None else Some (spf t src).hops.(dst)
+let path_to t src dst =
+  if not (router_alive t src && router_alive t dst) then None
+  else begin
+    let st = settle_to t src dst in
+    if st.dist.(dst) = infinity then None
+    else begin
+      (* Every ancestor of a labeled node is settled, so the parent chain is
+         complete even in a partial tree. *)
+      let rec walk acc v = if v = src then src :: acc else walk (v :: acc) st.parent.(v) in
+      Some (walk [] dst)
+    end
+  end
 
-let distance_latency t src dst =
-  if not (reachable t src dst) then None else Some (spf t src).dist.(dst)
+let reachable t src dst =
+  router_alive t src && router_alive t dst
+  && (settle_to t src dst).dist.(dst) < infinity
+
+let path = path_to
+
+let distance_hops t src dst =
+  if not (router_alive t src && router_alive t dst) then None
+  else begin
+    let st = settle_to t src dst in
+    if st.dist.(dst) < infinity then Some st.hops.(dst) else None
+  end
+
+let distance_latency = distance_to
 
 let next_hop t src dst =
-  match path t src dst with
+  match path_to t src dst with
   | None | Some [ _ ] -> None
   | Some (_ :: hop :: _) -> Some hop
   | Some [] -> None
@@ -177,9 +385,11 @@ let live_router_count t =
 let lsa_flood_cost t = 2 * live_link_count t
 
 let eccentricity_hops t src =
-  let tree = spf t src in
+  let st = spf t src in
   let best = ref 0 in
-  Array.iter (fun h -> if h <> max_int && h > !best then best := h) tree.hops;
+  Array.iteri
+    (fun v h -> if st.dist.(v) < infinity && h > !best then best := h)
+    st.hops;
   !best
 
 let diameter_hops t =

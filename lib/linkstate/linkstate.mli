@@ -8,6 +8,13 @@
     failure notifications, and the LSA flood cost model used when the
     experiments charge messages for topology dissemination. *)
 
+(** Shortest paths are served from per-source Dijkstra trees that are grown
+    on demand (a single-pair query settles only as far as its destination)
+    and invalidated *per event*: failing or restoring an element drops only
+    the cached trees whose paths that element can actually have changed,
+    instead of the former global version bump that discarded every tree on
+    every event. *)
+
 type t
 
 type event =
@@ -45,6 +52,15 @@ val path : t -> int -> int -> int list option
 (** Latency-shortest live path, inclusive of both endpoints
     ([Some [src]] when [src = dst]).  [None] when partitioned. *)
 
+val path_to : t -> int -> int -> int list option
+(** Single-pair form of {!path}: Dijkstra from [src] stops as soon as [dst]
+    is settled (and the partial tree is cached and resumed by later
+    queries).  Same results as {!path}; this is the hot-path entry point for
+    one-off reachability probes and stretch denominators. *)
+
+val distance_to : t -> int -> int -> float option
+(** Early-exit single-pair latency distance; equals {!distance_latency}. *)
+
 val distance_hops : t -> int -> int -> int option
 (** Hop length of {!path} (0 when [src = dst]). *)
 
@@ -53,6 +69,11 @@ val distance_latency : t -> int -> int -> float option
 
 val next_hop : t -> int -> int -> int option
 (** First hop on {!path} from [src] towards [dst]. *)
+
+val healthy : t -> bool
+(** No failed links and no failed routers — O(1).  When healthy, every
+    route whose consecutive pairs are graph links is necessarily valid,
+    which lets per-hop route validation short-circuit. *)
 
 val valid_source_route : t -> int list -> bool
 (** All consecutive pairs are live links and all routers alive — the check a

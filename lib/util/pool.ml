@@ -1,0 +1,121 @@
+(* One shared FIFO of thunks; workers park on [wake].  The caller of [map]
+   drains the same queue instead of blocking, so a pool of [jobs] runs at
+   most [jobs] tasks at once ([jobs - 1] workers + the calling domain). *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  wake : Condition.t; (* work arrived or shutdown requested *)
+  pending : (unit -> unit) Queue.t;
+  mutable alive : bool;
+  mutable workers : unit Domain.t list; (* spawned on first parallel map *)
+}
+
+let create ~jobs =
+  {
+    jobs = max 1 jobs;
+    mutex = Mutex.create ();
+    wake = Condition.create ();
+    pending = Queue.create ();
+    alive = true;
+    workers = [];
+  }
+
+let jobs t = t.jobs
+
+(* Set while the current domain is executing a pool task (worker or caller
+   drain loop): a [map] from such a context must not wait on the pool it is
+   itself occupying, so it degrades to sequential. *)
+let in_task : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let run_task task =
+  let flag = Domain.DLS.get in_task in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := false) task
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while t.alive && Queue.is_empty t.pending do
+      Condition.wait t.wake t.mutex
+    done;
+    match Queue.take_opt t.pending with
+    | Some task ->
+      Mutex.unlock t.mutex;
+      run_task task;
+      loop ()
+    | None ->
+      (* Woken for shutdown with nothing left to do. *)
+      Mutex.unlock t.mutex
+  in
+  loop ()
+
+let ensure_workers t =
+  if t.workers = [] && t.jobs > 1 then
+    t.workers <- List.init (t.jobs - 1) (fun _ -> Domain.spawn (worker t))
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.alive <- false;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let map t f xs =
+  let n = List.length xs in
+  if t.jobs <= 1 || n <= 1 || !(Domain.DLS.get in_task) then List.map f xs
+  else begin
+    if not t.alive then invalid_arg "Pool.map: pool is shut down";
+    ensure_workers t;
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let first_error = Atomic.make None in
+    let remaining = Atomic.make n in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let run_one i =
+      (try results.(i) <- Some (f input.(i))
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set first_error None (Some (e, bt))));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_mutex;
+        Condition.signal done_cond;
+        Mutex.unlock done_mutex
+      end
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (fun () -> run_one i) t.pending
+    done;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    (* Drain alongside the workers until this map's tasks are all claimed,
+       then wait for stragglers still running in workers. *)
+    let rec drain () =
+      Mutex.lock t.mutex;
+      match Queue.take_opt t.pending with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        run_task task;
+        drain ()
+      | None -> Mutex.unlock t.mutex
+    in
+    drain ();
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    match Atomic.get first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.to_list
+        (Array.map
+           (function
+             | Some r -> r
+             | None -> assert false (* every slot ran or raised *))
+           results)
+  end

@@ -67,16 +67,33 @@ let cdf_at c x =
   in
   go 0.0 c
 
+(* Invert at every fraction in one walk over the CDF: both the CDF points
+   and (after sorting) the fractions are ascending, so a single cursor
+   suffices instead of one O(|c|) scan per fraction.  Semantics per
+   fraction are unchanged: first value whose cumulative fraction reaches
+   [p], the last value if none does, 0 on an empty CDF. *)
 let quantiles_of_cdf c ps =
-  let invert p =
-    let rec go = function
-      | [] -> 0.0
-      | [ (v, _) ] -> v
-      | (v, f) :: rest -> if f >= p then v else go rest
-    in
-    go c
+  let n = List.length ps in
+  let order = Array.init n (fun i -> i) in
+  let pa = Array.of_list ps in
+  Array.sort (fun a b -> compare pa.(a) pa.(b)) order;
+  let out = Array.make n 0.0 in
+  let rec go c idx =
+    if idx < n then
+      match c with
+      | [] -> ()
+      | [ (v, _) ] ->
+        out.(order.(idx)) <- v;
+        go c (idx + 1)
+      | (v, f) :: rest ->
+        if f >= pa.(order.(idx)) then begin
+          out.(order.(idx)) <- v;
+          go c (idx + 1)
+        end
+        else go rest idx
   in
-  List.map invert ps
+  go c 0;
+  Array.to_list out
 
 let histogram xs ~bins =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";

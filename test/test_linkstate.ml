@@ -102,6 +102,93 @@ let test_spf_cache_invalidation () =
   (* The memoised SPF must not serve the stale path. *)
   Alcotest.(check (option (list int))) "stale path dropped" None (Linkstate.path ls 0 4)
 
+(* Golden test for the targeted SPF invalidation: run a randomized
+   fail/restore script, interleaving single-pair queries so the per-source
+   tree cache holds a mix of partial and complete trees, and after every
+   event compare the incrementally-maintained instance against a fresh one
+   that replays the same failed sets from scratch.  Distances must match
+   exactly; paths must be valid source routes of exactly the golden cost. *)
+let test_invalidation_golden () =
+  let n = 40 in
+  let g = Gen.waxman (Prng.create 1234) ~n ~alpha:0.4 ~beta:0.2 in
+  let edges = Array.of_list (Graph.links g) in
+  let ls = Linkstate.create g in
+  let failed_links = Hashtbl.create 16 in
+  let failed_routers = Hashtbl.create 16 in
+  let rng = Prng.create 99 in
+  let path_cost p =
+    let cost = ref 0.0 in
+    let rec walk = function
+      | x :: (y :: _ as rest) ->
+        cost := !cost +. Graph.latency g x y;
+        walk rest
+      | _ -> ()
+    in
+    walk p;
+    !cost
+  in
+  let check_against_fresh step =
+    let fresh = Linkstate.create g in
+    Hashtbl.iter (fun (u, v) () -> Linkstate.fail_link fresh u v) failed_links;
+    Hashtbl.iter (fun r () -> Linkstate.fail_router fresh r) failed_routers;
+    for _ = 1 to 25 do
+      let a = Prng.int rng n and b = Prng.int rng n in
+      let ctx = Printf.sprintf "step %d pair %d-%d" step a b in
+      Alcotest.(check (option (float 1e-9)))
+        (ctx ^ " latency")
+        (Linkstate.distance_latency fresh a b)
+        (Linkstate.distance_latency ls a b);
+      Alcotest.(check (option int))
+        (ctx ^ " hops")
+        (Linkstate.distance_hops fresh a b)
+        (Linkstate.distance_hops ls a b);
+      match Linkstate.path ls a b with
+      | None ->
+        Alcotest.(check bool) (ctx ^ " both unreachable") false
+          (Linkstate.reachable fresh a b)
+      | Some p ->
+        Alcotest.(check bool) (ctx ^ " path valid") true
+          (Linkstate.valid_source_route ls p);
+        (match Linkstate.distance_latency fresh a b with
+         | Some d -> Alcotest.(check (float 1e-9)) (ctx ^ " path cost") d (path_cost p)
+         | None -> Alcotest.fail (ctx ^ ": cached path where golden has none"))
+    done
+  in
+  (* Warm the cache so events exercise invalidation, not cold rebuilds. *)
+  for s = 0 to n - 1 do
+    ignore (Linkstate.path ls s ((s + 7) mod n))
+  done;
+  for step = 1 to 40 do
+    (match Prng.int rng 4 with
+     | 0 ->
+       let { Graph.u; v; _ } = edges.(Prng.int rng (Array.length edges)) in
+       Linkstate.fail_link ls u v;
+       Hashtbl.replace failed_links (min u v, max u v) ()
+     | 1 ->
+       (match Hashtbl.fold (fun k () acc -> k :: acc) failed_links [] with
+        | [] -> ()
+        | ks ->
+          let u, v = List.nth ks (Prng.int rng (List.length ks)) in
+          Linkstate.restore_link ls u v;
+          Hashtbl.remove failed_links (u, v))
+     | 2 ->
+       let r = Prng.int rng n in
+       Linkstate.fail_router ls r;
+       Hashtbl.replace failed_routers r ()
+     | _ ->
+       (match Hashtbl.fold (fun k () acc -> k :: acc) failed_routers [] with
+        | [] -> ()
+        | ks ->
+          let r = List.nth ks (Prng.int rng (List.length ks)) in
+          Linkstate.restore_router ls r;
+          Hashtbl.remove failed_routers r));
+    (* Partial-tree queries keep a mix of incomplete trees cached. *)
+    for _ = 1 to 5 do
+      ignore (Linkstate.distance_to ls (Prng.int rng n) (Prng.int rng n))
+    done;
+    check_against_fresh step
+  done
+
 let prop_paths_are_valid_routes =
   QCheck.Test.make ~name:"every SPF path is a valid source route" ~count:100
     QCheck.(pair (int_range 1 500) (pair (int_range 0 39) (int_range 0 39)))
@@ -129,6 +216,8 @@ let () =
           Alcotest.test_case "latency weighted" `Quick test_latency_weighted;
           Alcotest.test_case "next hop" `Quick test_next_hop;
           Alcotest.test_case "cache invalidation" `Quick test_spf_cache_invalidation;
+          Alcotest.test_case "invalidation golden vs fresh" `Quick
+            test_invalidation_golden;
           QCheck_alcotest.to_alcotest prop_paths_are_valid_routes;
           QCheck_alcotest.to_alcotest prop_hops_symmetric;
         ] );

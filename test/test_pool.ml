@@ -1,0 +1,113 @@
+(* Rofl_util.Pool unit tests plus the engine-level determinism contract:
+   the figure tables must be byte-identical at any jobs setting, because
+   every fanned-out work item derives its own Prng from a fixed seed and
+   Pool.map preserves input order. *)
+
+module Pool = Rofl_util.Pool
+module Table = Rofl_util.Table
+module E = Rofl_experiments
+module Isp = Rofl_topology.Isp
+module Internet = Rofl_asgraph.Internet
+
+let test_map_order () =
+  let p = Pool.create ~jobs:4 in
+  let xs = List.init 100 (fun i -> i) in
+  Alcotest.(check (list int)) "squares in order"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map p (fun x -> x * x) xs);
+  (* The same pool serves any number of maps. *)
+  Alcotest.(check (list string)) "strings in order"
+    (List.map string_of_int xs)
+    (Pool.map p string_of_int xs);
+  Alcotest.(check (list int)) "empty input" [] (Pool.map p (fun x -> x) []);
+  Pool.shutdown p
+
+let test_jobs_one_sequential () =
+  let p = Pool.create ~jobs:1 in
+  Alcotest.(check int) "jobs clamp" 1 (Pool.jobs p);
+  (* jobs=1 runs on the calling domain: side effects land left to right. *)
+  let log = ref [] in
+  let r =
+    Pool.map p
+      (fun x ->
+        log := x :: !log;
+        x + 1)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "results" [ 2; 3; 4 ] r;
+  Alcotest.(check (list int)) "evaluated left to right" [ 3; 2; 1 ] !log;
+  Pool.shutdown p
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let p = Pool.create ~jobs:4 in
+  (match Pool.map p (fun x -> if x = 37 then raise (Boom x) else x) (List.init 80 Fun.id) with
+   | _ -> Alcotest.fail "expected Boom to propagate"
+   | exception Boom 37 -> ());
+  (* A failed map must not poison the pool. *)
+  Alcotest.(check (list int)) "pool still works" [ 0; 2; 4 ]
+    (Pool.map p (fun x -> 2 * x) [ 0; 1; 2 ]);
+  Pool.shutdown p
+
+let test_nested_map () =
+  (* A task that calls back into the pool degrades to a sequential map
+     instead of deadlocking on its own queue. *)
+  let p = Pool.create ~jobs:4 in
+  let r =
+    Pool.map p (fun i -> Pool.map p (fun j -> (10 * i) + j) [ 0; 1; 2 ]) [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested results"
+    [ [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ]; [ 40; 41; 42 ] ]
+    r;
+  Pool.shutdown p
+
+(* Figure-table determinism: fig7 and fig6a fan their whole (grid x ISP)
+   plane over the pool and build fresh networks per point (no memo cache in
+   the way), so rendering them twice is an honest jobs-1-vs-jobs-4
+   comparison. *)
+let mini : E.Common.scale =
+  {
+    E.Common.seed = 77;
+    intra_hosts = 120;
+    intra_pairs = 40;
+    isps = [ Isp.as3967; Isp.as3257 ];
+    inter_hosts = 300;
+    inter_pairs = 40;
+    inter_params = Internet.small_params;
+    pop_ids_grid = [ 1; 3 ];
+    cache_grid = [ 0; 128 ];
+    inter_cache_grid = [ 0; 32 ];
+    finger_grid = [ 20 ];
+  }
+
+let render_all f = String.concat "\n" (List.map Table.render (f mini))
+
+let test_jobs_determinism () =
+  List.iter
+    (fun (name, f) ->
+      E.Common.set_jobs 1;
+      let seq = render_all f in
+      E.Common.set_jobs 4;
+      let par = render_all f in
+      E.Common.set_jobs 1;
+      Alcotest.(check string) (name ^ " byte-identical at jobs 1 vs 4") seq par)
+    [ ("fig7", E.Fig7.fig7); ("fig6a", E.Fig6.fig6a) ]
+
+let () =
+  Alcotest.run "rofl_pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_order;
+          Alcotest.test_case "jobs=1 is sequential" `Quick test_jobs_one_sequential;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "nested maps don't deadlock" `Quick test_nested_map;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "tables identical across jobs" `Quick
+            test_jobs_determinism;
+        ] );
+    ]
