@@ -28,6 +28,7 @@ let targets : (string * string * (E.Common.scale -> Table.t list)) list =
     ("fig8a", "inter: join overhead by strategy", E.Fig8.fig8a);
     ("fig8b", "inter: stretch CDF vs finger budget", E.Fig8.fig8b);
     ("fig8c", "inter: stretch vs per-AS cache; bloom peering", E.Fig8.fig8c);
+    ("churn", "churn lab: steady-state SLOs under continuous churn", E.Churnlab.churn);
     ("summary", "paper §6.4 numbers vs measured", E.Summary.summary);
     ("ablate-cache", "ablation: control-path caching", E.Ablations.ablate_cache);
     ("ablate-zeroid", "ablation: zero-ID partition repair", E.Ablations.ablate_zero_id);

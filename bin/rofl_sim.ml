@@ -32,6 +32,7 @@ let experiments : (string * string * (E.Common.scale -> Table.t list)) list =
     ("fig8a", "interdomain join overhead by strategy", E.Fig8.fig8a);
     ("fig8b", "interdomain stretch CDF vs fingers", E.Fig8.fig8b);
     ("fig8c", "interdomain stretch vs per-AS cache", E.Fig8.fig8c);
+    ("churn", "steady-state SLOs under continuous churn", E.Churnlab.churn);
     ("summary", "paper §6.4 summary vs measured", E.Summary.summary);
     ("ablations", "all design-choice ablations", E.Ablations.all);
     ("compare-compact", "compact routing vs ROFL", E.Compare.compact_vs_rofl);

@@ -74,9 +74,9 @@ let () =
   (* The server can also reach the laptop while other hosts churn. *)
   let trace =
     Churn.generate rng ~horizon_ms:5_000.0 ~arrival_rate_per_s:40.0
-      ~mean_lifetime_s:2.0 ~move_fraction:0.2
+      ~mean_lifetime_s:2.0 ~move_fraction:0.2 ()
   in
-  let joins, leaves, moves = Churn.count trace in
+  let joins, leaves, moves, _crashes = Churn.count trace in
   Printf.printf "churn trace: %d joins, %d leaves, %d moves over 5 simulated seconds\n"
     joins leaves moves;
   let gateways = Array.of_list (Isp.edge_routers isp) in
@@ -106,6 +106,12 @@ let () =
              | Some id ->
                ignore
                  (Failure.mobile_rehome net id ~new_gateway:(Prng.sample rng gateways))
+             | None -> ())
+          | Churn.Crash { seq; _ } ->
+            (match Hashtbl.find_opt session_ids seq with
+             | Some id ->
+               ignore (Failure.fail_host net id);
+               Hashtbl.remove session_ids seq
              | None -> ())))
     trace;
   Engine.run engine;

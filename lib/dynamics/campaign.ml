@@ -1,0 +1,247 @@
+module Id = Rofl_idspace.Id
+module Prng = Rofl_util.Prng
+module Stats = Rofl_util.Stats
+module Graph = Rofl_topology.Graph
+module Isp = Rofl_topology.Isp
+module Engine = Rofl_netsim.Engine
+module Proto = Rofl_proto.Proto
+module Churn = Rofl_workload.Churn
+module Hostdist = Rofl_workload.Hostdist
+
+type params = {
+  horizon_ms : float;
+  arrival_rate_per_s : float;
+  mean_lifetime_s : float;
+  move_fraction : float;
+  crash_fraction : float;
+  lookup_rate_per_s : float;
+  lookup_warmup_ms : float;
+  drain_max_ms : float;
+  proto_cfg : Proto.config;
+}
+
+let default_params =
+  {
+    horizon_ms = 20_000.0;
+    arrival_rate_per_s = 1.0;
+    mean_lifetime_s = 10.0;
+    move_fraction = 0.1;
+    crash_fraction = 0.2;
+    lookup_rate_per_s = 10.0;
+    lookup_warmup_ms = 1_000.0;
+    drain_max_ms = 30_000.0;
+    proto_cfg = Proto.default_config;
+  }
+
+type report = {
+  name : string;
+  params : params;
+  joins : int;
+  leaves : int;
+  moves : int;
+  crashes : int;
+  join_failures : int;
+  lookups : int;
+  lookups_ok : int;
+  success_rate : float;       (* 1.0 when no lookup was launched *)
+  lat_p50_ms : float;         (* over successful lookups; 0 when none *)
+  lat_p95_ms : float;
+  lat_p99_ms : float;
+  stale_count : int;
+  stale_p95_ms : float;
+  stale_unrepaired : int;
+  reconverged : bool;
+  reconverge_ms : float;      (* time from the last churn event to convergence *)
+  failovers : int;
+  rpc_timeouts : int;
+  ctrl_msgs : (string * int) list; (* per category, sorted *)
+  total_msgs : int;
+  msgs_per_event : float;
+  peak_queue : int;
+  sim_end_ms : float;
+}
+
+(* Derivation seams: every random stream of a campaign is its own generator
+   derived from (seed, purpose), and all draws happen either before the
+   engine runs or inside engine events (whose order is deterministic), so a
+   campaign is a pure function of (seed, graph, params) — the property the
+   jobs-determinism tests pin. *)
+let stream seed purpose = Prng.create (Hashtbl.hash (seed, purpose, 0x0c4a7))
+
+(* Fresh identifiers for every session, unique against the bootstrap router
+   labels and each other. *)
+let session_ids ~seed ~taken n =
+  let rng = stream seed "session-ids" in
+  let used = Hashtbl.create (2 * n) in
+  List.iter (fun id -> Hashtbl.replace used id ()) taken;
+  Array.init n (fun _ ->
+      let rec fresh () =
+        let id = Id.random rng in
+        if Hashtbl.mem used id then fresh ()
+        else begin
+          Hashtbl.replace used id ();
+          id
+        end
+      in
+      fresh ())
+
+let percentile_or xs p ~default =
+  match xs with [] -> default | _ -> Stats.percentile xs p
+
+let run_graph ~seed ~name ~graph ~gateways (p : params) =
+  if gateways = [||] then invalid_arg "Campaign.run_graph: no gateway routers";
+  let proto = Proto.create ~rng:(stream seed "proto") ~cfg:p.proto_cfg graph in
+  let engine = Proto.engine proto in
+  let trace =
+    Churn.generate (stream seed "churn") ~horizon_ms:p.horizon_ms
+      ~arrival_rate_per_s:p.arrival_rate_per_s ~mean_lifetime_s:p.mean_lifetime_s
+      ~move_fraction:p.move_fraction ~crash_fraction:p.crash_fraction ()
+  in
+  let n_sessions =
+    List.fold_left (fun acc ev -> max acc (Churn.event_seq ev + 1)) 0 trace
+  in
+  let ids = session_ids ~seed ~taken:(Proto.members proto) n_sessions in
+  (* Pre-draw all per-event randomness in trace order, so nothing during the
+     run consumes a generator shared with the planning phase. *)
+  let gw_rng = stream seed "gateways" in
+  let pick_gw () = gateways.(Prng.int gw_rng (Array.length gateways)) in
+  let planned =
+    List.map
+      (fun ev ->
+        match ev with
+        | Churn.Join { at_ms; seq } -> (at_ms, `Join (seq, pick_gw ()))
+        | Churn.Leave { at_ms; seq } -> (at_ms, `Leave seq)
+        | Churn.Move { at_ms; seq } -> (at_ms, `Move (seq, pick_gw ()))
+        | Churn.Crash { at_ms; seq } -> (at_ms, `Crash seq))
+      trace
+  in
+  let last_event_ms =
+    List.fold_left (fun acc (at, _) -> Float.max acc at) 0.0 planned
+  in
+  (* Campaign-side session liveness, for lookup targeting: seq -> join time.
+     Maintained by the scheduled churn events themselves. *)
+  let live = Hashtbl.create 64 in
+  List.iter
+    (fun (at_ms, action) ->
+      Engine.schedule_at engine ~time_ms:at_ms (fun () ->
+          match action with
+          | `Join (seq, gw) ->
+            Hashtbl.replace live seq at_ms;
+            Proto.join proto ~gateway:gw ids.(seq)
+          | `Leave seq ->
+            Hashtbl.remove live seq;
+            ignore (Proto.leave proto ids.(seq))
+          | `Move (seq, gw) ->
+            (* The session stays alive through a move; only its router
+               changes.  Keep the original join time for warmup purposes. *)
+            ignore (Proto.move proto ~new_gateway:gw ids.(seq))
+          | `Crash seq ->
+            Hashtbl.remove live seq;
+            ignore (Proto.crash proto ids.(seq))))
+    planned;
+  (* Open-loop lookup workload: Poisson launch times fixed up front, target
+     and origin drawn at launch time from dedicated streams. *)
+  let outcomes = ref [] in
+  let launched = ref 0 in
+  let looktime_rng = stream seed "lookup-times" in
+  let looktarget_rng = stream seed "lookup-targets" in
+  let mean_gap_ms = 1000.0 /. p.lookup_rate_per_s in
+  let rec plan_lookups at =
+    let at = at +. Prng.exponential looktime_rng mean_gap_ms in
+    if at < p.horizon_ms then begin
+      Engine.schedule_at engine ~time_ms:at (fun () ->
+          let eligible =
+            Hashtbl.fold
+              (fun seq joined acc ->
+                if joined +. p.lookup_warmup_ms <= at then seq :: acc else acc)
+              live []
+            |> List.sort compare
+          in
+          let target =
+            match eligible with
+            | [] ->
+              (* Nobody to look up yet: exercise the always-alive ring of
+                 router identifiers instead of skipping the sample. *)
+              Proto.router_label (Prng.int looktarget_rng (Graph.n graph))
+            | _ ->
+              let seq = List.nth eligible (Prng.int looktarget_rng (List.length eligible)) in
+              ids.(seq)
+          in
+          let from = gateways.(Prng.int looktarget_rng (Array.length gateways)) in
+          incr launched;
+          Proto.lookup_async proto ~from target (fun o -> outcomes := o :: !outcomes));
+      plan_lookups at
+    end
+  in
+  if p.lookup_rate_per_s > 0.0 then plan_lookups 0.0;
+  (* Run: stabilisation timers tick throughout; after the horizon, keep
+     stabilising until the ring reconverges and every lookup has resolved. *)
+  Proto.start_stabilizer proto;
+  Engine.run_until engine p.horizon_ms;
+  let deadline = p.horizon_ms +. p.drain_max_ms in
+  let period = p.proto_cfg.Proto.stabilize_period_ms in
+  let rec drain () =
+    let now = Engine.now engine in
+    if Proto.ring_converged proto && Proto.lookups_outstanding proto = 0 then Some now
+    else if now >= deadline then None
+    else begin
+      Engine.run_until engine (now +. period);
+      drain ()
+    end
+  in
+  let converged_at = drain () in
+  Proto.stop_stabilizer proto;
+  let s = Proto.stats proto in
+  let outcomes = List.rev !outcomes in
+  let ok_lat =
+    List.filter_map
+      (fun (o : Proto.lookup_outcome) ->
+        if o.Proto.ok then Some (o.Proto.completed_ms -. o.Proto.issued_ms) else None)
+      outcomes
+  in
+  let lookups_ok = List.length ok_lat in
+  let lookups = List.length outcomes in
+  let stale = Proto.stale_windows proto in
+  let joins_evt, leaves_evt, moves_evt, crashes_evt = Churn.count trace in
+  let events = joins_evt + leaves_evt + moves_evt + crashes_evt in
+  let sim_end = Engine.now engine in
+  {
+    name;
+    params = p;
+    joins = s.Proto.joins_completed;
+    leaves = s.Proto.leaves_completed;
+    moves = s.Proto.moves_completed;
+    crashes = s.Proto.crashes;
+    join_failures = s.Proto.joins_failed;
+    lookups;
+    lookups_ok;
+    success_rate =
+      (if lookups = 0 then 1.0 else float_of_int lookups_ok /. float_of_int lookups);
+    lat_p50_ms = percentile_or ok_lat 50.0 ~default:0.0;
+    lat_p95_ms = percentile_or ok_lat 95.0 ~default:0.0;
+    lat_p99_ms = percentile_or ok_lat 99.0 ~default:0.0;
+    stale_count = List.length stale;
+    stale_p95_ms = percentile_or stale 95.0 ~default:0.0;
+    stale_unrepaired = Proto.stale_open proto;
+    reconverged = (match converged_at with Some _ -> true | None -> false);
+    reconverge_ms =
+      (match converged_at with
+       | Some at -> Float.max 0.0 (at -. last_event_ms)
+       | None -> Float.nan);
+    failovers = s.Proto.failovers;
+    rpc_timeouts = s.Proto.rpc_timeouts;
+    ctrl_msgs = Rofl_netsim.Metrics.categories (Proto.metrics proto);
+    total_msgs = s.Proto.messages;
+    msgs_per_event =
+      (if events = 0 then 0.0 else float_of_int s.Proto.messages /. float_of_int events);
+    peak_queue = Engine.peak_pending engine;
+    sim_end_ms = sim_end;
+  }
+
+let run ~seed ~profile (p : params) =
+  (* Same topology derivation as the experiment engine's intra runs, so a
+     churn campaign on as3967 sees the same network fig5/6/7 measure. *)
+  let rng = Prng.create (seed + Hashtbl.hash profile.Isp.profile_name) in
+  let isp = Isp.generate rng profile in
+  let gateways = Array.of_list (Isp.edge_routers isp) in
+  run_graph ~seed ~name:profile.Isp.profile_name ~graph:isp.Isp.graph ~gateways p

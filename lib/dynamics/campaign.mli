@@ -1,0 +1,77 @@
+(** Churn lab: asynchronous churn-and-failure campaigns with steady-state
+    SLO metrics.
+
+    A campaign replays a {!Rofl_workload.Churn} trace — hosts joining,
+    leaving, moving and crashing on a Poisson schedule — through the
+    message-driven {!Rofl_proto.Proto} actor engine while an open-loop
+    lookup workload runs concurrently, then reports the steady-state
+    service-level numbers the paper's one-shot experiments cannot see:
+    lookup success rate and latency percentiles, stale-successor window
+    durations, time to reconvergence once the trace drains, and
+    control-message overhead per category.
+
+    Determinism: a campaign is a pure function of (seed, graph, params).
+    Every random stream is derived from the seed by purpose, all draws
+    happen either in the planning phase (trace order) or inside engine
+    events (engine order), and nothing is shared across campaigns — so grids
+    of campaigns can fan over {!Rofl_util.Pool} with byte-identical results
+    at any jobs setting. *)
+
+type params = {
+  horizon_ms : float;           (** churn + lookups run for this long *)
+  arrival_rate_per_s : float;   (** Poisson session arrival rate *)
+  mean_lifetime_s : float;      (** exponential session lifetime *)
+  move_fraction : float;        (** departures that relocate *)
+  crash_fraction : float;       (** departures that die silently *)
+  lookup_rate_per_s : float;    (** open-loop lookup launch rate (0 = none) *)
+  lookup_warmup_ms : float;     (** only target sessions at least this old *)
+  drain_max_ms : float;         (** post-horizon budget to reconverge *)
+  proto_cfg : Rofl_proto.Proto.config;
+}
+
+val default_params : params
+(** 20 s horizon, 1 arrival/s with 10 s mean lifetime (10% moves, 20%
+    crashes), 10 lookups/s after a 1 s warmup, 30 s drain budget, protocol
+    defaults. *)
+
+type report = {
+  name : string;
+  params : params;
+  joins : int;                (** joins completed by the protocol *)
+  leaves : int;
+  moves : int;
+  crashes : int;
+  join_failures : int;
+  lookups : int;              (** lookups resolved (success or failure) *)
+  lookups_ok : int;
+  success_rate : float;       (** 1.0 when no lookup was launched *)
+  lat_p50_ms : float;         (** percentiles over successful lookups *)
+  lat_p95_ms : float;
+  lat_p99_ms : float;
+  stale_count : int;          (** repaired stale-successor windows *)
+  stale_p95_ms : float;
+  stale_unrepaired : int;     (** windows still open at campaign end *)
+  reconverged : bool;         (** ring converged within the drain budget *)
+  reconverge_ms : float;      (** last churn event -> convergence; NaN if not *)
+  failovers : int;
+  rpc_timeouts : int;
+  ctrl_msgs : (string * int) list; (** per-category link traversals, sorted *)
+  total_msgs : int;
+  msgs_per_event : float;     (** total messages per churn-trace event *)
+  peak_queue : int;           (** event-queue high-water mark *)
+  sim_end_ms : float;
+}
+
+val run_graph :
+  seed:int ->
+  name:string ->
+  graph:Rofl_topology.Graph.t ->
+  gateways:int array ->
+  params ->
+  report
+(** Run one campaign on an arbitrary topology; joins, moves and lookup
+    origins are placed on [gateways] (must be non-empty). *)
+
+val run : seed:int -> profile:Rofl_topology.Isp.profile -> params -> report
+(** Campaign on a generated ISP topology (same derivation as the experiment
+    engine), with hosts attached at its access routers. *)

@@ -1,0 +1,122 @@
+module Table = Rofl_util.Table
+module Isp = Rofl_topology.Isp
+module Proto = Rofl_proto.Proto
+module Campaign = Rofl_dynamics.Campaign
+
+(* One campaign per grid cell; every cell is fully independent (own engine,
+   own topology, own derived streams), so the whole grid fans over the
+   domain pool with byte-identical tables at any --jobs setting. *)
+
+let params_of (scale : Common.scale) ~lifetime_s ~period_ms =
+  {
+    Campaign.default_params with
+    Campaign.horizon_ms = scale.Common.churn_horizon_ms;
+    arrival_rate_per_s = scale.Common.churn_arrival_per_s;
+    mean_lifetime_s = lifetime_s;
+    move_fraction = 0.2;
+    crash_fraction = 0.2;
+    lookup_rate_per_s = scale.Common.churn_lookup_per_s;
+    proto_cfg = { Proto.default_config with Proto.stabilize_period_ms = period_ms };
+  }
+
+let metric_columns =
+  [
+    "J/L/M/C";
+    "jfail";
+    "lookups";
+    "ok [%]";
+    "p50 [ms]";
+    "p95 [ms]";
+    "p99 [ms]";
+    "stale p95 [ms]";
+    "reconv [ms]";
+    "converged?";
+    "failovers";
+    "timeouts";
+    "ctrl [msg/s]";
+    "peakQ";
+  ]
+
+let metric_cells (r : Campaign.report) =
+  let f1 = Printf.sprintf "%.1f" in
+  [
+    Printf.sprintf "%d/%d/%d/%d" r.Campaign.joins r.Campaign.leaves r.Campaign.moves
+      r.Campaign.crashes;
+    string_of_int r.Campaign.join_failures;
+    string_of_int r.Campaign.lookups;
+    Printf.sprintf "%.2f" (100.0 *. r.Campaign.success_rate);
+    f1 r.Campaign.lat_p50_ms;
+    f1 r.Campaign.lat_p95_ms;
+    f1 r.Campaign.lat_p99_ms;
+    f1 r.Campaign.stale_p95_ms;
+    (if Float.is_nan r.Campaign.reconverge_ms then "-" else f1 r.Campaign.reconverge_ms);
+    (if r.Campaign.reconverged then "yes" else "NO");
+    string_of_int r.Campaign.failovers;
+    string_of_int r.Campaign.rpc_timeouts;
+    (* Maintenance traffic scales with population and time, not with churn
+       events, so the rate is the comparable overhead number. *)
+    Printf.sprintf "%.0f"
+      (float_of_int r.Campaign.total_msgs /. (r.Campaign.sim_end_ms /. 1000.0));
+    string_of_int r.Campaign.peak_queue;
+  ]
+
+let churn (scale : Common.scale) =
+  let default_period = Proto.default_config.Proto.stabilize_period_ms in
+  let sweep_profile = List.hd scale.Common.isps in
+  let sweep_lifetime =
+    List.fold_left Float.min Float.infinity scale.Common.churn_lifetimes_s
+  in
+  let grid =
+    List.concat_map
+      (fun profile ->
+        List.map (fun lt -> `Grid (profile, lt)) scale.Common.churn_lifetimes_s)
+      scale.Common.isps
+  in
+  let sweep = List.map (fun period -> `Sweep period) scale.Common.churn_periods_ms in
+  let reports =
+    Common.parallel_map
+      (fun cell ->
+        match cell with
+        | `Grid (profile, lifetime_s) ->
+          Campaign.run ~seed:scale.Common.seed ~profile
+            (params_of scale ~lifetime_s ~period_ms:default_period)
+        | `Sweep period_ms ->
+          Campaign.run ~seed:scale.Common.seed ~profile:sweep_profile
+            (params_of scale ~lifetime_s:sweep_lifetime ~period_ms))
+      (grid @ sweep)
+  in
+  let n_grid = List.length grid in
+  let grid_reports = List.filteri (fun i _ -> i < n_grid) reports in
+  let sweep_reports = List.filteri (fun i _ -> i >= n_grid) reports in
+  let t1 =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Churn lab: steady-state SLOs vs churn rate (%.0f s horizon, %.0f \
+            arrivals/s, %.0f lookups/s, stabilise every %.0f ms)"
+           (scale.Common.churn_horizon_ms /. 1000.0)
+           scale.Common.churn_arrival_per_s scale.Common.churn_lookup_per_s
+           default_period)
+      ~columns:("ISP" :: "lifetime [s]" :: metric_columns)
+  in
+  List.iter2
+    (fun cell r ->
+      match cell with
+      | `Grid (profile, lt) ->
+        Table.add_row t1
+          (profile.Isp.profile_name :: Printf.sprintf "%g" lt :: metric_cells r)
+      | `Sweep _ -> ())
+    grid grid_reports;
+  let t2 =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Churn lab: stabilisation-period sweep at the highest churn rate (%s, \
+            %g s mean lifetime)"
+           sweep_profile.Isp.profile_name sweep_lifetime)
+      ~columns:("period [ms]" :: metric_columns)
+  in
+  List.iter2
+    (fun period r -> Table.add_row t2 (Printf.sprintf "%g" period :: metric_cells r))
+    scale.Common.churn_periods_ms sweep_reports;
+  [ t1; t2 ]

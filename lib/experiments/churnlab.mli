@@ -1,0 +1,17 @@
+(** Churn lab tables: steady-state SLOs under continuous churn.
+
+    Two tables from {!Rofl_dynamics.Campaign} runs:
+
+    - SLOs per (ISP × churn rate): lookup success rate and latency
+      percentiles, stale-successor windows, reconvergence time, failovers,
+      RPC timeouts, control overhead per churn-trace event and event-queue
+      high-water mark, with churn rate expressed as mean session lifetime
+      (shorter = harsher) at the default stabilisation period.
+    - A stabilisation-period sweep on the first ISP at the highest churn
+      rate — the knee where ring maintenance stops keeping up with
+      departures.
+
+    Every grid cell is an independent campaign fanned over the domain pool;
+    tables are byte-identical at any [--jobs] setting. *)
+
+val churn : Common.scale -> Rofl_util.Table.t list

@@ -23,6 +23,11 @@ type scale = {
   cache_grid : int list;
   inter_cache_grid : int list;
   finger_grid : int list;
+  churn_horizon_ms : float;
+  churn_arrival_per_s : float;
+  churn_lookup_per_s : float;
+  churn_lifetimes_s : float list;
+  churn_periods_ms : float list;
 }
 
 let full =
@@ -38,6 +43,11 @@ let full =
     cache_grid = [ 0; 16; 64; 256; 1024; 4096; 16384; 65536 ];
     inter_cache_grid = [ 0; 8; 32; 128; 512; 2048 ];
     finger_grid = [ 60; 160; 280 ];
+    churn_horizon_ms = 30_000.0;
+    churn_arrival_per_s = 4.0;
+    churn_lookup_per_s = 20.0;
+    churn_lifetimes_s = [ 60.0; 20.0; 5.0; 2.0 ];
+    churn_periods_ms = [ 25.0; 50.0; 100.0; 200.0; 400.0; 800.0 ];
   }
 
 let quick =
@@ -53,6 +63,11 @@ let quick =
     cache_grid = [ 0; 32; 256; 2048 ];
     inter_cache_grid = [ 0; 32; 256 ];
     finger_grid = [ 60; 160 ];
+    churn_horizon_ms = 8_000.0;
+    churn_arrival_per_s = 2.0;
+    churn_lookup_per_s = 10.0;
+    churn_lifetimes_s = [ 30.0; 5.0; 1.5 ];
+    churn_periods_ms = [ 50.0; 200.0; 800.0 ];
   }
 
 (* -- parallel engine ----------------------------------------------------

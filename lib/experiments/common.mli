@@ -17,6 +17,13 @@ type scale = {
   cache_grid : int list;   (** Fig. 6a x-axis: pointer-cache entries/router *)
   inter_cache_grid : int list; (** Fig. 8c x-axis: entries/AS *)
   finger_grid : int list;  (** Fig. 8b finger budgets *)
+  churn_horizon_ms : float;     (** churn-lab campaign horizon *)
+  churn_arrival_per_s : float;  (** churn-lab session arrival rate *)
+  churn_lookup_per_s : float;   (** churn-lab open-loop lookup rate *)
+  churn_lifetimes_s : float list;
+  (** churn-rate axis: mean session lifetimes, high to low *)
+  churn_periods_ms : float list;
+  (** stabilisation periods swept at the highest churn rate *)
 }
 
 val full : scale

@@ -1,14 +1,22 @@
 module Heap = Rofl_util.Heap
 
-type t = { mutable clock : float; queue : (unit -> unit) Heap.t }
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Heap.t;
+  mutable peak : int;
+  mutable scheduled : int;
+}
 
-let create () = { clock = 0.0; queue = Heap.create () }
+let create () = { clock = 0.0; queue = Heap.create (); peak = 0; scheduled = 0 }
 
 let now t = t.clock
 
 let schedule_at t ~time_ms f =
   if time_ms < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.push t.queue time_ms f
+  Heap.push t.queue time_ms f;
+  t.scheduled <- t.scheduled + 1;
+  let depth = Heap.length t.queue in
+  if depth > t.peak then t.peak <- depth
 
 let schedule t ~delay_ms f =
   if delay_ms < 0.0 then invalid_arg "Engine.schedule: negative delay";
@@ -40,5 +48,9 @@ let run_until t horizon =
   loop ()
 
 let pending t = Heap.length t.queue
+
+let peak_pending t = t.peak
+
+let scheduled_total t = t.scheduled
 
 let clear t = Heap.clear t.queue

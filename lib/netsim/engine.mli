@@ -31,5 +31,15 @@ val run_until : t -> float -> unit
 (** Execute events with time <= the horizon; pending later events remain. *)
 
 val pending : t -> int
+(** In-flight events: scheduled but not yet executed. *)
+
+val peak_pending : t -> int
+(** High-water mark of the event queue over the engine's lifetime — the
+    overload signal a churn campaign watches (a queue that only grows means
+    stabilisation is falling behind the event rate).  Not reset by
+    {!clear}. *)
+
+val scheduled_total : t -> int
+(** Cumulative number of events ever scheduled (executed or pending). *)
 
 val clear : t -> unit

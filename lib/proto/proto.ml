@@ -3,29 +3,125 @@ module Prng = Rofl_util.Prng
 module Graph = Rofl_topology.Graph
 module Linkstate = Rofl_linkstate.Linkstate
 module Engine = Rofl_netsim.Engine
+module Metrics = Rofl_netsim.Metrics
 
 type pointer = Id.t * int (* identifier, hosting router *)
 
 type resident = {
   rid : Id.t;
   mutable succ : pointer option;
+  mutable succ_list : pointer list; (* backups past succ, nearest first *)
   mutable pred : pointer option;
+  mutable pred_heard_ms : float;    (* last sign of life from pred *)
+  mutable probe_inflight : bool;    (* a stabilisation RPC is outstanding *)
 }
 
 type node = { router : int; mutable residents : resident list }
+
+type config = {
+  stabilize_period_ms : float;
+  succ_list_len : int;
+  rpc_timeout_ms : float;
+  rpc_retries : int;
+  rpc_backoff : float;
+  pred_timeout_ms : float;
+  join_timeout_ms : float;
+  join_retries : int;
+  lookup_timeout_ms : float;
+  lookup_retries : int;
+  stuck_wait_ms : float;
+  stuck_wait_limit : int;
+}
+
+let default_config =
+  {
+    stabilize_period_ms = 50.0;
+    succ_list_len = 4;
+    rpc_timeout_ms = 100.0;
+    rpc_retries = 2;
+    rpc_backoff = 2.0;
+    pred_timeout_ms = 600.0;
+    join_timeout_ms = 400.0;
+    join_retries = 4;
+    lookup_timeout_ms = 300.0;
+    lookup_retries = 3;
+    stuck_wait_ms = 5.0;
+    stuck_wait_limit = 3;
+  }
 
 type message =
   | Join_req of {
       joining : Id.t;
       gateway : int;
       chasing : pointer option; (** the candidate this request is committed to *)
+      avoid : Id.t list;        (** candidates found dead by this request *)
+      waited : int;             (** consecutive waits for a mid-join candidate *)
     }
-  | Join_resp of { joining : Id.t; pred : pointer; succ : pointer option }
-  | Get_pred of { asker : Id.t; asker_router : int; target : Id.t }
-  | Pred_info of { of_id : Id.t; pred : pointer option; to_id : Id.t }
+  | Join_resp of {
+      joining : Id.t;
+      pred : pointer;
+      succ : pointer option;
+      succ_list : pointer list;
+    }
+  | Get_pred of { asker : Id.t; asker_router : int; target : Id.t; token : int }
+  | Pred_info of {
+      of_id : Id.t;
+      pred : pointer option;
+      succ_list : pointer list; (* the probed member's own succ :: backups *)
+      to_id : Id.t;
+      token : int;
+    }
   | Notify of { candidate : Id.t; candidate_router : int; target : Id.t }
+  | Leave_pred of {
+      departing : Id.t;
+      to_id : Id.t;
+      new_succ : pointer option;
+      new_succ_list : pointer list;
+    }
+  | Leave_succ of { departing : Id.t; to_id : Id.t; new_pred : pointer option }
+  | Lookup_req of {
+      target : Id.t;
+      origin : int;
+      token : int;
+      chasing : pointer option;
+      avoid : Id.t list;
+      waited : int;
+    }
+  | Lookup_resp of { token : int; owner : pointer option }
 
-type stats = { messages : int; joins_completed : int; stabilize_rounds : int }
+type stats = {
+  messages : int;
+  joins_completed : int;
+  stabilize_rounds : int;
+  joins_failed : int;
+  leaves_completed : int;
+  moves_completed : int;
+  crashes : int;
+  failovers : int;
+  rpc_timeouts : int;
+  join_retries : int;
+  lookup_retries : int;
+}
+
+type lookup_outcome = {
+  target : Id.t;
+  issued_ms : float;
+  completed_ms : float;
+  ok : bool;
+  attempts : int;
+}
+
+type join_state = { gateway : int; mutable join_attempts : int; mutable completed : bool }
+
+type lookup_state = {
+  origin : int;
+  lk_target : Id.t;
+  lk_issued : float;
+  mutable lk_attempts : int;
+  mutable lk_token : int;
+  mutable finished : bool;
+  cb : lookup_outcome -> unit;
+}
 
 type t = {
   graph : Graph.t;
@@ -33,10 +129,31 @@ type t = {
   engine : Engine.t;
   rng : Prng.t;
   nodes : node array;
-  stabilize_period_ms : float;
+  cfg : config;
+  metrics : Metrics.t;
+  (* Residency oracle: id -> hosting router.  Used for instrumentation and
+     membership queries only — protocol decisions (failover, retries) rely
+     exclusively on timeouts and local state. *)
+  where : (Id.t, int) Hashtbl.t;
+  probes : (int, unit) Hashtbl.t; (* outstanding stabilisation RPC tokens *)
+  joins : (Id.t, join_state) Hashtbl.t;
+  lookups : (int, lookup_state) Hashtbl.t;
+  stale_marks : (Id.t, float) Hashtbl.t; (* holder rid -> stale since *)
+  mutable stale_windows : float list;
+  mutable next_token : int;
+  mutable stab_on : bool;
   mutable msg_count : int;
   mutable joins_done : int;
+  mutable joins_failed : int;
   mutable rounds : int;
+  mutable leaves_done : int;
+  mutable moves_done : int;
+  mutable crashes_done : int;
+  mutable failovers : int;
+  mutable rpc_timeouts : int;
+  mutable join_retries_total : int;
+  mutable lookup_retries_total : int;
+  mutable lookups_open : int;
 }
 
 (* Deterministic, well-spread default identifier per router.  A seeded PRNG
@@ -45,11 +162,24 @@ let router_label i =
   let g = Prng.create (0x5EED + i) in
   Id.random g
 
-let create ~rng ?(stabilize_period_ms = 50.0) graph =
+let create ~rng ?(cfg = default_config) graph =
   let n = Graph.n graph in
   let nodes =
     Array.init n (fun router ->
-        { router; residents = [ { rid = router_label router; succ = None; pred = None } ] })
+        {
+          router;
+          residents =
+            [
+              {
+                rid = router_label router;
+                succ = None;
+                succ_list = [];
+                pred = None;
+                pred_heard_ms = 0.0;
+                probe_inflight = false;
+              };
+            ];
+        })
   in
   let t =
     {
@@ -58,10 +188,28 @@ let create ~rng ?(stabilize_period_ms = 50.0) graph =
       engine = Engine.create ();
       rng;
       nodes;
-      stabilize_period_ms;
+      cfg;
+      metrics = Metrics.create ~routers:n;
+      where = Hashtbl.create (2 * n);
+      probes = Hashtbl.create 64;
+      joins = Hashtbl.create 16;
+      lookups = Hashtbl.create 16;
+      stale_marks = Hashtbl.create 16;
+      stale_windows = [];
+      next_token = 0;
+      stab_on = false;
       msg_count = 0;
       joins_done = 0;
+      joins_failed = 0;
       rounds = 0;
+      leaves_done = 0;
+      moves_done = 0;
+      crashes_done = 0;
+      failovers = 0;
+      rpc_timeouts = 0;
+      join_retries_total = 0;
+      lookup_retries_total = 0;
+      lookups_open = 0;
     }
   in
   (* Bootstrap shortcut: the router-ID ring is spliced locally at time zero
@@ -78,27 +226,105 @@ let create ~rng ?(stabilize_period_ms = 50.0) graph =
     (fun i (rid, router) ->
       let succ = arr.((i + 1) mod m) in
       let pred = arr.((i + m - 1) mod m) in
+      let backups =
+        List.init (min (cfg.succ_list_len - 1) (max 0 (m - 2))) (fun k ->
+            arr.((i + 2 + k) mod m))
+      in
       let nd = nodes.(router) in
       List.iter
         (fun r ->
           if Id.equal r.rid rid then begin
             r.succ <- Some succ;
+            r.succ_list <- backups;
             r.pred <- Some pred
           end)
-        nd.residents)
+        nd.residents;
+      Hashtbl.replace t.where rid router)
     arr;
   t
+
+let engine t = t.engine
+
+let metrics t = t.metrics
+
+let config t = t.cfg
+
+let lookups_outstanding t = t.lookups_open
+
+let fresh_token t =
+  let tok = t.next_token in
+  t.next_token <- tok + 1;
+  tok
 
 let find_resident t router rid =
   List.find_opt (fun r -> Id.equal r.rid rid) t.nodes.(router).residents
 
+let is_member t rid = Hashtbl.mem t.where rid
+
+(* ---- stale-successor window instrumentation (oracle-side, not protocol) *)
+
+(* A holder whose successor pointer names a departed identifier is "stale"
+   from the departure until the pointer is repointed at a live identifier. *)
+let mark_stale t departed =
+  let now = Engine.now t.engine in
+  Array.iter
+    (fun nd ->
+      List.iter
+        (fun r ->
+          match r.succ with
+          | Some (sid, _) when Id.equal sid departed ->
+            if not (Hashtbl.mem t.stale_marks r.rid) then
+              Hashtbl.add t.stale_marks r.rid now
+          | Some _ | None -> ())
+        nd.residents)
+    t.nodes
+
+let set_succ t r ptr =
+  (match ptr with
+   | Some (nid, _) when Hashtbl.mem t.stale_marks r.rid && Hashtbl.mem t.where nid ->
+     let start = Hashtbl.find t.stale_marks r.rid in
+     t.stale_windows <- (Engine.now t.engine -. start) :: t.stale_windows;
+     Hashtbl.remove t.stale_marks r.rid
+   | Some _ | None -> ());
+  r.succ <- ptr
+
+let stale_windows t = List.rev t.stale_windows
+
+let stale_open t = Hashtbl.length t.stale_marks
+
+(* ---- message transport ------------------------------------------------- *)
+
+let truncate_list n xs =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n xs
+
+(* Deliver a message to a router after traversing the physical path there,
+   charging one message per link under [cat]. *)
+let send_direct t ~cat ~from ~dest msg handle =
+  match Linkstate.path t.ls from dest with
+  | None -> ()
+  | Some hops ->
+    let links = List.length hops - 1 in
+    t.msg_count <- t.msg_count + max links 0;
+    Metrics.incr t.metrics cat (max links 0);
+    let latency =
+      let rec go acc = function
+        | a :: (b :: _ as rest) -> go (acc +. Graph.latency t.graph a b) rest
+        | [ _ ] | [] -> acc
+      in
+      go 0.0 hops
+    in
+    Engine.schedule t.engine ~delay_ms:latency (fun () -> handle msg)
+
 (* Best local knowledge at a router for a target: closest identifier (its
    own residents and their successor pointers) not past the target. *)
-let best_candidate t router ~target ?(exclude = None) () =
+let best_candidate t router ~target ?(exclude = []) () =
   let best = ref None in
   let consider id where =
-    let skip = match exclude with Some e -> Id.equal e id | None -> false in
-    if not skip then begin
+    if not (List.exists (Id.equal id) exclude) then begin
       let d = Id.distance id target in
       match !best with
       | Some (bd, _, _) when Id.compare d bd >= 0 -> ()
@@ -114,51 +340,59 @@ let best_candidate t router ~target ?(exclude = None) () =
     t.nodes.(router).residents;
   !best
 
-(* Deliver a message to a router after traversing the physical path there,
-   charging one message per link. *)
-let send_direct t ~from ~dest msg handle =
-  match Linkstate.path t.ls from dest with
-  | None -> ()
-  | Some hops ->
-    let links = List.length hops - 1 in
-    t.msg_count <- t.msg_count + max links 0;
-    let latency =
-      let rec go acc = function
-        | a :: (b :: _ as rest) -> go (acc +. Graph.latency t.graph a b) rest
-        | [ _ ] | [] -> acc
-      in
-      go 0.0 hops
-    in
-    Engine.schedule t.engine ~delay_ms:latency (fun () -> handle msg)
+(* ---- joins ------------------------------------------------------------- *)
 
 (* Greedy per-hop forwarding of a join request.  Each router re-evaluates on
    receipt (one link traversal per event) but the request stays committed to
    the closest candidate seen so far, so transit routers with worse local
-   knowledge cannot make it oscillate. *)
+   knowledge cannot make it oscillate.  Candidates that stay absent past the
+   wait budget (crashed mid-chase) are added to [avoid] and the chase
+   restarts without them; the gateway-side join timer is the backstop. *)
 let rec forward_join t ~at (m : message) =
   match m with
-  | Join_req { joining; gateway; chasing } ->
-    let local = best_candidate t at ~target:joining ~exclude:(Some joining) () in
+  | Join_req { joining; gateway; chasing; avoid; waited } ->
+    let exclude = joining :: avoid in
+    let local = best_candidate t at ~target:joining ~exclude () in
     let chase_dist =
       match chasing with
       | Some (cid, _) -> Some (Id.distance cid joining)
       | None -> None
     in
     let improves d = match chase_dist with None -> true | Some cd -> Id.compare d cd < 0 in
+    let restart_without dead =
+      forward_join t ~at
+        (Join_req { joining; gateway; chasing = None; avoid = dead :: avoid; waited = 0 })
+    in
     let splice best_id =
       match find_resident t at best_id with
       | None ->
-        (* The candidate is mid-join: its resident state materialises when
-           its own Join_resp lands.  Wait and retry. *)
-        Engine.schedule t.engine ~delay_ms:5.0 (fun () ->
-            forward_join t ~at
-              (Join_req { joining; gateway; chasing = Some (best_id, at) }))
+        if waited < t.cfg.stuck_wait_limit then
+          (* The candidate may be mid-join: its resident state materialises
+             when its own Join_resp lands.  Wait briefly and retry. *)
+          Engine.schedule t.engine ~delay_ms:t.cfg.stuck_wait_ms (fun () ->
+              forward_join t ~at
+                (Join_req
+                   { joining; gateway; chasing = Some (best_id, at); avoid; waited = waited + 1 }))
+        else
+          (* Still absent: treat as dead and re-chase without it. *)
+          restart_without best_id
+      | Some r when (match r.succ with
+                     | Some (sid, _) -> Id.equal sid joining
+                     | None -> false) ->
+        (* A retried request re-spliced where the first one already did:
+           nothing to do — the gateway ignores duplicate responses, and a
+           genuinely lost response is covered by the join timer. *)
+        ()
       | Some r ->
         (* r is the closest known identifier: the predecessor.  Splice. *)
         let old_succ = r.succ in
-        r.succ <- Some (joining, gateway);
-        send_direct t ~from:at ~dest:gateway
-          (Join_resp { joining; pred = (r.rid, at); succ = old_succ })
+        let old_list = r.succ_list in
+        set_succ t r (Some (joining, gateway));
+        r.succ_list <-
+          truncate_list (t.cfg.succ_list_len - 1)
+            (match old_succ with Some s -> s :: old_list | None -> old_list);
+        send_direct t ~cat:"join" ~from:at ~dest:gateway
+          (Join_resp { joining; pred = (r.rid, at); succ = old_succ; succ_list = old_list })
           (handle t gateway)
     in
     let hop_towards dest m' =
@@ -166,6 +400,7 @@ let rec forward_join t ~at (m : message) =
       | None -> ()
       | Some hop ->
         t.msg_count <- t.msg_count + 1;
+        Metrics.incr t.metrics "join" 1;
         Engine.schedule t.engine
           ~delay_ms:(Graph.latency t.graph at hop)
           (fun () -> forward_join t ~at:hop m')
@@ -174,7 +409,7 @@ let rec forward_join t ~at (m : message) =
      | Some (d, best_id, `Here) when improves d -> splice best_id
      | Some (d, best_id, `Remote next_router) when improves d ->
        hop_towards next_router
-         (Join_req { joining; gateway; chasing = Some (best_id, next_router) })
+         (Join_req { joining; gateway; chasing = Some (best_id, next_router); avoid; waited })
      | Some _ | None ->
        (* Nothing better here: keep chasing the committed candidate. *)
        (match chasing with
@@ -183,49 +418,140 @@ let rec forward_join t ~at (m : message) =
           (* Arrived where the candidate lives: it is the predecessor. *)
           splice cid
         | None -> ()))
-  | Join_resp _ | Get_pred _ | Pred_info _ | Notify _ -> ()
+  | Join_resp _ | Get_pred _ | Pred_info _ | Notify _ | Leave_pred _ | Leave_succ _
+  | Lookup_req _ | Lookup_resp _ -> ()
+
+(* ---- lookups ----------------------------------------------------------- *)
+
+and forward_lookup t ~at (m : message) =
+  match m with
+  | Lookup_req { target; origin; token; chasing; avoid; waited } ->
+    let respond owner =
+      send_direct t ~cat:"lookup" ~from:at ~dest:origin (Lookup_resp { token; owner })
+        (handle t origin)
+    in
+    let local = best_candidate t at ~target ~exclude:avoid () in
+    let chase_dist =
+      match chasing with Some (cid, _) -> Some (Id.distance cid target) | None -> None
+    in
+    let improves d = match chase_dist with None -> true | Some cd -> Id.compare d cd < 0 in
+    let settle best_id =
+      match find_resident t at best_id with
+      | None ->
+        if waited < t.cfg.stuck_wait_limit then
+          Engine.schedule t.engine ~delay_ms:t.cfg.stuck_wait_ms (fun () ->
+              forward_lookup t ~at
+                (Lookup_req
+                   { target; origin; token; chasing = Some (best_id, at); avoid;
+                     waited = waited + 1 }))
+        else
+          (* Chased candidate is gone: re-route without it. *)
+          forward_lookup t ~at
+            (Lookup_req
+               { target; origin; token; chasing = None; avoid = best_id :: avoid; waited = 0 })
+      | Some r -> respond (Some (r.rid, at))
+    in
+    let hop_towards dest m' =
+      match Linkstate.next_hop t.ls at dest with
+      | None -> respond None
+      | Some hop ->
+        t.msg_count <- t.msg_count + 1;
+        Metrics.incr t.metrics "lookup" 1;
+        Engine.schedule t.engine
+          ~delay_ms:(Graph.latency t.graph at hop)
+          (fun () -> forward_lookup t ~at:hop m')
+    in
+    (match local with
+     | Some (d, best_id, `Here) when improves d -> settle best_id
+     | Some (d, best_id, `Remote next_router) when improves d ->
+       hop_towards next_router
+         (Lookup_req { target; origin; token; chasing = Some (best_id, next_router); avoid; waited })
+     | Some _ | None ->
+       (match chasing with
+        | Some (_, crouter) when crouter <> at -> hop_towards crouter m
+        | Some (cid, _) -> settle cid
+        | None -> respond None))
+  | _ -> ()
+
+(* ---- message dispatch -------------------------------------------------- *)
 
 and handle t at (m : message) =
   match m with
   | Join_req _ -> forward_join t ~at m
-  | Join_resp { joining; pred; succ } ->
-    (* The resident materialises only now, so a half-joined identifier is
-       never visible to concurrent lookups. *)
-    let r = { rid = joining; succ = None; pred = Some pred } in
-    t.nodes.(at).residents <- r :: t.nodes.(at).residents;
-    (match succ with
-     | Some (sid, srouter) ->
-       r.succ <- Some (sid, srouter);
-       (* Tell the successor about us. *)
-       send_direct t ~from:at ~dest:srouter
-         (Notify { candidate = joining; candidate_router = at; target = sid })
-         (handle t srouter)
-     | None -> r.succ <- Some pred);
-    t.joins_done <- t.joins_done + 1
-  | Get_pred { asker; asker_router; target } ->
+  | Lookup_req _ -> forward_lookup t ~at m
+  | Join_resp { joining; pred; succ; succ_list } ->
+    (match Hashtbl.find_opt t.joins joining with
+     | None -> () (* duplicate response from a retried or re-spliced request *)
+     | Some st ->
+       st.completed <- true;
+       Hashtbl.remove t.joins joining;
+       (* The resident materialises only now, so a half-joined identifier is
+          never visible to concurrent lookups. *)
+       let r =
+         {
+           rid = joining;
+           succ = None;
+           succ_list = truncate_list (t.cfg.succ_list_len - 1) succ_list;
+           pred = Some pred;
+           pred_heard_ms = Engine.now t.engine;
+           probe_inflight = false;
+         }
+       in
+       t.nodes.(at).residents <- r :: t.nodes.(at).residents;
+       Hashtbl.replace t.where joining at;
+       (match succ with
+        | Some (sid, srouter) ->
+          r.succ <- Some (sid, srouter);
+          (* Tell the successor about us. *)
+          send_direct t ~cat:"join" ~from:at ~dest:srouter
+            (Notify { candidate = joining; candidate_router = at; target = sid })
+            (handle t srouter)
+        | None -> r.succ <- Some pred);
+       t.joins_done <- t.joins_done + 1)
+  | Get_pred { asker; asker_router; target; token } ->
     (match find_resident t at target with
-     | None -> ()
+     | None -> () (* dead: the asker's probe timeout handles it *)
      | Some s ->
-       send_direct t ~from:at ~dest:asker_router
-         (Pred_info { of_id = target; pred = s.pred; to_id = asker })
+       (* A probe from our predecessor doubles as its liveness heartbeat. *)
+       (match s.pred with
+        | Some (pid, _) when Id.equal pid asker -> s.pred_heard_ms <- Engine.now t.engine
+        | Some _ | None -> ());
+       let succ_list =
+         match s.succ with Some sp -> sp :: s.succ_list | None -> s.succ_list
+       in
+       send_direct t ~cat:"stabilize" ~from:at ~dest:asker_router
+         (Pred_info { of_id = target; pred = s.pred; succ_list; to_id = asker; token })
          (handle t asker_router))
-  | Pred_info { of_id; pred; to_id } ->
+  | Pred_info { of_id; pred; succ_list; to_id; token } ->
+    Hashtbl.remove t.probes token;
     (match find_resident t at to_id with
      | None -> ()
      | Some r ->
+       r.probe_inflight <- false;
+       (* Adopt the successor's own successors as our backups. *)
+       (match r.succ with
+        | Some (sid, _) when Id.equal sid of_id ->
+          r.succ_list <-
+            truncate_list (t.cfg.succ_list_len - 1)
+              (List.filter
+                 (fun (i, _) -> not (Id.equal i r.rid) && not (Id.equal i sid))
+                 succ_list)
+        | Some _ | None -> ());
        (match (pred, r.succ) with
-        | Some (pid, prouter), Some (sid, _)
+        | Some (pid, prouter), Some ((sid, _) as old_succ)
           when Id.equal sid of_id && Id.between r.rid pid sid ->
           (* A closer successor surfaced between us and our successor. *)
-          r.succ <- Some (pid, prouter);
-          send_direct t ~from:at ~dest:prouter
+          set_succ t r (Some (pid, prouter));
+          r.succ_list <-
+            truncate_list (t.cfg.succ_list_len - 1) (old_succ :: r.succ_list);
+          send_direct t ~cat:"stabilize" ~from:at ~dest:prouter
             (Notify { candidate = r.rid; candidate_router = at; target = pid })
             (handle t prouter)
         | _ ->
           (* Confirmed: tell the successor we believe we are its pred. *)
           (match r.succ with
            | Some (sid, srouter) ->
-             send_direct t ~from:at ~dest:srouter
+             send_direct t ~cat:"stabilize" ~from:at ~dest:srouter
                (Notify { candidate = r.rid; candidate_router = at; target = sid })
                (handle t srouter)
            | None -> ())))
@@ -234,42 +560,344 @@ and handle t at (m : message) =
      | None -> ()
      | Some s ->
        (match s.pred with
+        | Some (pid, _) when Id.equal pid candidate ->
+          s.pred_heard_ms <- Engine.now t.engine
         | Some (pid, _) when not (Id.between pid candidate s.rid) -> ()
-        | Some _ | None -> s.pred <- Some (candidate, candidate_router)))
+        | Some _ | None ->
+          s.pred <- Some (candidate, candidate_router);
+          s.pred_heard_ms <- Engine.now t.engine))
+  | Leave_pred { departing; to_id; new_succ; new_succ_list } ->
+    (match find_resident t at to_id with
+     | None -> ()
+     | Some r ->
+       (match r.succ with
+        | Some (sid, _) when Id.equal sid departing ->
+          set_succ t r new_succ;
+          r.succ_list <- truncate_list (t.cfg.succ_list_len - 1) new_succ_list;
+          (* Introduce ourselves to the inherited successor right away. *)
+          (match new_succ with
+           | Some (nid, nrouter) when not (Id.equal nid r.rid) ->
+             send_direct t ~cat:"repair" ~from:at ~dest:nrouter
+               (Notify { candidate = r.rid; candidate_router = at; target = nid })
+               (handle t nrouter)
+           | Some _ | None -> ())
+        | Some _ | None ->
+          (* Our successor moved on already; just drop the departed identifier
+             from the backup list. *)
+          r.succ_list <- List.filter (fun (i, _) -> not (Id.equal i departing)) r.succ_list))
+  | Leave_succ { departing; to_id; new_pred } ->
+    (match find_resident t at to_id with
+     | None -> ()
+     | Some s ->
+       (match s.pred with
+        | Some (pid, _) when Id.equal pid departing ->
+          s.pred <- new_pred;
+          s.pred_heard_ms <- Engine.now t.engine
+        | Some _ | None -> ()))
+  | Lookup_resp { token; owner } ->
+    (match Hashtbl.find_opt t.lookups token with
+     | None -> () (* superseded attempt *)
+     | Some st ->
+       Hashtbl.remove t.lookups token;
+       if not st.finished then begin
+         let ok =
+           match owner with Some (oid, _) -> Id.equal oid st.lk_target | None -> false
+         in
+         if ok || st.lk_attempts > t.cfg.lookup_retries then finish_lookup t st ~ok
+         else begin
+           (* Wrong or missing owner: give stabilisation one period to repair
+              the pointers, then retry. *)
+           t.lookup_retries_total <- t.lookup_retries_total + 1;
+           Engine.schedule t.engine ~delay_ms:t.cfg.stabilize_period_ms (fun () ->
+               if not st.finished then start_lookup_attempt t st)
+         end
+       end)
+
+and finish_lookup t st ~ok =
+  st.finished <- true;
+  t.lookups_open <- t.lookups_open - 1;
+  st.cb
+    {
+      target = st.lk_target;
+      issued_ms = st.lk_issued;
+      completed_ms = Engine.now t.engine;
+      ok;
+      attempts = st.lk_attempts;
+    }
+
+and start_lookup_attempt t st =
+  st.lk_attempts <- st.lk_attempts + 1;
+  let token = fresh_token t in
+  st.lk_token <- token;
+  Hashtbl.replace t.lookups token st;
+  Engine.schedule t.engine ~delay_ms:0.0 (fun () ->
+      forward_lookup t ~at:st.origin
+        (Lookup_req
+           { target = st.lk_target; origin = st.origin; token; chasing = None; avoid = [];
+             waited = 0 }));
+  let timeout =
+    t.cfg.lookup_timeout_ms *. (t.cfg.rpc_backoff ** float_of_int (st.lk_attempts - 1))
+  in
+  Engine.schedule t.engine ~delay_ms:timeout (fun () ->
+      if (not st.finished) && st.lk_token = token && Hashtbl.mem t.lookups token then begin
+        Hashtbl.remove t.lookups token;
+        t.rpc_timeouts <- t.rpc_timeouts + 1;
+        if st.lk_attempts > t.cfg.lookup_retries then finish_lookup t st ~ok:false
+        else begin
+          t.lookup_retries_total <- t.lookup_retries_total + 1;
+          start_lookup_attempt t st
+        end
+      end)
+
+let lookup_async t ~from target cb =
+  let st =
+    {
+      origin = from;
+      lk_target = target;
+      lk_issued = Engine.now t.engine;
+      lk_attempts = 0;
+      lk_token = -1;
+      finished = false;
+      cb;
+    }
+  in
+  t.lookups_open <- t.lookups_open + 1;
+  start_lookup_attempt t st
+
+(* ---- join entry point with timeout/retry ------------------------------- *)
+
+let rec start_join_attempt t joining (st : join_state) =
+  st.join_attempts <- st.join_attempts + 1;
+  let attempt = st.join_attempts in
+  Engine.schedule t.engine ~delay_ms:0.0 (fun () ->
+      forward_join t ~at:st.gateway
+        (Join_req { joining; gateway = st.gateway; chasing = None; avoid = []; waited = 0 }));
+  let timeout =
+    t.cfg.join_timeout_ms *. (t.cfg.rpc_backoff ** float_of_int (attempt - 1))
+  in
+  Engine.schedule t.engine ~delay_ms:timeout (fun () ->
+      if (not st.completed) && st.join_attempts = attempt then begin
+        t.rpc_timeouts <- t.rpc_timeouts + 1;
+        if st.join_attempts > t.cfg.join_retries then begin
+          t.joins_failed <- t.joins_failed + 1;
+          Hashtbl.remove t.joins joining
+        end
+        else begin
+          t.join_retries_total <- t.join_retries_total + 1;
+          start_join_attempt t joining st
+        end
+      end)
 
 let join t ~gateway joining =
-  Engine.schedule t.engine ~delay_ms:0.0 (fun () ->
-      forward_join t ~at:gateway (Join_req { joining; gateway; chasing = None }))
+  if is_member t joining || Hashtbl.mem t.joins joining then ()
+  else begin
+    let st = { gateway; join_attempts = 0; completed = false } in
+    Hashtbl.add t.joins joining st;
+    start_join_attempt t joining st
+  end
+
+(* ---- departures -------------------------------------------------------- *)
+
+let remove_resident t router rid =
+  t.nodes.(router).residents <-
+    List.filter (fun r -> not (Id.equal r.rid rid)) t.nodes.(router).residents;
+  Hashtbl.remove t.where rid;
+  Hashtbl.remove t.stale_marks rid
+
+(* Graceful departure: hand succ/pred state to the neighbours, then vanish.
+   Returns false when the identifier is not resident anywhere. *)
+let depart t ~graceful rid =
+  match Hashtbl.find_opt t.where rid with
+  | None -> false
+  | Some router ->
+    (match find_resident t router rid with
+     | None -> false
+     | Some r ->
+       if graceful then begin
+         (match r.pred with
+          | Some (pid, prouter) when not (Id.equal pid rid) ->
+            send_direct t ~cat:"repair" ~from:router ~dest:prouter
+              (Leave_pred
+                 {
+                   departing = rid;
+                   to_id = pid;
+                   new_succ = r.succ;
+                   new_succ_list = r.succ_list;
+                 })
+              (handle t prouter)
+          | Some _ | None -> ());
+         (match r.succ with
+          | Some (sid, srouter) when not (Id.equal sid rid) ->
+            send_direct t ~cat:"repair" ~from:router ~dest:srouter
+              (Leave_succ { departing = rid; to_id = sid; new_pred = r.pred })
+              (handle t srouter)
+          | Some _ | None -> ())
+       end;
+       remove_resident t router rid;
+       (* Whoever still points at rid is stale from this instant. *)
+       mark_stale t rid;
+       true)
+
+let leave t rid =
+  let ok = depart t ~graceful:true rid in
+  if ok then t.leaves_done <- t.leaves_done + 1;
+  ok
+
+let crash t rid =
+  let ok = depart t ~graceful:false rid in
+  if ok then t.crashes_done <- t.crashes_done + 1;
+  ok
+
+let move t ~new_gateway rid =
+  let ok = depart t ~graceful:true rid in
+  if ok then begin
+    t.moves_done <- t.moves_done + 1;
+    let st = { gateway = new_gateway; join_attempts = 0; completed = false } in
+    Hashtbl.replace t.joins rid st;
+    start_join_attempt t rid st
+  end;
+  ok
+
+(* ---- stabilisation ----------------------------------------------------- *)
+
+(* One probe of [r]'s successor, with timeout/retry/backoff; when every retry
+   times out the successor is declared dead and the first live backup is
+   promoted (Chord successor-list failover). *)
+let rec send_probe t nd r (sid, srouter) attempt =
+  let token = fresh_token t in
+  Hashtbl.replace t.probes token ();
+  send_direct t ~cat:"stabilize" ~from:nd.router ~dest:srouter
+    (Get_pred { asker = r.rid; asker_router = nd.router; target = sid; token })
+    (handle t srouter);
+  let timeout =
+    t.cfg.rpc_timeout_ms *. (t.cfg.rpc_backoff ** float_of_int (attempt - 1))
+  in
+  Engine.schedule t.engine ~delay_ms:timeout (fun () ->
+      if Hashtbl.mem t.probes token then begin
+        Hashtbl.remove t.probes token;
+        t.rpc_timeouts <- t.rpc_timeouts + 1;
+        (* Only act if the pointer is unchanged and we are still resident. *)
+        let still_resident =
+          match Hashtbl.find_opt t.where r.rid with
+          | Some router -> router = nd.router
+          | None -> false
+        in
+        match r.succ with
+        | Some (sid', srouter') when still_resident && Id.equal sid' sid && srouter' = srouter ->
+          if attempt <= t.cfg.rpc_retries then send_probe t nd r (sid, srouter) (attempt + 1)
+          else begin
+            r.probe_inflight <- false;
+            failover t nd r sid
+          end
+        | Some _ | None -> r.probe_inflight <- false
+      end)
+
+(* The successor is unresponsive: drop it and promote the next backup.  With
+   an exhausted backup list, fall back on the local router's default
+   identifier — always alive — and let stabilisation walk the pointer back
+   into place. *)
+and failover t nd r dead =
+  t.failovers <- t.failovers + 1;
+  let backups = List.filter (fun (i, _) -> not (Id.equal i dead)) r.succ_list in
+  (match backups with
+   | (nid, nrouter) :: rest ->
+     set_succ t r (Some (nid, nrouter));
+     r.succ_list <- rest;
+     send_direct t ~cat:"repair" ~from:nd.router ~dest:nrouter
+       (Notify { candidate = r.rid; candidate_router = nd.router; target = nid })
+       (handle t nrouter)
+   | [] ->
+     let anchor = router_label nd.router in
+     if Id.equal anchor r.rid then set_succ t r r.pred
+     else begin
+       set_succ t r (Some (anchor, nd.router));
+       r.succ_list <- []
+     end)
+
+(* A backup strictly closer (clockwise) than the successor itself means the
+   ring went "loopy": concurrent splices and handoffs left a consistent
+   cycle that visits members out of identifier order, and pairwise
+   stabilisation alone cannot repair that — every wrong succ/pred pair is
+   mutually confirmed (Chord's loopy-network problem).  The successor list
+   is both the evidence and the repair: promote the closest entry and let
+   Notify/rectify re-marry the neighbours. *)
+let untwist t nd r =
+  match r.succ with
+  | None -> ()
+  | Some ((sid, _) as old_succ) ->
+    let d_succ = Id.distance r.rid sid in
+    let closer =
+      List.filter
+        (fun (bid, _) ->
+          (not (Id.equal bid r.rid)) && Id.compare (Id.distance r.rid bid) d_succ < 0)
+        r.succ_list
+    in
+    (match closer with
+     | [] -> ()
+     | first :: rest ->
+       let (bid, brouter) =
+         List.fold_left
+           (fun (ai, ar) (bi, br) ->
+             if Id.compare (Id.distance r.rid bi) (Id.distance r.rid ai) < 0 then (bi, br)
+             else (ai, ar))
+           first rest
+       in
+       set_succ t r (Some (bid, brouter));
+       r.succ_list <-
+         truncate_list (t.cfg.succ_list_len - 1)
+           (List.filter (fun (i, _) -> not (Id.equal i bid)) r.succ_list @ [ old_succ ]);
+       send_direct t ~cat:"repair" ~from:nd.router ~dest:brouter
+         (Notify { candidate = r.rid; candidate_router = nd.router; target = bid })
+         (handle t brouter))
 
 let stabilize_round t =
   t.rounds <- t.rounds + 1;
+  let now = Engine.now t.engine in
   Array.iter
     (fun nd ->
       List.iter
         (fun r ->
+          (* Expire a silent predecessor so a live Notify can replace it. *)
+          (match r.pred with
+           | Some (pid, _)
+             when (not (Id.equal pid r.rid))
+                  && now -. r.pred_heard_ms > t.cfg.pred_timeout_ms -> r.pred <- None
+           | Some _ | None -> ());
+          untwist t nd r;
           match r.succ with
-          | Some (sid, srouter) when not (Id.equal sid r.rid) ->
-            send_direct t ~from:nd.router ~dest:srouter
-              (Get_pred { asker = r.rid; asker_router = nd.router; target = sid })
-              (handle t srouter)
+          | Some (sid, srouter) when (not (Id.equal sid r.rid)) && not r.probe_inflight ->
+            r.probe_inflight <- true;
+            send_probe t nd r (sid, srouter) 1
           | Some _ | None -> ())
         nd.residents)
     t.nodes
 
+let start_stabilizer t =
+  if not t.stab_on then begin
+    t.stab_on <- true;
+    let rec tick () =
+      if t.stab_on then begin
+        stabilize_round t;
+        Engine.schedule t.engine ~delay_ms:t.cfg.stabilize_period_ms tick
+      end
+    in
+    Engine.schedule t.engine ~delay_ms:t.cfg.stabilize_period_ms tick
+  end
+
+let stop_stabilizer t = t.stab_on <- false
+
 let run_for t budget_ms = Engine.run_until t.engine (Engine.now t.engine +. budget_ms)
 
 let members t =
-  Array.to_list t.nodes
-  |> List.concat_map (fun nd -> List.map (fun r -> r.rid) nd.residents)
-  |> List.sort Id.compare
+  Hashtbl.fold (fun rid _ acc -> rid :: acc) t.where [] |> List.sort Id.compare
 
 let successor_of t rid =
-  let found = ref None in
-  Array.iter
-    (fun nd ->
-      List.iter (fun r -> if Id.equal r.rid rid then found := r.succ) nd.residents)
-    t.nodes;
-  Option.map fst !found
+  match Hashtbl.find_opt t.where rid with
+  | None -> None
+  | Some router ->
+    (match find_resident t router rid with
+     | Some r -> Option.map fst r.succ
+     | None -> None)
 
 let ring_converged t =
   let ms = Array.of_list (members t) in
@@ -293,7 +921,7 @@ let run_until_quiescent t ~max_ms =
   let rec go () =
     if Engine.now t.engine >= deadline then Engine.now t.engine -. start
     else begin
-      run_for t t.stabilize_period_ms;
+      run_for t t.cfg.stabilize_period_ms;
       if Engine.pending t.engine = 0 && ring_converged t then
         Engine.now t.engine -. start
       else begin
@@ -305,7 +933,19 @@ let run_until_quiescent t ~max_ms =
   go ()
 
 let stats t =
-  { messages = t.msg_count; joins_completed = t.joins_done; stabilize_rounds = t.rounds }
+  {
+    messages = t.msg_count;
+    joins_completed = t.joins_done;
+    stabilize_rounds = t.rounds;
+    joins_failed = t.joins_failed;
+    leaves_completed = t.leaves_done;
+    moves_completed = t.moves_done;
+    crashes = t.crashes_done;
+    failovers = t.failovers;
+    rpc_timeouts = t.rpc_timeouts;
+    join_retries = t.join_retries_total;
+    lookup_retries = t.lookup_retries_total;
+  }
 
 let lookup_owner t ~from target =
   let rec walk router best_dist guard =

@@ -1,47 +1,139 @@
-(** Message-driven intradomain ROFL.
+(** Message-driven intradomain ROFL with full host dynamics.
 
     The main simulation ({!Rofl_intra.Network}) executes protocol steps
     synchronously and charges the messages they would send.  This module is
-    the cross-check: a fully asynchronous implementation where routers are
-    actors that ONLY exchange messages through the discrete-event engine —
-    every join request, join reply, successor notification and stabilisation
-    probe is a scheduled message that travels the physical topology hop by
-    hop with per-link latency.  Nothing consults global state; each router
-    acts on its local table and what arrives.
+    the cross-check and the churn lab's substrate: a fully asynchronous
+    implementation where routers are actors that ONLY exchange messages
+    through the discrete-event engine — every join request, join reply,
+    successor notification, stabilisation probe, leave handoff and lookup is
+    a scheduled message that travels the physical topology hop by hop with
+    per-link latency.  Protocol decisions consult nothing global; each
+    router acts on its local table and what arrives (a residency oracle
+    exists, but only for instrumentation and membership queries).
 
     Ring maintenance is Chord-style: a join locates its predecessor by
     greedy per-hop forwarding, splices, and periodic stabilisation
     ([Get_pred] / [Notify]) repairs any races between concurrent joins.
-    The test suite drives identical workloads through this engine and the
-    synchronous one and requires both to converge to the same ring. *)
+    Beyond joins, hosts can {!leave} gracefully (succ/pred state handed to
+    the neighbours), {!move} (leave + rejoin elsewhere), or {!crash}
+    silently; crashes are detected by stabilisation probe timeouts and
+    healed from the Chord-style successor list ({!config.succ_list_len}
+    backups per member).  Join and lookup RPCs carry timeouts and retry
+    with exponential backoff, so in-flight operations survive a dying next
+    hop.  The test suite drives identical workloads through this engine and
+    the synchronous one and requires both to converge to the same ring. *)
 
 type t
+
+type config = {
+  stabilize_period_ms : float; (** period of {!stabilize_round} timers *)
+  succ_list_len : int;         (** successor-list redundancy (succ + backups) *)
+  rpc_timeout_ms : float;      (** base timeout of a stabilisation probe *)
+  rpc_retries : int;           (** probe retries before declaring the successor dead *)
+  rpc_backoff : float;         (** timeout multiplier per retry (exponential backoff) *)
+  pred_timeout_ms : float;     (** silence after which a predecessor is presumed dead *)
+  join_timeout_ms : float;     (** base timeout of a join attempt *)
+  join_retries : int;
+  lookup_timeout_ms : float;   (** base timeout of a lookup attempt *)
+  lookup_retries : int;
+  stuck_wait_ms : float;       (** wait before re-probing a mid-join candidate *)
+  stuck_wait_limit : int;      (** waits before presuming the candidate dead *)
+}
+
+val default_config : config
+(** 50 ms stabilisation, 4-deep successor lists, 100 ms probe timeout with
+    2 retries at 2x backoff, 600 ms predecessor timeout, 400 ms join and
+    300 ms lookup timeouts. *)
 
 type stats = {
   messages : int;        (** total link traversals *)
   joins_completed : int;
   stabilize_rounds : int;
+  joins_failed : int;    (** joins abandoned after every retry timed out *)
+  leaves_completed : int;
+  moves_completed : int;
+  crashes : int;
+  failovers : int;       (** successor-list promotions after probe timeouts *)
+  rpc_timeouts : int;
+  join_retries : int;
+  lookup_retries : int;
 }
 
-val create :
-  rng:Rofl_util.Prng.t ->
-  ?stabilize_period_ms:float ->
-  Rofl_topology.Graph.t ->
-  t
+val create : rng:Rofl_util.Prng.t -> ?cfg:config -> Rofl_topology.Graph.t -> t
 (** An actor per router; default virtual nodes are spliced locally at time
-    zero (the bootstrap flood is not re-simulated here).  Stabilisation
-    timers fire every [stabilize_period_ms] (default 50.0). *)
+    zero (the bootstrap flood is not re-simulated here). *)
+
+val router_label : int -> Rofl_idspace.Id.t
+(** The deterministic default identifier of router [i]. *)
+
+val engine : t -> Rofl_netsim.Engine.t
+(** The event engine, exposed so campaign drivers can inject timed workload
+    events and read clock/queue instrumentation. *)
+
+val metrics : t -> Rofl_netsim.Metrics.t
+(** Per-category control-message accounting ([join], [stabilize], [repair],
+    [lookup]); counts equal link traversals, as in {!stats.messages}. *)
+
+val config : t -> config
 
 val join : t -> gateway:int -> Rofl_idspace.Id.t -> unit
 (** Schedule a host join at the current simulated time.  The join completes
-    asynchronously; run the engine to let it finish. *)
+    asynchronously; run the engine to let it finish.  Joins retry with
+    backoff when no response arrives within the join timeout, and count as
+    [joins_failed] after [join_retries] retries.  Already-present (or
+    already-joining) identifiers are ignored. *)
+
+val leave : t -> Rofl_idspace.Id.t -> bool
+(** Graceful departure: succ/pred state is handed to the neighbours by
+    message and the resident vanishes immediately.  False when the
+    identifier is not resident. *)
+
+val crash : t -> Rofl_idspace.Id.t -> bool
+(** Silent death: the resident vanishes without a word.  Neighbours find out
+    when their stabilisation probes time out and fail over to successor-list
+    backups. *)
+
+val move : t -> new_gateway:int -> Rofl_idspace.Id.t -> bool
+(** Graceful leave immediately followed by a re-join at [new_gateway]
+    (mobility).  False when the identifier is not resident. *)
+
+type lookup_outcome = {
+  target : Rofl_idspace.Id.t;
+  issued_ms : float;
+  completed_ms : float;
+  ok : bool;      (** the exact target identifier was found alive *)
+  attempts : int;
+}
+
+val lookup_async : t -> from:int -> Rofl_idspace.Id.t -> (lookup_outcome -> unit) -> unit
+(** Message-driven lookup from a router: greedy per-hop forwarding over the
+    current pointer state, with origin-side timeout/retry-with-backoff.  A
+    response naming a different owner (stale pointers) is retried after one
+    stabilisation period; the callback fires exactly once, in simulated
+    time, when the lookup succeeds, exhausts its retries, or times out. *)
+
+val lookups_outstanding : t -> int
+(** Lookups issued whose callback has not fired yet. *)
+
+val start_stabilizer : t -> unit
+(** Schedule self-repeating stabilisation rounds every
+    [stabilize_period_ms] on the engine — the mode churn campaigns run in.
+    (With the stabilizer on, the engine never drains; drive it with
+    {!run_for} and poll {!ring_converged}.) *)
+
+val stop_stabilizer : t -> unit
+
+val stabilize_round : t -> unit
+(** One explicit round: every resident probes its successor (skipping those
+    with a probe already in flight) and expires silent predecessors. *)
 
 val run_for : t -> float -> unit
 (** Advance simulated time by the given budget (ms), processing messages and
-    stabilisation timers. *)
+    timers. *)
 
 val run_until_quiescent : t -> max_ms:float -> float
-(** Run until no protocol message is in flight and a full stabilisation
+(** Externally-driven convergence loop (no self-repeating stabilizer): run
+    until no protocol message or timer is in flight and a full stabilisation
     round changes nothing, or until the time budget runs out.  Returns the
     simulated time consumed. *)
 
@@ -50,12 +142,22 @@ val stats : t -> stats
 val members : t -> Rofl_idspace.Id.t list
 (** Every identifier resident somewhere, sorted. *)
 
+val is_member : t -> Rofl_idspace.Id.t -> bool
+
 val successor_of : t -> Rofl_idspace.Id.t -> Rofl_idspace.Id.t option
 (** The first successor pointer currently held for a resident identifier. *)
 
 val ring_converged : t -> bool
 (** Every resident identifier's successor pointer equals the true ring
     successor of the current membership (single-component topologies). *)
+
+val stale_windows : t -> float list
+(** Completed stale-successor windows (ms), in completion order: for each
+    holder whose successor pointer named a departed identifier, the time
+    from the departure until the pointer was repointed at a live one. *)
+
+val stale_open : t -> int
+(** Holders whose successor pointer is stale right now. *)
 
 val lookup_owner : t -> from:int -> Rofl_idspace.Id.t -> Rofl_idspace.Id.t option
 (** Synchronously walk the current pointer state greedily from a router —

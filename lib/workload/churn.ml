@@ -4,14 +4,24 @@ type event =
   | Join of { at_ms : float; seq : int }
   | Leave of { at_ms : float; seq : int }
   | Move of { at_ms : float; seq : int }
+  | Crash of { at_ms : float; seq : int }
 
 let event_time = function
-  | Join { at_ms; _ } | Leave { at_ms; _ } | Move { at_ms; _ } -> at_ms
+  | Join { at_ms; _ } | Leave { at_ms; _ } | Move { at_ms; _ } | Crash { at_ms; _ } ->
+    at_ms
 
-let generate rng ~horizon_ms ~arrival_rate_per_s ~mean_lifetime_s ~move_fraction =
+let event_seq = function
+  | Join { seq; _ } | Leave { seq; _ } | Move { seq; _ } | Crash { seq; _ } -> seq
+
+let generate rng ~horizon_ms ~arrival_rate_per_s ~mean_lifetime_s ~move_fraction
+    ?(crash_fraction = 0.0) () =
   if arrival_rate_per_s <= 0.0 then invalid_arg "Churn.generate: arrival rate must be positive";
   if move_fraction < 0.0 || move_fraction > 1.0 then
     invalid_arg "Churn.generate: move fraction out of [0,1]";
+  if crash_fraction < 0.0 || crash_fraction > 1.0 then
+    invalid_arg "Churn.generate: crash fraction out of [0,1]";
+  if move_fraction +. crash_fraction > 1.0 then
+    invalid_arg "Churn.generate: move + crash fractions exceed 1";
   let events = ref [] in
   let clock = ref 0.0 in
   let seq = ref 0 in
@@ -27,8 +37,10 @@ let generate rng ~horizon_ms ~arrival_rate_per_s ~mean_lifetime_s ~move_fraction
       let lifetime = Prng.exponential rng (1000.0 *. mean_lifetime_s) in
       let depart = !clock +. lifetime in
       if depart < horizon_ms then begin
+        let u = Prng.float rng 1.0 in
         let ev =
-          if Prng.float rng 1.0 < move_fraction then Move { at_ms = depart; seq = s }
+          if u < move_fraction then Move { at_ms = depart; seq = s }
+          else if u < move_fraction +. crash_fraction then Crash { at_ms = depart; seq = s }
           else Leave { at_ms = depart; seq = s }
         in
         events := ev :: !events
@@ -39,9 +51,40 @@ let generate rng ~horizon_ms ~arrival_rate_per_s ~mean_lifetime_s ~move_fraction
 
 let count events =
   List.fold_left
-    (fun (j, l, m) ev ->
+    (fun (j, l, m, c) ev ->
       match ev with
-      | Join _ -> (j + 1, l, m)
-      | Leave _ -> (j, l + 1, m)
-      | Move _ -> (j, l, m + 1))
-    (0, 0, 0) events
+      | Join _ -> (j + 1, l, m, c)
+      | Leave _ -> (j, l + 1, m, c)
+      | Move _ -> (j, l, m + 1, c)
+      | Crash _ -> (j, l, m, c + 1))
+    (0, 0, 0, 0) events
+
+type session = {
+  seq : int;
+  joined_ms : float;
+  departed_ms : float option;
+  departure : [ `Leave | `Move | `Crash ] option;
+}
+
+let sessions events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Join { at_ms; seq } ->
+        Hashtbl.replace tbl seq { seq; joined_ms = at_ms; departed_ms = None; departure = None }
+      | Leave { at_ms; seq } | Move { at_ms; seq } | Crash { at_ms; seq } ->
+        (match Hashtbl.find_opt tbl seq with
+         | None -> ()
+         | Some s ->
+           let departure =
+             match ev with
+             | Leave _ -> Some `Leave
+             | Move _ -> Some `Move
+             | Crash _ -> Some `Crash
+             | Join _ -> None
+           in
+           Hashtbl.replace tbl seq { s with departed_ms = Some at_ms; departure }))
+    events;
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b -> compare a.seq b.seq)

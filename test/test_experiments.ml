@@ -20,6 +20,11 @@ let tiny : E.Common.scale =
     cache_grid = [ 0; 512 ];
     inter_cache_grid = [ 0; 64 ];
     finger_grid = [ 30 ];
+    churn_horizon_ms = 2_000.0;
+    churn_arrival_per_s = 2.0;
+    churn_lookup_per_s = 5.0;
+    churn_lifetimes_s = [ 10.0; 1.0 ];
+    churn_periods_ms = [ 50.0; 400.0 ];
   }
 
 let rendered f =
@@ -90,6 +95,15 @@ let test_fig8c () = ignore (rendered E.Fig8.fig8c)
 
 let test_summary () = ignore (rendered E.Summary.summary)
 
+let test_churn_tables () =
+  match rendered E.Churnlab.churn with
+  | [ grid; sweep ] ->
+    (* Two ISPs x lifetimes grid would need tiny.isps; here one ISP, two
+       lifetimes and a two-point period sweep. *)
+    ignore grid;
+    ignore sweep
+  | _ -> Alcotest.fail "expected grid + sweep tables"
+
 let test_compare_targets () =
   let tables = rendered E.Compare.compact_vs_rofl in
   ignore tables;
@@ -123,6 +137,7 @@ let () =
           Alcotest.test_case "fig8b" `Slow test_fig8b;
           Alcotest.test_case "fig8c" `Slow test_fig8c;
           Alcotest.test_case "summary" `Slow test_summary;
+          Alcotest.test_case "churn" `Slow test_churn_tables;
           Alcotest.test_case "ablations" `Slow test_ablations_directions;
           Alcotest.test_case "compare targets" `Slow test_compare_targets;
         ] );

@@ -126,6 +126,27 @@ let test_engine_ties_fifo_stress () =
   let expected = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 100; 102; 104; 106; 108 ] in
   Alcotest.(check (list int)) "FIFO under re-entrant ties" expected (List.rev !log)
 
+let test_engine_queue_depth_stats () =
+  let e = Engine.create () in
+  Alcotest.(check int) "fresh peak" 0 (Engine.peak_pending e);
+  Alcotest.(check int) "fresh total" 0 (Engine.scheduled_total e);
+  Engine.schedule e ~delay_ms:1.0 (fun () -> ());
+  Engine.schedule e ~delay_ms:2.0 (fun () -> ());
+  Engine.schedule e ~delay_ms:3.0 (fun () -> ());
+  Alcotest.(check int) "peak tracks depth" 3 (Engine.peak_pending e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e);
+  Alcotest.(check int) "peak is a high-water mark" 3 (Engine.peak_pending e);
+  Alcotest.(check int) "total counts every schedule" 3 (Engine.scheduled_total e);
+  (* A cascade holds the queue at depth 1 but keeps counting schedules. *)
+  let rec chain n =
+    if n > 0 then Engine.schedule e ~delay_ms:1.0 (fun () -> chain (n - 1))
+  in
+  chain 5;
+  Engine.run e;
+  Alcotest.(check int) "cascade never deepens the queue" 3 (Engine.peak_pending e);
+  Alcotest.(check int) "cascade counted" 8 (Engine.scheduled_total e)
+
 let () =
   Alcotest.run "rofl_netsim"
     [
@@ -145,5 +166,6 @@ let () =
           Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
           Alcotest.test_case "FIFO ties" `Quick test_engine_ties_fifo;
           Alcotest.test_case "FIFO ties stress" `Quick test_engine_ties_fifo_stress;
+          Alcotest.test_case "queue depth stats" `Quick test_engine_queue_depth_stats;
         ] );
     ]

@@ -80,6 +80,11 @@ let mini : E.Common.scale =
     cache_grid = [ 0; 128 ];
     inter_cache_grid = [ 0; 32 ];
     finger_grid = [ 20 ];
+    churn_horizon_ms = 2_000.0;
+    churn_arrival_per_s = 2.0;
+    churn_lookup_per_s = 5.0;
+    churn_lifetimes_s = [ 5.0 ];
+    churn_periods_ms = [ 100.0 ];
   }
 
 let render_all f = String.concat "\n" (List.map Table.render (f mini))
@@ -93,7 +98,7 @@ let test_jobs_determinism () =
       let par = render_all f in
       E.Common.set_jobs 1;
       Alcotest.(check string) (name ^ " byte-identical at jobs 1 vs 4") seq par)
-    [ ("fig7", E.Fig7.fig7); ("fig6a", E.Fig6.fig6a) ]
+    [ ("fig7", E.Fig7.fig7); ("fig6a", E.Fig6.fig6a); ("churn", E.Churnlab.churn) ]
 
 let () =
   Alcotest.run "rofl_pool"

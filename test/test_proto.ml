@@ -135,6 +135,165 @@ let test_isp_scale_convergence () =
   Alcotest.(check bool) "converged at ISP scale" true (Proto.ring_converged t);
   Alcotest.(check int) "all joined" 150 (Proto.stats t).Proto.joins_completed
 
+(* ---- dynamics: leaves, crashes, failover and the join-retry race ---- *)
+
+(* The ring predecessor of [id] in the current membership (wrapping). *)
+let ring_pred t id =
+  let ms = Proto.members t in
+  match List.filter (fun m -> Id.compare m id < 0) ms with
+  | [] -> List.nth ms (List.length ms - 1)
+  | below -> List.nth below (List.length below - 1)
+
+let populated seed ~hosts =
+  let t = Proto.create ~rng:(Prng.create seed) (topo seed) in
+  let rng = Prng.create (seed + 1) in
+  let ids = List.init hosts (fun _ -> Id.random rng) in
+  List.iter (fun id -> Proto.join t ~gateway:(Prng.int rng 30) id) ids;
+  ignore (Proto.run_until_quiescent t ~max_ms:120_000.0);
+  (t, ids, rng)
+
+let test_graceful_leave_handoff () =
+  let t, ids, _ = populated 20 ~hosts:20 in
+  let departing = List.nth ids 7 in
+  Alcotest.(check bool) "left" true (Proto.leave t departing);
+  ignore (Proto.run_until_quiescent t ~max_ms:60_000.0);
+  Alcotest.(check bool) "gone" false (Proto.is_member t departing);
+  Alcotest.(check bool) "ring converged after leave" true (Proto.ring_converged t);
+  let s = Proto.stats t in
+  Alcotest.(check int) "one leave" 1 s.Proto.leaves_completed;
+  (* The handoff repoints the neighbours directly: no probe timeout, no
+     successor-list promotion needed. *)
+  Alcotest.(check int) "no failover" 0 s.Proto.failovers;
+  Alcotest.(check bool) "leaving a stranger is refused" false
+    (Proto.leave t departing)
+
+let test_crash_failover_from_succ_list () =
+  let t, ids, _ = populated 21 ~hosts:20 in
+  let victim = List.nth ids 3 in
+  Alcotest.(check bool) "crashed" true (Proto.crash t victim);
+  (* Nobody was told: detection must come from probe timeouts, repair from
+     the successor list. *)
+  ignore (Proto.run_until_quiescent t ~max_ms:120_000.0);
+  Alcotest.(check bool) "gone" false (Proto.is_member t victim);
+  Alcotest.(check bool) "ring converged after crash" true (Proto.ring_converged t);
+  let s = Proto.stats t in
+  Alcotest.(check int) "one crash" 1 s.Proto.crashes;
+  Alcotest.(check bool) "probe timeouts observed" true (s.Proto.rpc_timeouts > 0);
+  Alcotest.(check bool) "failover promoted a backup" true (s.Proto.failovers > 0);
+  (* The stale-successor window around the crash closed. *)
+  Alcotest.(check bool) "stale window measured" true (Proto.stale_windows t <> []);
+  Alcotest.(check int) "no stale pointer left" 0 (Proto.stale_open t)
+
+let test_crash_mid_join_race () =
+  let t, ids, rng = populated 22 ~hosts:20 in
+  (* Pick a joiner whose splice point is a crashable host (not a router
+     anchor), then kill that host while the join request is in flight. *)
+  let rec pick () =
+    let a = Id.random rng in
+    let p = ring_pred t a in
+    if List.exists (Id.equal p) ids then (a, p) else pick ()
+  in
+  let joiner, victim = pick () in
+  Proto.join t ~gateway:(Prng.int rng 30) joiner;
+  Alcotest.(check bool) "victim crashed mid-join" true (Proto.crash t victim);
+  ignore (Proto.run_until_quiescent t ~max_ms:240_000.0);
+  Alcotest.(check bool) "joiner made it in" true (Proto.is_member t joiner);
+  Alcotest.(check bool) "victim stayed out" false (Proto.is_member t victim);
+  Alcotest.(check bool) "ring converged after the race" true (Proto.ring_converged t);
+  Alcotest.(check int) "no join abandoned" 0 (Proto.stats t).Proto.joins_failed
+
+let test_concurrent_churn_converges () =
+  let t, ids, rng = populated 23 ~hosts:40 in
+  (* Simultaneous leaves, crashes, moves and fresh joins: every repair path
+     races every other. *)
+  let departing = List.filteri (fun i _ -> i < 8) ids in
+  let crashing = List.filteri (fun i _ -> i >= 8 && i < 12) ids in
+  let moving = List.filteri (fun i _ -> i >= 12 && i < 16) ids in
+  let fresh = List.init 8 (fun _ -> Id.random rng) in
+  List.iter (fun id -> Alcotest.(check bool) "leave accepted" true (Proto.leave t id)) departing;
+  List.iter (fun id -> Alcotest.(check bool) "crash accepted" true (Proto.crash t id)) crashing;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "move accepted" true
+        (Proto.move t ~new_gateway:(Prng.int rng 30) id))
+    moving;
+  List.iter (fun id -> Proto.join t ~gateway:(Prng.int rng 30) id) fresh;
+  ignore (Proto.run_until_quiescent t ~max_ms:240_000.0);
+  Alcotest.(check bool) "ring converged after mixed churn" true (Proto.ring_converged t);
+  (* 30 routers + 40 hosts - 8 leaves - 4 crashes + 8 fresh. *)
+  Alcotest.(check int) "membership accounts for every event" 66
+    (List.length (Proto.members t));
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "mover still resident" true (Proto.is_member t id))
+    moving;
+  let s = Proto.stats t in
+  Alcotest.(check int) "moves counted" 4 s.Proto.moves_completed
+
+(* Cross-validation with the synchronous engine on a join+leave workload:
+   both must end with the same host membership and host-ring successors. *)
+let test_matches_synchronous_after_leaves () =
+  let g = topo 24 in
+  let rng_ids = Prng.create 25 in
+  let workload = List.init 40 (fun _ -> (Prng.int rng_ids 30, Id.random rng_ids)) in
+  let leavers = List.filteri (fun i _ -> i mod 4 = 0) (List.map snd workload) in
+  (* Asynchronous. *)
+  let p = Proto.create ~rng:(Prng.create 26) g in
+  List.iter (fun (gw, id) -> Proto.join p ~gateway:gw id) workload;
+  ignore (Proto.run_until_quiescent p ~max_ms:120_000.0);
+  List.iter (fun id -> ignore (Proto.leave p id)) leavers;
+  ignore (Proto.run_until_quiescent p ~max_ms:120_000.0);
+  Alcotest.(check bool) "async converged" true (Proto.ring_converged p);
+  (* Synchronous. *)
+  let net = Network.create ~rng:(Prng.create 27) g in
+  List.iter
+    (fun (gw, id) ->
+      match Network.join_host net ~gateway:gw ~id ~cls:Vnode.Stable with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "sync join failed: %s" e)
+    workload;
+  List.iter
+    (fun id ->
+      match Network.leave_host net id with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "sync leave failed: %s" e)
+    leavers;
+  let survivors =
+    List.map snd workload
+    |> List.filter (fun id -> not (List.exists (Id.equal id) leavers))
+    |> List.sort Id.compare
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "async kept survivor" true (Proto.is_member p id);
+      match Network.find_vnode net id with
+      | Some _ -> ()
+      | None -> Alcotest.fail "sync lost a survivor")
+    survivors;
+  List.iter
+    (fun id -> Alcotest.(check bool) "async dropped leaver" false (Proto.is_member p id))
+    leavers;
+  (* Host-ring successors agree (projected over each engine's full ring). *)
+  let arr = Array.of_list survivors in
+  Array.iteri
+    (fun i id ->
+      let expect = arr.((i + 1) mod Array.length arr) in
+      let rec project cur steps =
+        if steps > 300 then None
+        else
+          match Proto.successor_of p cur with
+          | Some s when List.exists (Id.equal s) survivors -> Some s
+          | Some s -> project s (steps + 1)
+          | None -> None
+      in
+      match project id 0 with
+      | Some s ->
+        Alcotest.(check bool)
+          (Printf.sprintf "host-successor of %s matches" (Id.to_short_string id))
+          true (Id.equal s expect)
+      | None -> Alcotest.fail "async projection failed")
+    arr
+
 let () =
   Alcotest.run "rofl_proto"
     [
@@ -148,5 +307,14 @@ let () =
           Alcotest.test_case "matches synchronous engine" `Quick
             test_matches_synchronous_network;
           Alcotest.test_case "ISP scale" `Slow test_isp_scale_convergence;
+        ] );
+      ( "dynamics",
+        [
+          Alcotest.test_case "graceful leave handoff" `Quick test_graceful_leave_handoff;
+          Alcotest.test_case "crash failover" `Quick test_crash_failover_from_succ_list;
+          Alcotest.test_case "crash mid-join race" `Quick test_crash_mid_join_race;
+          Alcotest.test_case "concurrent mixed churn" `Quick test_concurrent_churn_converges;
+          Alcotest.test_case "matches synchronous after leaves" `Quick
+            test_matches_synchronous_after_leaves;
         ] );
     ]
