@@ -9,9 +9,12 @@
      dune exec bench/main.exe -- micro           -- microbenchmarks only
      dune exec bench/main.exe -- --jobs 4 fig7   -- fan work over 4 domains
 
-   Each run also writes BENCH.json (per-target wall time plus the run's
-   headline parameters) next to the working directory, for CI artifacts
-   and regression tracking. *)
+   Each run also writes BENCH.json next to the working directory, for CI
+   artifacts and regression tracking.  Per target it records wall time plus
+   GC deltas (minor/major words, major collections) so an allocation
+   regression is a tracked number, not a claim; the micro section records
+   ns/run and minor words/run per primitive (ring successor and the
+   walk-step primitives must stay at 0 words/run — CI gates on it). *)
 
 module Table = Rofl_util.Table
 module E = Rofl_experiments
@@ -41,38 +44,126 @@ let targets : (string * string * (E.Common.scale -> Table.t list)) list =
     ("msg-sizes", "control-message wire sizes (§6.3)", E.Compare.message_sizes);
   ]
 
+(* ---------------- per-target GC accounting ---------------- *)
+
+type gc_cost = {
+  seconds : float;
+  minor_words : int;
+  major_words : int;
+  gc_majors : int;
+}
+
+(* OCaml 5 GC stats are per-domain: add the pool workers' tallies to the
+   main domain's own delta so --jobs N runs don't under-report.  Major
+   collection counts remain main-domain only (collections are per-domain
+   events; the main domain's count is the stable, comparable one). *)
+let measure f =
+  let s0 = Gc.quick_stat () in
+  let pm0 = Rofl_util.Pool.worker_minor_words () in
+  let pj0 = Rofl_util.Pool.worker_major_words () in
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  let cost =
+    {
+      seconds;
+      minor_words =
+        int_of_float (s1.Gc.minor_words -. s0.Gc.minor_words)
+        + (Rofl_util.Pool.worker_minor_words () - pm0);
+      major_words =
+        int_of_float (s1.Gc.major_words -. s0.Gc.major_words)
+        + (Rofl_util.Pool.worker_major_words () - pj0);
+      gc_majors = s1.Gc.major_collections - s0.Gc.major_collections;
+    }
+  in
+  (result, cost)
+
 (* ---------------- Bechamel microbenchmarks ---------------- *)
+
+(* The seed's Map-based ring, kept as an in-bench baseline so the flat
+   ring's speedup is measured against the real predecessor, not remembered
+   from a changelog. *)
+module Id_map = Map.Make (struct
+  type t = Rofl_idspace.Id.t
+
+  let compare = Rofl_idspace.Id.compare
+end)
+
+let map_ring_successor m x =
+  match Id_map.find_first_opt (fun k -> Rofl_idspace.Id.compare k x > 0) m with
+  | Some kv -> Some kv
+  | None -> Id_map.min_binding_opt m
+
+type micro_row = { name : string; ns_per_run : float; minor_words_per_run : float }
 
 let micro () =
   let open Bechamel in
   let open Toolkit in
+  let module Id = Rofl_idspace.Id in
+  let module Ring = Rofl_idspace.Ring in
   let rng = Rofl_util.Prng.create 99 in
-  let id_a = Rofl_idspace.Id.random rng and id_b = Rofl_idspace.Id.random rng in
+  let id_a = Id.random rng and id_b = Id.random rng in
   let payload = String.init 256 (fun i -> Char.chr (i land 0xff)) in
   let bloom = Rofl_bloom.Bloom.create ~m_bits:65536 ~k:7 in
   for _ = 1 to 1000 do
-    Rofl_bloom.Bloom.add bloom (Rofl_idspace.Id.random rng)
+    Rofl_bloom.Bloom.add bloom (Id.random rng)
   done;
   let isp = Rofl_topology.Isp.generate rng Rofl_topology.Isp.as3967 in
   let ls = Rofl_linkstate.Linkstate.create isp.Rofl_topology.Isp.graph in
   let cache = Rofl_core.Pointer_cache.create ~capacity:4096 in
   for i = 0 to 4095 do
-    let dst = Rofl_idspace.Id.random rng in
+    let dst = Id.random rng in
     let router = i mod Rofl_topology.Graph.n isp.Rofl_topology.Isp.graph in
     Rofl_core.Pointer_cache.insert cache
       (Rofl_core.Pointer.make Rofl_core.Pointer.Cached ~dst ~dst_router:router
          ~route:(Rofl_core.Sourceroute.singleton router))
   done;
   let chord = Rofl_baselines.Chord.create ~succ_group:4 ~finger_rows:128 in
-  let members = Array.init 2048 (fun _ -> Rofl_idspace.Id.random rng) in
+  let members = Array.init 2048 (fun _ -> Id.random rng) in
   Array.iter (fun id -> ignore (Rofl_baselines.Chord.join chord id)) members;
   Rofl_baselines.Chord.refresh_fingers chord;
+  (* Flat ring vs the seed's Map ring over the same 2048 members. *)
+  let ring =
+    Array.fold_left (fun acc id -> Ring.add id 0 acc) Ring.empty members
+  in
+  let map_ring =
+    Array.fold_left (fun acc id -> Id_map.add id 0 acc) Id_map.empty members
+  in
+  let churn_i = ref 0 in
+  (* Rotate queries through a precomputed pool: a fixed probe id lets the
+     branch predictor learn the whole search path and under-reports both
+     structures (and flatters the Map's pointer chase, which stays hot in
+     cache).  512 random probes defeat the predictor without adding
+     measurable per-run overhead. *)
+  let probes = Array.init 512 (fun _ -> Id.random rng) in
+  let succ_i = ref 0 and msucc_i = ref 0 in
   let tests =
     [
       Test.make ~name:"id-distance"
-        (Staged.stage (fun () -> ignore (Rofl_idspace.Id.distance id_a id_b)));
+        (Staged.stage (fun () -> ignore (Id.distance id_a id_b)));
       Test.make ~name:"id-between"
-        (Staged.stage (fun () -> ignore (Rofl_idspace.Id.between_incl id_a id_b id_a)));
+        (Staged.stage (fun () -> ignore (Id.between_incl id_a id_b id_a)));
+      Test.make ~name:"id-closer-clockwise"
+        (Staged.stage (fun () -> ignore (Id.closer_clockwise ~target:id_b id_a id_b)));
+      Test.make ~name:"id-compare-dist"
+        (Staged.stage (fun () -> ignore (Id.compare_dist id_a id_b id_b id_a)));
+      Test.make ~name:"id-hash" (Staged.stage (fun () -> ignore (Id.hash id_a)));
+      Test.make ~name:"ring-successor-2k"
+        (Staged.stage (fun () ->
+             let i = !succ_i land 511 in
+             incr succ_i;
+             ignore (Ring.cursor_gt (Array.unsafe_get probes i) ring)));
+      Test.make ~name:"ring-successor-map-2k"
+        (Staged.stage (fun () ->
+             let i = !msucc_i land 511 in
+             incr msucc_i;
+             ignore (map_ring_successor map_ring (Array.unsafe_get probes i))));
+      Test.make ~name:"ring-churn-2k"
+        (Staged.stage (fun () ->
+             let i = !churn_i land 2047 in
+             incr churn_i;
+             ignore (Ring.remove members.(i) (Ring.add id_a 0 ring))));
       Test.make ~name:"sha256-256B"
         (Staged.stage (fun () -> ignore (Rofl_crypto.Sha256.digest payload)));
       Test.make ~name:"bloom-mem"
@@ -89,28 +180,44 @@ let micro () =
   in
   let test = Test.make_grouped ~name:"rofl" ~fmt:"%s/%s" tests in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  (* [stabilize] (the default) runs [Gc.compact] before every sample; with
+     the fixtures' live heap that eats the whole quota in compactions and
+     leaves a degenerate run≈1 fit (every row ~130ns, every slope 0).  The
+     run-predictor OLS already cancels GC noise across samples. *)
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
   let raw = Benchmark.all cfg instances test in
-  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
-  print_endline "== Microbenchmarks (monotonic clock, ns/run) ==";
+  let clock_tbl = Analyze.all ols Instance.monotonic_clock raw in
+  let alloc_tbl = Analyze.all ols Instance.minor_allocated raw in
+  let estimate tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some o -> (match Analyze.OLS.estimates o with Some (e :: _) -> Some e | _ -> None)
+    | None -> None
+  in
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) clock_tbl [] |> List.sort compare
+  in
+  let rows =
+    List.map
+      (fun name ->
+        {
+          name;
+          ns_per_run = (match estimate clock_tbl name with Some e -> e | None -> nan);
+          minor_words_per_run =
+            (match estimate alloc_tbl name with Some e -> e | None -> nan);
+        })
+      names
+  in
+  print_endline "== Microbenchmarks (ns/run, minor words/run) ==";
   List.iter
-    (fun tbl ->
-      let rows =
-        Hashtbl.fold
-          (fun name ols acc ->
-            let est =
-              match Analyze.OLS.estimates ols with
-              | Some (e :: _) -> Printf.sprintf "%12.1f" e
-              | Some [] | None -> "           ?"
-            in
-            (name, est) :: acc)
-          tbl []
-        |> List.sort compare
-      in
-      List.iter (fun (name, est) -> Printf.printf "%-40s %s ns/run\n" name est) rows)
-    results;
-  print_newline ()
+    (fun r ->
+      Printf.printf "%-40s %12.1f ns/run %10.2f w/run\n" r.name r.ns_per_run
+        r.minor_words_per_run)
+    rows;
+  print_newline ();
+  rows
 
 (* ---------------- driver ---------------- *)
 
@@ -127,22 +234,108 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json ~path ~quick ~jobs ~seed timings =
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
+
+let write_bench_json ~path ~quick ~jobs ~seed timings micro_rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"scale\": \"%s\",\n" (if quick then "quick" else "full");
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"seed\": %d,\n" seed;
   Printf.fprintf oc "  \"total_seconds\": %.3f,\n"
-    (List.fold_left (fun acc (_, s) -> acc +. s) 0.0 timings);
+    (List.fold_left (fun acc (_, c) -> acc +. c.seconds) 0.0 timings);
   Printf.fprintf oc "  \"targets\": {\n";
   List.iteri
-    (fun i (name, secs) ->
-      Printf.fprintf oc "    \"%s\": %.3f%s\n" (json_escape name) secs
+    (fun i (name, c) ->
+      Printf.fprintf oc
+        "    \"%s\": {\"seconds\": %.3f, \"minor_words\": %d, \"major_words\": %d, \
+         \"gc_majors\": %d}%s\n"
+        (json_escape name) c.seconds c.minor_words c.major_words c.gc_majors
         (if i = List.length timings - 1 then "" else ","))
     timings;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"micro\": {\n";
+  List.iteri
+    (fun i (r : micro_row) ->
+      Printf.fprintf oc
+        "    \"%s\": {\"ns_per_run\": %s, \"minor_words_per_run\": %s}%s\n"
+        (json_escape r.name) (json_float r.ns_per_run)
+        (json_float r.minor_words_per_run)
+        (if i = List.length micro_rows - 1 then "" else ","))
+    micro_rows;
   Printf.fprintf oc "  }\n}\n";
   close_out oc
+
+(* ---------------- allocation-regression gate ---------------- *)
+
+(* BENCH.baseline.json holds the blessed [minor_words_per_run] per micro
+   row.  The format is the "micro" object of BENCH.json, so the file can be
+   refreshed by copying rows out of a trusted run.  Parsed line-by-line
+   against the exact shape [write_bench_json] emits — no JSON dependency. *)
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let baseline_rows path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if String.length line > 1 && line.[0] = '"' then begin
+         match String.index_from_opt line 1 '"' with
+         | None -> ()
+         | Some close -> (
+           let name = String.sub line 1 (close - 1) in
+           let field = "\"minor_words_per_run\":" in
+           match find_substring line field with
+           | None -> ()
+           | Some i ->
+             let v =
+               String.sub line
+                 (i + String.length field)
+                 (String.length line - i - String.length field)
+               |> String.map (fun c ->
+                      match c with ',' | '}' -> ' ' | c -> c)
+               |> String.trim
+             in
+             (match float_of_string_opt v with
+              | Some f -> rows := (name, f) :: !rows
+              | None -> ()))
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+(* Fail when a gated row allocates >25% more minor words per run than the
+   baseline.  The +0.5-word slack keeps allocation-free rows (baseline 0)
+   from tripping on OLS fit noise while still catching any real box: the
+   smallest possible allocation is a 2-word block, well above the slack. *)
+let check_alloc ~baseline rows =
+  let failures = ref 0 in
+  List.iter
+    (fun (name, base) ->
+      match List.find_opt (fun (r : micro_row) -> r.name = name) rows with
+      | None ->
+        Printf.printf "alloc-gate: %-36s MISSING from this run\n" name;
+        incr failures
+      | Some r ->
+        let limit = (base *. 1.25) +. 0.5 in
+        let ok = r.minor_words_per_run <= limit in
+        Printf.printf
+          "alloc-gate: %-36s %9.2f w/run (baseline %8.2f, limit %8.2f) %s\n"
+          name r.minor_words_per_run base limit
+          (if ok then "ok" else "FAIL");
+        if not ok then incr failures)
+    baseline;
+  !failures
 
 let () =
   Rofl_util.Logging.setup ();
@@ -158,6 +351,15 @@ let () =
     | [] -> []
   in
   let args = strip_csv args in
+  let check_alloc_path = ref None in
+  let rec strip_check = function
+    | "--check-alloc" :: path :: rest ->
+      check_alloc_path := Some path;
+      strip_check rest
+    | x :: rest -> x :: strip_check rest
+    | [] -> []
+  in
+  let args = strip_check args in
   let rec strip_jobs = function
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
@@ -180,29 +382,48 @@ let () =
     (if quick then "quick" else "full")
     scale.E.Common.seed (E.Common.jobs ());
   let timings = ref [] in
+  let micro_rows = ref [] in
   List.iter
     (fun name ->
       if name = "micro" then begin
-        let t0 = Unix.gettimeofday () in
-        micro ();
-        timings := ("micro", Unix.gettimeofday () -. t0) :: !timings
+        let rows, cost = measure micro in
+        micro_rows := rows;
+        timings := ("micro", cost) :: !timings
       end
       else begin
         match List.find_opt (fun (n, _, _) -> n = name) targets with
         | Some (_, desc, f) ->
           Printf.printf "--- %s: %s ---\n" name desc;
-          let t0 = Unix.gettimeofday () in
-          let tables = f scale in
-          let secs = Unix.gettimeofday () -. t0 in
+          let tables, cost = measure (fun () -> f scale) in
           List.iter Table.print tables;
           (match !csv_dir with
            | Some dir ->
              List.iter (fun t -> ignore (Table.save_csv t ~dir)) tables
            | None -> ());
-          timings := (name, secs) :: !timings;
-          Printf.printf "(%s took %.1fs)\n\n" name secs
+          timings := (name, cost) :: !timings;
+          Printf.printf "(%s took %.1fs, %.1fM minor words, %d major GCs)\n\n" name
+            cost.seconds
+            (float_of_int cost.minor_words /. 1e6)
+            cost.gc_majors
         | None -> Printf.printf "unknown target %S (see bench/main.ml)\n" name
       end)
     wanted;
   write_bench_json ~path:"BENCH.json" ~quick ~jobs:(E.Common.jobs ())
-    ~seed:scale.E.Common.seed (List.rev !timings)
+    ~seed:scale.E.Common.seed (List.rev !timings) !micro_rows;
+  match !check_alloc_path with
+  | None -> ()
+  | Some path ->
+    if !micro_rows = [] then begin
+      Printf.eprintf "--check-alloc needs the micro target in the run\n";
+      exit 2
+    end;
+    let baseline = baseline_rows path in
+    if baseline = [] then begin
+      Printf.eprintf "--check-alloc: no rows parsed from %s (one \"name\": {...\"minor_words_per_run\": N} per line)\n" path;
+      exit 2
+    end;
+    let failures = check_alloc ~baseline !micro_rows in
+    if failures > 0 then begin
+      Printf.eprintf "alloc-gate: %d row(s) regressed vs %s\n" failures path;
+      exit 1
+    end

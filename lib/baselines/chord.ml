@@ -87,7 +87,7 @@ let lookup t ~from key =
               (fun f ->
                 if Id.between node.nid f key then begin
                   match !best with
-                  | Some b when Id.compare (Id.distance f key) (Id.distance b key) >= 0 -> ()
+                  | Some b when not (Id.closer_clockwise ~target:key f b) -> ()
                   | Some _ | None -> best := Some f
                 end)
               node.fingers;

@@ -22,14 +22,12 @@ let first_pred v = match v.preds with [] -> None | p :: _ -> Some p
 
 let sort_clockwise id ps =
   List.sort
-    (fun (a : Pointer.t) (b : Pointer.t) ->
-      Id.compare (Id.distance id a.dst) (Id.distance id b.dst))
+    (fun (a : Pointer.t) (b : Pointer.t) -> Id.compare_dist id a.dst id b.dst)
     ps
 
 let sort_counter_clockwise id ps =
   List.sort
-    (fun (a : Pointer.t) (b : Pointer.t) ->
-      Id.compare (Id.distance a.dst id) (Id.distance b.dst id))
+    (fun (a : Pointer.t) (b : Pointer.t) -> Id.compare_dist a.dst id b.dst id)
     ps
 
 let dedup_by_dst ps =

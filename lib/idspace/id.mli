@@ -22,11 +22,20 @@ val of_int : int -> t
 (** Embeds a non-negative integer into the low bits. *)
 
 val compare : t -> t -> int
-(** Total unsigned order (not ring order). *)
+(** Total unsigned order (not ring order).  Allocation-free. *)
 
 val equal : t -> t -> bool
 
 val hash : t -> int
+(** Mixed-word avalanche hash over both 64-bit halves; allocation-free. *)
+
+val key : t -> int
+(** The top 62 bits of the {!compare} order packed into an immediate int in
+    [\[0, 2^62)]: [key x < key y] implies [compare x y < 0], and unequal
+    keys decide the order outright.  Lets flat search structures scan
+    contiguous unboxed [int array]s (differences of two keys cannot
+    overflow, enabling branchless sign-mask selects) and fall back to the
+    full 128-bit [compare] only on key ties.  Allocation-free. *)
 
 val succ_id : t -> t
 (** Clockwise neighbour (wraps from all-ones to zero). *)
@@ -47,16 +56,24 @@ val distance : t -> t -> t
 val between : t -> t -> t -> bool
 (** [between a x b] holds when walking clockwise from [a] one meets [x]
     strictly before [b]; i.e. [x ∈ (a, b)] on the ring.  With [a = b] the
-    interval is the whole ring minus [a]. *)
+    interval is the whole ring minus [a].  Allocation-free: the distances
+    are compared word-by-word, never materialised. *)
 
 val between_incl : t -> t -> t -> bool
 (** [x ∈ (a, b\]] on the ring: the "closest but not past the destination"
-    test.  With [a = b] every [x] qualifies (full ring). *)
+    test.  With [a = b] every [x] qualifies (full ring).  Allocation-free. *)
 
 val closer_clockwise : target:t -> t -> t -> bool
 (** [closer_clockwise ~target x y] holds when [x] is strictly closer to
     [target] than [y] is, measuring clockwise distance *from* each candidate
-    *to* the target — the greedy-routing progress measure. *)
+    *to* the target — the greedy-routing progress measure.
+    Allocation-free. *)
+
+val compare_dist : t -> t -> t -> t -> int
+(** [compare_dist a b c d] orders the clockwise distance [a → b] against
+    [c → d] without building either distance value; equivalent to
+    [compare (distance a b) (distance c d)] but allocation-free.  The
+    preferred comparator for sorting candidates by ring distance. *)
 
 val bit : t -> int -> int
 (** [bit id i] is bit [i] counted from the most significant (i = 0). *)

@@ -22,17 +22,21 @@ type result = {
   trace : Trace.t;
 }
 
-(* Closest live resident of [as_idx] in the clockwise interval (pos, dst]. *)
+(* Closest live resident of [as_idx] in the clockwise interval (pos, dst]:
+   [dst] itself when resident, otherwise its ring predecessor.  Cursor-based
+   so the per-step [prepare] probe allocates nothing on a miss. *)
 let best_local_resident (t : Net.t) as_idx ~pos ~dst =
   let r = !(t.Net.resident_rings.(as_idx)) in
-  let candidate =
-    match Ring.find dst r with
-    | Some h -> Some (dst, h)
-    | None -> Ring.predecessor dst r
+  let c =
+    let cf = Ring.cursor_find dst r in
+    if Ring.cursor_is_none cf then Ring.cursor_lt dst r else cf
   in
-  match candidate with
-  | Some (mid, mh) when mh.Net.alive_h && Id.between_incl pos mid dst -> Some (mid, mh)
-  | Some _ | None -> None
+  if Ring.cursor_is_none c then None
+  else begin
+    let mid = Ring.id_at r c in
+    let mh = Ring.value_at r c in
+    if mh.Net.alive_h && Id.between_incl pos mid dst then Some (mid, mh) else None
+  end
 
 (* Best candidate at the lowest usable level of [h]'s joined set: the level
    successor, improved by any finger at the same level.
@@ -47,25 +51,31 @@ let lowest_level_candidate (t : Net.t) (h : Net.host) ~cur ~pos ~dst ~ceiling =
   let candidate_at level =
     let r = Net.ring t level in
     let succ_cand =
-      match Ring.successor pos r with
-      | Some (sid, sh) when sh.Net.alive_h && Id.between_incl pos sid dst ->
-        Some (sid, sh)
-      | Some _ | None -> None
+      let c = Ring.cursor_gt pos r in
+      if Ring.cursor_is_none c then None
+      else begin
+        let sid = Ring.id_at r c in
+        let sh = Ring.value_at r c in
+        if sh.Net.alive_h && Id.between_incl pos sid dst then Some (sid, sh) else None
+      end
     in
-    let finger_cands =
-      List.filter_map
-        (fun (flevel, fid) ->
-          if not (Level.equal flevel level) then None
+    (* Fused keep-first ranking (same tie precedence as {!Walk.best} over
+       successor-then-fingers): an eligible finger replaces the incumbent
+       only when strictly closer to [dst]. *)
+    let best =
+      List.fold_left
+        (fun acc (flevel, fid) ->
+          if not (Level.equal flevel level) then acc
           else
             match Hashtbl.find_opt t.Net.hosts fid with
-            | Some fh when fh.Net.alive_h && Id.between_incl pos fid dst -> Some (fid, fh)
-            | Some _ | None -> None)
-        h.Net.fingers
+            | Some fh when fh.Net.alive_h && Id.between_incl pos fid dst -> (
+              match acc with
+              | Some (bid, _) when not (Id.closer_clockwise ~target:dst fid bid) -> acc
+              | Some _ | None -> Some (fid, fh))
+            | Some _ | None -> acc)
+        succ_cand h.Net.fingers
     in
-    let cands = (match succ_cand with Some c -> [ c ] | None -> []) @ finger_cands in
-    match Walk.best ~dist:(fun (cid, _) -> Id.distance cid dst) cands with
-    | Some (_, (cid, ch)) -> Some (level, cid, ch)
-    | None -> None
+    match best with Some (cid, ch) -> Some (level, cid, ch) | None -> None
   in
   let rec scan = function
     | [] -> None
@@ -216,9 +226,11 @@ module Route_substrate = struct
     in
     ring @ cache
 
-  let distance st = function
-    | Ring_move (_, cid, _, _) -> Id.distance cid st.dst
-    | Cache_move (cid, _) -> Id.distance cid st.dst
+  let target st = st.dst
+
+  let cand_id _st = function
+    | Ring_move (_, cid, _, _) -> cid
+    | Cache_move (cid, _) -> cid
 
   let deliver_here _ () _ = None
   let commit _ () c = Some c

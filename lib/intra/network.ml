@@ -264,7 +264,8 @@ module Lookup_substrate = struct
       true
     | Some _ | None -> false
 
-  let distance st c = Id.distance (candidate_id c) st.target
+  let target st = st.target
+  let cand_id _st c = candidate_id c
 
   (* Enumeration order encodes tie precedence for {!Walk.best}: residents
      (and their successor pointers) first, the cache shortcut last. *)
@@ -365,10 +366,10 @@ module Lookup_substrate = struct
         st.net.routers.(cur).residents
     in
     match
-      Walk.best ~dist:(fun (vn : Vnode.t) -> Id.distance vn.Vnode.id st.target) eligible
+      Walk.best ~target:st.target ~id_of:(fun (vn : Vnode.t) -> vn.Vnode.id) eligible
     with
-    | Some (_, vn) when Id.equal vn.Vnode.id st.target -> finish st (Delivered vn)
-    | Some (_, vn) -> finish st (Predecessor vn)
+    | Some vn when Id.equal vn.Vnode.id st.target -> finish st (Delivered vn)
+    | Some vn -> finish st (Predecessor vn)
     | None -> finish st (Stuck cur)
 end
 
@@ -452,34 +453,42 @@ let cache_route_to t id dst_router visited =
    router: under a partition this yields the per-component ring the zero-ID
    protocol converges to (§3.2). *)
 let oracle_successor_of t (vn : Vnode.t) =
-  let limit = Ring.cardinal t.oracle in
-  let rec go cur steps =
-    if steps > limit then None
-    else
-      match Ring.successor cur t.oracle with
-      | Some (sid, _) when Id.equal sid vn.Vnode.id -> None
-      | Some (sid, (sv : Vnode.t)) ->
+  let r = t.oracle in
+  let limit = Ring.cardinal r in
+  (* One O(log n) search, then O(1) cursor steps over the dead/unreachable
+     run — the seed re-ran a tree search per skipped member. *)
+  let rec go c steps =
+    if steps > limit || Ring.cursor_is_none c then None
+    else begin
+      let sid = Ring.id_at r c in
+      if Id.equal sid vn.Vnode.id then None
+      else begin
+        let (sv : Vnode.t) = Ring.value_at r c in
         if sv.Vnode.alive && Linkstate.reachable t.ls vn.Vnode.hosted_at sv.Vnode.hosted_at
         then Some (sid, sv)
-        else go sid (steps + 1)
-      | None -> None
+        else go (Ring.cursor_next r c) (steps + 1)
+      end
+    end
   in
-  go vn.Vnode.id 0
+  go (Ring.cursor_gt vn.Vnode.id r) 0
 
 let oracle_predecessor_of t (vn : Vnode.t) =
-  let limit = Ring.cardinal t.oracle in
-  let rec go cur steps =
-    if steps > limit then None
-    else
-      match Ring.predecessor cur t.oracle with
-      | Some (pid, _) when Id.equal pid vn.Vnode.id -> None
-      | Some (pid, (pv : Vnode.t)) ->
+  let r = t.oracle in
+  let limit = Ring.cardinal r in
+  let rec go c steps =
+    if steps > limit || Ring.cursor_is_none c then None
+    else begin
+      let pid = Ring.id_at r c in
+      if Id.equal pid vn.Vnode.id then None
+      else begin
+        let (pv : Vnode.t) = Ring.value_at r c in
         if pv.Vnode.alive && Linkstate.reachable t.ls vn.Vnode.hosted_at pv.Vnode.hosted_at
         then Some (pid, pv)
-        else go pid (steps + 1)
-      | None -> None
+        else go (Ring.cursor_prev r c) (steps + 1)
+      end
+    end
   in
-  go vn.Vnode.id 0
+  go (Ring.cursor_lt vn.Vnode.id r) 0
 
 let repair_successor t (vn : Vnode.t) =
   let alive (p : Pointer.t) =

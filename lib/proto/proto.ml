@@ -325,10 +325,9 @@ let best_candidate t router ~target ?(exclude = []) () =
   let best = ref None in
   let consider id where =
     if not (List.exists (Id.equal id) exclude) then begin
-      let d = Id.distance id target in
       match !best with
-      | Some (bd, _, _) when Id.compare d bd >= 0 -> ()
-      | Some _ | None -> best := Some (d, id, where)
+      | Some (bid, _) when not (Id.closer_clockwise ~target id bid) -> ()
+      | Some _ | None -> best := Some (id, where)
     end
   in
   List.iter
@@ -353,12 +352,11 @@ let rec forward_join t ~at (m : message) =
   | Join_req { joining; gateway; chasing; avoid; waited } ->
     let exclude = joining :: avoid in
     let local = best_candidate t at ~target:joining ~exclude () in
-    let chase_dist =
+    let improves id =
       match chasing with
-      | Some (cid, _) -> Some (Id.distance cid joining)
-      | None -> None
+      | None -> true
+      | Some (cid, _) -> Id.closer_clockwise ~target:joining id cid
     in
-    let improves d = match chase_dist with None -> true | Some cd -> Id.compare d cd < 0 in
     let restart_without dead =
       forward_join t ~at
         (Join_req { joining; gateway; chasing = None; avoid = dead :: avoid; waited = 0 })
@@ -406,8 +404,8 @@ let rec forward_join t ~at (m : message) =
           (fun () -> forward_join t ~at:hop m')
     in
     (match local with
-     | Some (d, best_id, `Here) when improves d -> splice best_id
-     | Some (d, best_id, `Remote next_router) when improves d ->
+     | Some (best_id, `Here) when improves best_id -> splice best_id
+     | Some (best_id, `Remote next_router) when improves best_id ->
        hop_towards next_router
          (Join_req { joining; gateway; chasing = Some (best_id, next_router); avoid; waited })
      | Some _ | None ->
@@ -431,10 +429,11 @@ and forward_lookup t ~at (m : message) =
         (handle t origin)
     in
     let local = best_candidate t at ~target ~exclude:avoid () in
-    let chase_dist =
-      match chasing with Some (cid, _) -> Some (Id.distance cid target) | None -> None
+    let improves id =
+      match chasing with
+      | None -> true
+      | Some (cid, _) -> Id.closer_clockwise ~target id cid
     in
-    let improves d = match chase_dist with None -> true | Some cd -> Id.compare d cd < 0 in
     let settle best_id =
       match find_resident t at best_id with
       | None ->
@@ -462,8 +461,8 @@ and forward_lookup t ~at (m : message) =
           (fun () -> forward_lookup t ~at:hop m')
     in
     (match local with
-     | Some (d, best_id, `Here) when improves d -> settle best_id
-     | Some (d, best_id, `Remote next_router) when improves d ->
+     | Some (best_id, `Here) when improves best_id -> settle best_id
+     | Some (best_id, `Remote next_router) when improves best_id ->
        hop_towards next_router
          (Lookup_req { target; origin; token; chasing = Some (best_id, next_router); avoid; waited })
      | Some _ | None ->
@@ -825,11 +824,10 @@ let untwist t nd r =
   match r.succ with
   | None -> ()
   | Some ((sid, _) as old_succ) ->
-    let d_succ = Id.distance r.rid sid in
     let closer =
       List.filter
         (fun (bid, _) ->
-          (not (Id.equal bid r.rid)) && Id.compare (Id.distance r.rid bid) d_succ < 0)
+          (not (Id.equal bid r.rid)) && Id.compare_dist r.rid bid r.rid sid < 0)
         r.succ_list
     in
     (match closer with
@@ -838,8 +836,7 @@ let untwist t nd r =
        let (bid, brouter) =
          List.fold_left
            (fun (ai, ar) (bi, br) ->
-             if Id.compare (Id.distance r.rid bi) (Id.distance r.rid ai) < 0 then (bi, br)
-             else (ai, ar))
+             if Id.compare_dist r.rid bi r.rid ai < 0 then (bi, br) else (ai, ar))
            first rest
        in
        set_succ t r (Some (bid, brouter));
@@ -948,25 +945,27 @@ let stats t =
   }
 
 let lookup_owner t ~from target =
-  let rec walk router best_dist guard =
+  (* [succ target] sits at maximal clockwise distance from the target, so it
+     is the cleared-horizon register: everything is strictly closer. *)
+  let rec walk router best_id guard =
     if guard > 4 * Graph.n t.graph then None
     else
       match best_candidate t router ~target () with
       | None -> None
-      | Some (_, id, `Here) -> Some id
-      | Some (d, _, `Remote next_router) ->
-        if Id.compare d best_dist >= 0 then
+      | Some (id, `Here) -> Some id
+      | Some (id, `Remote next_router) ->
+        if not (Id.closer_clockwise ~target id best_id) then
           (* No progress: settle on the best local resident. *)
           (match
              List.fold_left
                (fun acc r ->
                  match acc with
-                 | Some (bd, _) when Id.compare (Id.distance r.rid target) bd >= 0 -> acc
-                 | Some _ | None -> Some (Id.distance r.rid target, r.rid))
+                 | Some bid when not (Id.closer_clockwise ~target r.rid bid) -> acc
+                 | Some _ | None -> Some r.rid)
                None t.nodes.(router).residents
            with
-           | Some (_, rid) -> Some rid
+           | Some rid -> Some rid
            | None -> None)
-        else walk next_router d (guard + 1)
+        else walk next_router id (guard + 1)
   in
-  walk from Id.max_value 0
+  walk from (Id.succ_id target) 0

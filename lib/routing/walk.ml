@@ -6,14 +6,15 @@ type ('pos, 'route, 'verdict) moved =
   | Blocked
 
 (* Keep-first on ties: a later candidate replaces the incumbent only when
-   strictly closer, so enumeration order encodes precedence. *)
-let best ~dist cands =
+   strictly closer to the target, so enumeration order encodes precedence.
+   Ranking compares identifiers with the allocation-free
+   [Id.closer_clockwise] instead of materialising distances. *)
+let best ~target ~id_of cands =
   List.fold_left
     (fun acc c ->
-      let d = dist c in
       match acc with
-      | Some (bd, _) when Id.compare d bd >= 0 -> acc
-      | Some _ | None -> Some (d, c))
+      | Some b when not (Id.closer_clockwise ~target (id_of c) (id_of b)) -> acc
+      | Some _ | None -> Some c)
     None cands
 
 module type SUBSTRATE = sig
@@ -30,7 +31,8 @@ module type SUBSTRATE = sig
   val prepare : st -> pos -> pos
   val stale_commit : st -> pos -> bool
   val candidates : st -> pos -> cand list
-  val distance : st -> cand -> Id.t
+  val target : st -> Id.t
+  val cand_id : st -> cand -> Id.t
   val deliver_here : st -> pos -> cand -> verdict option
   val commit : st -> pos -> cand -> route option
   val exhausted : route -> bool
@@ -44,10 +46,16 @@ module Make (S : SUBSTRATE) = struct
   let run st ~start =
     let max_steps = S.max_steps st in
     let restart_limit = S.restart_limit st in
-    (* [best_dist] is the clockwise distance of the identifier the walk has
-       committed to; under [`Persistent] only a strictly closer candidate
-       replaces the committed route. *)
-    let rec loop pos best_dist committed restarts guard =
+    let target = S.target st in
+    (* [best_id] is the identifier the walk has committed to; under
+       [`Persistent] only a candidate strictly closer to the target replaces
+       the committed route.  The cleared-horizon register is [succ target]:
+       it is the unique identifier at maximal clockwise distance from the
+       target, so "closer than the sentinel" accepts exactly the candidates
+       the seed's materialised max-distance register accepted — without
+       allocating a distance per comparison. *)
+    let sentinel = Id.succ_id target in
+    let rec loop pos best_id committed restarts guard =
       if guard > max_steps then S.stuck st pos
       else
         match S.arrived st pos with
@@ -59,40 +67,41 @@ module Make (S : SUBSTRATE) = struct
           if exhausted_now && restarts < restart_limit && S.stale_commit st pos then
             (* Stale pointer pruned (NACK): restart from here with a cleared
                horizon. *)
-            loop pos Id.max_value None (restarts + 1) (guard + 1)
+            loop pos sentinel None (restarts + 1) (guard + 1)
           else begin
             let pos = S.prepare st pos in
             match S.arrived st pos with
             | Some v -> v
             | None ->
-              (match best ~dist:(S.distance st) (S.candidates st pos) with
+              (match best ~target ~id_of:(S.cand_id st) (S.candidates st pos) with
                | None -> S.no_candidate st pos
-               | Some (d, c) ->
+               | Some c ->
                  (match S.deliver_here st pos c with
                   | Some v -> v
                   | None ->
+                    let cid = S.cand_id st c in
                     let commit_now =
                       match S.horizon with
                       | `Per_move -> true
-                      | `Persistent -> Id.compare d best_dist < 0
+                      | `Persistent -> Id.closer_clockwise ~target cid best_id
                     in
                     if commit_now then (
                       match S.commit st pos c with
                       | None -> S.stuck st pos
-                      | Some route -> advance pos d route restarts guard)
+                      | Some route -> advance pos cid route restarts guard)
                     else (
                       (* Nothing closer here; keep following the committed
                          route if any of it remains. *)
                       match committed with
                       | Some route when not (S.exhausted route) ->
-                        advance pos best_dist route restarts guard
+                        advance pos best_id route restarts guard
                       | Some _ | None -> S.settle st pos)))
           end
-    and advance pos dist route restarts guard =
+    and advance pos best_id route restarts guard =
       match S.follow st pos route with
       | Blocked -> S.stuck st pos
       | Finished v -> v
-      | Stepped (pos', route') -> loop pos' dist (Some route') restarts (guard + 1)
+      | Stepped (pos', route') -> loop pos' best_id (Some route') restarts (guard + 1)
     in
-    loop start Id.max_value None 0 0
+    loop start sentinel None 0 0
 end

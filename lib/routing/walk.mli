@@ -20,13 +20,14 @@ type ('pos, 'route, 'verdict) moved =
   | Finished of 'verdict  (** The move itself terminated the walk. *)
   | Blocked  (** The committed route cannot be followed from here. *)
 
-val best : dist:('a -> Id.t) -> 'a list -> (Id.t * 'a) option
-(** Greedy candidate ranking: the element minimising [dist] (the clockwise
-    distance to the target, so the target itself is distance zero).  Ties
-    keep the earliest element, so enumeration order encodes precedence —
-    both layers list ring state before cache shortcuts, which is how "a
+val best : target:Id.t -> id_of:('a -> Id.t) -> 'a list -> 'a option
+(** Greedy candidate ranking: the element whose identifier minimises the
+    clockwise distance to [target] (so the target itself wins outright).
+    Ties keep the earliest element, so enumeration order encodes precedence
+    — both layers list ring state before cache shortcuts, which is how "a
     cached pointer wins only when strictly closer" falls out of the
-    ranking. *)
+    ranking.  Allocation-free per comparison: candidates are ranked with
+    {!Id.closer_clockwise} rather than materialised distances. *)
 
 module type SUBSTRATE = sig
   type st
@@ -82,8 +83,12 @@ module type SUBSTRATE = sig
       (liveness, route validity, exclusions).  Order encodes tie precedence
       (see {!best}): ring state first, cache shortcuts last. *)
 
-  val distance : st -> cand -> Id.t
-  (** Clockwise distance from the candidate's identifier to the target. *)
+  val target : st -> Id.t
+  (** The identifier the walk is chasing; fixed for the walk's lifetime. *)
+
+  val cand_id : st -> cand -> Id.t
+  (** The candidate's identifier; the loop ranks candidates by clockwise
+      distance from this to {!target} without allocating distances. *)
 
   val deliver_here : st -> pos -> cand -> verdict option
   (** If selecting this candidate terminates the walk at [pos] (the target

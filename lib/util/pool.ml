@@ -34,6 +34,19 @@ let run_task task =
   flag := true;
   Fun.protect ~finally:(fun () -> flag := false) task
 
+(* OCaml 5 GC counters are per-domain: a bench reading [Gc.quick_stat] on
+   the main domain misses whatever share of the work the pool's workers
+   claimed.  Workers therefore tally the words their tasks allocate into
+   process-wide counters; caller-drained tasks are already visible in the
+   calling domain's own stats. *)
+let worker_minor = Atomic.make 0
+
+let worker_major = Atomic.make 0
+
+let worker_minor_words () = Atomic.get worker_minor
+
+let worker_major_words () = Atomic.get worker_major
+
 let worker t () =
   let rec loop () =
     Mutex.lock t.mutex;
@@ -43,7 +56,15 @@ let worker t () =
     match Queue.take_opt t.pending with
     | Some task ->
       Mutex.unlock t.mutex;
+      let s0 = Gc.quick_stat () in
       run_task task;
+      let s1 = Gc.quick_stat () in
+      ignore
+        (Atomic.fetch_and_add worker_minor
+           (int_of_float (s1.Gc.minor_words -. s0.Gc.minor_words)));
+      ignore
+        (Atomic.fetch_and_add worker_major
+           (int_of_float (s1.Gc.major_words -. s0.Gc.major_words)));
       loop ()
     | None ->
       (* Woken for shutdown with nothing left to do. *)

@@ -31,3 +31,13 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val shutdown : t -> unit
 (** Park and join the worker domains.  The pool may not be used afterwards.
     Idempotent. *)
+
+val worker_minor_words : unit -> int
+(** Cumulative minor-heap words allocated by tasks executed on worker
+    domains, across every pool in the process.  OCaml 5 GC counters are
+    per-domain, so a caller measuring its own [Gc.quick_stat] delta must add
+    the delta of this counter to see the allocations the workers absorbed
+    (caller-drained tasks are already in the caller's own stats). *)
+
+val worker_major_words : unit -> int
+(** Same accounting for words promoted/allocated on the major heap. *)

@@ -116,6 +116,68 @@ let test_ablations_directions () =
   ignore (rendered E.Ablations.ablate_zero_id);
   ignore (rendered E.Ablations.ablate_multihomed)
 
+(* ---- golden table digests --------------------------------------------- *)
+
+(* SHA-256 over the rendered tables, recorded from the seed (Map-ring)
+   implementation.  The flat-array ring substrate and the allocation-free Id
+   arithmetic must reproduce every figure byte-for-byte, at any --jobs
+   setting; [tiny4] uses a different seed so the jobs-4 pass cannot be
+   satisfied from the jobs-1 memo caches. *)
+module Sha256 = Rofl_crypto.Sha256
+
+let digest_of f scale =
+  let tables = f scale in
+  Sha256.digest_hex (String.concat "\n" (List.map Table.render tables))
+
+let tiny4 = { tiny with E.Common.seed = 101 }
+
+let golden_jobs1 =
+  [
+    ("fig5a", "6aa24cd0d72abb7494daaaf494d4caad006e7b1a1ae1b67ba5115d20ff5e9f7a");
+    ("fig6a", "7cae62c96e8c7a1c92b7e817686c589736060ba9cf8ae452c375a8309426117f");
+    ("fig7", "0e5da8cb85fab365a8ff160f1af3b085a40a8679f2050b4562ea5e181c273d8d");
+    ("fig8a", "c730ee1078962cedd6ec625b6305a67d6919b166b29f5ab0bb03d7d93f063fa7");
+    ("fig8b", "139b0101d1dbabf3aa621066108a8b5fca417d80caf2c9208b1f1655c825dc9b");
+    ("churn", "53ec4516c8420fa3bdeedd5577d1a0f6e8d2c2b915800880d45ce275f569ec03");
+  ]
+
+let golden_jobs4 =
+  [
+    ("fig5a", "7f65101db088b326cfa506204d59de6f4b0fc3a62c08da45bf690696a97eb2ed");
+    ("fig6a", "3abcd9bd7c1ef6d19900084d2814f5ea243e7fa75ba3cffaba1a1160354bffc6");
+    ("fig8b", "6cb295ea8279fda6f6fa050610be363c191130d600a523c25b021ba8eb912ce8");
+    ("churn", "137ce0f6993d702d923c84e8f2495cd5999bb44a2e33f523af536fd4ed85c3e0");
+  ]
+
+let target_fn = function
+  | "fig5a" -> E.Fig5.fig5a
+  | "fig6a" -> E.Fig6.fig6a
+  | "fig7" -> E.Fig7.fig7
+  | "fig8a" -> E.Fig8.fig8a
+  | "fig8b" -> E.Fig8.fig8b
+  | "churn" -> E.Churnlab.churn
+  | t -> Alcotest.fail ("unknown golden target " ^ t)
+
+let check_digests scale golden =
+  List.iter
+    (fun (name, want) ->
+      let got = digest_of (target_fn name) scale in
+      match Sys.getenv_opt "ROFL_RECORD_GOLDEN" with
+      | Some path ->
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        Printf.fprintf oc "GOLDEN %s %s\n" name got;
+        close_out oc
+      | None -> Alcotest.(check string) (name ^ " digest") want got)
+    golden
+
+let test_golden_tables_jobs1 () =
+  E.Common.set_jobs 1;
+  check_digests tiny golden_jobs1
+
+let test_golden_tables_jobs4 () =
+  E.Common.set_jobs 4;
+  check_digests tiny4 golden_jobs4
+
 let () =
   Alcotest.run "rofl_experiments"
     [
@@ -140,5 +202,10 @@ let () =
           Alcotest.test_case "churn" `Slow test_churn_tables;
           Alcotest.test_case "ablations" `Slow test_ablations_directions;
           Alcotest.test_case "compare targets" `Slow test_compare_targets;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "tables @ jobs 1" `Slow test_golden_tables_jobs1;
+          Alcotest.test_case "tables @ jobs 4" `Slow test_golden_tables_jobs4;
         ] );
     ]

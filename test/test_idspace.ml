@@ -243,6 +243,215 @@ let prop_ring_walk_covers_all =
         in
         walk start [ start ] = List.length uniq)
 
+(* ---------- hash / key ---------- *)
+
+let test_hash_distribution () =
+  (* 256 buckets over the low hash byte must stay near uniform for both
+     SHA-style random ids and the adversarial dense-low-word regime that the
+     old [Hashtbl.hash (hi, lo)] implementation also had to survive. *)
+  let check_spread name ids =
+    let buckets = Array.make 256 0 in
+    List.iter
+      (fun i -> buckets.(Id.hash i land 255) <- buckets.(Id.hash i land 255) + 1)
+      ids;
+    let n = List.length ids in
+    let mean = n / 256 in
+    Array.iteri
+      (fun b c ->
+        if c < mean / 4 || c > mean * 4 then
+          Alcotest.failf "%s: bucket %d has %d of %d (mean %d)" name b c n mean)
+      buckets
+  in
+  check_spread "random" (List.init 20_000 (fun _ -> Id.random rng));
+  check_spread "dense low" (List.init 20_000 id);
+  check_spread "group suffixes"
+    (let g = Id.group_key (Id.random rng) in
+     List.init 20_000 (fun i -> Id.with_low32 g (Int32.of_int i)))
+
+let test_hash_no_collision_burst () =
+  let tbl = Hashtbl.create 4096 in
+  List.iter
+    (fun i -> Hashtbl.replace tbl (Id.hash (id i)) ())
+    (List.init 10_000 (fun i -> i));
+  Alcotest.(check bool)
+    "at most a handful of collisions over 10k dense ids" true
+    (Hashtbl.length tbl > 9_990)
+
+let prop_key_monotone =
+  QCheck.Test.make ~name:"key is a monotone projection of compare" ~count:1000
+    QCheck.(pair arb_id arb_id)
+    (fun (x, y) ->
+      Id.key x >= 0
+      && Id.key y >= 0
+      &&
+      let c = Id.compare x y and k = Stdlib.compare (Id.key x) (Id.key y) in
+      (* unequal keys must agree with compare; equal keys decide nothing *)
+      if k <> 0 then (k < 0) = (c < 0) else true)
+
+(* ---------- ring vs reference-Map model ---------- *)
+
+(* The seed's ring was a persistent [Map.Make (Id)]; this model replays a
+   random op sequence against both the flat ring and the Map and demands
+   identical answers from every query the routing layer uses.  The id pool
+   mixes full-width random ids with dense small ids (hi = 0), so the
+   [Id.key] tie-break paths of the chunked search get exercised, not just
+   the fast unequal-keys path. *)
+module M = Map.Make (Id)
+
+let map_successor x m =
+  match M.find_first_opt (fun k -> Id.compare k x > 0) m with
+  | Some kv -> Some kv
+  | None -> M.min_binding_opt m
+
+let map_successor_incl x m =
+  match M.find_first_opt (fun k -> Id.compare k x >= 0) m with
+  | Some kv -> Some kv
+  | None -> M.min_binding_opt m
+
+let map_predecessor x m =
+  match M.find_last_opt (fun k -> Id.compare k x < 0) m with
+  | Some kv -> Some kv
+  | None -> M.max_binding_opt m
+
+let map_members_between a b m =
+  (* the seed folded the whole map through [between_incl] and sorted by
+     clockwise distance from [a]; [a = b] means the full ring ([a] itself
+     first, at distance zero) *)
+  M.fold
+    (fun k v acc ->
+      if Id.equal a b || Id.between_incl a k b then (k, v) :: acc else acc)
+    m []
+  |> List.sort (fun (k1, _) (k2, _) ->
+         Id.compare (Id.distance a k1) (Id.distance a k2))
+
+let arb_pool_id =
+  QCheck.make
+    ~print:(fun i -> Format.asprintf "%a" Id.pp i)
+    QCheck.Gen.(
+      oneof
+        [
+          map2
+            (fun hi lo -> Id.of_int64_pair (Int64.of_int hi) (Int64.of_int lo))
+            int int;
+          map (fun i -> Id.of_int i) (int_range 0 40);
+        ])
+
+let arb_ops =
+  (* (add?, pool index) pairs over a shared pool make removals actually hit
+     and re-adds replace payloads. *)
+  QCheck.(
+    pair
+      (list_of_size (Gen.int_range 1 30) arb_pool_id)
+      (list_of_size (Gen.int_range 0 120) (pair bool small_nat)))
+
+let prop_ring_matches_map =
+  QCheck.Test.make ~name:"flat ring replays op sequences like the seed Map"
+    ~count:300 arb_ops (fun (pool, ops) ->
+      let pool = Array.of_list pool in
+      let npool = Array.length pool in
+      (* the shrinker may empty the pool below the generator's size bound *)
+      QCheck.assume (npool > 0);
+      let step (r, m, v) (is_add, idx) =
+        let x = pool.(idx mod npool) in
+        if is_add then (Ring.add x v r, M.add x v m, v + 1)
+        else (Ring.remove x r, M.remove x m, v)
+      in
+      let ring, map, _ =
+        List.fold_left step (Ring.empty, M.empty, 0) ops
+      in
+      let same_opt a b =
+        match (a, b) with
+        | None, None -> true
+        | Some (k1, v1), Some (k2, v2) -> Id.equal k1 k2 && v1 = v2
+        | _ -> false
+      in
+      Ring.cardinal ring = M.cardinal map
+      && same_opt (Ring.min_binding ring) (M.min_binding_opt map)
+      && Ring.to_list ring = M.bindings map
+      && Array.for_all
+           (fun x ->
+             Ring.mem x ring = M.mem x map
+             && Ring.find x ring = M.find_opt x map
+             && same_opt (Ring.successor x ring) (map_successor x map)
+             && same_opt (Ring.successor_incl x ring) (map_successor_incl x map)
+             && same_opt (Ring.predecessor x ring) (map_predecessor x map))
+           pool
+      && Array.for_all
+           (fun a ->
+             Array.for_all
+               (fun b ->
+                 Ring.members_between a b ring = map_members_between a b map)
+               pool)
+           pool)
+
+(* ---------- cursors ---------- *)
+
+let test_cursor_basics () =
+  let r = ring_of [ 10; 20; 30 ] in
+  let at c = Ring.value_at r c in
+  Alcotest.(check int) "gt 10 -> 20" 20 (at (Ring.cursor_gt (id 10) r));
+  Alcotest.(check int) "gt 15 -> 20" 20 (at (Ring.cursor_gt (id 15) r));
+  Alcotest.(check int) "gt 30 wraps -> 10" 10 (at (Ring.cursor_gt (id 30) r));
+  Alcotest.(check int) "geq 20 -> 20" 20 (at (Ring.cursor_geq (id 20) r));
+  Alcotest.(check int) "geq 21 -> 30" 30 (at (Ring.cursor_geq (id 21) r));
+  Alcotest.(check int) "lt 20 -> 10" 10 (at (Ring.cursor_lt (id 20) r));
+  Alcotest.(check int) "lt 10 wraps -> 30" 30 (at (Ring.cursor_lt (id 10) r));
+  Alcotest.(check bool) "find member" false
+    (Ring.cursor_is_none (Ring.cursor_find (id 20) r));
+  Alcotest.(check bool) "find non-member" true
+    (Ring.cursor_is_none (Ring.cursor_find (id 15) r));
+  Alcotest.(check bool) "id_at agrees" true
+    (Id.equal (id 20) (Ring.id_at r (Ring.cursor_find (id 20) r)))
+
+let test_cursor_stepping () =
+  let members = [ 10; 20; 30; 40 ] in
+  let r = ring_of members in
+  (* A full clockwise loop from the minimum visits every member once and
+     returns to the start; prev undoes next at every position. *)
+  let start = Ring.cursor_geq Id.zero r in
+  let rec loop c acc n =
+    if n = 0 then List.rev acc
+    else loop (Ring.cursor_next r c) (Ring.value_at r c :: acc) (n - 1)
+  in
+  Alcotest.(check (list int)) "next walks in order" members (loop start [] 4);
+  Alcotest.(check bool) "wraps to start" true
+    (Ring.cursor_equal start
+       (Ring.cursor_next r
+          (Ring.cursor_next r (Ring.cursor_next r (Ring.cursor_next r start)))));
+  let rec check c n =
+    if n = 0 then true
+    else
+      Ring.cursor_equal c (Ring.cursor_prev r (Ring.cursor_next r c))
+      && check (Ring.cursor_next r c) (n - 1)
+  in
+  Alcotest.(check bool) "prev inverts next" true (check start 4)
+
+let test_cursor_empty () =
+  let r : int Ring.t = Ring.empty in
+  Alcotest.(check bool) "gt none" true (Ring.cursor_is_none (Ring.cursor_gt (id 1) r));
+  Alcotest.(check bool) "lt none" true (Ring.cursor_is_none (Ring.cursor_lt (id 1) r));
+  Alcotest.(check bool) "find none" true
+    (Ring.cursor_is_none (Ring.cursor_find (id 1) r))
+
+let prop_cursor_matches_option_api =
+  QCheck.Test.make ~name:"cursors agree with the option API" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 1 200) arb_pool_id) arb_pool_id)
+    (fun (ids, probe) ->
+      let r = Ring.of_list (List.map (fun i -> (i, ())) ids) in
+      let via_cursor mk =
+        let c = mk probe r in
+        if Ring.cursor_is_none c then None else Some (Ring.id_at r c, Ring.value_at r c)
+      in
+      let same a b =
+        match (a, b) with
+        | None, None -> true
+        | Some (k1, ()), Some (k2, ()) -> Id.equal k1 k2
+        | _ -> false
+      in
+      same (via_cursor Ring.cursor_gt) (Ring.successor probe r)
+      && same (via_cursor Ring.cursor_geq) (Ring.successor_incl probe r)
+      && same (via_cursor Ring.cursor_lt) (Ring.predecessor probe r))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "rofl_idspace"
@@ -282,5 +491,20 @@ let () =
           Alcotest.test_case "min binding" `Quick test_ring_min_binding;
           q prop_ring_successor_is_closest;
           q prop_ring_walk_covers_all;
+        ] );
+      ( "hash",
+        [
+          Alcotest.test_case "bucket spread" `Quick test_hash_distribution;
+          Alcotest.test_case "dense ids stay distinct" `Quick
+            test_hash_no_collision_burst;
+          q prop_key_monotone;
+        ] );
+      ("ring model", [ q prop_ring_matches_map ]);
+      ( "cursor",
+        [
+          Alcotest.test_case "searches" `Quick test_cursor_basics;
+          Alcotest.test_case "stepping" `Quick test_cursor_stepping;
+          Alcotest.test_case "empty" `Quick test_cursor_empty;
+          q prop_cursor_matches_option_api;
         ] );
     ]

@@ -359,11 +359,14 @@ let test_golden_inter_fpr () =
    element, which is how enumeration order encodes ring-before-cache
    precedence. *)
 let test_walk_best () =
-  let dist (d, _) = Id.of_int d in
-  Alcotest.(check bool) "empty" true (Walk.best ~dist [] = None);
+  let target = Id.zero in
+  (* Encode "distance d to the target" as the id sitting d counter-clockwise
+     of it. *)
+  let id_of (d, _) = Id.sub target (Id.of_int d) in
+  Alcotest.(check bool) "empty" true (Walk.best ~target ~id_of [] = None);
   let pick cands =
-    match Walk.best ~dist cands with
-    | Some (_, (_, tag)) -> tag
+    match Walk.best ~target ~id_of cands with
+    | Some (_, tag) -> tag
     | None -> Alcotest.fail "expected a candidate"
   in
   Alcotest.(check string) "minimum wins" "b" (pick [ (9, "a"); (2, "b"); (5, "c") ]);
