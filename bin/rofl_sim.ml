@@ -153,6 +153,132 @@ let trace_flag =
   let doc = "Route one packet per layer on small demo networks and print the per-hop trace." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+(* ---- ring doctor ------------------------------------------------------- *)
+
+module Doctorlab = E.Doctorlab
+module Artifact = Rofl_doctor.Artifact
+module Checks = Rofl_doctor.Checks
+
+let artifact_path dir fingerprint =
+  let slug =
+    String.map (fun c -> if c = ':' || c = '/' || c = ' ' then '-' else c) fingerprint
+  in
+  Filename.concat dir (Printf.sprintf "repro-%s.txt" slug)
+
+let write_artifact dir artifact =
+  let path = artifact_path dir artifact.Artifact.fingerprint in
+  Artifact.write ~path artifact;
+  path
+
+let doctor_replay path =
+  match Artifact.read ~path with
+  | Error e ->
+    Printf.eprintf "doctor: cannot read %s: %s\n" path e;
+    1
+  | Ok artifact ->
+    (match Doctorlab.replay artifact with
+     | Error e ->
+       Printf.eprintf "doctor: cannot replay %s: %s\n" path e;
+       1
+     | Ok rp ->
+       Printf.printf "replayed %d event(s) at seed %d on %s\n"
+         (List.length artifact.Artifact.events)
+         artifact.Artifact.seed artifact.Artifact.graph;
+       (match rp.Doctorlab.rp_violation with
+        | Some v ->
+          Printf.printf "reproduced %s\n  %s\n" artifact.Artifact.fingerprint
+            (Checks.to_string v);
+          0
+        | None ->
+          Printf.printf "NOT reproduced: %s\n" artifact.Artifact.fingerprint;
+          1))
+
+let doctor_inject kind seed out =
+  let kind_name =
+    match kind with
+    | Doctorlab.Stab_off_crash -> "stab-off"
+    | Doctorlab.Loopy_splice -> "loopy"
+  in
+  let sc = Doctorlab.inject_scenario ~seed kind in
+  Printf.printf "injecting %s fault at seed %d...\n%!" kind_name seed;
+  match Doctorlab.hunt_and_shrink sc with
+  | Doctorlab.Clean _ ->
+    Printf.printf "NOT caught: campaign audited green despite the %s fault\n" kind_name;
+    1
+  | Doctorlab.Caught
+      { fingerprint; first; original_events; shrunk_events; artifact; report = _ } ->
+    Printf.printf "caught %s at %.0f ms; shrunk %d -> %d event(s)\n" fingerprint
+      first.Checks.at_ms original_events shrunk_events;
+    let path = write_artifact out artifact in
+    Printf.printf "wrote %s\n%!" path;
+    (* Close the loop: the freshly written file must replay to the same
+       violation, or the artifact is useless as a repro. *)
+    doctor_replay path
+
+let doctor_audit quick seed jobs out =
+  let scale = scale_of quick seed in
+  let grid = Doctorlab.audit_campaigns scale in
+  List.iter Table.print grid.Doctorlab.tables;
+  let static_table, static_violations = Doctorlab.static_audits scale in
+  Table.print static_table;
+  let shrunk =
+    List.map
+      (fun (sc, _) ->
+        match Doctorlab.hunt_and_shrink sc with
+        | Doctorlab.Clean _ -> None
+        | Doctorlab.Caught { artifact; _ } -> Some (write_artifact out artifact))
+      grid.Doctorlab.failing
+    |> List.filter_map Fun.id
+  in
+  List.iter (fun p -> Printf.printf "wrote %s\n" p) shrunk;
+  ignore jobs;
+  if grid.Doctorlab.total_violations = 0 && static_violations = 0 then begin
+    Printf.printf "doctor: all audits green\n";
+    0
+  end
+  else begin
+    Printf.eprintf "doctor: %d campaign + %d static violation(s)\n"
+      grid.Doctorlab.total_violations static_violations;
+    1
+  end
+
+let doctor_cmd =
+  let doc =
+    "Continuously audit ring invariants over a churn-campaign grid; shrink any \
+     violation to a minimal runnable repro."
+  in
+  let replay_opt =
+    let doc = "Re-execute a repro artifact and check its violation reproduces." in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~doc ~docv:"FILE")
+  in
+  let inject_opt =
+    let doc =
+      "Self-test: inject $(docv) (one of 'stab-off', 'loopy'), expect the audit \
+       to catch it, shrink, and replay the artifact."
+    in
+    let kind =
+      Arg.enum
+        [ ("stab-off", Doctorlab.Stab_off_crash); ("loopy", Doctorlab.Loopy_splice) ]
+    in
+    Arg.(value & opt (some kind) None & info [ "inject" ] ~doc ~docv:"FAULT")
+  in
+  let out_opt =
+    let doc = "Directory for shrunk repro artifacts." in
+    Arg.(value & opt dir "." & info [ "out" ] ~doc ~docv:"DIR")
+  in
+  let term =
+    Term.(
+      const (fun quick seed jobs replay inject out ->
+          (match jobs with Some j -> E.Common.set_jobs j | None -> ());
+          let seed_v = match seed with Some s -> s | None -> 7 in
+          match (replay, inject) with
+          | Some path, _ -> doctor_replay path
+          | None, Some kind -> doctor_inject kind seed_v out
+          | None, None -> doctor_audit quick seed jobs out)
+      $ quick_flag $ seed_opt $ jobs_opt $ replay_opt $ inject_opt $ out_opt)
+  in
+  Cmd.v (Cmd.info "doctor" ~doc) term
+
 let exp_cmd (cmd_name, desc, _) =
   let term =
     Term.(
@@ -193,5 +319,5 @@ let () =
              if tr then `Ok (run_trace seed) else `Help (`Pager, None))
         $ trace_flag $ seed_opt))
   in
-  let cmds = all_cmd :: list_cmd :: List.map exp_cmd experiments in
+  let cmds = all_cmd :: list_cmd :: doctor_cmd :: List.map exp_cmd experiments in
   exit (Cmd.eval' (Cmd.group ~default info cmds))

@@ -41,9 +41,19 @@ let base_hashes key =
   in
   (word 0, word 8)
 
-let probe f key i =
-  let h1, h2 = key in
-  (h1 + (i * h2)) mod f.m |> abs
+(* Double hashing steps incrementally: position i+1 is position i plus a
+   fixed stride, both already reduced mod m, so no intermediate ever exceeds
+   2m (the seed computed h1 + i*h2 in native ints, overflowed for large h2,
+   and patched the negative remainder with [abs] — conflating the ±residues
+   and collapsing distinct probe sequences).  The stride is drawn from
+   [1, m-1] so a stride of 0 cannot pin all k probes to one bit. *)
+let probe_start f (h1, _) = h1 mod f.m
+
+let probe_stride f (_, h2) = if f.m = 1 then 0 else 1 + (h2 mod (f.m - 1))
+
+let probe_next f pos stride =
+  let next = pos + stride in
+  if next >= f.m then next - f.m else next
 
 let set_bit f pos =
   let byte = pos / 8 and bit = pos mod 8 in
@@ -55,15 +65,29 @@ let get_bit f pos =
 
 let add_string f s =
   let key = base_hashes s in
-  for i = 0 to f.k - 1 do
-    set_bit f (probe f key i)
+  let stride = probe_stride f key in
+  let pos = ref (probe_start f key) in
+  for _ = 1 to f.k do
+    set_bit f !pos;
+    pos := probe_next f !pos stride
   done;
   f.n <- f.n + 1
 
 let mem_string f s =
   let key = base_hashes s in
-  let rec go i = i >= f.k || (get_bit f (probe f key i) && go (i + 1)) in
-  go 0
+  let stride = probe_stride f key in
+  let rec go i pos =
+    i >= f.k || (get_bit f pos && go (i + 1) (probe_next f pos stride))
+  in
+  go 0 (probe_start f key)
+
+let probe_positions f s =
+  let key = base_hashes s in
+  let stride = probe_stride f key in
+  let rec go i pos acc =
+    if i >= f.k then List.rev acc else go (i + 1) (probe_next f pos stride) (pos :: acc)
+  in
+  go 0 (probe_start f key) []
 
 let add f id = add_string f (Id.to_bytes id)
 

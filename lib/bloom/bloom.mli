@@ -33,6 +33,13 @@ val add_string : t -> string -> unit
 
 val mem_string : t -> string -> bool
 
+val probe_positions : t -> string -> int list
+(** The [k] bit positions probed for a key, in probe order: position 0 is
+    [h1 mod m] and each subsequent position steps by a fixed stride in
+    [\[1, m-1\]] derived from [h2], all arithmetic reduced mod [m] up front
+    (no native-int overflow, no [abs]-folded residues, no zero stride).
+    Exposed so regression tests can pin the probe stream. *)
+
 val merge_into : dst:t -> t -> unit
 (** OR a filter into [dst]; both must have equal geometry.  Used when an AS
     aggregates its customers' filters up the hierarchy. *)

@@ -58,3 +58,22 @@ let resize c ~capacity =
   (* Rebuild the ring index to drop evicted entries. *)
   let fresh = Lru.fold c.lru ~init:Ring.empty ~f:(fun acc id p -> Ring.add id p acc) in
   c.index <- fresh
+
+let audit c =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let lru_n = Lru.length c.lru and idx_n = Ring.cardinal c.index in
+  if lru_n <> idx_n then bad "lru holds %d entries, ring index %d" lru_n idx_n;
+  Lru.iter c.lru (fun id (p : Pointer.t) ->
+      match Ring.find id c.index with
+      | None -> bad "%s in lru but missing from ring index" (Id.to_short_string id)
+      | Some (q : Pointer.t) ->
+        if not (Id.equal q.dst p.dst && q.dst_router = p.dst_router) then
+          bad "%s bound to different pointers in lru and ring index"
+            (Id.to_short_string id));
+  Ring.iter
+    (fun id _ ->
+      if not (Lru.mem c.lru id) then
+        bad "%s in ring index but missing from lru" (Id.to_short_string id))
+    c.index;
+  List.rev !problems

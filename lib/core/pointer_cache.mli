@@ -40,3 +40,10 @@ val iter : t -> (Pointer.t -> unit) -> unit
 val clear : t -> unit
 
 val resize : t -> capacity:int -> unit
+
+val audit : t -> string list
+(** Structural agreement between the LRU recency list and the ring-ordered
+    index: same cardinality, every LRU binding present in the index with the
+    same destination pointer, no index entry the LRU has forgotten.  Empty
+    iff consistent — the ring doctor runs this at checkpoints, since a
+    divergence silently corrupts {!best_match} answers. *)

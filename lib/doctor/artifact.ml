@@ -1,0 +1,137 @@
+module Churn = Rofl_workload.Churn
+
+type fault = Cross_splice of { at_ms : float } | Stab_off of { at_ms : float }
+
+type event = Churn of Churn.event | Fault of fault
+
+let event_time = function
+  | Churn e -> Churn.event_time e
+  | Fault (Cross_splice { at_ms } | Stab_off { at_ms }) -> at_ms
+
+type t = {
+  seed : int;
+  graph : string;
+  params : (string * string) list;
+  fingerprint : string;
+  events : event list;
+}
+
+let magic = "rofl-doctor-repro v1"
+
+(* %h prints the exact bit pattern (hex float), so a written timestamp
+   replays to the identical float. *)
+let fl = Printf.sprintf "%h"
+
+let event_to_line = function
+  | Churn (Churn.Join { at_ms; seq }) -> Printf.sprintf "event join %s %d" (fl at_ms) seq
+  | Churn (Churn.Leave { at_ms; seq }) -> Printf.sprintf "event leave %s %d" (fl at_ms) seq
+  | Churn (Churn.Move { at_ms; seq }) -> Printf.sprintf "event move %s %d" (fl at_ms) seq
+  | Churn (Churn.Crash { at_ms; seq }) -> Printf.sprintf "event crash %s %d" (fl at_ms) seq
+  | Fault (Cross_splice { at_ms }) -> Printf.sprintf "event cross-splice %s" (fl at_ms)
+  | Fault (Stab_off { at_ms }) -> Printf.sprintf "event stab-off %s" (fl at_ms)
+
+let to_lines a =
+  (magic :: Printf.sprintf "seed %d" a.seed :: Printf.sprintf "graph %s" a.graph
+   :: List.map (fun (k, v) -> Printf.sprintf "param %s %s" k v) a.params)
+  @ (Printf.sprintf "fingerprint %s" a.fingerprint :: List.map event_to_line a.events)
+
+let ( let* ) = Result.bind
+
+let float_of_token s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "malformed float %S" s)
+
+let int_of_token s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "malformed int %S" s)
+
+let event_of_line line =
+  match String.split_on_char ' ' line with
+  | [ "event"; kind; at; seq ] ->
+    let* at_ms = float_of_token at in
+    let* seq = int_of_token seq in
+    (match kind with
+     | "join" -> Ok (Churn (Churn.Join { at_ms; seq }))
+     | "leave" -> Ok (Churn (Churn.Leave { at_ms; seq }))
+     | "move" -> Ok (Churn (Churn.Move { at_ms; seq }))
+     | "crash" -> Ok (Churn (Churn.Crash { at_ms; seq }))
+     | k -> Error (Printf.sprintf "unknown churn event kind %S" k))
+  | [ "event"; kind; at ] ->
+    let* at_ms = float_of_token at in
+    (match kind with
+     | "cross-splice" -> Ok (Fault (Cross_splice { at_ms }))
+     | "stab-off" -> Ok (Fault (Stab_off { at_ms }))
+     | k -> Error (Printf.sprintf "unknown fault kind %S" k))
+  | _ -> Error (Printf.sprintf "malformed event line %S" line)
+
+let of_lines lines =
+  match lines with
+  | m :: rest when String.trim m = magic ->
+    let seed = ref None
+    and graph = ref None
+    and params = ref []
+    and fingerprint = ref None
+    and events = ref []
+    and err = ref None in
+    List.iter
+      (fun line ->
+        if !err = None then begin
+          let line = String.trim line in
+          if line <> "" then
+            match String.index_opt line ' ' with
+            | None -> err := Some (Printf.sprintf "malformed line %S" line)
+            | Some i ->
+              let key = String.sub line 0 i in
+              let value = String.sub line (i + 1) (String.length line - i - 1) in
+              (match key with
+               | "seed" ->
+                 (match int_of_token value with
+                  | Ok s -> seed := Some s
+                  | Error e -> err := Some e)
+               | "graph" -> graph := Some value
+               | "param" ->
+                 (match String.index_opt value ' ' with
+                  | Some j ->
+                    params :=
+                      ( String.sub value 0 j,
+                        String.sub value (j + 1) (String.length value - j - 1) )
+                      :: !params
+                  | None -> err := Some (Printf.sprintf "malformed param line %S" line))
+               | "fingerprint" -> fingerprint := Some value
+               | "event" ->
+                 (match event_of_line line with
+                  | Ok ev -> events := ev :: !events
+                  | Error e -> err := Some e)
+               | _ -> err := Some (Printf.sprintf "unknown line key %S" key))
+        end)
+      rest;
+    (match (!err, !seed, !graph, !fingerprint) with
+     | Some e, _, _, _ -> Error e
+     | None, None, _, _ -> Error "missing seed line"
+     | None, _, None, _ -> Error "missing graph line"
+     | None, _, _, None -> Error "missing fingerprint line"
+     | None, Some seed, Some graph, Some fingerprint ->
+       Ok
+         {
+           seed;
+           graph;
+           params = List.rev !params;
+           fingerprint;
+           events = List.rev !events;
+         })
+  | _ -> Error (Printf.sprintf "missing %S header" magic)
+
+let write ~path a =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun line ->
+          Out_channel.output_string oc line;
+          Out_channel.output_char oc '\n')
+        (to_lines a))
+
+let read ~path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | lines -> of_lines lines
+  | exception Sys_error e -> Error e

@@ -1,0 +1,171 @@
+module Id = Rofl_idspace.Id
+module Proto = Rofl_proto.Proto
+module Pointer_cache = Rofl_core.Pointer_cache
+module Network = Rofl_intra.Network
+module Invariant = Rofl_intra.Invariant
+module Net = Rofl_inter.Net
+module Interinvariant = Rofl_inter.Interinvariant
+
+type violation = { check : string; subject : string; detail : string; at_ms : float }
+
+let fingerprint v = v.check ^ ":" ^ v.subject
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] %s at t=%.1fms: %s" v.check v.subject v.at_ms v.detail
+
+let to_string v = Format.asprintf "%a" pp_violation v
+
+(* ---- proto-level checks ------------------------------------------------- *)
+
+let proto_checks ?stale_grace_ms ~at_ms (p : Proto.t) =
+  let out = ref [] in
+  let emit check subject fmt =
+    Printf.ksprintf (fun detail -> out := { check; subject; detail; at_ms } :: !out) fmt
+  in
+  let short = Id.to_short_string in
+  let views = Proto.residents_view p in
+  (* Residency oracle and resident state must describe the same membership:
+     every resident registered where it lives, no identifier resident twice,
+     no oracle member without backing state. *)
+  List.iter
+    (fun (vw : Proto.resident_view) ->
+      match Proto.locate p vw.v_id with
+      | Some r when r = vw.v_router -> ()
+      | Some r ->
+        emit "oracle-agreement" (short vw.v_id) "resident at router %d, oracle says %d"
+          vw.v_router r
+      | None ->
+        emit "oracle-agreement" (short vw.v_id) "resident at router %d, unknown to oracle"
+          vw.v_router)
+    views;
+  let rec dups = function
+    | (a : Proto.resident_view) :: (b : Proto.resident_view) :: rest ->
+      if Id.equal a.v_id b.v_id then
+        emit "duplicate-resident" (short a.v_id) "resident at routers %d and %d"
+          a.v_router b.v_router;
+      dups (b :: rest)
+    | _ -> ()
+  in
+  dups views;
+  let rec members_covered ms (vs : Proto.resident_view list) =
+    match (ms, vs) with
+    | [], _ -> ()
+    | m :: ms', [] ->
+      emit "oracle-agreement" (short m) "oracle member with no resident state";
+      members_covered ms' []
+    | m :: ms', vw :: vs' ->
+      let c = Id.compare m vw.v_id in
+      if c = 0 then members_covered ms' vs'
+      else if c < 0 then begin
+        emit "oracle-agreement" (short m) "oracle member with no resident state";
+        members_covered ms' vs
+      end
+      else members_covered ms vs'
+  in
+  members_covered (Proto.members p) views;
+  (* Successor-list hygiene per resident: the backup tail holds distinct
+     entries in strictly increasing clockwise distance, never the holder,
+     never a duplicate of the successor; and no backup may be strictly
+     closer than the successor itself — that inversion is the loopy-ring
+     evidence pairwise stabilisation cannot see. *)
+  List.iter
+    (fun (vw : Proto.resident_view) ->
+      let self = vw.v_id in
+      let subject = short self in
+      List.iter
+        (fun (i, _) ->
+          if Id.equal i self then
+            emit "succ-list-self" subject "backup list contains the holder itself")
+        vw.v_succ_list;
+      let rec ordered = function
+        | (a, _) :: (((b, _) :: _) as rest) ->
+          if Id.compare_dist self a self b >= 0 then
+            emit "succ-list-order" subject "backups %s, %s out of clockwise order"
+              (short a) (short b);
+          ordered rest
+        | _ -> ()
+      in
+      ordered vw.v_succ_list;
+      match vw.v_succ with
+      | Some (s, _) ->
+        if List.exists (fun (i, _) -> Id.equal i s) vw.v_succ_list then
+          emit "succ-list-dup" subject "successor %s repeated in backups" (short s);
+        if not (Id.equal s self) then
+          List.iter
+            (fun (b, _) ->
+              if (not (Id.equal b self)) && Id.compare_dist self b self s < 0 then
+                emit "loopy-evidence" subject
+                  "backup %s strictly closer than successor %s" (short b) (short s))
+            vw.v_succ_list
+      | None -> ())
+    views;
+  (* A stale successor window still open past the repair grace means
+     detection/failover stopped working (e.g. the stabilizer died). *)
+  (match stale_grace_ms with
+   | None -> ()
+   | Some grace ->
+     List.iter
+       (fun (rid, since) ->
+         let open_ms = at_ms -. since in
+         if open_ms > grace then
+           emit "stale-grace" (short rid)
+             "successor stale for %.0f ms (grace %.0f ms)" open_ms grace)
+       (Proto.stale_open_since p));
+  List.rev !out
+
+(* ---- pointer-cache agreement -------------------------------------------- *)
+
+let pointer_cache_checks ~at_ms ~subject cache =
+  List.map
+    (fun detail -> { check = "pointer-cache-agreement"; subject; detail; at_ms })
+    (Pointer_cache.audit cache)
+
+(* ---- wrappers over the existing point checks ---------------------------- *)
+
+let of_report ~at_ms ~check ~subject (violations : string list) =
+  List.map (fun detail -> { check; subject; detail; at_ms }) violations
+
+let intra_checks ?(routability_samples = 0) ~at_ms (net : Network.t) =
+  let r = Invariant.check net in
+  let base = of_report ~at_ms ~check:"intra-invariant" ~subject:"intra" r.violations in
+  let routes =
+    if routability_samples <= 0 then []
+    else begin
+      let rr = Invariant.check_routability net ~samples:routability_samples in
+      let vs = of_report ~at_ms ~check:"intra-routability" ~subject:"intra" rr.violations in
+      if rr.Invariant.inconclusive then
+        {
+          check = "intra-routability";
+          subject = "intra";
+          detail =
+            Printf.sprintf "inconclusive: 0 of %d draws routable with %d members checked"
+              rr.Invariant.samples_drawn rr.Invariant.checked_members;
+          at_ms;
+        }
+        :: vs
+      else vs
+    end
+  in
+  let caches =
+    Array.to_list net.Network.routers
+    |> List.concat_map (fun (r : Network.router) ->
+           pointer_cache_checks ~at_ms
+             ~subject:(Printf.sprintf "router-%d" r.Network.idx)
+             r.Network.cache)
+  in
+  base @ routes @ caches
+
+let inter_checks ?(routability_samples = 0) ~at_ms (net : Net.t) =
+  let r = Interinvariant.check net in
+  let base =
+    of_report ~at_ms ~check:"inter-invariant" ~subject:"inter"
+      r.Interinvariant.violations
+  in
+  let routes =
+    if routability_samples <= 0 then []
+    else
+      of_report ~at_ms ~check:"inter-routability" ~subject:"inter"
+        (Interinvariant.check_routability net ~samples:routability_samples)
+          .Interinvariant.violations
+  in
+  base @ routes

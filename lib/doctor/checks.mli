@@ -1,0 +1,48 @@
+(** Point-in-time well-formedness checks with stable violation fingerprints.
+
+    Each check inspects live simulation state and returns the list of
+    violations it found; running a check schedules nothing, draws no
+    randomness (except where a sampling count is explicitly requested) and
+    mutates no protocol state, so the {!Audit} layer can call them from
+    engine checkpoints without perturbing a deterministic campaign. *)
+
+type violation = {
+  check : string;   (** check kind, e.g. ["loopy-evidence"] *)
+  subject : string; (** stable subject, e.g. the holder's short identifier *)
+  detail : string;  (** human-readable specifics (not part of the fingerprint) *)
+  at_ms : float;    (** simulated time of the checkpoint that caught it *)
+}
+
+val fingerprint : violation -> string
+(** [check ^ ":" ^ subject] — the stable key the shrinker matches on.  The
+    detail and timestamp vary as events are dropped; the kind of breakage
+    and who it happened to must not. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val to_string : violation -> string
+
+val proto_checks :
+  ?stale_grace_ms:float -> at_ms:float -> Rofl_proto.Proto.t -> violation list
+(** Checkpoint sweep of the async protocol state: residency-oracle/resident
+    agreement (["oracle-agreement"], ["duplicate-resident"]), successor-list
+    hygiene (["succ-list-self"], ["succ-list-order"], ["succ-list-dup"]),
+    loopy-ring inversion evidence (["loopy-evidence"]: a backup strictly
+    closer clockwise than the successor), and — when [stale_grace_ms] is
+    given — stale successor windows open past the grace (["stale-grace"]). *)
+
+val pointer_cache_checks :
+  at_ms:float -> subject:string -> Rofl_core.Pointer_cache.t -> violation list
+(** LRU/ring-index agreement (["pointer-cache-agreement"]). *)
+
+val intra_checks :
+  ?routability_samples:int -> at_ms:float -> Rofl_intra.Network.t -> violation list
+(** The existing {!Rofl_intra.Invariant} sweep (["intra-invariant"]), optional
+    routability sampling (["intra-routability"], surfacing the inconclusive
+    case as a violation), plus a pointer-cache agreement audit of every
+    router.  Routability sampling draws from the network's own RNG. *)
+
+val inter_checks :
+  ?routability_samples:int -> at_ms:float -> Rofl_inter.Net.t -> violation list
+(** The existing {!Rofl_inter.Interinvariant} sweep (["inter-invariant"]) and
+    optional routability sampling (["inter-routability"]). *)

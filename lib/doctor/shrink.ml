@@ -1,0 +1,54 @@
+(* Delta-debugging-lite over event lists.  [reproduces] re-runs the whole
+   deterministic scenario on a candidate list and answers whether the target
+   violation fingerprint still shows up; it is the only oracle used, so the
+   reduction works for any event type and any failure the caller can
+   re-detect. *)
+
+let minimize ~reproduces events =
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let prefix_repro len = reproduces (Array.to_list (Array.sub arr 0 len)) in
+    (* Smallest reproducing prefix by bisection.  Violations are detected at
+       checkpoints *during* the run, so extending a reproducing prefix keeps
+       it reproducing (monotone) and bisection is sound; if a pathological
+       scenario breaks monotonicity the result is still a reproducing
+       prefix — just not the shortest — and the greedy passes below recover
+       most of the difference. *)
+    let len =
+      if prefix_repro 0 then 0
+      else begin
+        let lo = ref 0 and hi = ref n in
+        (* invariant: prefix !hi reproduces (the caller guarantees the full
+           list does), prefix !lo does not *)
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if prefix_repro mid then hi := mid else lo := mid
+        done;
+        !hi
+      end
+    in
+    (* Greedy one-at-a-time drops over the surviving prefix, newest event
+       first (later events are most often incidental), repeated until a full
+       pass removes nothing. *)
+    let keep = Array.make (max len 1) true in
+    let current () =
+      let out = ref [] in
+      for i = len - 1 downto 0 do
+        if keep.(i) then out := arr.(i) :: !out
+      done;
+      !out
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = len - 1 downto 0 do
+        if keep.(i) then begin
+          keep.(i) <- false;
+          if reproduces (current ()) then changed := true else keep.(i) <- true
+        end
+      done
+    done;
+    current ()
+  end

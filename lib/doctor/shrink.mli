@@ -1,0 +1,16 @@
+(** Deterministic event-list reduction for repro artifacts.
+
+    Given a list of events whose deterministic replay exhibits a violation,
+    [minimize ~reproduces events] returns a sub-list that still exhibits it:
+    first the shortest reproducing prefix by bisection (violations are
+    caught at checkpoints mid-run, so reproduction is monotone in prefix
+    length), then greedy one-at-a-time drops repeated to a fixpoint, so the
+    result is 1-minimal — removing any single remaining event loses the
+    violation.
+
+    [reproduces] must be a pure function of the candidate list (same PRNG
+    seed, same parameters on every call); it is invoked O(log n + k·n)
+    times for [k] fixpoint passes, each typically a full campaign re-run —
+    keep the scenarios small. *)
+
+val minimize : reproduces:('a list -> bool) -> 'a list -> 'a list

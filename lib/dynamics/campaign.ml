@@ -7,6 +7,8 @@ module Engine = Rofl_netsim.Engine
 module Proto = Rofl_proto.Proto
 module Churn = Rofl_workload.Churn
 module Hostdist = Rofl_workload.Hostdist
+module Artifact = Rofl_doctor.Artifact
+module Audit = Rofl_doctor.Audit
 
 type params = {
   horizon_ms : float;
@@ -59,6 +61,7 @@ type report = {
   msgs_per_event : float;
   peak_queue : int;
   sim_end_ms : float;
+  audit : Audit.summary option;
 }
 
 (* Derivation seams: every random stream of a campaign is its own generator
@@ -67,6 +70,14 @@ type report = {
    campaign is a pure function of (seed, graph, params) — the property the
    jobs-determinism tests pin. *)
 let stream seed purpose = Prng.create (Hashtbl.hash (seed, purpose, 0x0c4a7))
+
+(* Per-event randomness is keyed by the event itself, never by its position
+   in the trace: dropping an event during shrinking must not reshuffle the
+   gateway of every later one, or the shrinker's oracle would be chasing a
+   different campaign on every candidate. *)
+let gateway_for ~seed gateways kind seq =
+  let r = Prng.create (Hashtbl.hash (seed, "gateway", kind, seq, 0x0c4a7)) in
+  gateways.(Prng.int r (Array.length gateways))
 
 (* Fresh identifiers for every session, unique against the bootstrap router
    labels and each other. *)
@@ -88,35 +99,41 @@ let session_ids ~seed ~taken n =
 let percentile_or xs p ~default =
   match xs with [] -> default | _ -> Stats.percentile xs p
 
-let run_graph ~seed ~name ~graph ~gateways (p : params) =
-  if gateways = [||] then invalid_arg "Campaign.run_graph: no gateway routers";
+let churn_events ~seed (p : params) =
+  Churn.generate (stream seed "churn") ~horizon_ms:p.horizon_ms
+    ~arrival_rate_per_s:p.arrival_rate_per_s ~mean_lifetime_s:p.mean_lifetime_s
+    ~move_fraction:p.move_fraction ~crash_fraction:p.crash_fraction ()
+  |> List.map (fun e -> Artifact.Churn e)
+
+let run_events ~seed ~name ~graph ~gateways ?audit (p : params) events =
+  if gateways = [||] then invalid_arg "Campaign.run_events: no gateway routers";
   let proto = Proto.create ~rng:(stream seed "proto") ~cfg:p.proto_cfg graph in
   let engine = Proto.engine proto in
   let trace =
-    Churn.generate (stream seed "churn") ~horizon_ms:p.horizon_ms
-      ~arrival_rate_per_s:p.arrival_rate_per_s ~mean_lifetime_s:p.mean_lifetime_s
-      ~move_fraction:p.move_fraction ~crash_fraction:p.crash_fraction ()
+    List.filter_map (function Artifact.Churn e -> Some e | Artifact.Fault _ -> None) events
   in
   let n_sessions =
     List.fold_left (fun acc ev -> max acc (Churn.event_seq ev + 1)) 0 trace
   in
   let ids = session_ids ~seed ~taken:(Proto.members proto) n_sessions in
-  (* Pre-draw all per-event randomness in trace order, so nothing during the
-     run consumes a generator shared with the planning phase. *)
-  let gw_rng = stream seed "gateways" in
-  let pick_gw () = gateways.(Prng.int gw_rng (Array.length gateways)) in
   let planned =
     List.map
       (fun ev ->
         match ev with
-        | Churn.Join { at_ms; seq } -> (at_ms, `Join (seq, pick_gw ()))
-        | Churn.Leave { at_ms; seq } -> (at_ms, `Leave seq)
-        | Churn.Move { at_ms; seq } -> (at_ms, `Move (seq, pick_gw ()))
-        | Churn.Crash { at_ms; seq } -> (at_ms, `Crash seq))
-      trace
+        | Artifact.Churn (Churn.Join { at_ms; seq }) ->
+          (at_ms, `Join (seq, gateway_for ~seed gateways "join" seq))
+        | Artifact.Churn (Churn.Leave { at_ms; seq }) -> (at_ms, `Leave seq)
+        | Artifact.Churn (Churn.Move { at_ms; seq }) ->
+          (at_ms, `Move (seq, gateway_for ~seed gateways "move" seq))
+        | Artifact.Churn (Churn.Crash { at_ms; seq }) -> (at_ms, `Crash seq)
+        | Artifact.Fault (Artifact.Cross_splice { at_ms }) -> (at_ms, `Cross_splice)
+        | Artifact.Fault (Artifact.Stab_off { at_ms }) -> (at_ms, `Stab_off))
+      events
   in
+  (* Reconvergence is measured from the last *churn* event: injected faults
+     are the thing being diagnosed, not workload to recover from. *)
   let last_event_ms =
-    List.fold_left (fun acc (at, _) -> Float.max acc at) 0.0 planned
+    List.fold_left (fun acc ev -> Float.max acc (Churn.event_time ev)) 0.0 trace
   in
   (* Campaign-side session liveness, for lookup targeting: seq -> join time.
      Maintained by the scheduled churn events themselves. *)
@@ -137,7 +154,9 @@ let run_graph ~seed ~name ~graph ~gateways (p : params) =
             ignore (Proto.move proto ~new_gateway:gw ids.(seq))
           | `Crash seq ->
             Hashtbl.remove live seq;
-            ignore (Proto.crash proto ids.(seq))))
+            ignore (Proto.crash proto ids.(seq))
+          | `Cross_splice -> ignore (Proto.inject_cross_splice proto)
+          | `Stab_off -> Proto.stop_stabilizer proto))
     planned;
   (* Open-loop lookup workload: Poisson launch times fixed up front, target
      and origin drawn at launch time from dedicated streams. *)
@@ -174,6 +193,16 @@ let run_graph ~seed ~name ~graph ~gateways (p : params) =
     end
   in
   if p.lookup_rate_per_s > 0.0 then plan_lookups 0.0;
+  (* The auditor rides the engine's monitor hook: a pure observer outside
+     the event queue, so attaching one changes no table. *)
+  let auditor =
+    Option.map
+      (fun cfg ->
+        let a = Audit.create cfg proto in
+        Audit.install a;
+        a)
+      audit
+  in
   (* Run: stabilisation timers tick throughout; after the horizon, keep
      stabilising until the ring reconverges and every lookup has resolved. *)
   Proto.start_stabilizer proto;
@@ -191,6 +220,13 @@ let run_graph ~seed ~name ~graph ~gateways (p : params) =
   in
   let converged_at = drain () in
   Proto.stop_stabilizer proto;
+  let audit_summary =
+    Option.map
+      (fun a ->
+        Audit.detach a;
+        Audit.summary a)
+      auditor
+  in
   let s = Proto.stats proto in
   let outcomes = List.rev !outcomes in
   let ok_lat =
@@ -203,7 +239,7 @@ let run_graph ~seed ~name ~graph ~gateways (p : params) =
   let lookups = List.length outcomes in
   let stale = Proto.stale_windows proto in
   let joins_evt, leaves_evt, moves_evt, crashes_evt = Churn.count trace in
-  let events = joins_evt + leaves_evt + moves_evt + crashes_evt in
+  let events_n = joins_evt + leaves_evt + moves_evt + crashes_evt in
   let sim_end = Engine.now engine in
   {
     name;
@@ -233,15 +269,125 @@ let run_graph ~seed ~name ~graph ~gateways (p : params) =
     ctrl_msgs = Rofl_netsim.Metrics.categories (Proto.metrics proto);
     total_msgs = s.Proto.messages;
     msgs_per_event =
-      (if events = 0 then 0.0 else float_of_int s.Proto.messages /. float_of_int events);
+      (if events_n = 0 then 0.0
+       else float_of_int s.Proto.messages /. float_of_int events_n);
     peak_queue = Engine.peak_pending engine;
     sim_end_ms = sim_end;
+    audit = audit_summary;
   }
 
-let run ~seed ~profile (p : params) =
+let run_graph ~seed ~name ~graph ~gateways ?audit (p : params) =
+  run_events ~seed ~name ~graph ~gateways ?audit p (churn_events ~seed p)
+
+let run ~seed ~profile ?audit (p : params) =
   (* Same topology derivation as the experiment engine's intra runs, so a
      churn campaign on as3967 sees the same network fig5/6/7 measure. *)
   let rng = Prng.create (seed + Hashtbl.hash profile.Isp.profile_name) in
   let isp = Isp.generate rng profile in
   let gateways = Array.of_list (Isp.edge_routers isp) in
-  run_graph ~seed ~name:profile.Isp.profile_name ~graph:isp.Isp.graph ~gateways p
+  run_graph ~seed ~name:profile.Isp.profile_name ~graph:isp.Isp.graph ~gateways ?audit p
+
+(* Round-tripping params through repro artifacts.  Hex floats ([%h]) keep
+   every scalar bit-identical across write/read, which the shrinker's
+   determinism depends on. *)
+
+let params_to_strings (p : params) =
+  let f = Printf.sprintf "%h" in
+  let i = string_of_int in
+  let b = string_of_bool in
+  let c = p.proto_cfg in
+  [
+    ("horizon_ms", f p.horizon_ms);
+    ("arrival_rate_per_s", f p.arrival_rate_per_s);
+    ("mean_lifetime_s", f p.mean_lifetime_s);
+    ("move_fraction", f p.move_fraction);
+    ("crash_fraction", f p.crash_fraction);
+    ("lookup_rate_per_s", f p.lookup_rate_per_s);
+    ("lookup_warmup_ms", f p.lookup_warmup_ms);
+    ("drain_max_ms", f p.drain_max_ms);
+    ("stabilize_period_ms", f c.Proto.stabilize_period_ms);
+    ("succ_list_len", i c.Proto.succ_list_len);
+    ("rpc_timeout_ms", f c.Proto.rpc_timeout_ms);
+    ("rpc_retries", i c.Proto.rpc_retries);
+    ("rpc_backoff", f c.Proto.rpc_backoff);
+    ("pred_timeout_ms", f c.Proto.pred_timeout_ms);
+    ("join_timeout_ms", f c.Proto.join_timeout_ms);
+    ("join_retries", i c.Proto.join_retries);
+    ("lookup_timeout_ms", f c.Proto.lookup_timeout_ms);
+    ("lookup_retries", i c.Proto.lookup_retries);
+    ("stuck_wait_ms", f c.Proto.stuck_wait_ms);
+    ("stuck_wait_limit", i c.Proto.stuck_wait_limit);
+    ("untwist", b c.Proto.untwist);
+  ]
+
+let params_of_strings kvs =
+  let ( let* ) = Result.bind in
+  let fl k v =
+    match float_of_string_opt v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "param %s: malformed float %S" k v)
+  in
+  let it k v =
+    match int_of_string_opt v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "param %s: malformed int %S" k v)
+  in
+  let bl k v =
+    match bool_of_string_opt v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "param %s: malformed bool %S" k v)
+  in
+  List.fold_left
+    (fun acc (k, v) ->
+      let* p = acc in
+      let c = p.proto_cfg in
+      match k with
+      | "horizon_ms" -> let* x = fl k v in Ok { p with horizon_ms = x }
+      | "arrival_rate_per_s" -> let* x = fl k v in Ok { p with arrival_rate_per_s = x }
+      | "mean_lifetime_s" -> let* x = fl k v in Ok { p with mean_lifetime_s = x }
+      | "move_fraction" -> let* x = fl k v in Ok { p with move_fraction = x }
+      | "crash_fraction" -> let* x = fl k v in Ok { p with crash_fraction = x }
+      | "lookup_rate_per_s" -> let* x = fl k v in Ok { p with lookup_rate_per_s = x }
+      | "lookup_warmup_ms" -> let* x = fl k v in Ok { p with lookup_warmup_ms = x }
+      | "drain_max_ms" -> let* x = fl k v in Ok { p with drain_max_ms = x }
+      | "stabilize_period_ms" ->
+        let* x = fl k v in
+        Ok { p with proto_cfg = { c with Proto.stabilize_period_ms = x } }
+      | "succ_list_len" ->
+        let* x = it k v in
+        Ok { p with proto_cfg = { c with Proto.succ_list_len = x } }
+      | "rpc_timeout_ms" ->
+        let* x = fl k v in
+        Ok { p with proto_cfg = { c with Proto.rpc_timeout_ms = x } }
+      | "rpc_retries" ->
+        let* x = it k v in
+        Ok { p with proto_cfg = { c with Proto.rpc_retries = x } }
+      | "rpc_backoff" ->
+        let* x = fl k v in
+        Ok { p with proto_cfg = { c with Proto.rpc_backoff = x } }
+      | "pred_timeout_ms" ->
+        let* x = fl k v in
+        Ok { p with proto_cfg = { c with Proto.pred_timeout_ms = x } }
+      | "join_timeout_ms" ->
+        let* x = fl k v in
+        Ok { p with proto_cfg = { c with Proto.join_timeout_ms = x } }
+      | "join_retries" ->
+        let* x = it k v in
+        Ok { p with proto_cfg = { c with Proto.join_retries = x } }
+      | "lookup_timeout_ms" ->
+        let* x = fl k v in
+        Ok { p with proto_cfg = { c with Proto.lookup_timeout_ms = x } }
+      | "lookup_retries" ->
+        let* x = it k v in
+        Ok { p with proto_cfg = { c with Proto.lookup_retries = x } }
+      | "stuck_wait_ms" ->
+        let* x = fl k v in
+        Ok { p with proto_cfg = { c with Proto.stuck_wait_ms = x } }
+      | "stuck_wait_limit" ->
+        let* x = it k v in
+        Ok { p with proto_cfg = { c with Proto.stuck_wait_limit = x } }
+      | "untwist" ->
+        let* x = bl k v in
+        Ok { p with proto_cfg = { c with Proto.untwist = x } }
+      | _ -> Error (Printf.sprintf "unknown param %S" k))
+    (Ok default_params) kvs

@@ -10,12 +10,13 @@
     durations, time to reconvergence once the trace drains, and
     control-message overhead per category.
 
-    Determinism: a campaign is a pure function of (seed, graph, params).
-    Every random stream is derived from the seed by purpose, all draws
-    happen either in the planning phase (trace order) or inside engine
-    events (engine order), and nothing is shared across campaigns — so grids
-    of campaigns can fan over {!Rofl_util.Pool} with byte-identical results
-    at any jobs setting. *)
+    Determinism: a campaign is a pure function of (seed, graph, params,
+    events).  Every random stream is derived from the seed by purpose,
+    per-event randomness (gateway placement) is keyed by the event itself
+    rather than by trace position — so the doctor's shrinker can drop
+    events without reshuffling the rest — and nothing is shared across
+    campaigns, so grids of campaigns can fan over {!Rofl_util.Pool} with
+    byte-identical results at any jobs setting. *)
 
 type params = {
   horizon_ms : float;           (** churn + lookups run for this long *)
@@ -60,18 +61,57 @@ type report = {
   msgs_per_event : float;     (** total messages per churn-trace event *)
   peak_queue : int;           (** event-queue high-water mark *)
   sim_end_ms : float;
+  audit : Rofl_doctor.Audit.summary option;
+  (** checkpoint-audit results when an [?audit] config was supplied *)
 }
+
+val churn_events : seed:int -> params -> Rofl_doctor.Artifact.event list
+(** The churn trace a campaign at this seed replays, as doctor events —
+    exactly what {!run_graph} feeds {!run_events}, exposed so the doctor
+    can audit, shrink and persist it. *)
+
+val run_events :
+  seed:int ->
+  name:string ->
+  graph:Rofl_topology.Graph.t ->
+  gateways:int array ->
+  ?audit:Rofl_doctor.Audit.config ->
+  params ->
+  Rofl_doctor.Artifact.event list ->
+  report
+(** Run a campaign over an explicit event list — churn plus injected faults
+    ({!Rofl_doctor.Artifact.fault}).  With [?audit], a checkpoint auditor
+    observes the run (purely — every table stays byte-identical) and its
+    summary lands in the report.  The same (seed, graph, params, events)
+    always produces the same report, whatever events were dropped: this is
+    the replay primitive behind [rofl_sim doctor --replay]. *)
 
 val run_graph :
   seed:int ->
   name:string ->
   graph:Rofl_topology.Graph.t ->
   gateways:int array ->
+  ?audit:Rofl_doctor.Audit.config ->
   params ->
   report
 (** Run one campaign on an arbitrary topology; joins, moves and lookup
-    origins are placed on [gateways] (must be non-empty). *)
+    origins are placed on [gateways] (must be non-empty).  Equivalent to
+    {!run_events} over {!churn_events}. *)
 
-val run : seed:int -> profile:Rofl_topology.Isp.profile -> params -> report
+val run :
+  seed:int ->
+  profile:Rofl_topology.Isp.profile ->
+  ?audit:Rofl_doctor.Audit.config ->
+  params ->
+  report
 (** Campaign on a generated ISP topology (same derivation as the experiment
     engine), with hosts attached at its access routers. *)
+
+val params_to_strings : params -> (string * string) list
+(** Flatten params (including the protocol config) to named scalars for a
+    repro artifact; floats are hex ([%h]) so the round trip is
+    bit-identical. *)
+
+val params_of_strings : (string * string) list -> (params, string) result
+(** Rebuild params from artifact lines over {!default_params}; unknown keys
+    and malformed scalars are errors. *)

@@ -1,0 +1,291 @@
+module Table = Rofl_util.Table
+module Prng = Rofl_util.Prng
+module Isp = Rofl_topology.Isp
+module Proto = Rofl_proto.Proto
+module Campaign = Rofl_dynamics.Campaign
+module Checks = Rofl_doctor.Checks
+module Audit = Rofl_doctor.Audit
+module Shrink = Rofl_doctor.Shrink
+module Artifact = Rofl_doctor.Artifact
+
+(* The ring doctor's lab: audited churn campaigns, fault-injection hunts
+   with deterministic shrinking, and artifact replay.  Every campaign here
+   is a pure function of (seed, profile, params, events), so grids fan over
+   the domain pool with byte-identical tables at any --jobs setting and a
+   written artifact replays bit-identically anywhere. *)
+
+type scenario = {
+  sc_seed : int;
+  sc_profile : Isp.profile;
+  sc_params : Campaign.params;
+  sc_faults : Artifact.fault list;
+}
+
+let scenario_events sc =
+  Campaign.churn_events ~seed:sc.sc_seed sc.sc_params
+  @ List.map (fun f -> Artifact.Fault f) sc.sc_faults
+
+(* ---- graph specs ------------------------------------------------------- *)
+
+(* The artifact's graph line carries the full profile, not a name looked up
+   in a registry, so a repro written against a custom profile still replays
+   on a binary that has never heard of it. *)
+let graph_spec (p : Isp.profile) =
+  Printf.sprintf "isp %s %d %d %d" p.Isp.profile_name p.Isp.routers p.Isp.hosts
+    p.Isp.pop_count
+
+let profile_of_spec spec =
+  match String.split_on_char ' ' (String.trim spec) with
+  | [ "isp"; name; routers; hosts; pops ] ->
+    (match (int_of_string_opt routers, int_of_string_opt hosts, int_of_string_opt pops) with
+     | Some routers, Some hosts, Some pop_count ->
+       Ok { Isp.profile_name = name; routers; hosts; pop_count }
+     | _ -> Error (Printf.sprintf "malformed isp spec %S" spec))
+  | _ -> Error (Printf.sprintf "unknown graph spec %S" spec)
+
+(* Same topology derivation as {!Campaign.run}, so auditing a grid cell and
+   replaying its artifact build the identical network. *)
+let topology ~seed (profile : Isp.profile) =
+  let rng = Prng.create (seed + Hashtbl.hash profile.Isp.profile_name) in
+  let isp = Isp.generate rng profile in
+  (isp.Isp.graph, Array.of_list (Isp.edge_routers isp))
+
+let audited_report sc events =
+  let graph, gateways = topology ~seed:sc.sc_seed sc.sc_profile in
+  Campaign.run_events ~seed:sc.sc_seed ~name:sc.sc_profile.Isp.profile_name ~graph
+    ~gateways
+    ~audit:(Audit.config_for sc.sc_params.Campaign.proto_cfg)
+    sc.sc_params events
+
+let summary_of (r : Campaign.report) =
+  match r.Campaign.audit with
+  | Some s -> s
+  | None -> { Audit.checkpoints = 0; violations = []; total_violations = 0 }
+
+let reproduces sc fingerprint events =
+  let s = summary_of (audited_report sc events) in
+  List.exists (fun v -> Checks.fingerprint v = fingerprint) s.Audit.violations
+
+(* ---- audited campaign grid --------------------------------------------- *)
+
+type grid = {
+  tables : Table.t list;
+  total_violations : int;
+  failing : (scenario * Campaign.report) list; (* cells with violations *)
+}
+
+let grid_params (scale : Common.scale) ~lifetime_s =
+  {
+    Campaign.default_params with
+    Campaign.horizon_ms = scale.Common.churn_horizon_ms;
+    arrival_rate_per_s = scale.Common.churn_arrival_per_s;
+    mean_lifetime_s = lifetime_s;
+    move_fraction = 0.2;
+    crash_fraction = 0.2;
+    lookup_rate_per_s = scale.Common.churn_lookup_per_s;
+  }
+
+let audit_campaigns (scale : Common.scale) =
+  let cells =
+    List.concat_map
+      (fun profile ->
+        List.map
+          (fun lt ->
+            {
+              sc_seed = scale.Common.seed;
+              sc_profile = profile;
+              sc_params = grid_params scale ~lifetime_s:lt;
+              sc_faults = [];
+            })
+          scale.Common.churn_lifetimes_s)
+      scale.Common.isps
+  in
+  let reports =
+    Common.parallel_map (fun sc -> audited_report sc (scenario_events sc)) cells
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ring doctor: checkpoint audits over the churn grid (%.0f s horizon, \
+            %.0f arrivals/s, checkpoint every %.0f ms)"
+           (scale.Common.churn_horizon_ms /. 1000.0)
+           scale.Common.churn_arrival_per_s
+           Proto.default_config.Proto.stabilize_period_ms)
+      ~columns:
+        [ "ISP"; "lifetime [s]"; "checkpoints"; "violations"; "verdict"; "first violation" ]
+  in
+  let failing = ref [] and total = ref 0 in
+  List.iter2
+    (fun sc r ->
+      let s = summary_of r in
+      total := !total + s.Audit.total_violations;
+      if not (Audit.ok s) then failing := (sc, r) :: !failing;
+      Table.add_row t
+        [
+          sc.sc_profile.Isp.profile_name;
+          Printf.sprintf "%g" sc.sc_params.Campaign.mean_lifetime_s;
+          string_of_int s.Audit.checkpoints;
+          string_of_int s.Audit.total_violations;
+          (if Audit.ok s then "ok" else "VIOLATION");
+          (match Audit.first s with
+           | None -> "-"
+           | Some v -> Checks.to_string v);
+        ])
+    cells reports;
+  { tables = [ t ]; total_violations = !total; failing = List.rev !failing }
+
+(* ---- static layer audits ----------------------------------------------- *)
+
+(* One-shot sweeps of the synchronous intra/inter networks through the same
+   check set, so the doctor also covers the layers the experiment figures
+   are built on (and the pointer-cache/index agreement check runs against a
+   populated cache). *)
+let static_audits (scale : Common.scale) =
+  let profile = List.hd scale.Common.isps in
+  let hosts = min scale.Common.intra_hosts 200 in
+  let run = Common.build_intra ~seed:scale.Common.seed ~hosts profile in
+  let intra_vs =
+    Checks.intra_checks ~routability_samples:32 ~at_ms:0.0 run.Common.net
+  in
+  let inter =
+    Common.build_inter ~seed:scale.Common.seed
+      ~hosts:(min scale.Common.inter_hosts 300)
+      ~strategy:Rofl_inter.Net.Single_homed scale.Common.inter_params
+  in
+  let inter_vs =
+    Checks.inter_checks ~routability_samples:32 ~at_ms:0.0 inter.Common.net
+  in
+  let t =
+    Table.create ~title:"Ring doctor: static layer audits"
+      ~columns:[ "layer"; "violations"; "first violation" ]
+  in
+  let row layer vs =
+    Table.add_row t
+      [
+        layer;
+        string_of_int (List.length vs);
+        (match vs with [] -> "-" | v :: _ -> Checks.to_string v);
+      ]
+  in
+  row (Printf.sprintf "intra (%s, %d hosts)" profile.Isp.profile_name hosts) intra_vs;
+  row "inter" inter_vs;
+  (t, List.length intra_vs + List.length inter_vs)
+
+(* ---- fault-injection hunts and shrinking ------------------------------- *)
+
+type fault_kind = Stab_off_crash | Loopy_splice
+
+let mini_profile =
+  { Isp.profile_name = "doctor-mini"; routers = 24; hosts = 1_000; pop_count = 3 }
+
+let inject_scenario ~seed = function
+  | Stab_off_crash ->
+    (* Kill the stabilizer early, then let churn crash members: every stale
+       successor window stays open forever and blows through the grace. *)
+    {
+      sc_seed = seed;
+      sc_profile = mini_profile;
+      sc_params =
+        {
+          Campaign.default_params with
+          Campaign.horizon_ms = 6_000.0;
+          arrival_rate_per_s = 2.0;
+          mean_lifetime_s = 2.0;
+          move_fraction = 0.0;
+          crash_fraction = 1.0;
+          lookup_rate_per_s = 0.0;
+        };
+      sc_faults = [ Artifact.Stab_off { at_ms = 1_500.0 } ];
+    }
+  | Loopy_splice ->
+    (* Reintroduce the loopy-network bug (untwist repair off) and splice the
+       ring across itself: inversion evidence in the successor lists is then
+       permanent, exactly what the untwist repair would have consumed. *)
+    {
+      sc_seed = seed;
+      sc_profile = mini_profile;
+      sc_params =
+        {
+          Campaign.default_params with
+          Campaign.horizon_ms = 4_000.0;
+          arrival_rate_per_s = 1.0;
+          lookup_rate_per_s = 0.0;
+          proto_cfg = { Proto.default_config with Proto.untwist = false };
+        };
+      sc_faults = [ Artifact.Cross_splice { at_ms = 2_000.0 } ];
+    }
+
+type hunt =
+  | Clean of Campaign.report
+  | Caught of {
+      fingerprint : string;
+      first : Checks.violation;
+      original_events : int;
+      shrunk_events : int;
+      artifact : Artifact.t;
+      report : Campaign.report; (* of the original, unshrunk run *)
+    }
+
+let hunt_and_shrink sc =
+  let events = scenario_events sc in
+  let r = audited_report sc events in
+  match Audit.first (summary_of r) with
+  | None -> Clean r
+  | Some first ->
+    let fingerprint = Checks.fingerprint first in
+    (* Parameter-level shrink first: a repro without its lookup workload is
+       much faster to re-run and much easier to read.  Valid only if the
+       violation survives, which the same oracle decides. *)
+    let sc =
+      if sc.sc_params.Campaign.lookup_rate_per_s > 0.0 then begin
+        let quiet =
+          { sc with sc_params = { sc.sc_params with Campaign.lookup_rate_per_s = 0.0 } }
+        in
+        if reproduces quiet fingerprint events then quiet else sc
+      end
+      else sc
+    in
+    let shrunk = Shrink.minimize ~reproduces:(reproduces sc fingerprint) events in
+    let artifact =
+      {
+        Artifact.seed = sc.sc_seed;
+        graph = graph_spec sc.sc_profile;
+        params = Campaign.params_to_strings sc.sc_params;
+        fingerprint;
+        events = shrunk;
+      }
+    in
+    Caught
+      {
+        fingerprint;
+        first;
+        original_events = List.length events;
+        shrunk_events = List.length shrunk;
+        artifact;
+        report = r;
+      }
+
+(* ---- artifact replay ---------------------------------------------------- *)
+
+type replay = {
+  rp_report : Campaign.report;
+  rp_reproduced : bool;       (* the expected fingerprint showed up again *)
+  rp_violation : Checks.violation option; (* the matching violation, if any *)
+}
+
+let replay (a : Artifact.t) =
+  let ( let* ) = Result.bind in
+  let* profile = profile_of_spec a.Artifact.graph in
+  let* params = Campaign.params_of_strings a.Artifact.params in
+  let sc =
+    { sc_seed = a.Artifact.seed; sc_profile = profile; sc_params = params; sc_faults = [] }
+  in
+  let r = audited_report sc a.Artifact.events in
+  let s = summary_of r in
+  let hit =
+    List.find_opt
+      (fun v -> Checks.fingerprint v = a.Artifact.fingerprint)
+      s.Audit.violations
+  in
+  Ok { rp_report = r; rp_reproduced = hit <> None; rp_violation = hit }

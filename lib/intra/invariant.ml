@@ -9,6 +9,8 @@ type report = {
   ok : bool;
   violations : string list;
   checked_members : int;
+  samples_drawn : int;
+  inconclusive : bool;
   stale_tail_entries : int;
 }
 
@@ -88,6 +90,8 @@ let check (t : Network.t) =
     ok = !violations = [];
     violations = List.rev !violations;
     checked_members = !checked;
+    samples_drawn = !checked;
+    inconclusive = false;
     stale_tail_entries = !stale_tails;
   }
 
@@ -100,8 +104,17 @@ let check_routability (t : Network.t) ~samples =
   in
   let violations = ref [] in
   let checked = ref 0 in
-  if Array.length ids >= 2 then begin
-    for _ = 1 to samples do
+  let drawn = ref 0 in
+  let live = Array.length ids in
+  if live >= 2 then begin
+    (* Each draw may land on an identical or cross-partition pair, which
+       cannot be routed and does not count as a check — so keep drawing, up
+       to a retry budget, until [samples] pairs were actually exercised (the
+       seed burnt [samples] draws and silently reported whatever subset
+       happened to be reachable, down to an "all green" empty report). *)
+    let budget = 8 * samples in
+    while !checked < samples && !drawn < budget do
+      incr drawn;
       let sid, (sv : Vnode.t) = Prng.sample t.Network.rng ids in
       let did, (dv : Vnode.t) = Prng.sample t.Network.rng ids in
       if
@@ -125,9 +138,12 @@ let check_routability (t : Network.t) ~samples =
       end
     done
   end;
+  let inconclusive = live >= 2 && !checked = 0 in
   {
-    ok = !violations = [];
+    ok = !violations = [] && not inconclusive;
     violations = List.rev !violations;
     checked_members = !checked;
+    samples_drawn = !drawn;
+    inconclusive;
     stale_tail_entries = 0;
   }

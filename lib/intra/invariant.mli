@@ -9,8 +9,19 @@
 
 type report = {
   ok : bool;
-  violations : string list; (** empty iff [ok] *)
+  violations : string list; (** empty iff no invariant was broken *)
   checked_members : int;
+  (** for {!check}: live members swept; for {!check_routability}: pairs
+      actually routed (drawn, distinct and mutually reachable). *)
+  samples_drawn : int;
+  (** for {!check_routability}: pair draws consumed, including the ones
+      rejected as identical or cross-partition — compare with
+      [checked_members] to see how much of the sample survived. *)
+  inconclusive : bool;
+  (** {!check_routability} could not exercise a single pair although ≥ 2
+      members are live (total partition into singletons, or pathological
+      sampling).  Forces [ok = false] so "nothing was checked" can never
+      read as "all checks passed". *)
   stale_tail_entries : int;
   (** successor/predecessor-group tail entries pointing at departed
       identifiers.  Tails are repaired lazily (probes piggybacked on data
@@ -25,4 +36,7 @@ val check : Network.t -> report
 
 val check_routability : Network.t -> samples:int -> report
 (** Route [samples] random packets between random live identifier pairs in
-    the same component and require delivery — invariant (a). *)
+    the same component and require delivery — invariant (a).  Draws are
+    resampled (up to a budget of [8 * samples]) until [samples] routable
+    pairs were exercised; if not a single pair could be checked with ≥ 2
+    live members the report is {!report.inconclusive} and not [ok]. *)

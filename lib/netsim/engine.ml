@@ -5,11 +5,23 @@ type t = {
   queue : (unit -> unit) Heap.t;
   mutable peak : int;
   mutable scheduled : int;
+  (* Observer called after each executed event, outside the queue: a
+     checkpoint hook that scheduled events instead would shift the FIFO
+     tie-breaking sequence numbers and change every same-time ordering. *)
+  mutable monitor : (float -> unit) option;
 }
 
-let create () = { clock = 0.0; queue = Heap.create (); peak = 0; scheduled = 0 }
+let create () =
+  { clock = 0.0; queue = Heap.create (); peak = 0; scheduled = 0; monitor = None }
 
 let now t = t.clock
+
+let set_monitor t f = t.monitor <- Some f
+
+let clear_monitor t = t.monitor <- None
+
+let observe t =
+  match t.monitor with None -> () | Some m -> m t.clock
 
 let schedule_at t ~time_ms f =
   if time_ms < t.clock then invalid_arg "Engine.schedule_at: time in the past";
@@ -29,6 +41,7 @@ let run t =
     | Some (time, f) ->
       t.clock <- time;
       f ();
+      observe t;
       loop ()
   in
   loop ()
@@ -41,9 +54,15 @@ let run_until t horizon =
        | Some (time, f) ->
          t.clock <- time;
          f ();
+         observe t;
          loop ()
        | None -> ())
-    | Some _ | None -> t.clock <- Float.max t.clock horizon
+    | Some _ | None ->
+      (* Advance the clock to the horizon and give the monitor one look at
+         the idle boundary: a quiescent queue (e.g. a stopped stabilizer)
+         must not blind a checkpoint auditor to time passing. *)
+      t.clock <- Float.max t.clock horizon;
+      observe t
   in
   loop ()
 

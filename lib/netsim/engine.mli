@@ -28,7 +28,10 @@ val run : t -> unit
 (** Execute events until the queue drains. *)
 
 val run_until : t -> float -> unit
-(** Execute events with time <= the horizon; pending later events remain. *)
+(** Execute events with time <= the horizon; pending later events remain.
+    The clock advances to at least the horizon, and the monitor (if any)
+    observes the boundary even when no event fired — so checkpoint audits
+    keep seeing time pass across quiescent stretches. *)
 
 val pending : t -> int
 (** In-flight events: scheduled but not yet executed. *)
@@ -43,3 +46,14 @@ val scheduled_total : t -> int
 (** Cumulative number of events ever scheduled (executed or pending). *)
 
 val clear : t -> unit
+
+val set_monitor : t -> (float -> unit) -> unit
+(** Install an observer invoked after every executed event with the current
+    simulated time — the ring doctor's checkpoint hook.  The observer runs
+    {e outside} the event queue: monitoring via scheduled events would shift
+    the FIFO tie-breaking sequence numbers and perturb every same-timestamp
+    ordering, breaking byte-identical determinism.  The observer must not
+    schedule events, raise, or mutate simulation state; at most one is
+    active (a second call replaces the first). *)
+
+val clear_monitor : t -> unit

@@ -31,6 +31,7 @@ type config = {
   lookup_retries : int;
   stuck_wait_ms : float;
   stuck_wait_limit : int;
+  untwist : bool;
 }
 
 let default_config =
@@ -47,6 +48,7 @@ let default_config =
     lookup_retries = 3;
     stuck_wait_ms = 5.0;
     stuck_wait_limit = 3;
+    untwist = true;
   }
 
 type message =
@@ -301,6 +303,25 @@ let truncate_list n xs =
   in
   go n xs
 
+(* Successor lists must hold pairwise-distinct entries in strictly increasing
+   clockwise distance from their holder, never the holder itself and never
+   the current successor (which rides in [succ], not the backup tail).
+
+   Inherited lists do not arrive that way: a departing member's backups are
+   ordered around *its* position, not the adopter's, and in small rings they
+   can even contain the adopter (the seed spliced them in verbatim, leaving
+   transient self-entries and out-of-order tails that failover would then
+   promote in the wrong order).  Every adoption site funnels through this
+   normaliser: drop self/succ, dedup, re-sort by distance from the new
+   holder, truncate. *)
+let normalize_succ_list t ~self ?succ entries =
+  entries
+  |> List.filter (fun (i, _) ->
+         (not (Id.equal i self))
+         && (match succ with Some s -> not (Id.equal i s) | None -> true))
+  |> List.sort_uniq (fun (a, _) (b, _) -> Id.compare_dist self a self b)
+  |> truncate_list (t.cfg.succ_list_len - 1)
+
 (* Deliver a message to a router after traversing the physical path there,
    charging one message per link under [cat]. *)
 let send_direct t ~cat ~from ~dest msg handle =
@@ -387,7 +408,7 @@ let rec forward_join t ~at (m : message) =
         let old_list = r.succ_list in
         set_succ t r (Some (joining, gateway));
         r.succ_list <-
-          truncate_list (t.cfg.succ_list_len - 1)
+          normalize_succ_list t ~self:r.rid ~succ:joining
             (match old_succ with Some s -> s :: old_list | None -> old_list);
         send_direct t ~cat:"join" ~from:at ~dest:gateway
           (Join_resp { joining; pred = (r.rid, at); succ = old_succ; succ_list = old_list })
@@ -490,7 +511,8 @@ and handle t at (m : message) =
          {
            rid = joining;
            succ = None;
-           succ_list = truncate_list (t.cfg.succ_list_len - 1) succ_list;
+           succ_list =
+             normalize_succ_list t ~self:joining ?succ:(Option.map fst succ) succ_list;
            pred = Some pred;
            pred_heard_ms = Engine.now t.engine;
            probe_inflight = false;
@@ -530,11 +552,7 @@ and handle t at (m : message) =
        (* Adopt the successor's own successors as our backups. *)
        (match r.succ with
         | Some (sid, _) when Id.equal sid of_id ->
-          r.succ_list <-
-            truncate_list (t.cfg.succ_list_len - 1)
-              (List.filter
-                 (fun (i, _) -> not (Id.equal i r.rid) && not (Id.equal i sid))
-                 succ_list)
+          r.succ_list <- normalize_succ_list t ~self:r.rid ~succ:sid succ_list
         | Some _ | None -> ());
        (match (pred, r.succ) with
         | Some (pid, prouter), Some ((sid, _) as old_succ)
@@ -542,7 +560,7 @@ and handle t at (m : message) =
           (* A closer successor surfaced between us and our successor. *)
           set_succ t r (Some (pid, prouter));
           r.succ_list <-
-            truncate_list (t.cfg.succ_list_len - 1) (old_succ :: r.succ_list);
+            normalize_succ_list t ~self:r.rid ~succ:pid (old_succ :: r.succ_list);
           send_direct t ~cat:"stabilize" ~from:at ~dest:prouter
             (Notify { candidate = r.rid; candidate_router = at; target = pid })
             (handle t prouter)
@@ -572,7 +590,9 @@ and handle t at (m : message) =
        (match r.succ with
         | Some (sid, _) when Id.equal sid departing ->
           set_succ t r new_succ;
-          r.succ_list <- truncate_list (t.cfg.succ_list_len - 1) new_succ_list;
+          r.succ_list <-
+            normalize_succ_list t ~self:r.rid ?succ:(Option.map fst new_succ)
+              (List.filter (fun (i, _) -> not (Id.equal i departing)) new_succ_list);
           (* Introduce ourselves to the inherited successor right away. *)
           (match new_succ with
            | Some (nid, nrouter) when not (Id.equal nid r.rid) ->
@@ -840,9 +860,11 @@ let untwist t nd r =
            first rest
        in
        set_succ t r (Some (bid, brouter));
+       (* Re-sorting places the demoted old successor at its true clockwise
+          rank (the seed appended it unconditionally, leaving the tail out
+          of distance order until the next adoption). *)
        r.succ_list <-
-         truncate_list (t.cfg.succ_list_len - 1)
-           (List.filter (fun (i, _) -> not (Id.equal i bid)) r.succ_list @ [ old_succ ]);
+         normalize_succ_list t ~self:r.rid ~succ:bid (old_succ :: r.succ_list);
        send_direct t ~cat:"repair" ~from:nd.router ~dest:brouter
          (Notify { candidate = r.rid; candidate_router = nd.router; target = bid })
          (handle t brouter))
@@ -860,7 +882,7 @@ let stabilize_round t =
              when (not (Id.equal pid r.rid))
                   && now -. r.pred_heard_ms > t.cfg.pred_timeout_ms -> r.pred <- None
            | Some _ | None -> ());
-          untwist t nd r;
+          if t.cfg.untwist then untwist t nd r;
           match r.succ with
           | Some (sid, srouter) when (not (Id.equal sid r.rid)) && not r.probe_inflight ->
             r.probe_inflight <- true;
@@ -943,6 +965,67 @@ let stats t =
     join_retries = t.join_retries_total;
     lookup_retries = t.lookup_retries_total;
   }
+
+(* ---- audit surface (doctor-side, not protocol) -------------------------- *)
+
+type resident_view = {
+  v_id : Id.t;
+  v_router : int;
+  v_succ : pointer option;
+  v_succ_list : pointer list;
+  v_pred : pointer option;
+}
+
+let residents_view t =
+  let acc = ref [] in
+  Array.iter
+    (fun nd ->
+      List.iter
+        (fun r ->
+          acc :=
+            {
+              v_id = r.rid;
+              v_router = nd.router;
+              v_succ = r.succ;
+              v_succ_list = r.succ_list;
+              v_pred = r.pred;
+            }
+            :: !acc)
+        nd.residents)
+    t.nodes;
+  List.sort (fun a b -> Id.compare a.v_id b.v_id) !acc
+
+let locate t rid = Hashtbl.find_opt t.where rid
+
+let stale_open_since t =
+  Hashtbl.fold (fun rid since acc -> (rid, since) :: acc) t.stale_marks []
+  |> List.sort (fun (a, _) (b, _) -> Id.compare a b)
+
+(* ---- fault injection (doctor test harness) ------------------------------ *)
+
+(* Swap the successor pointers of the members at sorted positions 0 and n/2:
+   a deterministic "loopy" whirl — every pointer still names a live member,
+   so pairwise stabilisation confirms it, and only succ-list inversion
+   evidence (the untwist repair, or the doctor's loopy-evidence check) can
+   tell the ring went wrong.  Raw field writes on purpose: a fault must not
+   trip the stale-window instrumentation reserved for genuine departures. *)
+let inject_cross_splice t =
+  let ms = Array.of_list (members t) in
+  let n = Array.length ms in
+  if n < 4 then None
+  else begin
+    let a = ms.(0) and b = ms.(n / 2) in
+    match (Hashtbl.find_opt t.where a, Hashtbl.find_opt t.where b) with
+    | Some ra, Some rb ->
+      (match (find_resident t ra a, find_resident t rb b) with
+       | Some xa, Some xb ->
+         let sa = xa.succ in
+         xa.succ <- xb.succ;
+         xb.succ <- sa;
+         Some (a, b)
+       | _ -> None)
+    | _ -> None
+  end
 
 let lookup_owner t ~from target =
   (* [succ target] sits at maximal clockwise distance from the target, so it

@@ -38,12 +38,16 @@ type config = {
   lookup_retries : int;
   stuck_wait_ms : float;       (** wait before re-probing a mid-join candidate *)
   stuck_wait_limit : int;      (** waits before presuming the candidate dead *)
+  untwist : bool;
+  (** enable the succ-list-inversion "untwist" repair for loopy rings.  On by
+      default; turning it off deliberately reintroduces Chord's loopy-network
+      problem, which the ring doctor's audits are built to catch. *)
 }
 
 val default_config : config
 (** 50 ms stabilisation, 4-deep successor lists, 100 ms probe timeout with
     2 retries at 2x backoff, 600 ms predecessor timeout, 400 ms join and
-    300 ms lookup timeouts. *)
+    300 ms lookup timeouts; untwist repair on. *)
 
 type stats = {
   messages : int;        (** total link traversals *)
@@ -162,3 +166,36 @@ val stale_open : t -> int
 val lookup_owner : t -> from:int -> Rofl_idspace.Id.t -> Rofl_idspace.Id.t option
 (** Synchronously walk the current pointer state greedily from a router —
     the data-plane view of this actor network's tables. *)
+
+(** {2 Audit surface}
+
+    Read-only views for the ring doctor ({!Rofl_doctor}).  Consulting them
+    schedules nothing, draws no randomness and mutates no protocol state, so
+    checkpoint audits cannot perturb a deterministic campaign. *)
+
+type resident_view = {
+  v_id : Rofl_idspace.Id.t;
+  v_router : int;
+  v_succ : (Rofl_idspace.Id.t * int) option;
+  v_succ_list : (Rofl_idspace.Id.t * int) list;
+  v_pred : (Rofl_idspace.Id.t * int) option;
+}
+
+val residents_view : t -> resident_view list
+(** A snapshot of every resident's pointer state, sorted by identifier. *)
+
+val locate : t -> Rofl_idspace.Id.t -> int option
+(** The hosting router according to the residency oracle. *)
+
+val stale_open_since : t -> (Rofl_idspace.Id.t * float) list
+(** Holders whose successor pointer is stale right now, with the simulated
+    time their window opened; sorted by identifier. *)
+
+val inject_cross_splice : t -> (Rofl_idspace.Id.t * Rofl_idspace.Id.t) option
+(** Fault injection for the doctor's test harness: deterministically swap the
+    successor pointers of the members at sorted ring positions 0 and n/2,
+    creating a "loopy" whirl that pairwise stabilisation alone confirms
+    rather than repairs.  Returns the swapped pair, or [None] with fewer
+    than 4 members.  With {!config.untwist} enabled the ring heals at the
+    next stabilisation round; with it disabled the inversion evidence
+    persists for checkpoint audits to catch. *)

@@ -6,6 +6,13 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Slots at index >= [size] are dead storage and must not keep popped entries
+   (and the arbitrarily large closures they carry) reachable between pops.
+   They are filled with an immediate dummy instead of a live entry; every
+   access is guarded by [size], so the dummy is never read.  [Obj.magic] is
+   confined to this one definition. *)
+let vacated : 'a entry = Obj.magic 0
+
 let create () = { data = [||]; size = 0; next_seq = 0 }
 
 let length h = h.size
@@ -14,11 +21,11 @@ let is_empty h = h.size = 0
 
 let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
-let grow h entry =
+let grow h =
   let capacity = Array.length h.data in
   if h.size = capacity then begin
     let new_capacity = if capacity = 0 then 16 else 2 * capacity in
-    let data = Array.make new_capacity entry in
+    let data = Array.make new_capacity vacated in
     Array.blit h.data 0 data 0 h.size;
     h.data <- data
   end
@@ -49,7 +56,7 @@ let rec sift_down h i =
 let push h prio value =
   let entry = { prio; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;
-  grow h entry;
+  grow h;
   h.data.(h.size) <- entry;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
@@ -61,8 +68,10 @@ let pop h =
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- vacated;
       sift_down h 0
-    end;
+    end
+    else h.data.(0) <- vacated;
     Some (top.prio, top.value)
   end
 

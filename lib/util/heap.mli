@@ -16,7 +16,10 @@ val push : 'a t -> float -> 'a -> unit
 (** [push h prio v] inserts [v] with priority [prio]. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the minimum-priority element (FIFO among ties). *)
+(** Remove and return the minimum-priority element (FIFO among ties).
+    The vacated slot is cleared, so a popped element becomes unreachable
+    through the heap as soon as the caller drops it — draining the simulator
+    event queue cannot retain event closures between campaign phases. *)
 
 val peek : 'a t -> (float * 'a) option
 

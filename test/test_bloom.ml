@@ -100,6 +100,65 @@ let test_bad_geometry () =
   Alcotest.check_raises "zero hashes" (Invalid_argument "Bloom.create: k out of range")
     (fun () -> ignore (Bloom.create ~m_bits:64 ~k:0))
 
+(* Regression for the probe-position overflow bug: the seed implementation
+   combined the two hash words with an unguarded multiply-add whose overflow
+   was patched over with [abs], folding distinct probe sequences together
+   (and occasionally landing on [min_int], where [abs] is a no-op and the
+   modulo went negative).  These positions were recorded from the fixed
+   double-hashing scheme; any drift here changes every wire-visible filter. *)
+let test_probe_positions_pinned () =
+  let f = Bloom.create ~m_bits:1024 ~k:4 in
+  let check_ps s want =
+    Alcotest.(check (list int)) ("probe positions of " ^ s) want (Bloom.probe_positions f s)
+  in
+  check_ps "rofl" [ 659; 313; 991; 645 ];
+  check_ps "flat-label" [ 136; 292; 448; 604 ];
+  check_ps "ring" [ 459; 74; 713; 328 ];
+  let g = Bloom.create ~m_bits:64 ~k:3 in
+  Alcotest.(check (list int)) "small filter, key a" [ 10; 17; 24 ]
+    (Bloom.probe_positions g "a");
+  Alcotest.(check (list int)) "small filter, key b" [ 10; 54; 34 ]
+    (Bloom.probe_positions g "b")
+
+let test_probe_positions_in_range_and_settable () =
+  let f = Bloom.create ~m_bits:256 ~k:6 in
+  for i = 0 to 199 do
+    let s = Printf.sprintf "key-%d" i in
+    let ps = Bloom.probe_positions f s in
+    Alcotest.(check int) "k positions" 6 (List.length ps);
+    List.iter
+      (fun p -> Alcotest.(check bool) "position in range" true (p >= 0 && p < 256))
+      ps;
+    Bloom.add_string f s;
+    Alcotest.(check bool) "member after add" true (Bloom.mem_string f s)
+  done
+
+(* Coarse uniformity: hashing many distinct keys into one small filter must
+   spread probes over the whole bit array — no octant of the filter starved
+   or flooded.  A stride collapse (the overflow bug's symptom) concentrates
+   probes and fails this immediately. *)
+let test_probe_uniformity_coarse () =
+  let m = 512 in
+  let f = Bloom.create ~m_bits:m ~k:4 in
+  let buckets = Array.make 8 0 in
+  let total = ref 0 in
+  for i = 0 to 1_999 do
+    List.iter
+      (fun p ->
+        buckets.(p * 8 / m) <- buckets.(p * 8 / m) + 1;
+        incr total)
+      (Bloom.probe_positions f (Printf.sprintf "uniform-key-%d" i))
+  done;
+  let expected = float_of_int !total /. 8.0 in
+  Array.iteri
+    (fun i n ->
+      let ratio = float_of_int n /. expected in
+      Alcotest.(check bool)
+        (Printf.sprintf "octant %d within 2x of uniform (%.2f)" i ratio)
+        true
+        (ratio > 0.5 && ratio < 2.0))
+    buckets
+
 let prop_no_false_negative =
   QCheck.Test.make ~name:"added strings are always members" ~count:200
     QCheck.(small_list string)
@@ -124,6 +183,10 @@ let () =
           Alcotest.test_case "clear" `Quick test_clear;
           Alcotest.test_case "string keys" `Quick test_strings_too;
           Alcotest.test_case "bad geometry" `Quick test_bad_geometry;
+          Alcotest.test_case "probe positions pinned" `Quick test_probe_positions_pinned;
+          Alcotest.test_case "probe positions well-formed" `Quick
+            test_probe_positions_in_range_and_settable;
+          Alcotest.test_case "probe uniformity" `Quick test_probe_uniformity_coarse;
           QCheck_alcotest.to_alcotest prop_no_false_negative;
         ] );
     ]

@@ -1,0 +1,208 @@
+(* The ring doctor end to end: clean campaigns audit green at every
+   checkpoint, injected faults are caught mid-run, shrunk to a handful of
+   events, and the written repro artifact replays deterministically to the
+   same violation.  Also pins the artifact format round trip and the
+   byte-identical-grid-at-any-jobs property with audits attached. *)
+
+module E = Rofl_experiments
+module Doctorlab = E.Doctorlab
+module Campaign = Rofl_dynamics.Campaign
+module Audit = Rofl_doctor.Audit
+module Checks = Rofl_doctor.Checks
+module Artifact = Rofl_doctor.Artifact
+module Shrink = Rofl_doctor.Shrink
+module Table = Rofl_util.Table
+module Isp = Rofl_topology.Isp
+module Prng = Rofl_util.Prng
+module Churn = Rofl_workload.Churn
+
+let mini =
+  { Isp.profile_name = "doctor-mini"; routers = 24; hosts = 1_000; pop_count = 3 }
+
+let clean_scenario seed =
+  {
+    Doctorlab.sc_seed = seed;
+    sc_profile = mini;
+    sc_params =
+      {
+        Campaign.default_params with
+        Campaign.horizon_ms = 4_000.0;
+        arrival_rate_per_s = 2.0;
+        mean_lifetime_s = 5.0;
+        lookup_rate_per_s = 5.0;
+      };
+    sc_faults = [];
+  }
+
+let summary_of (r : Campaign.report) =
+  match r.Campaign.audit with
+  | Some s -> s
+  | None -> Alcotest.fail "expected an audit summary in the report"
+
+let test_clean_campaign_green () =
+  let sc = clean_scenario 3 in
+  let r = Doctorlab.audited_report sc (Doctorlab.scenario_events sc) in
+  let s = summary_of r in
+  Alcotest.(check bool) "no violations" true (Audit.ok s);
+  Alcotest.(check bool) "checkpoints actually ran" true (s.Audit.checkpoints > 20)
+
+(* Attaching the auditor must not perturb the campaign: every metric of the
+   report — tables included — is identical with and without it. *)
+let test_audit_is_pure_observer () =
+  let sc = clean_scenario 5 in
+  let events = Doctorlab.scenario_events sc in
+  let audited = Doctorlab.audited_report sc events in
+  let rng = Prng.create (sc.Doctorlab.sc_seed + Hashtbl.hash mini.Isp.profile_name) in
+  let isp = Isp.generate rng mini in
+  let plain =
+    Campaign.run_events ~seed:sc.Doctorlab.sc_seed ~name:mini.Isp.profile_name
+      ~graph:isp.Isp.graph
+      ~gateways:(Array.of_list (Isp.edge_routers isp))
+      sc.Doctorlab.sc_params events
+  in
+  Alcotest.(check bool) "reports identical modulo the audit field" true
+    ({ audited with Campaign.audit = None } = plain)
+
+let check_hunt kind ~expect_check seed =
+  match Doctorlab.hunt_and_shrink (Doctorlab.inject_scenario ~seed kind) with
+  | Doctorlab.Clean _ -> Alcotest.fail "injected fault was not caught"
+  | Doctorlab.Caught
+      { fingerprint; first; original_events; shrunk_events; artifact; report = _ } ->
+    Alcotest.(check string) "expected check kind" expect_check first.Checks.check;
+    Alcotest.(check bool) "fingerprint is check:subject" true
+      (String.length fingerprint > String.length expect_check
+       && String.sub fingerprint 0 (String.length expect_check) = expect_check);
+    Alcotest.(check bool) "shrunk to at most 10 events" true (shrunk_events <= 10);
+    Alcotest.(check bool) "shrinking dropped events" true
+      (shrunk_events < original_events);
+    (* Round trip through the text format, bit-identically. *)
+    (match Artifact.of_lines (Artifact.to_lines artifact) with
+     | Ok a -> Alcotest.(check bool) "artifact round trips" true (a = artifact)
+     | Error e -> Alcotest.fail ("artifact did not parse back: " ^ e));
+    (* And through a file on disk, then replay to the same violation. *)
+    let path = Filename.temp_file "rofl-doctor-test" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Artifact.write ~path artifact;
+        match Artifact.read ~path with
+        | Error e -> Alcotest.fail ("artifact file did not read back: " ^ e)
+        | Ok a ->
+          Alcotest.(check bool) "file round trips" true (a = artifact);
+          (match Doctorlab.replay a with
+           | Error e -> Alcotest.fail ("replay failed: " ^ e)
+           | Ok rp ->
+             Alcotest.(check bool) "violation reproduced on replay" true
+               rp.Doctorlab.rp_reproduced))
+
+let test_stab_off_caught_and_shrunk () =
+  check_hunt Doctorlab.Stab_off_crash ~expect_check:"loopy-evidence" 7
+
+let test_loopy_splice_caught_and_shrunk () =
+  check_hunt Doctorlab.Loopy_splice ~expect_check:"loopy-evidence" 11
+
+let test_replay_is_deterministic () =
+  match Doctorlab.hunt_and_shrink (Doctorlab.inject_scenario ~seed:11 Doctorlab.Loopy_splice) with
+  | Doctorlab.Clean _ -> Alcotest.fail "injected fault was not caught"
+  | Doctorlab.Caught { artifact; _ } ->
+    (match (Doctorlab.replay artifact, Doctorlab.replay artifact) with
+     | Ok a, Ok b ->
+       Alcotest.(check bool) "two replays, identical reports" true
+         (a.Doctorlab.rp_report = b.Doctorlab.rp_report)
+     | _ -> Alcotest.fail "replay failed")
+
+let test_artifact_rejects_garbage () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "missing header" true (is_err (Artifact.of_lines [ "seed 1" ]));
+  Alcotest.(check bool) "missing seed" true
+    (is_err
+       (Artifact.of_lines
+          [ "rofl-doctor-repro v1"; "graph isp x 4 4 1"; "fingerprint a:b" ]));
+  Alcotest.(check bool) "bad event kind" true
+    (is_err
+       (Artifact.of_lines
+          [
+            "rofl-doctor-repro v1";
+            "seed 1";
+            "graph isp x 4 4 1";
+            "fingerprint a:b";
+            "event teleport 0x1p+1 0";
+          ]));
+  Alcotest.(check bool) "unknown graph spec fails replay" true
+    (is_err
+       (Doctorlab.replay
+          {
+            Artifact.seed = 1;
+            graph = "torus 5 5";
+            params = [];
+            fingerprint = "a:b";
+            events = [];
+          }))
+
+(* The shrinker itself, against a cheap synthetic oracle: minimal result,
+   1-minimality, and oracle purity are all visible without running
+   campaigns. *)
+let test_shrink_minimizes () =
+  let reproduces evs = List.mem 3 evs && List.mem 7 evs in
+  let out = Shrink.minimize ~reproduces [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Alcotest.(check (list int)) "exactly the two needed events" [ 3; 7 ] out;
+  let out2 = Shrink.minimize ~reproduces:(fun _ -> true) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "always-reproducing shrinks to empty" [] out2;
+  let out3 = Shrink.minimize ~reproduces:(fun evs -> List.length evs >= 3) [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "cardinality oracle keeps three" 3 (List.length out3)
+
+(* Audited grids stay byte-identical at any jobs setting: the auditor rides
+   the engine monitor, outside the event queue. *)
+let grid_scale =
+  {
+    E.Common.quick with
+    E.Common.seed = 404;
+    isps = [ Isp.as3967 ];
+    churn_horizon_ms = 2_000.0;
+    churn_arrival_per_s = 2.0;
+    churn_lookup_per_s = 5.0;
+    churn_lifetimes_s = [ 10.0; 2.0 ];
+  }
+
+let render_grid () =
+  let g = Doctorlab.audit_campaigns grid_scale in
+  ( String.concat "\n" (List.map Table.render g.Doctorlab.tables),
+    g.Doctorlab.total_violations )
+
+let test_grid_jobs_determinism () =
+  E.Common.set_jobs 1;
+  let t1, v1 = render_grid () in
+  E.Common.set_jobs 4;
+  let t4, v4 = render_grid () in
+  E.Common.set_jobs 1;
+  Alcotest.(check string) "tables byte-identical at jobs 1 and 4" t1 t4;
+  Alcotest.(check int) "clean grid at jobs 1" 0 v1;
+  Alcotest.(check int) "clean grid at jobs 4" 0 v4
+
+let test_graph_spec_round_trip () =
+  match Doctorlab.profile_of_spec (Doctorlab.graph_spec mini) with
+  | Ok p -> Alcotest.(check bool) "profile round trips" true (p = mini)
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "rofl_doctor"
+    [
+      ( "audit",
+        [
+          Alcotest.test_case "clean campaign green" `Quick test_clean_campaign_green;
+          Alcotest.test_case "pure observer" `Quick test_audit_is_pure_observer;
+          Alcotest.test_case "grid jobs determinism" `Slow test_grid_jobs_determinism;
+        ] );
+      ( "hunt",
+        [
+          Alcotest.test_case "stab-off caught+shrunk" `Slow test_stab_off_caught_and_shrunk;
+          Alcotest.test_case "loopy caught+shrunk" `Slow test_loopy_splice_caught_and_shrunk;
+          Alcotest.test_case "replay deterministic" `Slow test_replay_is_deterministic;
+        ] );
+      ( "format",
+        [
+          Alcotest.test_case "garbage rejected" `Quick test_artifact_rejects_garbage;
+          Alcotest.test_case "graph spec round trip" `Quick test_graph_spec_round_trip;
+        ] );
+      ( "shrink", [ Alcotest.test_case "synthetic oracle" `Quick test_shrink_minimizes ] );
+    ]

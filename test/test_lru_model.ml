@@ -1,0 +1,183 @@
+(* Model-based testing of Rofl_util.Lru against a naive assoc-list
+   reference, plus the Pointer_cache LRU/ring-index agreement audit under
+   random workloads.  The LRU backs every pointer cache on the hot lookup
+   path, so a recency or eviction bug here quietly reshapes stretch
+   numbers everywhere — worth a real model, not just point tests. *)
+
+module Lru = Rofl_util.Lru
+module Prng = Rofl_util.Prng
+module Id = Rofl_idspace.Id
+module Pointer = Rofl_core.Pointer
+module Sourceroute = Rofl_core.Sourceroute
+module Pointer_cache = Rofl_core.Pointer_cache
+
+(* ---- reference model: assoc list, most-recently-used first ------------- *)
+
+type model = { mutable m_cap : int; mutable entries : (int * int) list }
+
+let m_put m k v =
+  if m.m_cap = 0 then Some (k, v)
+  else if List.mem_assoc k m.entries then begin
+    m.entries <- (k, v) :: List.remove_assoc k m.entries;
+    None
+  end
+  else begin
+    let evicted =
+      if List.length m.entries >= m.m_cap then begin
+        let rec split = function
+          | [ last ] -> ([], Some last)
+          | x :: rest ->
+            let kept, last = split rest in
+            (x :: kept, last)
+          | [] -> ([], None)
+        in
+        let kept, last = split m.entries in
+        m.entries <- kept;
+        last
+      end
+      else None
+    in
+    m.entries <- (k, v) :: m.entries;
+    evicted
+  end
+
+let m_find m k =
+  match List.assoc_opt k m.entries with
+  | Some v ->
+    m.entries <- (k, v) :: List.remove_assoc k m.entries;
+    Some v
+  | None -> None
+
+let m_resize m cap =
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  m.m_cap <- cap;
+  m.entries <- take cap m.entries
+
+(* ---- operations --------------------------------------------------------- *)
+
+type op =
+  | Put of int * int
+  | Find of int
+  | Peek of int
+  | Mem of int
+  | Remove of int
+  | Filter_even
+  | Clear
+  | Resize of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun k v -> Put (k, v)) (int_bound 7) (int_bound 99));
+        (3, map (fun k -> Find k) (int_bound 7));
+        (2, map (fun k -> Peek k) (int_bound 7));
+        (2, map (fun k -> Mem k) (int_bound 7));
+        (2, map (fun k -> Remove k) (int_bound 7));
+        (1, return Filter_even);
+        (1, return Clear);
+        (1, map (fun c -> Resize c) (int_bound 5));
+      ])
+
+let op_print = function
+  | Put (k, v) -> Printf.sprintf "put %d %d" k v
+  | Find k -> Printf.sprintf "find %d" k
+  | Peek k -> Printf.sprintf "peek %d" k
+  | Mem k -> Printf.sprintf "mem %d" k
+  | Remove k -> Printf.sprintf "remove %d" k
+  | Filter_even -> "filter-even"
+  | Clear -> "clear"
+  | Resize c -> Printf.sprintf "resize %d" c
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_bound 60) op_gen)
+
+let lru_contents c = List.rev (Lru.fold c ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+(* Apply one op to both; false on any observable disagreement. *)
+let step c m op =
+  match op with
+  | Put (k, v) -> Lru.put c k v = m_put m k v
+  | Find k -> Lru.find c k = m_find m k
+  | Peek k -> Lru.peek c k = List.assoc_opt k m.entries
+  | Mem k -> Lru.mem c k = List.mem_assoc k m.entries
+  | Remove k ->
+    Lru.remove c k;
+    m.entries <- List.remove_assoc k m.entries;
+    true
+  | Filter_even ->
+    Lru.filter_inplace c (fun _ v -> v mod 2 = 0);
+    m.entries <- List.filter (fun (_, v) -> v mod 2 = 0) m.entries;
+    true
+  | Clear ->
+    Lru.clear c;
+    m.entries <- [];
+    true
+  | Resize cap ->
+    Lru.resize c ~capacity:cap;
+    m_resize m cap;
+    true
+
+let prop_lru_matches_model =
+  QCheck.Test.make ~name:"Lru agrees with the assoc-list model" ~count:500 ops_arb
+    (fun ops ->
+      let c = Lru.create ~capacity:3 in
+      let m = { m_cap = 3; entries = [] } in
+      List.for_all
+        (fun op ->
+          step c m op
+          && lru_contents c = m.entries
+          && Lru.length c = List.length m.entries)
+        ops)
+
+(* ---- Pointer_cache: LRU and ring index stay in agreement ---------------- *)
+
+let ptr rng =
+  let router = Prng.int rng 32 in
+  Pointer.make Pointer.Cached ~dst:(Id.random rng) ~dst_router:router
+    ~route:(Sourceroute.singleton router)
+
+let prop_pointer_cache_agreement =
+  QCheck.Test.make ~name:"Pointer_cache audit stays clean under churned workloads"
+    ~count:60
+    QCheck.(make ~print:string_of_int Gen.(int_bound 10_000))
+    (fun seed ->
+      let rng = Prng.create seed in
+      let cache = Pointer_cache.create ~capacity:8 in
+      let inserted = ref [] in
+      for _ = 1 to 200 do
+        match Prng.int rng 6 with
+        | 0 | 1 | 2 ->
+          let p = ptr rng in
+          inserted := p.Pointer.dst :: !inserted;
+          Pointer_cache.insert cache p
+        | 3 ->
+          (match !inserted with
+           | [] -> ()
+           | ids -> ignore (Pointer_cache.find cache (List.nth ids (Prng.int rng (List.length ids)))))
+        | 4 ->
+          (match !inserted with
+           | [] -> ()
+           | ids -> Pointer_cache.remove cache (List.nth ids (Prng.int rng (List.length ids))))
+        | _ ->
+          ignore
+            (Pointer_cache.best_match cache ~cur:(Id.random rng) ~target:(Id.random rng))
+      done;
+      Pointer_cache.audit cache = []
+      && (Pointer_cache.resize cache ~capacity:3;
+          Pointer_cache.audit cache = []))
+
+let () =
+  Alcotest.run "rofl_lru_model"
+    [
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest prop_lru_matches_model;
+          QCheck_alcotest.to_alcotest prop_pointer_cache_agreement;
+        ] );
+    ]

@@ -177,6 +177,40 @@ let test_heap_peek_nondestructive () =
   ignore (Heap.peek h);
   check Alcotest.int "still one element" 1 (Heap.length h)
 
+(* Regression for the pop-retention bug: pop used to move the last entry
+   down without clearing its old slot, so the backing array kept a strong
+   reference to every popped payload until the slot was overwritten — event
+   closures (captures of whole networks) lived far past execution.  A weak
+   pointer sees through the heap: after pop + major GC the payload must be
+   gone. *)
+let test_heap_pop_releases_payload () =
+  let h = Heap.create () in
+  let w = Weak.create 2 in
+  (* Two elements: popping the first exercises the move-last-down path,
+     popping the second the heap-becomes-empty path.  Allocate in an inner
+     scope so the only surviving references are the heap's own. *)
+  (fun () ->
+    let a = Bytes.make 64 'a' and b = Bytes.make 64 'b' in
+    Weak.set w 0 (Some a);
+    Weak.set w 1 (Some b);
+    Heap.push h 1.0 a;
+    Heap.push h 2.0 b)
+    ();
+  Alcotest.(check bool) "payloads reachable while queued" true
+    (Weak.check w 0 && Weak.check w 1);
+  (match Heap.pop h with
+   | Some (_, v) -> ignore (Sys.opaque_identity v)
+   | None -> Alcotest.fail "expected first payload");
+  (match Heap.pop h with
+   | Some (_, v) -> ignore (Sys.opaque_identity v)
+   | None -> Alcotest.fail "expected second payload");
+  Gc.full_major ();
+  Alcotest.(check bool) "first payload collected after pop" false (Weak.check w 0);
+  Alcotest.(check bool) "second payload collected after pop" false (Weak.check w 1);
+  (* The heap stays usable after its slots were vacated. *)
+  Heap.push h 3.0 (Bytes.make 8 'c');
+  Alcotest.(check int) "heap still works" 1 (Heap.length h)
+
 let heap_property =
   QCheck.Test.make ~name:"heap sorts any float list" ~count:200
     QCheck.(list (float_bound_exclusive 1000.0))
@@ -423,6 +457,7 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "peek nondestructive" `Quick test_heap_peek_nondestructive;
+          Alcotest.test_case "pop releases payload" `Quick test_heap_pop_releases_payload;
           q heap_property;
         ] );
       ( "lru",
