@@ -219,6 +219,84 @@ let micro () =
   print_newline ();
   rows
 
+(* ---------------- shard-scaling benchmark ---------------- *)
+
+(* Throughput profile of the conservative-window coordinator on one fixed
+   campaign workload, at 1 (the baseline row), 2 and 4 shards.  These are
+   execution numbers only — the event fingerprint is printed per row and
+   must be identical down the column, so a scaling win can never be bought
+   with a divergent schedule. *)
+
+type shard_row = {
+  sh_shards : int;
+  sh_windows : int;          (* synchronisation windows executed *)
+  sh_events : int;           (* events executed, summed over shards *)
+  sh_stall_s : float;        (* summed barrier-stall seconds *)
+  sh_elapsed_s : float;      (* wall seconds inside run_until *)
+  sh_events_per_s : float array; (* per shard: events / busy second *)
+  sh_fingerprint : int;
+}
+
+let shard_bench quick =
+  let module Prng = Rofl_util.Prng in
+  let module Proto = Rofl_proto.Proto in
+  let module Shard = Rofl_netsim.Shard in
+  let module Isp = Rofl_topology.Isp in
+  let hosts = if quick then 20_000 else 200_000 in
+  let horizon_ms = 1_000.0 in
+  let run shards =
+    let isp = Isp.generate (Prng.create 4242) Isp.as3967 in
+    let proto =
+      Proto.create ~rng:(Prng.create 999)
+        ~cfg:{ Proto.default_config with Proto.stabilize_period_ms = 250.0 }
+        ~shards ~pool:(E.Common.pool ()) ~bootstrap_hosts:hosts isp.Isp.graph
+    in
+    Proto.start_stabilizer proto;
+    Proto.run_for proto horizon_ms;
+    Proto.stop_stabilizer proto;
+    let coord = Proto.coordinator proto in
+    let st = Shard.stats coord in
+    {
+      sh_shards = shards;
+      sh_windows = st.Shard.windows;
+      sh_events = Array.fold_left ( + ) 0 st.Shard.executed;
+      sh_stall_s = st.Shard.stall_s;
+      sh_elapsed_s = st.Shard.elapsed_s;
+      sh_events_per_s =
+        Array.map2
+          (fun e b -> if b > 0.0 then float_of_int e /. b else 0.0)
+          st.Shard.executed st.Shard.busy_s;
+      sh_fingerprint = Shard.fingerprint coord;
+    }
+  in
+  let rows = List.map run [ 1; 2; 4 ] in
+  Printf.printf "== Shard scaling (%d bootstrap hosts, %.0f ms horizon) ==\n" hosts
+    horizon_ms;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "shards=%d  windows=%-6d events=%-9d stall=%6.2fs elapsed=%6.2fs  \
+         ev/s per shard: [%s]  fingerprint=%016Lx\n"
+        r.sh_shards r.sh_windows r.sh_events r.sh_stall_s r.sh_elapsed_s
+        (String.concat "; "
+           (Array.to_list (Array.map (Printf.sprintf "%.0f") r.sh_events_per_s)))
+        (Int64.of_int r.sh_fingerprint))
+    rows;
+  (match rows with
+   | base :: rest ->
+     List.iter
+       (fun r ->
+         if r.sh_fingerprint <> base.sh_fingerprint then begin
+           Printf.eprintf
+             "shard bench: fingerprint DIVERGED at shards=%d (determinism bug)\n"
+             r.sh_shards;
+           exit 1
+         end)
+       rest
+   | [] -> ());
+  print_newline ();
+  rows
+
 (* ---------------- driver ---------------- *)
 
 let json_escape s =
@@ -236,7 +314,7 @@ let json_escape s =
 
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
 
-let write_bench_json ~path ~quick ~jobs ~seed timings micro_rows =
+let write_bench_json ~path ~quick ~jobs ~seed timings shard_rows micro_rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"scale\": \"%s\",\n" (if quick then "quick" else "full");
@@ -254,6 +332,19 @@ let write_bench_json ~path ~quick ~jobs ~seed timings micro_rows =
         (if i = List.length timings - 1 then "" else ","))
     timings;
   Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"shards\": [\n";
+  List.iteri
+    (fun i (r : shard_row) ->
+      Printf.fprintf oc
+        "    {\"shards\": %d, \"windows\": %d, \"events\": %d, \"stall_s\": %.3f, \
+         \"elapsed_s\": %.3f, \"events_per_s\": [%s], \"fingerprint\": \"%016Lx\"}%s\n"
+        r.sh_shards r.sh_windows r.sh_events r.sh_stall_s r.sh_elapsed_s
+        (String.concat ", "
+           (Array.to_list (Array.map (Printf.sprintf "%.0f") r.sh_events_per_s)))
+        (Int64.of_int r.sh_fingerprint)
+        (if i = List.length shard_rows - 1 then "" else ","))
+    shard_rows;
+  Printf.fprintf oc "  ],\n";
   Printf.fprintf oc "  \"micro\": {\n";
   List.iteri
     (fun i (r : micro_row) ->
@@ -375,7 +466,7 @@ let () =
   let scale = if quick then E.Common.quick else E.Common.full in
   let wanted =
     match args with
-    | [] -> List.map (fun (n, _, _) -> n) targets @ [ "micro" ]
+    | [] -> List.map (fun (n, _, _) -> n) targets @ [ "shards"; "micro" ]
     | _ -> args
   in
   Printf.printf "ROFL reproduction benchmarks (%s scale, seed %d, %d jobs)\n\n"
@@ -383,12 +474,18 @@ let () =
     scale.E.Common.seed (E.Common.jobs ());
   let timings = ref [] in
   let micro_rows = ref [] in
+  let shard_rows = ref [] in
   List.iter
     (fun name ->
       if name = "micro" then begin
         let rows, cost = measure micro in
         micro_rows := rows;
         timings := ("micro", cost) :: !timings
+      end
+      else if name = "shards" then begin
+        let rows, cost = measure (fun () -> shard_bench quick) in
+        shard_rows := rows;
+        timings := ("shards", cost) :: !timings
       end
       else begin
         match List.find_opt (fun (n, _, _) -> n = name) targets with
@@ -409,7 +506,7 @@ let () =
       end)
     wanted;
   write_bench_json ~path:"BENCH.json" ~quick ~jobs:(E.Common.jobs ())
-    ~seed:scale.E.Common.seed (List.rev !timings) !micro_rows;
+    ~seed:scale.E.Common.seed (List.rev !timings) !shard_rows !micro_rows;
   match !check_alloc_path with
   | None -> ()
   | Some path ->

@@ -33,6 +33,7 @@ let experiments : (string * string * (E.Common.scale -> Table.t list)) list =
     ("fig8b", "interdomain stretch CDF vs fingers", E.Fig8.fig8b);
     ("fig8c", "interdomain stretch vs per-AS cache", E.Fig8.fig8c);
     ("churn", "steady-state SLOs under continuous churn", E.Churnlab.churn);
+    ("megachurn", "million-host audited campaign on compact state", E.Churnlab.megachurn);
     ("summary", "paper §6.4 summary vs measured", E.Summary.summary);
     ("ablations", "all design-choice ablations", E.Ablations.all);
     ("compare-compact", "compact routing vs ROFL", E.Compare.compact_vs_rofl);
@@ -61,13 +62,29 @@ let jobs_opt =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~doc ~docv:"N")
 
-let scale_of quick seed =
-  let base = if quick then E.Common.quick else E.Common.full in
-  match seed with None -> base | Some s -> { base with E.Common.seed = s }
+let shards_opt =
+  let doc =
+    "Partition each campaign's event engine into $(docv) shards synchronised at \
+     conservative time windows; with --jobs > 1 shard windows run on pool \
+     domains.  Results are byte-identical at any value."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~doc ~docv:"N")
 
-let run_named names quick seed csv jobs =
+let hosts_opt =
+  let doc = "Override the megachurn bootstrap population (default: 10^6, or 20k with --quick)." in
+  Arg.(value & opt (some int) None & info [ "hosts" ] ~doc ~docv:"N")
+
+let scale_of quick seed hosts =
+  let base = if quick then E.Common.quick else E.Common.full in
+  let base = match seed with None -> base | Some s -> { base with E.Common.seed = s } in
+  match hosts with
+  | None -> base
+  | Some h -> { base with E.Common.churn_bootstrap_hosts = max 0 h }
+
+let run_named names quick seed csv jobs shards hosts =
   (match jobs with Some j -> E.Common.set_jobs j | None -> ());
-  let scale = scale_of quick seed in
+  (match shards with Some s -> E.Common.set_shards s | None -> ());
+  let scale = scale_of quick seed hosts in
   let missing =
     List.filter (fun n -> not (List.exists (fun (m, _, _) -> m = n) experiments)) names
   in
@@ -216,7 +233,7 @@ let doctor_inject kind seed out =
     doctor_replay path
 
 let doctor_audit quick seed jobs out =
-  let scale = scale_of quick seed in
+  let scale = scale_of quick seed None in
   let grid = Doctorlab.audit_campaigns scale in
   List.iter Table.print grid.Doctorlab.tables;
   let static_table, static_violations = Doctorlab.static_audits scale in
@@ -268,22 +285,25 @@ let doctor_cmd =
   in
   let term =
     Term.(
-      const (fun quick seed jobs replay inject out ->
+      const (fun quick seed jobs shards replay inject out ->
           (match jobs with Some j -> E.Common.set_jobs j | None -> ());
+          (match shards with Some s -> E.Common.set_shards s | None -> ());
           let seed_v = match seed with Some s -> s | None -> 7 in
           match (replay, inject) with
           | Some path, _ -> doctor_replay path
           | None, Some kind -> doctor_inject kind seed_v out
           | None, None -> doctor_audit quick seed jobs out)
-      $ quick_flag $ seed_opt $ jobs_opt $ replay_opt $ inject_opt $ out_opt)
+      $ quick_flag $ seed_opt $ jobs_opt $ shards_opt $ replay_opt $ inject_opt
+      $ out_opt)
   in
   Cmd.v (Cmd.info "doctor" ~doc) term
 
 let exp_cmd (cmd_name, desc, _) =
   let term =
     Term.(
-      const (fun quick seed csv jobs -> run_named [ cmd_name ] quick seed csv jobs)
-      $ quick_flag $ seed_opt $ csv_opt $ jobs_opt)
+      const (fun quick seed csv jobs shards hosts ->
+          run_named [ cmd_name ] quick seed csv jobs shards hosts)
+      $ quick_flag $ seed_opt $ csv_opt $ jobs_opt $ shards_opt $ hosts_opt)
   in
   Cmd.v (Cmd.info cmd_name ~doc:desc) term
 
@@ -291,9 +311,10 @@ let all_cmd =
   let doc = "Run every experiment (figures, summary, ablations)." in
   let term =
     Term.(
-      const (fun quick seed csv jobs ->
-          run_named (List.map (fun (n, _, _) -> n) experiments) quick seed csv jobs)
-      $ quick_flag $ seed_opt $ csv_opt $ jobs_opt)
+      const (fun quick seed csv jobs shards hosts ->
+          run_named (List.map (fun (n, _, _) -> n) experiments) quick seed csv jobs
+            shards hosts)
+      $ quick_flag $ seed_opt $ csv_opt $ jobs_opt $ shards_opt $ hosts_opt)
   in
   Cmd.v (Cmd.info "all" ~doc) term
 

@@ -1,4 +1,4 @@
-module Engine = Rofl_netsim.Engine
+module Shard = Rofl_netsim.Shard
 module Proto = Rofl_proto.Proto
 
 type config = {
@@ -83,9 +83,13 @@ let on_event t now =
     done
   end
 
-let install t = Engine.set_monitor (Proto.engine t.proto) (on_event t)
+(* The auditor rides the shard coordinator's monitor: it fires at the
+   K-independent sync points (global-event times and run horizons), with
+   every shard parked — so checkpoints may read cross-shard state and see
+   the same snapshots at any shard count. *)
+let install t = Shard.set_monitor (Proto.coordinator t.proto) (on_event t)
 
-let detach t = Engine.clear_monitor (Proto.engine t.proto)
+let detach t = Shard.clear_monitor (Proto.coordinator t.proto)
 
 let summary t =
   {

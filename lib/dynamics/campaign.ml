@@ -3,7 +3,7 @@ module Prng = Rofl_util.Prng
 module Stats = Rofl_util.Stats
 module Graph = Rofl_topology.Graph
 module Isp = Rofl_topology.Isp
-module Engine = Rofl_netsim.Engine
+module Shard = Rofl_netsim.Shard
 module Proto = Rofl_proto.Proto
 module Churn = Rofl_workload.Churn
 module Hostdist = Rofl_workload.Hostdist
@@ -19,6 +19,7 @@ type params = {
   lookup_rate_per_s : float;
   lookup_warmup_ms : float;
   drain_max_ms : float;
+  bootstrap_hosts : int;
   proto_cfg : Proto.config;
 }
 
@@ -32,6 +33,7 @@ let default_params =
     lookup_rate_per_s = 10.0;
     lookup_warmup_ms = 1_000.0;
     drain_max_ms = 30_000.0;
+    bootstrap_hosts = 0;
     proto_cfg = Proto.default_config;
   }
 
@@ -60,6 +62,8 @@ type report = {
   total_msgs : int;
   msgs_per_event : float;
   peak_queue : int;
+  events_executed : int;
+  event_fingerprint : int;
   sim_end_ms : float;
   audit : Audit.summary option;
 }
@@ -105,10 +109,21 @@ let churn_events ~seed (p : params) =
     ~move_fraction:p.move_fraction ~crash_fraction:p.crash_fraction ()
   |> List.map (fun e -> Artifact.Churn e)
 
-let run_events ~seed ~name ~graph ~gateways ?audit (p : params) events =
+let run_events ~seed ~name ~graph ~gateways ?audit ?(shards = 1) ?pool (p : params)
+    events =
   if gateways = [||] then invalid_arg "Campaign.run_events: no gateway routers";
-  let proto = Proto.create ~rng:(stream seed "proto") ~cfg:p.proto_cfg graph in
-  let engine = Proto.engine proto in
+  (* Pre-size the per-shard lookup tables for the open-loop concurrency
+     Little's law predicts (rate x worst-case response time). *)
+  let lookup_hint =
+    16
+    + int_of_float
+        (ceil (p.lookup_rate_per_s *. p.proto_cfg.Proto.lookup_timeout_ms /. 1000.0))
+  in
+  let proto =
+    Proto.create ~rng:(stream seed "proto") ~cfg:p.proto_cfg ~shards ?pool
+      ~bootstrap_hosts:p.bootstrap_hosts ~lookup_hint graph
+  in
+  let coord = Proto.coordinator proto in
   let trace =
     List.filter_map (function Artifact.Churn e -> Some e | Artifact.Fault _ -> None) events
   in
@@ -138,9 +153,13 @@ let run_events ~seed ~name ~graph ~gateways ?audit (p : params) events =
   (* Campaign-side session liveness, for lookup targeting: seq -> join time.
      Maintained by the scheduled churn events themselves. *)
   let live = Hashtbl.create 64 in
+  (* Churn closures read and mutate state across every shard (departures,
+     cross-shard joins), so they run as global events: every shard parked at
+     the event's time — and global times are exactly the sync points the
+     auditor samples, identical at any shard count. *)
   List.iter
     (fun (at_ms, action) ->
-      Engine.schedule_at engine ~time_ms:at_ms (fun () ->
+      Shard.at_global coord ~time_ms:at_ms (fun () ->
           match action with
           | `Join (seq, gw) ->
             Hashtbl.replace live seq at_ms;
@@ -159,8 +178,11 @@ let run_events ~seed ~name ~graph ~gateways ?audit (p : params) events =
           | `Stab_off -> Proto.stop_stabilizer proto))
     planned;
   (* Open-loop lookup workload: Poisson launch times fixed up front, target
-     and origin drawn at launch time from dedicated streams. *)
-  let outcomes = ref [] in
+     and origin drawn at launch time from dedicated streams.  Outcomes
+     accumulate in a bucket per origin shard — callbacks fire in shard
+     context, where pushing onto another shard's list would race — and are
+     merged into one deterministic order after the run. *)
+  let buckets = Array.init (Proto.shard_count proto) (fun _ -> ref []) in
   let launched = ref 0 in
   let looktime_rng = stream seed "lookup-times" in
   let looktarget_rng = stream seed "lookup-targets" in
@@ -168,7 +190,7 @@ let run_events ~seed ~name ~graph ~gateways ?audit (p : params) events =
   let rec plan_lookups at =
     let at = at +. Prng.exponential looktime_rng mean_gap_ms in
     if at < p.horizon_ms then begin
-      Engine.schedule_at engine ~time_ms:at (fun () ->
+      Shard.at_global coord ~time_ms:at (fun () ->
           let eligible =
             Hashtbl.fold
               (fun seq joined acc ->
@@ -187,14 +209,15 @@ let run_events ~seed ~name ~graph ~gateways ?audit (p : params) events =
               ids.(seq)
           in
           let from = gateways.(Prng.int looktarget_rng (Array.length gateways)) in
+          let bucket = buckets.(Proto.shard_of_router proto from) in
           incr launched;
-          Proto.lookup_async proto ~from target (fun o -> outcomes := o :: !outcomes));
+          Proto.lookup_async proto ~from target (fun o -> bucket := o :: !bucket));
       plan_lookups at
     end
   in
   if p.lookup_rate_per_s > 0.0 then plan_lookups 0.0;
-  (* The auditor rides the engine's monitor hook: a pure observer outside
-     the event queue, so attaching one changes no table. *)
+  (* The auditor rides the coordinator's monitor hook: a pure observer
+     firing at shard sync points, so attaching one changes no table. *)
   let auditor =
     Option.map
       (fun cfg ->
@@ -206,15 +229,15 @@ let run_events ~seed ~name ~graph ~gateways ?audit (p : params) events =
   (* Run: stabilisation timers tick throughout; after the horizon, keep
      stabilising until the ring reconverges and every lookup has resolved. *)
   Proto.start_stabilizer proto;
-  Engine.run_until engine p.horizon_ms;
+  Shard.run_until coord p.horizon_ms;
   let deadline = p.horizon_ms +. p.drain_max_ms in
   let period = p.proto_cfg.Proto.stabilize_period_ms in
   let rec drain () =
-    let now = Engine.now engine in
+    let now = Shard.now coord in
     if Proto.ring_converged proto && Proto.lookups_outstanding proto = 0 then Some now
     else if now >= deadline then None
     else begin
-      Engine.run_until engine (now +. period);
+      Shard.run_until coord (now +. period);
       drain ()
     end
   in
@@ -228,7 +251,18 @@ let run_events ~seed ~name ~graph ~gateways ?audit (p : params) events =
       auditor
   in
   let s = Proto.stats proto in
-  let outcomes = List.rev !outcomes in
+  (* Merge the per-shard buckets into one order that no shard layout can
+     perturb: completion time, then issue time, then target identifier. *)
+  let outcomes =
+    Array.to_list buckets
+    |> List.concat_map (fun b -> List.rev !b)
+    |> List.sort (fun (a : Proto.lookup_outcome) (b : Proto.lookup_outcome) ->
+           let c = compare a.Proto.completed_ms b.Proto.completed_ms in
+           if c <> 0 then c
+           else
+             let c = compare a.Proto.issued_ms b.Proto.issued_ms in
+             if c <> 0 then c else Id.compare a.Proto.target b.Proto.target)
+  in
   let ok_lat =
     List.filter_map
       (fun (o : Proto.lookup_outcome) ->
@@ -240,7 +274,7 @@ let run_events ~seed ~name ~graph ~gateways ?audit (p : params) events =
   let stale = Proto.stale_windows proto in
   let joins_evt, leaves_evt, moves_evt, crashes_evt = Churn.count trace in
   let events_n = joins_evt + leaves_evt + moves_evt + crashes_evt in
-  let sim_end = Engine.now engine in
+  let sim_end = Shard.now coord in
   {
     name;
     params = p;
@@ -271,21 +305,24 @@ let run_events ~seed ~name ~graph ~gateways ?audit (p : params) events =
     msgs_per_event =
       (if events_n = 0 then 0.0
        else float_of_int s.Proto.messages /. float_of_int events_n);
-    peak_queue = Engine.peak_pending engine;
+    peak_queue = Shard.peak_global coord;
+    events_executed = Shard.executed_total coord;
+    event_fingerprint = Shard.fingerprint coord;
     sim_end_ms = sim_end;
     audit = audit_summary;
   }
 
-let run_graph ~seed ~name ~graph ~gateways ?audit (p : params) =
-  run_events ~seed ~name ~graph ~gateways ?audit p (churn_events ~seed p)
+let run_graph ~seed ~name ~graph ~gateways ?audit ?shards ?pool (p : params) =
+  run_events ~seed ~name ~graph ~gateways ?audit ?shards ?pool p (churn_events ~seed p)
 
-let run ~seed ~profile ?audit (p : params) =
+let run ~seed ~profile ?audit ?shards ?pool (p : params) =
   (* Same topology derivation as the experiment engine's intra runs, so a
      churn campaign on as3967 sees the same network fig5/6/7 measure. *)
   let rng = Prng.create (seed + Hashtbl.hash profile.Isp.profile_name) in
   let isp = Isp.generate rng profile in
   let gateways = Array.of_list (Isp.edge_routers isp) in
-  run_graph ~seed ~name:profile.Isp.profile_name ~graph:isp.Isp.graph ~gateways ?audit p
+  run_graph ~seed ~name:profile.Isp.profile_name ~graph:isp.Isp.graph ~gateways ?audit
+    ?shards ?pool p
 
 (* Round-tripping params through repro artifacts.  Hex floats ([%h]) keep
    every scalar bit-identical across write/read, which the shrinker's
@@ -305,6 +342,7 @@ let params_to_strings (p : params) =
     ("lookup_rate_per_s", f p.lookup_rate_per_s);
     ("lookup_warmup_ms", f p.lookup_warmup_ms);
     ("drain_max_ms", f p.drain_max_ms);
+    ("bootstrap_hosts", i p.bootstrap_hosts);
     ("stabilize_period_ms", f c.Proto.stabilize_period_ms);
     ("succ_list_len", i c.Proto.succ_list_len);
     ("rpc_timeout_ms", f c.Proto.rpc_timeout_ms);
@@ -350,6 +388,7 @@ let params_of_strings kvs =
       | "lookup_rate_per_s" -> let* x = fl k v in Ok { p with lookup_rate_per_s = x }
       | "lookup_warmup_ms" -> let* x = fl k v in Ok { p with lookup_warmup_ms = x }
       | "drain_max_ms" -> let* x = fl k v in Ok { p with drain_max_ms = x }
+      | "bootstrap_hosts" -> let* x = it k v in Ok { p with bootstrap_hosts = x }
       | "stabilize_period_ms" ->
         let* x = fl k v in
         Ok { p with proto_cfg = { c with Proto.stabilize_period_ms = x } }

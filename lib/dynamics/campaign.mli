@@ -27,6 +27,10 @@ type params = {
   lookup_rate_per_s : float;    (** open-loop lookup launch rate (0 = none) *)
   lookup_warmup_ms : float;     (** only target sessions at least this old *)
   drain_max_ms : float;         (** post-horizon budget to reconverge *)
+  bootstrap_hosts : int;
+  (** extra hosts spliced into the ring at time zero (uniformly random
+      placement) — the knob that makes million-host campaigns affordable
+      without simulating a million joins *)
   proto_cfg : Rofl_proto.Proto.config;
 }
 
@@ -59,7 +63,12 @@ type report = {
   ctrl_msgs : (string * int) list; (** per-category link traversals, sorted *)
   total_msgs : int;
   msgs_per_event : float;     (** total messages per churn-trace event *)
-  peak_queue : int;           (** event-queue high-water mark *)
+  peak_queue : int;           (** event-queue high-water mark, summed over shards *)
+  events_executed : int;      (** events executed, summed over shards *)
+  event_fingerprint : int;
+  (** order-insensitive digest of every executed event's (time, rail, seq)
+      key — byte-identical across shard counts for the same campaign, the
+      quantity the shard-determinism tests compare *)
   sim_end_ms : float;
   audit : Rofl_doctor.Audit.summary option;
   (** checkpoint-audit results when an [?audit] config was supplied *)
@@ -76,6 +85,8 @@ val run_events :
   graph:Rofl_topology.Graph.t ->
   gateways:int array ->
   ?audit:Rofl_doctor.Audit.config ->
+  ?shards:int ->
+  ?pool:Rofl_util.Pool.t ->
   params ->
   Rofl_doctor.Artifact.event list ->
   report
@@ -84,7 +95,13 @@ val run_events :
     observes the run (purely — every table stays byte-identical) and its
     summary lands in the report.  The same (seed, graph, params, events)
     always produces the same report, whatever events were dropped: this is
-    the replay primitive behind [rofl_sim doctor --replay]. *)
+    the replay primitive behind [rofl_sim doctor --replay].
+
+    [?shards] partitions the routers across that many event engines under a
+    conservative-window coordinator, and [?pool] runs the shard windows on
+    pool domains; both are execution configuration, not campaign identity —
+    the report (SLO tables, audit summary, event fingerprint) is
+    byte-identical at any shards/pool setting. *)
 
 val run_graph :
   seed:int ->
@@ -92,6 +109,8 @@ val run_graph :
   graph:Rofl_topology.Graph.t ->
   gateways:int array ->
   ?audit:Rofl_doctor.Audit.config ->
+  ?shards:int ->
+  ?pool:Rofl_util.Pool.t ->
   params ->
   report
 (** Run one campaign on an arbitrary topology; joins, moves and lookup
@@ -102,6 +121,8 @@ val run :
   seed:int ->
   profile:Rofl_topology.Isp.profile ->
   ?audit:Rofl_doctor.Audit.config ->
+  ?shards:int ->
+  ?pool:Rofl_util.Pool.t ->
   params ->
   report
 (** Campaign on a generated ISP topology (same derivation as the experiment

@@ -2,6 +2,7 @@ module Table = Rofl_util.Table
 module Isp = Rofl_topology.Isp
 module Proto = Rofl_proto.Proto
 module Campaign = Rofl_dynamics.Campaign
+module Audit = Rofl_doctor.Audit
 
 (* One campaign per grid cell; every cell is fully independent (own engine,
    own topology, own derived streams), so the whole grid fans over the
@@ -35,6 +36,8 @@ let metric_columns =
     "timeouts";
     "ctrl [msg/s]";
     "peakQ";
+    "events";
+    "fingerprint";
   ]
 
 let metric_cells (r : Campaign.report) =
@@ -58,6 +61,10 @@ let metric_cells (r : Campaign.report) =
     Printf.sprintf "%.0f"
       (float_of_int r.Campaign.total_msgs /. (r.Campaign.sim_end_ms /. 1000.0));
     string_of_int r.Campaign.peak_queue;
+    string_of_int r.Campaign.events_executed;
+    (* The event-key digest: any shard count must reproduce this exact
+       value, so a --shards discrepancy is visible right in the table. *)
+    Printf.sprintf "%016Lx" (Int64.of_int r.Campaign.event_fingerprint);
   ]
 
 let churn (scale : Common.scale) =
@@ -79,9 +86,11 @@ let churn (scale : Common.scale) =
         match cell with
         | `Grid (profile, lifetime_s) ->
           Campaign.run ~seed:scale.Common.seed ~profile
+            ~shards:(Common.shards ()) ~pool:(Common.pool ())
             (params_of scale ~lifetime_s ~period_ms:default_period)
         | `Sweep period_ms ->
           Campaign.run ~seed:scale.Common.seed ~profile:sweep_profile
+            ~shards:(Common.shards ()) ~pool:(Common.pool ())
             (params_of scale ~lifetime_s:sweep_lifetime ~period_ms))
       (grid @ sweep)
   in
@@ -120,3 +129,57 @@ let churn (scale : Common.scale) =
     (fun period r -> Table.add_row t2 (Printf.sprintf "%g" period :: metric_cells r))
     scale.Common.churn_periods_ms sweep_reports;
   [ t1; t2 ]
+
+(* ---- mega-churn: the compact-state acceptance run ---------------------- *)
+
+(* One audited campaign over a bootstrap population spliced into the ring
+   at time zero (a million hosts at full scale) with open-loop lookups and
+   live churn on top.  Short horizon and a long stabilisation period keep
+   the per-round probe burst (one probe per resident) affordable; the
+   struct-of-arrays store keeps the population itself in tens of bytes per
+   host.  The table carries the event fingerprint, so running it twice at
+   different --shards settings must print byte-identical output. *)
+let megachurn_params (scale : Common.scale) =
+  {
+    Campaign.horizon_ms = 1_500.0;
+    arrival_rate_per_s = 10.0;
+    mean_lifetime_s = 1.0;
+    move_fraction = 0.1;
+    crash_fraction = 0.2;
+    lookup_rate_per_s = 50.0;
+    lookup_warmup_ms = 100.0;
+    drain_max_ms = 3_000.0;
+    bootstrap_hosts = scale.Common.churn_bootstrap_hosts;
+    proto_cfg = { Proto.default_config with Proto.stabilize_period_ms = 500.0 };
+  }
+
+let megachurn (scale : Common.scale) =
+  let profile = List.hd scale.Common.isps in
+  let p = megachurn_params scale in
+  let r =
+    Campaign.run ~seed:scale.Common.seed ~profile
+      ~audit:(Audit.config_for p.Campaign.proto_cfg)
+      ~shards:(Common.shards ()) ~pool:(Common.pool ()) p
+  in
+  let checkpoints, violations =
+    match r.Campaign.audit with
+    | None -> ("-", "-")
+    | Some s ->
+      (string_of_int s.Audit.checkpoints, string_of_int s.Audit.total_violations)
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Mega-churn: %d bootstrap hosts on %s (%.1f s horizon, %.0f \
+            lookups/s, stabilise every %.0f ms, doctor audits on)"
+           p.Campaign.bootstrap_hosts profile.Isp.profile_name
+           (p.Campaign.horizon_ms /. 1000.0)
+           p.Campaign.lookup_rate_per_s
+           p.Campaign.proto_cfg.Proto.stabilize_period_ms)
+      ~columns:("hosts" :: "checkpoints" :: "violations" :: metric_columns)
+  in
+  Table.add_row t
+    (string_of_int p.Campaign.bootstrap_hosts
+     :: checkpoints :: violations :: metric_cells r);
+  [ t ]

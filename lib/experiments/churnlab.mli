@@ -12,6 +12,14 @@
       departures.
 
     Every grid cell is an independent campaign fanned over the domain pool;
-    tables are byte-identical at any [--jobs] setting. *)
+    tables are byte-identical at any [--jobs] setting, and every campaign
+    engine honours the [--shards] setting with byte-identical tables at any
+    value (the fingerprint column makes the comparison visible). *)
 
 val churn : Common.scale -> Rofl_util.Table.t list
+
+val megachurn : Common.scale -> Rofl_util.Table.t list
+(** The compact-state acceptance run: one audited campaign over
+    [scale.churn_bootstrap_hosts] hosts spliced in at time zero (10^6 at
+    full scale) with open-loop lookups and live churn on top.  Running it
+    at [--shards 1] and [--shards 4] must print byte-identical tables. *)

@@ -28,6 +28,7 @@ type scale = {
   churn_lookup_per_s : float;
   churn_lifetimes_s : float list;
   churn_periods_ms : float list;
+  churn_bootstrap_hosts : int; (* megachurn population spliced in at time 0 *)
 }
 
 let full =
@@ -48,6 +49,7 @@ let full =
     churn_lookup_per_s = 20.0;
     churn_lifetimes_s = [ 60.0; 20.0; 5.0; 2.0 ];
     churn_periods_ms = [ 25.0; 50.0; 100.0; 200.0; 400.0; 800.0 ];
+    churn_bootstrap_hosts = 1_000_000;
   }
 
 let quick =
@@ -68,6 +70,7 @@ let quick =
     churn_lookup_per_s = 10.0;
     churn_lifetimes_s = [ 30.0; 5.0; 1.5 ];
     churn_periods_ms = [ 50.0; 200.0; 800.0 ];
+    churn_bootstrap_hosts = 20_000;
   }
 
 (* -- parallel engine ----------------------------------------------------
@@ -110,6 +113,15 @@ let pool () =
   p
 
 let parallel_map f xs = Pool.map (pool ()) f xs
+
+(* Shard count for campaign engines (--shards).  Execution configuration
+   only: the shard coordinator guarantees byte-identical results at any
+   value, so this never needs to be part of an experiment's identity. *)
+let shards_setting = ref 1
+
+let shards () = !shards_setting
+
+let set_shards n = shards_setting := max 1 n
 
 (* Memo tables are shared across figure modules and now across domains: a
    missing entry is built outside the lock (concurrent requests for *other*

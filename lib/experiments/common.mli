@@ -24,6 +24,9 @@ type scale = {
   (** churn-rate axis: mean session lifetimes, high to low *)
   churn_periods_ms : float list;
   (** stabilisation periods swept at the highest churn rate *)
+  churn_bootstrap_hosts : int;
+  (** megachurn population spliced into the ring at time zero
+      (10^6 at full scale; [rofl_sim megachurn --hosts N] overrides) *)
 }
 
 val full : scale
@@ -38,6 +41,18 @@ val set_jobs : int -> unit
     [set_jobs 1] forces strictly sequential execution. *)
 
 val jobs : unit -> int
+
+val set_shards : int -> unit
+(** Partition campaign engines into this many shards (clamped to at least
+    1, the default).  Pure execution configuration: the conservative-window
+    coordinator keeps every table byte-identical at any value. *)
+
+val shards : unit -> int
+
+val pool : unit -> Rofl_util.Pool.t
+(** The shared domain pool (built lazily at the current jobs setting) —
+    what campaign runners hand to the shard coordinator so shard windows
+    execute on pool domains. *)
 
 val parallel_map : ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving map over the shared domain pool.  Work items must be

@@ -52,10 +52,13 @@ let topology ~seed (profile : Isp.profile) =
 
 let audited_report sc events =
   let graph, gateways = topology ~seed:sc.sc_seed sc.sc_profile in
+  (* The shards setting rides along (byte-identical results guaranteed), so
+     [rofl_sim doctor --shards N] audits the sharded execution path and an
+     artifact still replays identically at any setting. *)
   Campaign.run_events ~seed:sc.sc_seed ~name:sc.sc_profile.Isp.profile_name ~graph
     ~gateways
     ~audit:(Audit.config_for sc.sc_params.Campaign.proto_cfg)
-    sc.sc_params events
+    ~shards:(Common.shards ()) ~pool:(Common.pool ()) sc.sc_params events
 
 let summary_of (r : Campaign.report) =
   match r.Campaign.audit with

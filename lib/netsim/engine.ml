@@ -5,6 +5,8 @@ type t = {
   queue : (unit -> unit) Heap.t;
   mutable peak : int;
   mutable scheduled : int;
+  mutable executed : int;
+  mutable digest : int;
   (* Observer called after each executed event, outside the queue: a
      checkpoint hook that scheduled events instead would shift the FIFO
      tie-breaking sequence numbers and change every same-time ordering. *)
@@ -12,7 +14,15 @@ type t = {
 }
 
 let create () =
-  { clock = 0.0; queue = Heap.create (); peak = 0; scheduled = 0; monitor = None }
+  {
+    clock = 0.0;
+    queue = Heap.create ();
+    peak = 0;
+    scheduled = 0;
+    executed = 0;
+    digest = 0;
+    monitor = None;
+  }
 
 let now t = t.clock
 
@@ -23,25 +33,49 @@ let clear_monitor t = t.monitor <- None
 let observe t =
   match t.monitor with None -> () | Some m -> m t.clock
 
-let schedule_at t ~time_ms f =
-  if time_ms < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.push t.queue time_ms f;
+let bump t =
   t.scheduled <- t.scheduled + 1;
   let depth = Heap.length t.queue in
   if depth > t.peak then t.peak <- depth
+
+let schedule_at t ~time_ms f =
+  if time_ms < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Heap.push t.queue time_ms f;
+  bump t
 
 let schedule t ~delay_ms f =
   if delay_ms < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time_ms:(t.clock +. delay_ms) f
 
+let schedule_keyed t ~time_ms ~rail ~seq f =
+  if time_ms < t.clock then invalid_arg "Engine.schedule_keyed: time in the past";
+  Heap.push_keyed t.queue time_ms ~rail ~seq f;
+  bump t
+
+(* Order-insensitive fingerprint of one executed event.  Summed into
+   [digest], so two runs executed the same multiset of (time, rail, seq)
+   keys iff the digests agree — regardless of how the events were
+   distributed across engines.  Native-int wraparound is deterministic. *)
+let event_hash time rail seq =
+  let h = Int64.to_int (Int64.bits_of_float time) in
+  let h = (h * 1000003) + rail in
+  let h = (h * 1000003) + seq in
+  let h = h lxor (h lsr 29) in
+  h * 0x9E3779B97F4A7C1
+
+let exec t time rail seq f =
+  t.clock <- time;
+  t.executed <- t.executed + 1;
+  t.digest <- t.digest + event_hash time rail seq;
+  f ();
+  observe t
+
 let run t =
   let rec loop () =
-    match Heap.pop t.queue with
+    match Heap.pop_keyed t.queue with
     | None -> ()
-    | Some (time, f) ->
-      t.clock <- time;
-      f ();
-      observe t;
+    | Some (time, rail, seq, f) ->
+      exec t time rail seq f;
       loop ()
   in
   loop ()
@@ -50,11 +84,9 @@ let run_until t horizon =
   let rec loop () =
     match Heap.peek t.queue with
     | Some (time, _) when time <= horizon ->
-      (match Heap.pop t.queue with
-       | Some (time, f) ->
-         t.clock <- time;
-         f ();
-         observe t;
+      (match Heap.pop_keyed t.queue with
+       | Some (time, rail, seq, f) ->
+         exec t time rail seq f;
          loop ()
        | None -> ())
     | Some _ | None ->
@@ -68,8 +100,24 @@ let run_until t horizon =
 
 let pending t = Heap.length t.queue
 
+let next_time t =
+  match Heap.peek t.queue with None -> None | Some (time, _) -> Some time
+
 let peak_pending t = t.peak
 
 let scheduled_total t = t.scheduled
 
+let executed_total t = t.executed
+
+let digest t = t.digest
+
 let clear t = Heap.clear t.queue
+
+let reset t =
+  Heap.clear t.queue;
+  t.clock <- 0.0;
+  t.peak <- 0;
+  t.scheduled <- 0;
+  t.executed <- 0;
+  t.digest <- 0;
+  t.monitor <- None

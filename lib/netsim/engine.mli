@@ -3,7 +3,12 @@
     Drives the latency experiments (join completion time, Fig. 5c) and any
     scenario where relative timing matters: events are closures scheduled at
     absolute simulated times; [run] executes them in time order.  Ties run in
-    scheduling order, so executions are deterministic. *)
+    scheduling order, so executions are deterministic.
+
+    One engine is one event partition.  A single-partition simulation uses it
+    directly; the sharded simulator runs one engine per shard under
+    {!Shard}, which relies on {!schedule_keyed}'s content-derived event keys
+    to keep the merged execution order independent of the partitioning. *)
 
 type t
 
@@ -24,6 +29,16 @@ val schedule : t -> delay_ms:float -> (unit -> unit) -> unit
 val schedule_at : t -> time_ms:float -> (unit -> unit) -> unit
 (** Schedule at an absolute time (must not be in the past). *)
 
+val schedule_keyed : t -> time_ms:float -> rail:int -> seq:int -> (unit -> unit) -> unit
+(** Schedule under the full event key [(time_ms, rail, seq)].  Same-time
+    events pop in [(rail, seq)] order rather than scheduling order, so the
+    execution order is a function of the event keys alone — two engines
+    holding the same keyed events drain identically no matter how the events
+    were routed to them.  Rails are non-negative (the sharded protocol uses
+    the acting node's router id); plain {!schedule} events sit on rail [-1]
+    and drain first among ties.  Within one rail, [seq] must be strictly
+    monotone across pushes. *)
+
 val run : t -> unit
 (** Execute events until the queue drains. *)
 
@@ -36,16 +51,40 @@ val run_until : t -> float -> unit
 val pending : t -> int
 (** In-flight events: scheduled but not yet executed. *)
 
+val next_time : t -> float option
+(** Timestamp of the earliest pending event, if any — what a shard
+    coordinator needs to pick the next conservative window. *)
+
 val peak_pending : t -> int
 (** High-water mark of the event queue over the engine's lifetime — the
     overload signal a churn campaign watches (a queue that only grows means
     stabilisation is falling behind the event rate).  Not reset by
-    {!clear}. *)
+    {!clear}; see {!reset}. *)
 
 val scheduled_total : t -> int
-(** Cumulative number of events ever scheduled (executed or pending). *)
+(** Cumulative number of events ever scheduled (executed or pending).
+    Not reset by {!clear}; see {!reset}. *)
+
+val executed_total : t -> int
+(** Cumulative number of events executed. *)
+
+val digest : t -> int
+(** Order-insensitive fingerprint over the keys of every executed event: the
+    sum of per-event hashes of [(time, rail, seq)].  Two runs executed the
+    same multiset of event keys iff their digests agree, and per-engine
+    digests sum across shards into a partition-independent fingerprint. *)
 
 val clear : t -> unit
+(** Drop queued events.  Statistics ({!peak_pending}, {!scheduled_total},
+    {!executed_total}, {!digest}), the clock and the monitor survive — this
+    truncates the future, not the record of the past. *)
+
+val reset : t -> unit
+(** Return the engine to its freshly-{!create}d state: queued events
+    dropped, clock back to 0, peak/scheduled/executed counters and the
+    digest zeroed, monitor detached.  Reusing an engine across campaign
+    phases without [reset] leaks the previous phase's statistics into the
+    next report. *)
 
 val set_monitor : t -> (float -> unit) -> unit
 (** Install an observer invoked after every executed event with the current

@@ -1,0 +1,242 @@
+module Pool = Rofl_util.Pool
+module Heap = Rofl_util.Heap
+
+(* Conservative parallel discrete-event coordinator.
+
+   K engines hold disjoint event partitions.  Time advances in windows
+   [clock, b): every engine executes its own events up to [b] (in parallel
+   on the pool), then cross-partition messages buffered during the window
+   are flushed into their destination engines.  The window bound is
+   conservative — [b <= earliest_pending + window_ms], where [window_ms] is
+   a lower bound on cross-partition latency supplied by the caller — so a
+   message emitted inside the window is always delivered at or after the
+   barrier that flushes it, never into a partition's already-executed past.
+
+   Byte-identical determinism at any K rests on two pillars:
+   - every event carries a content-derived key [(time, rail, seq)] and each
+     engine pops in key order, so the merged execution order is a function
+     of the event set alone, not of the partitioning or of buffer timing;
+   - observable sampling (the monitor, the global queue-depth high-water
+     mark) happens only at K-independent instants — global-event times and
+     run horizons — never at the K-dependent window barriers in between. *)
+
+type stats = {
+  windows : int;        (* synchronisation windows executed *)
+  executed : int array; (* events executed, per shard *)
+  busy_s : float array; (* wall-clock seconds each shard spent executing *)
+  stall_s : float;      (* summed wall-clock seconds shards idled at barriers *)
+  elapsed_s : float;    (* wall-clock seconds inside [run_until] *)
+}
+
+type t = {
+  engines : Engine.t array;
+  pool : Pool.t option;
+  window_ms : float;
+  (* outbox.(src): cross-shard messages emitted by shard [src] during the
+     current window.  Owned by shard [src]'s domain while a window runs and
+     drained only by the coordinator between windows, so no locking. *)
+  outbox : (int * float * int * int * (unit -> unit)) list ref array;
+  globals : (unit -> unit) Heap.t; (* (time, insertion order) *)
+  mutable clock : float;           (* merged barrier clock *)
+  mutable monitor : (float -> unit) option;
+  mutable peak : int;              (* max total pending at sync points *)
+  mutable windows_run : int;
+  busy_s : float array;
+  mutable stall_s : float;
+  mutable elapsed_s : float;
+}
+
+let create ?pool ~shards ~window_ms () =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  if shards > 1 && not (window_ms > 0.0) then
+    invalid_arg "Shard.create: window_ms must be positive with shards > 1";
+  {
+    engines = Array.init shards (fun _ -> Engine.create ());
+    pool;
+    window_ms;
+    outbox = Array.init shards (fun _ -> ref []);
+    globals = Heap.create ();
+    clock = 0.0;
+    monitor = None;
+    peak = 0;
+    windows_run = 0;
+    busy_s = Array.make shards 0.0;
+    stall_s = 0.0;
+    elapsed_s = 0.0;
+  }
+
+let shards t = Array.length t.engines
+
+let engine t i = t.engines.(i)
+
+let window_ms t = t.window_ms
+
+let now t = t.clock
+
+let set_monitor t f = t.monitor <- Some f
+
+let clear_monitor t = t.monitor <- None
+
+let send t ~src ~dst ~time_ms ~rail ~seq f =
+  if src >= 0 && src <> dst then
+    (* Emitted from inside shard [src]'s window: buffer until the barrier.
+       Conservatism (cross-shard latency >= window_ms) guarantees [time_ms]
+       is at or after the barrier that will flush it. *)
+    t.outbox.(src) := (dst, time_ms, rail, seq, f) :: !(t.outbox.(src))
+  else
+    (* Same shard, or global context (src = -1, every shard parked at the
+       barrier): straight into the destination queue. *)
+    Engine.schedule_keyed t.engines.(dst) ~time_ms ~rail ~seq f
+
+let at_global t ~time_ms f =
+  if time_ms < t.clock then invalid_arg "Shard.at_global: time in the past";
+  Heap.push t.globals time_ms f
+
+let flush t =
+  Array.iter
+    (fun box ->
+      match !box with
+      | [] -> ()
+      | msgs ->
+        box := [];
+        List.iter
+          (fun (dst, time_ms, rail, seq, f) ->
+            Engine.schedule_keyed t.engines.(dst) ~time_ms ~rail ~seq f)
+          (List.rev msgs))
+    t.outbox
+
+let min_next t =
+  Array.fold_left
+    (fun acc e ->
+      match (acc, Engine.next_time e) with
+      | None, nt -> nt
+      | acc, None -> acc
+      | Some a, Some b -> Some (Float.min a b))
+    None t.engines
+
+(* One pass: every engine executes its events up to [b].  Parallel when a
+   pool with headroom is attached; engine state is shard-private by the
+   caller's contract, and [Pool.map]'s join gives the coordinator a
+   happens-before on everything the workers wrote (engine queues, outboxes,
+   busy counters). *)
+let pass t b =
+  let k = Array.length t.engines in
+  match t.pool with
+  | Some pool when k > 1 && Pool.jobs pool > 1 ->
+    let busy0 = Array.fold_left ( +. ) 0.0 t.busy_s in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Pool.map pool
+         (fun i ->
+           let s = Unix.gettimeofday () in
+           Engine.run_until t.engines.(i) b;
+           t.busy_s.(i) <- t.busy_s.(i) +. (Unix.gettimeofday () -. s))
+         (List.init k Fun.id));
+    let wall = Unix.gettimeofday () -. t0 in
+    let busy = Array.fold_left ( +. ) 0.0 t.busy_s -. busy0 in
+    t.stall_s <- t.stall_s +. Float.max 0.0 ((wall *. float_of_int k) -. busy)
+  | _ ->
+    Array.iteri
+      (fun i e ->
+        let s = Unix.gettimeofday () in
+        Engine.run_until e b;
+        t.busy_s.(i) <- t.busy_s.(i) +. (Unix.gettimeofday () -. s))
+      t.engines
+
+(* Execute everything with time <= b, settling the measure-zero case where
+   a flushed message lands exactly on the barrier (latency exactly equal to
+   the window, emitted at the window's opening instant): re-run until no
+   engine holds an event at or before [b].  Catch-up emissions deliver
+   strictly after [b], so this terminates. *)
+let settle t b =
+  let rec loop () =
+    pass t b;
+    flush t;
+    match min_next t with Some tm when tm <= b -> loop () | _ -> ()
+  in
+  loop ()
+
+let pending t =
+  Array.fold_left (fun acc e -> acc + Engine.pending e) 0 t.engines
+
+let sync_observe t time =
+  let p = pending t in
+  if p > t.peak then t.peak <- p;
+  match t.monitor with None -> () | Some m -> m time
+
+let run_until t horizon =
+  let t0 = Unix.gettimeofday () in
+  (* Sends from global context (outside any window) land in outboxes too;
+     fold them in before the first window is sized, or the conservative
+     bound would be computed blind to them. *)
+  flush t;
+  let rec loop () =
+    if t.clock < horizon || min_next t <> None || not (Heap.is_empty t.globals)
+    then begin
+      let next_global = match Heap.peek t.globals with
+        | Some (tm, _) -> Some tm
+        | None -> None
+      in
+      let b = horizon in
+      let b = match next_global with Some g -> Float.min b g | None -> b in
+      let b =
+        match min_next t with
+        | Some e when e +. t.window_ms < b -> e +. t.window_ms
+        | _ -> b
+      in
+      let b = Float.max b t.clock in
+      t.windows_run <- t.windows_run + 1;
+      settle t b;
+      (* Advance the merged clock before globals fire: a global closure at
+         time [b] must read [now t = b]. *)
+      t.clock <- Float.max t.clock b;
+      let is_global = next_global = Some b in
+      if is_global then begin
+        let rec fire () =
+          match Heap.peek t.globals with
+          | Some (tm, _) when tm <= b ->
+            (match Heap.pop t.globals with
+             | Some (_, f) -> f (); fire ()
+             | None -> ())
+          | _ -> ()
+        in
+        fire ();
+        (* Globals may emit (directly or via pool fan-out into outboxes);
+           settle again so the barrier invariant — nothing pending at or
+           before the merged clock — holds when the monitor looks. *)
+        flush t;
+        (match min_next t with Some tm when tm <= b -> settle t b | _ -> ())
+      end;
+      (* Observables only at K-independent instants: global-event times and
+         the caller's horizon.  Window barriers in between depend on the
+         shard count and must stay invisible. *)
+      if is_global || b >= horizon then sync_observe t b;
+      if b < horizon then loop ()
+    end
+    else begin
+      t.clock <- Float.max t.clock horizon;
+      sync_observe t t.clock
+    end
+  in
+  loop ();
+  t.elapsed_s <- t.elapsed_s +. (Unix.gettimeofday () -. t0)
+
+let peak_global t = t.peak
+
+let scheduled_total t =
+  Array.fold_left (fun acc e -> acc + Engine.scheduled_total e) 0 t.engines
+
+let executed_total t =
+  Array.fold_left (fun acc e -> acc + Engine.executed_total e) 0 t.engines
+
+let fingerprint t =
+  Array.fold_left (fun acc e -> acc + Engine.digest e) 0 t.engines
+
+let stats t =
+  {
+    windows = t.windows_run;
+    executed = Array.map Engine.executed_total t.engines;
+    busy_s = Array.copy t.busy_s;
+    stall_s = t.stall_s;
+    elapsed_s = t.elapsed_s;
+  }

@@ -1,22 +1,13 @@
 module Id = Rofl_idspace.Id
 module Prng = Rofl_util.Prng
+module Pool = Rofl_util.Pool
 module Graph = Rofl_topology.Graph
 module Linkstate = Rofl_linkstate.Linkstate
 module Engine = Rofl_netsim.Engine
+module Shard = Rofl_netsim.Shard
 module Metrics = Rofl_netsim.Metrics
 
 type pointer = Id.t * int (* identifier, hosting router *)
-
-type resident = {
-  rid : Id.t;
-  mutable succ : pointer option;
-  mutable succ_list : pointer list; (* backups past succ, nearest first *)
-  mutable pred : pointer option;
-  mutable pred_heard_ms : float;    (* last sign of life from pred *)
-  mutable probe_inflight : bool;    (* a stabilisation RPC is outstanding *)
-}
-
-type node = { router : int; mutable residents : resident list }
 
 type config = {
   stabilize_period_ms : float;
@@ -125,37 +116,82 @@ type lookup_state = {
   cb : lookup_outcome -> unit;
 }
 
-type t = {
-  graph : Graph.t;
-  ls : Linkstate.t;
-  engine : Engine.t;
-  rng : Prng.t;
-  nodes : node array;
-  cfg : config;
-  metrics : Metrics.t;
-  (* Residency oracle: id -> hosting router.  Used for instrumentation and
-     membership queries only — protocol decisions (failover, retries) rely
-     exclusively on timeouts and local state. *)
-  where : (Id.t, int) Hashtbl.t;
+(* ---- stale-successor oracle: logged events, replayed at sync points ----
+
+   The seed instrumented stale windows inline: an O(residents) sweep at
+   every departure and a membership probe at every pointer write.  Both
+   reach across the whole simulation and would race under sharding, so each
+   shard instead appends repoint/join facts to a private log and departures
+   are recorded globally; [sync_oracle] merges the logs in a K-independent
+   order (time, then join < repoint < departure, then identifier) and
+   replays the seed's marking rules over a compact mirror of the ring. *)
+
+type oev =
+  | O_join of float * Id.t
+  | O_repoint of float * Id.t * Id.t option (* holder, new successor id *)
+  | O_raw of float * Id.t * Id.t option     (* injected fault: never closes *)
+
+type rstate = {
+  mutable o_mem : bool;
+  mutable o_succ : Id.t option;
+  mutable o_pointed : Id.t list; (* holders whose successor pointer is this id *)
+}
+
+type oracle = {
+  ostates : (Id.t, rstate) Hashtbl.t;
+  omarks : (Id.t, float) Hashtbl.t; (* holder -> stale since *)
+  mutable owindows : float list;    (* closed durations, newest first *)
+}
+
+(* ---- per-shard state ----------------------------------------------------
+
+   Everything a shard's events touch lives here: the resident store for its
+   routers, the id -> slot index, a private link-state view (its Dijkstra
+   caches are mutable), metrics, RPC state tables and counters.  Counter
+   values are sums of per-event increments, so aggregating them over shards
+   is partition-independent; tokens only ever meet their own shard's
+   tables. *)
+
+type shard_state = {
+  sx : int;
+  store : Store.t;
+  where : (Id.t, int) Hashtbl.t; (* id -> slot, for residents of this shard *)
+  s_ls : Linkstate.t;
+  s_metrics : Metrics.t;
   probes : (int, unit) Hashtbl.t; (* outstanding stabilisation RPC tokens *)
   joins : (Id.t, join_state) Hashtbl.t;
   lookups : (int, lookup_state) Hashtbl.t;
-  stale_marks : (Id.t, float) Hashtbl.t; (* holder rid -> stale since *)
-  mutable stale_windows : float list;
+  mutable olog : oev list; (* oracle events, newest first *)
   mutable next_token : int;
-  mutable stab_on : bool;
   mutable msg_count : int;
   mutable joins_done : int;
   mutable joins_failed : int;
+  mutable failovers : int;
+  mutable rpc_timeouts : int;
+  mutable join_retries : int;
+  mutable lookup_retries : int;
+  mutable lookups_open : int;
+}
+
+type t = {
+  graph : Graph.t;
+  cfg : config;
+  coord : Shard.t;
+  nshards : int;
+  shard_of : int array; (* router -> shard, contiguous ranges *)
+  (* Per-router monotone sequence counters: every scheduled event is keyed
+     by (time, acting router, seq), so the merged execution order is a
+     function of the workload alone, not of the shard count. *)
+  rails : int array;
+  sh : shard_state array;
+  pool : Pool.t option;
+  oracle : oracle;
+  mutable departs : (float * Id.t) list; (* oracle: departures, newest first *)
+  mutable stab_on : bool;
   mutable rounds : int;
   mutable leaves_done : int;
   mutable moves_done : int;
   mutable crashes_done : int;
-  mutable failovers : int;
-  mutable rpc_timeouts : int;
-  mutable join_retries_total : int;
-  mutable lookup_retries_total : int;
-  mutable lookups_open : int;
 }
 
 (* Deterministic, well-spread default identifier per router.  A seeded PRNG
@@ -164,137 +200,312 @@ let router_label i =
   let g = Prng.create (0x5EED + i) in
   Id.random g
 
-let create ~rng ?(cfg = default_config) graph =
+(* ---- shard plumbing ----------------------------------------------------- *)
+
+let shd t router = t.sh.(t.shard_of.(router))
+
+(* Simulated time in the calling context: the clock of the engine owning
+   [router]'s shard — the event's own time inside a window, the merged
+   barrier clock from global context (all engines parked there). *)
+let now_at t router = Engine.now (Shard.engine t.coord t.shard_of.(router))
+
+let fresh_token sh =
+  let tok = sh.next_token in
+  sh.next_token <- tok + 1;
+  tok
+
+(* Schedule [f] at [router]'s shard under the content-derived key
+   [(time, rail, seq)].  [rail] must be the router in whose execution
+   context this call is made (the acting router), so its sequence counter
+   is bumped in a deterministic, K-independent order. *)
+let sched t ~rail ~at ~time_ms f =
+  let seq = t.rails.(rail) in
+  t.rails.(rail) <- seq + 1;
+  Shard.send t.coord ~src:t.shard_of.(rail) ~dst:t.shard_of.(at) ~time_ms ~rail
+    ~seq f
+
+let find_slot t router rid =
+  let sh = shd t router in
+  match Hashtbl.find_opt sh.where rid with
+  | Some s when Store.owner sh.store s = router -> Some s
+  | Some _ | None -> None
+
+let locate_slot t rid =
+  let k = Array.length t.sh in
+  let rec go i =
+    if i >= k then None
+    else
+      match Hashtbl.find_opt t.sh.(i).where rid with
+      | Some s -> Some (t.sh.(i), s)
+      | None -> go (i + 1)
+  in
+  go 0
+
+let is_member t rid = locate_slot t rid <> None
+
+(* ---- construction ------------------------------------------------------- *)
+
+let create ~rng ?(cfg = default_config) ?(shards = 1) ?pool ?(bootstrap_hosts = 0)
+    ?(lookup_hint = 0) graph =
+  if shards < 1 then invalid_arg "Proto.create: shards must be >= 1";
+  if bootstrap_hosts < 0 then invalid_arg "Proto.create: bootstrap_hosts < 0";
   let n = Graph.n graph in
-  let nodes =
-    Array.init n (fun router ->
+  let k = max 1 (min shards n) in
+  let shard_of = Array.init n (fun r -> min (r * k / n) (k - 1)) in
+  (* Conservative window: no message can cross shards faster than the
+     cheapest partition-crossing link. *)
+  let window =
+    if k = 1 then infinity
+    else begin
+      let w = ref infinity in
+      Graph.iter_links graph (fun { Graph.u; v; latency_ms } ->
+          if shard_of.(u) <> shard_of.(v) && latency_ms < !w then w := latency_ms);
+      !w
+    end
+  in
+  if k > 1 && not (window > 0.0) then
+    invalid_arg "Proto.create: cross-shard links must have positive latency";
+  (* Bootstrap membership: one default identifier per router, plus
+     [bootstrap_hosts] extra hosts placed uniformly — drawn before any shard
+     state exists, so placement is identical at every shard count. *)
+  let seen = Hashtbl.create (2 * (n + bootstrap_hosts)) in
+  let boot = ref [] in
+  for router = 0 to n - 1 do
+    let rid = router_label router in
+    Hashtbl.replace seen rid ();
+    boot := (rid, router) :: !boot
+  done;
+  let added = ref 0 in
+  while !added < bootstrap_hosts do
+    let rid = Id.random rng in
+    if not (Hashtbl.mem seen rid) then begin
+      Hashtbl.replace seen rid ();
+      boot := (rid, Prng.int rng n) :: !boot;
+      incr added
+    end
+  done;
+  let per_shard = ((n + bootstrap_hosts) / k) + 1 in
+  let sh =
+    Array.init k (fun sx ->
         {
-          router;
-          residents =
-            [
-              {
-                rid = router_label router;
-                succ = None;
-                succ_list = [];
-                pred = None;
-                pred_heard_ms = 0.0;
-                probe_inflight = false;
-              };
-            ];
+          sx;
+          store =
+            Store.create ~routers:n
+              ~cap_list:(max 0 (cfg.succ_list_len - 1))
+              ~hint:(2 * per_shard) ~dummy:(router_label 0);
+          where = Hashtbl.create (max 16 (2 * per_shard));
+          s_ls = Linkstate.create graph;
+          s_metrics = Metrics.create ~routers:n;
+          probes = Hashtbl.create (max 64 per_shard);
+          joins = Hashtbl.create 16;
+          lookups = Hashtbl.create (max 16 lookup_hint);
+          olog = [];
+          next_token = 0;
+          msg_count = 0;
+          joins_done = 0;
+          joins_failed = 0;
+          failovers = 0;
+          rpc_timeouts = 0;
+          join_retries = 0;
+          lookup_retries = 0;
+          lookups_open = 0;
         })
   in
   let t =
     {
       graph;
-      ls = Linkstate.create graph;
-      engine = Engine.create ();
-      rng;
-      nodes;
       cfg;
-      metrics = Metrics.create ~routers:n;
-      where = Hashtbl.create (2 * n);
-      probes = Hashtbl.create 64;
-      joins = Hashtbl.create 16;
-      lookups = Hashtbl.create 16;
-      stale_marks = Hashtbl.create 16;
-      stale_windows = [];
-      next_token = 0;
+      coord = Shard.create ?pool ~shards:k ~window_ms:window ();
+      nshards = k;
+      shard_of;
+      rails = Array.make n 0;
+      sh;
+      pool;
+      oracle =
+        {
+          ostates = Hashtbl.create (2 * (n + bootstrap_hosts));
+          omarks = Hashtbl.create 16;
+          owindows = [];
+        };
+      departs = [];
       stab_on = false;
-      msg_count = 0;
-      joins_done = 0;
-      joins_failed = 0;
       rounds = 0;
       leaves_done = 0;
       moves_done = 0;
       crashes_done = 0;
-      failovers = 0;
-      rpc_timeouts = 0;
-      join_retries_total = 0;
-      lookup_retries_total = 0;
-      lookups_open = 0;
     }
   in
-  (* Bootstrap shortcut: the router-ID ring is spliced locally at time zero
+  (* Bootstrap shortcut: the identifier ring is spliced locally at time zero
      (the synchronous simulation charges this as the §3.1 flood; here we
      start from its outcome and let everything AFTER happen by message). *)
-  let sorted =
-    Array.to_list nodes
-    |> List.concat_map (fun nd -> List.map (fun r -> (r.rid, nd.router)) nd.residents)
-    |> List.sort (fun (a, _) (b, _) -> Id.compare a b)
+  let arr =
+    List.sort (fun (a, _) (b, _) -> Id.compare a b) !boot |> Array.of_list
   in
-  let arr = Array.of_list sorted in
   let m = Array.length arr in
   Array.iteri
     (fun i (rid, router) ->
-      let succ = arr.((i + 1) mod m) in
-      let pred = arr.((i + m - 1) mod m) in
-      let backups =
-        List.init (min (cfg.succ_list_len - 1) (max 0 (m - 2))) (fun k ->
-            arr.((i + 2 + k) mod m))
-      in
-      let nd = nodes.(router) in
-      List.iter
-        (fun r ->
-          if Id.equal r.rid rid then begin
-            r.succ <- Some succ;
-            r.succ_list <- backups;
-            r.pred <- Some pred
-          end)
-        nd.residents;
-      Hashtbl.replace t.where rid router)
+      let shx = sh.(shard_of.(router)) in
+      let s = Store.alloc shx.store ~router rid in
+      Store.set_succ shx.store s (Some arr.((i + 1) mod m));
+      Store.set_pred shx.store s (Some arr.((i + m - 1) mod m));
+      Store.set_succ_list shx.store s
+        (List.init
+           (min (cfg.succ_list_len - 1) (max 0 (m - 2)))
+           (fun j -> arr.((i + 2 + j) mod m)));
+      Hashtbl.replace shx.where rid s)
+    arr;
+  Array.iteri
+    (fun i (rid, _) ->
+      Hashtbl.replace t.oracle.ostates rid
+        { o_mem = true; o_succ = Some (fst arr.((i + 1) mod m)); o_pointed = [] })
+    arr;
+  Array.iteri
+    (fun i (rid, _) ->
+      let sid, _ = arr.((i + 1) mod m) in
+      let st = Hashtbl.find t.oracle.ostates sid in
+      st.o_pointed <- rid :: st.o_pointed)
     arr;
   t
 
-let engine t = t.engine
+let coordinator t = t.coord
 
-let metrics t = t.metrics
+let shard_count t = t.nshards
+
+let shard_of_router t router = t.shard_of.(router)
+
+let metrics t =
+  let m = Metrics.create ~routers:(Graph.n t.graph) in
+  Array.iter (fun sh -> Metrics.merge_into ~dst:m sh.s_metrics) t.sh;
+  m
 
 let config t = t.cfg
 
-let lookups_outstanding t = t.lookups_open
+let lookups_outstanding t =
+  Array.fold_left (fun acc sh -> acc + sh.lookups_open) 0 t.sh
 
-let fresh_token t =
-  let tok = t.next_token in
-  t.next_token <- tok + 1;
-  tok
+(* ---- oracle replay ------------------------------------------------------ *)
 
-let find_resident t router rid =
-  List.find_opt (fun r -> Id.equal r.rid rid) t.nodes.(router).residents
+let ostate t id =
+  match Hashtbl.find_opt t.oracle.ostates id with
+  | Some st -> st
+  | None ->
+    let st = { o_mem = false; o_succ = None; o_pointed = [] } in
+    Hashtbl.replace t.oracle.ostates id st;
+    st
 
-let is_member t rid = Hashtbl.mem t.where rid
+let o_unpoint t holder =
+  let hst = ostate t holder in
+  (match hst.o_succ with
+   | Some old ->
+     let ost = ostate t old in
+     ost.o_pointed <- List.filter (fun h -> not (Id.equal h holder)) ost.o_pointed
+   | None -> ());
+  hst.o_succ <- None
 
-(* ---- stale-successor window instrumentation (oracle-side, not protocol) *)
+let o_point t holder succ =
+  o_unpoint t holder;
+  (ostate t holder).o_succ <- succ;
+  match succ with
+  | Some s ->
+    let ost = ostate t s in
+    ost.o_pointed <- holder :: ost.o_pointed
+  | None -> ()
 
 (* A holder whose successor pointer names a departed identifier is "stale"
-   from the departure until the pointer is repointed at a live identifier. *)
-let mark_stale t departed =
-  let now = Engine.now t.engine in
-  Array.iter
-    (fun nd ->
-      List.iter
-        (fun r ->
-          match r.succ with
-          | Some (sid, _) when Id.equal sid departed ->
-            if not (Hashtbl.mem t.stale_marks r.rid) then
-              Hashtbl.add t.stale_marks r.rid now
-          | Some _ | None -> ())
-        nd.residents)
-    t.nodes
+   from the departure until the pointer is repointed at a live member. *)
+let o_depart t time id =
+  let st = ostate t id in
+  st.o_mem <- false;
+  Hashtbl.remove t.oracle.omarks id;
+  o_unpoint t id;
+  List.iter
+    (fun h ->
+      if not (Hashtbl.mem t.oracle.omarks h) then
+        Hashtbl.replace t.oracle.omarks h time)
+    st.o_pointed
 
-let set_succ t r ptr =
-  (match ptr with
-   | Some (nid, _) when Hashtbl.mem t.stale_marks r.rid && Hashtbl.mem t.where nid ->
-     let start = Hashtbl.find t.stale_marks r.rid in
-     t.stale_windows <- (Engine.now t.engine -. start) :: t.stale_windows;
-     Hashtbl.remove t.stale_marks r.rid
-   | Some _ | None -> ());
-  r.succ <- ptr
+let o_repoint t time holder succ =
+  o_point t holder succ;
+  match succ with
+  | Some s when (ostate t s).o_mem -> (
+    match Hashtbl.find_opt t.oracle.omarks holder with
+    | Some since ->
+      t.oracle.owindows <- (time -. since) :: t.oracle.owindows;
+      Hashtbl.remove t.oracle.omarks holder
+    | None -> ())
+  | Some _ | None -> ()
 
-let stale_windows t = List.rev t.stale_windows
+(* Merge the shard logs and the departure log into one chronological stream
+   and replay it.  The order is K-independent: time first, joins before
+   repoints before departures at one instant, identifiers and per-stream
+   positions after that (one identifier's events never tie across shards —
+   a rejoin elsewhere always completes strictly later than the departure). *)
+let sync_oracle t =
+  if t.departs <> [] || Array.exists (fun sh -> sh.olog <> []) t.sh then begin
+    let entries = ref [] in
+    Array.iteri
+      (fun sx sh ->
+        List.iteri
+          (fun pos ev ->
+            let time, rank, id =
+              match ev with
+              | O_join (tm, id) -> (tm, 0, id)
+              | O_repoint (tm, id, _) | O_raw (tm, id, _) -> (tm, 1, id)
+            in
+            entries := (time, rank, id, sx, pos, Some ev) :: !entries)
+          (List.rev sh.olog);
+        sh.olog <- [])
+      t.sh;
+    List.iteri
+      (fun pos (tm, id) -> entries := (tm, 2, id, -1, pos, None) :: !entries)
+      (List.rev t.departs);
+    t.departs <- [];
+    let cmp (t1, r1, i1, s1, p1, _) (t2, r2, i2, s2, p2, _) =
+      let c = Float.compare t1 t2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare r1 r2 in
+        if c <> 0 then c
+        else
+          let c = Id.compare i1 i2 in
+          if c <> 0 then c
+          else
+            let c = Int.compare s1 s2 in
+            if c <> 0 then c else Int.compare p1 p2
+    in
+    List.iter
+      (fun (tm, _, id, _, _, ev) ->
+        match ev with
+        | Some (O_join _) -> (ostate t id).o_mem <- true
+        | Some (O_repoint (_, _, succ)) -> o_repoint t tm id succ
+        | Some (O_raw (_, _, succ)) -> o_point t id succ
+        | None -> o_depart t tm id)
+      (List.sort cmp !entries)
+  end
 
-let stale_open t = Hashtbl.length t.stale_marks
+let stale_windows t =
+  sync_oracle t;
+  List.rev t.oracle.owindows
 
-(* ---- message transport ------------------------------------------------- *)
+let stale_open t =
+  sync_oracle t;
+  Hashtbl.length t.oracle.omarks
+
+let stale_open_since t =
+  sync_oracle t;
+  Hashtbl.fold (fun rid since acc -> (rid, since) :: acc) t.oracle.omarks []
+  |> List.sort (fun (a, _) (b, _) -> Id.compare a b)
+
+(* Every successor-pointer write funnels through here so the oracle log
+   mirrors the actual ring. *)
+let repoint t ~router s ptr =
+  let sh = shd t router in
+  sh.olog <-
+    O_repoint (now_at t router, Store.rid sh.store s, Option.map fst ptr)
+    :: sh.olog;
+  Store.set_succ sh.store s ptr
+
+(* ---- message transport -------------------------------------------------- *)
 
 let truncate_list n xs =
   let rec go n = function
@@ -309,9 +520,7 @@ let truncate_list n xs =
 
    Inherited lists do not arrive that way: a departing member's backups are
    ordered around *its* position, not the adopter's, and in small rings they
-   can even contain the adopter (the seed spliced them in verbatim, leaving
-   transient self-entries and out-of-order tails that failover would then
-   promote in the wrong order).  Every adoption site funnels through this
+   can even contain the adopter.  Every adoption site funnels through this
    normaliser: drop self/succ, dedup, re-sort by distance from the new
    holder, truncate. *)
 let normalize_succ_list t ~self ?succ entries =
@@ -323,14 +532,18 @@ let normalize_succ_list t ~self ?succ entries =
   |> truncate_list (t.cfg.succ_list_len - 1)
 
 (* Deliver a message to a router after traversing the physical path there,
-   charging one message per link under [cat]. *)
-let send_direct t ~cat ~from ~dest msg handle =
-  match Linkstate.path t.ls from dest with
+   charging one message per link under [cat].  A cross-shard destination is
+   reached over at least one partition-crossing link, so the delivery time
+   is at least the conservative window after now — the invariant the shard
+   coordinator's barriers rely on. *)
+let send_direct t ~cat ~from ~dest msg k =
+  let sh = shd t from in
+  match Linkstate.path sh.s_ls from dest with
   | None -> ()
   | Some hops ->
     let links = List.length hops - 1 in
-    t.msg_count <- t.msg_count + max links 0;
-    Metrics.incr t.metrics cat (max links 0);
+    sh.msg_count <- sh.msg_count + max links 0;
+    Metrics.incr sh.s_metrics cat (max links 0);
     let latency =
       let rec go acc = function
         | a :: (b :: _ as rest) -> go (acc +. Graph.latency t.graph a b) rest
@@ -338,11 +551,14 @@ let send_direct t ~cat ~from ~dest msg handle =
       in
       go 0.0 hops
     in
-    Engine.schedule t.engine ~delay_ms:latency (fun () -> handle msg)
+    sched t ~rail:from ~at:dest ~time_ms:(now_at t from +. latency) (fun () ->
+        k msg)
 
 (* Best local knowledge at a router for a target: closest identifier (its
    own residents and their successor pointers) not past the target. *)
 let best_candidate t router ~target ?(exclude = []) () =
+  let sh = shd t router in
+  let store = sh.store in
   let best = ref None in
   let consider id where =
     if not (List.exists (Id.equal id) exclude) then begin
@@ -351,16 +567,14 @@ let best_candidate t router ~target ?(exclude = []) () =
       | Some _ | None -> best := Some (id, where)
     end
   in
-  List.iter
-    (fun r ->
-      consider r.rid `Here;
-      match r.succ with
-      | Some (sid, srouter) when srouter <> router -> consider sid (`Remote srouter)
-      | Some _ | None -> ())
-    t.nodes.(router).residents;
+  Store.iter_router store router (fun s ->
+      consider (Store.rid store s) `Here;
+      let srouter = Store.succ_router store s in
+      if srouter >= 0 && srouter <> router then
+        consider (Store.succ_rid store s) (`Remote srouter));
   !best
 
-(* ---- joins ------------------------------------------------------------- *)
+(* ---- joins -------------------------------------------------------------- *)
 
 (* Greedy per-hop forwarding of a join request.  Each router re-evaluates on
    receipt (one link traversal per event) but the request stays committed to
@@ -371,6 +585,7 @@ let best_candidate t router ~target ?(exclude = []) () =
 let rec forward_join t ~at (m : message) =
   match m with
   | Join_req { joining; gateway; chasing; avoid; waited } ->
+    let sh = shd t at in
     let exclude = joining :: avoid in
     let local = best_candidate t at ~target:joining ~exclude () in
     let improves id =
@@ -383,45 +598,47 @@ let rec forward_join t ~at (m : message) =
         (Join_req { joining; gateway; chasing = None; avoid = dead :: avoid; waited = 0 })
     in
     let splice best_id =
-      match find_resident t at best_id with
+      match find_slot t at best_id with
       | None ->
         if waited < t.cfg.stuck_wait_limit then
           (* The candidate may be mid-join: its resident state materialises
              when its own Join_resp lands.  Wait briefly and retry. *)
-          Engine.schedule t.engine ~delay_ms:t.cfg.stuck_wait_ms (fun () ->
+          sched t ~rail:at ~at ~time_ms:(now_at t at +. t.cfg.stuck_wait_ms)
+            (fun () ->
               forward_join t ~at
                 (Join_req
                    { joining; gateway; chasing = Some (best_id, at); avoid; waited = waited + 1 }))
         else
           (* Still absent: treat as dead and re-chase without it. *)
           restart_without best_id
-      | Some r when (match r.succ with
-                     | Some (sid, _) -> Id.equal sid joining
-                     | None -> false) ->
+      | Some s when
+          Store.succ_router sh.store s >= 0
+          && Id.equal (Store.succ_rid sh.store s) joining ->
         (* A retried request re-spliced where the first one already did:
            nothing to do — the gateway ignores duplicate responses, and a
            genuinely lost response is covered by the join timer. *)
         ()
-      | Some r ->
-        (* r is the closest known identifier: the predecessor.  Splice. *)
-        let old_succ = r.succ in
-        let old_list = r.succ_list in
-        set_succ t r (Some (joining, gateway));
-        r.succ_list <-
-          normalize_succ_list t ~self:r.rid ~succ:joining
-            (match old_succ with Some s -> s :: old_list | None -> old_list);
+      | Some s ->
+        (* The closest known identifier: the predecessor.  Splice. *)
+        let rid = Store.rid sh.store s in
+        let old_succ = Store.succ sh.store s in
+        let old_list = Store.succ_list sh.store s in
+        repoint t ~router:at s (Some (joining, gateway));
+        Store.set_succ_list sh.store s
+          (normalize_succ_list t ~self:rid ~succ:joining
+             (match old_succ with Some p -> p :: old_list | None -> old_list));
         send_direct t ~cat:"join" ~from:at ~dest:gateway
-          (Join_resp { joining; pred = (r.rid, at); succ = old_succ; succ_list = old_list })
+          (Join_resp { joining; pred = (rid, at); succ = old_succ; succ_list = old_list })
           (handle t gateway)
     in
     let hop_towards dest m' =
-      match Linkstate.next_hop t.ls at dest with
+      match Linkstate.next_hop sh.s_ls at dest with
       | None -> ()
       | Some hop ->
-        t.msg_count <- t.msg_count + 1;
-        Metrics.incr t.metrics "join" 1;
-        Engine.schedule t.engine
-          ~delay_ms:(Graph.latency t.graph at hop)
+        sh.msg_count <- sh.msg_count + 1;
+        Metrics.incr sh.s_metrics "join" 1;
+        sched t ~rail:at ~at:hop
+          ~time_ms:(now_at t at +. Graph.latency t.graph at hop)
           (fun () -> forward_join t ~at:hop m')
     in
     (match local with
@@ -440,11 +657,12 @@ let rec forward_join t ~at (m : message) =
   | Join_resp _ | Get_pred _ | Pred_info _ | Notify _ | Leave_pred _ | Leave_succ _
   | Lookup_req _ | Lookup_resp _ -> ()
 
-(* ---- lookups ----------------------------------------------------------- *)
+(* ---- lookups ------------------------------------------------------------ *)
 
 and forward_lookup t ~at (m : message) =
   match m with
   | Lookup_req { target; origin; token; chasing; avoid; waited } ->
+    let sh = shd t at in
     let respond owner =
       send_direct t ~cat:"lookup" ~from:at ~dest:origin (Lookup_resp { token; owner })
         (handle t origin)
@@ -456,10 +674,11 @@ and forward_lookup t ~at (m : message) =
       | Some (cid, _) -> Id.closer_clockwise ~target id cid
     in
     let settle best_id =
-      match find_resident t at best_id with
+      match find_slot t at best_id with
       | None ->
         if waited < t.cfg.stuck_wait_limit then
-          Engine.schedule t.engine ~delay_ms:t.cfg.stuck_wait_ms (fun () ->
+          sched t ~rail:at ~at ~time_ms:(now_at t at +. t.cfg.stuck_wait_ms)
+            (fun () ->
               forward_lookup t ~at
                 (Lookup_req
                    { target; origin; token; chasing = Some (best_id, at); avoid;
@@ -469,16 +688,16 @@ and forward_lookup t ~at (m : message) =
           forward_lookup t ~at
             (Lookup_req
                { target; origin; token; chasing = None; avoid = best_id :: avoid; waited = 0 })
-      | Some r -> respond (Some (r.rid, at))
+      | Some s -> respond (Some (Store.rid sh.store s, at))
     in
     let hop_towards dest m' =
-      match Linkstate.next_hop t.ls at dest with
+      match Linkstate.next_hop sh.s_ls at dest with
       | None -> respond None
       | Some hop ->
-        t.msg_count <- t.msg_count + 1;
-        Metrics.incr t.metrics "lookup" 1;
-        Engine.schedule t.engine
-          ~delay_ms:(Graph.latency t.graph at hop)
+        sh.msg_count <- sh.msg_count + 1;
+        Metrics.incr sh.s_metrics "lookup" 1;
+        sched t ~rail:at ~at:hop
+          ~time_ms:(now_at t at +. Graph.latency t.graph at hop)
           (fun () -> forward_lookup t ~at:hop m')
     in
     (match local with
@@ -493,131 +712,148 @@ and forward_lookup t ~at (m : message) =
         | None -> respond None))
   | _ -> ()
 
-(* ---- message dispatch -------------------------------------------------- *)
+(* ---- message dispatch --------------------------------------------------- *)
 
 and handle t at (m : message) =
   match m with
   | Join_req _ -> forward_join t ~at m
   | Lookup_req _ -> forward_lookup t ~at m
   | Join_resp { joining; pred; succ; succ_list } ->
-    (match Hashtbl.find_opt t.joins joining with
+    let sh = shd t at in
+    (match Hashtbl.find_opt sh.joins joining with
      | None -> () (* duplicate response from a retried or re-spliced request *)
      | Some st ->
        st.completed <- true;
-       Hashtbl.remove t.joins joining;
+       Hashtbl.remove sh.joins joining;
        (* The resident materialises only now, so a half-joined identifier is
           never visible to concurrent lookups. *)
-       let r =
-         {
-           rid = joining;
-           succ = None;
-           succ_list =
-             normalize_succ_list t ~self:joining ?succ:(Option.map fst succ) succ_list;
-           pred = Some pred;
-           pred_heard_ms = Engine.now t.engine;
-           probe_inflight = false;
-         }
+       let now = now_at t at in
+       let s = Store.alloc sh.store ~router:at joining in
+       Store.set_pred sh.store s (Some pred);
+       Store.set_pred_heard sh.store s now;
+       Store.set_succ_list sh.store s
+         (normalize_succ_list t ~self:joining ?succ:(Option.map fst succ) succ_list);
+       Hashtbl.replace sh.where joining s;
+       let final_succ =
+         match succ with
+         | Some (sid, srouter) ->
+           (* Tell the successor about us. *)
+           send_direct t ~cat:"join" ~from:at ~dest:srouter
+             (Notify { candidate = joining; candidate_router = at; target = sid })
+             (handle t srouter);
+           Some (sid, srouter)
+         | None -> Some pred
        in
-       t.nodes.(at).residents <- r :: t.nodes.(at).residents;
-       Hashtbl.replace t.where joining at;
-       (match succ with
-        | Some (sid, srouter) ->
-          r.succ <- Some (sid, srouter);
-          (* Tell the successor about us. *)
-          send_direct t ~cat:"join" ~from:at ~dest:srouter
-            (Notify { candidate = joining; candidate_router = at; target = sid })
-            (handle t srouter)
-        | None -> r.succ <- Some pred);
-       t.joins_done <- t.joins_done + 1)
+       Store.set_succ sh.store s final_succ;
+       sh.olog <- O_join (now, joining) :: sh.olog;
+       sh.olog <- O_repoint (now, joining, Option.map fst final_succ) :: sh.olog;
+       sh.joins_done <- sh.joins_done + 1)
   | Get_pred { asker; asker_router; target; token } ->
-    (match find_resident t at target with
+    let sh = shd t at in
+    (match find_slot t at target with
      | None -> () (* dead: the asker's probe timeout handles it *)
      | Some s ->
        (* A probe from our predecessor doubles as its liveness heartbeat. *)
-       (match s.pred with
-        | Some (pid, _) when Id.equal pid asker -> s.pred_heard_ms <- Engine.now t.engine
+       (match Store.pred sh.store s with
+        | Some (pid, _) when Id.equal pid asker ->
+          Store.set_pred_heard sh.store s (now_at t at)
         | Some _ | None -> ());
        let succ_list =
-         match s.succ with Some sp -> sp :: s.succ_list | None -> s.succ_list
+         match Store.succ sh.store s with
+         | Some sp -> sp :: Store.succ_list sh.store s
+         | None -> Store.succ_list sh.store s
        in
        send_direct t ~cat:"stabilize" ~from:at ~dest:asker_router
-         (Pred_info { of_id = target; pred = s.pred; succ_list; to_id = asker; token })
+         (Pred_info
+            { of_id = target; pred = Store.pred sh.store s; succ_list; to_id = asker; token })
          (handle t asker_router))
   | Pred_info { of_id; pred; succ_list; to_id; token } ->
-    Hashtbl.remove t.probes token;
-    (match find_resident t at to_id with
+    let sh = shd t at in
+    Hashtbl.remove sh.probes token;
+    (match find_slot t at to_id with
      | None -> ()
-     | Some r ->
-       r.probe_inflight <- false;
+     | Some s ->
+       Store.set_probe_inflight sh.store s false;
+       let rid = Store.rid sh.store s in
        (* Adopt the successor's own successors as our backups. *)
-       (match r.succ with
+       (match Store.succ sh.store s with
         | Some (sid, _) when Id.equal sid of_id ->
-          r.succ_list <- normalize_succ_list t ~self:r.rid ~succ:sid succ_list
+          Store.set_succ_list sh.store s
+            (normalize_succ_list t ~self:rid ~succ:sid succ_list)
         | Some _ | None -> ());
-       (match (pred, r.succ) with
+       (match (pred, Store.succ sh.store s) with
         | Some (pid, prouter), Some ((sid, _) as old_succ)
-          when Id.equal sid of_id && Id.between r.rid pid sid ->
+          when Id.equal sid of_id && Id.between rid pid sid ->
           (* A closer successor surfaced between us and our successor. *)
-          set_succ t r (Some (pid, prouter));
-          r.succ_list <-
-            normalize_succ_list t ~self:r.rid ~succ:pid (old_succ :: r.succ_list);
+          repoint t ~router:at s (Some (pid, prouter));
+          Store.set_succ_list sh.store s
+            (normalize_succ_list t ~self:rid ~succ:pid
+               (old_succ :: Store.succ_list sh.store s));
           send_direct t ~cat:"stabilize" ~from:at ~dest:prouter
-            (Notify { candidate = r.rid; candidate_router = at; target = pid })
+            (Notify { candidate = rid; candidate_router = at; target = pid })
             (handle t prouter)
         | _ ->
           (* Confirmed: tell the successor we believe we are its pred. *)
-          (match r.succ with
+          (match Store.succ sh.store s with
            | Some (sid, srouter) ->
              send_direct t ~cat:"stabilize" ~from:at ~dest:srouter
-               (Notify { candidate = r.rid; candidate_router = at; target = sid })
+               (Notify { candidate = rid; candidate_router = at; target = sid })
                (handle t srouter)
            | None -> ())))
   | Notify { candidate; candidate_router; target } ->
-    (match find_resident t at target with
+    let sh = shd t at in
+    (match find_slot t at target with
      | None -> ()
      | Some s ->
-       (match s.pred with
+       (match Store.pred sh.store s with
         | Some (pid, _) when Id.equal pid candidate ->
-          s.pred_heard_ms <- Engine.now t.engine
-        | Some (pid, _) when not (Id.between pid candidate s.rid) -> ()
+          Store.set_pred_heard sh.store s (now_at t at)
+        | Some (pid, _) when not (Id.between pid candidate (Store.rid sh.store s)) -> ()
         | Some _ | None ->
-          s.pred <- Some (candidate, candidate_router);
-          s.pred_heard_ms <- Engine.now t.engine))
+          Store.set_pred sh.store s (Some (candidate, candidate_router));
+          Store.set_pred_heard sh.store s (now_at t at)))
   | Leave_pred { departing; to_id; new_succ; new_succ_list } ->
-    (match find_resident t at to_id with
+    let sh = shd t at in
+    (match find_slot t at to_id with
      | None -> ()
-     | Some r ->
-       (match r.succ with
+     | Some s ->
+       let rid = Store.rid sh.store s in
+       (match Store.succ sh.store s with
         | Some (sid, _) when Id.equal sid departing ->
-          set_succ t r new_succ;
-          r.succ_list <-
-            normalize_succ_list t ~self:r.rid ?succ:(Option.map fst new_succ)
-              (List.filter (fun (i, _) -> not (Id.equal i departing)) new_succ_list);
+          repoint t ~router:at s new_succ;
+          Store.set_succ_list sh.store s
+            (normalize_succ_list t ~self:rid ?succ:(Option.map fst new_succ)
+               (List.filter (fun (i, _) -> not (Id.equal i departing)) new_succ_list));
           (* Introduce ourselves to the inherited successor right away. *)
           (match new_succ with
-           | Some (nid, nrouter) when not (Id.equal nid r.rid) ->
+           | Some (nid, nrouter) when not (Id.equal nid rid) ->
              send_direct t ~cat:"repair" ~from:at ~dest:nrouter
-               (Notify { candidate = r.rid; candidate_router = at; target = nid })
+               (Notify { candidate = rid; candidate_router = at; target = nid })
                (handle t nrouter)
            | Some _ | None -> ())
         | Some _ | None ->
           (* Our successor moved on already; just drop the departed identifier
              from the backup list. *)
-          r.succ_list <- List.filter (fun (i, _) -> not (Id.equal i departing)) r.succ_list))
+          Store.set_succ_list sh.store s
+            (List.filter
+               (fun (i, _) -> not (Id.equal i departing))
+               (Store.succ_list sh.store s))))
   | Leave_succ { departing; to_id; new_pred } ->
-    (match find_resident t at to_id with
+    let sh = shd t at in
+    (match find_slot t at to_id with
      | None -> ()
      | Some s ->
-       (match s.pred with
+       (match Store.pred sh.store s with
         | Some (pid, _) when Id.equal pid departing ->
-          s.pred <- new_pred;
-          s.pred_heard_ms <- Engine.now t.engine
+          Store.set_pred sh.store s new_pred;
+          Store.set_pred_heard sh.store s (now_at t at)
         | Some _ | None -> ()))
   | Lookup_resp { token; owner } ->
-    (match Hashtbl.find_opt t.lookups token with
+    let sh = shd t at in
+    (match Hashtbl.find_opt sh.lookups token with
      | None -> () (* superseded attempt *)
      | Some st ->
-       Hashtbl.remove t.lookups token;
+       Hashtbl.remove sh.lookups token;
        if not st.finished then begin
          let ok =
            match owner with Some (oid, _) -> Id.equal oid st.lk_target | None -> false
@@ -626,30 +862,34 @@ and handle t at (m : message) =
          else begin
            (* Wrong or missing owner: give stabilisation one period to repair
               the pointers, then retry. *)
-           t.lookup_retries_total <- t.lookup_retries_total + 1;
-           Engine.schedule t.engine ~delay_ms:t.cfg.stabilize_period_ms (fun () ->
-               if not st.finished then start_lookup_attempt t st)
+           sh.lookup_retries <- sh.lookup_retries + 1;
+           sched t ~rail:at ~at
+             ~time_ms:(now_at t at +. t.cfg.stabilize_period_ms)
+             (fun () -> if not st.finished then start_lookup_attempt t st)
          end
        end)
 
 and finish_lookup t st ~ok =
+  let sh = shd t st.origin in
   st.finished <- true;
-  t.lookups_open <- t.lookups_open - 1;
+  sh.lookups_open <- sh.lookups_open - 1;
   st.cb
     {
       target = st.lk_target;
       issued_ms = st.lk_issued;
-      completed_ms = Engine.now t.engine;
+      completed_ms = now_at t st.origin;
       ok;
       attempts = st.lk_attempts;
     }
 
 and start_lookup_attempt t st =
+  let sh = shd t st.origin in
   st.lk_attempts <- st.lk_attempts + 1;
-  let token = fresh_token t in
+  let token = fresh_token sh in
   st.lk_token <- token;
-  Hashtbl.replace t.lookups token st;
-  Engine.schedule t.engine ~delay_ms:0.0 (fun () ->
+  Hashtbl.replace sh.lookups token st;
+  let now = now_at t st.origin in
+  sched t ~rail:st.origin ~at:st.origin ~time_ms:now (fun () ->
       forward_lookup t ~at:st.origin
         (Lookup_req
            { target = st.lk_target; origin = st.origin; token; chasing = None; avoid = [];
@@ -657,105 +897,104 @@ and start_lookup_attempt t st =
   let timeout =
     t.cfg.lookup_timeout_ms *. (t.cfg.rpc_backoff ** float_of_int (st.lk_attempts - 1))
   in
-  Engine.schedule t.engine ~delay_ms:timeout (fun () ->
-      if (not st.finished) && st.lk_token = token && Hashtbl.mem t.lookups token then begin
-        Hashtbl.remove t.lookups token;
-        t.rpc_timeouts <- t.rpc_timeouts + 1;
+  sched t ~rail:st.origin ~at:st.origin ~time_ms:(now +. timeout) (fun () ->
+      if (not st.finished) && st.lk_token = token && Hashtbl.mem sh.lookups token
+      then begin
+        Hashtbl.remove sh.lookups token;
+        sh.rpc_timeouts <- sh.rpc_timeouts + 1;
         if st.lk_attempts > t.cfg.lookup_retries then finish_lookup t st ~ok:false
         else begin
-          t.lookup_retries_total <- t.lookup_retries_total + 1;
+          sh.lookup_retries <- sh.lookup_retries + 1;
           start_lookup_attempt t st
         end
       end)
 
 let lookup_async t ~from target cb =
+  let sh = shd t from in
   let st =
     {
       origin = from;
       lk_target = target;
-      lk_issued = Engine.now t.engine;
+      lk_issued = now_at t from;
       lk_attempts = 0;
       lk_token = -1;
       finished = false;
       cb;
     }
   in
-  t.lookups_open <- t.lookups_open + 1;
+  sh.lookups_open <- sh.lookups_open + 1;
   start_lookup_attempt t st
 
-(* ---- join entry point with timeout/retry ------------------------------- *)
+(* ---- join entry point with timeout/retry -------------------------------- *)
 
 let rec start_join_attempt t joining (st : join_state) =
+  let sh = shd t st.gateway in
   st.join_attempts <- st.join_attempts + 1;
   let attempt = st.join_attempts in
-  Engine.schedule t.engine ~delay_ms:0.0 (fun () ->
+  let now = now_at t st.gateway in
+  sched t ~rail:st.gateway ~at:st.gateway ~time_ms:now (fun () ->
       forward_join t ~at:st.gateway
         (Join_req { joining; gateway = st.gateway; chasing = None; avoid = []; waited = 0 }));
   let timeout =
     t.cfg.join_timeout_ms *. (t.cfg.rpc_backoff ** float_of_int (attempt - 1))
   in
-  Engine.schedule t.engine ~delay_ms:timeout (fun () ->
+  sched t ~rail:st.gateway ~at:st.gateway ~time_ms:(now +. timeout) (fun () ->
       if (not st.completed) && st.join_attempts = attempt then begin
-        t.rpc_timeouts <- t.rpc_timeouts + 1;
+        sh.rpc_timeouts <- sh.rpc_timeouts + 1;
         if st.join_attempts > t.cfg.join_retries then begin
-          t.joins_failed <- t.joins_failed + 1;
-          Hashtbl.remove t.joins joining
+          sh.joins_failed <- sh.joins_failed + 1;
+          Hashtbl.remove sh.joins joining
         end
         else begin
-          t.join_retries_total <- t.join_retries_total + 1;
+          sh.join_retries <- sh.join_retries + 1;
           start_join_attempt t joining st
         end
       end)
 
+let is_joining t id = Array.exists (fun sh -> Hashtbl.mem sh.joins id) t.sh
+
 let join t ~gateway joining =
-  if is_member t joining || Hashtbl.mem t.joins joining then ()
+  if is_member t joining || is_joining t joining then ()
   else begin
     let st = { gateway; join_attempts = 0; completed = false } in
-    Hashtbl.add t.joins joining st;
+    Hashtbl.add (shd t gateway).joins joining st;
     start_join_attempt t joining st
   end
 
-(* ---- departures -------------------------------------------------------- *)
-
-let remove_resident t router rid =
-  t.nodes.(router).residents <-
-    List.filter (fun r -> not (Id.equal r.rid rid)) t.nodes.(router).residents;
-  Hashtbl.remove t.where rid;
-  Hashtbl.remove t.stale_marks rid
+(* ---- departures --------------------------------------------------------- *)
 
 (* Graceful departure: hand succ/pred state to the neighbours, then vanish.
    Returns false when the identifier is not resident anywhere. *)
 let depart t ~graceful rid =
-  match Hashtbl.find_opt t.where rid with
+  match locate_slot t rid with
   | None -> false
-  | Some router ->
-    (match find_resident t router rid with
-     | None -> false
-     | Some r ->
-       if graceful then begin
-         (match r.pred with
-          | Some (pid, prouter) when not (Id.equal pid rid) ->
-            send_direct t ~cat:"repair" ~from:router ~dest:prouter
-              (Leave_pred
-                 {
-                   departing = rid;
-                   to_id = pid;
-                   new_succ = r.succ;
-                   new_succ_list = r.succ_list;
-                 })
-              (handle t prouter)
-          | Some _ | None -> ());
-         (match r.succ with
-          | Some (sid, srouter) when not (Id.equal sid rid) ->
-            send_direct t ~cat:"repair" ~from:router ~dest:srouter
-              (Leave_succ { departing = rid; to_id = sid; new_pred = r.pred })
-              (handle t srouter)
-          | Some _ | None -> ())
-       end;
-       remove_resident t router rid;
-       (* Whoever still points at rid is stale from this instant. *)
-       mark_stale t rid;
-       true)
+  | Some (sh, s) ->
+    let router = Store.owner sh.store s in
+    if graceful then begin
+      (match Store.pred sh.store s with
+       | Some (pid, prouter) when not (Id.equal pid rid) ->
+         send_direct t ~cat:"repair" ~from:router ~dest:prouter
+           (Leave_pred
+              {
+                departing = rid;
+                to_id = pid;
+                new_succ = Store.succ sh.store s;
+                new_succ_list = Store.succ_list sh.store s;
+              })
+           (handle t prouter)
+       | Some _ | None -> ());
+      (match Store.succ sh.store s with
+       | Some (sid, srouter) when not (Id.equal sid rid) ->
+         send_direct t ~cat:"repair" ~from:router ~dest:srouter
+           (Leave_succ { departing = rid; to_id = sid; new_pred = Store.pred sh.store s })
+           (handle t srouter)
+       | Some _ | None -> ())
+    end;
+    Hashtbl.remove sh.where rid;
+    Store.release sh.store s;
+    (* Whoever still points at rid is stale from this instant. *)
+    t.departs <- (Shard.now t.coord, rid) :: t.departs;
+    true
 
 let leave t rid =
   let ok = depart t ~graceful:true rid in
@@ -772,66 +1011,74 @@ let move t ~new_gateway rid =
   if ok then begin
     t.moves_done <- t.moves_done + 1;
     let st = { gateway = new_gateway; join_attempts = 0; completed = false } in
-    Hashtbl.replace t.joins rid st;
+    Hashtbl.replace (shd t new_gateway).joins rid st;
     start_join_attempt t rid st
   end;
   ok
 
-(* ---- stabilisation ----------------------------------------------------- *)
+(* ---- stabilisation ------------------------------------------------------ *)
 
-(* One probe of [r]'s successor, with timeout/retry/backoff; when every retry
-   times out the successor is declared dead and the first live backup is
-   promoted (Chord successor-list failover). *)
-let rec send_probe t nd r (sid, srouter) attempt =
-  let token = fresh_token t in
-  Hashtbl.replace t.probes token ();
-  send_direct t ~cat:"stabilize" ~from:nd.router ~dest:srouter
-    (Get_pred { asker = r.rid; asker_router = nd.router; target = sid; token })
+(* One probe of a resident's successor, with timeout/retry/backoff; when
+   every retry times out the successor is declared dead and the first live
+   backup is promoted (Chord successor-list failover).  The timeout closure
+   captures (router, rid), never the slot: slots are recycled on departure,
+   so it re-resolves when it fires and only acts if the resident is still
+   here with the same pointer. *)
+let rec send_probe t ~router rid (sid, srouter) attempt =
+  let sh = shd t router in
+  let token = fresh_token sh in
+  Hashtbl.replace sh.probes token ();
+  send_direct t ~cat:"stabilize" ~from:router ~dest:srouter
+    (Get_pred { asker = rid; asker_router = router; target = sid; token })
     (handle t srouter);
   let timeout =
     t.cfg.rpc_timeout_ms *. (t.cfg.rpc_backoff ** float_of_int (attempt - 1))
   in
-  Engine.schedule t.engine ~delay_ms:timeout (fun () ->
-      if Hashtbl.mem t.probes token then begin
-        Hashtbl.remove t.probes token;
-        t.rpc_timeouts <- t.rpc_timeouts + 1;
-        (* Only act if the pointer is unchanged and we are still resident. *)
-        let still_resident =
-          match Hashtbl.find_opt t.where r.rid with
-          | Some router -> router = nd.router
-          | None -> false
-        in
-        match r.succ with
-        | Some (sid', srouter') when still_resident && Id.equal sid' sid && srouter' = srouter ->
-          if attempt <= t.cfg.rpc_retries then send_probe t nd r (sid, srouter) (attempt + 1)
+  sched t ~rail:router ~at:router ~time_ms:(now_at t router +. timeout)
+    (fun () ->
+      if Hashtbl.mem sh.probes token then begin
+        Hashtbl.remove sh.probes token;
+        sh.rpc_timeouts <- sh.rpc_timeouts + 1;
+        (* Only act if we are still resident and the pointer is unchanged. *)
+        match find_slot t router rid with
+        | Some s
+          when Store.succ_router sh.store s = srouter
+               && Id.equal (Store.succ_rid sh.store s) sid ->
+          if attempt <= t.cfg.rpc_retries then
+            send_probe t ~router rid (sid, srouter) (attempt + 1)
           else begin
-            r.probe_inflight <- false;
-            failover t nd r sid
+            Store.set_probe_inflight sh.store s false;
+            failover t ~router s sid
           end
-        | Some _ | None -> r.probe_inflight <- false
+        | Some s -> Store.set_probe_inflight sh.store s false
+        | None -> ()
       end)
 
 (* The successor is unresponsive: drop it and promote the next backup.  With
    an exhausted backup list, fall back on the local router's default
    identifier — always alive — and let stabilisation walk the pointer back
    into place. *)
-and failover t nd r dead =
-  t.failovers <- t.failovers + 1;
-  let backups = List.filter (fun (i, _) -> not (Id.equal i dead)) r.succ_list in
-  (match backups with
-   | (nid, nrouter) :: rest ->
-     set_succ t r (Some (nid, nrouter));
-     r.succ_list <- rest;
-     send_direct t ~cat:"repair" ~from:nd.router ~dest:nrouter
-       (Notify { candidate = r.rid; candidate_router = nd.router; target = nid })
-       (handle t nrouter)
-   | [] ->
-     let anchor = router_label nd.router in
-     if Id.equal anchor r.rid then set_succ t r r.pred
-     else begin
-       set_succ t r (Some (anchor, nd.router));
-       r.succ_list <- []
-     end)
+and failover t ~router s dead =
+  let sh = shd t router in
+  sh.failovers <- sh.failovers + 1;
+  let rid = Store.rid sh.store s in
+  let backups =
+    List.filter (fun (i, _) -> not (Id.equal i dead)) (Store.succ_list sh.store s)
+  in
+  match backups with
+  | (nid, nrouter) :: rest ->
+    repoint t ~router s (Some (nid, nrouter));
+    Store.set_succ_list sh.store s rest;
+    send_direct t ~cat:"repair" ~from:router ~dest:nrouter
+      (Notify { candidate = rid; candidate_router = router; target = nid })
+      (handle t nrouter)
+  | [] ->
+    let anchor = router_label router in
+    if Id.equal anchor rid then repoint t ~router s (Store.pred sh.store s)
+    else begin
+      repoint t ~router s (Some (anchor, router));
+      Store.set_succ_list sh.store s []
+    end
 
 (* A backup strictly closer (clockwise) than the successor itself means the
    ring went "loopy": concurrent splices and handoffs left a consistent
@@ -840,83 +1087,114 @@ and failover t nd r dead =
    mutually confirmed (Chord's loopy-network problem).  The successor list
    is both the evidence and the repair: promote the closest entry and let
    Notify/rectify re-marry the neighbours. *)
-let untwist t nd r =
-  match r.succ with
+let untwist t ~router s =
+  let sh = shd t router in
+  match Store.succ sh.store s with
   | None -> ()
   | Some ((sid, _) as old_succ) ->
+    let rid = Store.rid sh.store s in
     let closer =
       List.filter
         (fun (bid, _) ->
-          (not (Id.equal bid r.rid)) && Id.compare_dist r.rid bid r.rid sid < 0)
-        r.succ_list
+          (not (Id.equal bid rid)) && Id.compare_dist rid bid rid sid < 0)
+        (Store.succ_list sh.store s)
     in
     (match closer with
      | [] -> ()
      | first :: rest ->
-       let (bid, brouter) =
+       let bid, brouter =
          List.fold_left
            (fun (ai, ar) (bi, br) ->
-             if Id.compare_dist r.rid bi r.rid ai < 0 then (bi, br) else (ai, ar))
+             if Id.compare_dist rid bi rid ai < 0 then (bi, br) else (ai, ar))
            first rest
        in
-       set_succ t r (Some (bid, brouter));
+       repoint t ~router s (Some (bid, brouter));
        (* Re-sorting places the demoted old successor at its true clockwise
-          rank (the seed appended it unconditionally, leaving the tail out
-          of distance order until the next adoption). *)
-       r.succ_list <-
-         normalize_succ_list t ~self:r.rid ~succ:bid (old_succ :: r.succ_list);
-       send_direct t ~cat:"repair" ~from:nd.router ~dest:brouter
-         (Notify { candidate = r.rid; candidate_router = nd.router; target = bid })
+          rank. *)
+       Store.set_succ_list sh.store s
+         (normalize_succ_list t ~self:rid ~succ:bid
+            (old_succ :: Store.succ_list sh.store s));
+       send_direct t ~cat:"repair" ~from:router ~dest:brouter
+         (Notify { candidate = rid; candidate_router = router; target = bid })
          (handle t brouter))
+
+let stabilize_resident t ~router ~now s =
+  let sh = shd t router in
+  let store = sh.store in
+  let rid = Store.rid store s in
+  (* Expire a silent predecessor so a live Notify can replace it. *)
+  (match Store.pred store s with
+   | Some (pid, _)
+     when (not (Id.equal pid rid))
+          && now -. Store.pred_heard store s > t.cfg.pred_timeout_ms ->
+     Store.set_pred store s None
+   | Some _ | None -> ());
+  if t.cfg.untwist then untwist t ~router s;
+  let srouter = Store.succ_router store s in
+  if
+    srouter >= 0
+    && (not (Id.equal (Store.succ_rid store s) rid))
+    && not (Store.probe_inflight store s)
+  then begin
+    Store.set_probe_inflight store s true;
+    send_probe t ~router rid (Store.succ_rid store s, srouter) 1
+  end
+
+(* One shard's slice of a stabilisation tick: walks only its own routers,
+   touches only its own state, emits through the shard-aware seam — safe to
+   fan shards out over the pool from the (parked) global context. *)
+let stabilize_shard t ~now sx =
+  let sh = t.sh.(sx) in
+  for router = 0 to Graph.n t.graph - 1 do
+    if t.shard_of.(router) = sx then
+      Store.iter_router sh.store router (fun s -> stabilize_resident t ~router ~now s)
+  done
 
 let stabilize_round t =
   t.rounds <- t.rounds + 1;
-  let now = Engine.now t.engine in
-  Array.iter
-    (fun nd ->
-      List.iter
-        (fun r ->
-          (* Expire a silent predecessor so a live Notify can replace it. *)
-          (match r.pred with
-           | Some (pid, _)
-             when (not (Id.equal pid r.rid))
-                  && now -. r.pred_heard_ms > t.cfg.pred_timeout_ms -> r.pred <- None
-           | Some _ | None -> ());
-          if t.cfg.untwist then untwist t nd r;
-          match r.succ with
-          | Some (sid, srouter) when (not (Id.equal sid r.rid)) && not r.probe_inflight ->
-            r.probe_inflight <- true;
-            send_probe t nd r (sid, srouter) 1
-          | Some _ | None -> ())
-        nd.residents)
-    t.nodes
+  let now = Shard.now t.coord in
+  match t.pool with
+  | Some p when t.nshards > 1 && Pool.jobs p > 1 ->
+    ignore (Pool.map p (fun sx -> stabilize_shard t ~now sx) (List.init t.nshards Fun.id))
+  | _ ->
+    for sx = 0 to t.nshards - 1 do
+      stabilize_shard t ~now sx
+    done
 
+(* The stabiliser is a recurring *global* event: it reads and writes every
+   shard, so it must run with all shards parked — and global times are
+   exactly the K-independent instants the doctor's monitor samples at. *)
 let start_stabilizer t =
   if not t.stab_on then begin
     t.stab_on <- true;
     let rec tick () =
       if t.stab_on then begin
         stabilize_round t;
-        Engine.schedule t.engine ~delay_ms:t.cfg.stabilize_period_ms tick
+        Shard.at_global t.coord
+          ~time_ms:(Shard.now t.coord +. t.cfg.stabilize_period_ms)
+          tick
       end
     in
-    Engine.schedule t.engine ~delay_ms:t.cfg.stabilize_period_ms tick
+    Shard.at_global t.coord
+      ~time_ms:(Shard.now t.coord +. t.cfg.stabilize_period_ms)
+      tick
   end
 
 let stop_stabilizer t = t.stab_on <- false
 
-let run_for t budget_ms = Engine.run_until t.engine (Engine.now t.engine +. budget_ms)
+let run_for t budget_ms =
+  Shard.run_until t.coord (Shard.now t.coord +. budget_ms)
 
 let members t =
-  Hashtbl.fold (fun rid _ acc -> rid :: acc) t.where [] |> List.sort Id.compare
+  Array.fold_left
+    (fun acc sh -> Hashtbl.fold (fun rid _ acc -> rid :: acc) sh.where acc)
+    [] t.sh
+  |> List.sort Id.compare
 
 let successor_of t rid =
-  match Hashtbl.find_opt t.where rid with
+  match locate_slot t rid with
   | None -> None
-  | Some router ->
-    (match find_resident t router rid with
-     | Some r -> Option.map fst r.succ
-     | None -> None)
+  | Some (sh, s) -> Option.map fst (Store.succ sh.store s)
 
 let ring_converged t =
   let ms = Array.of_list (members t) in
@@ -935,16 +1213,16 @@ let ring_converged t =
   end
 
 let run_until_quiescent t ~max_ms =
-  let start = Engine.now t.engine in
+  let start = Shard.now t.coord in
   let deadline = start +. max_ms in
   let rec go () =
-    if Engine.now t.engine >= deadline then Engine.now t.engine -. start
+    if Shard.now t.coord >= deadline then Shard.now t.coord -. start
     else begin
       run_for t t.cfg.stabilize_period_ms;
-      if Engine.pending t.engine = 0 && ring_converged t then
-        Engine.now t.engine -. start
+      if Shard.pending t.coord = 0 && ring_converged t then
+        Shard.now t.coord -. start
       else begin
-        if Engine.pending t.engine = 0 then stabilize_round t;
+        if Shard.pending t.coord = 0 then stabilize_round t;
         go ()
       end
     end
@@ -952,21 +1230,22 @@ let run_until_quiescent t ~max_ms =
   go ()
 
 let stats t =
+  let sum f = Array.fold_left (fun acc sh -> acc + f sh) 0 t.sh in
   {
-    messages = t.msg_count;
-    joins_completed = t.joins_done;
+    messages = sum (fun sh -> sh.msg_count);
+    joins_completed = sum (fun sh -> sh.joins_done);
     stabilize_rounds = t.rounds;
-    joins_failed = t.joins_failed;
+    joins_failed = sum (fun sh -> sh.joins_failed);
     leaves_completed = t.leaves_done;
     moves_completed = t.moves_done;
     crashes = t.crashes_done;
-    failovers = t.failovers;
-    rpc_timeouts = t.rpc_timeouts;
-    join_retries = t.join_retries_total;
-    lookup_retries = t.lookup_retries_total;
+    failovers = sum (fun sh -> sh.failovers);
+    rpc_timeouts = sum (fun sh -> sh.rpc_timeouts);
+    join_retries = sum (fun sh -> sh.join_retries);
+    lookup_retries = sum (fun sh -> sh.lookup_retries);
   }
 
-(* ---- audit surface (doctor-side, not protocol) -------------------------- *)
+(* ---- audit surface (doctor-side, not protocol) --------------------------- *)
 
 type resident_view = {
   v_id : Id.t;
@@ -978,52 +1257,50 @@ type resident_view = {
 
 let residents_view t =
   let acc = ref [] in
-  Array.iter
-    (fun nd ->
-      List.iter
-        (fun r ->
-          acc :=
-            {
-              v_id = r.rid;
-              v_router = nd.router;
-              v_succ = r.succ;
-              v_succ_list = r.succ_list;
-              v_pred = r.pred;
-            }
-            :: !acc)
-        nd.residents)
-    t.nodes;
+  for router = 0 to Graph.n t.graph - 1 do
+    let sh = shd t router in
+    Store.iter_router sh.store router (fun s ->
+        acc :=
+          {
+            v_id = Store.rid sh.store s;
+            v_router = router;
+            v_succ = Store.succ sh.store s;
+            v_succ_list = Store.succ_list sh.store s;
+            v_pred = Store.pred sh.store s;
+          }
+          :: !acc)
+  done;
   List.sort (fun a b -> Id.compare a.v_id b.v_id) !acc
 
-let locate t rid = Hashtbl.find_opt t.where rid
+let locate t rid =
+  match locate_slot t rid with
+  | None -> None
+  | Some (sh, s) -> Some (Store.owner sh.store s)
 
-let stale_open_since t =
-  Hashtbl.fold (fun rid since acc -> (rid, since) :: acc) t.stale_marks []
-  |> List.sort (fun (a, _) (b, _) -> Id.compare a b)
-
-(* ---- fault injection (doctor test harness) ------------------------------ *)
+(* ---- fault injection (doctor test harness) ------------------------------- *)
 
 (* Swap the successor pointers of the members at sorted positions 0 and n/2:
    a deterministic "loopy" whirl — every pointer still names a live member,
    so pairwise stabilisation confirms it, and only succ-list inversion
    evidence (the untwist repair, or the doctor's loopy-evidence check) can
-   tell the ring went wrong.  Raw field writes on purpose: a fault must not
-   trip the stale-window instrumentation reserved for genuine departures. *)
+   tell the ring went wrong.  Logged as raw pointer moves: a fault must not
+   close stale windows reserved for genuine departures, but the oracle's
+   mirror of the ring has to keep tracking the real pointers. *)
 let inject_cross_splice t =
   let ms = Array.of_list (members t) in
   let n = Array.length ms in
   if n < 4 then None
   else begin
     let a = ms.(0) and b = ms.(n / 2) in
-    match (Hashtbl.find_opt t.where a, Hashtbl.find_opt t.where b) with
-    | Some ra, Some rb ->
-      (match (find_resident t ra a, find_resident t rb b) with
-       | Some xa, Some xb ->
-         let sa = xa.succ in
-         xa.succ <- xb.succ;
-         xb.succ <- sa;
-         Some (a, b)
-       | _ -> None)
+    match (locate_slot t a, locate_slot t b) with
+    | Some (sha, sa), Some (shb, sb) ->
+      let va = Store.succ sha.store sa and vb = Store.succ shb.store sb in
+      Store.set_succ sha.store sa vb;
+      Store.set_succ shb.store sb va;
+      let now = Shard.now t.coord in
+      sha.olog <- O_raw (now, a, Option.map fst vb) :: sha.olog;
+      shb.olog <- O_raw (now, b, Option.map fst va) :: shb.olog;
+      Some (a, b)
     | _ -> None
   end
 
@@ -1037,18 +1314,17 @@ let lookup_owner t ~from target =
       | None -> None
       | Some (id, `Here) -> Some id
       | Some (id, `Remote next_router) ->
-        if not (Id.closer_clockwise ~target id best_id) then
+        if not (Id.closer_clockwise ~target id best_id) then begin
           (* No progress: settle on the best local resident. *)
-          (match
-             List.fold_left
-               (fun acc r ->
-                 match acc with
-                 | Some bid when not (Id.closer_clockwise ~target r.rid bid) -> acc
-                 | Some _ | None -> Some r.rid)
-               None t.nodes.(router).residents
-           with
-           | Some rid -> Some rid
-           | None -> None)
+          let sh = shd t router in
+          let best = ref None in
+          Store.iter_router sh.store router (fun s ->
+              let rid = Store.rid sh.store s in
+              match !best with
+              | Some bid when not (Id.closer_clockwise ~target rid bid) -> ()
+              | Some _ | None -> best := Some rid);
+          !best
+        end
         else walk next_router id (guard + 1)
   in
   walk from (Id.succ_id target) 0

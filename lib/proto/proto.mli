@@ -63,16 +63,43 @@ type stats = {
   lookup_retries : int;
 }
 
-val create : rng:Rofl_util.Prng.t -> ?cfg:config -> Rofl_topology.Graph.t -> t
+val create :
+  rng:Rofl_util.Prng.t ->
+  ?cfg:config ->
+  ?shards:int ->
+  ?pool:Rofl_util.Pool.t ->
+  ?bootstrap_hosts:int ->
+  ?lookup_hint:int ->
+  Rofl_topology.Graph.t ->
+  t
 (** An actor per router; default virtual nodes are spliced locally at time
-    zero (the bootstrap flood is not re-simulated here). *)
+    zero (the bootstrap flood is not re-simulated here), along with
+    [bootstrap_hosts] extra hosts placed uniformly at random from [rng].
+
+    [shards] partitions the routers into contiguous ID ranges, each run by
+    its own event engine under a {!Rofl_netsim.Shard} coordinator with a
+    conservative time window equal to the cheapest partition-crossing link
+    latency; with a [pool], shard windows execute in parallel.  Runs are
+    byte-identical at any shard count: every event is keyed by
+    [(time, acting router, per-router seq)], and every cross-shard message
+    rides a physical path whose latency is at least the window.
+    [lookup_hint] pre-sizes the per-shard lookup tables for the expected
+    number of concurrently open lookups (they grow regardless). *)
 
 val router_label : int -> Rofl_idspace.Id.t
 (** The deterministic default identifier of router [i]. *)
 
-val engine : t -> Rofl_netsim.Engine.t
-(** The event engine, exposed so campaign drivers can inject timed workload
-    events and read clock/queue instrumentation. *)
+val coordinator : t -> Rofl_netsim.Shard.t
+(** The shard coordinator, exposed so campaign drivers can inject timed
+    global workload events ({!Rofl_netsim.Shard.at_global}), attach the
+    doctor's monitor, and read clock/queue/fingerprint instrumentation. *)
+
+val shard_count : t -> int
+(** Number of shards actually in use (at most the router count). *)
+
+val shard_of_router : t -> int -> int
+(** The shard owning a router — what a campaign needs to route per-shard
+    result buffers. *)
 
 val metrics : t -> Rofl_netsim.Metrics.t
 (** Per-category control-message accounting ([join], [stabilize], [repair],

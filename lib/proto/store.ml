@@ -1,0 +1,208 @@
+module Id = Rofl_idspace.Id
+
+(* Struct-of-arrays resident storage.
+
+   The protocol engine keeps one record per resident identifier: ring
+   pointers, a bounded successor list, liveness bookkeeping.  As pointer-
+   linked records (the seed's [resident] list per node) a million residents
+   cost hundreds of bytes each in boxes and list spines; here every field is
+   a column in a flat array and a resident is one slot index — tens of
+   bytes, no per-resident boxing, and the GC scans a handful of arrays
+   instead of millions of records.
+
+   Slots are recycled through a freelist threaded over [next].  Residents of
+   one router form a doubly-linked chain (newest first, matching the seed's
+   cons-onto-residents order) so per-router iteration does not scan the
+   whole store.  A slot index is only stable while the resident is alive:
+   callers that park a slot across simulated time (timeout closures) must
+   re-resolve identifier -> slot when they fire. *)
+
+type t = {
+  dummy : Id.t;               (* filler for vacant Id cells *)
+  cap_list : int;             (* max successor-list entries per resident *)
+  mutable cap : int;
+  mutable rid : Id.t array;
+  mutable succ_id : Id.t array;
+  mutable succ_router : int array; (* -1 = no successor *)
+  mutable pred_id : Id.t array;
+  mutable pred_router : int array; (* -1 = no predecessor *)
+  mutable pred_heard : float array;
+  mutable probe_inflight : Bytes.t;
+  mutable sl_id : Id.t array;      (* cap * cap_list, flat *)
+  mutable sl_router : int array;
+  mutable sl_len : int array;
+  mutable next : int array;        (* chain next, or freelist next when free *)
+  mutable prev : int array;        (* chain prev, -1 at head *)
+  mutable owner : int array;       (* hosting router, -1 = free slot *)
+  head : int array;                (* per-router chain head, -1 = empty *)
+  mutable free : int;              (* freelist head, -1 = exhausted *)
+  mutable live : int;
+}
+
+let create ~routers ~cap_list ~hint ~dummy =
+  if routers < 1 then invalid_arg "Store.create: routers must be >= 1";
+  if cap_list < 0 then invalid_arg "Store.create: cap_list must be >= 0";
+  let cap = max 16 hint in
+  let t =
+    {
+      dummy;
+      cap_list;
+      cap;
+      rid = Array.make cap dummy;
+      succ_id = Array.make cap dummy;
+      succ_router = Array.make cap (-1);
+      pred_id = Array.make cap dummy;
+      pred_router = Array.make cap (-1);
+      pred_heard = Array.make cap 0.0;
+      probe_inflight = Bytes.make cap '\000';
+      sl_id = Array.make (cap * cap_list) dummy;
+      sl_router = Array.make (cap * cap_list) (-1);
+      sl_len = Array.make cap 0;
+      next = Array.init cap (fun i -> if i + 1 < cap then i + 1 else -1);
+      prev = Array.make cap (-1);
+      owner = Array.make cap (-1);
+      head = Array.make routers (-1);
+      free = 0;
+      live = 0;
+    }
+  in
+  t
+
+let live t = t.live
+
+let cap_list t = t.cap_list
+
+let grow t =
+  let old = t.cap in
+  let cap = 2 * old in
+  let extend_id a = Array.append a (Array.make old t.dummy) in
+  let extend_int fill a = Array.append a (Array.make old fill) in
+  t.rid <- extend_id t.rid;
+  t.succ_id <- extend_id t.succ_id;
+  t.succ_router <- extend_int (-1) t.succ_router;
+  t.pred_id <- extend_id t.pred_id;
+  t.pred_router <- extend_int (-1) t.pred_router;
+  t.pred_heard <- Array.append t.pred_heard (Array.make old 0.0);
+  (let b = Bytes.make cap '\000' in
+   Bytes.blit t.probe_inflight 0 b 0 old;
+   t.probe_inflight <- b);
+  t.sl_id <- Array.append t.sl_id (Array.make (old * t.cap_list) t.dummy);
+  t.sl_router <- Array.append t.sl_router (Array.make (old * t.cap_list) (-1));
+  t.sl_len <- extend_int 0 t.sl_len;
+  t.next <- Array.append t.next (Array.init old (fun i ->
+      if old + i + 1 < cap then old + i + 1 else -1));
+  t.prev <- extend_int (-1) t.prev;
+  t.owner <- extend_int (-1) t.owner;
+  t.cap <- cap;
+  t.free <- old
+
+let alloc t ~router rid =
+  if t.free < 0 then grow t;
+  let s = t.free in
+  t.free <- t.next.(s);
+  t.owner.(s) <- router;
+  t.rid.(s) <- rid;
+  t.succ_id.(s) <- t.dummy;
+  t.succ_router.(s) <- -1;
+  t.pred_id.(s) <- t.dummy;
+  t.pred_router.(s) <- -1;
+  t.pred_heard.(s) <- 0.0;
+  Bytes.unsafe_set t.probe_inflight s '\000';
+  t.sl_len.(s) <- 0;
+  (* Prepend to the router chain: iteration order matches the seed's
+     cons-onto-residents (newest first). *)
+  let h = t.head.(router) in
+  t.next.(s) <- h;
+  t.prev.(s) <- -1;
+  if h >= 0 then t.prev.(h) <- s;
+  t.head.(router) <- s;
+  t.live <- t.live + 1;
+  s
+
+let release t s =
+  let router = t.owner.(s) in
+  if router < 0 then invalid_arg "Store.release: slot is already free";
+  let nx = t.next.(s) and pv = t.prev.(s) in
+  if pv >= 0 then t.next.(pv) <- nx else t.head.(router) <- nx;
+  if nx >= 0 then t.prev.(nx) <- pv;
+  t.owner.(s) <- -1;
+  t.rid.(s) <- t.dummy;
+  t.succ_id.(s) <- t.dummy;
+  t.pred_id.(s) <- t.dummy;
+  (let base = s * t.cap_list in
+   for k = 0 to t.cap_list - 1 do
+     t.sl_id.(base + k) <- t.dummy
+   done);
+  t.sl_len.(s) <- 0;
+  t.next.(s) <- t.free;
+  t.prev.(s) <- -1;
+  t.free <- s;
+  t.live <- t.live - 1
+
+let iter_router t router f =
+  let s = ref t.head.(router) in
+  while !s >= 0 do
+    let nx = t.next.(!s) in
+    f !s;
+    s := nx
+  done
+
+let owner t s = t.owner.(s)
+
+let rid t s = t.rid.(s)
+
+let succ t s =
+  let r = t.succ_router.(s) in
+  if r < 0 then None else Some (t.succ_id.(s), r)
+
+let succ_rid t s = t.succ_id.(s)
+
+let succ_router t s = t.succ_router.(s)
+
+let set_succ t s = function
+  | None ->
+    t.succ_id.(s) <- t.dummy;
+    t.succ_router.(s) <- -1
+  | Some (id, r) ->
+    t.succ_id.(s) <- id;
+    t.succ_router.(s) <- r
+
+let pred t s =
+  let r = t.pred_router.(s) in
+  if r < 0 then None else Some (t.pred_id.(s), r)
+
+let set_pred t s = function
+  | None ->
+    t.pred_id.(s) <- t.dummy;
+    t.pred_router.(s) <- -1
+  | Some (id, r) ->
+    t.pred_id.(s) <- id;
+    t.pred_router.(s) <- r
+
+let pred_heard t s = t.pred_heard.(s)
+
+let set_pred_heard t s v = t.pred_heard.(s) <- v
+
+let probe_inflight t s = Bytes.unsafe_get t.probe_inflight s <> '\000'
+
+let set_probe_inflight t s v =
+  Bytes.unsafe_set t.probe_inflight s (if v then '\001' else '\000')
+
+let succ_list t s =
+  let base = s * t.cap_list in
+  let rec go k =
+    if k >= t.sl_len.(s) then []
+    else (t.sl_id.(base + k), t.sl_router.(base + k)) :: go (k + 1)
+  in
+  go 0
+
+let set_succ_list t s entries =
+  let base = s * t.cap_list in
+  let rec go k = function
+    | (id, r) :: rest when k < t.cap_list ->
+      t.sl_id.(base + k) <- id;
+      t.sl_router.(base + k) <- r;
+      go (k + 1) rest
+    | _ -> t.sl_len.(s) <- k
+  in
+  go 0 entries

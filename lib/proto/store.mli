@@ -1,0 +1,74 @@
+(** Struct-of-arrays resident storage for the protocol engine.
+
+    One slot per resident identifier, every field a column in a flat array:
+    ring pointers, a bounded inline successor list, liveness bookkeeping.  A
+    resident costs tens of bytes (no per-record boxing, no list spines) so a
+    million-host campaign fits comfortably in memory, and the GC traverses a
+    fixed set of arrays instead of millions of records.
+
+    Slots are recycled through a freelist; residents of one router form a
+    doubly-linked chain iterated newest-first (the order the seed's
+    cons-onto-residents lists had).  A slot index is stable only while its
+    resident is alive — code that parks a slot across simulated time (e.g. a
+    timeout closure) must re-resolve identifier -> slot when it fires,
+    because the slot may have been released and reused. *)
+
+type t
+
+val create :
+  routers:int -> cap_list:int -> hint:int -> dummy:Rofl_idspace.Id.t -> t
+(** [create ~routers ~cap_list ~hint ~dummy] sizes the per-router chain
+    table for [routers] routers, allows up to [cap_list] successor-list
+    entries per resident, pre-allocates about [hint] slots (growing by
+    doubling beyond that), and uses [dummy] to fill vacant identifier
+    cells. *)
+
+val live : t -> int
+(** Number of allocated slots. *)
+
+val cap_list : t -> int
+
+val alloc : t -> router:int -> Rofl_idspace.Id.t -> int
+(** Allocate a slot for an identifier residing at [router], prepended to
+    the router's chain.  All fields start empty (no succ/pred, empty list,
+    [pred_heard = 0], probe not in flight). *)
+
+val release : t -> int -> unit
+(** Free a slot: unlink from its router chain, return to the freelist. *)
+
+val iter_router : t -> int -> (int -> unit) -> unit
+(** Apply to each slot resident at a router, newest allocation first.  The
+    callback may [release] the slot it is given, but must not allocate. *)
+
+val owner : t -> int -> int
+(** Hosting router of a slot, [-1] if the slot is free. *)
+
+val rid : t -> int -> Rofl_idspace.Id.t
+
+val succ : t -> int -> (Rofl_idspace.Id.t * int) option
+
+val succ_rid : t -> int -> Rofl_idspace.Id.t
+(** Allocation-free successor accessors for hot paths: meaningful only when
+    [succ_router t s >= 0]. *)
+
+val succ_router : t -> int -> int
+
+val set_succ : t -> int -> (Rofl_idspace.Id.t * int) option -> unit
+
+val pred : t -> int -> (Rofl_idspace.Id.t * int) option
+
+val set_pred : t -> int -> (Rofl_idspace.Id.t * int) option -> unit
+
+val pred_heard : t -> int -> float
+
+val set_pred_heard : t -> int -> float -> unit
+
+val probe_inflight : t -> int -> bool
+
+val set_probe_inflight : t -> int -> bool -> unit
+
+val succ_list : t -> int -> (Rofl_idspace.Id.t * int) list
+(** The successor-list backups as a fresh list, nearest first. *)
+
+val set_succ_list : t -> int -> (Rofl_idspace.Id.t * int) list -> unit
+(** Store the backups, silently truncated to [cap_list] entries. *)

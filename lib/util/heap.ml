@@ -1,4 +1,4 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+type 'a entry = { prio : float; rail : int; seq : int; value : 'a }
 
 type 'a t = {
   mutable data : 'a entry array;
@@ -19,7 +19,15 @@ let length h = h.size
 
 let is_empty h = h.size = 0
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+(* Lexicographic (prio, rail, seq).  Plain [push] uses rail -1 with an
+   internal counter, so pure-FIFO users keep their insertion order; keyed
+   pushes carry content-derived (rail, seq) labels whose order does not
+   depend on which heap instance the entry went through — the property the
+   sharded engine needs for byte-identical merges. *)
+let less a b =
+  a.prio < b.prio
+  || (a.prio = b.prio
+      && (a.rail < b.rail || (a.rail = b.rail && a.seq < b.seq)))
 
 let grow h =
   let capacity = Array.length h.data in
@@ -53,15 +61,21 @@ let rec sift_down h i =
     sift_down h !smallest
   end
 
-let push h prio value =
-  let entry = { prio; seq = h.next_seq; value } in
-  h.next_seq <- h.next_seq + 1;
+let push_entry h entry =
   grow h;
   h.data.(h.size) <- entry;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
-let pop h =
+let push h prio value =
+  let entry = { prio; rail = -1; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  push_entry h entry
+
+let push_keyed h prio ~rail ~seq value =
+  push_entry h { prio; rail; seq; value }
+
+let pop_keyed h =
   if h.size = 0 then None
   else begin
     let top = h.data.(0) in
@@ -72,8 +86,13 @@ let pop h =
       sift_down h 0
     end
     else h.data.(0) <- vacated;
-    Some (top.prio, top.value)
+    Some (top.prio, top.rail, top.seq, top.value)
   end
+
+let pop h =
+  match pop_keyed h with
+  | None -> None
+  | Some (prio, _, _, value) -> Some (prio, value)
 
 let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
 

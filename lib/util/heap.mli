@@ -13,13 +13,30 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val push : 'a t -> float -> 'a -> unit
-(** [push h prio v] inserts [v] with priority [prio]. *)
+(** [push h prio v] inserts [v] with priority [prio].  Ties among plain
+    pushes pop in insertion order (an internal counter on the heap's
+    tie-break rail [-1]). *)
+
+val push_keyed : 'a t -> float -> rail:int -> seq:int -> 'a -> unit
+(** [push_keyed h prio ~rail ~seq v] inserts [v] under the full key
+    [(prio, rail, seq)].  Entries pop in lexicographic key order, so two
+    heaps holding the same keyed entries drain identically no matter which
+    heap each entry was pushed through or in what order — the foundation of
+    the sharded engine's byte-identical merges.  Callers own the key
+    discipline: within one [rail], [seq] must be strictly monotone.  Rails
+    are non-negative by convention; plain {!push} uses rail [-1], so plain
+    entries at a timestamp drain before keyed ones. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-priority element (FIFO among ties).
     The vacated slot is cleared, so a popped element becomes unreachable
     through the heap as soon as the caller drops it — draining the simulator
     event queue cannot retain event closures between campaign phases. *)
+
+val pop_keyed : 'a t -> (float * int * int * 'a) option
+(** Like {!pop} but also returns the entry's [(rail, seq)] label —
+    [(prio, rail, seq, value)] — so the engine can fold executed-event
+    fingerprints without re-deriving the key. *)
 
 val peek : 'a t -> (float * 'a) option
 

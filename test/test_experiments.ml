@@ -25,6 +25,7 @@ let tiny : E.Common.scale =
     churn_lookup_per_s = 5.0;
     churn_lifetimes_s = [ 10.0; 1.0 ];
     churn_periods_ms = [ 50.0; 400.0 ];
+    churn_bootstrap_hosts = 2_000;
   }
 
 let rendered f =
@@ -139,8 +140,13 @@ let golden_jobs1 =
     ("fig8a", "c730ee1078962cedd6ec625b6305a67d6919b166b29f5ab0bb03d7d93f063fa7");
     ("fig8b", "139b0101d1dbabf3aa621066108a8b5fca417d80caf2c9208b1f1655c825dc9b");
     (* Churn digest re-recorded when gateway draws moved from trace-position
-       streams to per-event keyed derivation (doctor-shrinking stability). *)
-    ("churn", "d5df1bdb435b47262e263727ce3108e4e77db997458b02e196fe676e4e4bb99a");
+       streams to per-event keyed derivation (doctor-shrinking stability),
+       and again when campaigns moved onto the sharded coordinator: ties at
+       a timestamp now drain in (rail, seq) key order and churn/lookup
+       launches fire as barrier-global events, which legitimately reorders
+       message interleavings relative to the old single-heap FIFO (the
+       tables also gained events/fingerprint columns). *)
+    ("churn", "6868ac61a7ae5cdac9debe11580da3f2e8bff07250e73d2262af102205972a8c");
   ]
 
 let golden_jobs4 =
@@ -148,7 +154,7 @@ let golden_jobs4 =
     ("fig5a", "7f65101db088b326cfa506204d59de6f4b0fc3a62c08da45bf690696a97eb2ed");
     ("fig6a", "3abcd9bd7c1ef6d19900084d2814f5ea243e7fa75ba3cffaba1a1160354bffc6");
     ("fig8b", "6cb295ea8279fda6f6fa050610be363c191130d600a523c25b021ba8eb912ce8");
-    ("churn", "caf8a2306805a80cbe04a8f5525ef3978a31a3a3228f19e6cd7ed1775341fc7a");
+    ("churn", "3effa33386468a2ef8f2505948a19192aced23dbc048ca30a1bf3168b0796d7c");
   ]
 
 let target_fn = function

@@ -147,6 +147,71 @@ let test_engine_queue_depth_stats () =
   Alcotest.(check int) "cascade never deepens the queue" 3 (Engine.peak_pending e);
   Alcotest.(check int) "cascade counted" 8 (Engine.scheduled_total e)
 
+(* Pin the clear/reset split: [clear] truncates the future but must keep
+   the statistical record (the doctor reads peak/scheduled after a phase is
+   cancelled), while [reset] returns the engine to its freshly-created
+   state so a reused engine cannot leak one phase's counters into the next
+   report. *)
+let test_engine_clear_keeps_stats_reset_zeroes () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay_ms:1.0 (fun () -> incr fired);
+  Engine.schedule e ~delay_ms:2.0 (fun () -> incr fired);
+  Engine.run e;
+  Engine.schedule e ~delay_ms:5.0 (fun () -> incr fired);
+  Engine.schedule e ~delay_ms:6.0 (fun () -> incr fired);
+  Engine.clear e;
+  Alcotest.(check int) "clear drops the queue" 0 (Engine.pending e);
+  Alcotest.(check int) "peak survives clear" 2 (Engine.peak_pending e);
+  Alcotest.(check int) "scheduled survives clear" 4 (Engine.scheduled_total e);
+  Alcotest.(check int) "executed survives clear" 2 (Engine.executed_total e);
+  Alcotest.(check bool) "digest survives clear" true (Engine.digest e <> 0);
+  Alcotest.(check (float 1e-9)) "clock survives clear" 2.0 (Engine.now e);
+  Engine.reset e;
+  Alcotest.(check int) "peak zeroed" 0 (Engine.peak_pending e);
+  Alcotest.(check int) "scheduled zeroed" 0 (Engine.scheduled_total e);
+  Alcotest.(check int) "executed zeroed" 0 (Engine.executed_total e);
+  Alcotest.(check int) "digest zeroed" 0 (Engine.digest e);
+  Alcotest.(check (float 1e-9)) "clock zeroed" 0.0 (Engine.now e);
+  (* The reset engine behaves like a fresh one. *)
+  Engine.schedule e ~delay_ms:1.0 (fun () -> incr fired);
+  Engine.run e;
+  Alcotest.(check int) "usable after reset" 3 !fired;
+  Alcotest.(check int) "stats restart" 1 (Engine.scheduled_total e)
+
+(* Keyed events at one timestamp drain in (rail, seq) order whatever order
+   they were pushed in — the property the shard coordinator's byte-identity
+   rests on — with plain (rail -1) entries ahead of every keyed one. *)
+let test_engine_keyed_order_content_derived () =
+  let run_order pushes =
+    let e = Engine.create () in
+    let log = ref [] in
+    List.iter
+      (fun (rail, seq) ->
+        if rail < 0 then
+          Engine.schedule e ~delay_ms:1.0 (fun () -> log := (rail, seq) :: !log)
+        else
+          Engine.schedule_keyed e ~time_ms:1.0 ~rail ~seq (fun () ->
+              log := (rail, seq) :: !log))
+      pushes;
+    Engine.run e;
+    (List.rev !log, Engine.digest e)
+  in
+  let keys = [ (2, 0); (0, 0); (-1, 0); (3, 0); (1, 0) ] in
+  let expected = [ (-1, 0); (0, 0); (1, 0); (2, 0); (3, 0) ] in
+  let order_a, digest_a = run_order keys in
+  let order_b, digest_b = run_order (List.rev keys) in
+  Alcotest.(check (list (pair int int))) "key order, not push order" expected order_a;
+  Alcotest.(check (list (pair int int))) "reversed pushes, same order" expected order_b;
+  Alcotest.(check bool) "same executed multiset, same digest" true
+    (digest_a = digest_b && digest_a <> 0);
+  (* Within a rail, seq orders ties; pushes interleaved across rails (each
+     rail's seqs monotone, as the contract requires) drain in key order. *)
+  let interleaved = [ (1, 0); (0, 5); (1, 4); (0, 6) ] in
+  let expected_i = [ (0, 5); (0, 6); (1, 0); (1, 4) ] in
+  let order_i, _ = run_order interleaved in
+  Alcotest.(check (list (pair int int))) "seq within rail" expected_i order_i
+
 let () =
   Alcotest.run "rofl_netsim"
     [
@@ -167,5 +232,9 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_engine_ties_fifo;
           Alcotest.test_case "FIFO ties stress" `Quick test_engine_ties_fifo_stress;
           Alcotest.test_case "queue depth stats" `Quick test_engine_queue_depth_stats;
+          Alcotest.test_case "clear keeps stats, reset zeroes" `Quick
+            test_engine_clear_keeps_stats_reset_zeroes;
+          Alcotest.test_case "keyed order content-derived" `Quick
+            test_engine_keyed_order_content_derived;
         ] );
     ]

@@ -85,6 +85,7 @@ let mini : E.Common.scale =
     churn_lookup_per_s = 5.0;
     churn_lifetimes_s = [ 5.0 ];
     churn_periods_ms = [ 100.0 ];
+    churn_bootstrap_hosts = 1_000;
   }
 
 let render_all f = String.concat "\n" (List.map Table.render (f mini))

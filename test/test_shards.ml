@@ -1,0 +1,97 @@
+(* Shard-determinism contract: a campaign is a pure function of
+   (seed, graph, params, events) and the shard count is pure execution
+   configuration — running the same campaign at --shards 1, 2 and 4 must
+   produce the same report byte for byte, down to the event-order
+   fingerprint.  Same discipline as test_pool.ml's jobs-1-vs-jobs-4 table
+   comparison, one level deeper: here the event engine itself is
+   partitioned, so any window sized too optimistically, any cross-shard
+   message outrunning the conservative barrier, or any tie broken by
+   arrival order instead of the (time, rail, seq) key shows up as a
+   fingerprint or SLO mismatch. *)
+
+module Prng = Rofl_util.Prng
+module Isp = Rofl_topology.Isp
+module Proto = Rofl_proto.Proto
+module Campaign = Rofl_dynamics.Campaign
+
+(* Small topology, short horizon: contiguous ID-range partitioning over 24
+   routers puts every shard boundary in play, and gateway draws scatter
+   joins and lookup origins across shards, so cross-shard RPCs dominate. *)
+let profile = { Isp.profile_name = "shard-mini"; routers = 24; hosts = 1_000; pop_count = 3 }
+
+let params ~bootstrap ~arrival ~lookups =
+  {
+    Campaign.default_params with
+    Campaign.horizon_ms = 1_200.0;
+    arrival_rate_per_s = arrival;
+    mean_lifetime_s = 1.0;
+    move_fraction = 0.2;
+    crash_fraction = 0.3;
+    lookup_rate_per_s = lookups;
+    lookup_warmup_ms = 100.0;
+    drain_max_ms = 4_000.0;
+    bootstrap_hosts = bootstrap;
+  }
+
+let report ~seed ~shards p = Campaign.run ~seed ~profile ~shards p
+
+(* Structural comparison via [compare], not [=]: an unconverged campaign
+   reports [reconverge_ms = nan], and [nan = nan] is false while
+   [compare nan nan = 0]. *)
+let same_report a b = compare (a : Campaign.report) (b : Campaign.report) = 0
+
+let prop_sharding_invisible =
+  QCheck.Test.make ~name:"report byte-identical at shards 1/2/4" ~count:6
+    QCheck.(triple (int_range 0 1000) (int_range 0 200) (int_range 0 2))
+    (fun (seed, bootstrap, intensity) ->
+      let p =
+        params ~bootstrap
+          ~arrival:(float_of_int (2 + (2 * intensity)))
+          ~lookups:(float_of_int (5 * intensity))
+      in
+      let base = report ~seed ~shards:1 p in
+      List.for_all
+        (fun shards ->
+          let r = report ~seed ~shards p in
+          if r.Campaign.event_fingerprint <> base.Campaign.event_fingerprint then
+            QCheck.Test.fail_reportf
+              "event fingerprint diverged at shards=%d: %016Lx vs %016Lx" shards
+              (Int64.of_int r.Campaign.event_fingerprint)
+              (Int64.of_int base.Campaign.event_fingerprint)
+          else if not (same_report r base) then
+            QCheck.Test.fail_reportf
+              "report diverged at shards=%d despite equal fingerprints \
+               (lookups %d vs %d, ok %d vs %d, msgs %d vs %d, events %d vs %d)"
+              shards r.Campaign.lookups base.Campaign.lookups r.Campaign.lookups_ok
+              base.Campaign.lookups_ok r.Campaign.total_msgs base.Campaign.total_msgs
+              r.Campaign.events_executed base.Campaign.events_executed
+          else true)
+        [ 2; 4 ])
+
+(* One deterministic pin at a fixed seed with audits on: the doctor's
+   checkpoint summary (counts and each violation) must also be blind to the
+   partitioning, since audits fire only at K-independent sync points. *)
+let test_audited_fixed_seed () =
+  let p = params ~bootstrap:150 ~arrival:4.0 ~lookups:10.0 in
+  let audit = Rofl_doctor.Audit.config_for p.Campaign.proto_cfg in
+  let r1 = Campaign.run ~seed:4242 ~profile ~audit ~shards:1 p in
+  let r4 = Campaign.run ~seed:4242 ~profile ~audit ~shards:4 p in
+  Alcotest.(check bool) "audited reports identical" true (same_report r1 r4);
+  match (r1.Campaign.audit, r4.Campaign.audit) with
+  | Some a1, Some a4 ->
+    Alcotest.(check int) "same checkpoints" a1.Rofl_doctor.Audit.checkpoints
+      a4.Rofl_doctor.Audit.checkpoints;
+    Alcotest.(check int) "same violations" a1.Rofl_doctor.Audit.total_violations
+      a4.Rofl_doctor.Audit.total_violations
+  | _ -> Alcotest.fail "audit summary missing"
+
+let () =
+  Alcotest.run "rofl_shards"
+    [
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest prop_sharding_invisible;
+          Alcotest.test_case "audited campaign, fixed seed" `Quick
+            test_audited_fixed_seed;
+        ] );
+    ]
