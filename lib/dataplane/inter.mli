@@ -1,0 +1,56 @@
+(** Batched interdomain data plane: AS-granularity multi-lookup forwarding.
+
+    The `Per_move` walk of {!Rofl_inter.Route} advanced one AS-level move
+    per pass over struct-of-arrays registers.  Candidate choice and charge
+    accounting go through the exact substrate functions exported by
+    [Route], so per-lookup verdicts, hop counters, and charges are
+    byte-identical to [route_from] from the same starting state.
+
+    Read-only on AS state: dead cache entries the sequential walk prunes
+    eagerly are emulated per-lookup and deferred to {!apply_purges}.
+    AS moves materialise paths to charge per-AS load, so this layer makes
+    no zero-allocation claim (that discipline lives in {!Intra}).
+
+    In [Bloom_filters] peering mode every cache probe and peer check draws
+    from the shared RNG; batching would reorder the stream, so {!run}
+    transparently falls back to sequential [route_from] calls — same
+    results, same draws. *)
+
+type t
+
+val create : Rofl_inter.Net.t -> t
+
+val run :
+  t -> srcs:Rofl_inter.Net.host array -> dsts:Rofl_idspace.Id.t array -> unit
+(** Route lookup [i] from [srcs.(i)]'s home AS toward [dsts.(i)], all
+    lookups advanced one move per pass.  Results live in the accessors
+    until the next run. *)
+
+val run_sequential :
+  t -> srcs:Rofl_inter.Net.host array -> dsts:Rofl_idspace.Id.t array -> unit
+(** Each lookup driven to completion before the next starts — the
+    reference side of the batched-vs-sequential equivalence tests. *)
+
+val batch_size : t -> int
+
+val passes : t -> int
+(** Passes the last batched {!run} needed; 0 after sequential runs. *)
+
+val delivered : t -> int -> bool
+val as_hops : t -> int -> int
+val pointer_hops : t -> int -> int
+val cache_hops : t -> int -> int
+val peer_crossings : t -> int -> int
+val backtracks : t -> int -> int
+val max_level_breadth : t -> int -> int
+val delivered_count : t -> int
+
+val total_as_hops : t -> int
+
+val purge_count : t -> int
+(** Deferred dead-cache-entry purges accumulated since {!apply_purges}. *)
+
+val apply_purges : t -> unit
+(** Evict the dead entries from the per-AS caches — what the sequential
+    walk does eagerly inside its cache probe, deferred here as
+    control-plane work. *)

@@ -1,0 +1,82 @@
+(** Batched intradomain data plane: allocation-free multi-lookup forwarding.
+
+    A struct-of-arrays batch of in-flight greedy lookups advanced one
+    walk-iteration per pass over {!Rofl_intra.Network} state — the exact
+    per-lookup state machine of [Network.lookup] (candidate ranking,
+    persistent horizon, committed source routes, stale-pointer NACK
+    restarts, step guard), flattened into parallel int/float registers so a
+    pass touches the batch with no per-hop closures, lists, or tuples.
+
+    The hot loop allocates nothing in steady state (verified by the bench
+    [dataplane] target's words/lookup gate).  Two cold paths may allocate
+    and are charged identically to the sequential walk: the SPF fallback
+    when a cached route does not start at the current router, and the
+    teardown charge on a stale-pointer NACK.
+
+    The engine is read-only on router state.  Sequential lookups prune
+    stale pointers eagerly; here each lookup emulates its own prunes
+    through a bounded exclusion table (so every verdict, hop count, and
+    charge is byte-identical to the sequential walk from the same starting
+    state) and the prunes are queued for the control plane to apply with
+    {!apply_nacks} after the batch.  Because in-batch lookups never mutate
+    shared state, batched and one-at-a-time execution of the same batch are
+    identical by construction — pinned by QCheck in [test_dataplane]. *)
+
+type t
+
+val create :
+  ?category:string ->
+  ?use_cache:bool ->
+  ?step_limit:int ->
+  Rofl_intra.Network.t ->
+  t
+(** An engine bound to a network.  [category] (default [Msg.data]) is the
+    metrics category hops are charged to — interned once so per-hop charging
+    is allocation-free.  [use_cache]/[step_limit] mirror the corresponding
+    [Network.lookup] knobs; by default the step limit is recomputed from
+    ring occupancy at each {!run}, exactly as the sequential driver does.
+    Registers grow geometrically and are reused across batches. *)
+
+val run : t -> from:int array -> targets:Rofl_idspace.Id.t array -> unit
+(** Load a batch (lookup [i] starts at router [from.(i)] toward
+    [targets.(i)]) and drive every lookup to a verdict, one walk-iteration
+    per lookup per pass.  Results are read back through the accessors
+    below and stay valid until the next [run]/[run_sequential]. *)
+
+val run_sequential :
+  t -> from:int array -> targets:Rofl_idspace.Id.t array -> unit
+(** Same batch, but each lookup is driven to completion before the next
+    starts — the per-lookup driver the bench baselines against, and the
+    reference side of the batched-vs-sequential equivalence tests. *)
+
+val batch_size : t -> int
+
+val passes : t -> int
+(** Passes the last {!run} needed (the longest walk's iteration count);
+    0 after {!run_sequential}. *)
+
+val status : t -> int -> Rofl_intra.Network.lookup_status
+(** Verdict of lookup [i] (allocates the constructor; test/report path). *)
+
+val msgs : t -> int -> int
+(** Link traversals charged to lookup [i]. *)
+
+val latency_ms : t -> int -> float
+
+val restarts : t -> int -> int
+(** Stale-pointer restarts lookup [i] consumed. *)
+
+val delivered_count : t -> int
+
+val total_hops : t -> int
+(** Sum of {!msgs} over the batch. *)
+
+val nack_count : t -> int
+(** Deferred stale-pointer prunes accumulated since the last
+    {!apply_nacks}. *)
+
+val apply_nacks : t -> unit
+(** Apply the deferred prunes to router state (drop the owner's pointers to
+    each chased identifier, evict it from the owner's and detector's
+    caches) — what the sequential walk does eagerly mid-lookup, batched
+    here as control-plane work.  Clears the worklist. *)

@@ -12,6 +12,20 @@ val create : routers:int -> t
 val incr : t -> string -> int -> unit
 (** [incr m category k] adds [k] messages to a category. *)
 
+val handle : t -> string -> int ref
+(** Interned counter cell for a category: hoists the hashtable probe out of
+    hot loops so per-hop charging is allocation-free.  The same cell
+    {!charge_hop}/{!incr} update — counts stay coherent however they are
+    charged. *)
+
+val charge_hop_via : t -> int ref -> int -> unit
+(** {!charge_hop} through a pre-interned {!handle}: bumps the cell and the
+    router's load without touching the category table.  Allocation-free. *)
+
+val charge_load : t -> int -> unit
+(** Bump only the per-router load table — the message-injection charge
+    ([Charge.inject] nets out to exactly this).  Allocation-free. *)
+
 val charge_hop : t -> string -> int -> unit
 (** [charge_hop m category router] counts one message traversing [router]
     under [category], and adds it to that router's load. *)

@@ -1328,3 +1328,118 @@ let lookup_owner t ~from target =
         else walk next_router id (guard + 1)
   in
   walk from (Id.succ_id target) 0
+
+(* Batched owner resolution: the same pure-read greedy walk as
+   {!lookup_owner}, advanced one hop per pass across a whole batch of
+   lookups so campaigns can resolve owner sets without re-entering the walk
+   per query.  Registers live in parallel arrays; the two [Store.iter_router]
+   visitors are allocated once per batch and communicate through scratch
+   cells, so the per-hop path allocates nothing beyond what the sequential
+   walk does.  Results are exactly [Array.map (lookup_owner t ~from) targets]
+   — the walk reads only resident-store state, which the batch never
+   mutates. *)
+let lookup_owner_batch t ~from ~targets =
+  let n = Array.length targets in
+  if Array.length from <> n then
+    invalid_arg "Proto.lookup_owner_batch: from/targets length mismatch";
+  let guard_max = 4 * Graph.n t.graph in
+  let router = Array.make (max n 1) 0 in
+  let best = Array.make (max n 1) Id.zero in
+  let best_valid = Array.make (max n 1) false in
+  let guard = Array.make (max n 1) 0 in
+  let live = Array.make (max n 1) true in
+  let result : Id.t option array = Array.make (max n 1) None in
+  (* scratch registers for the shared visitors *)
+  let cur_store = ref (shd t 0).store in
+  let cur_router = ref 0 in
+  let cur_target = ref Id.zero in
+  let cand_some = ref false in
+  let cand_here = ref false in
+  let cand_id = ref Id.zero in
+  let cand_next = ref 0 in
+  let consider_slot s =
+    let store = !cur_store in
+    let rid = Store.rid store s in
+    (if (not !cand_some) || Id.closer_clockwise ~target:!cur_target rid !cand_id
+     then begin
+       cand_some := true;
+       cand_here := true;
+       cand_id := rid
+     end);
+    let srouter = Store.succ_router store s in
+    if srouter >= 0 && srouter <> !cur_router then begin
+      let sid = Store.succ_rid store s in
+      if (not !cand_some) || Id.closer_clockwise ~target:!cur_target sid !cand_id
+      then begin
+        cand_some := true;
+        cand_here := false;
+        cand_id := sid;
+        cand_next := srouter
+      end
+    end
+  in
+  let settle_some = ref false in
+  let settle_id = ref Id.zero in
+  let settle_slot s =
+    let rid = Store.rid !cur_store s in
+    if (not !settle_some) || Id.closer_clockwise ~target:!cur_target rid !settle_id
+    then begin
+      settle_some := true;
+      settle_id := rid
+    end
+  in
+  (* one walk hop for lookup [i]; false when a verdict landed *)
+  let step i =
+    if guard.(i) > guard_max then false
+    else begin
+      let r = router.(i) in
+      cur_router := r;
+      cur_target := targets.(i);
+      cur_store := (shd t r).store;
+      cand_some := false;
+      Store.iter_router !cur_store r consider_slot;
+      if not !cand_some then false
+      else if !cand_here then begin
+        result.(i) <- Some !cand_id;
+        false
+      end
+      else begin
+        let id = !cand_id and next = !cand_next in
+        let progress =
+          if best_valid.(i) then Id.closer_clockwise ~target:targets.(i) id best.(i)
+          else
+            (* cleared horizon = [succ target]: anything at less than the
+               maximal clockwise distance is strictly closer *)
+            Id.compare_dist id targets.(i) Id.zero Id.max_value < 0
+        in
+        if not progress then begin
+          (* No progress: settle on the best local resident. *)
+          settle_some := false;
+          Store.iter_router !cur_store r settle_slot;
+          if !settle_some then result.(i) <- Some !settle_id;
+          false
+        end
+        else begin
+          router.(i) <- next;
+          best.(i) <- id;
+          best_valid.(i) <- true;
+          guard.(i) <- guard.(i) + 1;
+          true
+        end
+      end
+    end
+  in
+  let remaining = ref n in
+  for i = 0 to n - 1 do
+    router.(i) <- from.(i)
+  done;
+  while !remaining > 0 do
+    for i = 0 to n - 1 do
+      if live.(i) then
+        if not (step i) then begin
+          live.(i) <- false;
+          decr remaining
+        end
+    done
+  done;
+  if n = 0 then [||] else result

@@ -194,6 +194,17 @@ val lookup_owner : t -> from:int -> Rofl_idspace.Id.t -> Rofl_idspace.Id.t optio
 (** Synchronously walk the current pointer state greedily from a router —
     the data-plane view of this actor network's tables. *)
 
+val lookup_owner_batch :
+  t ->
+  from:int array ->
+  targets:Rofl_idspace.Id.t array ->
+  Rofl_idspace.Id.t option array
+(** Batched {!lookup_owner}: lookup [i] starts at [from.(i)] toward
+    [targets.(i)], all walks advanced one hop per pass over flat registers
+    (shared store visitors, no per-hop closures).  The walk is pure-read,
+    so the result is exactly the per-lookup [lookup_owner] map — pinned in
+    [test_dataplane]. *)
+
 (** {2 Audit surface}
 
     Read-only views for the ring doctor ({!Rofl_doctor}).  Consulting them
