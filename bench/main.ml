@@ -574,6 +574,163 @@ let dataplane_bench (scale : E.Common.scale) quick =
   print_newline ();
   rows
 
+(* ---------------- service-discovery throughput ---------------- *)
+
+(* Resolutions/sec of the service layer's three hot paths over one placed
+   directory: cache hits (local answers), cache misses (fused owner walks +
+   record reads + cache installs, measured against a capacity-0 directory so
+   every run actually walks), and the republish sweep.  As with the data
+   plane, correctness is gated before anything is timed: every resolution
+   must carry the oracle-correct sign, hits must hit and misses must miss —
+   a throughput number from a wrong resolver is worthless. *)
+
+type services_row = {
+  sv_name : string;
+  sv_resolutions : int;           (* operations per timed run *)
+  sv_ns_per_resolution : float;
+  sv_words_per_resolution : float;
+  sv_resolutions_per_s : float;
+}
+
+let services_bench (scale : E.Common.scale) quick =
+  let open Bechamel in
+  let open Toolkit in
+  let module Id = Rofl_idspace.Id in
+  let module Isp = Rofl_topology.Isp in
+  let module Proto = Rofl_proto.Proto in
+  let module Directory = Rofl_services.Directory in
+  let module Resolver = Rofl_services.Resolver in
+  let gate_fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "services bench: CORRECTNESS GATE FAILED: %s\n" s;
+        exit 1)
+      fmt
+  in
+  let rng = Rofl_util.Prng.create (scale.E.Common.seed + 31) in
+  let profile = if quick then Isp.as3967 else Isp.as1239 in
+  let profile =
+    if List.mem profile scale.E.Common.isps then profile
+    else List.hd scale.E.Common.isps
+  in
+  let isp = Isp.generate rng profile in
+  let proto =
+    Proto.create
+      ~rng:(Rofl_util.Prng.create (scale.E.Common.seed + 32))
+      ~bootstrap_hosts:(if quick then 2_000 else 10_000)
+      isp.Isp.graph
+  in
+  let gateways = Array.of_list (Isp.edge_routers isp) in
+  let services = if quick then 200 else 400 in
+  let providers = 2 in
+  let routers = Rofl_topology.Graph.n isp.Isp.graph in
+  let make_dir capacity =
+    let dir =
+      Directory.create ~proto ~routers ~hint:(services * providers)
+        {
+          Directory.default_config with
+          Directory.cache =
+            { Resolver.default_config with Resolver.capacity };
+        }
+    in
+    for rank = 1 to services do
+      let service = Id.random (Rofl_util.Prng.create (Hashtbl.hash (rank, 0x5e1))) in
+      for j = 0 to providers - 1 do
+        ignore
+          (Directory.register dir ~service ~provider:(Id.random rng)
+             ~origin:gateways.(Hashtbl.hash (rank, j) mod Array.length gateways))
+      done
+    done;
+    (* Place every record through the batched data plane (synchronous
+       pure-read walks; no engine time needed at a quiescent ring). *)
+    ignore (Directory.republish_due dir ~now:0.0);
+    dir
+  in
+  let dir_hit = make_dir Resolver.default_config.Resolver.capacity in
+  let dir_miss = make_dir 0 in
+  let total = if quick then 2048 else 8192 in
+  let from =
+    Array.init total (fun k -> gateways.(k * 13 mod Array.length gateways))
+  in
+  let svcs =
+    Array.init total (fun k ->
+        Id.random (Rofl_util.Prng.create (Hashtbl.hash ((k mod services) + 1, 0x5e1))))
+  in
+  (* Warm the hit directory's caches, then gate both paths. *)
+  Directory.resolve_batch dir_hit ~now:0.0 ~n:total ~from ~services:svcs;
+  Directory.resolve_batch dir_hit ~now:0.0 ~n:total ~from ~services:svcs;
+  for k = 0 to total - 1 do
+    if not (Directory.res_hit dir_hit k) then
+      gate_fail "warmed resolution %d missed the cache" k;
+    if not (Directory.res_ok dir_hit k) then
+      gate_fail "hit resolution %d disagrees with the intent oracle" k
+  done;
+  Directory.resolve_batch dir_miss ~now:0.0 ~n:total ~from ~services:svcs;
+  for k = 0 to total - 1 do
+    if Directory.res_hit dir_miss k then
+      gate_fail "capacity-0 resolution %d hit a cache" k;
+    if not (Directory.res_ok dir_miss k) then
+      gate_fail "miss resolution %d disagrees with the intent oracle" k
+  done;
+  let intents = Directory.intent_count dir_hit in
+  let tests =
+    [
+      Test.make ~name:"svc-resolve-hit"
+        (Staged.stage (fun () ->
+             Directory.resolve_batch dir_hit ~now:0.0 ~n:total ~from ~services:svcs));
+      Test.make ~name:"svc-resolve-miss"
+        (Staged.stage (fun () ->
+             Directory.resolve_batch dir_miss ~now:0.0 ~n:total ~from ~services:svcs));
+      Test.make ~name:"svc-republish"
+        (Staged.stage (fun () -> ignore (Directory.republish_all dir_hit ~now:0.0)));
+    ]
+  in
+  let ops name = if name = "svc-republish" then intents else total in
+  let test = Test.make_grouped ~name:"services" ~fmt:"%s/%s" tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances test in
+  let clock_tbl = Analyze.all ols Instance.monotonic_clock raw in
+  let alloc_tbl = Analyze.all ols Instance.minor_allocated raw in
+  let estimate tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some o -> (match Analyze.OLS.estimates o with Some (e :: _) -> Some e | _ -> None)
+    | None -> None
+  in
+  let rows =
+    Hashtbl.fold (fun name _ acc -> name :: acc) clock_tbl []
+    |> List.sort compare
+    |> List.map (fun name ->
+           let short =
+             match String.index_opt name '/' with
+             | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+             | None -> name
+           in
+           let n = float_of_int (ops short) in
+           let ns_run = match estimate clock_tbl name with Some e -> e | None -> nan in
+           let w_run = match estimate alloc_tbl name with Some e -> e | None -> nan in
+           {
+             sv_name = short;
+             sv_resolutions = ops short;
+             sv_ns_per_resolution = ns_run /. n;
+             sv_words_per_resolution = w_run /. n;
+             sv_resolutions_per_s = (if ns_run > 0.0 then n /. (ns_run *. 1e-9) else nan);
+           })
+  in
+  Printf.printf
+    "== Service-discovery throughput (%s, %d services x %d providers, %d \
+     resolutions per run, gates passed) ==\n"
+    profile.Isp.profile_name services providers total;
+  List.iter
+    (fun r ->
+      Printf.printf "%-24s %12.0f resolutions/s %10.1f ns/resolution %10.3f w/resolution\n"
+        r.sv_name r.sv_resolutions_per_s r.sv_ns_per_resolution
+        r.sv_words_per_resolution)
+    rows;
+  print_newline ();
+  rows
+
 (* ---------------- driver ---------------- *)
 
 let json_escape s =
@@ -592,7 +749,7 @@ let json_escape s =
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
 
 let write_bench_json ~path ~quick ~jobs ~seed timings shard_rows micro_rows
-    dataplane_rows =
+    dataplane_rows services_rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"scale\": \"%s\",\n" (if quick then "quick" else "full");
@@ -645,6 +802,19 @@ let write_bench_json ~path ~quick ~jobs ~seed timings shard_rows micro_rows
         (json_float r.dp_words_per_lookup) r.dp_passes
         (if i = List.length dataplane_rows - 1 then "" else ","))
     dataplane_rows;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"services\": {\n";
+  List.iteri
+    (fun i (r : services_row) ->
+      Printf.fprintf oc
+        "    \"%s\": {\"resolutions\": %d, \"resolutions_per_s\": %s, \
+         \"ns_per_resolution\": %s, \"minor_words_per_resolution\": %s}%s\n"
+        (json_escape r.sv_name) r.sv_resolutions
+        (json_float r.sv_resolutions_per_s)
+        (json_float r.sv_ns_per_resolution)
+        (json_float r.sv_words_per_resolution)
+        (if i = List.length services_rows - 1 then "" else ","))
+    services_rows;
   Printf.fprintf oc "  }\n}\n";
   close_out oc
 
@@ -679,11 +849,12 @@ let field_value line field =
     float_of_string_opt (String.trim (String.sub rest 0 stop))
 
 (* Returns (micro rows: name * words/run, dataplane rows: name * words/lookup
-   * lookups/s).  The two row kinds are told apart by which field the line
-   carries, so one baseline file can hold both sections verbatim. *)
+   * lookups/s, services rows: name * words/resolution * resolutions/s).  The
+   row kinds are told apart by which fields the line carries, so one baseline
+   file can hold all sections verbatim. *)
 let baseline_rows path =
   let ic = open_in path in
-  let micro = ref [] and dataplane = ref [] in
+  let micro = ref [] and dataplane = ref [] and services = ref [] in
   (try
      while true do
        let line = String.trim (input_line ic) in
@@ -698,14 +869,20 @@ let baseline_rows path =
            with
            | Some w, Some rate -> dataplane := (name, w, rate) :: !dataplane
            | _ -> (
-             match field_value line "\"minor_words_per_run\":" with
-             | Some f -> micro := (name, f) :: !micro
-             | None -> ()))
+             match
+               ( field_value line "\"minor_words_per_resolution\":",
+                 field_value line "\"resolutions_per_s\":" )
+             with
+             | Some w, Some rate -> services := (name, w, rate) :: !services
+             | _ -> (
+               match field_value line "\"minor_words_per_run\":" with
+               | Some f -> micro := (name, f) :: !micro
+               | None -> ())))
        end
      done
    with End_of_file -> ());
   close_in ic;
-  (List.rev !micro, List.rev !dataplane)
+  (List.rev !micro, List.rev !dataplane, List.rev !services)
 
 (* Fail when a gated row allocates >25% more minor words per run than the
    baseline.  The +0.5-word slack keeps allocation-free rows (baseline 0)
@@ -759,6 +936,32 @@ let check_dataplane ~baseline rows =
     baseline;
   !failures
 
+(* Services rows gate the same two axes as the dataplane: minor words per
+   resolution (25% + slack) and a 50%-of-baseline resolutions/sec floor. *)
+let check_services ~baseline rows =
+  let failures = ref 0 in
+  List.iter
+    (fun (name, base_w, base_rate) ->
+      match List.find_opt (fun (r : services_row) -> r.sv_name = name) rows with
+      | None ->
+        Printf.printf "services-gate: %-24s MISSING from this run\n" name;
+        incr failures
+      | Some r ->
+        let w_limit = (base_w *. 1.25) +. 0.5 in
+        let rate_floor = base_rate *. 0.5 in
+        let w_ok = r.sv_words_per_resolution <= w_limit in
+        let rate_ok = r.sv_resolutions_per_s >= rate_floor in
+        Printf.printf
+          "services-gate: %-24s %8.3f w/resolution (limit %8.3f) %12.0f \
+           resolutions/s (floor %12.0f) %s\n"
+          name r.sv_words_per_resolution w_limit r.sv_resolutions_per_s rate_floor
+          (if w_ok && rate_ok then "ok"
+           else if w_ok then "FAIL(throughput)"
+           else "FAIL(alloc)");
+        if not (w_ok && rate_ok) then incr failures)
+    baseline;
+  !failures
+
 let () =
   Rofl_util.Logging.setup ();
   let args = Array.to_list Sys.argv |> List.tl in
@@ -797,7 +1000,8 @@ let () =
   let scale = if quick then E.Common.quick else E.Common.full in
   let wanted =
     match args with
-    | [] -> List.map (fun (n, _, _) -> n) targets @ [ "shards"; "micro"; "dataplane" ]
+    | [] ->
+      List.map (fun (n, _, _) -> n) targets @ [ "shards"; "micro"; "dataplane"; "services" ]
     | _ -> args
   in
   Printf.printf "ROFL reproduction benchmarks (%s scale, seed %d, %d jobs)\n\n"
@@ -807,6 +1011,7 @@ let () =
   let micro_rows = ref [] in
   let shard_rows = ref [] in
   let dataplane_rows = ref [] in
+  let services_rows = ref [] in
   List.iter
     (fun name ->
       if name = "micro" then begin
@@ -823,6 +1028,11 @@ let () =
         let rows, cost = measure (fun () -> dataplane_bench scale quick) in
         dataplane_rows := rows;
         timings := ("dataplane", cost) :: !timings
+      end
+      else if name = "services" then begin
+        let rows, cost = measure (fun () -> services_bench scale quick) in
+        services_rows := rows;
+        timings := ("services", cost) :: !timings
       end
       else begin
         match List.find_opt (fun (n, _, _) -> n = name) targets with
@@ -844,7 +1054,7 @@ let () =
     wanted;
   write_bench_json ~path:"BENCH.json" ~quick ~jobs:(E.Common.jobs ())
     ~seed:scale.E.Common.seed (List.rev !timings) !shard_rows !micro_rows
-    !dataplane_rows;
+    !dataplane_rows !services_rows;
   match !check_alloc_path with
   | None -> ()
   | Some path ->
@@ -852,7 +1062,7 @@ let () =
       Printf.eprintf "--check-alloc needs the micro target in the run\n";
       exit 2
     end;
-    let baseline, dp_baseline = baseline_rows path in
+    let baseline, dp_baseline, sv_baseline = baseline_rows path in
     if baseline = [] then begin
       Printf.eprintf "--check-alloc: no rows parsed from %s (one \"name\": {...\"minor_words_per_run\": N} per line)\n" path;
       exit 2
@@ -869,6 +1079,16 @@ let () =
         failures
       end
       else failures + check_dataplane ~baseline:dp_baseline !dataplane_rows
+    in
+    let failures =
+      if !services_rows = [] then begin
+        if sv_baseline <> [] then
+          Printf.printf
+            "services-gate: skipped (%d baseline row(s), services target not run)\n"
+            (List.length sv_baseline);
+        failures
+      end
+      else failures + check_services ~baseline:sv_baseline !services_rows
     in
     if failures > 0 then begin
       Printf.eprintf "alloc-gate: %d row(s) regressed vs %s\n" failures path;

@@ -33,6 +33,8 @@ let experiments : (string * string * (E.Common.scale -> Table.t list)) list =
     ("fig8b", "interdomain stretch CDF vs fingers", E.Fig8.fig8b);
     ("fig8c", "interdomain stretch vs per-AS cache", E.Fig8.fig8c);
     ("churn", "steady-state SLOs under continuous churn", E.Churnlab.churn);
+    ("services", "service-discovery SLOs under flash crowds and republish storms",
+     E.Serviceslab.services);
     ("megachurn", "million-host audited campaign on compact state", E.Churnlab.megachurn);
     ("summary", "paper §6.4 summary vs measured", E.Summary.summary);
     ("ablations", "all design-choice ablations", E.Ablations.all);

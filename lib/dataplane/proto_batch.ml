@@ -1,0 +1,104 @@
+(* Batched data-plane front-end over the actor network's pointer state: a
+   register file for [Proto.lookup_owner_batch_into] that persists across
+   rounds, so a steady-state caller (the service-discovery resolver, the
+   bench hot loop) stages lookups, runs the fused walk, and reads verdicts
+   without allocating a fresh batch per round.  Registers grow by doubling
+   and never shrink; [run] itself allocates nothing beyond the walk's own
+   Dijkstra pricing. *)
+
+module Id = Rofl_idspace.Id
+module Proto = Rofl_proto.Proto
+
+type t = {
+  proto : Proto.t;
+  mutable cap : int;
+  mutable n : int;
+  mutable from : int array;
+  mutable targets : Id.t array;
+  mutable found : bool array;
+  mutable owner : Id.t array;
+  mutable owner_router : int array;
+  mutable ring_hops : int array;
+  mutable link_hops : int array;
+  mutable latency_ms : float array;
+}
+
+let create ?(hint = 16) proto =
+  let cap = max 1 hint in
+  {
+    proto;
+    cap;
+    n = 0;
+    from = Array.make cap 0;
+    targets = Array.make cap Id.zero;
+    found = Array.make cap false;
+    owner = Array.make cap Id.zero;
+    owner_router = Array.make cap (-1);
+    ring_hops = Array.make cap 0;
+    link_hops = Array.make cap 0;
+    latency_ms = Array.make cap 0.0;
+  }
+
+let proto t = t.proto
+
+let grow t cap =
+  let cap = max cap (2 * t.cap) in
+  let copy a dummy =
+    let b = Array.make cap dummy in
+    Array.blit a 0 b 0 t.cap;
+    b
+  in
+  t.from <- copy t.from 0;
+  t.targets <- copy t.targets Id.zero;
+  t.found <- copy t.found false;
+  t.owner <- copy t.owner Id.zero;
+  t.owner_router <- copy t.owner_router (-1);
+  t.ring_hops <- copy t.ring_hops 0;
+  t.link_hops <- copy t.link_hops 0;
+  t.latency_ms <- copy t.latency_ms 0.0;
+  t.cap <- cap
+
+let clear t = t.n <- 0
+
+let stage t ~from ~target =
+  if t.n >= t.cap then grow t (t.n + 1);
+  let i = t.n in
+  t.from.(i) <- from;
+  t.targets.(i) <- target;
+  t.n <- i + 1;
+  i
+
+let length t = t.n
+
+let run t =
+  Proto.lookup_owner_batch_into t.proto ~n:t.n ~from:t.from ~targets:t.targets
+    ~found:t.found ~owner:t.owner ~owner_router:t.owner_router
+    ~ring_hops:t.ring_hops ~link_hops:t.link_hops ~latency_ms:t.latency_ms
+
+let check t i name =
+  if i < 0 || i >= t.n then invalid_arg ("Proto_batch." ^ name ^ ": index out of batch")
+
+let resolved t i =
+  check t i "resolved";
+  t.found.(i)
+
+let owner_id t i =
+  check t i "owner_id";
+  if not t.found.(i) then invalid_arg "Proto_batch.owner_id: unresolved lookup";
+  t.owner.(i)
+
+let owner_router t i =
+  check t i "owner_router";
+  t.owner_router.(i)
+
+let ring_hops t i =
+  check t i "ring_hops";
+  t.ring_hops.(i)
+
+let link_hops t i =
+  check t i "link_hops";
+  t.link_hops.(i)
+
+let latency_ms t i =
+  check t i "latency_ms";
+  t.latency_ms.(i)

@@ -1,0 +1,51 @@
+(** Reusable register file for the actor network's batched owner walks.
+
+    {!Rofl_proto.Proto.lookup_owner_batch} answers one batch and allocates
+    its registers per call; steady-state data-plane consumers (the
+    service-discovery resolver's miss path, the bench hot loop) resolve
+    round after round.  This module keeps the batch arrays alive between
+    rounds: {!stage} lookups, {!run} the fused walk, read the verdicts
+    through the accessors, {!clear}, repeat — no per-round allocation beyond
+    the walk's own shortest-path pricing.  Verdicts are byte-identical to
+    [lookup_owner_batch] (same walk, pinned in [test_dataplane] /
+    [test_services]). *)
+
+type t
+
+val create : ?hint:int -> Rofl_proto.Proto.t -> t
+(** [hint] pre-sizes the registers for the expected batch width (Little's
+    law: arrival rate x batching window); they grow by doubling
+    regardless. *)
+
+val proto : t -> Rofl_proto.Proto.t
+
+val clear : t -> unit
+(** Forget the staged lookups (verdict registers are reused lazily). *)
+
+val stage : t -> from:int -> target:Rofl_idspace.Id.t -> int
+(** Append a lookup to the batch and return its index. *)
+
+val length : t -> int
+
+val run : t -> unit
+(** Advance every staged walk to a verdict (one fused pass machine over the
+    current pointer state — pure-read, nothing scheduled). *)
+
+val resolved : t -> int -> bool
+(** Whether lookup [i] found an owner. *)
+
+val owner_id : t -> int -> Rofl_idspace.Id.t
+(** The owner verdict of lookup [i]; raises on an unresolved lookup. *)
+
+val owner_router : t -> int -> int
+(** Router where the verdict landed; [-1] when unresolved. *)
+
+val ring_hops : t -> int -> int
+(** Greedy ring hops the walk took. *)
+
+val link_hops : t -> int -> int
+(** Physical link traversals under the walk (each ring hop priced by the
+    link-state shortest path). *)
+
+val latency_ms : t -> int -> float
+(** Summed shortest-path latency of the walk's ring hops. *)

@@ -41,6 +41,7 @@ let first s = match s.violations with [] -> None | v :: _ -> Some v
 type t = {
   cfg : config;
   proto : Proto.t;
+  extra : (float -> Checks.violation list) option;
   mutable next_cp : float;
   mutable checkpoints : int;
   mutable recorded : Checks.violation list; (* newest first *)
@@ -48,11 +49,12 @@ type t = {
   mutable total : int;
 }
 
-let create cfg proto =
+let create ?extra cfg proto =
   if cfg.every_ms <= 0.0 then invalid_arg "Audit.create: every_ms must be positive";
   {
     cfg;
     proto;
+    extra;
     next_cp = cfg.every_ms;
     checkpoints = 0;
     recorded = [];
@@ -63,6 +65,7 @@ let create cfg proto =
 let checkpoint t now =
   t.checkpoints <- t.checkpoints + 1;
   let vs = Checks.proto_checks ?stale_grace_ms:t.cfg.stale_grace_ms ~at_ms:now t.proto in
+  let vs = match t.extra with None -> vs | Some f -> vs @ f now in
   List.iter
     (fun v ->
       t.total <- t.total + 1;

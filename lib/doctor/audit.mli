@@ -30,7 +30,11 @@ val first : summary -> Checks.violation option
 
 type t
 
-val create : config -> Rofl_proto.Proto.t -> t
+val create : ?extra:(float -> Checks.violation list) -> config -> Rofl_proto.Proto.t -> t
+(** [extra], when given, runs at every checkpoint after the proto sweep and
+    its violations are recorded the same way — how campaigns attach
+    layer-specific audits (e.g. {!Checks.services_checks} closed over a
+    directory) without the auditor depending on every layer. *)
 
 val install : t -> unit
 (** Start observing: a checkpoint fires on the first event executed at or

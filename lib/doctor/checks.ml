@@ -169,3 +169,99 @@ let inter_checks ?(routability_samples = 0) ~at_ms (net : Net.t) =
           .Interinvariant.violations
   in
   base @ routes
+
+(* ---- service-layer checks ------------------------------------------------ *)
+
+module Directory = Rofl_services.Directory
+module Provider_store = Rofl_services.Provider_store
+module Resolver = Rofl_services.Resolver
+
+(* Ring owner of an identifier under the current membership.  The data
+   plane settles greedily on the identifier closest clockwise *to* the
+   target without passing it — the target's predecessor: the greatest
+   member <= id in unsigned order, wrapping to the largest member when the
+   id precedes them all.  O(log n) per query over a sorted snapshot. *)
+let ring_owner members id =
+  let n = Array.length members in
+  if n = 0 then None
+  else begin
+    (* least index whose member is > id; the owner sits just before it *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Id.compare members.(mid) id <= 0 then lo := mid + 1 else hi := mid
+    done;
+    Some members.(if !lo = 0 then n - 1 else !lo - 1)
+  end
+
+let services_checks ?expiry_grace_ms ~at_ms (dir : Directory.t) =
+  let out = ref [] in
+  let emit check subject fmt =
+    Printf.ksprintf (fun detail -> out := { check; subject; detail; at_ms } :: !out) fmt
+  in
+  let short = Id.to_short_string in
+  let proto = Directory.proto dir in
+  let store = Directory.store dir in
+  let cfg = Directory.config dir in
+  (* No expired record may outlive the sweep cadence by more than the grace:
+     a record still resident grace-past its TTL means the expiry sweep
+     stopped (or a refresh wrote a past deadline).  The grace defaults to
+     two republish periods — a full period for the sweep that should have
+     caught it, and another for scheduling slack. *)
+  let grace =
+    match expiry_grace_ms with
+    | Some g -> g
+    | None -> 2.0 *. cfg.Directory.republish_period_ms
+  in
+  Provider_store.iter store (fun s ->
+      let deadline = Provider_store.expires_ms store s +. grace in
+      if deadline < at_ms then
+        emit "svc-expiry"
+          (Printf.sprintf "%s@%d" (short (Provider_store.service store s))
+             (Provider_store.owner store s))
+          "record expired at %.1fms still resident %.1fms past grace"
+          (Provider_store.expires_ms store s)
+          (at_ms -. deadline));
+  (* After reconvergence, every intent's current placement must sit with the
+     ring owner of its service identifier — the walk that placed it and the
+     membership oracle must agree.  Only checked when the ring is converged
+     (mid-repair placement is legitimately behind); decaying copies at old
+     owners are exempt, since only the *current* placement is consulted. *)
+  if Proto.ring_converged proto then begin
+    let members = Array.of_list (Proto.members proto) in
+    for k = 0 to Directory.intent_count dir - 1 do
+      if Directory.intent_active dir k then begin
+        let s = Directory.intent_placement dir k in
+        if s >= 0 then begin
+          let service = Directory.intent_service dir k in
+          match ring_owner members service with
+          | None -> ()
+          | Some owner_id ->
+            let owner_router = Proto.locate proto owner_id in
+            let placed_router = Provider_store.owner store s in
+            (match owner_router with
+             | Some r when r = placed_router -> ()
+             | Some r ->
+               emit "svc-residency"
+                 (Printf.sprintf "%s/%s" (short service)
+                    (short (Directory.intent_provider dir k)))
+                 "record placed at router %d, ring owner %s lives at %d"
+                 placed_router (short owner_id) r
+             | None ->
+               emit "svc-residency"
+                 (Printf.sprintf "%s/%s" (short service)
+                    (short (Directory.intent_provider dir k)))
+                 "ring owner %s unknown to the residency oracle" (short owner_id))
+        end
+      end
+    done
+  end;
+  (* No resolver may have served an answer decayed past its grace window —
+     the cache-side half of the TTL discipline.  The counter only moves when
+     the serve-stale fault knob is on (or a freshness bug slips in). *)
+  let served = Directory.served_expired_total dir in
+  if served > 0 then
+    emit "svc-stale-serve" "resolvers"
+      "%d answers served from entries decayed past the %.0fms grace window"
+      served cfg.Directory.cache.Resolver.stale_grace_ms;
+  List.rev !out

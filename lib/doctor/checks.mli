@@ -46,3 +46,15 @@ val inter_checks :
   ?routability_samples:int -> at_ms:float -> Rofl_inter.Net.t -> violation list
 (** The existing {!Rofl_inter.Interinvariant} sweep (["inter-invariant"]) and
     optional routability sampling (["inter-routability"]). *)
+
+val services_checks :
+  ?expiry_grace_ms:float -> at_ms:float -> Rofl_services.Directory.t -> violation list
+(** Checkpoint sweep of the service-discovery layer: no record resident
+    grace-past its TTL (["svc-expiry"]; grace defaults to two republish
+    periods — a full sweep cadence plus slack), every active intent's
+    current placement hosted by the ring owner of its service identifier
+    whenever the ring is converged (["svc-residency"]; decaying copies at
+    previous owners are exempt), and no resolver cache that served an
+    answer decayed past its stale-grace window (["svc-stale-serve"] — the
+    counter only moves under the serve-stale fault knob or a freshness
+    bug). *)

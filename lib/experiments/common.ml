@@ -29,6 +29,11 @@ type scale = {
   churn_lifetimes_s : float list;
   churn_periods_ms : float list;
   churn_bootstrap_hosts : int; (* megachurn population spliced in at time 0 *)
+  svc_horizon_ms : float;      (* services-lab campaign horizon *)
+  svc_services : int;          (* published service names *)
+  svc_rate_per_s : float;      (* baseline resolution demand *)
+  svc_bootstrap_hosts : int;   (* ring population under the directory *)
+  svc_cache_grid : int list;   (* resolver cache capacities swept under flash *)
 }
 
 let full =
@@ -50,6 +55,11 @@ let full =
     churn_lifetimes_s = [ 60.0; 20.0; 5.0; 2.0 ];
     churn_periods_ms = [ 25.0; 50.0; 100.0; 200.0; 400.0; 800.0 ];
     churn_bootstrap_hosts = 1_000_000;
+    svc_horizon_ms = 20_000.0;
+    svc_services = 400;
+    svc_rate_per_s = 400.0;
+    svc_bootstrap_hosts = 2_000;
+    svc_cache_grid = [ 0; 4; 16; 64; 256; 1024 ];
   }
 
 let quick =
@@ -71,6 +81,11 @@ let quick =
     churn_lifetimes_s = [ 30.0; 5.0; 1.5 ];
     churn_periods_ms = [ 50.0; 200.0; 800.0 ];
     churn_bootstrap_hosts = 20_000;
+    svc_horizon_ms = 6_000.0;
+    svc_services = 60;
+    svc_rate_per_s = 120.0;
+    svc_bootstrap_hosts = 300;
+    svc_cache_grid = [ 0; 16; 256 ];
   }
 
 (* -- parallel engine ----------------------------------------------------

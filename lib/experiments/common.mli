@@ -27,6 +27,12 @@ type scale = {
   churn_bootstrap_hosts : int;
   (** megachurn population spliced into the ring at time zero
       (10^6 at full scale; [rofl_sim megachurn --hosts N] overrides) *)
+  svc_horizon_ms : float;    (** services-lab campaign horizon *)
+  svc_services : int;        (** published service names *)
+  svc_rate_per_s : float;    (** baseline resolution demand *)
+  svc_bootstrap_hosts : int; (** ring population under the directory *)
+  svc_cache_grid : int list;
+  (** resolver cache capacities swept under the flash crowd (0 = no cache) *)
 }
 
 val full : scale

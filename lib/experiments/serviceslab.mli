@@ -1,0 +1,12 @@
+(** Service-discovery lab: audited {!Rofl_dynamics.Services_campaign} grids.
+
+    Two tables: the flash-crowd sweep over resolver cache capacities (the
+    axis that decides whether a response cache saves the ring owner of a
+    suddenly-hot name — including capacity 0, no cache at all), and the
+    republish-storm pair (every origin publishing at once vs the
+    phase-staggered steady state).  Every cell runs with doctor audits on
+    ({!Rofl_doctor.Checks.services_checks} riding the proto checkpoints) and
+    carries its event fingerprint, so any [--jobs]/[--shards] discrepancy is
+    visible right in the table. *)
+
+val services : Common.scale -> Rofl_util.Table.t list

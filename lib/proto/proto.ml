@@ -1337,18 +1337,31 @@ let lookup_owner t ~from target =
    cells, so the per-hop path allocates nothing beyond what the sequential
    walk does.  Results are exactly [Array.map (lookup_owner t ~from) targets]
    — the walk reads only resident-store state, which the batch never
-   mutates. *)
-let lookup_owner_batch t ~from ~targets =
-  let n = Array.length targets in
-  if Array.length from <> n then
-    invalid_arg "Proto.lookup_owner_batch: from/targets length mismatch";
+   mutates.
+
+   [stats], when provided, adds data-plane accounting per lookup: the router
+   where the verdict landed, the ring hops taken, and the physical cost of
+   each ring hop priced by the link-state shortest path between the two
+   routers (link traversals and latency).  The pricing queries the owning
+   shard's Dijkstra cache, which only warms memoised trees — results are
+   unchanged and nothing is scheduled, so a stats walk is still pure-read
+   with respect to the protocol. *)
+type batch_stats = {
+  bs_owner_router : int array;  (* verdict router, -1 when unresolved *)
+  bs_ring_hops : int array;     (* greedy walk hops taken *)
+  bs_link_hops : int array;     (* physical link traversals under the walk *)
+  bs_latency_ms : float array;  (* summed per-hop shortest-path latency *)
+}
+
+let batch_walk t ~n ~from ~targets ~found ~(owner : Id.t array) ~stats =
+  if Array.length from < n || Array.length targets < n then
+    invalid_arg "Proto.lookup_owner_batch: from/targets shorter than batch";
   let guard_max = 4 * Graph.n t.graph in
   let router = Array.make (max n 1) 0 in
   let best = Array.make (max n 1) Id.zero in
   let best_valid = Array.make (max n 1) false in
   let guard = Array.make (max n 1) 0 in
   let live = Array.make (max n 1) true in
-  let result : Id.t option array = Array.make (max n 1) None in
   (* scratch registers for the shared visitors *)
   let cur_store = ref (shd t 0).store in
   let cur_router = ref 0 in
@@ -1388,6 +1401,25 @@ let lookup_owner_batch t ~from ~targets =
       settle_id := rid
     end
   in
+  (* verdict bookkeeping: where lookup [i] ended, when stats are wanted *)
+  let landed i =
+    match stats with
+    | None -> ()
+    | Some st -> st.bs_owner_router.(i) <- router.(i)
+  in
+  let priced_hop i r next =
+    match stats with
+    | None -> ()
+    | Some st ->
+      st.bs_ring_hops.(i) <- st.bs_ring_hops.(i) + 1;
+      let ls = (shd t r).s_ls in
+      (match Linkstate.distance_to ls r next with
+       | Some d -> st.bs_latency_ms.(i) <- st.bs_latency_ms.(i) +. d
+       | None -> ());
+      (match Linkstate.distance_hops ls r next with
+       | Some h -> st.bs_link_hops.(i) <- st.bs_link_hops.(i) + h
+       | None -> ())
+  in
   (* one walk hop for lookup [i]; false when a verdict landed *)
   let step i =
     if guard.(i) > guard_max then false
@@ -1400,7 +1432,9 @@ let lookup_owner_batch t ~from ~targets =
       Store.iter_router !cur_store r consider_slot;
       if not !cand_some then false
       else if !cand_here then begin
-        result.(i) <- Some !cand_id;
+        found.(i) <- true;
+        owner.(i) <- !cand_id;
+        landed i;
         false
       end
       else begin
@@ -1416,10 +1450,15 @@ let lookup_owner_batch t ~from ~targets =
           (* No progress: settle on the best local resident. *)
           settle_some := false;
           Store.iter_router !cur_store r settle_slot;
-          if !settle_some then result.(i) <- Some !settle_id;
+          if !settle_some then begin
+            found.(i) <- true;
+            owner.(i) <- !settle_id;
+            landed i
+          end;
           false
         end
         else begin
+          priced_hop i r next;
           router.(i) <- next;
           best.(i) <- id;
           best_valid.(i) <- true;
@@ -1431,7 +1470,15 @@ let lookup_owner_batch t ~from ~targets =
   in
   let remaining = ref n in
   for i = 0 to n - 1 do
-    router.(i) <- from.(i)
+    router.(i) <- from.(i);
+    found.(i) <- false;
+    match stats with
+    | None -> ()
+    | Some st ->
+      st.bs_owner_router.(i) <- -1;
+      st.bs_ring_hops.(i) <- 0;
+      st.bs_link_hops.(i) <- 0;
+      st.bs_latency_ms.(i) <- 0.0
   done;
   while !remaining > 0 do
     for i = 0 to n - 1 do
@@ -1441,5 +1488,46 @@ let lookup_owner_batch t ~from ~targets =
           decr remaining
         end
     done
-  done;
-  if n = 0 then [||] else result
+  done
+
+let lookup_owner_batch t ~from ~targets =
+  let n = Array.length targets in
+  if Array.length from <> n then
+    invalid_arg "Proto.lookup_owner_batch: from/targets length mismatch";
+  let found = Array.make (max n 1) false in
+  let owner = Array.make (max n 1) Id.zero in
+  batch_walk t ~n ~from ~targets ~found ~owner ~stats:None;
+  Array.init n (fun i -> if found.(i) then Some owner.(i) else None)
+
+let lookup_owner_batch_into t ~n ~from ~targets ~found ~owner ~owner_router
+    ~ring_hops ~link_hops ~latency_ms =
+  if
+    Array.length found < n || Array.length owner < n
+    || Array.length owner_router < n
+    || Array.length ring_hops < n
+    || Array.length link_hops < n
+    || Array.length latency_ms < n
+  then invalid_arg "Proto.lookup_owner_batch_into: output arrays shorter than batch";
+  batch_walk t ~n ~from ~targets ~found ~owner
+    ~stats:
+      (Some
+         {
+           bs_owner_router = owner_router;
+           bs_ring_hops = ring_hops;
+           bs_link_hops = link_hops;
+           bs_latency_ms = latency_ms;
+         })
+
+let latency_between t a b =
+  if a = b then 0.0
+  else
+    match Linkstate.distance_to (shd t a).s_ls a b with
+    | Some d -> d
+    | None -> 0.0
+
+let link_hops_between t a b =
+  if a = b then 0
+  else
+    match Linkstate.distance_hops (shd t a).s_ls a b with
+    | Some h -> h
+    | None -> 0

@@ -205,6 +205,38 @@ val lookup_owner_batch :
     so the result is exactly the per-lookup [lookup_owner] map — pinned in
     [test_dataplane]. *)
 
+val lookup_owner_batch_into :
+  t ->
+  n:int ->
+  from:int array ->
+  targets:Rofl_idspace.Id.t array ->
+  found:bool array ->
+  owner:Rofl_idspace.Id.t array ->
+  owner_router:int array ->
+  ring_hops:int array ->
+  link_hops:int array ->
+  latency_ms:float array ->
+  unit
+(** Register form of {!lookup_owner_batch} for callers that reuse their
+    batch arrays across rounds (the service-discovery resolver): lookups
+    [0..n-1] are read from [from]/[targets] and verdicts written in place —
+    [owner.(i)] is meaningful iff [found.(i)], [owner_router.(i)] is the
+    router where the verdict landed ([-1] when unresolved), [ring_hops] the
+    greedy hops taken, and [link_hops]/[latency_ms] the physical cost of the
+    walk with every ring hop priced by the link-state shortest path between
+    the two routers.  All arrays may be longer than [n].  Verdicts are
+    byte-identical to {!lookup_owner_batch}; the Dijkstra pricing only warms
+    per-shard memoised trees, so the walk stays pure-read. *)
+
+val latency_between : t -> int -> int -> float
+(** Link-state shortest-path latency between two routers (0 when equal or
+    partitioned) — the response leg a resolver charges for the trip back
+    from the owner. *)
+
+val link_hops_between : t -> int -> int -> int
+(** Link traversals of {!latency_between}'s path (0 when equal or
+    partitioned). *)
+
 (** {2 Audit surface}
 
     Read-only views for the ring doctor ({!Rofl_doctor}).  Consulting them

@@ -1,0 +1,124 @@
+(** The service-discovery directory over one actor network.
+
+    Name→service resolution is a native workload of routing on flat labels:
+    a service is a flat identifier, its provider records live at the ring
+    owner of that identifier, and looking one up IS a data-plane owner walk.
+    This module ties the three layers together:
+
+    - {e intents} — the authoritative (service, provider, origin) rows an
+      origin keeps republishing while active; also the instrumentation
+      oracle stale-answer SLOs compare against;
+    - {e placed records} — the {!Provider_store} copies at ring owners,
+      placed through the batched data plane
+      ({!Rofl_dataplane.Proto_batch}), refreshed each republish period and
+      decaying by TTL;
+    - {e resolver caches} — one bounded LRU {!Resolver} per querying
+      router, with negative entries.
+
+    All mutation happens from campaign global events (every shard parked),
+    so one directory is deterministic at any [--shards]/[--jobs]: intents
+    are processed in index order and batches in staging order.
+
+    Timing discipline: [ttl_ms > republish_period_ms] (default 2.5x) so a
+    steadily-republished record never expires; after an ownership change
+    the next republish re-places at the new owner and the old copy decays —
+    the residency invariant the doctor audits. *)
+
+type config = {
+  ttl_ms : float;               (** record TTL granted by each publish *)
+  republish_period_ms : float;  (** origin republish cadence *)
+  cache : Resolver.config;
+}
+
+val default_config : config
+(** 10 s TTL, 4 s republish period, {!Resolver.default_config} caches. *)
+
+type t
+
+val create : proto:Rofl_proto.Proto.t -> routers:int -> hint:int -> config -> t
+(** [hint] is the Little's-law load hint — the expected record population
+    (active intents) — and pre-sizes the provider store, the intent index,
+    and the batch registers; everything grows regardless. *)
+
+val proto : t -> Rofl_proto.Proto.t
+val config : t -> config
+val store : t -> Provider_store.t
+
+val metrics : t -> Rofl_netsim.Metrics.t
+(** Shared accounting: cache hit/miss/negative/eviction cells (interned by
+    the resolvers), [svc-publish-msg]/[svc-resolve-msg] link traversals,
+    [svc-republish] operations, [svc-expired] TTL drops and
+    [svc-stale-answer] oracle disagreements. *)
+
+(** {2 Intents (the publication set)} *)
+
+val register :
+  t -> service:Rofl_idspace.Id.t -> provider:Rofl_idspace.Id.t -> origin:int -> int
+(** Add (or re-activate) an intent; it publishes on the next
+    {!republish_due} call and then every republish period, phase-staggered
+    by a content-derived offset so steady state is not a thundering herd.
+    Returns the intent index. *)
+
+val unregister : t -> service:Rofl_idspace.Id.t -> provider:Rofl_idspace.Id.t -> bool
+(** Deactivate an intent.  Placed copies are {e not} withdrawn — they decay
+    by TTL, the staleness the campaign measures. *)
+
+val intent_count : t -> int
+val intents_active : t -> int
+val intent_active : t -> int -> bool
+val intent_service : t -> int -> Rofl_idspace.Id.t
+val intent_provider : t -> int -> Rofl_idspace.Id.t
+val intent_origin : t -> int -> int
+val intent_last_ms : t -> int -> float
+
+val intent_placement : t -> int -> int
+(** Store slot of the intent's current placed copy, revalidated through the
+    store's slot generation; [-1] when never placed or already expired. *)
+
+val provider_active :
+  t -> service:Rofl_idspace.Id.t -> provider:Rofl_idspace.Id.t -> bool
+
+val true_provider_count : t -> service:Rofl_idspace.Id.t -> int
+(** Oracle: active providers registered for the service right now. *)
+
+(** {2 Periodic work (call from campaign global events)} *)
+
+val republish_due : t -> now:float -> int
+(** Republish every active intent whose period elapsed: one fused batch
+    walk from the origins toward their service identifiers, records placed
+    where each verdict landed.  Returns the number of publishes staged. *)
+
+val republish_all : t -> now:float -> int
+(** The republish storm: every active intent publishes right now,
+    regardless of phase. *)
+
+val sweep : t -> now:float -> int
+(** Drop TTL-expired records; returns the count (also charged to
+    [svc-expired]). *)
+
+val last_sweep_ms : t -> float
+
+(** {2 Batched resolution} *)
+
+val resolve_batch :
+  t -> now:float -> n:int -> from:int array -> services:Rofl_idspace.Id.t array -> unit
+(** Resolve [services.(i)] from router [from.(i)] for [i < n]: cache hits
+    answer locally at zero latency; misses ride one fused
+    [Proto.lookup_owner_batch] walk to their ring owners, read the provider
+    records there, and install (positive or negative) cache entries.  Miss
+    latency is the walk's priced latency plus the shortest-path response
+    leg.  Read the per-lookup verdicts with the accessors below before the
+    next batch reuses the registers. *)
+
+val resolver_for : t -> int -> Resolver.t
+val iter_resolvers : t -> (Resolver.t -> unit) -> unit
+
+val served_expired_total : t -> int
+(** Sum of {!Resolver.served_expired} over all resolver caches — the
+    doctor's no-expired-answer invariant reads this. *)
+
+val res_hit : t -> int -> bool
+val res_positive : t -> int -> bool
+val res_ok : t -> int -> bool
+val res_stale : t -> int -> bool
+val res_latency_ms : t -> int -> float

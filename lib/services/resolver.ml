@@ -1,0 +1,105 @@
+module Id = Rofl_idspace.Id
+module Lru = Rofl_util.Lru
+module Metrics = Rofl_netsim.Metrics
+
+(* Bounded LRU response cache at a resolver router.
+
+   Positive entries hold the provider set an owner answered with; negative
+   entries ([providers = [||]]) remember that the owner had no record, so
+   repeat queries for dead names are absorbed locally (classic negative
+   caching).  Freshness is wall-clock simulated time: an entry past
+   [fresh_until_ms] is a miss and is dropped on sight — unless the
+   [serve_stale] fault knob is on, which deliberately keeps serving decayed
+   entries so the doctor's no-expired-answer invariant has something to
+   catch.  Hit/miss/negative counters are interned {!Metrics} handles on the
+   directory's shared accounting, so the bench rows and the campaign SLOs
+   read the same cells. *)
+
+type config = {
+  capacity : int;          (* bound on cached services; 0 disables caching *)
+  cache_ttl_ms : float;    (* freshness window of a positive answer *)
+  neg_ttl_ms : float;      (* freshness window of a negative answer *)
+  stale_grace_ms : float;  (* serving past fresh+grace is an invariant violation *)
+  serve_stale : bool;      (* fault injection: keep serving decayed entries *)
+}
+
+let default_config =
+  {
+    capacity = 1024;
+    cache_ttl_ms = 2_000.0;
+    neg_ttl_ms = 1_000.0;
+    stale_grace_ms = 1_000.0;
+    serve_stale = false;
+  }
+
+type entry = {
+  providers : Id.t array;  (* [||] = negative entry *)
+  installed_ms : float;
+  fresh_until_ms : float;
+}
+
+type t = {
+  cfg : config;
+  router : int;
+  cache : (Id.t, entry) Lru.t;
+  hits : int ref;
+  misses : int ref;
+  neg_hits : int ref;
+  evictions : int ref;
+  mutable served_expired : int;
+}
+
+let create ~metrics ~router cfg =
+  {
+    cfg;
+    router;
+    cache = Lru.create ~capacity:cfg.capacity;
+    hits = Metrics.handle metrics "svc-cache-hit";
+    misses = Metrics.handle metrics "svc-cache-miss";
+    neg_hits = Metrics.handle metrics "svc-cache-neg-hit";
+    evictions = Metrics.handle metrics "svc-cache-evict";
+    served_expired = 0;
+  }
+
+let router t = t.router
+let config t = t.cfg
+let length t = Lru.length t.cache
+let served_expired t = t.served_expired
+
+let find t ~now service =
+  match Lru.find t.cache service with
+  | None ->
+    incr t.misses;
+    None
+  | Some e ->
+    if now < e.fresh_until_ms then begin
+      if Array.length e.providers = 0 then incr t.neg_hits else incr t.hits;
+      Some e
+    end
+    else if t.cfg.serve_stale then begin
+      (* Fault path: the answer decayed and we serve it anyway.  Within the
+         grace window that is merely a stale answer; past it, it is the
+         served-expired violation the doctor audits for. *)
+      if now >= e.fresh_until_ms +. t.cfg.stale_grace_ms then
+        t.served_expired <- t.served_expired + 1;
+      if Array.length e.providers = 0 then incr t.neg_hits else incr t.hits;
+      Some e
+    end
+    else begin
+      Lru.remove t.cache service;
+      incr t.misses;
+      None
+    end
+
+let install t ~now service providers =
+  let ttl =
+    if Array.length providers = 0 then t.cfg.neg_ttl_ms else t.cfg.cache_ttl_ms
+  in
+  let e = { providers; installed_ms = now; fresh_until_ms = now +. ttl } in
+  match Lru.put t.cache service e with
+  | Some _ -> incr t.evictions
+  | None -> ()
+
+let iter t f = Lru.iter t.cache f
+
+let clear t = Lru.clear t.cache

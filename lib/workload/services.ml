@@ -1,0 +1,128 @@
+module Prng = Rofl_util.Prng
+
+(* Open-loop service-resolution workload with phases.
+
+   Demand is Zipf-skewed over service ranks (rank 1 = hottest) with a
+   tunable fraction of queries for names that were never published (the
+   negative-caching traffic).  Two phases stress the layer the way real
+   deployments break:
+
+   - the *flash crowd*: during [flash_start, flash_start + flash_len) the
+     arrival rate multiplies by [flash_mult] and the extra traffic
+     concentrates on the [flash_focus] hottest ranks — the popularity
+     concentration that decides whether a response cache saves the owner;
+
+   - *provider flaps*: a Poisson stream of (service, provider) toggles, the
+     source of genuinely stale cached answers the campaign's oracle
+     comparison measures.
+
+   The republish *storm* is not generated here: republish timing belongs to
+   the directory (it is control-plane, not demand), and the campaign
+   triggers it with [Directory.republish_all] at its configured instant.
+
+   Events are sorted by time with a stable per-kind sequence, and the whole
+   trace is a pure function of the generator state — the determinism the
+   campaign's jobs/shards byte-identity rests on. *)
+
+type event =
+  | Resolve of { at_ms : float; rank : int; seq : int }
+      (** [rank] in [1..services]; rank 0 = a never-published name *)
+  | Flap of { at_ms : float; service : int; provider : int; seq : int }
+      (** toggle provider [provider] of service [service] (1-based rank) *)
+
+type flash = {
+  flash_start_ms : float;
+  flash_len_ms : float;
+  flash_mult : float;   (* arrival-rate multiplier during the crowd *)
+  flash_focus : int;    (* the crowd hammers ranks [1..flash_focus] *)
+}
+
+let event_time = function Resolve { at_ms; _ } | Flap { at_ms; _ } -> at_ms
+
+let generate rng ~horizon_ms ~services ~providers_per_service ~rate_per_s ~zipf_s
+    ?(unknown_fraction = 0.0) ?flash ?(flap_rate_per_s = 0.0) () =
+  if services < 1 then invalid_arg "Services.generate: services must be >= 1";
+  if providers_per_service < 1 then
+    invalid_arg "Services.generate: providers_per_service must be >= 1";
+  if rate_per_s <= 0.0 then invalid_arg "Services.generate: rate must be positive";
+  if unknown_fraction < 0.0 || unknown_fraction > 1.0 then
+    invalid_arg "Services.generate: unknown fraction out of [0,1]";
+  (match flash with
+   | Some f ->
+     if f.flash_mult < 1.0 then invalid_arg "Services.generate: flash_mult must be >= 1";
+     if f.flash_focus < 1 || f.flash_focus > services then
+       invalid_arg "Services.generate: flash_focus out of [1,services]"
+   | None -> ());
+  let events = ref [] in
+  let seq = ref 0 in
+  let in_flash at =
+    match flash with
+    | None -> false
+    | Some f -> at >= f.flash_start_ms && at < f.flash_start_ms +. f.flash_len_ms
+  in
+  let rate_at at =
+    match flash with
+    | Some f when in_flash at -> rate_per_s *. f.flash_mult
+    | _ -> rate_per_s
+  in
+  (* Piecewise-constant Poisson arrivals by thinning against the peak rate:
+     one exponential stream at the maximum, arrivals kept with probability
+     rate(t)/peak — exact for piecewise-constant rates and immune to the
+     boundary drift of segment-by-segment generation. *)
+  let peak = match flash with Some f -> rate_per_s *. f.flash_mult | None -> rate_per_s in
+  let gap_ms = 1000.0 /. peak in
+  let clock = ref (Prng.exponential rng gap_ms) in
+  while !clock < horizon_ms do
+    let at = !clock in
+    if Prng.float rng 1.0 < rate_at at /. peak then begin
+      let rank =
+        let hot =
+          match flash with
+          | Some f when in_flash at ->
+            (* the crowd's excess traffic is all focus-ranked *)
+            Prng.float rng 1.0 < (f.flash_mult -. 1.0) /. f.flash_mult
+          | _ -> false
+        in
+        if hot then
+          1 + Prng.int rng (match flash with Some f -> f.flash_focus | None -> 1)
+        else if unknown_fraction > 0.0 && Prng.float rng 1.0 < unknown_fraction then 0
+        else Prng.zipf rng ~n:services ~s:zipf_s
+      in
+      let s = !seq in
+      incr seq;
+      events := Resolve { at_ms = at; rank; seq = s } :: !events
+    end;
+    clock := !clock +. Prng.exponential rng gap_ms
+  done;
+  if flap_rate_per_s > 0.0 then begin
+    let gap_ms = 1000.0 /. flap_rate_per_s in
+    let clock = ref (Prng.exponential rng gap_ms) in
+    while !clock < horizon_ms do
+      let s = !seq in
+      incr seq;
+      events :=
+        Flap
+          {
+            at_ms = !clock;
+            service = 1 + Prng.int rng services;
+            provider = Prng.int rng providers_per_service;
+            seq = s;
+          }
+        :: !events;
+      clock := !clock +. Prng.exponential rng gap_ms
+    done
+  end;
+  List.sort
+    (fun a b ->
+      let c = compare (event_time a) (event_time b) in
+      if c <> 0 then c
+      else
+        compare
+          (match a with Resolve { seq; _ } | Flap { seq; _ } -> seq)
+          (match b with Resolve { seq; _ } | Flap { seq; _ } -> seq))
+    !events
+
+let count events =
+  List.fold_left
+    (fun (r, f) ev -> match ev with Resolve _ -> (r + 1, f) | Flap _ -> (r, f + 1))
+    (0, 0) events

@@ -1,0 +1,46 @@
+(** Zipf-skewed open-loop service-resolution demand with flash-crowd and
+    provider-flap phases.
+
+    The demand side of the service-discovery campaign: Poisson resolution
+    arrivals whose targets follow a Zipf popularity law (rank 1 hottest),
+    with an optional fraction aimed at never-published names (negative
+    caching traffic), a flash-crowd window during which the rate multiplies
+    and the excess concentrates on the hottest ranks, and a Poisson stream
+    of provider up/down toggles — the source of genuinely stale cached
+    answers.  Republish storms are control-plane and belong to the
+    directory; the campaign triggers them directly.
+
+    The trace is a pure function of the generator: sorted by time, stable
+    sequence numbers, no draws outside generation. *)
+
+type event =
+  | Resolve of { at_ms : float; rank : int; seq : int }
+      (** resolve the service at popularity [rank] (1-based); rank 0 asks
+          for a name that was never published *)
+  | Flap of { at_ms : float; service : int; provider : int; seq : int }
+      (** toggle provider index [provider] of service rank [service] *)
+
+type flash = {
+  flash_start_ms : float;
+  flash_len_ms : float;
+  flash_mult : float;  (** arrival-rate multiplier during the crowd *)
+  flash_focus : int;   (** the crowd hammers ranks [1..flash_focus] *)
+}
+
+val event_time : event -> float
+
+val generate :
+  Rofl_util.Prng.t ->
+  horizon_ms:float ->
+  services:int ->
+  providers_per_service:int ->
+  rate_per_s:float ->
+  zipf_s:float ->
+  ?unknown_fraction:float ->
+  ?flash:flash ->
+  ?flap_rate_per_s:float ->
+  unit ->
+  event list
+
+val count : event list -> int * int
+(** (resolves, flaps). *)

@@ -26,6 +26,11 @@ let tiny : E.Common.scale =
     churn_lifetimes_s = [ 10.0; 1.0 ];
     churn_periods_ms = [ 50.0; 400.0 ];
     churn_bootstrap_hosts = 2_000;
+    svc_horizon_ms = 2_000.0;
+    svc_services = 20;
+    svc_rate_per_s = 60.0;
+    svc_bootstrap_hosts = 100;
+    svc_cache_grid = [ 0; 64 ];
   }
 
 let rendered f =

@@ -10,6 +10,8 @@ module Id = Rofl_idspace.Id
 module Pointer = Rofl_core.Pointer
 module Sourceroute = Rofl_core.Sourceroute
 module Pointer_cache = Rofl_core.Pointer_cache
+module Metrics = Rofl_netsim.Metrics
+module Resolver = Rofl_services.Resolver
 
 (* ---- reference model: assoc list, most-recently-used first ------------- *)
 
@@ -172,6 +174,90 @@ let prop_pointer_cache_agreement =
       && (Pointer_cache.resize cache ~capacity:3;
           Pointer_cache.audit cache = []))
 
+(* ---- Resolver cache: LRU + TTL + negative entries vs a model ------------ *)
+
+(* The resolver cache layers TTL decay and negative entries on the LRU; the
+   model is an assoc list (MRU first) of (key, (positive?, fresh_until)).
+   Time only moves forward, one step per op, so every entry decays on a
+   schedule the model can replay exactly.  serve_stale is off here: a
+   decayed entry must read as a miss and be dropped on sight. *)
+
+type rop = Install of int * bool | Consult of int
+
+let rop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k pos -> Install (k, pos)) (int_bound 7) bool);
+        (5, map (fun k -> Consult k) (int_bound 7));
+      ])
+
+let rop_print = function
+  | Install (k, pos) -> Printf.sprintf "install %d %s" k (if pos then "pos" else "neg")
+  | Consult k -> Printf.sprintf "find %d" k
+
+let rops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map rop_print ops))
+    QCheck.Gen.(list_size (int_bound 80) rop_gen)
+
+let resolver_cfg =
+  {
+    Resolver.default_config with
+    Resolver.capacity = 3;
+    cache_ttl_ms = 1_000.0;
+    neg_ttl_ms = 500.0;
+  }
+
+let prop_resolver_matches_model =
+  QCheck.Test.make ~name:"Resolver cache agrees with the TTL'd LRU model" ~count:500
+    rops_arb (fun ops ->
+      let metrics = Metrics.create ~routers:1 in
+      let r = Resolver.create ~metrics ~router:0 resolver_cfg in
+      let keys = Array.init 8 (fun k -> Id.random (Prng.create (k + 1))) in
+      (* model: assoc list MRU-first of (key index, (positive, fresh_until)) *)
+      let m = ref [] in
+      let m_install k pos now =
+        let ttl = if pos then resolver_cfg.Resolver.cache_ttl_ms else resolver_cfg.Resolver.neg_ttl_ms in
+        m := (k, (pos, now +. ttl)) :: List.remove_assoc k !m;
+        let rec take n = function
+          | x :: rest when n > 0 -> x :: take (n - 1) rest
+          | _ -> []
+        in
+        m := take resolver_cfg.Resolver.capacity !m
+      in
+      let m_find k now =
+        match List.assoc_opt k !m with
+        | None -> None
+        | Some (pos, fresh_until) ->
+          if now < fresh_until then begin
+            m := (k, (pos, fresh_until)) :: List.remove_assoc k !m;
+            Some pos
+          end
+          else begin
+            (* decayed: dropped on sight, reads as a miss *)
+            m := List.remove_assoc k !m;
+            None
+          end
+      in
+      List.for_all
+        (fun (i, op) ->
+          let now = float_of_int i *. 300.0 in
+          match op with
+          | Install (k, pos) ->
+            Resolver.install r ~now keys.(k) (if pos then [| keys.(k) |] else [||]);
+            m_install k pos now;
+            Resolver.length r = List.length !m
+          | Consult k ->
+            let got =
+              match Resolver.find r ~now keys.(k) with
+              | None -> None
+              | Some e -> Some (e.Resolver.providers <> [||])
+            in
+            got = m_find k now && Resolver.length r = List.length !m)
+        (List.mapi (fun i op -> (i, op)) ops)
+      && Resolver.served_expired r = 0)
+
 let () =
   Alcotest.run "rofl_lru_model"
     [
@@ -179,5 +265,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_lru_matches_model;
           QCheck_alcotest.to_alcotest prop_pointer_cache_agreement;
+          QCheck_alcotest.to_alcotest prop_resolver_matches_model;
         ] );
     ]

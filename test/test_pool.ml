@@ -86,6 +86,11 @@ let mini : E.Common.scale =
     churn_lifetimes_s = [ 5.0 ];
     churn_periods_ms = [ 100.0 ];
     churn_bootstrap_hosts = 1_000;
+    svc_horizon_ms = 1_500.0;
+    svc_services = 12;
+    svc_rate_per_s = 40.0;
+    svc_bootstrap_hosts = 80;
+    svc_cache_grid = [ 0; 32 ];
   }
 
 let render_all f = String.concat "\n" (List.map Table.render (f mini))
@@ -99,7 +104,12 @@ let test_jobs_determinism () =
       let par = render_all f in
       E.Common.set_jobs 1;
       Alcotest.(check string) (name ^ " byte-identical at jobs 1 vs 4") seq par)
-    [ ("fig7", E.Fig7.fig7); ("fig6a", E.Fig6.fig6a); ("churn", E.Churnlab.churn) ]
+    [
+      ("fig7", E.Fig7.fig7);
+      ("fig6a", E.Fig6.fig6a);
+      ("churn", E.Churnlab.churn);
+      ("services", E.Serviceslab.services);
+    ]
 
 let () =
   Alcotest.run "rofl_pool"
