@@ -731,6 +731,208 @@ let services_bench (scale : E.Common.scale) quick =
   print_newline ();
   rows
 
+(* ---------------- alpha-parallel lookup throughput ---------------- *)
+
+(* Lookups/sec of the α-parallel register file at α ∈ {1, 2, 4} over one
+   bootstrapped ring with pointer caches enabled, so the diversified branch
+   starts are live.  α=1 is gated byte-identical to the sequential
+   [Proto_batch] walk (status, owner, hops, latency) and α>1 is gated to
+   the sequential verdict with an empty freelist — a throughput number from
+   a wrong or slot-leaking engine is worthless.  Rows report the
+   duplicate-work price alongside the rate: wasted ring hops per lookup is
+   what redundancy costs, and the gate keeps it a tracked number. *)
+
+type alpha_row = {
+  al_name : string;
+  al_alpha : int;
+  al_lookups : int;              (* lookups per timed run *)
+  al_ns_per_lookup : float;
+  al_words_per_lookup : float;
+  al_lookups_per_s : float;
+  al_wasted_per_lookup : float;  (* losing-branch ring hops per lookup *)
+}
+
+let alpha_bench (scale : E.Common.scale) quick =
+  let open Bechamel in
+  let open Toolkit in
+  let module Id = Rofl_idspace.Id in
+  let module Isp = Rofl_topology.Isp in
+  let module Proto = Rofl_proto.Proto in
+  let module Proto_batch = Rofl_dataplane.Proto_batch in
+  let module Alpha = Rofl_dataplane.Alpha in
+  let gate_fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "alpha bench: EQUIVALENCE GATE FAILED: %s\n" s;
+        exit 1)
+      fmt
+  in
+  let rng = Rofl_util.Prng.create (scale.E.Common.seed + 91) in
+  let profile = if quick then Isp.as3967 else Isp.as1239 in
+  let profile =
+    if List.mem profile scale.E.Common.isps then profile
+    else List.hd scale.E.Common.isps
+  in
+  let isp = Isp.generate rng profile in
+  let proto =
+    Proto.create
+      ~rng:(Rofl_util.Prng.create (scale.E.Common.seed + 92))
+      ~cfg:{ Proto.default_config with Proto.pcache_capacity = 8 }
+      ~bootstrap_hosts:(if quick then 2_000 else 10_000)
+      isp.Isp.graph
+  in
+  let pn = Rofl_topology.Graph.n isp.Isp.graph in
+  let members = Array.of_list (Proto.members proto) in
+  let total = if quick then 2048 else 8192 in
+  let from = Array.init total (fun k -> k * 31 mod pn) in
+  let targets =
+    Array.init total (fun k ->
+        if k mod 4 = 3 then Id.random rng
+        else members.(k * 11 mod Array.length members))
+  in
+  (* Gate 1: α=1 must be byte-identical to the sequential register file. *)
+  let pb = Proto_batch.create ~hint:total proto in
+  let a1 = Alpha.create ~hint:total ~alpha:1 proto in
+  for k = 0 to total - 1 do
+    ignore (Proto_batch.stage pb ~from:from.(k) ~target:targets.(k));
+    ignore (Alpha.stage a1 ~from:from.(k) ~target:targets.(k))
+  done;
+  Proto_batch.run pb;
+  Alpha.run a1;
+  for k = 0 to total - 1 do
+    if
+      Proto_batch.resolved pb k <> Alpha.resolved a1 k
+      || Proto_batch.owner_router pb k <> Alpha.owner_router a1 k
+      || Proto_batch.ring_hops pb k <> Alpha.ring_hops a1 k
+      || Proto_batch.link_hops pb k <> Alpha.link_hops a1 k
+      || Proto_batch.latency_ms pb k <> Alpha.latency_ms a1 k
+      || Alpha.wasted_hops a1 k <> 0
+    then gate_fail "alpha=1 diverges from Proto_batch at lookup %d" k
+  done;
+  (* Gate 2: any α agrees with the sequential verdict; freelist drains. *)
+  let gate = min 256 total in
+  let files =
+    List.map
+      (fun alpha -> (alpha, Alpha.create ~hint:total ~alpha proto))
+      [ 1; 2; 4 ]
+  in
+  List.iter
+    (fun (alpha, ab) ->
+      Alpha.clear ab;
+      for k = 0 to total - 1 do
+        ignore (Alpha.stage ab ~from:from.(k) ~target:targets.(k))
+      done;
+      Alpha.run ab;
+      if Alpha.slots_in_flight ab <> 0 then
+        gate_fail "alpha=%d stranded %d branch slot(s)" alpha
+          (Alpha.slots_in_flight ab);
+      for k = 0 to gate - 1 do
+        let seq = Proto.lookup_owner proto ~from:from.(k) targets.(k) in
+        let same =
+          match (seq, Alpha.resolved ab k) with
+          | Some owner, true -> Id.equal owner (Alpha.owner_id ab k)
+          | None, false -> true
+          | _ -> false
+        in
+        if not same then
+          gate_fail "alpha=%d verdict diverges from sequential at lookup %d"
+            alpha k
+      done)
+    files;
+  (* Duplicate-work price, measured outside the timed loop: one more full
+     run per file, the wasted-ledger delta divided down to per-lookup. *)
+  let wasted_per_lookup =
+    List.map
+      (fun (alpha, ab) ->
+        let w0 = Alpha.total_wasted_hops ab in
+        Alpha.clear ab;
+        for k = 0 to total - 1 do
+          ignore (Alpha.stage ab ~from:from.(k) ~target:targets.(k))
+        done;
+        Alpha.run ab;
+        ( alpha,
+          float_of_int (Alpha.total_wasted_hops ab - w0) /. float_of_int total ))
+      files
+  in
+  Printf.printf
+    "equivalence gates passed: %d byte-identity walks at alpha=1, %d verdicts \
+     per alpha\n"
+    total gate;
+  let tests =
+    List.map
+      (fun (alpha, ab) ->
+        Test.make ~name:(Printf.sprintf "alpha-%d" alpha)
+          (Staged.stage (fun () ->
+               Alpha.clear ab;
+               for k = 0 to total - 1 do
+                 ignore (Alpha.stage ab ~from:from.(k) ~target:targets.(k))
+               done;
+               Alpha.run ab)))
+      files
+  in
+  let test = Test.make_grouped ~name:"alpha" ~fmt:"%s/%s" tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances test in
+  let clock_tbl = Analyze.all ols Instance.monotonic_clock raw in
+  let alloc_tbl = Analyze.all ols Instance.minor_allocated raw in
+  let estimate tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some o -> (match Analyze.OLS.estimates o with Some (e :: _) -> Some e | _ -> None)
+    | None -> None
+  in
+  let rows =
+    Hashtbl.fold (fun name _ acc -> name :: acc) clock_tbl []
+    |> List.sort compare
+    |> List.map (fun name ->
+           let short =
+             match String.index_opt name '/' with
+             | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+             | None -> name
+           in
+           let alpha =
+             match String.rindex_opt short '-' with
+             | Some i ->
+               (match
+                  int_of_string_opt
+                    (String.sub short (i + 1) (String.length short - i - 1))
+                with
+               | Some a -> a
+               | None -> 1)
+             | None -> 1
+           in
+           let ns_run = match estimate clock_tbl name with Some e -> e | None -> nan in
+           let w_run = match estimate alloc_tbl name with Some e -> e | None -> nan in
+           let l = float_of_int total in
+           {
+             al_name = short;
+             al_alpha = alpha;
+             al_lookups = total;
+             al_ns_per_lookup = ns_run /. l;
+             al_words_per_lookup = w_run /. l;
+             al_lookups_per_s = (if ns_run > 0.0 then l /. (ns_run *. 1e-9) else nan);
+             al_wasted_per_lookup =
+               (match List.assoc_opt alpha wasted_per_lookup with
+               | Some w -> w
+               | None -> nan);
+           })
+  in
+  Printf.printf
+    "== Alpha-parallel lookup throughput (%s, %d lookups per run, gates \
+     passed) ==\n"
+    profile.Isp.profile_name total;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-24s %12.0f lookups/s %10.1f ns/lookup %10.3f w/lookup %8.2f wasted \
+         hops/lookup\n"
+        r.al_name r.al_lookups_per_s r.al_ns_per_lookup r.al_words_per_lookup
+        r.al_wasted_per_lookup)
+    rows;
+  print_newline ();
+  rows
+
 (* ---------------- driver ---------------- *)
 
 let json_escape s =
@@ -749,7 +951,7 @@ let json_escape s =
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
 
 let write_bench_json ~path ~quick ~jobs ~seed timings shard_rows micro_rows
-    dataplane_rows services_rows =
+    dataplane_rows services_rows alpha_rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"scale\": \"%s\",\n" (if quick then "quick" else "full");
@@ -815,6 +1017,21 @@ let write_bench_json ~path ~quick ~jobs ~seed timings shard_rows micro_rows
         (json_float r.sv_words_per_resolution)
         (if i = List.length services_rows - 1 then "" else ","))
     services_rows;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"alpha\": {\n";
+  List.iteri
+    (fun i (r : alpha_row) ->
+      Printf.fprintf oc
+        "    \"%s\": {\"alpha\": %d, \"lookups\": %d, \"lookups_per_s\": %s, \
+         \"ns_per_lookup\": %s, \"minor_words_per_lookup\": %s, \
+         \"wasted_hops_per_lookup\": %s}%s\n"
+        (json_escape r.al_name) r.al_alpha r.al_lookups
+        (json_float r.al_lookups_per_s)
+        (json_float r.al_ns_per_lookup)
+        (json_float r.al_words_per_lookup)
+        (json_float r.al_wasted_per_lookup)
+        (if i = List.length alpha_rows - 1 then "" else ","))
+    alpha_rows;
   Printf.fprintf oc "  }\n}\n";
   close_out oc
 
@@ -849,12 +1066,15 @@ let field_value line field =
     float_of_string_opt (String.trim (String.sub rest 0 stop))
 
 (* Returns (micro rows: name * words/run, dataplane rows: name * words/lookup
-   * lookups/s, services rows: name * words/resolution * resolutions/s).  The
-   row kinds are told apart by which fields the line carries, so one baseline
-   file can hold all sections verbatim. *)
+   * lookups/s, services rows: name * words/resolution * resolutions/s, alpha
+   rows: the same pair as dataplane).  The row kinds are told apart by which
+   fields the line carries — alpha rows carry the same per-lookup fields as
+   dataplane rows plus a distinguishing ["alpha"] field, so that one is
+   tested first — and one baseline file can hold all sections verbatim. *)
 let baseline_rows path =
   let ic = open_in path in
   let micro = ref [] and dataplane = ref [] and services = ref [] in
+  let alpha = ref [] in
   (try
      while true do
        let line = String.trim (input_line ic) in
@@ -867,7 +1087,10 @@ let baseline_rows path =
              ( field_value line "\"minor_words_per_lookup\":",
                field_value line "\"lookups_per_s\":" )
            with
-           | Some w, Some rate -> dataplane := (name, w, rate) :: !dataplane
+           | Some w, Some rate ->
+             if field_value line "\"alpha\":" <> None then
+               alpha := (name, w, rate) :: !alpha
+             else dataplane := (name, w, rate) :: !dataplane
            | _ -> (
              match
                ( field_value line "\"minor_words_per_resolution\":",
@@ -882,7 +1105,7 @@ let baseline_rows path =
      done
    with End_of_file -> ());
   close_in ic;
-  (List.rev !micro, List.rev !dataplane, List.rev !services)
+  (List.rev !micro, List.rev !dataplane, List.rev !services, List.rev !alpha)
 
 (* Fail when a gated row allocates >25% more minor words per run than the
    baseline.  The +0.5-word slack keeps allocation-free rows (baseline 0)
@@ -962,6 +1185,34 @@ let check_services ~baseline rows =
     baseline;
   !failures
 
+(* Alpha rows gate words/lookup (25% + slack) and a 50%-of-baseline
+   lookups/sec floor, exactly like the dataplane: losing the allocation-free
+   walk or the register-reuse discipline at α>1 costs integer factors, which
+   the margin catches through CI scheduler noise. *)
+let check_alpha ~baseline rows =
+  let failures = ref 0 in
+  List.iter
+    (fun (name, base_w, base_rate) ->
+      match List.find_opt (fun (r : alpha_row) -> r.al_name = name) rows with
+      | None ->
+        Printf.printf "alpha-gate: %-24s MISSING from this run\n" name;
+        incr failures
+      | Some r ->
+        let w_limit = (base_w *. 1.25) +. 0.5 in
+        let rate_floor = base_rate *. 0.5 in
+        let w_ok = r.al_words_per_lookup <= w_limit in
+        let rate_ok = r.al_lookups_per_s >= rate_floor in
+        Printf.printf
+          "alpha-gate: %-24s %8.3f w/lookup (limit %8.3f) %12.0f lookups/s \
+           (floor %12.0f) %s\n"
+          name r.al_words_per_lookup w_limit r.al_lookups_per_s rate_floor
+          (if w_ok && rate_ok then "ok"
+           else if w_ok then "FAIL(throughput)"
+           else "FAIL(alloc)");
+        if not (w_ok && rate_ok) then incr failures)
+    baseline;
+  !failures
+
 let () =
   Rofl_util.Logging.setup ();
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1001,7 +1252,8 @@ let () =
   let wanted =
     match args with
     | [] ->
-      List.map (fun (n, _, _) -> n) targets @ [ "shards"; "micro"; "dataplane"; "services" ]
+      List.map (fun (n, _, _) -> n) targets
+      @ [ "shards"; "micro"; "dataplane"; "services"; "alpha" ]
     | _ -> args
   in
   Printf.printf "ROFL reproduction benchmarks (%s scale, seed %d, %d jobs)\n\n"
@@ -1012,6 +1264,7 @@ let () =
   let shard_rows = ref [] in
   let dataplane_rows = ref [] in
   let services_rows = ref [] in
+  let alpha_rows = ref [] in
   List.iter
     (fun name ->
       if name = "micro" then begin
@@ -1034,6 +1287,11 @@ let () =
         services_rows := rows;
         timings := ("services", cost) :: !timings
       end
+      else if name = "alpha" then begin
+        let rows, cost = measure (fun () -> alpha_bench scale quick) in
+        alpha_rows := rows;
+        timings := ("alpha", cost) :: !timings
+      end
       else begin
         match List.find_opt (fun (n, _, _) -> n = name) targets with
         | Some (_, desc, f) ->
@@ -1054,7 +1312,7 @@ let () =
     wanted;
   write_bench_json ~path:"BENCH.json" ~quick ~jobs:(E.Common.jobs ())
     ~seed:scale.E.Common.seed (List.rev !timings) !shard_rows !micro_rows
-    !dataplane_rows !services_rows;
+    !dataplane_rows !services_rows !alpha_rows;
   match !check_alloc_path with
   | None -> ()
   | Some path ->
@@ -1062,7 +1320,7 @@ let () =
       Printf.eprintf "--check-alloc needs the micro target in the run\n";
       exit 2
     end;
-    let baseline, dp_baseline, sv_baseline = baseline_rows path in
+    let baseline, dp_baseline, sv_baseline, al_baseline = baseline_rows path in
     if baseline = [] then begin
       Printf.eprintf "--check-alloc: no rows parsed from %s (one \"name\": {...\"minor_words_per_run\": N} per line)\n" path;
       exit 2
@@ -1089,6 +1347,16 @@ let () =
         failures
       end
       else failures + check_services ~baseline:sv_baseline !services_rows
+    in
+    let failures =
+      if !alpha_rows = [] then begin
+        if al_baseline <> [] then
+          Printf.printf
+            "alpha-gate: skipped (%d baseline row(s), alpha target not run)\n"
+            (List.length al_baseline);
+        failures
+      end
+      else failures + check_alpha ~baseline:al_baseline !alpha_rows
     in
     if failures > 0 then begin
       Printf.eprintf "alloc-gate: %d row(s) regressed vs %s\n" failures path;

@@ -33,6 +33,8 @@ let experiments : (string * string * (E.Common.scale -> Table.t list)) list =
     ("fig8b", "interdomain stretch CDF vs fingers", E.Fig8.fig8b);
     ("fig8c", "interdomain stretch vs per-AS cache", E.Fig8.fig8c);
     ("churn", "steady-state SLOs under continuous churn", E.Churnlab.churn);
+    ("alpha-frontier", "lookup latency vs control traffic across alpha x tuning",
+     E.Churnlab.alpha_frontier);
     ("services", "service-discovery SLOs under flash crowds and republish storms",
      E.Serviceslab.services);
     ("megachurn", "million-host audited campaign on compact state", E.Churnlab.megachurn);
@@ -76,6 +78,14 @@ let hosts_opt =
   let doc = "Override the megachurn bootstrap population (default: 10^6, or 20k with --quick)." in
   Arg.(value & opt (some int) None & info [ "hosts" ] ~doc ~docv:"N")
 
+let alpha_opt =
+  let doc =
+    "Issue $(docv) parallel walk branches per lookup (first success wins, \
+     losers are cooperatively cancelled).  Unlike --jobs/--shards this \
+     changes results: redundancy trades control traffic for tail latency."
+  in
+  Arg.(value & opt (some int) None & info [ "alpha" ] ~doc ~docv:"N")
+
 let scale_of quick seed hosts =
   let base = if quick then E.Common.quick else E.Common.full in
   let base = match seed with None -> base | Some s -> { base with E.Common.seed = s } in
@@ -83,9 +93,10 @@ let scale_of quick seed hosts =
   | None -> base
   | Some h -> { base with E.Common.churn_bootstrap_hosts = max 0 h }
 
-let run_named names quick seed csv jobs shards hosts =
+let run_named names quick seed csv jobs shards hosts alpha =
   (match jobs with Some j -> E.Common.set_jobs j | None -> ());
   (match shards with Some s -> E.Common.set_shards s | None -> ());
+  (match alpha with Some a -> E.Common.set_alpha a | None -> ());
   let scale = scale_of quick seed hosts in
   let missing =
     List.filter (fun n -> not (List.exists (fun (m, _, _) -> m = n) experiments)) names
@@ -303,9 +314,10 @@ let doctor_cmd =
 let exp_cmd (cmd_name, desc, _) =
   let term =
     Term.(
-      const (fun quick seed csv jobs shards hosts ->
-          run_named [ cmd_name ] quick seed csv jobs shards hosts)
-      $ quick_flag $ seed_opt $ csv_opt $ jobs_opt $ shards_opt $ hosts_opt)
+      const (fun quick seed csv jobs shards hosts alpha ->
+          run_named [ cmd_name ] quick seed csv jobs shards hosts alpha)
+      $ quick_flag $ seed_opt $ csv_opt $ jobs_opt $ shards_opt $ hosts_opt
+      $ alpha_opt)
   in
   Cmd.v (Cmd.info cmd_name ~doc:desc) term
 
@@ -313,10 +325,11 @@ let all_cmd =
   let doc = "Run every experiment (figures, summary, ablations)." in
   let term =
     Term.(
-      const (fun quick seed csv jobs shards hosts ->
+      const (fun quick seed csv jobs shards hosts alpha ->
           run_named (List.map (fun (n, _, _) -> n) experiments) quick seed csv jobs
-            shards hosts)
-      $ quick_flag $ seed_opt $ csv_opt $ jobs_opt $ shards_opt $ hosts_opt)
+            shards hosts alpha)
+      $ quick_flag $ seed_opt $ csv_opt $ jobs_opt $ shards_opt $ hosts_opt
+      $ alpha_opt)
   in
   Cmd.v (Cmd.info "all" ~doc) term
 

@@ -1,0 +1,87 @@
+(** α-parallel register file for the batched data plane.
+
+    Same stage/run/read discipline as {!Proto_batch}, but every staged
+    lookup is walked by up to α concurrent greedy branches with
+    first-success semantics: branch 0 starts at the staged origin, extra
+    branches start from diversified pointers (pointer-cache entry closest
+    to the target, successor-list backups, predecessor).  The first branch
+    to reach the owner wins; live siblings are cooperatively cancelled and
+    their hops land in the duplicate-work ledger.
+
+    Branch registers are acquired from this file's slot pool when [run]
+    seeds the branches and released as branches win, die, or are
+    cancelled.  {!slots_in_flight} is the freelist invariant: it must read
+    0 after every run — a cancellation path that strands a slot is a bug.
+
+    Determinism: branch seeding and the win tie-break (lowest branch
+    index within the fixed per-pass draw order) depend only on staged
+    order and table state, so results are byte-identical at any
+    [--jobs]/[--shards]. *)
+
+type t
+
+val create : ?hint:int -> ?alpha:int -> Rofl_proto.Proto.t -> t
+(** [create ?hint ?alpha proto] sizes the file for about [hint] lookups
+    (default 16, growing by doubling) of [alpha] branches each (default 1,
+    which walks exactly like {!Proto_batch}).  Raises [Invalid_argument]
+    if [alpha < 1]. *)
+
+val proto : t -> Rofl_proto.Proto.t
+
+val alpha : t -> int
+
+val clear : t -> unit
+(** Forget staged lookups; registers and ledgers are retained. *)
+
+val stage : t -> from:int -> target:Rofl_idspace.Id.t -> int
+(** Stage one lookup; the returned index reads back its results after
+    {!run}. *)
+
+val length : t -> int
+
+val run : t -> unit
+(** Resolve every staged lookup with α-parallel walks.  Allocation-free on
+    the walk path; results persist until the next [run] or {!clear}. *)
+
+val resolved : t -> int -> bool
+
+val owner_id : t -> int -> Rofl_idspace.Id.t
+(** Raises [Invalid_argument] when the lookup did not resolve. *)
+
+val owner_router : t -> int -> int
+(** Hosting router of the owner, [-1] when unresolved. *)
+
+val winner_branch : t -> int -> int
+(** Which branch reached the owner first ([-1] when unresolved). *)
+
+val branches : t -> int -> int
+(** Branches actually seeded for this lookup (1 ≤ branches ≤ α — fewer
+    when the origin's tables offer no diversified start pointers). *)
+
+val ring_hops : t -> int -> int
+(** Ring hops taken by the winning branch (branch 0 when unresolved). *)
+
+val wasted_hops : t -> int -> int
+(** Ring hops burned by this lookup's losing branches — the
+    duplicate-work price of redundancy, disjoint from {!ring_hops}. *)
+
+val wasted_link_hops : t -> int -> int
+(** Link traversals burned by the losing branches — what message
+    accounting should charge on top of {!link_hops}. *)
+
+val link_hops : t -> int -> int
+
+val latency_ms : t -> int -> float
+
+val slots_in_flight : t -> int
+(** Branch slots acquired but never released by the last [run] — the
+    freelist invariant; always 0 unless the engine is broken. *)
+
+val cancellations : t -> int
+(** Cooperative cancellations issued during the last [run]. *)
+
+val total_cancellations : t -> int
+(** Cumulative across the file's lifetime. *)
+
+val total_wasted_hops : t -> int
+(** Cumulative losing-branch ring hops across the file's lifetime. *)

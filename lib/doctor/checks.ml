@@ -99,6 +99,27 @@ let proto_checks ?stale_grace_ms ~at_ms (p : Proto.t) =
             vw.v_succ_list
       | None -> ())
     views;
+  (* Pointer caches must respect their configured capacity: an entry count
+     past the cap means insert/evict bookkeeping broke. *)
+  if not (Proto.pcache_capacity_ok p) then
+    emit "pcache-capacity" "proto"
+      "a router's pointer cache exceeds its configured capacity (%d entries total)"
+      (Proto.pcache_entries p);
+  (* Network-size estimation drift: on a converged ring of reasonable size,
+     the median of the per-node density estimates must land within a small
+     factor of the true membership.  Per-node samples are Erlang-noisy
+     (individual nodes can be off by 8x), so only the median is checked —
+     it is also the only quantity the auto-tuner consumes.  Gated on
+     convergence and >= 64 members: tiny or mid-repair rings estimate from
+     stale spans and legitimately miss. *)
+  let n_members = List.length (Proto.members p) in
+  if n_members >= 64 && Proto.ring_converged p then begin
+    let nhat = Proto.estimate_n p in
+    let actual = float_of_int n_members in
+    if nhat < actual /. 4.0 || nhat > actual *. 4.0 then
+      emit "nhat-drift" "proto"
+        "median size estimate %.0f vs %d members (beyond factor 4)" nhat n_members
+  end;
   (* A stale successor window still open past the repair grace means
      detection/failover stopped working (e.g. the stabilizer died). *)
   (match stale_grace_ms with

@@ -28,8 +28,12 @@ val proto_checks :
     agreement (["oracle-agreement"], ["duplicate-resident"]), successor-list
     hygiene (["succ-list-self"], ["succ-list-order"], ["succ-list-dup"]),
     loopy-ring inversion evidence (["loopy-evidence"]: a backup strictly
-    closer clockwise than the successor), and — when [stale_grace_ms] is
-    given — stale successor windows open past the grace (["stale-grace"]). *)
+    closer clockwise than the successor), pointer-cache capacity
+    (["pcache-capacity"]), network-size-estimate sanity (["nhat-drift"]:
+    on a converged ring of ≥ 64 members the median estimate must land
+    within factor 4 of the membership — only the median, per-node samples
+    are Erlang-noisy), and — when [stale_grace_ms] is given — stale
+    successor windows open past the grace (["stale-grace"]). *)
 
 val pointer_cache_checks :
   at_ms:float -> subject:string -> Rofl_core.Pointer_cache.t -> violation list

@@ -58,6 +58,9 @@ type report = {
   reconverge_ms : float;      (* time from the last churn event to convergence *)
   failovers : int;
   rpc_timeouts : int;
+  wasted_hops : int;          (* losing α-branch traversals (duplicate work) *)
+  cancellations : int;        (* cooperative branch cancellations issued *)
+  auto_state : (float * float * int) option; (* N̂, period mult, succ-list cap *)
   ctrl_msgs : (string * int) list; (* per category, sorted *)
   total_msgs : int;
   msgs_per_event : float;
@@ -300,6 +303,9 @@ let run_events ~seed ~name ~graph ~gateways ?audit ?(shards = 1) ?pool (p : para
        | None -> Float.nan);
     failovers = s.Proto.failovers;
     rpc_timeouts = s.Proto.rpc_timeouts;
+    wasted_hops = Rofl_netsim.Metrics.wasted_hops (Proto.metrics proto);
+    cancellations = Rofl_netsim.Metrics.cancellations (Proto.metrics proto);
+    auto_state = Proto.auto_state proto;
     ctrl_msgs = Rofl_netsim.Metrics.categories (Proto.metrics proto);
     total_msgs = s.Proto.messages;
     msgs_per_event =
@@ -356,6 +362,11 @@ let params_to_strings (p : params) =
     ("stuck_wait_ms", f c.Proto.stuck_wait_ms);
     ("stuck_wait_limit", i c.Proto.stuck_wait_limit);
     ("untwist", b c.Proto.untwist);
+    ("lookup_alpha", i c.Proto.lookup_alpha);
+    ("pcache_capacity", i c.Proto.pcache_capacity);
+    ("pcache_refresh_ttl_ms", f c.Proto.pcache_refresh_ttl_ms);
+    ("pcache_refresh_budget", i c.Proto.pcache_refresh_budget);
+    ("stabilize_auto", b c.Proto.stabilize_auto);
   ]
 
 let params_of_strings kvs =
@@ -428,5 +439,20 @@ let params_of_strings kvs =
       | "untwist" ->
         let* x = bl k v in
         Ok { p with proto_cfg = { c with Proto.untwist = x } }
+      | "lookup_alpha" ->
+        let* x = it k v in
+        Ok { p with proto_cfg = { c with Proto.lookup_alpha = x } }
+      | "pcache_capacity" ->
+        let* x = it k v in
+        Ok { p with proto_cfg = { c with Proto.pcache_capacity = x } }
+      | "pcache_refresh_ttl_ms" ->
+        let* x = fl k v in
+        Ok { p with proto_cfg = { c with Proto.pcache_refresh_ttl_ms = x } }
+      | "pcache_refresh_budget" ->
+        let* x = it k v in
+        Ok { p with proto_cfg = { c with Proto.pcache_refresh_budget = x } }
+      | "stabilize_auto" ->
+        let* x = bl k v in
+        Ok { p with proto_cfg = { c with Proto.stabilize_auto = x } }
       | _ -> Error (Printf.sprintf "unknown param %S" k))
     (Ok default_params) kvs

@@ -60,6 +60,13 @@ type report = {
   reconverge_ms : float;      (** last churn event -> convergence; NaN if not *)
   failovers : int;
   rpc_timeouts : int;
+  wasted_hops : int;
+  (** link traversals charged by losing α-branches and superseded attempts —
+      the duplicate-work price of parallel lookups (0 at α = 1) *)
+  cancellations : int;        (** cooperative branch cancellations issued *)
+  auto_state : (float * float * int) option;
+  (** final self-tuning state when [stabilize_auto]: median network-size
+      estimate N̂, stabilisation period multiplier, successor-list cap *)
   ctrl_msgs : (string * int) list; (** per-category link traversals, sorted *)
   total_msgs : int;
   msgs_per_event : float;     (** total messages per churn-trace event *)

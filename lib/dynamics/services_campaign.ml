@@ -97,6 +97,8 @@ type report = {
   republishes : int;
   publish_msgs : int;          (* link traversals of publish walks *)
   resolve_msgs : int;          (* link traversals of miss resolutions *)
+  resolve_wasted : int;        (* ring hops burned by losing α-branches *)
+  resolve_cancels : int;       (* cooperative branch cancellations *)
   expired : int;               (* records dropped by TTL sweeps *)
   served_expired : int;        (* must be 0 without the fault knob *)
   records_live : int;          (* placed records at the end *)
@@ -320,6 +322,8 @@ let run_graph ~seed ~name ~graph ~gateways ?audit ?(shards = 1) ?pool (p : param
     republishes = Metrics.get m "svc-republish";
     publish_msgs;
     resolve_msgs;
+    resolve_wasted = Directory.resolve_wasted_hops dir;
+    resolve_cancels = Directory.resolve_cancellations dir;
     expired = Metrics.get m "svc-expired";
     served_expired = Directory.served_expired_total dir;
     records_live = Provider_store.live (Directory.store dir);

@@ -61,7 +61,10 @@ type report = {
   miss_p95_ms : float;         (** over owner-walk resolutions only *)
   republishes : int;
   publish_msgs : int;          (** link traversals of publish walks *)
-  resolve_msgs : int;          (** link traversals of miss resolutions *)
+  resolve_msgs : int;          (** link traversals of miss resolutions,
+                                   losing α-branch traffic included *)
+  resolve_wasted : int;        (** ring hops burned by losing α-branches *)
+  resolve_cancels : int;       (** cooperative branch cancellations issued *)
   expired : int;               (** records dropped by TTL sweeps *)
   served_expired : int;        (** must be 0 without the serve-stale knob *)
   records_live : int;

@@ -8,6 +8,18 @@ module Audit = Rofl_doctor.Audit
    own topology, own derived streams), so the whole grid fans over the
    domain pool with byte-identical tables at any --jobs setting. *)
 
+(* The --alpha knob rides into the protocol config here: α=1 leaves the
+   config exactly at the defaults (pointer cache off), so existing tables
+   and goldens are unchanged unless the knob is turned. *)
+let proto_cfg_at ~period_ms ~alpha ~auto =
+  {
+    Proto.default_config with
+    Proto.stabilize_period_ms = period_ms;
+    lookup_alpha = alpha;
+    pcache_capacity = (if alpha > 1 then 8 else 0);
+    stabilize_auto = auto;
+  }
+
 let params_of (scale : Common.scale) ~lifetime_s ~period_ms =
   {
     Campaign.default_params with
@@ -17,7 +29,7 @@ let params_of (scale : Common.scale) ~lifetime_s ~period_ms =
     move_fraction = 0.2;
     crash_fraction = 0.2;
     lookup_rate_per_s = scale.Common.churn_lookup_per_s;
-    proto_cfg = { Proto.default_config with Proto.stabilize_period_ms = period_ms };
+    proto_cfg = proto_cfg_at ~period_ms ~alpha:(Common.alpha ()) ~auto:false;
   }
 
 let metric_columns =
@@ -129,6 +141,85 @@ let churn (scale : Common.scale) =
     (fun period r -> Table.add_row t2 (Printf.sprintf "%g" period :: metric_cells r))
     scale.Common.churn_periods_ms sweep_reports;
   [ t1; t2 ]
+
+(* ---- α-parallel lookup frontier ---------------------------------------- *)
+
+(* The latency / control-traffic frontier of redundant lookups: α parallel
+   walk branches per lookup, crossed with static vs self-tuned
+   stabilisation, at the highest churn rate of the scale.  Every cell runs
+   the same pointer-cache configuration (entries feed the diversified
+   branch starts at α > 1 and the refresh manager re-validates them), so
+   the only axes are α and the tuning mode.  Cells are independent
+   campaigns and fan over the pool; tables are byte-identical at any
+   --jobs/--shards. *)
+
+let frontier_columns =
+  metric_columns @ [ "wasted"; "cancels"; "N-hat"; "mult"; "sl" ]
+
+let frontier_cells (r : Campaign.report) =
+  metric_cells r
+  @ [
+      string_of_int r.Campaign.wasted_hops;
+      string_of_int r.Campaign.cancellations;
+    ]
+  @ (match r.Campaign.auto_state with
+     | None -> [ "-"; "-"; "-" ]
+     | Some (nhat, mult, sl) ->
+       [ Printf.sprintf "%.0f" nhat; Printf.sprintf "%.2f" mult;
+         string_of_int sl ])
+
+let alpha_frontier (scale : Common.scale) =
+  let default_period = Proto.default_config.Proto.stabilize_period_ms in
+  let lifetime_s =
+    List.fold_left Float.min Float.infinity scale.Common.churn_lifetimes_s
+  in
+  let alphas = [ 1; 2; 3; 4 ] in
+  let cells =
+    List.concat_map
+      (fun profile ->
+        List.concat_map
+          (fun auto -> List.map (fun alpha -> (profile, alpha, auto)) alphas)
+          [ false; true ])
+      scale.Common.isps
+  in
+  let reports =
+    Common.parallel_map
+      (fun (profile, alpha, auto) ->
+        let base = params_of scale ~lifetime_s ~period_ms:default_period in
+        let p =
+          {
+            base with
+            Campaign.proto_cfg =
+              {
+                (proto_cfg_at ~period_ms:default_period ~alpha ~auto) with
+                (* one cache config for every cell, so α and tuning are the
+                   only axes — α=1 rows carry the same refresh traffic *)
+                Proto.pcache_capacity = 8;
+              };
+          }
+        in
+        Campaign.run ~seed:scale.Common.seed ~profile ~shards:(Common.shards ())
+          ~pool:(Common.pool ()) p)
+      cells
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Alpha frontier: lookup latency vs control traffic, alpha x \
+            stabilisation tuning (%g s mean lifetime, stabilise every %.0f ms \
+            static, pointer cache 8/router)"
+           lifetime_s default_period)
+      ~columns:("ISP" :: "alpha" :: "stab" :: frontier_columns)
+  in
+  List.iter2
+    (fun (profile, alpha, auto) r ->
+      Table.add_row t
+        (profile.Isp.profile_name :: string_of_int alpha
+         :: (if auto then "auto" else "static")
+         :: frontier_cells r))
+    cells reports;
+  [ t ]
 
 (* ---- mega-churn: the compact-state acceptance run ---------------------- *)
 

@@ -18,6 +18,14 @@
 
 val churn : Common.scale -> Rofl_util.Table.t list
 
+val alpha_frontier : Common.scale -> Rofl_util.Table.t list
+(** The α-parallel lookup frontier: one campaign per (ISP × α ∈ 1..4 ×
+    static/auto stabilisation) at the scale's highest churn rate, every
+    cell with the same pointer-cache configuration.  Rows carry the usual
+    SLO columns plus the duplicate-work ledger (wasted hops, cooperative
+    cancellations) and the final self-tuning state (median N̂, period
+    multiplier, successor-list cap) for auto rows. *)
+
 val megachurn : Common.scale -> Rofl_util.Table.t list
 (** The compact-state acceptance run: one audited campaign over
     [scale.churn_bootstrap_hosts] hosts spliced in at time zero (10^6 at

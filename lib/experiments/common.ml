@@ -138,6 +138,15 @@ let shards () = !shards_setting
 
 let set_shards n = shards_setting := max 1 n
 
+(* Lookup parallelism (--alpha).  Unlike jobs/shards this IS experiment
+   identity — α changes which walks run and what they cost — so campaign
+   runners thread it into their protocol/directory configs explicitly. *)
+let alpha_setting = ref 1
+
+let alpha () = !alpha_setting
+
+let set_alpha n = alpha_setting := max 1 n
+
 (* Memo tables are shared across figure modules and now across domains: a
    missing entry is built outside the lock (concurrent requests for *other*
    keys proceed), with a [Building] marker so a second request for the same

@@ -55,6 +55,14 @@ val set_shards : int -> unit
 
 val shards : unit -> int
 
+val set_alpha : int -> unit
+(** Parallel lookup branches for campaign engines ([--alpha], clamped to at
+    least 1, the default).  Unlike jobs/shards this is experiment identity,
+    not execution configuration: α changes which walks run and what they
+    cost, so tables at different α legitimately differ. *)
+
+val alpha : unit -> int
+
 val pool : unit -> Rofl_util.Pool.t
 (** The shared domain pool (built lazily at the current jobs setting) —
     what campaign runners hand to the shard coordinator so shard windows

@@ -29,7 +29,8 @@ let params_of (scale : Common.scale) ~capacity ~storm =
     dir_cfg =
       {
         Directory.default_config with
-        Directory.cache = { Resolver.default_config with Resolver.capacity = capacity };
+        Directory.alpha = Common.alpha ();
+        cache = { Resolver.default_config with Resolver.capacity = capacity };
       };
   }
 

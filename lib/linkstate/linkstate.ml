@@ -209,6 +209,24 @@ let settle_to t src dst =
   advance t st ~until:(Some dst);
   st
 
+(* Allocation-free settle for the hot pricing path: on a warm tree the
+   [advance] entry alone costs ~10 words ([stop_at]/[loop] closures built
+   before the already-done check, plus the [Some dst] witness), and
+   [state]'s [find_opt] adds another option — the walk engines price every
+   ring hop through these queries, so the boxes dominate their allocation
+   profile.  The settled check is the same condition [advance] tests. *)
+let settled_state t src dst =
+  let st =
+    match Hashtbl.find t.spf_cache src with
+    | st -> st
+    | exception Not_found ->
+      let st = new_spf t src in
+      Hashtbl.replace t.spf_cache src st;
+      st
+  in
+  if not (st.complete || st.settled.(dst)) then advance t st ~until:(Some dst);
+  st
+
 (* -- targeted invalidation ----------------------------------------------
 
    The old engine bumped a global version on every event, discarding all
@@ -348,6 +366,38 @@ let distance_hops t src dst =
   else begin
     let st = settle_to t src dst in
     if st.dist.(dst) < infinity then Some st.hops.(dst) else None
+  end
+
+(* Unboxed twins of [distance_to]/[distance_hops] for per-hop pricing:
+   same answers, sentinel returns (NaN / -1) instead of options. *)
+let distance_to_nan t src dst =
+  if not (router_alive t src && router_alive t dst) then nan
+  else begin
+    let st = settled_state t src dst in
+    if st.dist.(dst) < infinity then st.dist.(dst) else nan
+  end
+
+let distance_hops_count t src dst =
+  if not (router_alive t src && router_alive t dst) then -1
+  else begin
+    let st = settled_state t src dst in
+    if st.dist.(dst) < infinity then st.hops.(dst) else -1
+  end
+
+(* Fused pricing for the walk engines: one settle per hop, the latency
+   accumulated straight into a float-array register (never crossing a
+   module boundary as a boxed return), the hop count back as an immediate.
+   This is the only truly allocation-free way to price a hop — even the
+   NaN-sentinel form boxes its float on return. *)
+let price_hop_into t src dst ~latency i =
+  if not (router_alive t src && router_alive t dst) then -1
+  else begin
+    let st = settled_state t src dst in
+    if st.dist.(dst) < infinity then begin
+      latency.(i) <- latency.(i) +. st.dist.(dst);
+      st.hops.(dst)
+    end
+    else -1
   end
 
 let distance_latency = distance_to

@@ -64,6 +64,21 @@ val distance_to : t -> int -> int -> float option
 val distance_hops : t -> int -> int -> int option
 (** Hop length of {!path} (0 when [src = dst]). *)
 
+val distance_to_nan : t -> int -> int -> float
+(** Unboxed {!distance_to} for per-hop pricing loops: same answer, NaN
+    instead of [None].  On a warm tree this allocates nothing, where the
+    option form costs ~17 words per call in closures and boxes. *)
+
+val distance_hops_count : t -> int -> int -> int
+(** Unboxed {!distance_hops}: -1 instead of [None]. *)
+
+val price_hop_into : t -> int -> int -> latency:float array -> int -> int
+(** [price_hop_into t src dst ~latency i] adds the src→dst latency into
+    [latency.(i)] and returns the hop count of the same path, [-1] (and no
+    write) when unreachable.  Fuses {!distance_to_nan} and
+    {!distance_hops_count} into one settle with no boxed return — the
+    walk engines price every ring hop through this, allocation-free. *)
+
 val distance_latency : t -> int -> int -> float option
 (** Total latency of {!path}. *)
 

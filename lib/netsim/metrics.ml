@@ -1,11 +1,18 @@
 type t = {
   counts : (string, int ref) Hashtbl.t;
   load : int array;
+  mutable wasted_hops : int;
+  mutable cancellations : int;
 }
 
 let create ~routers =
   if routers < 0 then invalid_arg "Metrics.create: negative router count";
-  { counts = Hashtbl.create 16; load = Array.make routers 0 }
+  {
+    counts = Hashtbl.create 16;
+    load = Array.make routers 0;
+    wasted_hops = 0;
+    cancellations = 0;
+  }
 
 let counter m category =
   match Hashtbl.find_opt m.counts category with
@@ -59,12 +66,24 @@ let categories m =
 
 let router_load m = Array.copy m.load
 
+let charge_wasted m hops = m.wasted_hops <- m.wasted_hops + hops
+
+let charge_cancelled m k = m.cancellations <- m.cancellations + k
+
+let wasted_hops m = m.wasted_hops
+
+let cancellations m = m.cancellations
+
 let reset m =
   Hashtbl.reset m.counts;
-  Array.fill m.load 0 (Array.length m.load) 0
+  Array.fill m.load 0 (Array.length m.load) 0;
+  m.wasted_hops <- 0;
+  m.cancellations <- 0
 
 let merge_into ~dst src =
   if Array.length dst.load <> Array.length src.load then
     invalid_arg "Metrics.merge_into: router table size mismatch";
   Hashtbl.iter (fun k r -> incr dst k !r) src.counts;
-  Array.iteri (fun i v -> dst.load.(i) <- dst.load.(i) + v) src.load
+  Array.iteri (fun i v -> dst.load.(i) <- dst.load.(i) + v) src.load;
+  dst.wasted_hops <- dst.wasted_hops + src.wasted_hops;
+  dst.cancellations <- dst.cancellations + src.cancellations

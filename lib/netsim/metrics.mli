@@ -46,6 +46,20 @@ val categories : t -> (string * int) list
 val router_load : t -> int array
 (** Per-router message-traversal counts (copy). *)
 
+val charge_wasted : t -> int -> unit
+(** Duplicate-work accounting for α-parallel lookups: ring hops walked by a
+    losing branch whose answer was discarded.  Kept apart from the message
+    categories — the hops were already charged there when they happened;
+    this ledger answers "how much of that traffic was redundancy?". *)
+
+val charge_cancelled : t -> int -> unit
+(** Count cooperative cancellations issued to in-flight sibling branches
+    once a lookup's first branch succeeds. *)
+
+val wasted_hops : t -> int
+
+val cancellations : t -> int
+
 val reset : t -> unit
 
 val merge_into : dst:t -> t -> unit

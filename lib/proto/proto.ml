@@ -23,6 +23,11 @@ type config = {
   stuck_wait_ms : float;
   stuck_wait_limit : int;
   untwist : bool;
+  lookup_alpha : int;
+  pcache_capacity : int;
+  pcache_refresh_ttl_ms : float;
+  pcache_refresh_budget : int;
+  stabilize_auto : bool;
 }
 
 let default_config =
@@ -40,6 +45,11 @@ let default_config =
     stuck_wait_ms = 5.0;
     stuck_wait_limit = 3;
     untwist = true;
+    lookup_alpha = 1;
+    pcache_capacity = 0;
+    pcache_refresh_ttl_ms = 400.0;
+    pcache_refresh_budget = 4;
+    stabilize_auto = false;
   }
 
 type message =
@@ -79,8 +89,9 @@ type message =
       chasing : pointer option;
       avoid : Id.t list;
       waited : int;
+      hops : int; (** link traversals charged to this branch so far *)
     }
-  | Lookup_resp of { token : int; owner : pointer option }
+  | Lookup_resp of { token : int; owner : pointer option; hops : int }
 
 type stats = {
   messages : int;
@@ -111,10 +122,97 @@ type lookup_state = {
   lk_target : Id.t;
   lk_issued : float;
   mutable lk_attempts : int;
-  mutable lk_token : int;
+  mutable lk_token : int;      (* primary-branch token of the current attempt *)
+  mutable lk_tokens : int list; (* all branch tokens of the current attempt *)
+  mutable lk_outstanding : int; (* branches not yet answered this attempt *)
   mutable finished : bool;
   cb : lookup_outcome -> unit;
 }
+
+(* ---- per-router pointer cache -------------------------------------------
+
+   A flat fixed-capacity cache of owner pointers learned from lookup
+   responses: (identifier, hosting router, install time).  Deliberately not
+   [Rofl_core.Pointer_cache] — the α engine needs entry ages for the refresh
+   manager and allocation-free linear probes, and at the capacities used
+   here (tens of entries) a flat scan beats the ordered index.  Each cache
+   belongs to one router and is only mutated from that router's execution
+   context, so it shards exactly like the resident store. *)
+
+module Pcache = struct
+  type t = {
+    cap : int;
+    ids : Id.t array;
+    routers : int array;
+    stamp : float array;
+    mutable len : int;
+  }
+
+  let create cap dummy =
+    {
+      cap;
+      ids = Array.make (max cap 1) dummy;
+      routers = Array.make (max cap 1) (-1);
+      stamp = Array.make (max cap 1) 0.0;
+      len = 0;
+    }
+
+  let find c id =
+    let rec go i = if i >= c.len then -1 else if Id.equal c.ids.(i) id then i else go (i + 1) in
+    go 0
+
+  (* Evict the oldest entry (lowest stamp, ties to the lowest index) — a
+     deterministic stand-in for LRU that needs no recency links. *)
+  let insert c ~now id router =
+    if c.cap > 0 then begin
+      let i = find c id in
+      if i >= 0 then begin
+        c.routers.(i) <- router;
+        c.stamp.(i) <- now
+      end
+      else begin
+        let slot =
+          if c.len < c.cap then begin
+            let s = c.len in
+            c.len <- c.len + 1;
+            s
+          end
+          else begin
+            let oldest = ref 0 in
+            for j = 1 to c.len - 1 do
+              if c.stamp.(j) < c.stamp.(!oldest) then oldest := j
+            done;
+            !oldest
+          end
+        in
+        c.ids.(slot) <- id;
+        c.routers.(slot) <- router;
+        c.stamp.(slot) <- now
+      end
+    end
+
+  let remove_at c i =
+    (* Shift down to keep scan order deterministic under refreshes. *)
+    for j = i to c.len - 2 do
+      c.ids.(j) <- c.ids.(j + 1);
+      c.routers.(j) <- c.routers.(j + 1);
+      c.stamp.(j) <- c.stamp.(j + 1)
+    done;
+    c.len <- c.len - 1
+
+  (* The cached identifier closest to [target] (clockwise from the entry to
+     the target), i.e. the best diversified start for a greedy walk.
+     Returns the entry index, or -1.  Allocation-free. *)
+  let best_toward c ~target =
+    let best = ref (-1) in
+    for i = 0 to c.len - 1 do
+      if
+        !best < 0
+        || Id.compare_dist c.ids.(i) target c.ids.(!best) target < 0
+      then best := i
+    done;
+    !best
+end
 
 (* ---- stale-successor oracle: logged events, replayed at sync points ----
 
@@ -186,12 +284,23 @@ type t = {
   sh : shard_state array;
   pool : Pool.t option;
   oracle : oracle;
+  pcaches : Pcache.t array; (* per router; [||] when the cache is disabled *)
   mutable departs : (float * Id.t) list; (* oracle: departures, newest first *)
   mutable stab_on : bool;
   mutable rounds : int;
   mutable leaves_done : int;
   mutable moves_done : int;
   mutable crashes_done : int;
+  (* Self-tuning stabilisation (auto mode): the network-size estimate, the
+     EWMA churn-rate estimate it is normalised by, and the derived knobs. *)
+  mutable auto_nhat : float;     (* median per-resident N estimate *)
+  mutable auto_rate : float;     (* EWMA deaths per member per ms *)
+  mutable auto_mult : float;     (* period multiplier, 1..16 *)
+  mutable auto_sl_limit : int;   (* successor-list backup target *)
+  mutable auto_last_deaths : int;
+  mutable auto_last_ms : float;
+  mutable auto_rounds : int;
+  mutable refresh_on : bool;
 }
 
 (* Deterministic, well-spread default identifier per router.  A seeded PRNG
@@ -285,14 +394,23 @@ let create ~rng ?(cfg = default_config) ?(shards = 1) ?pool ?(bootstrap_hosts = 
     end
   done;
   let per_shard = ((n + bootstrap_hosts) / k) + 1 in
+  (* Auto mode sizes successor-list headroom from the bootstrap population:
+     the per-resident target is ~log2(N̂), so give the store room to grow
+     lists beyond the static knob as estimates come in. *)
+  let cap_list =
+    let static = max 0 (cfg.succ_list_len - 1) in
+    if not cfg.stabilize_auto then static
+    else
+      let m = float_of_int (n + bootstrap_hosts + 1) in
+      max static (int_of_float (ceil (log m /. log 2.0)))
+  in
   let sh =
     Array.init k (fun sx ->
         {
           sx;
           store =
-            Store.create ~routers:n
-              ~cap_list:(max 0 (cfg.succ_list_len - 1))
-              ~hint:(2 * per_shard) ~dummy:(router_label 0);
+            Store.create ~routers:n ~cap_list ~hint:(2 * per_shard)
+              ~dummy:(router_label 0);
           where = Hashtbl.create (max 16 (2 * per_shard));
           s_ls = Linkstate.create graph;
           s_metrics = Metrics.create ~routers:n;
@@ -327,12 +445,24 @@ let create ~rng ?(cfg = default_config) ?(shards = 1) ?pool ?(bootstrap_hosts = 
           omarks = Hashtbl.create 16;
           owindows = [];
         };
+      pcaches =
+        (if cfg.pcache_capacity > 0 then
+           Array.init n (fun _ -> Pcache.create cfg.pcache_capacity (router_label 0))
+         else [||]);
       departs = [];
       stab_on = false;
       rounds = 0;
       leaves_done = 0;
       moves_done = 0;
       crashes_done = 0;
+      auto_nhat = 0.0;
+      auto_rate = 0.0;
+      auto_mult = 1.0;
+      auto_sl_limit = max 0 (cfg.succ_list_len - 1);
+      auto_last_deaths = 0;
+      auto_last_ms = 0.0;
+      auto_rounds = 0;
+      refresh_on = false;
     }
   in
   (* Bootstrap shortcut: the identifier ring is spliced locally at time zero
@@ -523,13 +653,16 @@ let truncate_list n xs =
    can even contain the adopter.  Every adoption site funnels through this
    normaliser: drop self/succ, dedup, re-sort by distance from the new
    holder, truncate. *)
+let succ_list_limit t =
+  if t.cfg.stabilize_auto then t.auto_sl_limit else t.cfg.succ_list_len - 1
+
 let normalize_succ_list t ~self ?succ entries =
   entries
   |> List.filter (fun (i, _) ->
          (not (Id.equal i self))
          && (match succ with Some s -> not (Id.equal i s) | None -> true))
   |> List.sort_uniq (fun (a, _) (b, _) -> Id.compare_dist self a self b)
-  |> truncate_list (t.cfg.succ_list_len - 1)
+  |> truncate_list (succ_list_limit t)
 
 (* Deliver a message to a router after traversing the physical path there,
    charging one message per link under [cat].  A cross-shard destination is
@@ -573,6 +706,80 @@ let best_candidate t router ~target ?(exclude = []) () =
       if srouter >= 0 && srouter <> router then
         consider (Store.succ_rid store s) (`Remote srouter));
   !best
+
+let pcache_insert t router id orouter =
+  if Array.length t.pcaches > 0 then
+    Pcache.insert t.pcaches.(router) ~now:(now_at t router) id orouter
+
+let latency_between t a b =
+  if a = b then 0.0
+  else begin
+    let d = Linkstate.distance_to_nan (shd t a).s_ls a b in
+    if Float.is_nan d then 0.0 else d
+  end
+
+let link_hops_between t a b =
+  if a = b then 0
+  else begin
+    let h = Linkstate.distance_hops_count (shd t a).s_ls a b in
+    if h < 0 then 0 else h
+  end
+
+(* ---- diversified branch starts ------------------------------------------
+
+   Start routers for the extra branches of an α-parallel lookup, drawn from
+   the origin router's local state in a fixed order — pointer-cache best
+   match toward the target, then successor-list backup routers of the
+   origin's residents (chain order), then predecessor routers ("external
+   hosts" behind the origin on the ring).  Deduplicated against the origin
+   and each other; the draw order IS the branch index, and every tie
+   between branches resolves to the lowest branch index, so α results are a
+   function of the workload alone.  Writes at most [max_extra] routers into
+   [out.(pos..)] and returns how many it wrote.  Traverses the resident
+   chains directly (no visitor closures); the only per-call allocation is
+   the cursor cell. *)
+
+let branch_starts_into t ~from ~target ~out ~pos ~max_extra =
+  if max_extra <= 0 then 0
+  else begin
+    let stop = pos + max_extra in
+    let cursor = ref pos in
+    let scan = ref pos in
+    let push r =
+      if r >= 0 && r <> from && !cursor < stop then begin
+        scan := pos;
+        while !scan < !cursor && out.(!scan) <> r do
+          incr scan
+        done;
+        if !scan = !cursor then begin
+          out.(!cursor) <- r;
+          incr cursor
+        end
+      end
+    in
+    if Array.length t.pcaches > 0 then begin
+      let c = t.pcaches.(from) in
+      let i = Pcache.best_toward c ~target in
+      if i >= 0 then push c.Pcache.routers.(i)
+    end;
+    let store = (shd t from).store in
+    let s = ref (Store.chain_head store from) in
+    while !s >= 0 && !cursor < stop do
+      let len = Store.succ_list_len store !s in
+      let k = ref 0 in
+      while !k < len && !cursor < stop do
+        push (Store.succ_list_router store !s !k);
+        incr k
+      done;
+      s := Store.chain_next store !s
+    done;
+    s := Store.chain_head store from;
+    while !s >= 0 && !cursor < stop do
+      push (Store.pred_router_raw store !s);
+      s := Store.chain_next store !s
+    done;
+    !cursor - pos
+  end
 
 (* ---- joins -------------------------------------------------------------- *)
 
@@ -661,10 +868,11 @@ let rec forward_join t ~at (m : message) =
 
 and forward_lookup t ~at (m : message) =
   match m with
-  | Lookup_req { target; origin; token; chasing; avoid; waited } ->
+  | Lookup_req { target; origin; token; chasing; avoid; waited; hops } ->
     let sh = shd t at in
     let respond owner =
-      send_direct t ~cat:"lookup" ~from:at ~dest:origin (Lookup_resp { token; owner })
+      send_direct t ~cat:"lookup" ~from:at ~dest:origin
+        (Lookup_resp { token; owner; hops })
         (handle t origin)
     in
     let local = best_candidate t at ~target ~exclude:avoid () in
@@ -682,12 +890,13 @@ and forward_lookup t ~at (m : message) =
               forward_lookup t ~at
                 (Lookup_req
                    { target; origin; token; chasing = Some (best_id, at); avoid;
-                     waited = waited + 1 }))
+                     waited = waited + 1; hops }))
         else
           (* Chased candidate is gone: re-route without it. *)
           forward_lookup t ~at
             (Lookup_req
-               { target; origin; token; chasing = None; avoid = best_id :: avoid; waited = 0 })
+               { target; origin; token; chasing = None; avoid = best_id :: avoid;
+                 waited = 0; hops })
       | Some s -> respond (Some (Store.rid sh.store s, at))
     in
     let hop_towards dest m' =
@@ -704,10 +913,14 @@ and forward_lookup t ~at (m : message) =
      | Some (best_id, `Here) when improves best_id -> settle best_id
      | Some (best_id, `Remote next_router) when improves best_id ->
        hop_towards next_router
-         (Lookup_req { target; origin; token; chasing = Some (best_id, next_router); avoid; waited })
+         (Lookup_req
+            { target; origin; token; chasing = Some (best_id, next_router); avoid;
+              waited; hops = hops + 1 })
      | Some _ | None ->
        (match chasing with
-        | Some (_, crouter) when crouter <> at -> hop_towards crouter m
+        | Some (_, crouter) when crouter <> at ->
+          hop_towards crouter
+            (Lookup_req { target; origin; token; chasing; avoid; waited; hops = hops + 1 })
         | Some (cid, _) -> settle cid
         | None -> respond None))
   | _ -> ()
@@ -848,20 +1061,49 @@ and handle t at (m : message) =
           Store.set_pred sh.store s new_pred;
           Store.set_pred_heard sh.store s (now_at t at)
         | Some _ | None -> ()))
-  | Lookup_resp { token; owner } ->
+  | Lookup_resp { token; owner; hops } ->
     let sh = shd t at in
     (match Hashtbl.find_opt sh.lookups token with
-     | None -> () (* superseded attempt *)
+     | None ->
+       (* A cancelled branch or a superseded attempt coming home: the work
+          it charged along the way bought nothing. *)
+       Metrics.charge_wasted sh.s_metrics hops
      | Some st ->
        Hashtbl.remove sh.lookups token;
+       st.lk_outstanding <- st.lk_outstanding - 1;
        if not st.finished then begin
          let ok =
            match owner with Some (oid, _) -> Id.equal oid st.lk_target | None -> false
          in
-         if ok || st.lk_attempts > t.cfg.lookup_retries then finish_lookup t st ~ok
+         (* Any learned owner pointer seeds the origin's pointer cache. *)
+         (match owner with
+          | Some (oid, orouter) -> pcache_insert t at oid orouter
+          | None -> ());
+         if ok then begin
+           (* First success wins: cancel the sibling branches still in
+              flight — their tokens are dropped so their answers are
+              discarded (and charged as waste) on arrival. *)
+           if st.lk_outstanding > 0 then begin
+             List.iter
+               (fun tk -> if tk <> token then Hashtbl.remove sh.lookups tk)
+               st.lk_tokens;
+             Metrics.charge_cancelled sh.s_metrics st.lk_outstanding;
+             st.lk_outstanding <- 0
+           end;
+           st.lk_tokens <- [];
+           finish_lookup t st ~ok:true
+         end
+         else if st.lk_outstanding > 0 then
+           (* A losing branch with siblings still racing: let them run. *)
+           Metrics.charge_wasted sh.s_metrics hops
+         else if st.lk_attempts > t.cfg.lookup_retries then begin
+           st.lk_tokens <- [];
+           finish_lookup t st ~ok:false
+         end
          else begin
-           (* Wrong or missing owner: give stabilisation one period to repair
-              the pointers, then retry. *)
+           (* Every branch came back wrong or empty: give stabilisation one
+              period to repair the pointers, then retry. *)
+           st.lk_tokens <- [];
            sh.lookup_retries <- sh.lookup_retries + 1;
            sched t ~rail:at ~at
              ~time_ms:(now_at t at +. t.cfg.stabilize_period_ms)
@@ -887,20 +1129,50 @@ and start_lookup_attempt t st =
   st.lk_attempts <- st.lk_attempts + 1;
   let token = fresh_token sh in
   st.lk_token <- token;
+  st.lk_tokens <- [ token ];
+  st.lk_outstanding <- 1;
   Hashtbl.replace sh.lookups token st;
   let now = now_at t st.origin in
   sched t ~rail:st.origin ~at:st.origin ~time_ms:now (fun () ->
       forward_lookup t ~at:st.origin
         (Lookup_req
            { target = st.lk_target; origin = st.origin; token; chasing = None; avoid = [];
-             waited = 0 }));
+             waited = 0; hops = 0 }));
+  (* Extra branches start at diversified routers: the request transits there
+     first (charged like any routed message), then greedy-walks from that
+     router's local knowledge.  The primary branch above is byte-identical
+     to the α=1 engine — extras only add events after it. *)
+  let alpha = max 1 t.cfg.lookup_alpha in
+  if alpha > 1 then begin
+    let starts = Array.make (alpha - 1) (-1) in
+    let k =
+      branch_starts_into t ~from:st.origin ~target:st.lk_target ~out:starts
+        ~pos:0 ~max_extra:(alpha - 1)
+    in
+    for b = 0 to k - 1 do
+      let start = starts.(b) in
+      let btoken = fresh_token sh in
+      st.lk_tokens <- btoken :: st.lk_tokens;
+      st.lk_outstanding <- st.lk_outstanding + 1;
+      Hashtbl.replace sh.lookups btoken st;
+      let hops = link_hops_between t st.origin start in
+      send_direct t ~cat:"lookup" ~from:st.origin ~dest:start
+        (Lookup_req
+           { target = st.lk_target; origin = st.origin; token = btoken;
+             chasing = None; avoid = []; waited = 0; hops })
+        (handle t start)
+    done
+  end;
   let timeout =
     t.cfg.lookup_timeout_ms *. (t.cfg.rpc_backoff ** float_of_int (st.lk_attempts - 1))
   in
   sched t ~rail:st.origin ~at:st.origin ~time_ms:(now +. timeout) (fun () ->
-      if (not st.finished) && st.lk_token = token && Hashtbl.mem sh.lookups token
+      if (not st.finished) && st.lk_token = token && st.lk_outstanding > 0
       then begin
-        Hashtbl.remove sh.lookups token;
+        (* Reap every branch of this attempt. *)
+        List.iter (fun tk -> Hashtbl.remove sh.lookups tk) st.lk_tokens;
+        st.lk_tokens <- [];
+        st.lk_outstanding <- 0;
         sh.rpc_timeouts <- sh.rpc_timeouts + 1;
         if st.lk_attempts > t.cfg.lookup_retries then finish_lookup t st ~ok:false
         else begin
@@ -918,6 +1190,8 @@ let lookup_async t ~from target cb =
       lk_issued = now_at t from;
       lk_attempts = 0;
       lk_token = -1;
+      lk_tokens = [];
+      lk_outstanding = 0;
       finished = false;
       cb;
     }
@@ -1118,6 +1392,103 @@ let untwist t ~router s =
          (Notify { candidate = rid; candidate_router = router; target = bid })
          (handle t brouter))
 
+(* ---- network-size estimation --------------------------------------------
+
+   A resident knows L = 1 + |backups| consecutive clockwise neighbours
+   spanning the arc d = distance(self, farthest).  With members uniform on
+   the 2^128 ring, d/L estimates the mean gap, so N̂ = L·2^128/d.  A single
+   node's estimate is noisy — the arc is an Erlang(L) draw, so factor-of-
+   several outliers are routine — but the median over all residents
+   concentrates tightly; every consumer (auto-tuner, doctor, tests) reads
+   {!estimate_n}, never a per-node sample.  Arithmetic runs on {!Id.key}
+   (the top 62 bits): arcs below key resolution only occur at populations
+   ≫ 10^12, far past anything simulated here. *)
+
+let two_pow_62 = 4.611686018427387904e18
+
+let estimate_n_slot store s =
+  if Store.succ_router store s < 0 then 1.0
+  else begin
+    let rid = Store.rid store s in
+    let len = Store.succ_list_len store s in
+    let l, far =
+      if len > 0 then (len + 1, Store.succ_list_id store s (len - 1))
+      else (1, Store.succ_rid store s)
+    in
+    if Id.equal far rid then 1.0
+    else
+      let dk = float_of_int (max 1 (Id.key (Id.distance rid far))) in
+      float_of_int l *. two_pow_62 /. dk
+  end
+
+let estimate_n t =
+  let acc = ref [] in
+  for router = 0 to Graph.n t.graph - 1 do
+    let sh = shd t router in
+    Store.iter_router sh.store router (fun s ->
+        acc := estimate_n_slot sh.store s :: !acc)
+  done;
+  let xs = List.sort Float.compare !acc in
+  let n = List.length xs in
+  if n = 0 then 0.0 else List.nth xs (n / 2)
+
+(* ---- self-tuning stabilisation ------------------------------------------
+
+   Auto mode derives the probe period and successor-list length from what
+   the protocol itself can observe, instead of the static config knobs:
+
+   - churn rate λ̂ (deaths per member per ms), from announced departures
+     plus failover detections, normalised by N̂ and smoothed by an EWMA;
+   - probe-period multiplier m = clamp(1..16, P*/period) where
+     P* = ε/λ̂ keeps the expected stale-successor fraction under ε — the
+     churn lab's staleness SLO;
+   - backup-list target ⌈log2 N̂⌉−1 (never below the static knob): longer
+     lists ride along in Pred_info replies, so widening them costs no
+     extra messages, only probe-reply bytes.
+
+   Runs once per global round; the O(members·log) median is fine at lab
+   scale and auto mode is opt-in. *)
+
+let stale_eps = 0.02
+
+let auto_retune t ~now =
+  t.auto_rounds <- t.auto_rounds + 1;
+  let nhat = estimate_n t in
+  t.auto_nhat <- nhat;
+  let deaths =
+    t.leaves_done + Array.fold_left (fun acc sh -> acc + sh.failovers) 0 t.sh
+  in
+  let dt = now -. t.auto_last_ms in
+  if t.auto_last_ms > 0.0 && dt > 0.0 && nhat >= 1.0 then begin
+    let raw = float_of_int (deaths - t.auto_last_deaths) /. (nhat *. dt) in
+    t.auto_rate <-
+      (if t.auto_rounds <= 2 then raw else (0.7 *. t.auto_rate) +. (0.3 *. raw))
+  end;
+  t.auto_last_deaths <- deaths;
+  t.auto_last_ms <- now;
+  t.auto_mult <-
+    (if t.auto_rounds <= 4 then 1.0 (* warm up on the static cadence *)
+     else if t.auto_rate <= 0.0 then 16.0
+     else
+       Float.max 1.0
+         (Float.min 16.0 (stale_eps /. t.auto_rate /. t.cfg.stabilize_period_ms)));
+  t.auto_sl_limit <-
+    (let static = max 0 (t.cfg.succ_list_len - 1) in
+     if nhat < 2.0 then static
+     else
+       let l = int_of_float (ceil (log nhat /. log 2.0)) - 1 in
+       min (max static l) (Store.cap_list (shd t 0).store))
+
+let auto_state t =
+  if t.cfg.stabilize_auto then Some (t.auto_nhat, t.auto_mult, t.auto_sl_limit)
+  else None
+
+let pcache_entries t =
+  Array.fold_left (fun acc c -> acc + c.Pcache.len) 0 t.pcaches
+
+let pcache_capacity_ok t =
+  Array.for_all (fun c -> c.Pcache.len <= c.Pcache.cap) t.pcaches
+
 let stabilize_resident t ~router ~now s =
   let sh = shd t router in
   let store = sh.store in
@@ -1134,9 +1505,12 @@ let stabilize_resident t ~router ~now s =
   if
     srouter >= 0
     && (not (Id.equal (Store.succ_rid store s) rid))
-    && not (Store.probe_inflight store s)
+    && (not (Store.probe_inflight store s))
+    && ((not t.cfg.stabilize_auto) || now >= Store.due store s)
   then begin
     Store.set_probe_inflight store s true;
+    if t.cfg.stabilize_auto then
+      Store.set_due store s (now +. (t.auto_mult *. t.cfg.stabilize_period_ms));
     send_probe t ~router rid (Store.succ_rid store s, srouter) 1
   end
 
@@ -1153,6 +1527,7 @@ let stabilize_shard t ~now sx =
 let stabilize_round t =
   t.rounds <- t.rounds + 1;
   let now = Shard.now t.coord in
+  if t.cfg.stabilize_auto then auto_retune t ~now;
   match t.pool with
   | Some p when t.nshards > 1 && Pool.jobs p > 1 ->
     ignore (Pool.map p (fun sx -> stabilize_shard t ~now sx) (List.init t.nshards Fun.id))
@@ -1160,6 +1535,41 @@ let stabilize_round t =
     for sx = 0 to t.nshards - 1 do
       stabilize_shard t ~now sx
     done
+
+(* ---- pointer-cache refresh manager --------------------------------------
+
+   A recurring global sweep, offset half a period from the stabiliser so it
+   runs *between* rounds: each router re-validates up to
+   [pcache_refresh_budget] entries older than the TTL.  The validation
+   round-trip is modelled synchronously — membership is checked directly
+   (every shard is parked at a global event, so the read is safe and
+   K-independent) and the probe + reply are charged under "refresh" at the
+   shortest-path link count.  Dead entries are evicted; live ones get a
+   fresh stamp. *)
+
+let refresh_round t =
+  let now = Shard.now t.coord in
+  for router = 0 to Graph.n t.graph - 1 do
+    let c = t.pcaches.(router) in
+    let sh = shd t router in
+    let budget = ref t.cfg.pcache_refresh_budget in
+    let i = ref 0 in
+    while !i < c.Pcache.len && !budget > 0 do
+      if now -. c.Pcache.stamp.(!i) > t.cfg.pcache_refresh_ttl_ms then begin
+        decr budget;
+        let id = c.Pcache.ids.(!i) and r = c.Pcache.routers.(!i) in
+        let links = 2 * link_hops_between t router r in
+        sh.msg_count <- sh.msg_count + links;
+        Metrics.incr sh.s_metrics "refresh" links;
+        match find_slot t r id with
+        | Some _ ->
+          c.Pcache.stamp.(!i) <- now;
+          incr i
+        | None -> Pcache.remove_at c !i
+      end
+      else incr i
+    done
+  done
 
 (* The stabiliser is a recurring *global* event: it reads and writes every
    shard, so it must run with all shards parked — and global times are
@@ -1177,7 +1587,22 @@ let start_stabilizer t =
     in
     Shard.at_global t.coord
       ~time_ms:(Shard.now t.coord +. t.cfg.stabilize_period_ms)
-      tick
+      tick;
+    if Array.length t.pcaches > 0 && not t.refresh_on then begin
+      t.refresh_on <- true;
+      let rec rtick () =
+        if t.stab_on then begin
+          refresh_round t;
+          Shard.at_global t.coord
+            ~time_ms:(Shard.now t.coord +. t.cfg.stabilize_period_ms)
+            rtick
+        end
+        else t.refresh_on <- false
+      in
+      Shard.at_global t.coord
+        ~time_ms:(Shard.now t.coord +. (1.5 *. t.cfg.stabilize_period_ms))
+        rtick
+    end
   end
 
 let stop_stabilizer t = t.stab_on <- false
@@ -1413,12 +1838,8 @@ let batch_walk t ~n ~from ~targets ~found ~(owner : Id.t array) ~stats =
     | Some st ->
       st.bs_ring_hops.(i) <- st.bs_ring_hops.(i) + 1;
       let ls = (shd t r).s_ls in
-      (match Linkstate.distance_to ls r next with
-       | Some d -> st.bs_latency_ms.(i) <- st.bs_latency_ms.(i) +. d
-       | None -> ());
-      (match Linkstate.distance_hops ls r next with
-       | Some h -> st.bs_link_hops.(i) <- st.bs_link_hops.(i) + h
-       | None -> ())
+      let h = Linkstate.price_hop_into ls r next ~latency:st.bs_latency_ms i in
+      if h >= 0 then st.bs_link_hops.(i) <- st.bs_link_hops.(i) + h
   in
   (* one walk hop for lookup [i]; false when a verdict landed *)
   let step i =
@@ -1490,13 +1911,287 @@ let batch_walk t ~n ~from ~targets ~found ~(owner : Id.t array) ~stats =
     done
   done
 
-let lookup_owner_batch t ~from ~targets =
+(* ---- α-parallel batched walks --------------------------------------------
+
+   The α engine runs up to [alpha] concurrent greedy walk *branches* per
+   lookup — branch 0 from the caller's router, the rest from diversified
+   starts ({!branch_starts_into}) — with first-success semantics: the first
+   branch to land a verdict resolves the lookup and the surviving siblings
+   are cancelled on the spot.  Registers are flat parallel arrays indexed
+   [i*alpha + b] so one pass advances every in-flight branch of every
+   lookup one walk-iteration; within a pass, branches step in (lookup,
+   branch-index) order, so any tie between branches resolves to the lowest
+   branch index — the determinism discipline that keeps results a function
+   of the workload alone.
+
+   Duplicate-work accounting is settled at resolution time, not at branch
+   death: the waste of lookup [i] is the ring hops of every branch minus
+   the charged branch (the winner, or branch 0 when no branch succeeds), so
+   nothing is double-counted.  [cancellations] counts branches that were
+   still live when a sibling won; [released] counts every branch slot
+   handed back — the caller's freelist invariant is
+   [released = Σ br_count.(i)]. *)
+
+type alpha_stats = {
+  al_owner_router : int array;  (* verdict router, -1 when unresolved *)
+  al_winner_branch : int array; (* winning branch index, -1 when unresolved *)
+  al_branches : int array;      (* branches actually launched *)
+  al_ring_hops : int array;     (* charged branch's greedy hops *)
+  al_wasted_hops : int array;   (* every other branch's greedy hops *)
+  al_link_hops : int array;     (* charged branch's physical link traversals *)
+  al_latency_ms : float array;  (* charged branch's summed path latency *)
+}
+
+let lookup_owner_alpha_into t ~n ~alpha ~from ~targets ~found
+    ~(owner : Id.t array) ~(lk_done : Bytes.t) ~br_count ~br_router ~br_best
+    ~(br_best_valid : Bytes.t) ~br_guard ~br_hops ~br_link_hops ~br_latency_ms
+    ~(br_live : Bytes.t) ~stats =
+  if alpha < 1 then invalid_arg "Proto.lookup_owner_alpha_into: alpha must be >= 1";
+  if Array.length from < n || Array.length targets < n then
+    invalid_arg "Proto.lookup_owner_alpha_into: from/targets shorter than batch";
+  if
+    Array.length found < n || Array.length owner < n
+    || Bytes.length lk_done < n
+    || Array.length br_count < n
+  then invalid_arg "Proto.lookup_owner_alpha_into: per-lookup arrays shorter than batch";
+  if
+    Array.length br_router < n * alpha
+    || Array.length br_best < n * alpha
+    || Bytes.length br_best_valid < n * alpha
+    || Array.length br_guard < n * alpha
+    || Array.length br_hops < n * alpha
+    || Bytes.length br_live < n * alpha
+  then invalid_arg "Proto.lookup_owner_alpha_into: branch registers shorter than n*alpha";
+  (match stats with
+   | Some _ when Array.length br_link_hops < n * alpha || Array.length br_latency_ms < n * alpha ->
+     invalid_arg "Proto.lookup_owner_alpha_into: branch stat registers shorter than n*alpha"
+   | _ -> ());
+  let guard_max = 4 * Graph.n t.graph in
+  (* scratch registers for the shared visitors — one set per call *)
+  let cur_store = ref (shd t 0).store in
+  let cur_router = ref 0 in
+  let cur_target = ref Id.zero in
+  let cand_some = ref false in
+  let cand_here = ref false in
+  let cand_id = ref Id.zero in
+  let cand_next = ref 0 in
+  let consider_slot s =
+    let store = !cur_store in
+    let rid = Store.rid store s in
+    (if (not !cand_some) || Id.closer_clockwise ~target:!cur_target rid !cand_id
+     then begin
+       cand_some := true;
+       cand_here := true;
+       cand_id := rid
+     end);
+    let srouter = Store.succ_router store s in
+    if srouter >= 0 && srouter <> !cur_router then begin
+      let sid = Store.succ_rid store s in
+      if (not !cand_some) || Id.closer_clockwise ~target:!cur_target sid !cand_id
+      then begin
+        cand_some := true;
+        cand_here := false;
+        cand_id := sid;
+        cand_next := srouter
+      end
+    end
+  in
+  let settle_some = ref false in
+  let settle_id = ref Id.zero in
+  let settle_slot s =
+    let rid = Store.rid !cur_store s in
+    if (not !settle_some) || Id.closer_clockwise ~target:!cur_target rid !settle_id
+    then begin
+      settle_some := true;
+      settle_id := rid
+    end
+  in
+  let win_id = ref Id.zero in
+  (* one walk hop for branch register [j] of lookup [i]:
+     0 = stepped, 1 = verdict in [win_id], 2 = branch dead *)
+  let step i j =
+    if br_guard.(j) > guard_max then 2
+    else begin
+      let r = br_router.(j) in
+      cur_router := r;
+      cur_target := targets.(i);
+      cur_store := (shd t r).store;
+      cand_some := false;
+      Store.iter_router !cur_store r consider_slot;
+      if not !cand_some then 2
+      else if !cand_here then begin
+        win_id := !cand_id;
+        1
+      end
+      else begin
+        let id = !cand_id and next = !cand_next in
+        let progress =
+          if Bytes.unsafe_get br_best_valid j <> '\000' then
+            Id.closer_clockwise ~target:targets.(i) id br_best.(j)
+          else Id.compare_dist id targets.(i) Id.zero Id.max_value < 0
+        in
+        if not progress then begin
+          (* No progress: settle on the best local resident. *)
+          settle_some := false;
+          Store.iter_router !cur_store r settle_slot;
+          if !settle_some then begin
+            win_id := !settle_id;
+            1
+          end
+          else 2
+        end
+        else begin
+          (match stats with
+           | None -> ()
+           | Some _ ->
+             let ls = (shd t r).s_ls in
+             let h = Linkstate.price_hop_into ls r next ~latency:br_latency_ms j in
+             if h >= 0 then br_link_hops.(j) <- br_link_hops.(j) + h);
+          br_hops.(j) <- br_hops.(j) + 1;
+          br_router.(j) <- next;
+          br_best.(j) <- id;
+          Bytes.unsafe_set br_best_valid j '\001';
+          br_guard.(j) <- br_guard.(j) + 1;
+          0
+        end
+      end
+    end
+  in
+  let cancellations = ref 0 in
+  let released = ref 0 in
+  for i = 0 to n - 1 do
+    let base = i * alpha in
+    found.(i) <- false;
+    Bytes.unsafe_set lk_done i '\000';
+    br_router.(base) <- from.(i);
+    let extra =
+      if alpha > 1 then
+        branch_starts_into t ~from:from.(i) ~target:targets.(i) ~out:br_router
+          ~pos:(base + 1) ~max_extra:(alpha - 1)
+      else 0
+    in
+    br_count.(i) <- 1 + extra;
+    for b = 0 to extra do
+      let j = base + b in
+      br_best.(j) <- Id.zero;
+      Bytes.unsafe_set br_best_valid j '\000';
+      br_guard.(j) <- 0;
+      br_hops.(j) <- 0;
+      Bytes.unsafe_set br_live j '\001';
+      match stats with
+      | None -> ()
+      | Some _ ->
+        br_link_hops.(j) <- 0;
+        br_latency_ms.(j) <- 0.0
+    done;
+    match stats with
+    | None -> ()
+    | Some st ->
+      st.al_owner_router.(i) <- -1;
+      st.al_winner_branch.(i) <- -1;
+      st.al_branches.(i) <- 1 + extra;
+      st.al_ring_hops.(i) <- 0;
+      st.al_wasted_hops.(i) <- 0;
+      st.al_link_hops.(i) <- 0;
+      st.al_latency_ms.(i) <- 0.0
+  done;
+  let remaining = ref n in
+  while !remaining > 0 do
+    for i = 0 to n - 1 do
+      if Bytes.unsafe_get lk_done i = '\000' then begin
+        let base = i * alpha in
+        let cnt = br_count.(i) in
+        let b = ref 0 in
+        while !b < cnt && Bytes.unsafe_get lk_done i = '\000' do
+          let j = base + !b in
+          if Bytes.unsafe_get br_live j <> '\000' then begin
+            let verdict = step i j in
+            if verdict = 1 then begin
+              (* First success: resolve, cancel surviving siblings, settle
+                 the waste ledger in one place. *)
+              found.(i) <- true;
+              owner.(i) <- !win_id;
+              Bytes.unsafe_set br_live j '\000';
+              incr released;
+              for b' = 0 to cnt - 1 do
+                if b' <> !b then begin
+                  let j' = base + b' in
+                  if Bytes.unsafe_get br_live j' <> '\000' then begin
+                    Bytes.unsafe_set br_live j' '\000';
+                    incr released;
+                    incr cancellations
+                  end
+                end
+              done;
+              (match stats with
+               | None -> ()
+               | Some st ->
+                 st.al_owner_router.(i) <- br_router.(j);
+                 st.al_winner_branch.(i) <- !b;
+                 st.al_ring_hops.(i) <- br_hops.(j);
+                 st.al_link_hops.(i) <- br_link_hops.(j);
+                 st.al_latency_ms.(i) <- br_latency_ms.(j);
+                 let waste = ref 0 in
+                 for b' = 0 to cnt - 1 do
+                   if b' <> !b then waste := !waste + br_hops.(base + b')
+                 done;
+                 st.al_wasted_hops.(i) <- !waste);
+              Bytes.unsafe_set lk_done i '\001';
+              decr remaining
+            end
+            else if verdict = 2 then begin
+              Bytes.unsafe_set br_live j '\000';
+              incr released;
+              let any_live = ref false in
+              for b' = 0 to cnt - 1 do
+                if Bytes.unsafe_get br_live (base + b') <> '\000' then
+                  any_live := true
+              done;
+              if not !any_live then begin
+                (* Every branch dead: unresolved.  Branch 0 is the charged
+                   walk (what the sequential engine would have done), the
+                   rest is waste. *)
+                (match stats with
+                 | None -> ()
+                 | Some st ->
+                   st.al_ring_hops.(i) <- br_hops.(base);
+                   st.al_link_hops.(i) <- br_link_hops.(base);
+                   st.al_latency_ms.(i) <- br_latency_ms.(base);
+                   let waste = ref 0 in
+                   for b' = 1 to cnt - 1 do
+                     waste := !waste + br_hops.(base + b')
+                   done;
+                   st.al_wasted_hops.(i) <- !waste);
+                Bytes.unsafe_set lk_done i '\001';
+                decr remaining
+              end
+            end
+          end;
+          incr b
+        done
+      end
+    done
+  done;
+  (!cancellations, !released)
+
+let lookup_owner_batch ?(alpha = 1) t ~from ~targets =
   let n = Array.length targets in
   if Array.length from <> n then
     invalid_arg "Proto.lookup_owner_batch: from/targets length mismatch";
   let found = Array.make (max n 1) false in
   let owner = Array.make (max n 1) Id.zero in
-  batch_walk t ~n ~from ~targets ~found ~owner ~stats:None;
+  if alpha <= 1 then batch_walk t ~n ~from ~targets ~found ~owner ~stats:None
+  else begin
+    let na = max 1 (n * alpha) in
+    ignore
+      (lookup_owner_alpha_into t ~n ~alpha ~from ~targets ~found ~owner
+         ~lk_done:(Bytes.create (max n 1))
+         ~br_count:(Array.make (max n 1) 0)
+         ~br_router:(Array.make na 0) ~br_best:(Array.make na Id.zero)
+         ~br_best_valid:(Bytes.create na) ~br_guard:(Array.make na 0)
+         ~br_hops:(Array.make na 0) ~br_link_hops:[||] ~br_latency_ms:[||]
+         ~br_live:(Bytes.create na) ~stats:None)
+  end;
   Array.init n (fun i -> if found.(i) then Some owner.(i) else None)
 
 let lookup_owner_batch_into t ~n ~from ~targets ~found ~owner ~owner_router
@@ -1518,16 +2213,3 @@ let lookup_owner_batch_into t ~n ~from ~targets ~found ~owner ~owner_router
            bs_latency_ms = latency_ms;
          })
 
-let latency_between t a b =
-  if a = b then 0.0
-  else
-    match Linkstate.distance_to (shd t a).s_ls a b with
-    | Some d -> d
-    | None -> 0.0
-
-let link_hops_between t a b =
-  if a = b then 0
-  else
-    match Linkstate.distance_hops (shd t a).s_ls a b with
-    | Some h -> h
-    | None -> 0

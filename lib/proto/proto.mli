@@ -42,12 +42,32 @@ type config = {
   (** enable the succ-list-inversion "untwist" repair for loopy rings.  On by
       default; turning it off deliberately reintroduces Chord's loopy-network
       problem, which the ring doctor's audits are built to catch. *)
+  lookup_alpha : int;
+  (** concurrent greedy-walk branches per {!lookup_async} attempt: branch 0
+      is the classic origin walk, extra branches start at diversified
+      routers (pointer-cache best match, successor-list backups,
+      predecessor routers) and the first success wins — losers are
+      cancelled at the origin and their hops charged to the duplicate-work
+      ledger.  1 (the default) is byte-identical to the pre-α engine. *)
+  pcache_capacity : int;
+  (** per-router pointer-cache entries (owner pointers learned from lookup
+      responses), 0 (the default) disables the cache entirely. *)
+  pcache_refresh_ttl_ms : float;
+  (** entry age beyond which the refresh manager re-validates it. *)
+  pcache_refresh_budget : int;
+  (** max refresh probes per router per refresh sweep. *)
+  stabilize_auto : bool;
+  (** derive the per-resident probe period and successor-list length from
+      the protocol's own network-size estimate ({!estimate_n}) and observed
+      churn rate instead of the static knobs; false (the default) keeps the
+      static behaviour byte-identical. *)
 }
 
 val default_config : config
 (** 50 ms stabilisation, 4-deep successor lists, 100 ms probe timeout with
     2 retries at 2x backoff, 600 ms predecessor timeout, 400 ms join and
-    300 ms lookup timeouts; untwist repair on. *)
+    300 ms lookup timeouts; untwist repair on.  α=1, pointer cache off,
+    static stabilisation — the exact pre-α engine. *)
 
 type stats = {
   messages : int;        (** total link traversals *)
@@ -156,7 +176,28 @@ val stop_stabilizer : t -> unit
 
 val stabilize_round : t -> unit
 (** One explicit round: every resident probes its successor (skipping those
-    with a probe already in flight) and expires silent predecessors. *)
+    with a probe already in flight) and expires silent predecessors.  In
+    auto mode ({!config.stabilize_auto}) the round first re-tunes the probe
+    multiplier and successor-list target from {!estimate_n} and the EWMA
+    churn rate, and each resident only probes when its due time has
+    arrived. *)
+
+val estimate_n : t -> float
+(** The protocol's own network-size estimate: the median over residents of
+    L·2^128/span(succ-list) — ring-neighbourhood density, the same signal a
+    production DHT derives N from.  0 with no members.  Per-node samples
+    are Erlang-noisy; only the median is load-bearing. *)
+
+val auto_state : t -> (float * float * int) option
+(** [(N̂, period multiplier, successor-list backup target)] when auto-tuned
+    stabilisation is on, [None] otherwise. *)
+
+val pcache_entries : t -> int
+(** Total pointer-cache entries across routers (0 when disabled). *)
+
+val pcache_capacity_ok : t -> bool
+(** Structural invariant for the doctor: no per-router cache exceeds its
+    configured capacity. *)
 
 val run_for : t -> float -> unit
 (** Advance simulated time by the given budget (ms), processing messages and
@@ -195,6 +236,7 @@ val lookup_owner : t -> from:int -> Rofl_idspace.Id.t -> Rofl_idspace.Id.t optio
     the data-plane view of this actor network's tables. *)
 
 val lookup_owner_batch :
+  ?alpha:int ->
   t ->
   from:int array ->
   targets:Rofl_idspace.Id.t array ->
@@ -203,7 +245,58 @@ val lookup_owner_batch :
     [targets.(i)], all walks advanced one hop per pass over flat registers
     (shared store visitors, no per-hop closures).  The walk is pure-read,
     so the result is exactly the per-lookup [lookup_owner] map — pinned in
-    [test_dataplane]. *)
+    [test_dataplane].  With [alpha > 1] each lookup runs α concurrent
+    branches through the α engine ({!lookup_owner_alpha_into}); on a
+    converged ring the verdicts are unchanged — diversification only buys
+    speed and robustness, pinned in [test_alpha]. *)
+
+type alpha_stats = {
+  al_owner_router : int array;  (** verdict router, -1 when unresolved *)
+  al_winner_branch : int array; (** winning branch index, -1 when unresolved *)
+  al_branches : int array;      (** branches actually launched (≤ α) *)
+  al_ring_hops : int array;     (** charged branch's greedy hops *)
+  al_wasted_hops : int array;   (** every other branch's greedy hops *)
+  al_link_hops : int array;     (** charged branch's physical link traversals *)
+  al_latency_ms : float array;  (** charged branch's summed path latency *)
+}
+
+val lookup_owner_alpha_into :
+  t ->
+  n:int ->
+  alpha:int ->
+  from:int array ->
+  targets:Rofl_idspace.Id.t array ->
+  found:bool array ->
+  owner:Rofl_idspace.Id.t array ->
+  lk_done:Bytes.t ->
+  br_count:int array ->
+  br_router:int array ->
+  br_best:Rofl_idspace.Id.t array ->
+  br_best_valid:Bytes.t ->
+  br_guard:int array ->
+  br_hops:int array ->
+  br_link_hops:int array ->
+  br_latency_ms:float array ->
+  br_live:Bytes.t ->
+  stats:alpha_stats option ->
+  int * int
+(** The α-parallel walk engine in register form: up to [alpha] concurrent
+    greedy branches per lookup — branch 0 from [from.(i)], the rest from
+    diversified starts (pointer-cache best match toward the target, then
+    successor-list backup routers, then predecessor routers, deduplicated)
+    — advanced one walk-iteration per pass across every in-flight branch,
+    first success wins, surviving siblings cancelled on the spot.  Branch
+    registers are flat arrays indexed [i*alpha + b]; per-lookup arrays must
+    hold [n] entries, branch registers [n*alpha] ([br_link_hops] and
+    [br_latency_ms] only when [stats] is given).  Within a pass branches
+    step in (lookup, branch) order, so ties resolve to the lowest branch
+    index — results are a deterministic function of the workload.  Waste is
+    settled once per lookup at resolution: ring hops of every branch except
+    the charged one (winner, or branch 0 when unresolved).  Returns
+    [(cancellations, released)]: branches cancelled live, and total branch
+    slots handed back — the caller's freelist drains to empty exactly when
+    [released = Σ br_count.(i)].  At [alpha = 1] the verdicts are
+    byte-identical to {!lookup_owner_batch}. *)
 
 val lookup_owner_batch_into :
   t ->

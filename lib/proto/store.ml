@@ -31,6 +31,7 @@ type t = {
   mutable sl_id : Id.t array;      (* cap * cap_list, flat *)
   mutable sl_router : int array;
   mutable sl_len : int array;
+  mutable due : float array;       (* next stabilisation due time (auto mode) *)
   mutable next : int array;        (* chain next, or freelist next when free *)
   mutable prev : int array;        (* chain prev, -1 at head *)
   mutable owner : int array;       (* hosting router, -1 = free slot *)
@@ -58,6 +59,7 @@ let create ~routers ~cap_list ~hint ~dummy =
       sl_id = Array.make (cap * cap_list) dummy;
       sl_router = Array.make (cap * cap_list) (-1);
       sl_len = Array.make cap 0;
+      due = Array.make cap 0.0;
       next = Array.init cap (fun i -> if i + 1 < cap then i + 1 else -1);
       prev = Array.make cap (-1);
       owner = Array.make cap (-1);
@@ -89,6 +91,7 @@ let grow t =
   t.sl_id <- Array.append t.sl_id (Array.make (old * t.cap_list) t.dummy);
   t.sl_router <- Array.append t.sl_router (Array.make (old * t.cap_list) (-1));
   t.sl_len <- extend_int 0 t.sl_len;
+  t.due <- Array.append t.due (Array.make old 0.0);
   t.next <- Array.append t.next (Array.init old (fun i ->
       if old + i + 1 < cap then old + i + 1 else -1));
   t.prev <- extend_int (-1) t.prev;
@@ -109,6 +112,7 @@ let alloc t ~router rid =
   t.pred_heard.(s) <- 0.0;
   Bytes.unsafe_set t.probe_inflight s '\000';
   t.sl_len.(s) <- 0;
+  t.due.(s) <- 0.0;
   (* Prepend to the router chain: iteration order matches the seed's
      cons-onto-residents (newest first). *)
   let h = t.head.(router) in
@@ -147,6 +151,10 @@ let iter_router t router f =
     s := nx
   done
 
+let chain_head t router = t.head.(router)
+
+let chain_next t s = t.next.(s)
+
 let owner t s = t.owner.(s)
 
 let rid t s = t.rid.(s)
@@ -171,6 +179,8 @@ let pred t s =
   let r = t.pred_router.(s) in
   if r < 0 then None else Some (t.pred_id.(s), r)
 
+let pred_router_raw t s = t.pred_router.(s)
+
 let set_pred t s = function
   | None ->
     t.pred_id.(s) <- t.dummy;
@@ -188,6 +198,10 @@ let probe_inflight t s = Bytes.unsafe_get t.probe_inflight s <> '\000'
 let set_probe_inflight t s v =
   Bytes.unsafe_set t.probe_inflight s (if v then '\001' else '\000')
 
+let due t s = t.due.(s)
+
+let set_due t s v = t.due.(s) <- v
+
 let succ_list t s =
   let base = s * t.cap_list in
   let rec go k =
@@ -195,6 +209,12 @@ let succ_list t s =
     else (t.sl_id.(base + k), t.sl_router.(base + k)) :: go (k + 1)
   in
   go 0
+
+let succ_list_len t s = t.sl_len.(s)
+
+let succ_list_id t s k = t.sl_id.((s * t.cap_list) + k)
+
+let succ_list_router t s k = t.sl_router.((s * t.cap_list) + k)
 
 let set_succ_list t s entries =
   let base = s * t.cap_list in

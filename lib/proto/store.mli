@@ -40,6 +40,13 @@ val iter_router : t -> int -> (int -> unit) -> unit
 (** Apply to each slot resident at a router, newest allocation first.  The
     callback may [release] the slot it is given, but must not allocate. *)
 
+val chain_head : t -> int -> int
+(** First slot of a router's chain ([-1] if empty) — with {!chain_next},
+    a closure-free traversal for hot loops that cannot afford the visitor
+    closure of {!iter_router}.  Only valid while no slot is released. *)
+
+val chain_next : t -> int -> int
+
 val owner : t -> int -> int
 (** Hosting router of a slot, [-1] if the slot is free. *)
 
@@ -57,6 +64,9 @@ val set_succ : t -> int -> (Rofl_idspace.Id.t * int) option -> unit
 
 val pred : t -> int -> (Rofl_idspace.Id.t * int) option
 
+val pred_router_raw : t -> int -> int
+(** The predecessor's router without the option box, [-1] when absent. *)
+
 val set_pred : t -> int -> (Rofl_idspace.Id.t * int) option -> unit
 
 val pred_heard : t -> int -> float
@@ -67,8 +77,22 @@ val probe_inflight : t -> int -> bool
 
 val set_probe_inflight : t -> int -> bool -> unit
 
+val due : t -> int -> float
+(** Next stabilisation due time for this resident (auto-tuned mode); [0.0]
+    on a fresh slot, i.e. due immediately. *)
+
+val set_due : t -> int -> float -> unit
+
 val succ_list : t -> int -> (Rofl_idspace.Id.t * int) list
 (** The successor-list backups as a fresh list, nearest first. *)
+
+val succ_list_len : t -> int -> int
+(** Allocation-free successor-list accessors for hot paths: the backup at
+    index [k] (0 ≤ k < [succ_list_len]) without materialising the list. *)
+
+val succ_list_id : t -> int -> int -> Rofl_idspace.Id.t
+
+val succ_list_router : t -> int -> int -> int
 
 val set_succ_list : t -> int -> (Rofl_idspace.Id.t * int) list -> unit
 (** Store the backups, silently truncated to [cap_list] entries. *)

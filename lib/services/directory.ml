@@ -2,6 +2,7 @@ module Id = Rofl_idspace.Id
 module Metrics = Rofl_netsim.Metrics
 module Proto = Rofl_proto.Proto
 module Proto_batch = Rofl_dataplane.Proto_batch
+module Alpha = Rofl_dataplane.Alpha
 
 (* The service-discovery directory over one actor network.
 
@@ -37,11 +38,13 @@ module Proto_batch = Rofl_dataplane.Proto_batch
 type config = {
   ttl_ms : float;                (* record TTL granted by each publish *)
   republish_period_ms : float;   (* origin republish cadence *)
+  alpha : int;                   (* parallel branches per resolve miss *)
   cache : Resolver.config;
 }
 
 let default_config =
-  { ttl_ms = 10_000.0; republish_period_ms = 4_000.0; cache = Resolver.default_config }
+  { ttl_ms = 10_000.0; republish_period_ms = 4_000.0; alpha = 1;
+    cache = Resolver.default_config }
 
 type t = {
   proto : Proto.t;
@@ -50,6 +53,7 @@ type t = {
   metrics : Metrics.t;
   store : Provider_store.t;
   pb : Proto_batch.t;
+  ab : Alpha.t;                      (* resolve-miss walks when alpha > 1 *)
   resolvers : Resolver.t option array;
   (* intents: struct-of-arrays, never compacted (inactive rows stay) *)
   mutable icap : int;
@@ -92,6 +96,7 @@ let create ~proto ~routers ~hint cfg =
     metrics;
     store = Provider_store.create ~routers ~hint ();
     pb = Proto_batch.create ~hint proto;
+    ab = Alpha.create ~hint ~alpha:(max 1 cfg.alpha) proto;
     resolvers = Array.make routers None;
     icap;
     icount = 0;
@@ -346,11 +351,17 @@ let judge t ~service ~(served : Id.t array) =
     if truth = 0 then (false, true) else (true, !dead)
   end
 
+(* Misses ride the α-parallel register file when [cfg.alpha > 1] (the
+   winning branch prices latency; losing-branch hops are billed to
+   [svc-resolve-msg] too — redundancy is real traffic) and the plain
+   sequential batch walk otherwise, keeping α=1 campaigns byte-identical
+   to the pre-α engine. *)
 let resolve_batch t ~now ~n ~(from : int array) ~(services : Id.t array) =
   if Array.length from < n || Array.length services < n then
     invalid_arg "Directory.resolve_batch: input arrays shorter than batch";
   ensure_registers t n;
-  Proto_batch.clear t.pb;
+  let use_alpha = t.cfg.alpha > 1 in
+  if use_alpha then Alpha.clear t.ab else Proto_batch.clear t.pb;
   let misses = ref 0 in
   for i = 0 to n - 1 do
     let rv = resolver_for t from.(i) in
@@ -365,17 +376,40 @@ let resolve_batch t ~now ~n ~(from : int array) ~(services : Id.t array) =
       if stale then incr t.h_stale
     | None ->
       t.r_hit.(i) <- false;
-      let j = Proto_batch.stage t.pb ~from:from.(i) ~target:services.(i) in
+      let j =
+        if use_alpha then Alpha.stage t.ab ~from:from.(i) ~target:services.(i)
+        else Proto_batch.stage t.pb ~from:from.(i) ~target:services.(i)
+      in
       t.m_idx.(j) <- i;
       incr misses
   done;
   if !misses > 0 then begin
-    Proto_batch.run t.pb;
-    for j = 0 to Proto_batch.length t.pb - 1 do
+    let blen =
+      if use_alpha then begin
+        Alpha.run t.ab;
+        Alpha.length t.ab
+      end
+      else begin
+        Proto_batch.run t.pb;
+        Proto_batch.length t.pb
+      end
+    in
+    let resolved j =
+      if use_alpha then Alpha.resolved t.ab j else Proto_batch.resolved t.pb j
+    and owner_router j =
+      if use_alpha then Alpha.owner_router t.ab j
+      else Proto_batch.owner_router t.pb j
+    and latency_ms j =
+      if use_alpha then Alpha.latency_ms t.ab j else Proto_batch.latency_ms t.pb j
+    and link_hops j =
+      if use_alpha then Alpha.link_hops t.ab j + Alpha.wasted_link_hops t.ab j
+      else Proto_batch.link_hops t.pb j
+    in
+    for j = 0 to blen - 1 do
       let i = t.m_idx.(j) in
       let service = services.(i) in
-      if Proto_batch.resolved t.pb j then begin
-        let owner = Proto_batch.owner_router t.pb j in
+      if resolved j then begin
+        let owner = owner_router j in
         ensure_pbuf t (Provider_store.service_records t.store service);
         let cnt =
           Provider_store.providers_at_into t.store ~service ~at:owner ~now t.pbuf
@@ -384,9 +418,9 @@ let resolve_batch t ~now ~n ~(from : int array) ~(services : Id.t array) =
         Resolver.install (resolver_for t from.(i)) ~now service answer;
         t.r_pos.(i) <- cnt > 0;
         t.r_lat.(i) <-
-          Proto_batch.latency_ms t.pb j +. Proto.latency_between t.proto owner from.(i);
+          latency_ms j +. Proto.latency_between t.proto owner from.(i);
         t.h_res_msg :=
-          !(t.h_res_msg) + Proto_batch.link_hops t.pb j
+          !(t.h_res_msg) + link_hops j
           + Proto.link_hops_between t.proto owner from.(i);
         let ok, stale = judge t ~service ~served:answer in
         t.r_ok.(i) <- ok;
@@ -399,11 +433,15 @@ let resolve_batch t ~now ~n ~(from : int array) ~(services : Id.t array) =
         t.r_pos.(i) <- false;
         t.r_ok.(i) <- false;
         t.r_stale.(i) <- false;
-        t.r_lat.(i) <- Proto_batch.latency_ms t.pb j;
-        t.h_res_msg := !(t.h_res_msg) + Proto_batch.link_hops t.pb j
+        t.r_lat.(i) <- latency_ms j;
+        t.h_res_msg := !(t.h_res_msg) + link_hops j
       end
     done
   end
+
+let resolve_wasted_hops t = Alpha.total_wasted_hops t.ab
+
+let resolve_cancellations t = Alpha.total_cancellations t.ab
 
 let res_hit t i = t.r_hit.(i)
 let res_positive t i = t.r_pos.(i)

@@ -27,11 +27,14 @@
 type config = {
   ttl_ms : float;               (** record TTL granted by each publish *)
   republish_period_ms : float;  (** origin republish cadence *)
+  alpha : int;                  (** parallel walk branches per resolve miss;
+                                    1 = the sequential pre-α engine *)
   cache : Resolver.config;
 }
 
 val default_config : config
-(** 10 s TTL, 4 s republish period, {!Resolver.default_config} caches. *)
+(** 10 s TTL, 4 s republish period, α = 1,
+    {!Resolver.default_config} caches. *)
 
 type t
 
@@ -107,8 +110,19 @@ val resolve_batch :
     [Proto.lookup_owner_batch] walk to their ring owners, read the provider
     records there, and install (positive or negative) cache entries.  Miss
     latency is the walk's priced latency plus the shortest-path response
-    leg.  Read the per-lookup verdicts with the accessors below before the
-    next batch reuses the registers. *)
+    leg.  With [config.alpha > 1] the misses ride the α-parallel register
+    file ({!Rofl_dataplane.Alpha}) instead: the winning branch prices the
+    latency, and losing-branch link traversals are billed to
+    [svc-resolve-msg] on top — redundancy is real traffic.  Read the
+    per-lookup verdicts with the accessors below before the next batch
+    reuses the registers. *)
+
+val resolve_wasted_hops : t -> int
+(** Cumulative ring hops burned by losing α-branches of resolve misses
+    (0 when [config.alpha = 1]). *)
+
+val resolve_cancellations : t -> int
+(** Cumulative cooperative cancellations issued by resolve misses. *)
 
 val resolver_for : t -> int -> Resolver.t
 val iter_resolvers : t -> (Resolver.t -> unit) -> unit

@@ -1,0 +1,221 @@
+(* α-parallel lookup engine: α=1 must be byte-identical to the sequential
+   batch walk, any α must agree with the sequential verdict on first
+   success, cancellation must never strand a branch register slot (the
+   freelist drains to empty after every run), and the network-size
+   estimator feeding the self-tuner must land near the true membership at
+   several ring sizes. *)
+
+module Id = Rofl_idspace.Id
+module Prng = Rofl_util.Prng
+module Gen = Rofl_topology.Gen
+module Sha256 = Rofl_crypto.Sha256
+module Proto = Rofl_proto.Proto
+module Proto_batch = Rofl_dataplane.Proto_batch
+module Alpha = Rofl_dataplane.Alpha
+
+let spread_id k =
+  Id.of_bytes_exn (String.sub (Sha256.digest (Printf.sprintf "a:%d" k)) 0 16)
+
+(* A small actor ring; [crash] leaves tables mid-repair so stale pointers
+   and settle paths are live (the walk is pure-read either way). *)
+let build_proto ?(seed = 41) ?(n = 30) ?(joins = 25) ?(crash = false) () =
+  let topo = Gen.waxman (Prng.create seed) ~n ~alpha:0.4 ~beta:0.2 in
+  let t = Proto.create ~rng:(Prng.create seed) topo in
+  let rng = Prng.create (seed + 1) in
+  let joined = ref 0 in
+  while !joined < joins do
+    Proto.join t ~gateway:(Prng.int rng n) (Id.random rng);
+    incr joined
+  done;
+  ignore (Proto.run_until_quiescent t ~max_ms:120_000.0);
+  let members = Array.of_list (Proto.members t) in
+  if crash then begin
+    ignore (Proto.crash t members.(Array.length members / 2));
+    Proto.run_for t 40.0
+  end;
+  (t, members, n)
+
+let lookup_set ~n ~count members =
+  let from = Array.init count (fun k -> (7 * k) mod n) in
+  let targets =
+    Array.init count (fun k ->
+        if k mod 3 = 0 then spread_id (500 + k)
+        else members.(k * 3 mod Array.length members))
+  in
+  (from, targets)
+
+(* ---- α=1 byte-identity against the sequential register file ------------- *)
+
+let test_alpha1_eq_proto_batch () =
+  let t, members, n = build_proto ~crash:true () in
+  let from, targets = lookup_set ~n ~count:40 members in
+  let count = Array.length from in
+  let pb = Proto_batch.create t in
+  let ab = Alpha.create ~alpha:1 t in
+  for i = 0 to count - 1 do
+    ignore (Proto_batch.stage pb ~from:from.(i) ~target:targets.(i));
+    ignore (Alpha.stage ab ~from:from.(i) ~target:targets.(i))
+  done;
+  Proto_batch.run pb;
+  Alpha.run ab;
+  for i = 0 to count - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "#%d resolved" i)
+      (Proto_batch.resolved pb i) (Alpha.resolved ab i);
+    if Proto_batch.resolved pb i then begin
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d owner id" i)
+        true
+        (Id.equal (Proto_batch.owner_id pb i) (Alpha.owner_id ab i));
+      Alcotest.(check int)
+        (Printf.sprintf "#%d winner branch" i)
+        0 (Alpha.winner_branch ab i)
+    end;
+    Alcotest.(check int)
+      (Printf.sprintf "#%d owner router" i)
+      (Proto_batch.owner_router pb i) (Alpha.owner_router ab i);
+    Alcotest.(check int)
+      (Printf.sprintf "#%d ring hops" i)
+      (Proto_batch.ring_hops pb i) (Alpha.ring_hops ab i);
+    Alcotest.(check int)
+      (Printf.sprintf "#%d link hops" i)
+      (Proto_batch.link_hops pb i) (Alpha.link_hops ab i);
+    Alcotest.(check bool)
+      (Printf.sprintf "#%d latency %.17g=%.17g" i (Proto_batch.latency_ms pb i)
+         (Alpha.latency_ms ab i))
+      true
+      (Proto_batch.latency_ms pb i = Alpha.latency_ms ab i);
+    Alcotest.(check int) (Printf.sprintf "#%d branches" i) 1 (Alpha.branches ab i);
+    Alcotest.(check int) (Printf.sprintf "#%d wasted" i) 0 (Alpha.wasted_hops ab i)
+  done;
+  Alcotest.(check int) "no slots in flight" 0 (Alpha.slots_in_flight ab);
+  Alcotest.(check int) "no cancellations at alpha 1" 0 (Alpha.cancellations ab)
+
+(* ---- first-success verdict equality at any α ----------------------------- *)
+
+let test_any_alpha_verdict_eq_sequential () =
+  let t, members, n = build_proto () in
+  let from, targets = lookup_set ~n ~count:40 members in
+  let count = Array.length from in
+  let reference =
+    Array.init count (fun i -> Proto.lookup_owner t ~from:from.(i) targets.(i))
+  in
+  List.iter
+    (fun alpha ->
+      let ab = Alpha.create ~alpha t in
+      for i = 0 to count - 1 do
+        ignore (Alpha.stage ab ~from:from.(i) ~target:targets.(i))
+      done;
+      Alpha.run ab;
+      for i = 0 to count - 1 do
+        let label = Printf.sprintf "alpha=%d #%d" alpha i in
+        (match reference.(i) with
+         | Some owner ->
+           Alcotest.(check bool) (label ^ " resolved") true (Alpha.resolved ab i);
+           Alcotest.(check bool)
+             (label ^ " same owner") true
+             (Id.equal owner (Alpha.owner_id ab i))
+         | None ->
+           Alcotest.(check bool) (label ^ " unresolved") false (Alpha.resolved ab i));
+        let b = Alpha.branches ab i in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s 1 <= branches=%d <= alpha" label b)
+          true
+          (b >= 1 && b <= alpha);
+        if Alpha.resolved ab i then begin
+          let w = Alpha.winner_branch ab i in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s winner %d in range" label w)
+            true (w >= 0 && w < b)
+        end
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "alpha=%d no slots in flight" alpha)
+        0 (Alpha.slots_in_flight ab))
+    [ 2; 3; 4 ];
+  (* the batch facade agrees too *)
+  let facade = Proto.lookup_owner_batch ~alpha:3 t ~from ~targets in
+  Array.iteri
+    (fun i expect ->
+      Alcotest.(check bool)
+        (Printf.sprintf "facade #%d agrees" i)
+        true
+        (match (expect, reference.(i)) with
+        | None, None -> true
+        | Some a, Some b -> Id.equal a b
+        | _ -> false))
+    facade
+
+(* ---- QCheck: cancellation never strands register slots ------------------- *)
+
+let qcheck_freelist_drains =
+  QCheck.Test.make ~count:10
+    ~name:"alpha register file: freelist drains to empty after every run"
+    QCheck.(triple (int_range 1 1000) (int_range 1 5) (int_range 1 33))
+    (fun (seed, alpha, count) ->
+      let t, members, n =
+        build_proto ~seed ~n:(16 + (seed mod 9)) ~joins:(12 + (seed mod 7))
+          ~crash:(seed mod 2 = 0) ()
+      in
+      let from, targets = lookup_set ~n ~count members in
+      let ab = Alpha.create ~hint:4 ~alpha t in
+      (* two runs through the same register file: growth, reuse, and the
+         cumulative ledgers must all keep the freelist invariant *)
+      for _round = 1 to 2 do
+        Alpha.clear ab;
+        for i = 0 to count - 1 do
+          ignore (Alpha.stage ab ~from:from.(i) ~target:targets.(i))
+        done;
+        Alpha.run ab;
+        if Alpha.slots_in_flight ab <> 0 then
+          QCheck.Test.fail_reportf "%d slot(s) stranded (alpha=%d count=%d)"
+            (Alpha.slots_in_flight ab) alpha count;
+        for i = 0 to count - 1 do
+          let b = Alpha.branches ab i in
+          if b < 1 || b > alpha then
+            QCheck.Test.fail_reportf "lookup %d seeded %d branches (alpha=%d)" i b
+              alpha
+        done
+      done;
+      true)
+
+(* ---- network-size estimation accuracy ------------------------------------ *)
+
+(* The estimator feeds the self-tuner through its median (per-node samples
+   are Erlang-noisy, individual nodes off by 8x are expected), so the pin
+   is on the median: within factor 2 of the true membership once the ring
+   has stabilised its successor lists. *)
+let test_estimate_n_accuracy () =
+  let topo = Gen.waxman (Prng.create 17) ~n:20 ~alpha:0.4 ~beta:0.2 in
+  List.iter
+    (fun hosts ->
+      let t =
+        Proto.create ~rng:(Prng.create 17) ~bootstrap_hosts:hosts topo
+      in
+      ignore (Proto.run_until_quiescent t ~max_ms:120_000.0);
+      let actual = float_of_int (List.length (Proto.members t)) in
+      let nhat = Proto.estimate_n t in
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d: estimate %.0f within factor 2 of %.0f" hosts nhat
+           actual)
+        true
+        (nhat >= actual /. 2.0 && nhat <= actual *. 2.0))
+    [ 100; 1000; 5000 ]
+
+let () =
+  Alcotest.run "alpha"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "alpha=1 byte-identical to sequential batch" `Slow
+            test_alpha1_eq_proto_batch;
+          Alcotest.test_case "any alpha: first-success verdict = sequential" `Slow
+            test_any_alpha_verdict_eq_sequential;
+          QCheck_alcotest.to_alcotest qcheck_freelist_drains;
+        ] );
+      ( "estimate",
+        [
+          Alcotest.test_case "size estimate within factor 2 at 3 ring sizes" `Slow
+            test_estimate_n_accuracy;
+        ] );
+    ]
