@@ -138,6 +138,9 @@ let micro () =
      measurable per-run overhead. *)
   let probes = Array.init 512 (fun _ -> Id.random rng) in
   let succ_i = ref 0 and msucc_i = ref 0 in
+  let verify_cred = Rofl_crypto.Identity.credential_for id_a in
+  let verify_rng = Rofl_util.Prng.create 0x7e11f in
+  let grind_rng = Rofl_util.Prng.create 0x0c4a7 in
   let tests =
     [
       Test.make ~name:"id-distance"
@@ -176,6 +179,23 @@ let micro () =
       Test.make ~name:"chord-lookup-2k"
         (Staged.stage (fun () ->
              ignore (Rofl_baselines.Chord.lookup chord ~from:members.(0) id_b)));
+      (* Attack-lab rows: the defense's per-admission price (one full
+         challenge/response residency handshake — what every verified join
+         and failover promotion charges) and the attacker's per-draw price
+         (one keypair minted and hashed while mining identifiers at an
+         arc).  Gated so the verification path cannot quietly grow a
+         per-admission allocation habit. *)
+      Test.make ~name:"verify-handshake"
+        (Staged.stage (fun () ->
+             let c = Rofl_crypto.Identity.fresh_challenge verify_rng in
+             let r = Rofl_crypto.Identity.respond verify_cred c in
+             ignore (Rofl_crypto.Identity.check_response ~claimed:id_a c r)));
+      Test.make ~name:"grind-16"
+        (Staged.stage (fun () ->
+             ignore
+               (Rofl_crypto.Identity.grind grind_rng
+                  ~accept:(fun _ -> false)
+                  ~budget:16)));
     ]
   in
   let test = Test.make_grouped ~name:"rofl" ~fmt:"%s/%s" tests in

@@ -38,6 +38,8 @@ let experiments : (string * string * (E.Common.scale -> Table.t list)) list =
     ("services", "service-discovery SLOs under flash crowds and republish storms",
      E.Serviceslab.services);
     ("megachurn", "million-host audited campaign on compact state", E.Churnlab.megachurn);
+    ("attack", "eclipse/poison/forge attack grid vs diversity and verification defenses",
+     E.Attacklab.attack);
     ("summary", "paper §6.4 summary vs measured", E.Summary.summary);
     ("ablations", "all design-choice ablations", E.Ablations.all);
     ("compare-compact", "compact routing vs ROFL", E.Compare.compact_vs_rofl);
@@ -228,6 +230,8 @@ let doctor_inject kind seed out =
     match kind with
     | Doctorlab.Stab_off_crash -> "stab-off"
     | Doctorlab.Loopy_splice -> "loopy"
+    | Doctorlab.Eclipse_inject -> "eclipse"
+    | Doctorlab.Poison_inject -> "poison"
   in
   let sc = Doctorlab.inject_scenario ~seed kind in
   Printf.printf "injecting %s fault at seed %d...\n%!" kind_name seed;
@@ -283,12 +287,15 @@ let doctor_cmd =
   in
   let inject_opt =
     let doc =
-      "Self-test: inject $(docv) (one of 'stab-off', 'loopy'), expect the audit \
-       to catch it, shrink, and replay the artifact."
+      "Self-test: inject $(docv) (one of 'stab-off', 'loopy', 'eclipse', \
+       'poison'), expect the audit to catch it, shrink, and replay the artifact."
     in
     let kind =
       Arg.enum
-        [ ("stab-off", Doctorlab.Stab_off_crash); ("loopy", Doctorlab.Loopy_splice) ]
+        [ ("stab-off", Doctorlab.Stab_off_crash);
+          ("loopy", Doctorlab.Loopy_splice);
+          ("eclipse", Doctorlab.Eclipse_inject);
+          ("poison", Doctorlab.Poison_inject) ]
     in
     Arg.(value & opt (some kind) None & info [ "inject" ] ~doc ~docv:"FAULT")
   in

@@ -33,15 +33,28 @@ let respond (kp : keypair) challenge =
    response must carry the same public key, and the tag must be well-formed
    and deterministic for (secret, challenge).  A forger without the secret
    cannot produce the tag because it would need SHA-256 preimages.  We model
-   verification as recomputing via a registry of issued keypairs. *)
+   verification as recomputing via a registry of issued keypairs.  The
+   registry is process-global shared mutable state; campaigns generate keys
+   from several [Pool] domains, so every access takes the lock. *)
 let registry : (public, string) Hashtbl.t = Hashtbl.create 256
 
-let register (kp : keypair) = Hashtbl.replace registry kp.pub kp.secret
+let registry_lock = Mutex.create ()
+
+let register (kp : keypair) =
+  Mutex.lock registry_lock;
+  Hashtbl.replace registry kp.pub kp.secret;
+  Mutex.unlock registry_lock
+
+let registry_find pub =
+  Mutex.lock registry_lock;
+  let r = Hashtbl.find_opt registry pub in
+  Mutex.unlock registry_lock;
+  r
 
 let verify pub challenge resp =
   resp.pub = pub
   &&
-  match Hashtbl.find_opt registry pub with
+  match registry_find pub with
   | None -> false
   | Some secret -> Hmac.verify ~key:secret ~msg:("resp:" ^ challenge ^ pub) ~tag:resp.tag
 
@@ -50,6 +63,56 @@ let generate g =
   let kp = generate g in
   register kp;
   kp
+
+(* Campaigns mint session identifiers directly from simulation randomness
+   rather than by hashing freshly generated keys, so those identifiers have
+   no registry entry.  [credential_for] is the deterministic stand-in for
+   "the keypair the minting host holds for this identifier": a pure function
+   of the identifier bytes, so every domain and every shard layout derives
+   the same binding without shared state.  Only code playing the *owner* of
+   an identifier may call it — an attacker forging someone else's identifier
+   is modelled by presenting a keypair that is neither this canonical
+   credential nor a hash-preimage of the identifier. *)
+let credential_for id =
+  let g = Prng.create (Hashtbl.hash (Id.to_bytes id, 0x1dc5ed)) in
+  let raw = Id.to_bytes (Id.random g) ^ Id.to_bytes (Id.random g) in
+  let secret = "sk-for:" ^ raw ^ Id.to_bytes id in
+  { secret; pub = Sha256.digest ("pk-derive:" ^ secret) }
+
+(* A response proves ownership of [claimed] iff the public key it carries is
+   bound to the identifier — either genuinely self-certifying
+   (claimed = H(pub), secret known to the registry) or the canonical
+   simulation credential minted with the identifier — and the HMAC tag was
+   produced with that key's secret over this exact challenge. *)
+let check_response ~claimed challenge (resp : response) =
+  let msg = "resp:" ^ challenge ^ resp.pub in
+  if Id.equal claimed (id_of_public resp.pub) then
+    match registry_find resp.pub with
+    | None -> false
+    | Some secret -> Hmac.verify ~key:secret ~msg ~tag:resp.tag
+  else begin
+    let kp = credential_for claimed in
+    String.equal resp.pub kp.pub && Hmac.verify ~key:kp.secret ~msg ~tag:resp.tag
+  end
+
+let verify_claim g ~claimed prover =
+  let challenge = fresh_challenge g in
+  if check_response ~claimed challenge (prover challenge) then Ok ()
+  else Error "challenge/response failed: prover does not hold the identifier's key"
+
+(* Key grinding: draw fresh self-certifying keypairs until one hashes into
+   the acceptance region.  This is exactly the work a Sybil attacker must
+   spend to place identifiers around a victim — the draw count is the
+   honest cost figure campaigns report. *)
+let grind g ~accept ~budget =
+  let rec go draws =
+    if draws >= budget then (None, draws)
+    else begin
+      let kp = generate g in
+      if accept (id_of_keypair kp) then (Some kp, draws + 1) else go (draws + 1)
+    end
+  in
+  go 0
 
 let authenticate g ~claimed_id pub prover =
   if not (Id.equal claimed_id (id_of_public pub)) then

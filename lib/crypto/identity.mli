@@ -52,6 +52,38 @@ val authenticate :
     identifier matches the hash of the public key, then run one
     challenge/response round trip.  Returns [Error reason] on spoofing. *)
 
+val credential_for : Rofl_idspace.Id.t -> keypair
+(** Canonical simulation credential for an identifier minted directly from
+    campaign randomness (rather than by hashing a generated key).  Pure
+    function of the identifier bytes — every domain derives the same binding
+    with no shared state.  Models "the keypair the minting host holds"; only
+    the identifier's rightful owner may present it. *)
+
+val check_response :
+  claimed:Rofl_idspace.Id.t -> challenge -> response -> bool
+(** Does this response prove ownership of [claimed] for this challenge?
+    Accepts a genuinely self-certifying key ([claimed = H(pub)], secret on
+    record) or the canonical [credential_for] binding; rejects everything
+    else, including valid tags under a key bound to a different identifier. *)
+
+val verify_claim :
+  Rofl_util.Prng.t ->
+  claimed:Rofl_idspace.Id.t ->
+  (challenge -> response) ->
+  (unit, string) result
+(** One challenge/response round trip against [check_response].  Unlike
+    {!authenticate} it also accepts canonical campaign credentials, so it is
+    the verification entry point for the dynamic ring. *)
+
+val grind :
+  Rofl_util.Prng.t ->
+  accept:(Rofl_idspace.Id.t -> bool) ->
+  budget:int ->
+  keypair option * int
+(** Draw fresh keypairs until one's identifier satisfies [accept] or [budget]
+    draws are spent.  Returns the keypair (if found) and the number of draws —
+    the work a Sybil attacker pays to aim identifiers at a ring region. *)
+
 type sybil_auditor
 (** Per-router audit state bounding the number of resident identifiers — the
     damage-control mechanism against Sybil attacks the paper sketches. *)

@@ -1,12 +1,32 @@
 module Churn = Rofl_workload.Churn
 
-type fault = Cross_splice of { at_ms : float } | Stab_off of { at_ms : float }
+type fault =
+  | Cross_splice of { at_ms : float }
+  | Stab_off of { at_ms : float }
+  | Eclipse of { at_ms : float; victim : int; count : int; crash_at_ms : float }
+      (** mine [count] self-certifying sybil identifiers into the ring arc
+          owned by router [victim]'s label and join them; a negative
+          [crash_at_ms] means they stay, otherwise they all crash at once
+          then — the coordinated-failure half of an eclipse *)
+  | Poison of { at_ms : float; fraction : float }
+      (** flip a content-keyed [fraction] of routers to
+          [Proto.Poison_succs] conduct *)
+  | Forge of { at_ms : float; count : int }
+      (** submit [count] joins whose credentials belong to a different
+          identifier — the forged-claim workload the verification gate
+          exists to reject *)
 
 type event = Churn of Churn.event | Fault of fault
 
 let event_time = function
   | Churn e -> Churn.event_time e
-  | Fault (Cross_splice { at_ms } | Stab_off { at_ms }) -> at_ms
+  | Fault
+      ( Cross_splice { at_ms }
+      | Stab_off { at_ms }
+      | Eclipse { at_ms; _ }
+      | Poison { at_ms; _ }
+      | Forge { at_ms; _ } ) ->
+    at_ms
 
 type t = {
   seed : int;
@@ -29,6 +49,11 @@ let event_to_line = function
   | Churn (Churn.Crash { at_ms; seq }) -> Printf.sprintf "event crash %s %d" (fl at_ms) seq
   | Fault (Cross_splice { at_ms }) -> Printf.sprintf "event cross-splice %s" (fl at_ms)
   | Fault (Stab_off { at_ms }) -> Printf.sprintf "event stab-off %s" (fl at_ms)
+  | Fault (Eclipse { at_ms; victim; count; crash_at_ms }) ->
+    Printf.sprintf "event eclipse %s %d %d %s" (fl at_ms) victim count (fl crash_at_ms)
+  | Fault (Poison { at_ms; fraction }) ->
+    Printf.sprintf "event poison %s %s" (fl at_ms) (fl fraction)
+  | Fault (Forge { at_ms; count }) -> Printf.sprintf "event forge %s %d" (fl at_ms) count
 
 let to_lines a =
   (magic :: Printf.sprintf "seed %d" a.seed :: Printf.sprintf "graph %s" a.graph
@@ -47,23 +72,48 @@ let int_of_token s =
   | Some i -> Ok i
   | None -> Error (Printf.sprintf "malformed int %S" s)
 
+(* Dispatch on the event kind before the operand count: kinds disagree on
+   arity and on operand types (poison's second operand is a float where the
+   churn kinds carry an int seq). *)
 let event_of_line line =
   match String.split_on_char ' ' line with
-  | [ "event"; kind; at; seq ] ->
-    let* at_ms = float_of_token at in
-    let* seq = int_of_token seq in
-    (match kind with
-     | "join" -> Ok (Churn (Churn.Join { at_ms; seq }))
-     | "leave" -> Ok (Churn (Churn.Leave { at_ms; seq }))
-     | "move" -> Ok (Churn (Churn.Move { at_ms; seq }))
-     | "crash" -> Ok (Churn (Churn.Crash { at_ms; seq }))
-     | k -> Error (Printf.sprintf "unknown churn event kind %S" k))
-  | [ "event"; kind; at ] ->
-    let* at_ms = float_of_token at in
-    (match kind with
-     | "cross-splice" -> Ok (Fault (Cross_splice { at_ms }))
-     | "stab-off" -> Ok (Fault (Stab_off { at_ms }))
-     | k -> Error (Printf.sprintf "unknown fault kind %S" k))
+  | "event" :: kind :: operands ->
+    (match (kind, operands) with
+     | ("join" | "leave" | "move" | "crash"), [ at; seq ] ->
+       let* at_ms = float_of_token at in
+       let* seq = int_of_token seq in
+       Ok
+         (Churn
+            (match kind with
+             | "join" -> Churn.Join { at_ms; seq }
+             | "leave" -> Churn.Leave { at_ms; seq }
+             | "move" -> Churn.Move { at_ms; seq }
+             | _ -> Churn.Crash { at_ms; seq }))
+     | "cross-splice", [ at ] ->
+       let* at_ms = float_of_token at in
+       Ok (Fault (Cross_splice { at_ms }))
+     | "stab-off", [ at ] ->
+       let* at_ms = float_of_token at in
+       Ok (Fault (Stab_off { at_ms }))
+     | "eclipse", [ at; victim; count; crash ] ->
+       let* at_ms = float_of_token at in
+       let* victim = int_of_token victim in
+       let* count = int_of_token count in
+       let* crash_at_ms = float_of_token crash in
+       Ok (Fault (Eclipse { at_ms; victim; count; crash_at_ms }))
+     | "poison", [ at; fraction ] ->
+       let* at_ms = float_of_token at in
+       let* fraction = float_of_token fraction in
+       Ok (Fault (Poison { at_ms; fraction }))
+     | "forge", [ at; count ] ->
+       let* at_ms = float_of_token at in
+       let* count = int_of_token count in
+       Ok (Fault (Forge { at_ms; count }))
+     | ( ( "join" | "leave" | "move" | "crash" | "cross-splice" | "stab-off"
+         | "eclipse" | "poison" | "forge" ),
+         _ ) ->
+       Error (Printf.sprintf "wrong operand count for event %S" line)
+     | k, _ -> Error (Printf.sprintf "unknown event kind %S" k))
   | _ -> Error (Printf.sprintf "malformed event line %S" line)
 
 let of_lines lines =

@@ -26,6 +26,19 @@ type fault =
       (** {!Rofl_proto.Proto.inject_cross_splice} at the given time *)
   | Stab_off of { at_ms : float }
       (** stop the stabilizer at the given time *)
+  | Eclipse of { at_ms : float; victim : int; count : int; crash_at_ms : float }
+      (** mine [count] self-certifying sybil identifiers into the ring arc
+          owned by router [victim]'s label and join them all through one
+          content-keyed attacker gateway; a negative [crash_at_ms] leaves
+          them resident, otherwise they all crash at once then — the
+          coordinated-failure half of an eclipse *)
+  | Poison of { at_ms : float; fraction : float }
+      (** flip a content-keyed [fraction] of routers to
+          [Rofl_proto.Proto.Poison_succs] conduct *)
+  | Forge of { at_ms : float; count : int }
+      (** submit [count] joins whose credentials belong to a different
+          identifier — the forged-claim workload the verification gate
+          exists to reject *)
 
 type event = Churn of Rofl_workload.Churn.event | Fault of fault
 

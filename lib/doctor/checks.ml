@@ -132,6 +132,78 @@ let proto_checks ?stale_grace_ms ~at_ms (p : Proto.t) =
            emit "stale-grace" (short rid)
              "successor stale for %.0f ms (grace %.0f ms)" open_ms grace)
        (Proto.stale_open_since p));
+  (* ---- attack-detection invariants.  These audit the *declared* policy
+     ([Proto.config]), not the enforcement switch: a ring that declares a
+     diversity quota but runs with [quota_enforce = false] is exactly the
+     configuration whose saturation these checks exist to surface. *)
+  let cfg = Proto.config p in
+  let groups = Proto.router_groups p in
+  (* Eclipse saturation: more *admitted* backups from one diversity group
+     (PoP) than the declared per-group quota.  A backup tail monopolised by
+     one group is one coordinated crash away from a black hole — the
+     structural signature of a sybil eclipse.  Infrastructure entries (a
+     router's own label hosted at itself) are exempt, mirroring the
+     enforcement filter: their placement is the operator's topology, and
+     small rings legitimately run same-PoP label streaks. *)
+  if cfg.Proto.succ_quota > 0 && Array.length groups > 0 then
+    List.iter
+      (fun (vw : Proto.resident_view) ->
+        let counts = Hashtbl.create 8 in
+        List.iter
+          (fun (b, r) ->
+            if not (Rofl_idspace.Id.equal b (Proto.router_label r)) then
+              let g = groups.(r) in
+              Hashtbl.replace counts g
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts g)))
+          vw.v_succ_list;
+        Hashtbl.iter
+          (fun g c ->
+            if c > cfg.Proto.succ_quota then
+              emit "eclipse-saturation" (short vw.v_id)
+                "%d of %d backups from group %d (quota %d)" c
+                (List.length vw.v_succ_list)
+                g cfg.Proto.succ_quota)
+          counts)
+      views;
+  (* Poisoned pointers: an identifier referenced by someone's pointer state
+     (successor, backup tail, predecessor, or a pointer-cache entry) that
+     was never admitted to the ring.  Residents only learn identifiers from
+     protocol messages, so a never-admitted pointee means a router
+     fabricated it — the Poison_succs signature. *)
+  let poisoned = Hashtbl.create 8 in
+  let suspect id ~holder ~via =
+    if not (Proto.ever_member p id) then
+      if not (Hashtbl.mem poisoned id) then begin
+        Hashtbl.replace poisoned id ();
+        emit "poison-residency" (short id) "%s pointer of %s names a never-admitted id"
+          via holder
+      end
+  in
+  List.iter
+    (fun (vw : Proto.resident_view) ->
+      let holder = short vw.v_id in
+      (match vw.v_succ with Some (s, _) -> suspect s ~holder ~via:"successor" | None -> ());
+      List.iter (fun (b, _) -> suspect b ~holder ~via:"backup") vw.v_succ_list;
+      match vw.v_pred with Some (pr, _) -> suspect pr ~holder ~via:"predecessor" | None -> ())
+    views;
+  Proto.pcache_iter p (fun ~router id _ ->
+      suspect id ~holder:(Printf.sprintf "router-%d" router) ~via:"pointer-cache");
+  (* Forged admissions: residents whose join claim failed verification but
+     were admitted anyway (only possible with [verify_joins] off) — the
+     ground truth behind the headline unverified-join hole. *)
+  List.iter
+    (fun (vw : Proto.resident_view) ->
+      if Proto.is_tainted p vw.v_id then
+        emit "forged-admission" (short vw.v_id)
+          "resident at router %d was admitted under a failed identity proof"
+          vw.v_router)
+    views;
+  (* Pointer-cache diversity quota: enforcement bookkeeping, symmetric to
+     pcache-capacity — if insertion's group accounting broke, some cache
+     holds more entries of one group than its admission quota allows. *)
+  if cfg.Proto.quota_enforce && not (Proto.pcache_quota_ok p) then
+    emit "pcache-quota" "proto"
+      "a router's pointer cache exceeds the per-group quota of %d" cfg.Proto.succ_quota;
   List.rev !out
 
 (* ---- pointer-cache agreement -------------------------------------------- *)

@@ -33,7 +33,21 @@ val proto_checks :
     on a converged ring of ≥ 64 members the median estimate must land
     within factor 4 of the membership — only the median, per-node samples
     are Erlang-noisy), and — when [stale_grace_ms] is given — stale
-    successor windows open past the grace (["stale-grace"]). *)
+    successor windows open past the grace (["stale-grace"]).
+
+    Attack-detection invariants ride the same sweep, auditing the ring's
+    {e declared} policy even when enforcement is off:
+    ["eclipse-saturation"] (a backup tail holding more {e admitted} entries
+    of one diversity group than the declared [succ_quota] — the structural
+    signature of a sybil eclipse; infrastructure entries, a router's own
+    label hosted at itself, are exempt because small rings legitimately run
+    same-PoP label streaks), ["poison-residency"] (a successor,
+    backup, predecessor or pointer-cache entry naming an identifier that
+    was never admitted to the ring — fabricated by a poisoning router),
+    ["forged-admission"] (a resident admitted although its join claim
+    failed identity verification — only possible with [verify_joins] off)
+    and ["pcache-quota"] (a pointer cache holding more entries of one
+    group than its admission quota when enforcement is on). *)
 
 val pointer_cache_checks :
   at_ms:float -> subject:string -> Rofl_core.Pointer_cache.t -> violation list

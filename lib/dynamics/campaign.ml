@@ -5,6 +5,7 @@ module Graph = Rofl_topology.Graph
 module Isp = Rofl_topology.Isp
 module Shard = Rofl_netsim.Shard
 module Proto = Rofl_proto.Proto
+module Identity = Rofl_crypto.Identity
 module Churn = Rofl_workload.Churn
 module Hostdist = Rofl_workload.Hostdist
 module Artifact = Rofl_doctor.Artifact
@@ -69,6 +70,15 @@ type report = {
   event_fingerprint : int;
   sim_end_ms : float;
   audit : Audit.summary option;
+  join_rejects : int;         (* join claims turned away by verification *)
+  promo_rejects : int;        (* failover candidates that failed verification *)
+  tainted : int;              (* forged identifiers resident at campaign end *)
+  sybils : int;               (* mined sybil identifiers joined by an Eclipse fault *)
+  grind_draws : int;          (* keypair draws the attacker paid to mine them *)
+  victim_capture : float;     (* pre-crash victim-arc sweep: fraction of targets
+                                 resolving to a sybil; -1 without an eclipse *)
+  victim_repair : float;      (* post-drain victim-arc sweep: fraction resolving
+                                 to the true owner; -1 without an eclipse *)
 }
 
 (* Derivation seams: every random stream of a campaign is its own generator
@@ -106,14 +116,57 @@ let session_ids ~seed ~taken n =
 let percentile_or xs p ~default =
   match xs with [] -> default | _ -> Stats.percentile xs p
 
+(* First member strictly clockwise of [id]: the far end of the arc [id]
+   owns under the data plane's predecessor-owner semantics.  [id] itself
+   when the list is empty. *)
+let ring_successor members id =
+  List.fold_left
+    (fun best m ->
+      if Id.equal m id then best
+      else
+        match best with
+        | None -> Some m
+        | Some b -> if Id.compare_dist id m id b < 0 then Some m else best)
+    None members
+  |> Option.value ~default:id
+
+(* Ring owner of [id] under the data plane's settle rule — the member
+   closest clockwise *to* [id] without passing it (its predecessor): the
+   greatest member <= id in unsigned order, wrapping to the largest member
+   when [id] precedes them all.  [members] must be sorted. *)
+let ring_owner members id =
+  let n = Array.length members in
+  if n = 0 then None
+  else begin
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Id.compare members.(mid) id <= 0 then lo := mid + 1 else hi := mid
+    done;
+    Some members.(if !lo = 0 then n - 1 else !lo - 1)
+  end
+
+(* Keypair-mining budget per sybil: expected draws per hit is the member
+   count (the arc is ~1/n of the ring), so this covers rings four orders of
+   magnitude larger than the attack campaigns run. *)
+let sybil_grind_budget = 500_000
+
+(* Victim-arc SLO sweep: 64 identifiers sampled uniformly from the arc the
+   victim's label owns, resolved with the pure-read data-plane walk from
+   content-keyed gateways.  Uniform sampling matters: under
+   predecessor-owner semantics a resident sybil captures exactly the
+   sub-arc clockwise of it, so uniform targets measure the captured share
+   of the victim's keyspace. *)
+let victim_sweep_len = 64
+
 let churn_events ~seed (p : params) =
   Churn.generate (stream seed "churn") ~horizon_ms:p.horizon_ms
     ~arrival_rate_per_s:p.arrival_rate_per_s ~mean_lifetime_s:p.mean_lifetime_s
     ~move_fraction:p.move_fraction ~crash_fraction:p.crash_fraction ()
   |> List.map (fun e -> Artifact.Churn e)
 
-let run_events ~seed ~name ~graph ~gateways ?audit ?(shards = 1) ?pool (p : params)
-    events =
+let run_events ~seed ~name ~graph ~gateways ?audit ?(shards = 1) ?pool
+    ?(groups = [||]) ?behaviours (p : params) events =
   if gateways = [||] then invalid_arg "Campaign.run_events: no gateway routers";
   (* Pre-size the per-shard lookup tables for the open-loop concurrency
      Little's law predicts (rate x worst-case response time). *)
@@ -124,7 +177,7 @@ let run_events ~seed ~name ~graph ~gateways ?audit ?(shards = 1) ?pool (p : para
   in
   let proto =
     Proto.create ~rng:(stream seed "proto") ~cfg:p.proto_cfg ~shards ?pool
-      ~bootstrap_hosts:p.bootstrap_hosts ~lookup_hint graph
+      ~bootstrap_hosts:p.bootstrap_hosts ~lookup_hint ~groups ?behaviours graph
   in
   let coord = Proto.coordinator proto in
   let trace =
@@ -145,9 +198,40 @@ let run_events ~seed ~name ~graph ~gateways ?audit ?(shards = 1) ?pool (p : para
           (at_ms, `Move (seq, gateway_for ~seed gateways "move" seq))
         | Artifact.Churn (Churn.Crash { at_ms; seq }) -> (at_ms, `Crash seq)
         | Artifact.Fault (Artifact.Cross_splice { at_ms }) -> (at_ms, `Cross_splice)
-        | Artifact.Fault (Artifact.Stab_off { at_ms }) -> (at_ms, `Stab_off))
+        | Artifact.Fault (Artifact.Stab_off { at_ms }) -> (at_ms, `Stab_off)
+        | Artifact.Fault (Artifact.Eclipse { at_ms; victim; count; crash_at_ms }) ->
+          (at_ms, `Eclipse (victim, count, crash_at_ms))
+        | Artifact.Fault (Artifact.Poison { at_ms; fraction }) ->
+          (at_ms, `Poison fraction)
+        | Artifact.Fault (Artifact.Forge { at_ms; count }) -> (at_ms, `Forge count))
       events
   in
+  (* An eclipse carries two derived moments — the coordinated sybil crash
+     and a pre-crash victim sweep — scheduled up front at plan time (their
+     times are part of the fault, so the plan stays a pure function of the
+     event list).  The sweep sits strictly between injection and crash so
+     equal-time global ordering never matters. *)
+  let planned =
+    planned
+    @ List.concat_map
+        (function
+          | Artifact.Fault (Artifact.Eclipse { at_ms; crash_at_ms; _ }) ->
+            let sweep_at =
+              if crash_at_ms >= 0.0 then
+                Float.max (at_ms +. 0.25) (crash_at_ms -. 0.5)
+              else p.horizon_ms
+            in
+            (sweep_at, `Victim_sweep)
+            :: (if crash_at_ms >= 0.0 then [ (crash_at_ms, `Sybil_crash) ] else [])
+          | _ -> [])
+        events
+  in
+  (* Attack-lab state, written only inside global events. *)
+  let sybils = ref [] in
+  let sybil_set = Hashtbl.create 16 in
+  let grind_draws = ref 0 in
+  let eclipse_targets = ref None in
+  let victim_capture = ref (-1.0) in
   (* Reconvergence is measured from the last *churn* event: injected faults
      are the thing being diagnosed, not workload to recover from. *)
   let last_event_ms =
@@ -178,7 +262,116 @@ let run_events ~seed ~name ~graph ~gateways ?audit ?(shards = 1) ?pool (p : para
             Hashtbl.remove live seq;
             ignore (Proto.crash proto ids.(seq))
           | `Cross_splice -> ignore (Proto.inject_cross_splice proto)
-          | `Stab_off -> Proto.stop_stabilizer proto))
+          | `Stab_off -> Proto.stop_stabilizer proto
+          | `Eclipse (victim, count, _) ->
+            (* Mine self-certifying keypairs whose identifiers land in the
+               arc the victim's label owns, then join them with their own
+               (genuine!) credentials from content-keyed gateways.
+               Verification admits them — mined identifiers really are
+               hashes of their keys; that honest negative is the point.
+               What the attacker buys: the victim's successor list fills
+               with co-conspirators, armed for a coordinated crash. *)
+            let vid = Proto.router_label victim in
+            let arc_end = ring_successor (Proto.members proto) vid in
+            let g =
+              Prng.create (Hashtbl.hash (seed, "eclipse-mine", victim, 0x0c4a7))
+            in
+            let accept id =
+              Id.between vid id arc_end
+              && (not (Hashtbl.mem sybil_set id))
+              && not (Proto.is_member proto id)
+            in
+            let rec mine k acc =
+              if k = 0 then acc
+              else begin
+                let kp, draws = Identity.grind g ~accept ~budget:sybil_grind_budget in
+                grind_draws := !grind_draws + draws;
+                match kp with
+                | None -> acc
+                | Some kp ->
+                  let sid = Identity.id_of_keypair kp in
+                  Hashtbl.replace sybil_set sid ();
+                  mine (k - 1) ((sid, kp) :: acc)
+              end
+            in
+            let mined = List.rev (mine count []) in
+            (* All sybils join through one content-keyed gateway: the
+               attacker hosts them on machines it controls, which is also
+               what concentrates the victim's backup tail in one diversity
+               group — the pattern the per-PoP quota breaks up. *)
+            let attacker_gw = gateway_for ~seed gateways "sybil" victim in
+            List.iter
+              (fun (sid, kp) -> Proto.join proto ~gateway:attacker_gw ~cred:kp sid)
+              mined;
+            sybils := mined;
+            (* SLO probe targets: uniform over the arc the victim owns,
+               fixed now so the pre-crash and post-drain sweeps measure the
+               same keyspace.  Rejection sampling from a content-keyed
+               stream; expected draws per target is the member count. *)
+            let tg = Prng.create (Hashtbl.hash (seed, "victim-targets", victim, 0x0c4a7)) in
+            let targets = Array.make victim_sweep_len vid in
+            let budget = ref 5_000_000 in
+            for i = 0 to victim_sweep_len - 1 do
+              let rec draw () =
+                decr budget;
+                let id = Id.random tg in
+                if Id.between vid id arc_end then id
+                else if !budget <= 0 then Id.succ_id vid
+                else draw ()
+              in
+              targets.(i) <- draw ()
+            done;
+            eclipse_targets := Some targets
+          | `Sybil_crash ->
+            List.iter (fun (sid, _) -> ignore (Proto.crash proto sid)) !sybils
+          | `Poison fraction ->
+            (* Flip a content-keyed subset of routers to successor-list
+               poisoning: a partial Fisher–Yates over the router indices
+               whose draws depend only on (seed, n), never on shard
+               layout. *)
+            let n = Graph.n graph in
+            let k =
+              max 0 (min n (int_of_float (Float.round (fraction *. float_of_int n))))
+            in
+            let g = Prng.create (Hashtbl.hash (seed, "poison-routers", 0x0c4a7)) in
+            let order = Array.init n (fun i -> i) in
+            for i = 0 to k - 1 do
+              let j = i + Prng.int g (n - i) in
+              let tmp = order.(i) in
+              order.(i) <- order.(j);
+              order.(j) <- tmp;
+              Proto.set_behaviour proto order.(i) Proto.Poison_succs
+            done
+          | `Forge count ->
+            (* Joins claiming identifiers whose credentials belong to
+               someone else — the workload the verification gate rejects
+               (and, with it off, admits as tainted residents). *)
+            let g = Prng.create (Hashtbl.hash (seed, "forge", 0x0c4a7)) in
+            for i = 0 to count - 1 do
+              let claimed = Id.random g in
+              let cred = Identity.credential_for (Id.random g) in
+              if not (Proto.is_member proto claimed) then
+                Proto.join proto
+                  ~gateway:(gateway_for ~seed gateways "forge" i)
+                  ~cred claimed
+            done
+          | `Victim_sweep ->
+            (match !eclipse_targets with
+             | None -> ()
+             | Some targets ->
+               let og =
+                 Prng.create (Hashtbl.hash (seed, "victim-origins", 0x0c4a7))
+               in
+               let captured = ref 0 in
+               Array.iter
+                 (fun target ->
+                   let from = gateways.(Prng.int og (Array.length gateways)) in
+                   match Proto.lookup_owner proto ~from target with
+                   | Some owner when Hashtbl.mem sybil_set owner -> incr captured
+                   | Some _ | None -> ())
+                 targets;
+               victim_capture :=
+                 float_of_int !captured /. float_of_int victim_sweep_len)))
     planned;
   (* Open-loop lookup workload: Poisson launch times fixed up front, target
      and origin drawn at launch time from dedicated streams.  Outcomes
@@ -275,6 +468,27 @@ let run_events ~seed ~name ~graph ~gateways ?audit ?(shards = 1) ?pool (p : para
   let lookups_ok = List.length ok_lat in
   let lookups = List.length outcomes in
   let stale = Proto.stale_windows proto in
+  (* Post-drain victim sweep: did the ring repair the eclipsed arc?  Each
+     target's ground truth is its ring owner (predecessor) among the
+     *final* membership — the sybils are gone if the fault crashed them,
+     so the truth is the victim's label again. *)
+  let victim_repair =
+    match !eclipse_targets with
+    | None -> -1.0
+    | Some targets ->
+      let members = Array.of_list (Proto.members proto) in
+      let og = Prng.create (Hashtbl.hash (seed, "victim-origins-post", 0x0c4a7)) in
+      let good = ref 0 in
+      Array.iter
+        (fun target ->
+          let truth = ring_owner members target in
+          let from = gateways.(Prng.int og (Array.length gateways)) in
+          match (Proto.lookup_owner proto ~from target, truth) with
+          | Some owner, Some truth when Id.equal owner truth -> incr good
+          | _ -> ())
+        targets;
+      float_of_int !good /. float_of_int victim_sweep_len
+  in
   let joins_evt, leaves_evt, moves_evt, crashes_evt = Churn.count trace in
   let events_n = joins_evt + leaves_evt + moves_evt + crashes_evt in
   let sim_end = Shard.now coord in
@@ -316,19 +530,31 @@ let run_events ~seed ~name ~graph ~gateways ?audit ?(shards = 1) ?pool (p : para
     event_fingerprint = Shard.fingerprint coord;
     sim_end_ms = sim_end;
     audit = audit_summary;
+    join_rejects = s.Proto.join_rejects;
+    promo_rejects = s.Proto.promo_rejects;
+    tainted = Proto.tainted_count proto;
+    sybils = List.length !sybils;
+    grind_draws = !grind_draws;
+    victim_capture = !victim_capture;
+    victim_repair;
   }
 
-let run_graph ~seed ~name ~graph ~gateways ?audit ?shards ?pool (p : params) =
-  run_events ~seed ~name ~graph ~gateways ?audit ?shards ?pool p (churn_events ~seed p)
+let run_graph ~seed ~name ~graph ~gateways ?audit ?shards ?pool ?groups ?behaviours
+    (p : params) =
+  run_events ~seed ~name ~graph ~gateways ?audit ?shards ?pool ?groups ?behaviours p
+    (churn_events ~seed p)
 
-let run ~seed ~profile ?audit ?shards ?pool (p : params) =
+let run ~seed ~profile ?audit ?shards ?pool ?(events : Artifact.event list option)
+    (p : params) =
   (* Same topology derivation as the experiment engine's intra runs, so a
      churn campaign on as3967 sees the same network fig5/6/7 measure. *)
   let rng = Prng.create (seed + Hashtbl.hash profile.Isp.profile_name) in
   let isp = Isp.generate rng profile in
   let gateways = Array.of_list (Isp.edge_routers isp) in
-  run_graph ~seed ~name:profile.Isp.profile_name ~graph:isp.Isp.graph ~gateways ?audit
-    ?shards ?pool p
+  let events = match events with Some e -> e | None -> churn_events ~seed p in
+  (* Router → PoP is the diversity-group key of the quota defenses. *)
+  run_events ~seed ~name:profile.Isp.profile_name ~graph:isp.Isp.graph ~gateways
+    ?audit ?shards ?pool ~groups:isp.Isp.pop_of_router p events
 
 (* Round-tripping params through repro artifacts.  Hex floats ([%h]) keep
    every scalar bit-identical across write/read, which the shrinker's
@@ -367,6 +593,9 @@ let params_to_strings (p : params) =
     ("pcache_refresh_ttl_ms", f c.Proto.pcache_refresh_ttl_ms);
     ("pcache_refresh_budget", i c.Proto.pcache_refresh_budget);
     ("stabilize_auto", b c.Proto.stabilize_auto);
+    ("verify_joins", b c.Proto.verify_joins);
+    ("succ_quota", i c.Proto.succ_quota);
+    ("quota_enforce", b c.Proto.quota_enforce);
   ]
 
 let params_of_strings kvs =
@@ -454,5 +683,14 @@ let params_of_strings kvs =
       | "stabilize_auto" ->
         let* x = bl k v in
         Ok { p with proto_cfg = { c with Proto.stabilize_auto = x } }
+      | "verify_joins" ->
+        let* x = bl k v in
+        Ok { p with proto_cfg = { c with Proto.verify_joins = x } }
+      | "succ_quota" ->
+        let* x = it k v in
+        Ok { p with proto_cfg = { c with Proto.succ_quota = x } }
+      | "quota_enforce" ->
+        let* x = bl k v in
+        Ok { p with proto_cfg = { c with Proto.quota_enforce = x } }
       | _ -> Error (Printf.sprintf "unknown param %S" k))
     (Ok default_params) kvs

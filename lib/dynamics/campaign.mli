@@ -79,7 +79,31 @@ type report = {
   sim_end_ms : float;
   audit : Rofl_doctor.Audit.summary option;
   (** checkpoint-audit results when an [?audit] config was supplied *)
+  join_rejects : int;
+  (** join claims turned away by challenge/response verification *)
+  promo_rejects : int;
+  (** failover candidates that failed promotion verification *)
+  tainted : int;
+  (** forged identifiers resident at campaign end (only possible with
+      [verify_joins] off) *)
+  sybils : int;
+  (** mined sybil identifiers an {!Rofl_doctor.Artifact.Eclipse} fault
+      joined *)
+  grind_draws : int;
+  (** keypair draws the attacker paid to mine them — the honest cost of
+      aiming self-certifying identifiers at an arc *)
+  victim_capture : float;
+  (** pre-crash victim-arc sweep: fraction of {!victim_sweep_len} targets
+      sampled uniformly from the arc the victim's label owns that resolve
+      to a sybil (-1 when the campaign had no eclipse fault) *)
+  victim_repair : float;
+  (** post-drain sweep over the same targets: fraction resolving to the
+      true ring owner of the final membership (-1 without an eclipse
+      fault) *)
 }
+
+val victim_sweep_len : int
+(** Targets per victim-arc SLO sweep (64). *)
 
 val churn_events : seed:int -> params -> Rofl_doctor.Artifact.event list
 (** The churn trace a campaign at this seed replays, as doctor events —
@@ -94,6 +118,8 @@ val run_events :
   ?audit:Rofl_doctor.Audit.config ->
   ?shards:int ->
   ?pool:Rofl_util.Pool.t ->
+  ?groups:int array ->
+  ?behaviours:Rofl_proto.Proto.behaviour array ->
   params ->
   Rofl_doctor.Artifact.event list ->
   report
@@ -108,7 +134,14 @@ val run_events :
     conservative-window coordinator, and [?pool] runs the shard windows on
     pool domains; both are execution configuration, not campaign identity —
     the report (SLO tables, audit summary, event fingerprint) is
-    byte-identical at any shards/pool setting. *)
+    byte-identical at any shards/pool setting.
+
+    [?groups] keys the per-PoP quota defenses (one diversity-group index
+    per router); [?behaviours] assigns initial per-router conduct.  Attack
+    faults in the event list ({!Rofl_doctor.Artifact.Eclipse} /
+    [Poison] / [Forge]) execute as global events with all randomness
+    content-keyed on (seed, purpose), so adversarial campaigns keep the
+    byte-identical-at-any-shards property. *)
 
 val run_graph :
   seed:int ->
@@ -118,6 +151,8 @@ val run_graph :
   ?audit:Rofl_doctor.Audit.config ->
   ?shards:int ->
   ?pool:Rofl_util.Pool.t ->
+  ?groups:int array ->
+  ?behaviours:Rofl_proto.Proto.behaviour array ->
   params ->
   report
 (** Run one campaign on an arbitrary topology; joins, moves and lookup
@@ -130,10 +165,14 @@ val run :
   ?audit:Rofl_doctor.Audit.config ->
   ?shards:int ->
   ?pool:Rofl_util.Pool.t ->
+  ?events:Rofl_doctor.Artifact.event list ->
   params ->
   report
 (** Campaign on a generated ISP topology (same derivation as the experiment
-    engine), with hosts attached at its access routers. *)
+    engine), with hosts attached at its access routers; the topology's
+    router→PoP map keys the quota defenses.  [?events] overrides the
+    churn trace (e.g. churn plus attack faults); default
+    {!churn_events}. *)
 
 val params_to_strings : params -> (string * string) list
 (** Flatten params (including the protocol config) to named scalars for a

@@ -1,0 +1,25 @@
+(** Attack lab: adversarial campaign grids crossing each attack family with
+    its defense switch.
+
+    Three families, each over the scale's ISPs with every other knob held
+    fixed so the defense switch is the only difference inside a pair of
+    rows:
+
+    - {b eclipse} — identifiers mined into the arc a victim router's label
+      owns, joined through one attacker gateway, crashed at once; vs the
+      per-PoP successor-list quota ([succ_quota]/[quota_enforce]).  The
+      capture column is the attack's entitlement (self-certifying
+      identifiers genuinely own what they mine); the defense is judged on
+      what happens after the coordinated crash.
+    - {b poison} — a router fraction fabricating stabilisation backups
+      under the scale's highest churn rate; vs promotion verification
+      ([verify_joins], which also gates failover promotion).
+    - {b forge} — joins whose credential certifies a different identifier;
+      vs the challenge/response join gate, with the defense's price in
+      control messages in its own column.
+
+    Cells are independent campaigns fanned over the domain pool; tables are
+    byte-identical at any --jobs/--shards setting and carry the event
+    fingerprint to make a violation of that visible in place. *)
+
+val attack : Common.scale -> Rofl_util.Table.t list

@@ -34,6 +34,10 @@ type scale = {
   svc_rate_per_s : float;      (* baseline resolution demand *)
   svc_bootstrap_hosts : int;   (* ring population under the directory *)
   svc_cache_grid : int list;   (* resolver cache capacities swept under flash *)
+  attack_horizon_ms : float;   (* attack-lab campaign horizon *)
+  attack_sybils : int list;    (* eclipse axis: mined sybils per campaign *)
+  attack_poison_fracs : float list; (* poison axis: fabricating router share *)
+  attack_forges : int list;    (* forge axis: forged-credential joins *)
 }
 
 let full =
@@ -60,6 +64,10 @@ let full =
     svc_rate_per_s = 400.0;
     svc_bootstrap_hosts = 2_000;
     svc_cache_grid = [ 0; 4; 16; 64; 256; 1024 ];
+    attack_horizon_ms = 20_000.0;
+    attack_sybils = [ 4; 8 ];
+    attack_poison_fracs = [ 0.1; 0.3 ];
+    attack_forges = [ 32 ];
   }
 
 let quick =
@@ -86,6 +94,10 @@ let quick =
     svc_rate_per_s = 120.0;
     svc_bootstrap_hosts = 300;
     svc_cache_grid = [ 0; 16; 256 ];
+    attack_horizon_ms = 6_000.0;
+    attack_sybils = [ 5 ];
+    attack_poison_fracs = [ 0.5 ];
+    attack_forges = [ 8 ];
   }
 
 (* -- parallel engine ----------------------------------------------------

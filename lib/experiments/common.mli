@@ -33,6 +33,11 @@ type scale = {
   svc_bootstrap_hosts : int; (** ring population under the directory *)
   svc_cache_grid : int list;
   (** resolver cache capacities swept under the flash crowd (0 = no cache) *)
+  attack_horizon_ms : float;   (** attack-lab campaign horizon *)
+  attack_sybils : int list;    (** eclipse axis: mined sybils per campaign *)
+  attack_poison_fracs : float list;
+  (** poison axis: fraction of routers fabricating stabilisation backups *)
+  attack_forges : int list;    (** forge axis: forged-credential joins *)
 }
 
 val full : scale

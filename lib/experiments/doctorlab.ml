@@ -48,17 +48,18 @@ let profile_of_spec spec =
 let topology ~seed (profile : Isp.profile) =
   let rng = Prng.create (seed + Hashtbl.hash profile.Isp.profile_name) in
   let isp = Isp.generate rng profile in
-  (isp.Isp.graph, Array.of_list (Isp.edge_routers isp))
+  (isp.Isp.graph, Array.of_list (Isp.edge_routers isp), isp.Isp.pop_of_router)
 
 let audited_report sc events =
-  let graph, gateways = topology ~seed:sc.sc_seed sc.sc_profile in
+  let graph, gateways, groups = topology ~seed:sc.sc_seed sc.sc_profile in
   (* The shards setting rides along (byte-identical results guaranteed), so
      [rofl_sim doctor --shards N] audits the sharded execution path and an
-     artifact still replays identically at any setting. *)
+     artifact still replays identically at any setting.  The PoP map keys
+     the quota defenses and the eclipse-saturation audit. *)
   Campaign.run_events ~seed:sc.sc_seed ~name:sc.sc_profile.Isp.profile_name ~graph
     ~gateways
     ~audit:(Audit.config_for sc.sc_params.Campaign.proto_cfg)
-    ~shards:(Common.shards ()) ~pool:(Common.pool ()) sc.sc_params events
+    ~shards:(Common.shards ()) ~pool:(Common.pool ()) ~groups sc.sc_params events
 
 let summary_of (r : Campaign.report) =
   match r.Campaign.audit with
@@ -177,7 +178,7 @@ let static_audits (scale : Common.scale) =
 
 (* ---- fault-injection hunts and shrinking ------------------------------- *)
 
-type fault_kind = Stab_off_crash | Loopy_splice
+type fault_kind = Stab_off_crash | Loopy_splice | Eclipse_inject | Poison_inject
 
 let mini_profile =
   { Isp.profile_name = "doctor-mini"; routers = 24; hosts = 1_000; pop_count = 3 }
@@ -217,6 +218,49 @@ let inject_scenario ~seed = function
           proto_cfg = { Proto.default_config with Proto.untwist = false };
         };
       sc_faults = [ Artifact.Cross_splice { at_ms = 2_000.0 } ];
+    }
+  | Eclipse_inject ->
+    (* Declared-but-unenforced diversity quota: the sybils (mined genuine
+       keypairs, so verification rightly admits them) concentrate router
+       5's backup tail in the attacker's PoP.  No coordinated crash — the
+       saturation must persist for checkpoint audits to catch. *)
+    {
+      sc_seed = seed;
+      sc_profile = mini_profile;
+      sc_params =
+        {
+          Campaign.default_params with
+          Campaign.horizon_ms = 4_000.0;
+          arrival_rate_per_s = 1.0;
+          move_fraction = 0.0;
+          crash_fraction = 0.0;
+          lookup_rate_per_s = 0.0;
+          proto_cfg =
+            { Proto.default_config with Proto.succ_quota = 2; quota_enforce = false };
+        };
+      sc_faults =
+        [ Artifact.Eclipse { at_ms = 2_000.0; victim = 5; count = 5; crash_at_ms = -1.0 } ];
+    }
+  | Poison_inject ->
+    (* A third of the routers start prepending fabricated backups to their
+       stabilisation replies; adopters' successor lists then reference
+       identifiers that were never admitted — the poison-residency
+       evidence.  (Join verification does not help here: adoption happens
+       on the stabilisation path, which is why promotion is verified
+       separately.) *)
+    {
+      sc_seed = seed;
+      sc_profile = mini_profile;
+      sc_params =
+        {
+          Campaign.default_params with
+          Campaign.horizon_ms = 4_000.0;
+          arrival_rate_per_s = 1.0;
+          move_fraction = 0.0;
+          crash_fraction = 0.0;
+          lookup_rate_per_s = 0.0;
+        };
+      sc_faults = [ Artifact.Poison { at_ms = 1_500.0; fraction = 0.3 } ];
     }
 
 type hunt =

@@ -50,6 +50,12 @@ val static_audits : Common.scale -> Rofl_util.Table.t * int
 type fault_kind =
   | Stab_off_crash  (** stabilizer stopped mid-campaign, then crashes *)
   | Loopy_splice    (** untwist repair off + ring spliced across itself *)
+  | Eclipse_inject
+      (** mined sybils saturate a victim's backup tail from one PoP under a
+          declared-but-unenforced quota (caught by [eclipse-saturation]) *)
+  | Poison_inject
+      (** a router fraction fabricates stabilisation backups (caught by
+          [poison-residency]) *)
 
 val inject_scenario : seed:int -> fault_kind -> scenario
 (** A small, fast scenario whose injected fault the audits must catch —

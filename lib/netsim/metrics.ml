@@ -3,6 +3,8 @@ type t = {
   load : int array;
   mutable wasted_hops : int;
   mutable cancellations : int;
+  mutable join_rejects : int;
+  mutable promo_rejects : int;
 }
 
 let create ~routers =
@@ -12,6 +14,8 @@ let create ~routers =
     load = Array.make routers 0;
     wasted_hops = 0;
     cancellations = 0;
+    join_rejects = 0;
+    promo_rejects = 0;
   }
 
 let counter m category =
@@ -74,11 +78,21 @@ let wasted_hops m = m.wasted_hops
 
 let cancellations m = m.cancellations
 
+let charge_join_reject m = m.join_rejects <- m.join_rejects + 1
+
+let charge_promo_reject m = m.promo_rejects <- m.promo_rejects + 1
+
+let join_rejects m = m.join_rejects
+
+let promo_rejects m = m.promo_rejects
+
 let reset m =
   Hashtbl.reset m.counts;
   Array.fill m.load 0 (Array.length m.load) 0;
   m.wasted_hops <- 0;
-  m.cancellations <- 0
+  m.cancellations <- 0;
+  m.join_rejects <- 0;
+  m.promo_rejects <- 0
 
 let merge_into ~dst src =
   if Array.length dst.load <> Array.length src.load then
@@ -86,4 +100,6 @@ let merge_into ~dst src =
   Hashtbl.iter (fun k r -> incr dst k !r) src.counts;
   Array.iteri (fun i v -> dst.load.(i) <- dst.load.(i) + v) src.load;
   dst.wasted_hops <- dst.wasted_hops + src.wasted_hops;
-  dst.cancellations <- dst.cancellations + src.cancellations
+  dst.cancellations <- dst.cancellations + src.cancellations;
+  dst.join_rejects <- dst.join_rejects + src.join_rejects;
+  dst.promo_rejects <- dst.promo_rejects + src.promo_rejects

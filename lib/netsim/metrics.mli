@@ -60,6 +60,18 @@ val wasted_hops : t -> int
 
 val cancellations : t -> int
 
+val charge_join_reject : t -> unit
+(** Count a join claim that failed challenge/response verification and was
+    turned away at the gateway — the headline defense of the attack lab. *)
+
+val charge_promo_reject : t -> unit
+(** Count a successor-list backup that failed verification (absent, forged,
+    or unresponsive) during failover promotion. *)
+
+val join_rejects : t -> int
+
+val promo_rejects : t -> int
+
 val reset : t -> unit
 
 val merge_into : dst:t -> t -> unit

@@ -6,8 +6,20 @@ module Linkstate = Rofl_linkstate.Linkstate
 module Engine = Rofl_netsim.Engine
 module Shard = Rofl_netsim.Shard
 module Metrics = Rofl_netsim.Metrics
+module Identity = Rofl_crypto.Identity
 
 type pointer = Id.t * int (* identifier, hosting router *)
+
+(* Per-router conduct policy.  Honest routers run the protocol; the rest
+   model the paper's threat surface.  Behaviours only change what a router
+   *says* in its own execution context — they never reach across shards —
+   so campaigns stay byte-identical at any shard count. *)
+type behaviour =
+  | Honest
+  | Drop_lookups  (** byzantine silence: swallow every lookup it handles *)
+  | Misroute      (** answer lookups with its own best resident as "owner" *)
+  | Poison_succs  (** prepend fabricated backups to stabilisation replies,
+                      and vouch for those ghosts when they are probed *)
 
 type config = {
   stabilize_period_ms : float;
@@ -28,6 +40,23 @@ type config = {
   pcache_refresh_ttl_ms : float;
   pcache_refresh_budget : int;
   stabilize_auto : bool;
+  verify_joins : bool;
+      (** challenge/response identifier verification at the join gateway and
+          on successor-list failover promotion (paper §2.1 self-certifying
+          labels).  On by default; the off position exists for the attack
+          lab's defense-off cells and for measuring verification cost. *)
+  succ_quota : int;
+      (** declared per-PoP share of *admitted* (joined) entries in a
+          successor-list backup tail (and of pointer-cache admissions);
+          infrastructure entries — a router's own label hosted at itself —
+          are exempt.  0 = no quota rule.  The rule is what the doctor's
+          eclipse-saturation check audits; whether the protocol also
+          *enforces* it is [quota_enforce]. *)
+  quota_enforce : bool;
+      (** enforce [succ_quota] at every successor-list adoption and
+          pointer-cache admission (the Kademlia IP-group-quota defense,
+          keyed by PoP).  Meaningless unless [succ_quota > 0] and the
+          instance was created with router groups. *)
 }
 
 let default_config =
@@ -50,6 +79,9 @@ let default_config =
     pcache_refresh_ttl_ms = 400.0;
     pcache_refresh_budget = 4;
     stabilize_auto = false;
+    verify_joins = true;
+    succ_quota = 0;
+    quota_enforce = false;
   }
 
 type message =
@@ -92,6 +124,13 @@ type message =
       hops : int; (** link traversals charged to this branch so far *)
     }
   | Lookup_resp of { token : int; owner : pointer option; hops : int }
+  | Verify_req of {
+      claimant : Id.t;        (** identifier whose residency is challenged *)
+      asker_router : int;
+      token : int;
+      challenge : Identity.challenge;
+    }
+  | Verify_resp of { token : int; resp : Identity.response option }
 
 type stats = {
   messages : int;
@@ -105,6 +144,8 @@ type stats = {
   rpc_timeouts : int;
   join_retries : int;
   lookup_retries : int;
+  join_rejects : int;
+  promo_rejects : int;
 }
 
 type lookup_outcome = {
@@ -146,37 +187,70 @@ module Pcache = struct
     routers : int array;
     stamp : float array;
     mutable len : int;
+    quota : int;        (* max entries per router group, 0 = unbounded *)
+    groups : int array; (* router -> group, [||] = ungrouped *)
   }
 
-  let create cap dummy =
+  let create ?(quota = 0) ?(groups = [||]) cap dummy =
     {
       cap;
       ids = Array.make (max cap 1) dummy;
       routers = Array.make (max cap 1) (-1);
       stamp = Array.make (max cap 1) 0.0;
       len = 0;
+      quota;
+      groups;
     }
 
   let find c id =
     let rec go i = if i >= c.len then -1 else if Id.equal c.ids.(i) id then i else go (i + 1) in
     go 0
 
+  (* Would admitting a pointer hosted at [router] keep its group within the
+     quota?  [except] is a slot about to be vacated (eviction or update) and
+     is not counted.  Linear over the cache — tens of entries. *)
+  let admit_ok c ~except router =
+    c.quota <= 0 || Array.length c.groups = 0
+    ||
+    let g = c.groups.(router) in
+    let cnt = ref 0 in
+    for j = 0 to c.len - 1 do
+      if j <> except && c.groups.(c.routers.(j)) = g then incr cnt
+    done;
+    !cnt < c.quota
+
+  let group_quota_ok c =
+    c.quota <= 0 || Array.length c.groups = 0
+    ||
+    let ok = ref true in
+    for i = 0 to c.len - 1 do
+      let g = c.groups.(c.routers.(i)) in
+      let cnt = ref 0 in
+      for j = 0 to c.len - 1 do
+        if c.groups.(c.routers.(j)) = g then incr cnt
+      done;
+      if !cnt > c.quota then ok := false
+    done;
+    !ok
+
   (* Evict the oldest entry (lowest stamp, ties to the lowest index) — a
-     deterministic stand-in for LRU that needs no recency links. *)
+     deterministic stand-in for LRU that needs no recency links.  With a
+     group quota, admissions that would over-concentrate one group are
+     refused outright (the Kademlia IP-quota rule): concentration is the
+     attack, so a full group keeps its existing entries rather than churn
+     them for the newcomer. *)
   let insert c ~now id router =
     if c.cap > 0 then begin
       let i = find c id in
       if i >= 0 then begin
-        c.routers.(i) <- router;
-        c.stamp.(i) <- now
+        if c.routers.(i) = router || admit_ok c ~except:i router then begin
+          c.routers.(i) <- router;
+          c.stamp.(i) <- now
+        end
       end
       else begin
         let slot =
-          if c.len < c.cap then begin
-            let s = c.len in
-            c.len <- c.len + 1;
-            s
-          end
+          if c.len < c.cap then c.len
           else begin
             let oldest = ref 0 in
             for j = 1 to c.len - 1 do
@@ -185,9 +259,13 @@ module Pcache = struct
             !oldest
           end
         in
-        c.ids.(slot) <- id;
-        c.routers.(slot) <- router;
-        c.stamp.(slot) <- now
+        let except = if c.len < c.cap then -1 else slot in
+        if admit_ok c ~except router then begin
+          if c.len < c.cap then c.len <- c.len + 1;
+          c.ids.(slot) <- id;
+          c.routers.(slot) <- router;
+          c.stamp.(slot) <- now
+        end
       end
     end
 
@@ -233,6 +311,13 @@ type rstate = {
   mutable o_mem : bool;
   mutable o_succ : Id.t option;
   mutable o_pointed : Id.t list; (* holders whose successor pointer is this id *)
+  mutable o_ever : bool;
+      (* ever admitted as a member (bootstrap or a join that was accepted).
+         Set directly from global context at admission, not via the logs:
+         a spliced-but-unacknowledged join must already count, or the
+         doctor's poison-residency check would flag in-flight joins.
+         Fabricated successor-list entries never pass through admission,
+         so [o_ever = false] on a pointed-at identifier is attack evidence. *)
 }
 
 type oracle = {
@@ -250,6 +335,16 @@ type oracle = {
    is partition-independent; tokens only ever meet their own shard's
    tables. *)
 
+(* An in-flight failover-promotion verification: the challenged candidate,
+   the challenge sent, and the continuation to run on the verdict.  Lives in
+   the asker's shard, keyed by token like the other RPC tables. *)
+type verify_state = {
+  v_claimed : Id.t;
+  v_challenge : Identity.challenge;
+  mutable v_done : bool;
+  v_k : bool -> unit;
+}
+
 type shard_state = {
   sx : int;
   store : Store.t;
@@ -259,6 +354,7 @@ type shard_state = {
   probes : (int, unit) Hashtbl.t; (* outstanding stabilisation RPC tokens *)
   joins : (Id.t, join_state) Hashtbl.t;
   lookups : (int, lookup_state) Hashtbl.t;
+  verifies : (int, verify_state) Hashtbl.t;
   mutable olog : oev list; (* oracle events, newest first *)
   mutable next_token : int;
   mutable msg_count : int;
@@ -269,6 +365,8 @@ type shard_state = {
   mutable join_retries : int;
   mutable lookup_retries : int;
   mutable lookups_open : int;
+  mutable join_rejects : int;
+  mutable promo_rejects : int;
 }
 
 type t = {
@@ -285,6 +383,17 @@ type t = {
   pool : Pool.t option;
   oracle : oracle;
   pcaches : Pcache.t array; (* per router; [||] when the cache is disabled *)
+  behaviours : behaviour array; (* per router; mutate from global context only *)
+  groups : int array; (* router -> PoP/AS group for quotas; [||] = ungrouped *)
+  (* Identifiers admitted although their claim would not have survived
+     verification (only possible with [verify_joins = false]) — the
+     forged-admission audit's ground truth.  Written from global context
+     (join/admission) only; read anywhere. *)
+  tainted : (Id.t, unit) Hashtbl.t;
+  (* Credential presented at admission, so the hosting router can answer
+     promotion challenges for its residents.  Bootstrap labels fall back to
+     the canonical credential.  Written from global context only. *)
+  creds : (Id.t, Identity.keypair) Hashtbl.t;
   mutable departs : (float * Id.t) list; (* oracle: departures, newest first *)
   mutable stab_on : bool;
   mutable rounds : int;
@@ -355,10 +464,16 @@ let is_member t rid = locate_slot t rid <> None
 (* ---- construction ------------------------------------------------------- *)
 
 let create ~rng ?(cfg = default_config) ?(shards = 1) ?pool ?(bootstrap_hosts = 0)
-    ?(lookup_hint = 0) graph =
+    ?(lookup_hint = 0) ?(groups = [||]) ?behaviours graph =
   if shards < 1 then invalid_arg "Proto.create: shards must be >= 1";
   if bootstrap_hosts < 0 then invalid_arg "Proto.create: bootstrap_hosts < 0";
   let n = Graph.n graph in
+  if Array.length groups <> 0 && Array.length groups <> n then
+    invalid_arg "Proto.create: groups must have one entry per router";
+  (match behaviours with
+   | Some b when Array.length b <> n ->
+     invalid_arg "Proto.create: behaviours must have one entry per router"
+   | _ -> ());
   let k = max 1 (min shards n) in
   let shard_of = Array.init n (fun r -> min (r * k / n) (k - 1)) in
   (* Conservative window: no message can cross shards faster than the
@@ -417,6 +532,7 @@ let create ~rng ?(cfg = default_config) ?(shards = 1) ?pool ?(bootstrap_hosts = 
           probes = Hashtbl.create (max 64 per_shard);
           joins = Hashtbl.create 16;
           lookups = Hashtbl.create (max 16 lookup_hint);
+          verifies = Hashtbl.create 16;
           olog = [];
           next_token = 0;
           msg_count = 0;
@@ -427,6 +543,8 @@ let create ~rng ?(cfg = default_config) ?(shards = 1) ?pool ?(bootstrap_hosts = 
           join_retries = 0;
           lookup_retries = 0;
           lookups_open = 0;
+          join_rejects = 0;
+          promo_rejects = 0;
         })
   in
   let t =
@@ -446,9 +564,17 @@ let create ~rng ?(cfg = default_config) ?(shards = 1) ?pool ?(bootstrap_hosts = 
           owindows = [];
         };
       pcaches =
-        (if cfg.pcache_capacity > 0 then
-           Array.init n (fun _ -> Pcache.create cfg.pcache_capacity (router_label 0))
+        (if cfg.pcache_capacity > 0 then begin
+           let quota = if cfg.quota_enforce then cfg.succ_quota else 0 in
+           Array.init n (fun _ ->
+               Pcache.create ~quota ~groups cfg.pcache_capacity (router_label 0))
+         end
          else [||]);
+      behaviours =
+        (match behaviours with Some b -> Array.copy b | None -> Array.make n Honest);
+      groups;
+      tainted = Hashtbl.create 16;
+      creds = Hashtbl.create 64;
       departs = [];
       stab_on = false;
       rounds = 0;
@@ -487,7 +613,8 @@ let create ~rng ?(cfg = default_config) ?(shards = 1) ?pool ?(bootstrap_hosts = 
   Array.iteri
     (fun i (rid, _) ->
       Hashtbl.replace t.oracle.ostates rid
-        { o_mem = true; o_succ = Some (fst arr.((i + 1) mod m)); o_pointed = [] })
+        { o_mem = true; o_succ = Some (fst arr.((i + 1) mod m)); o_pointed = [];
+          o_ever = true })
     arr;
   Array.iteri
     (fun i (rid, _) ->
@@ -519,9 +646,18 @@ let ostate t id =
   match Hashtbl.find_opt t.oracle.ostates id with
   | Some st -> st
   | None ->
-    let st = { o_mem = false; o_succ = None; o_pointed = [] } in
+    let st = { o_mem = false; o_succ = None; o_pointed = []; o_ever = false } in
     Hashtbl.replace t.oracle.ostates id st;
     st
+
+(* Was this identifier ever admitted (bootstrap, or a join that passed the
+   gateway)?  No oracle sync needed: admission marks the bit directly from
+   global context.  A pointed-at identifier that was never admitted can only
+   come from a fabricated protocol message — the poison-residency signal. *)
+let ever_member t id =
+  match Hashtbl.find_opt t.oracle.ostates id with
+  | Some st -> st.o_ever
+  | None -> false
 
 let o_unpoint t holder =
   let hst = ostate t holder in
@@ -656,12 +792,42 @@ let truncate_list n xs =
 let succ_list_limit t =
   if t.cfg.stabilize_auto then t.auto_sl_limit else t.cfg.succ_list_len - 1
 
+(* Diversity quota on the backup tail (the Kademlia IP-group-quota pattern,
+   group = PoP): keep at most [succ_quota] *admitted* entries per
+   hosting-router group, closest entries first.  Runs before truncation so
+   entries rejected for concentration make room for farther, more diverse
+   backups.  Two exemptions: the successor itself rides in [succ], outside
+   the tail, and is never counted — quotas must not be able to reject the
+   one true successor; and infrastructure entries (a router's own label,
+   hosted at itself) pass uncounted, because their ring placement is the
+   operator's topology, not an admission an attacker can mint — small rings
+   legitimately have same-PoP label runs. *)
+let quota_filter t entries =
+  if t.cfg.succ_quota <= 0 || (not t.cfg.quota_enforce) || Array.length t.groups = 0
+  then entries
+  else begin
+    let counts = Hashtbl.create 8 in
+    List.filter
+      (fun (i, r) ->
+        Id.equal i (router_label r)
+        ||
+        let g = t.groups.(r) in
+        let c = match Hashtbl.find_opt counts g with Some c -> c | None -> 0 in
+        if c >= t.cfg.succ_quota then false
+        else begin
+          Hashtbl.replace counts g (c + 1);
+          true
+        end)
+      entries
+  end
+
 let normalize_succ_list t ~self ?succ entries =
   entries
   |> List.filter (fun (i, _) ->
          (not (Id.equal i self))
          && (match succ with Some s -> not (Id.equal i s) | None -> true))
   |> List.sort_uniq (fun (a, _) (b, _) -> Id.compare_dist self a self b)
+  |> quota_filter t
   |> truncate_list (succ_list_limit t)
 
 (* Deliver a message to a router after traversing the physical path there,
@@ -862,19 +1028,42 @@ let rec forward_join t ~at (m : message) =
           splice cid
         | None -> ()))
   | Join_resp _ | Get_pred _ | Pred_info _ | Notify _ | Leave_pred _ | Leave_succ _
-  | Lookup_req _ | Lookup_resp _ -> ()
+  | Lookup_req _ | Lookup_resp _ | Verify_req _ | Verify_resp _ -> ()
 
 (* ---- lookups ------------------------------------------------------------ *)
 
 and forward_lookup t ~at (m : message) =
   match m with
-  | Lookup_req { target; origin; token; chasing; avoid; waited; hops } ->
+  | Lookup_req { target; origin; token; chasing = _; avoid = _; waited = _; hops } ->
     let sh = shd t at in
     let respond owner =
       send_direct t ~cat:"lookup" ~from:at ~dest:origin
         (Lookup_resp { token; owner; hops })
         (handle t origin)
     in
+    (match t.behaviours.(at) with
+     | Drop_lookups ->
+       (* Byzantine silence: the request dies here and the origin's attempt
+          timeout pays for it.  Applies at every hop the request transits —
+          responses travel application-direct and cannot be intercepted. *)
+       ()
+     | Misroute ->
+       (* Deterministic misrouting: answer immediately, naming this router's
+          best resident as the owner.  A real identifier at a real router —
+          just the wrong one — so the origin burns a retry cycle on it. *)
+       let best = ref None in
+       Store.iter_router sh.store at (fun s ->
+           let rid = Store.rid sh.store s in
+           match !best with
+           | Some bid when not (Id.closer_clockwise ~target rid bid) -> ()
+           | Some _ | None -> best := Some rid);
+       respond (match !best with Some rid -> Some (rid, at) | None -> None)
+     | Honest | Poison_succs -> honest_lookup t ~at ~sh ~respond m)
+  | _ -> ()
+
+and honest_lookup t ~at ~sh ~respond (m : message) =
+  match m with
+  | Lookup_req { target; origin; token; chasing; avoid; waited; hops } ->
     let local = best_candidate t at ~target ~exclude:avoid () in
     let improves id =
       match chasing with
@@ -963,8 +1152,31 @@ and handle t at (m : message) =
        sh.joins_done <- sh.joins_done + 1)
   | Get_pred { asker; asker_router; target; token } ->
     let sh = shd t at in
+    (* Successor-list poisoning: fabricated identifiers placed immediately
+       clockwise of the probed member, all "hosted" here — the asker sorts
+       them as its closest backups.  Content-derived from the probed
+       identifier, so the campaign is byte-identical at any shard count. *)
+    let poison () =
+      let p1 = Id.succ_id target in
+      let p2 = Id.succ_id p1 in
+      let p3 = Id.succ_id p2 in
+      [ (p1, at); (p2, at); (p3, at) ]
+    in
     (match find_slot t at target with
-     | None -> () (* dead: the asker's probe timeout handles it *)
+     | None ->
+       if t.behaviours.(at) = Poison_succs && not (ever_member t target) then
+         (* Vouch for a ghost: a poisoned router answers probes of
+            identifiers that were never admitted — its own fabrications —
+            so a victim that promoted one keeps believing its successor is
+            alive.  Real dead members are NOT vouched for: concealing a
+            genuine death would suppress the failovers the promotion attack
+            feeds on (and hand the victim a silent succ forever, which no
+            promotion defense could ever be measured against). *)
+         send_direct t ~cat:"stabilize" ~from:at ~dest:asker_router
+           (Pred_info { of_id = target; pred = None; succ_list = poison ();
+                        to_id = asker; token })
+           (handle t asker_router)
+       (* else dead: the asker's probe timeout handles it *)
      | Some s ->
        (* A probe from our predecessor doubles as its liveness heartbeat. *)
        (match Store.pred sh.store s with
@@ -975,6 +1187,10 @@ and handle t at (m : message) =
          match Store.succ sh.store s with
          | Some sp -> sp :: Store.succ_list sh.store s
          | None -> Store.succ_list sh.store s
+       in
+       let succ_list =
+         if t.behaviours.(at) = Poison_succs then poison () @ succ_list
+         else succ_list
        in
        send_direct t ~cat:"stabilize" ~from:at ~dest:asker_router
          (Pred_info
@@ -1110,6 +1326,43 @@ and handle t at (m : message) =
              (fun () -> if not st.finished then start_lookup_attempt t st)
          end
        end)
+  | Verify_req { claimant; asker_router; token; challenge } ->
+    (* A failover asker is challenging [claimant]'s residency here.  Only a
+       resident admitted with its credential can produce a valid tag; an
+       honest router reports absence outright, and a poisoned router's vouch
+       for a ghost is indistinguishable from absence to the verifier — it
+       does not hold the key either way, so replying [None] loses it
+       nothing and keeps the wire model small. *)
+    let resp =
+      match find_slot t at claimant with
+      | None -> None
+      | Some _ ->
+        if Hashtbl.mem t.tainted claimant then None
+        else begin
+          let kp =
+            match Hashtbl.find_opt t.creds claimant with
+            | Some kp -> kp
+            | None -> Identity.credential_for claimant (* bootstrap labels *)
+          in
+          Some (Identity.respond kp challenge)
+        end
+    in
+    send_direct t ~cat:"verify" ~from:at ~dest:asker_router
+      (Verify_resp { token; resp })
+      (handle t asker_router)
+  | Verify_resp { token; resp } ->
+    let sh = shd t at in
+    (match Hashtbl.find_opt sh.verifies token with
+     | Some vs when not vs.v_done ->
+       vs.v_done <- true;
+       Hashtbl.remove sh.verifies token;
+       let ok =
+         match resp with
+         | Some r -> Identity.check_response ~claimed:vs.v_claimed vs.v_challenge r
+         | None -> false
+       in
+       vs.v_k ok
+     | Some _ | None -> ())
 
 and finish_lookup t st ~ok =
   let sh = shd t st.origin in
@@ -1227,12 +1480,48 @@ let rec start_join_attempt t joining (st : join_state) =
 
 let is_joining t id = Array.exists (fun sh -> Hashtbl.mem sh.joins id) t.sh
 
-let join t ~gateway joining =
+(* Join admission.  The headline fix of the attack lab: where the static
+   [Rofl_intra.Network.join] always verified the claimed identifier, the
+   dynamic ring admitted any claim unchallenged.  The gateway now runs one
+   challenge/response round trip on the access link before the chase starts
+   — synchronous, like the pcache refresh round trips, charged as two
+   control messages under "verify" (the host is co-located with its
+   gateway, so no graph latency is modelled; the cost shows up in message
+   counts and in the crypto work per join, not in ring-convergence time).
+
+   [cred] is the keypair the host presents for [joining]; omitted, the
+   canonical credential for the identifier is presented — the honest path.
+   A forged claim presents someone else's keypair and is rejected here when
+   verification is on; with verification off it is admitted and remembered
+   as tainted, which is what the doctor's forged-admission audit reads. *)
+let join t ~gateway ?cred joining =
   if is_member t joining || is_joining t joining then ()
   else begin
-    let st = { gateway; join_attempts = 0; completed = false } in
-    Hashtbl.add (shd t gateway).joins joining st;
-    start_join_attempt t joining st
+    let sh = shd t gateway in
+    let cred =
+      match cred with Some kp -> kp | None -> Identity.credential_for joining
+    in
+    let g = Prng.create (Hashtbl.hash (Id.to_bytes joining, 0x0c4a7, "join-verify")) in
+    let valid =
+      Result.is_ok (Identity.verify_claim g ~claimed:joining (Identity.respond cred))
+    in
+    if t.cfg.verify_joins then begin
+      sh.msg_count <- sh.msg_count + 2;
+      Metrics.incr sh.s_metrics "verify" 2
+    end;
+    if t.cfg.verify_joins && not valid then begin
+      sh.join_rejects <- sh.join_rejects + 1;
+      Metrics.charge_join_reject sh.s_metrics
+    end
+    else begin
+      if valid then Hashtbl.remove t.tainted joining
+      else Hashtbl.replace t.tainted joining ();
+      Hashtbl.replace t.creds joining cred;
+      (ostate t joining).o_ever <- true;
+      let st = { gateway; join_attempts = 0; completed = false } in
+      Hashtbl.add sh.joins joining st;
+      start_join_attempt t joining st
+    end
   end
 
 (* ---- departures --------------------------------------------------------- *)
@@ -1320,10 +1609,7 @@ let rec send_probe t ~router rid (sid, srouter) attempt =
                && Id.equal (Store.succ_rid sh.store s) sid ->
           if attempt <= t.cfg.rpc_retries then
             send_probe t ~router rid (sid, srouter) (attempt + 1)
-          else begin
-            Store.set_probe_inflight sh.store s false;
-            failover t ~router s sid
-          end
+          else failover t ~router s sid
         | Some s -> Store.set_probe_inflight sh.store s false
         | None -> ()
       end)
@@ -1331,7 +1617,15 @@ let rec send_probe t ~router rid (sid, srouter) attempt =
 (* The successor is unresponsive: drop it and promote the next backup.  With
    an exhausted backup list, fall back on the local router's default
    identifier — always alive — and let stabilisation walk the pointer back
-   into place. *)
+   into place.
+
+   With [verify_joins] on, promotion is no longer blind (the second half of
+   the headline fix): each candidate is challenged at its claimed router
+   before the pointer moves — a Verify_req/Verify_resp round trip with one
+   rpc timeout and no retries, a failed or unanswered challenge rejecting
+   the candidate and moving on to the next.  The probe-inflight flag stays
+   set across the chain so the stabiliser cannot start a second failover
+   for the same stale pointer; every settling path clears it. *)
 and failover t ~router s dead =
   let sh = shd t router in
   sh.failovers <- sh.failovers + 1;
@@ -1339,20 +1633,101 @@ and failover t ~router s dead =
   let backups =
     List.filter (fun (i, _) -> not (Id.equal i dead)) (Store.succ_list sh.store s)
   in
-  match backups with
-  | (nid, nrouter) :: rest ->
-    repoint t ~router s (Some (nid, nrouter));
-    Store.set_succ_list sh.store s rest;
-    send_direct t ~cat:"repair" ~from:router ~dest:nrouter
-      (Notify { candidate = rid; candidate_router = router; target = nid })
-      (handle t nrouter)
-  | [] ->
-    let anchor = router_label router in
-    if Id.equal anchor rid then repoint t ~router s (Store.pred sh.store s)
-    else begin
-      repoint t ~router s (Some (anchor, router));
-      Store.set_succ_list sh.store s []
+  if t.cfg.verify_joins then try_promote t ~router rid ~dead backups
+  else begin
+    Store.set_probe_inflight sh.store s false;
+    match backups with
+    | (nid, nrouter) :: rest ->
+      repoint t ~router s (Some (nid, nrouter));
+      Store.set_succ_list sh.store s rest;
+      send_direct t ~cat:"repair" ~from:router ~dest:nrouter
+        (Notify { candidate = rid; candidate_router = router; target = nid })
+        (handle t nrouter)
+    | [] -> promote_anchor t ~router s rid
+  end
+
+and promote_anchor t ~router s rid =
+  let sh = shd t router in
+  let anchor = router_label router in
+  if Id.equal anchor rid then repoint t ~router s (Store.pred sh.store s)
+  else begin
+    repoint t ~router s (Some (anchor, router));
+    Store.set_succ_list sh.store s []
+  end
+
+and try_promote t ~router rid ~dead candidates =
+  let sh = shd t router in
+  match find_slot t router rid with
+  | None -> () (* departed while failing over; nothing left to settle *)
+  | Some s -> (
+    match candidates with
+    | [] ->
+      Store.set_probe_inflight sh.store s false;
+      promote_anchor t ~router s rid
+    | (nid, nrouter) :: rest ->
+      if nrouter = router then begin
+        (* Co-located candidate: the handshake is a local call, no wire. *)
+        let ok =
+          match find_slot t router nid with
+          | Some _ -> not (Hashtbl.mem t.tainted nid)
+          | None -> false
+        in
+        if ok then promote_verified t ~router rid ~dead (nid, nrouter) rest
+        else begin
+          sh.promo_rejects <- sh.promo_rejects + 1;
+          Metrics.charge_promo_reject sh.s_metrics;
+          try_promote t ~router rid ~dead rest
+        end
+      end
+      else begin
+        let token = fresh_token sh in
+        (* Challenge bytes are content-keyed on (asker, candidate): the
+           handshake outcome is then a function of the workload alone,
+           identical at any shard or job count. *)
+        let challenge =
+          Identity.fresh_challenge
+            (Prng.create (Hashtbl.hash (Id.to_bytes rid, Id.to_bytes nid, 0x7e11f)))
+        in
+        let k ok =
+          if ok then promote_verified t ~router rid ~dead (nid, nrouter) rest
+          else begin
+            sh.promo_rejects <- sh.promo_rejects + 1;
+            Metrics.charge_promo_reject sh.s_metrics;
+            try_promote t ~router rid ~dead rest
+          end
+        in
+        Hashtbl.replace sh.verifies token
+          { v_claimed = nid; v_challenge = challenge; v_done = false; v_k = k };
+        send_direct t ~cat:"verify" ~from:router ~dest:nrouter
+          (Verify_req { claimant = nid; asker_router = router; token; challenge })
+          (handle t nrouter);
+        sched t ~rail:router ~at:router
+          ~time_ms:(now_at t router +. t.cfg.rpc_timeout_ms)
+          (fun () ->
+            match Hashtbl.find_opt sh.verifies token with
+            | Some vs when not vs.v_done ->
+              vs.v_done <- true;
+              Hashtbl.remove sh.verifies token;
+              sh.rpc_timeouts <- sh.rpc_timeouts + 1;
+              vs.v_k false
+            | Some _ | None -> ())
+      end)
+
+and promote_verified t ~router rid ~dead (nid, nrouter) rest =
+  let sh = shd t router in
+  match find_slot t router rid with
+  | None -> ()
+  | Some s ->
+    Store.set_probe_inflight sh.store s false;
+    if Store.succ_router sh.store s >= 0 && Id.equal (Store.succ_rid sh.store s) dead
+    then begin
+      repoint t ~router s (Some (nid, nrouter));
+      Store.set_succ_list sh.store s rest;
+      send_direct t ~cat:"repair" ~from:router ~dest:nrouter
+        (Notify { candidate = rid; candidate_router = router; target = nid })
+        (handle t nrouter)
     end
+    (* else: the pointer moved on during verification; leave it be *)
 
 (* A backup strictly closer (clockwise) than the successor itself means the
    ring went "loopy": concurrent splices and handoffs left a consistent
@@ -1488,6 +1863,18 @@ let pcache_entries t =
 
 let pcache_capacity_ok t =
   Array.for_all (fun c -> c.Pcache.len <= c.Pcache.cap) t.pcaches
+
+let pcache_quota_ok t = Array.for_all Pcache.group_quota_ok t.pcaches
+
+(* Every identifier currently cached in any router's pointer cache, with the
+   router whose cache holds it — the doctor's poison-residency sweep. *)
+let pcache_iter t f =
+  Array.iteri
+    (fun router c ->
+      for i = 0 to c.Pcache.len - 1 do
+        f ~router c.Pcache.ids.(i) c.Pcache.routers.(i)
+      done)
+    t.pcaches
 
 let stabilize_resident t ~router ~now s =
   let sh = shd t router in
@@ -1668,7 +2055,24 @@ let stats t =
     rpc_timeouts = sum (fun sh -> sh.rpc_timeouts);
     join_retries = sum (fun sh -> sh.join_retries);
     lookup_retries = sum (fun sh -> sh.lookup_retries);
+    join_rejects = sum (fun sh -> sh.join_rejects);
+    promo_rejects = sum (fun sh -> sh.promo_rejects);
   }
+
+(* ---- adversarial surface ------------------------------------------------- *)
+
+let behaviour_of t router = t.behaviours.(router)
+
+(* Campaign-event API: behaviours are read from shard contexts on every
+   message, so flips must happen with all shards parked (global context) —
+   the same discipline as every other campaign mutation. *)
+let set_behaviour t router b = t.behaviours.(router) <- b
+
+let router_groups t = t.groups
+
+let is_tainted t id = Hashtbl.mem t.tainted id
+
+let tainted_count t = Hashtbl.length t.tainted
 
 (* ---- audit surface (doctor-side, not protocol) --------------------------- *)
 

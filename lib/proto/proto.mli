@@ -25,6 +25,17 @@
 
 type t
 
+type behaviour =
+  | Honest
+  | Drop_lookups  (** byzantine silence: swallow every lookup it handles *)
+  | Misroute      (** answer lookups with its own best resident as "owner" *)
+  | Poison_succs  (** prepend fabricated backups to stabilisation replies,
+                      and vouch for those ghosts when they are probed *)
+(** Per-router conduct policy for the attack lab.  Honest routers run the
+    protocol; the rest model the paper's threat surface.  Behaviours only
+    change what a router {e says} in its own execution context, so
+    campaigns stay byte-identical at any shard count. *)
+
 type config = {
   stabilize_period_ms : float; (** period of {!stabilize_round} timers *)
   succ_list_len : int;         (** successor-list redundancy (succ + backups) *)
@@ -61,13 +72,32 @@ type config = {
       the protocol's own network-size estimate ({!estimate_n}) and observed
       churn rate instead of the static knobs; false (the default) keeps the
       static behaviour byte-identical. *)
+  verify_joins : bool;
+  (** challenge/response identifier verification at the join gateway and on
+      successor-list failover promotion (paper §2.1 self-certifying labels).
+      On by default; the off position exists for the attack lab's
+      defense-off cells and for measuring verification cost. *)
+  succ_quota : int;
+  (** declared per-PoP share of {e admitted} (joined) entries in a
+      successor-list backup tail (and of pointer-cache admissions).
+      Infrastructure entries — a router's own label hosted at itself — are
+      exempt: their ring placement is the operator's topology, not an
+      admission an attacker can mint.  0 = no quota rule.  The rule is what
+      the doctor's eclipse-saturation check audits; whether the protocol
+      also {e enforces} it is [quota_enforce]. *)
+  quota_enforce : bool;
+  (** enforce [succ_quota] at every successor-list adoption and
+      pointer-cache admission (the Kademlia IP-group-quota defense, keyed
+      by PoP).  Meaningless unless [succ_quota > 0] and the instance was
+      created with router [groups]. *)
 }
 
 val default_config : config
 (** 50 ms stabilisation, 4-deep successor lists, 100 ms probe timeout with
     2 retries at 2x backoff, 600 ms predecessor timeout, 400 ms join and
     300 ms lookup timeouts; untwist repair on.  α=1, pointer cache off,
-    static stabilisation — the exact pre-α engine. *)
+    static stabilisation — the exact pre-α engine.  Join/promotion
+    verification on; no successor-list quota. *)
 
 type stats = {
   messages : int;        (** total link traversals *)
@@ -81,6 +111,8 @@ type stats = {
   rpc_timeouts : int;
   join_retries : int;
   lookup_retries : int;
+  join_rejects : int;  (** join claims turned away by identifier verification *)
+  promo_rejects : int; (** failover candidates that failed promotion verification *)
 }
 
 val create :
@@ -90,6 +122,8 @@ val create :
   ?pool:Rofl_util.Pool.t ->
   ?bootstrap_hosts:int ->
   ?lookup_hint:int ->
+  ?groups:int array ->
+  ?behaviours:behaviour array ->
   Rofl_topology.Graph.t ->
   t
 (** An actor per router; default virtual nodes are spliced locally at time
@@ -104,7 +138,13 @@ val create :
     [(time, acting router, per-router seq)], and every cross-shard message
     rides a physical path whose latency is at least the window.
     [lookup_hint] pre-sizes the per-shard lookup tables for the expected
-    number of concurrently open lookups (they grow regardless). *)
+    number of concurrently open lookups (they grow regardless).
+
+    [groups] assigns each router to a diversity group (PoP index from
+    {!Rofl_topology.Isp.pop_of_router}) — the key the successor-list and
+    pointer-cache quotas count by.  [behaviours] assigns each router its
+    conduct policy (default: all {!Honest}); both must have one entry per
+    router when given. *)
 
 val router_label : int -> Rofl_idspace.Id.t
 (** The deterministic default identifier of router [i]. *)
@@ -127,12 +167,22 @@ val metrics : t -> Rofl_netsim.Metrics.t
 
 val config : t -> config
 
-val join : t -> gateway:int -> Rofl_idspace.Id.t -> unit
+val join :
+  t -> gateway:int -> ?cred:Rofl_crypto.Identity.keypair -> Rofl_idspace.Id.t -> unit
 (** Schedule a host join at the current simulated time.  The join completes
     asynchronously; run the engine to let it finish.  Joins retry with
     backoff when no response arrives within the join timeout, and count as
     [joins_failed] after [join_retries] retries.  Already-present (or
-    already-joining) identifiers are ignored. *)
+    already-joining) identifiers are ignored.
+
+    With {!config.verify_joins} on, the gateway first runs one
+    challenge/response round trip against the presented credential [cred]
+    (default: the identifier's canonical
+    {!Rofl_crypto.Identity.credential_for} — the honest path) and turns
+    forged claims away, counting them as [join_rejects].  With verification
+    off a forged claim is admitted but remembered as tainted
+    ({!is_tainted}) — the ground truth the doctor's forged-admission audit
+    reads. *)
 
 val leave : t -> Rofl_idspace.Id.t -> bool
 (** Graceful departure: succ/pred state is handed to the neighbours by
@@ -199,6 +249,17 @@ val pcache_capacity_ok : t -> bool
 (** Structural invariant for the doctor: no per-router cache exceeds its
     configured capacity. *)
 
+val pcache_quota_ok : t -> bool
+(** Structural invariant for the doctor: no per-router cache holds more
+    entries of one diversity group than its admission quota allows
+    (vacuously true with quotas off). *)
+
+val pcache_iter :
+  t -> (router:int -> Rofl_idspace.Id.t -> int -> unit) -> unit
+(** Iterate every cached owner pointer: [f ~router id hosting_router] for
+    each entry of each router's pointer cache — the doctor's
+    poison-residency sweep.  Pure read. *)
+
 val run_for : t -> float -> unit
 (** Advance simulated time by the given budget (ms), processing messages and
     timers. *)
@@ -215,6 +276,12 @@ val members : t -> Rofl_idspace.Id.t list
 (** Every identifier resident somewhere, sorted. *)
 
 val is_member : t -> Rofl_idspace.Id.t -> bool
+
+val ever_member : t -> Rofl_idspace.Id.t -> bool
+(** Was this identifier ever admitted (bootstrap or join) — even if it has
+    since left or crashed?  Fabricated successor-list entries were never
+    admitted, so [ever_member id = false] for a pointer at large is
+    poisoning evidence for the doctor. *)
 
 val successor_of : t -> Rofl_idspace.Id.t -> Rofl_idspace.Id.t option
 (** The first successor pointer currently held for a resident identifier. *)
@@ -346,6 +413,26 @@ type resident_view = {
 
 val residents_view : t -> resident_view list
 (** A snapshot of every resident's pointer state, sorted by identifier. *)
+
+val behaviour_of : t -> int -> behaviour
+
+val set_behaviour : t -> int -> behaviour -> unit
+(** Flip a router's conduct policy.  Call only from the global context
+    (between {!run_for} windows or inside
+    {!Rofl_netsim.Shard.at_global} events) — shards read behaviours during
+    their windows but never write them, which is what keeps adversarial
+    campaigns byte-identical at any shard count. *)
+
+val router_groups : t -> int array
+(** The diversity-group array the instance was created with ([[||]] when
+    ungrouped).  Not a copy; treat as read-only. *)
+
+val is_tainted : t -> Rofl_idspace.Id.t -> bool
+(** Admitted under a failed identifier verification (only possible with
+    {!config.verify_joins} off) — the doctor's forged-admission ground
+    truth.  Tainted residents cannot answer promotion challenges. *)
+
+val tainted_count : t -> int
 
 val locate : t -> Rofl_idspace.Id.t -> int option
 (** The hosting router according to the residency oracle. *)

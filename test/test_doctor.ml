@@ -101,6 +101,12 @@ let test_stab_off_caught_and_shrunk () =
 let test_loopy_splice_caught_and_shrunk () =
   check_hunt Doctorlab.Loopy_splice ~expect_check:"loopy-evidence" 11
 
+let test_eclipse_caught_and_shrunk () =
+  check_hunt Doctorlab.Eclipse_inject ~expect_check:"eclipse-saturation" 7
+
+let test_poison_caught_and_shrunk () =
+  check_hunt Doctorlab.Poison_inject ~expect_check:"poison-residency" 7
+
 let test_replay_is_deterministic () =
   match Doctorlab.hunt_and_shrink (Doctorlab.inject_scenario ~seed:11 Doctorlab.Loopy_splice) with
   | Doctorlab.Clean _ -> Alcotest.fail "injected fault was not caught"
@@ -197,6 +203,8 @@ let () =
         [
           Alcotest.test_case "stab-off caught+shrunk" `Slow test_stab_off_caught_and_shrunk;
           Alcotest.test_case "loopy caught+shrunk" `Slow test_loopy_splice_caught_and_shrunk;
+          Alcotest.test_case "eclipse caught+shrunk" `Slow test_eclipse_caught_and_shrunk;
+          Alcotest.test_case "poison caught+shrunk" `Slow test_poison_caught_and_shrunk;
           Alcotest.test_case "replay deterministic" `Slow test_replay_is_deterministic;
         ] );
       ( "format",

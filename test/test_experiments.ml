@@ -31,6 +31,10 @@ let tiny : E.Common.scale =
     svc_rate_per_s = 60.0;
     svc_bootstrap_hosts = 100;
     svc_cache_grid = [ 0; 64 ];
+    attack_horizon_ms = 2_500.0;
+    attack_sybils = [ 3 ];
+    attack_poison_fracs = [ 0.25 ];
+    attack_forges = [ 4 ];
   }
 
 let rendered f =
@@ -150,8 +154,12 @@ let golden_jobs1 =
        a timestamp now drain in (rail, seq) key order and churn/lookup
        launches fire as barrier-global events, which legitimately reorders
        message interleavings relative to the old single-heap FIFO (the
-       tables also gained events/fingerprint columns). *)
-    ("churn", "6868ac61a7ae5cdac9debe11580da3f2e8bff07250e73d2262af102205972a8c");
+       tables also gained events/fingerprint columns).  Re-recorded once
+       more when join verification went on by default: every join now
+       charges a two-message challenge/response handshake, shifting the
+       ctrl-msg columns (event interleavings and ring outcomes unchanged —
+       the figure digests above did not move). *)
+    ("churn", "64337d01cc795120221182aeaacb2147a99ba3bf385da4e18aa18dfa36d1a79a");
   ]
 
 let golden_jobs4 =
@@ -159,7 +167,7 @@ let golden_jobs4 =
     ("fig5a", "7f65101db088b326cfa506204d59de6f4b0fc3a62c08da45bf690696a97eb2ed");
     ("fig6a", "3abcd9bd7c1ef6d19900084d2814f5ea243e7fa75ba3cffaba1a1160354bffc6");
     ("fig8b", "6cb295ea8279fda6f6fa050610be363c191130d600a523c25b021ba8eb912ce8");
-    ("churn", "3effa33386468a2ef8f2505948a19192aced23dbc048ca30a1bf3168b0796d7c");
+    ("churn", "650cfb7bdf17f1a37b2d28e807489598a3a947b35ee9b78e5de9aec099183147");
   ]
 
 let target_fn = function

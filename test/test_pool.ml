@@ -91,6 +91,10 @@ let mini : E.Common.scale =
     svc_rate_per_s = 40.0;
     svc_bootstrap_hosts = 80;
     svc_cache_grid = [ 0; 32 ];
+    attack_horizon_ms = 2_000.0;
+    attack_sybils = [ 3 ];
+    attack_poison_fracs = [ 0.25 ];
+    attack_forges = [ 4 ];
   }
 
 let render_all f = String.concat "\n" (List.map Table.render (f mini))
